@@ -1,0 +1,188 @@
+//! Criterion benchmarks of the full operator and engine paths.
+//!
+//! End-to-end scans over an unthrottled device, per write policy, plus the
+//! engine's aggregate query and the simulator itself — the moving parts
+//! behind Figures 4 and 8 at miniature scale.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use scanraw::{ScanRaw, ScanRequest};
+use scanraw_engine::{Engine, Expr, Predicate, Query};
+use scanraw_pipesim::{CostModel, FileSpec, QuerySpec, SimConfig, Simulator};
+use scanraw_rawfile::generate::{stage_csv, CsvSpec};
+use scanraw_rawfile::TextDialect;
+use scanraw_simio::SimDisk;
+use scanraw_storage::Database;
+use scanraw_types::{ScanRawConfig, Schema, WritePolicy};
+
+const ROWS: u64 = 20_000;
+const COLS: usize = 8;
+const CHUNK_ROWS: u32 = 2_500;
+
+fn fresh_operator(policy: WritePolicy) -> std::sync::Arc<ScanRaw> {
+    let disk = SimDisk::instant();
+    stage_csv(&disk, "b.csv", &CsvSpec::new(ROWS, COLS, 5));
+    ScanRaw::create(
+        Database::new(disk),
+        "b",
+        Schema::uniform_ints(COLS),
+        TextDialect::CSV,
+        "b.csv",
+        ScanRawConfig::default()
+            .with_chunk_rows(CHUNK_ROWS)
+            .with_workers(2)
+            .with_policy(policy),
+    )
+    .expect("operator")
+}
+
+fn bench_operator_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("operator_first_scan");
+    g.throughput(Throughput::Elements(ROWS));
+    for (name, policy) in [
+        ("external", WritePolicy::ExternalTables),
+        ("speculative", WritePolicy::speculative()),
+        ("eager", WritePolicy::Eager),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || fresh_operator(policy),
+                |op| {
+                    let stream = op
+                        .scan(ScanRequest::all_columns((0..COLS).collect::<Vec<_>>()))
+                        .expect("scan");
+                    stream.finish().expect("finish")
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_warm_scan(c: &mut Criterion) {
+    // Scan over a fully cached operator: the steady state of Figure 8.
+    let op = fresh_operator(WritePolicy::ExternalTables);
+    let req = ScanRequest::all_columns((0..COLS).collect::<Vec<_>>());
+    op.scan(req.clone()).expect("scan").finish().expect("warm");
+    let mut g = c.benchmark_group("operator_cached_scan");
+    g.throughput(Throughput::Elements(ROWS));
+    g.bench_function("all_from_cache", |b| {
+        b.iter(|| op.scan(req.clone()).expect("scan").finish().expect("ok"))
+    });
+    g.finish();
+}
+
+fn bench_engine_query(c: &mut Criterion) {
+    let disk = SimDisk::instant();
+    stage_csv(&disk, "q.csv", &CsvSpec::new(ROWS, COLS, 6));
+    let engine = Engine::new(Database::new(disk));
+    engine
+        .register_table(
+            "q",
+            "q.csv",
+            Schema::uniform_ints(COLS),
+            TextDialect::CSV,
+            ScanRawConfig::default()
+                .with_chunk_rows(CHUNK_ROWS)
+                .with_workers(2),
+        )
+        .expect("register");
+    let q = Query::sum_of_columns("q", 0..COLS);
+    engine.execute(&q).expect("warm");
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(ROWS));
+    g.bench_function("sum_query_warm", |b| {
+        b.iter(|| engine.execute(&q).expect("ok"))
+    });
+    g.finish();
+}
+
+fn bench_pushdown(c: &mut Criterion) {
+    let disk = SimDisk::instant();
+    stage_csv(&disk, "pd.csv", &CsvSpec::new(ROWS, COLS, 7));
+    let engine = Engine::new(Database::new(disk));
+    engine
+        .register_table(
+            "pd",
+            "pd.csv",
+            Schema::uniform_ints(COLS),
+            TextDialect::CSV,
+            ScanRawConfig::default()
+                .with_chunk_rows(CHUNK_ROWS)
+                .with_workers(2)
+                .with_cache_chunks(1) // force raw conversion every run
+                .with_policy(WritePolicy::ExternalTables),
+        )
+        .expect("register");
+    // Highly selective predicate: ~0.4% of rows qualify.
+    let base = Query::sum_of_columns("pd", [COLS - 1]).with_filter(Predicate::Cmp(
+        Expr::col(0),
+        scanraw_engine::predicate::CmpOp::Lt,
+        Expr::lit(1i64 << 23),
+    ));
+    let mut g = c.benchmark_group("pushdown_selective_query");
+    g.throughput(Throughput::Elements(ROWS));
+    g.bench_function("row_filter", |b| {
+        b.iter(|| engine.execute(&base).expect("ok"))
+    });
+    let pushed = base.clone().with_pushdown();
+    g.bench_function("pushdown", |b| {
+        b.iter(|| engine.execute(&pushed).expect("ok"))
+    });
+    g.finish();
+}
+
+fn bench_shared_scan(c: &mut Criterion) {
+    let disk = SimDisk::instant();
+    stage_csv(&disk, "sh.csv", &CsvSpec::new(ROWS, COLS, 8));
+    let engine = Engine::new(Database::new(disk));
+    engine
+        .register_table(
+            "sh",
+            "sh.csv",
+            Schema::uniform_ints(COLS),
+            TextDialect::CSV,
+            ScanRawConfig::default()
+                .with_chunk_rows(CHUNK_ROWS)
+                .with_workers(2)
+                .with_cache_chunks(1)
+                .with_policy(WritePolicy::ExternalTables),
+        )
+        .expect("register");
+    let queries: Vec<Query> = (0..4).map(|i| Query::sum_of_columns("sh", [i])).collect();
+    let mut g = c.benchmark_group("multi_query");
+    g.throughput(Throughput::Elements(ROWS * 4));
+    g.bench_function("four_individual_scans", |b| {
+        b.iter(|| {
+            for q in &queries {
+                engine.execute(q).expect("ok");
+            }
+        })
+    });
+    g.bench_function("one_shared_scan", |b| {
+        b.iter(|| engine.execute_shared(&queries).expect("ok"))
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let file = FileSpec::synthetic(1 << 26, 64, 1 << 19);
+    let mut g = c.benchmark_group("pipesim");
+    g.bench_function("fig4_single_point", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(
+                SimConfig::new(8, WritePolicy::speculative(), CostModel::nominal()),
+                file,
+            );
+            sim.run_query(&QuerySpec::full(&file))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = operator;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_operator_policies, bench_warm_scan, bench_engine_query, bench_pushdown, bench_shared_scan, bench_simulator
+}
+criterion_main!(operator);

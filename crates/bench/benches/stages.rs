@@ -1,0 +1,129 @@
+//! Criterion micro-benchmarks of the individual pipeline stages.
+//!
+//! These are the per-stage numbers behind Figure 5 and the calibration of
+//! the cost model: TOKENIZE (full and selective), PARSE (full and
+//! projected), the chunker, the LZSS codec of the BAM-sim container, and
+//! the chunk cache.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use scanraw::ChunkCache;
+use scanraw_rawfile::bamsim::lzss;
+use scanraw_rawfile::chunker::ChunkReader;
+use scanraw_rawfile::generate::{csv_bytes, CsvSpec};
+use scanraw_rawfile::{
+    parse_chunk, parse_chunk_projected, tokenize_chunk, tokenize_chunk_selective, TextDialect,
+};
+use scanraw_simio::SimDisk;
+use scanraw_types::{BinaryChunk, ChunkId, Schema, TextChunk};
+use std::sync::Arc;
+
+const ROWS: u64 = 1 << 12;
+const COLS: usize = 16;
+
+fn text_chunk() -> (TextChunk, Schema) {
+    let spec = CsvSpec::new(ROWS, COLS, 99);
+    let bytes = csv_bytes(&spec);
+    (
+        TextChunk {
+            id: ChunkId(0),
+            file_offset: 0,
+            first_row: 0,
+            rows: ROWS as u32,
+            data: bytes::Bytes::from(bytes),
+        },
+        Schema::uniform_ints(COLS),
+    )
+}
+
+fn bench_tokenize(c: &mut Criterion) {
+    let (chunk, _) = text_chunk();
+    let mut g = c.benchmark_group("tokenize");
+    g.throughput(Throughput::Bytes(chunk.len_bytes() as u64));
+    g.bench_function("full", |b| {
+        b.iter(|| tokenize_chunk(&chunk, TextDialect::CSV, COLS).expect("ok"))
+    });
+    g.bench_function("selective_prefix2", |b| {
+        b.iter(|| tokenize_chunk_selective(&chunk, TextDialect::CSV, COLS, 2).expect("ok"))
+    });
+    g.finish();
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let (chunk, schema) = text_chunk();
+    let map = tokenize_chunk(&chunk, TextDialect::CSV, COLS).expect("ok");
+    let mut g = c.benchmark_group("parse");
+    g.throughput(Throughput::Elements(ROWS * COLS as u64));
+    g.bench_function("all_columns", |b| {
+        b.iter(|| parse_chunk(&chunk, &map, TextDialect::CSV, &schema).expect("ok"))
+    });
+    g.bench_function("projected_2_of_16", |b| {
+        b.iter(|| {
+            parse_chunk_projected(&chunk, &map, TextDialect::CSV, &schema, &[0, 15]).expect("ok")
+        })
+    });
+    g.finish();
+}
+
+fn bench_chunker(c: &mut Criterion) {
+    let spec = CsvSpec::new(ROWS * 8, COLS, 7);
+    let disk = SimDisk::instant();
+    let len = scanraw_rawfile::generate::stage_csv(&disk, "b.csv", &spec);
+    let mut g = c.benchmark_group("chunker");
+    g.throughput(Throughput::Bytes(len));
+    g.bench_function("stream_whole_file", |b| {
+        b.iter(|| {
+            ChunkReader::new(disk.clone(), "b.csv", ROWS as u32)
+                .expect("ok")
+                .read_all()
+                .expect("ok")
+        })
+    });
+    g.finish();
+}
+
+fn bench_lzss(c: &mut Criterion) {
+    let reads = scanraw_rawfile::sam::generate_reads(&scanraw_rawfile::sam::SamSpec {
+        reads: 512,
+        ..Default::default()
+    });
+    let mut raw = Vec::new();
+    for r in &reads {
+        raw.extend_from_slice(r.to_line().as_bytes());
+        raw.push(b'\n');
+    }
+    let comp = lzss::compress(&raw);
+    let mut g = c.benchmark_group("lzss");
+    g.throughput(Throughput::Bytes(raw.len() as u64));
+    g.bench_function("compress", |b| b.iter(|| lzss::compress(&raw)));
+    g.bench_function("decompress", |b| {
+        b.iter(|| lzss::decompress(&comp, raw.len()).expect("ok"))
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chunk_cache");
+    g.bench_function("insert_evict_1k", |b| {
+        b.iter_batched(
+            || ChunkCache::new(64),
+            |cache| {
+                for i in 0..1024u32 {
+                    cache.insert(
+                        Arc::new(BinaryChunk::empty(ChunkId(i), 0, 1, 1)),
+                        i % 3 == 0,
+                    );
+                }
+                cache
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = stages;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_tokenize, bench_parse, bench_chunker, bench_lzss, bench_cache
+}
+criterion_main!(stages);

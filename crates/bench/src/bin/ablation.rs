@@ -1,0 +1,117 @@
+//! Ablation study of ScanRaw's design choices (DESIGN.md §5).
+//!
+//! Three ablations over a 6-query speculative-loading sequence:
+//!
+//! 1. **Safeguard flush** (paper §4): with the safeguard disabled and the
+//!    execution I/O-bound, no loading progress is guaranteed and the
+//!    sequence never converges to database speed.
+//! 2. **Cache-eviction bias** (paper §3.1): without the bias toward evicting
+//!    already-loaded chunks, unloaded chunks get evicted and must be
+//!    re-converted, slowing convergence.
+//! 3. **Device direction-switch (seek) penalty** (paper §3.2.1): the cost of
+//!    READ/WRITE interference the scheduler's arbitration avoids; eager
+//!    loading suffers as the penalty grows, speculative loading does not —
+//!    its writes only run while reads are blocked.
+
+use scanraw_bench::{env_u64, experiment_model, print_table, secs, write_json};
+use scanraw_pipesim::{FileSpec, SimConfig, Simulator};
+use scanraw_types::WritePolicy;
+
+fn main() {
+    let rows = 1u64 << env_u64("ABL_LOG_ROWS", 26);
+    let file = FileSpec::synthetic(rows, 64, 1 << 19);
+    let cost = experiment_model();
+    let queries = 6usize;
+    let mut json = serde_json::json!({});
+
+    // ---------------- 1. safeguard on/off ----------------
+    let mut rows_out = Vec::new();
+    for (label, safeguard) in [("safeguard ON", true), ("safeguard OFF", false)] {
+        let mut cfg = SimConfig::new(
+            16,
+            WritePolicy::Speculative { safeguard },
+            cost.clone(),
+        );
+        cfg.cache_chunks = 32;
+        let mut sim = Simulator::new(cfg, file);
+        let results = sim.run_sequence(queries);
+        let mut row = vec![label.to_string()];
+        for r in &results {
+            row.push(secs(r.elapsed_secs));
+        }
+        row.push(format!("{}", sim.loaded_count()));
+        json["safeguard"][label] = serde_json::json!({
+            "per_query": results.iter().map(|r| r.elapsed_secs).collect::<Vec<_>>(),
+            "loaded": sim.loaded_count(),
+        });
+        rows_out.push(row);
+    }
+    print_table(
+        "Ablation 1 — speculative loading with/without the safeguard (I/O-bound, 16 workers)",
+        &["variant", "q1", "q2", "q3", "q4", "q5", "q6", "loaded"],
+        &rows_out,
+    );
+
+    // ---------------- 2. cache-eviction bias ----------------
+    let mut rows_out = Vec::new();
+    for (label, bias) in [("bias ON", true), ("bias OFF", false)] {
+        let mut cfg = SimConfig::new(16, WritePolicy::speculative(), cost.clone());
+        cfg.cache_chunks = 32;
+        cfg.cache_bias = bias;
+        let mut sim = Simulator::new(cfg, file);
+        let results = sim.run_sequence(queries);
+        let mut row = vec![label.to_string()];
+        for r in &results {
+            row.push(secs(r.elapsed_secs));
+        }
+        row.push(format!("{}", sim.loaded_count()));
+        json["cache_bias"][label] = serde_json::json!({
+            "per_query": results.iter().map(|r| r.elapsed_secs).collect::<Vec<_>>(),
+            "loaded": sim.loaded_count(),
+        });
+        rows_out.push(row);
+    }
+    print_table(
+        "Ablation 2 — load-biased vs plain LRU cache eviction (speculative, 6 queries)",
+        &["variant", "q1", "q2", "q3", "q4", "q5", "q6", "loaded"],
+        &rows_out,
+    );
+
+    // ---------------- 3. device arbitration under seek penalty ----------------
+    // With arbitration, WRITE only runs when READ cannot use the device;
+    // without it, writes interleave with reads and every direction switch
+    // pays the seek penalty (eager loading writes every chunk, so it
+    // alternates constantly).
+    let mut rows_out = Vec::new();
+    for seek_ms in [0.0f64, 5.0, 20.0, 50.0] {
+        let mut c = cost.clone();
+        c.seek_ns = seek_ms * 1e6;
+        let mut row = vec![format!("{seek_ms} ms")];
+        for arbitration in [true, false] {
+            let mut cfg = SimConfig::new(16, WritePolicy::Eager, c.clone());
+            cfg.cache_chunks = 32;
+            cfg.arbitration = arbitration;
+            let mut sim = Simulator::new(cfg, file);
+            let r = sim.run_sequence(1).remove(0);
+            row.push(secs(r.elapsed_secs));
+        }
+        {
+            let mut cfg = SimConfig::new(16, WritePolicy::speculative(), c.clone());
+            cfg.cache_chunks = 32;
+            let mut sim = Simulator::new(cfg, file);
+            let r = sim.run_sequence(1).remove(0);
+            row.push(secs(r.elapsed_secs));
+        }
+        json["seek_penalty"][format!("{seek_ms}")] = serde_json::json!({
+            "eager_arbitrated": row[1], "eager_interleaved": row[2], "speculative": row[3],
+        });
+        rows_out.push(row);
+    }
+    print_table(
+        "Ablation 3 — query-1 time vs direction-switch penalty (load+process with/without disk arbitration)",
+        &["seek penalty", "arbitrated", "interleaved", "speculative"],
+        &rows_out,
+    );
+
+    write_json("ablation", &json);
+}

@@ -1,0 +1,82 @@
+//! Figure 4 — execution time (a), percentage of loaded chunks (b), and
+//! speedup (c) as a function of the number of worker threads, for
+//! speculative loading, external tables, and load & process (eager ETL).
+//!
+//! Workload (paper §5.1): `SELECT SUM(Σ c_i) FROM 2^26 × 64`, 2^19-row
+//! chunks → 128 chunks, 16-core server. Reproduced on the calibrated
+//! discrete-event simulator; set `PAPER_RATIO=1` to rescale the device so
+//! the CPU↔I/O crossover lands at 6 workers as on the paper's hardware.
+
+use scanraw_bench::{env_u64, experiment_model, print_table, secs, write_json};
+use scanraw_pipesim::{FileSpec, QuerySpec, SimConfig, Simulator};
+use scanraw_types::WritePolicy;
+
+fn main() {
+    let rows = 1u64 << env_u64("FIG4_LOG_ROWS", 26);
+    let cols = env_u64("FIG4_COLS", 64) as usize;
+    let chunk_rows = 1u64 << env_u64("FIG4_LOG_CHUNK", 19);
+    let file = FileSpec::synthetic(rows, cols, chunk_rows);
+    let cost = experiment_model();
+    let workers = [0usize, 1, 2, 4, 6, 8, 10, 12, 14, 16];
+    let policies = [
+        ("speculative", WritePolicy::speculative()),
+        ("external", WritePolicy::ExternalTables),
+        ("load+process", WritePolicy::Eager),
+    ];
+
+    let mut time_rows = Vec::new();
+    let mut loaded_rows = Vec::new();
+    let mut speedup_rows = Vec::new();
+    let mut json = serde_json::json!({
+        "file": {"rows": rows, "cols": cols, "chunk_rows": chunk_rows, "chunks": file.n_chunks},
+        "series": {}
+    });
+
+    // Sequential baselines for speedup (per policy, workers = 0).
+    let mut seq_time = std::collections::HashMap::new();
+    for (name, policy) in policies {
+        let mut sim = Simulator::new(SimConfig::new(0, policy, cost.clone()), file);
+        let r = sim.run_query(&QuerySpec::full(&file));
+        seq_time.insert(name, r.elapsed_secs);
+    }
+
+    for &w in &workers {
+        let mut trow = vec![w.to_string()];
+        let mut lrow = vec![w.to_string()];
+        let mut srow = vec![w.to_string()];
+        for (name, policy) in policies {
+            let mut sim = Simulator::new(SimConfig::new(w, policy, cost.clone()), file);
+            let r = sim.run_query(&QuerySpec::full(&file));
+            let pct = 100.0 * r.loaded_after as f64 / file.n_chunks as f64;
+            trow.push(secs(r.elapsed_secs));
+            lrow.push(format!("{pct:.1}"));
+            srow.push(format!("{:.2}", seq_time[name] / r.elapsed_secs));
+            json["series"][name][w.to_string()] = serde_json::json!({
+                "elapsed_secs": r.elapsed_secs,
+                "loaded_pct": pct,
+                "speedup": seq_time[name] / r.elapsed_secs,
+            });
+        }
+        srow.push(format!("{:.2}", (w.max(1)) as f64)); // ideal
+        time_rows.push(trow);
+        loaded_rows.push(lrow);
+        speedup_rows.push(srow);
+    }
+
+    print_table(
+        "Figure 4a — execution time (s) vs worker threads",
+        &["workers", "speculative", "external", "load+process"],
+        &time_rows,
+    );
+    print_table(
+        "Figure 4b — loaded chunks (%) vs worker threads",
+        &["workers", "speculative", "external", "load+process"],
+        &loaded_rows,
+    );
+    print_table(
+        "Figure 4c — speedup vs worker threads",
+        &["workers", "speculative", "external", "load+process", "ideal"],
+        &speedup_rows,
+    );
+    write_json("fig4", &json);
+}

@@ -1,0 +1,94 @@
+//! Figure 5 — time per chunk in every pipeline stage as a function of the
+//! number of columns (2..256): absolute (a) and relative (b).
+//!
+//! TOKENIZE and PARSE are *measured* on this repository's real
+//! implementations over generated data; READ and WRITE are the device model
+//! (chunk bytes over the paper's nominal bandwidths), since the experiment's
+//! disk is simulated by construction. The paper runs 2^26-row files with
+//! 2^19-row chunks and full loading; the per-chunk stage times here use a
+//! configurable chunk height (`FIG5_LOG_CHUNK`, default 2^16 to keep the
+//! measurement fast) — per-chunk time scales linearly in rows, and the
+//! *relative* distribution (Figure 5b) is height-invariant.
+
+use scanraw_bench::{env_u64, print_table, write_json};
+use scanraw_pipesim::CostModel;
+use scanraw_rawfile::generate::{csv_bytes, CsvSpec};
+use scanraw_rawfile::{parse_chunk, tokenize_chunk, TextDialect};
+use scanraw_types::{ChunkId, Schema, TextChunk};
+use std::time::Instant;
+
+fn main() {
+    let chunk_rows = 1u64 << env_u64("FIG5_LOG_CHUNK", 15);
+    let device = CostModel::nominal();
+    let col_sweep = [2usize, 4, 8, 16, 32, 64, 128, 256];
+
+    let mut abs_rows = Vec::new();
+    let mut rel_rows = Vec::new();
+    let mut json = serde_json::json!({"chunk_rows": chunk_rows, "per_chunk_secs": {}});
+
+    for &cols in &col_sweep {
+        let spec = CsvSpec::new(chunk_rows, cols, 4242);
+        let bytes = csv_bytes(&spec);
+        let text_len = bytes.len() as f64;
+        let chunk = TextChunk {
+            id: ChunkId(0),
+            file_offset: 0,
+            first_row: 0,
+            rows: chunk_rows as u32,
+            data: bytes::Bytes::from(bytes),
+        };
+        let schema = Schema::uniform_ints(cols);
+
+        // Best of three runs to shed scheduler/allocator noise.
+        let mut tokenize = f64::INFINITY;
+        let mut parse = f64::INFINITY;
+        let mut map = None;
+        let mut parsed = None;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let m = tokenize_chunk(&chunk, TextDialect::CSV, cols).expect("tokenizes");
+            tokenize = tokenize.min(t0.elapsed().as_secs_f64());
+            let t0 = Instant::now();
+            let p = parse_chunk(&chunk, &m, TextDialect::CSV, &schema).expect("parses");
+            parse = parse.min(t0.elapsed().as_secs_f64());
+            map = Some(m);
+            parsed = Some(p);
+        }
+        let _map = map.expect("ran");
+        let parsed = parsed.expect("ran");
+
+        let read = device.read_secs(text_len);
+        let write = device.write_secs(parsed.size_bytes() as f64);
+        let total = read + tokenize + parse + write;
+
+        abs_rows.push(vec![
+            cols.to_string(),
+            format!("{read:.4}"),
+            format!("{tokenize:.4}"),
+            format!("{parse:.4}"),
+            format!("{write:.4}"),
+        ]);
+        rel_rows.push(vec![
+            cols.to_string(),
+            format!("{:.1}", 100.0 * read / total),
+            format!("{:.1}", 100.0 * tokenize / total),
+            format!("{:.1}", 100.0 * parse / total),
+            format!("{:.1}", 100.0 * write / total),
+        ]);
+        json["per_chunk_secs"][cols.to_string()] = serde_json::json!({
+            "read": read, "tokenize": tokenize, "parse": parse, "write": write,
+        });
+    }
+
+    print_table(
+        "Figure 5a — absolute time per chunk (s) by stage",
+        &["cols", "READ", "TOKENIZE", "PARSE", "WRITE"],
+        &abs_rows,
+    );
+    print_table(
+        "Figure 5b — relative time per chunk (%) by stage",
+        &["cols", "READ", "TOKENIZE", "PARSE", "WRITE"],
+        &rel_rows,
+    );
+    write_json("fig5", &json);
+}

@@ -1,0 +1,51 @@
+//! Figure 6 — effect of the number of projected columns and of the first
+//! column's position on execution time (selective tokenizing and parsing).
+//!
+//! Paper setup (§5.1): 64-column file, 8 worker threads, a contiguous subset
+//! of `K ∈ {1, 8, 16, 32}` columns starting at position `p ∈ {0, 8, 16, 32}`.
+//! Reproduced on the calibrated simulator: PARSE converts `K` columns,
+//! TOKENIZE maps the first `p + K` attributes (selective tokenizing scans up
+//! to the last needed attribute and skips the rest of the line).
+
+use scanraw_bench::{env_u64, experiment_model, print_table, secs, write_json};
+use scanraw_pipesim::{FileSpec, QuerySpec, SimConfig, Simulator};
+use scanraw_types::WritePolicy;
+
+fn main() {
+    let rows = 1u64 << env_u64("FIG6_LOG_ROWS", 26);
+    let chunk_rows = 1u64 << env_u64("FIG6_LOG_CHUNK", 19);
+    let cols = 64usize;
+    let workers = 8usize;
+    let file = FileSpec::synthetic(rows, cols, chunk_rows);
+    let cost = experiment_model();
+
+    let positions = [0usize, 8, 16, 32];
+    let widths = [1usize, 8, 16, 32];
+
+    let mut rows_out = Vec::new();
+    let mut json = serde_json::json!({"secs": {}});
+    for &p in &positions {
+        let mut row = vec![format!("pos {p}")];
+        for &k in &widths {
+            let q = QuerySpec {
+                convert_cols: k,
+                tokenize_cols: (p + k).min(cols),
+            };
+            let mut sim = Simulator::new(
+                SimConfig::new(workers, WritePolicy::ExternalTables, cost.clone()),
+                file,
+            );
+            let r = sim.run_query(&q);
+            row.push(secs(r.elapsed_secs));
+            json["secs"][format!("pos{p}")][format!("k{k}")] = r.elapsed_secs.into();
+        }
+        rows_out.push(row);
+    }
+
+    print_table(
+        "Figure 6 — execution time (s): first-column position × projected columns (8 workers, 64-col file)",
+        &["", "1 col", "8 cols", "16 cols", "32 cols"],
+        &rows_out,
+    );
+    write_json("fig6", &json);
+}

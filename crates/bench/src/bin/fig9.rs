@@ -1,0 +1,76 @@
+//! Figure 9 — CPU and I/O utilization during speculative loading.
+//!
+//! Paper setup (§5.1): a 256-column raw file processed with 8 worker threads
+//! — CPU-bound, so the scheduler alternates the device between READ and
+//! WRITE: whenever conversion saturates the workers and reading blocks,
+//! WRITE gets the idle disk. The plot shows CPU utilization pinned at
+//! ~800% (8 workers) and disk utilization dipping whenever a single-chunk
+//! write replaces streaming reads.
+//!
+//! The regime is what matters here: the device is rescaled so 8 workers are
+//! CPU-bound on the 256-column file (the paper's hardware property), unless
+//! `FIG9_RAW_MODEL=1` keeps the plain calibrated model.
+
+use scanraw_bench::{env_u64, experiment_model, print_table, write_json};
+use scanraw_pipesim::{FileSpec, QuerySim, QuerySpec, SimConfig, Simulator};
+use scanraw_types::WritePolicy;
+
+fn main() {
+    let rows = 1u64 << env_u64("FIG9_LOG_ROWS", 24);
+    let chunk_rows = 1u64 << env_u64("FIG9_LOG_CHUNK", 18);
+    let cols = 256usize;
+    let workers = 8usize;
+    let file = FileSpec::synthetic(rows, cols, chunk_rows);
+
+    let mut cost = experiment_model();
+    if env_u64("FIG9_RAW_MODEL", 0) != 1 {
+        // Place the crossover above 8 workers so the 256-column file is
+        // CPU-bound at 8 — the regime of the paper's figure.
+        cost = cost.with_crossover_at(12.0, 10.48);
+    }
+
+    let mut cfg = SimConfig::new(workers, WritePolicy::speculative(), cost);
+    cfg.record_timeline = true;
+    let mut sim = Simulator::new(cfg, file);
+    let r = sim.run_query(&QuerySpec::full(&file));
+
+    let window = r.elapsed_secs / 40.0;
+    let io_read = QuerySim::utilization(&r.disk_read_spans, window, r.elapsed_secs);
+    let io_write = QuerySim::utilization(&r.disk_write_spans, window, r.elapsed_secs);
+    let cpu = QuerySim::utilization(&r.cpu_spans, window, r.elapsed_secs);
+
+    let mut rows_out = Vec::new();
+    let mut json = serde_json::json!({
+        "elapsed_secs": r.elapsed_secs,
+        "chunks_written": r.chunks_written,
+        "samples": []
+    });
+    for i in 0..io_read.len() {
+        let progress = 100.0 * (i as f64 + 0.5) / io_read.len() as f64;
+        let io = (io_read[i].value + io_write[i].value) * 100.0;
+        let cpu_pct = cpu.get(i).map(|s| s.value * 100.0).unwrap_or(0.0);
+        rows_out.push(vec![
+            format!("{progress:.0}"),
+            format!("{io:.0}"),
+            format!("{:.0}", io_write[i].value * 100.0),
+            format!("{cpu_pct:.0}"),
+        ]);
+        json["samples"].as_array_mut().expect("array").push(serde_json::json!({
+            "progress_pct": progress,
+            "io_pct": io,
+            "io_write_pct": io_write[i].value * 100.0,
+            "cpu_pct": cpu_pct,
+        }));
+    }
+
+    print_table(
+        "Figure 9 — utilization vs processing progress (speculative, 256 cols, 8 workers)",
+        &["progress %", "I/O %", "of which write %", "CPU %"],
+        &rows_out,
+    );
+    println!(
+        "\nchunks written during the query: {} of {} (CPU-bound ⇒ loading is free)",
+        r.chunks_written, file.n_chunks
+    );
+    write_json("fig9", &json);
+}

@@ -1,0 +1,211 @@
+//! Table 1 — ScanRaw performance on SAM/BAM genomic data.
+//!
+//! Paper (§5.2): the NA12878 alignment file from the 1000 Genomes project
+//! (400M+ reads; SAM text 145 GB, BAM binary 26 GB), querying the
+//! distribution of the CIGAR field for reads matching a sequence pattern at
+//! positions in a range. Methods: external tables over SAM, external tables
+//! over BAM through the sequential BAMTools-like library, full data loading
+//! from SAM, database processing, and speculative loading over SAM.
+//!
+//! We do not have the 145 GB file. The harness (a) generates synthetic SAM
+//! reads with the real generator, (b) *measures* the per-read cost of every
+//! real code path in this repository — SAM tokenize+parse, sequential
+//! BAM-sim decode, MAP + aggregation — and (c) composes those measured costs
+//! at a configurable read count (default 4M; `TABLE1_SCALE_READS`) on the
+//! device model, using the pipeline simulator for the parallel SAM paths and
+//! the sequential sum for the BAM library path.
+
+use scanraw_bench::{env_u64, print_table, write_json};
+use scanraw_engine::bamscan::{execute_over_bam, map_reads};
+use scanraw_engine::{AggExpr, Predicate, Query};
+use scanraw_pipesim::{CostModel, FileSpec, QuerySpec, SimConfig, Simulator};
+use scanraw_rawfile::bamsim::{stage_bam, BamReader};
+use scanraw_rawfile::sam::{field, generate_reads, sam_bytes, sam_schema, SamSpec};
+use scanraw_rawfile::{parse_chunk, tokenize_chunk, TextDialect};
+use scanraw_simio::SimDisk;
+use scanraw_types::{ChunkId, TextChunk, WritePolicy};
+use std::time::Instant;
+
+fn main() {
+    let measure_reads = env_u64("TABLE1_READS", 40_000);
+    let scale_reads = env_u64("TABLE1_SCALE_READS", 4_000_000);
+    let chunk_rows = 1u64 << 19;
+
+    // ------------------------------------------------------------------
+    // Stage real data and measure per-read costs of the real code paths.
+    // ------------------------------------------------------------------
+    let spec = SamSpec {
+        reads: measure_reads,
+        seed: 17,
+        read_len: 100,
+        ref_len: 10_000_000,
+    };
+    let reads = generate_reads(&spec);
+    let sam = sam_bytes(&reads);
+    let sam_bytes_per_read = sam.len() as f64 / reads.len() as f64;
+    let bam = scanraw_rawfile::bamsim::bam_bytes(&reads);
+    let bam_bytes_per_read = bam.len() as f64 / reads.len() as f64;
+
+    // SAM conversion cost (TOKENIZE + PARSE of all 11 fields).
+    let chunk = TextChunk {
+        id: ChunkId(0),
+        file_offset: 0,
+        first_row: 0,
+        rows: reads.len() as u32,
+        data: bytes::Bytes::from(sam.clone()),
+    };
+    let schema = sam_schema();
+    let t0 = Instant::now();
+    let map = tokenize_chunk(&chunk, TextDialect::TSV, schema.len()).expect("tokenizes");
+    let parsed = parse_chunk(&chunk, &map, TextDialect::TSV, &schema).expect("parses");
+    let sam_convert_ns_per_read = t0.elapsed().as_nanos() as f64 / reads.len() as f64;
+    let binary_bytes_per_read = parsed.size_bytes() as f64 / reads.len() as f64;
+
+    // Sequential BAM-sim decode cost (the "BAMTools" path).
+    let disk = SimDisk::instant();
+    stage_bam(&disk, "m.bam", &reads);
+    let t0 = Instant::now();
+    let mut rd = BamReader::open(disk.clone(), "m.bam").expect("opens");
+    let mut n = 0u64;
+    while rd.next_read().expect("reads").is_some() {
+        n += 1;
+    }
+    assert_eq!(n, reads.len() as u64);
+    let bam_decode_ns_per_read = t0.elapsed().as_nanos() as f64 / n as f64;
+
+    // Engine cost per read: MAP (record → columnar) and filter + group-by
+    // aggregation, measured separately. The full BAM query time is
+    // decode + map + agg; subtracting decode and map isolates agg.
+    let query = table1_query();
+    let t0 = Instant::now();
+    let mapped = map_reads(&reads, ChunkId(0), 0);
+    let _ = std::hint::black_box(&mapped);
+    let map_ns_per_read = t0.elapsed().as_nanos() as f64 / n as f64;
+    let t0 = Instant::now();
+    let r = execute_over_bam(&disk, "m.bam", &query).expect("bam query");
+    let full_ns = t0.elapsed().as_nanos() as f64;
+    let agg_ns_per_read =
+        ((full_ns / n as f64) - bam_decode_ns_per_read - map_ns_per_read).max(10.0);
+    // The paper integrates ScanRaw with a multi-threaded execution engine
+    // "shown to be I/O-bound for a large class of queries" (§5): query
+    // processing parallelizes over the 16 simulated cores and is never the
+    // bottleneck. Charge the parallel share to the simulator's sequential
+    // engine stage.
+    let engine_ns_per_read = agg_ns_per_read / 16.0;
+    eprintln!(
+        "# measured on {measure_reads} reads: sam {sam_bytes_per_read:.0} B/read, bam {bam_bytes_per_read:.0} B/read, binary {binary_bytes_per_read:.0} B/read"
+    );
+    eprintln!(
+        "# sam convert {sam_convert_ns_per_read:.0} ns/read, bam decode {bam_decode_ns_per_read:.0} ns/read, map {map_ns_per_read:.0} ns/read, agg {agg_ns_per_read:.0} ns/read, query matched {} groups",
+        r.rows.len()
+    );
+
+    // ------------------------------------------------------------------
+    // Compose at scale.
+    // ------------------------------------------------------------------
+    let device = CostModel::nominal();
+    let n = scale_reads as f64;
+    let cols = schema.len();
+    let file = FileSpec {
+        n_chunks: (scale_reads.div_ceil(chunk_rows)) as usize,
+        rows_per_chunk: chunk_rows,
+        cols,
+        text_bytes_per_value: sam_bytes_per_read / cols as f64,
+        binary_bytes_per_value: binary_bytes_per_read / cols as f64,
+    };
+    let mut cost = device.clone();
+    // Fold measured SAM costs into the model: all conversion charged to
+    // PARSE per-value terms, engine per value likewise.
+    cost.tokenize_split_ns_per_byte = 0.15; // newline/delimiter scan share
+    cost.tokenize_skip_ns_per_byte = 0.05;
+    cost.parse_ns_per_value =
+        (sam_convert_ns_per_read - cost.tokenize_split_ns_per_byte * sam_bytes_per_read)
+            .max(1.0)
+            / cols as f64;
+    cost.engine_ns_per_value = engine_ns_per_read / cols as f64;
+
+    let sim_time = |policy: WritePolicy| -> f64 {
+        let mut sim = Simulator::new(SimConfig::new(16, policy, cost.clone()), file);
+        sim.run_query(&QuerySpec::full(&file)).elapsed_secs
+    };
+    let external_sam = sim_time(WritePolicy::ExternalTables);
+    let speculative_sam = sim_time(WritePolicy::speculative());
+    let loading_sam = sim_time(WritePolicy::Eager);
+
+    // Database processing: stream only the columns the query touches
+    // (POS, CIGAR, SEQ) from the column store; the parallel engine keeps the
+    // scan I/O-bound, so engine time overlaps the read.
+    let needed_bytes_per_read = needed_column_bytes(&reads);
+    let db_secs = device
+        .read_secs(needed_bytes_per_read * n)
+        .max(engine_ns_per_read * n * 1e-9);
+
+    // BAM + sequential library: blocking reads interleave with the
+    // single-threaded decode — the two costs add; the (parallel) MAP and
+    // engine work hides behind the decode, as the paper observed when
+    // parallelizing MAP brought "no performance gains".
+    let bam_secs = device.read_secs(bam_bytes_per_read * n)
+        + bam_decode_ns_per_read * n * 1e-9;
+
+    let paper = [370.0, 2714.0, 945.0, 122.0, 370.0];
+    let ours = [external_sam, bam_secs, loading_sam, db_secs, speculative_sam];
+    let names = [
+        "External tables (SAM)",
+        "External tables (BAM + seq. library)",
+        "Data loading (SAM)",
+        "Database processing",
+        "Speculative loading (SAM)",
+    ];
+    let mut rows_out = Vec::new();
+    let mut json = serde_json::json!({"scale_reads": scale_reads, "rows": {}});
+    for i in 0..names.len() {
+        rows_out.push(vec![
+            names[i].to_string(),
+            format!("{:.1}", ours[i]),
+            format!("{:.2}", ours[i] / ours[0]),
+            format!("{:.0}", paper[i]),
+            format!("{:.2}", paper[i] / paper[0]),
+        ]);
+        json["rows"][names[i]] = serde_json::json!({
+            "secs": ours[i],
+            "relative": ours[i] / ours[0],
+            "paper_secs": paper[i],
+            "paper_relative": paper[i] / paper[0],
+        });
+    }
+    print_table(
+        &format!("Table 1 — SAM/BAM workload at {scale_reads} reads (relative to SAM external tables)"),
+        &["method", "secs", "rel", "paper secs", "paper rel"],
+        &rows_out,
+    );
+    println!(
+        "\nNote: our LZSS+varint reader decodes far faster than 2014 BAMTools; the\n\
+         binary path still loses to the parallel text pipeline, at a smaller factor."
+    );
+    write_json("table1", &json);
+}
+
+/// The §5.2 query: CIGAR distribution of reads whose sequence matches a
+/// pattern at positions in a range.
+fn table1_query() -> Query {
+    Query {
+        table: "reads".into(),
+        filter: Some(Predicate::And(
+            Box::new(Predicate::Like(field::SEQ, "%ACGTA%".into())),
+            Box::new(Predicate::between(field::POS, 1i64, 5_000_000i64)),
+        )),
+        group_by: vec![field::CIGAR],
+        aggregates: vec![AggExpr::count()],
+        pushdown: false,
+    }
+}
+
+/// Average stored bytes per read of the columns the query reads back from
+/// the database (POS, CIGAR, SEQ — string columns carry a 4-byte prefix).
+fn needed_column_bytes(reads: &[scanraw_rawfile::sam::SamRead]) -> f64 {
+    let total: usize = reads
+        .iter()
+        .map(|r| 8 + (4 + r.cigar.len()) + (4 + r.seq.len()))
+        .sum();
+    total as f64 / reads.len() as f64
+}

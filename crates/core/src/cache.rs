@@ -1,0 +1,333 @@
+//! The binary chunks cache (paper §3.1, "Caching").
+//!
+//! All converted chunks land here before being delivered to the execution
+//! engine or written to the database, and they stay cached across queries —
+//! the cache belongs to the operator, which is attached to the raw file, not
+//! to a query. Eviction is LRU *biased toward chunks already loaded inside
+//! the database*: a chunk that also exists in binary form on disk is cheaper
+//! to lose than one that would need re-tokenizing and re-parsing.
+
+use parking_lot::Mutex;
+use scanraw_types::{BinaryChunk, ChunkId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One cached entry.
+struct Entry {
+    chunk: Arc<BinaryChunk>,
+    /// The chunk (all its cached columns) is stored in the database.
+    loaded: bool,
+    /// Monotonic recency stamp (larger = more recently used).
+    stamp: u64,
+    /// Monotonic insertion sequence (smaller = older; drives the speculative
+    /// "oldest unloaded chunk" pick, §4).
+    seq: u64,
+}
+
+struct Inner {
+    map: HashMap<ChunkId, Entry>,
+    capacity: usize,
+    next_stamp: u64,
+    next_seq: u64,
+    /// Lifetime counters for observability and tests.
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Thread-safe chunk cache with load-biased LRU eviction. Cheap to clone.
+#[derive(Clone)]
+pub struct ChunkCache {
+    inner: Arc<Mutex<Inner>>,
+}
+
+/// Outcome of an insert: the evicted victim, if any.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evicted {
+    pub id: ChunkId,
+    pub chunk: Arc<BinaryChunk>,
+    /// Whether the victim was already loaded in the database.
+    pub loaded: bool,
+}
+
+impl ChunkCache {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        ChunkCache {
+            inner: Arc::new(Mutex::new(Inner {
+                map: HashMap::with_capacity(capacity),
+                capacity,
+                next_stamp: 0,
+                next_seq: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            })),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts (or replaces) a chunk; returns the victim evicted to make
+    /// room, if the cache was full.
+    ///
+    /// Victim selection: least-recently-used among `loaded` entries first;
+    /// only if every entry is unloaded, the globally least-recently-used.
+    pub fn insert(&self, chunk: Arc<BinaryChunk>, loaded: bool) -> Option<Evicted> {
+        let mut g = self.inner.lock();
+        let stamp = g.bump_stamp();
+        let seq = g.bump_seq();
+        if let Some(e) = g.map.get_mut(&chunk.id) {
+            e.chunk = chunk;
+            e.loaded = loaded;
+            e.stamp = stamp;
+            return None;
+        }
+        let mut evicted = None;
+        if g.map.len() >= g.capacity {
+            if let Some(victim) = g.pick_victim() {
+                let e = g.map.remove(&victim).expect("victim exists");
+                g.evictions += 1;
+                evicted = Some(Evicted {
+                    id: victim,
+                    chunk: e.chunk,
+                    loaded: e.loaded,
+                });
+            }
+        }
+        g.map.insert(
+            chunk.id,
+            Entry {
+                chunk,
+                loaded,
+                stamp,
+                seq,
+            },
+        );
+        evicted
+    }
+
+    /// Looks up a chunk, refreshing its recency on hit.
+    pub fn get(&self, id: ChunkId) -> Option<Arc<BinaryChunk>> {
+        let mut g = self.inner.lock();
+        let stamp = g.bump_stamp();
+        match g.map.get_mut(&id) {
+            Some(e) => {
+                e.stamp = stamp;
+                g.hits += 1;
+                Some(g.map[&id].chunk.clone())
+            }
+            None => {
+                g.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up without refreshing recency or counters (introspection).
+    pub fn peek(&self, id: ChunkId) -> Option<Arc<BinaryChunk>> {
+        self.inner.lock().map.get(&id).map(|e| e.chunk.clone())
+    }
+
+    /// True when the cached copy of `id` contains every column in `cols`.
+    pub fn covers(&self, id: ChunkId, cols: &[usize]) -> bool {
+        self.inner
+            .lock()
+            .map
+            .get(&id)
+            .is_some_and(|e| e.chunk.covers(cols))
+    }
+
+    /// Marks a cached chunk as loaded in the database (no-op if absent).
+    pub fn mark_loaded(&self, id: ChunkId) {
+        if let Some(e) = self.inner.lock().map.get_mut(&id) {
+            e.loaded = true;
+        }
+    }
+
+    /// The oldest (by insertion) cached chunk not yet loaded — the chunk
+    /// speculative loading writes next (§4: "only the 'oldest' chunk in the
+    /// binary cache that was not previously loaded into the database is
+    /// written at a time").
+    pub fn oldest_unloaded(&self) -> Option<Arc<BinaryChunk>> {
+        let g = self.inner.lock();
+        g.map
+            .values()
+            .filter(|e| !e.loaded)
+            .min_by_key(|e| e.seq)
+            .map(|e| e.chunk.clone())
+    }
+
+    /// All currently cached, not-yet-loaded chunks, oldest first — the
+    /// safeguard flush set (§4).
+    pub fn unloaded_chunks(&self) -> Vec<Arc<BinaryChunk>> {
+        let g = self.inner.lock();
+        let mut v: Vec<(&u64, Arc<BinaryChunk>)> = g
+            .map
+            .values()
+            .filter(|e| !e.loaded)
+            .map(|e| (&e.seq, e.chunk.clone()))
+            .collect();
+        v.sort_by_key(|(seq, _)| **seq);
+        v.into_iter().map(|(_, c)| c).collect()
+    }
+
+    /// Ids of everything currently cached (unordered).
+    pub fn cached_ids(&self) -> Vec<ChunkId> {
+        self.inner.lock().map.keys().copied().collect()
+    }
+
+    /// (hits, misses, evictions) lifetime counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        let g = self.inner.lock();
+        (g.hits, g.misses, g.evictions)
+    }
+
+    /// Drops every entry (used by tests and operator teardown).
+    pub fn clear(&self) {
+        self.inner.lock().map.clear();
+    }
+}
+
+impl Inner {
+    fn bump_stamp(&mut self) -> u64 {
+        self.next_stamp += 1;
+        self.next_stamp
+    }
+
+    fn bump_seq(&mut self) -> u64 {
+        self.next_seq += 1;
+        self.next_seq
+    }
+
+    fn pick_victim(&self) -> Option<ChunkId> {
+        // LRU among loaded chunks first …
+        if let Some((id, _)) = self
+            .map
+            .iter()
+            .filter(|(_, e)| e.loaded)
+            .min_by_key(|(_, e)| e.stamp)
+        {
+            return Some(*id);
+        }
+        // … otherwise plain LRU.
+        self.map
+            .iter()
+            .min_by_key(|(_, e)| e.stamp)
+            .map(|(id, _)| *id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(id: u32) -> Arc<BinaryChunk> {
+        Arc::new(BinaryChunk::empty(ChunkId(id), id as u64 * 10, 10, 1))
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let c = ChunkCache::new(4);
+        c.insert(chunk(1), false);
+        assert!(c.get(ChunkId(1)).is_some());
+        assert!(c.get(ChunkId(2)).is_none());
+        let (hits, misses, _) = c.counters();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn plain_lru_when_nothing_loaded() {
+        let c = ChunkCache::new(2);
+        c.insert(chunk(1), false);
+        c.insert(chunk(2), false);
+        c.get(ChunkId(1)); // refresh 1 → victim must be 2
+        let ev = c.insert(chunk(3), false).expect("eviction");
+        assert_eq!(ev.id, ChunkId(2));
+        assert!(!ev.loaded);
+    }
+
+    #[test]
+    fn bias_evicts_loaded_first() {
+        let c = ChunkCache::new(2);
+        c.insert(chunk(1), true); // loaded
+        c.insert(chunk(2), false); // unloaded
+        c.get(ChunkId(1)); // 1 is *more* recent, but loaded
+        let ev = c.insert(chunk(3), false).expect("eviction");
+        assert_eq!(ev.id, ChunkId(1), "loaded chunk evicted despite recency");
+        assert!(ev.loaded);
+        assert!(c.peek(ChunkId(2)).is_some());
+    }
+
+    #[test]
+    fn reinsert_updates_without_eviction() {
+        let c = ChunkCache::new(1);
+        c.insert(chunk(1), false);
+        assert!(c.insert(chunk(1), true).is_none());
+        // mark via reinsert took effect:
+        assert!(c.oldest_unloaded().is_none());
+    }
+
+    #[test]
+    fn oldest_unloaded_by_insertion_order() {
+        let c = ChunkCache::new(4);
+        c.insert(chunk(5), false);
+        c.insert(chunk(3), false);
+        c.insert(chunk(7), true);
+        // Recency must not matter — touch 5.
+        c.get(ChunkId(5));
+        assert_eq!(c.oldest_unloaded().unwrap().id, ChunkId(5));
+        c.mark_loaded(ChunkId(5));
+        assert_eq!(c.oldest_unloaded().unwrap().id, ChunkId(3));
+        c.mark_loaded(ChunkId(3));
+        assert!(c.oldest_unloaded().is_none());
+    }
+
+    #[test]
+    fn unloaded_chunks_ordered_oldest_first() {
+        let c = ChunkCache::new(4);
+        c.insert(chunk(2), false);
+        c.insert(chunk(9), false);
+        c.insert(chunk(4), true);
+        let ids: Vec<u32> = c.unloaded_chunks().iter().map(|x| x.id.0).collect();
+        assert_eq!(ids, vec![2, 9]);
+    }
+
+    #[test]
+    fn covers_checks_columns() {
+        use scanraw_types::ColumnData;
+        let c = ChunkCache::new(2);
+        let mut b = BinaryChunk::empty(ChunkId(1), 0, 2, 2);
+        b.columns[0] = Some(ColumnData::Int64(vec![1, 2]));
+        c.insert(Arc::new(b), false);
+        assert!(c.covers(ChunkId(1), &[0]));
+        assert!(!c.covers(ChunkId(1), &[0, 1]));
+        assert!(!c.covers(ChunkId(9), &[0]));
+    }
+
+    #[test]
+    fn eviction_counter() {
+        let c = ChunkCache::new(1);
+        c.insert(chunk(1), false);
+        c.insert(chunk(2), false);
+        c.insert(chunk(3), false);
+        assert_eq!(c.counters().2, 2);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        ChunkCache::new(0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Pipeline instrumentation: per-stage time and worker utilization.
+//!
+//! "The code contains special function calls to harness detailed profiling
+//! data" (paper §5, Implementation). The same collector backs two figures:
+//! per-stage time per chunk (Figure 5) and CPU utilization over progress
+//! (Figure 9, together with the device's own utilization timeline).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Pipeline stages that are timed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    Read,
+    Tokenize,
+    Parse,
+    Write,
+    /// Delivery of cache/database chunks (no conversion).
+    Deliver,
+}
+
+impl Stage {
+    pub const ALL: [Stage; 5] = [
+        Stage::Read,
+        Stage::Tokenize,
+        Stage::Parse,
+        Stage::Write,
+        Stage::Deliver,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Read => "READ",
+            Stage::Tokenize => "TOKENIZE",
+            Stage::Parse => "PARSE",
+            Stage::Write => "WRITE",
+            Stage::Deliver => "DELIVER",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Read => 0,
+            Stage::Tokenize => 1,
+            Stage::Parse => 2,
+            Stage::Write => 3,
+            Stage::Deliver => 4,
+        }
+    }
+}
+
+/// One timed interval of CPU work (for the utilization timeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusySpan {
+    pub stage: Stage,
+    pub start: Duration,
+    pub end: Duration,
+}
+
+/// Thread-safe stage-time collector. Cheap to clone.
+#[derive(Clone, Default)]
+pub struct Profiler {
+    inner: Arc<ProfilerInner>,
+}
+
+#[derive(Default)]
+struct ProfilerInner {
+    /// Total nanoseconds per stage.
+    totals: [AtomicU64; 5],
+    /// Chunks processed per stage.
+    chunks: [AtomicU64; 5],
+    /// CPU busy spans, for utilization timelines (opt-in).
+    spans: Mutex<Vec<BusySpan>>,
+    record_spans: AtomicU64, // 0 = off, 1 = on
+}
+
+impl Profiler {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables busy-span recording (needed only for utilization timelines).
+    pub fn record_spans(&self, on: bool) {
+        self.inner
+            .record_spans
+            .store(u64::from(on), Ordering::Relaxed);
+    }
+
+    /// Records one completed unit of stage work.
+    ///
+    /// `start`/`end` are offsets from the operator clock's epoch; pass
+    /// `Duration::ZERO` twice when only totals matter and span recording is
+    /// off.
+    pub fn record(&self, stage: Stage, elapsed: Duration, start: Duration, end: Duration) {
+        let i = stage.index();
+        self.inner.totals[i].fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.inner.chunks[i].fetch_add(1, Ordering::Relaxed);
+        if self.inner.record_spans.load(Ordering::Relaxed) != 0 {
+            self.inner.spans.lock().push(BusySpan { stage, start, end });
+        }
+    }
+
+    /// Total time spent in a stage across all chunks and workers.
+    pub fn total(&self, stage: Stage) -> Duration {
+        Duration::from_nanos(self.inner.totals[stage.index()].load(Ordering::Relaxed))
+    }
+
+    /// Number of chunk-units processed by a stage.
+    pub fn chunks(&self, stage: Stage) -> u64 {
+        self.inner.chunks[stage.index()].load(Ordering::Relaxed)
+    }
+
+    /// Average time per chunk in a stage (None if the stage never ran).
+    pub fn per_chunk(&self, stage: Stage) -> Option<Duration> {
+        let n = self.chunks(stage);
+        if n == 0 {
+            None
+        } else {
+            Some(self.total(stage) / n as u32)
+        }
+    }
+
+    /// All recorded busy spans (empty unless [`Profiler::record_spans`]).
+    pub fn spans(&self) -> Vec<BusySpan> {
+        self.inner.spans.lock().clone()
+    }
+
+    /// CPU utilization per window: total busy time of CPU stages
+    /// (TOKENIZE + PARSE) in each window divided by the window length.
+    /// With `n` workers the value ranges up to `n` (×100 = the "800%" of
+    /// paper Figure 9).
+    pub fn cpu_utilization_timeline(&self, window: Duration) -> Vec<(Duration, f64)> {
+        assert!(!window.is_zero());
+        let spans = self.inner.spans.lock();
+        let cpu: Vec<&BusySpan> = spans
+            .iter()
+            .filter(|s| matches!(s.stage, Stage::Tokenize | Stage::Parse))
+            .collect();
+        if cpu.is_empty() {
+            return Vec::new();
+        }
+        let t0 = cpu.iter().map(|s| s.start).min().expect("non-empty");
+        let t1 = cpu.iter().map(|s| s.end).max().expect("non-empty");
+        let n = ((t1 - t0).as_nanos() / window.as_nanos()) as usize + 1;
+        let mut busy = vec![Duration::ZERO; n];
+        for s in cpu {
+            let mut cur = s.start;
+            while cur < s.end {
+                let idx = ((cur - t0).as_nanos() / window.as_nanos()) as usize;
+                let win_end = t0 + window * (idx as u32 + 1);
+                let seg_end = s.end.min(win_end);
+                busy[idx] += seg_end - cur;
+                cur = seg_end;
+            }
+        }
+        (0..n)
+            .map(|i| {
+                (
+                    t0 + window * i as u32,
+                    busy[i].as_secs_f64() / window.as_secs_f64(),
+                )
+            })
+            .collect()
+    }
+
+    /// Clears all accumulated data.
+    pub fn reset(&self) {
+        for t in &self.inner.totals {
+            t.store(0, Ordering::Relaxed);
+        }
+        for c in &self.inner.chunks {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.inner.spans.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> Duration {
+        Duration::from_millis(x)
+    }
+
+    #[test]
+    fn totals_and_averages() {
+        let p = Profiler::new();
+        p.record(Stage::Parse, ms(10), ms(0), ms(10));
+        p.record(Stage::Parse, ms(30), ms(10), ms(40));
+        p.record(Stage::Read, ms(5), ms(0), ms(5));
+        assert_eq!(p.total(Stage::Parse), ms(40));
+        assert_eq!(p.chunks(Stage::Parse), 2);
+        assert_eq!(p.per_chunk(Stage::Parse), Some(ms(20)));
+        assert_eq!(p.per_chunk(Stage::Write), None);
+    }
+
+    #[test]
+    fn spans_only_when_enabled() {
+        let p = Profiler::new();
+        p.record(Stage::Parse, ms(1), ms(0), ms(1));
+        assert!(p.spans().is_empty());
+        p.record_spans(true);
+        p.record(Stage::Parse, ms(1), ms(1), ms(2));
+        assert_eq!(p.spans().len(), 1);
+    }
+
+    #[test]
+    fn cpu_timeline_counts_only_cpu_stages() {
+        let p = Profiler::new();
+        p.record_spans(true);
+        p.record(Stage::Read, ms(100), ms(0), ms(100)); // not CPU
+        p.record(Stage::Parse, ms(50), ms(0), ms(50));
+        p.record(Stage::Tokenize, ms(50), ms(50), ms(100));
+        let tl = p.cpu_utilization_timeline(ms(100));
+        assert_eq!(tl.len(), 2);
+        assert!((tl[0].1 - 1.0).abs() < 1e-9, "{tl:?}");
+    }
+
+    #[test]
+    fn overlapping_workers_exceed_one() {
+        let p = Profiler::new();
+        p.record_spans(true);
+        // Two workers busy over the same window.
+        p.record(Stage::Parse, ms(100), ms(0), ms(100));
+        p.record(Stage::Parse, ms(100), ms(0), ms(100));
+        let tl = p.cpu_utilization_timeline(ms(100));
+        assert!((tl[0].1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let p = Profiler::new();
+        p.record_spans(true);
+        p.record(Stage::Write, ms(3), ms(0), ms(3));
+        p.reset();
+        assert_eq!(p.total(Stage::Write), Duration::ZERO);
+        assert_eq!(p.chunks(Stage::Write), 0);
+        assert!(p.spans().is_empty());
+    }
+
+    #[test]
+    fn stage_names() {
+        assert_eq!(Stage::Tokenize.name(), "TOKENIZE");
+        assert_eq!(Stage::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,67 @@
+//! Operator registry: one ScanRaw instance per raw file, shared by queries.
+//!
+//! "When a new query arrives, the execution engine first checks the existence
+//! of a corresponding ScanRaw operator. If such an operator exists, it is
+//! connected to the query execution plan. Only otherwise it is created. …
+//! a ScanRaw instance is completely deleted whenever it loaded the entire raw
+//! file into the database." (paper §3.3)
+
+use crate::operator::ScanRaw;
+use parking_lot::Mutex;
+use scanraw_types::Result;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Registry keyed by raw-file name. Cheap to clone.
+#[derive(Clone, Default)]
+pub struct OperatorRegistry {
+    inner: Arc<Mutex<HashMap<String, Arc<ScanRaw>>>>,
+}
+
+impl OperatorRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the operator for `raw_file`, creating it with `make` on first
+    /// use.
+    pub fn get_or_create<F>(&self, raw_file: &str, make: F) -> Result<Arc<ScanRaw>>
+    where
+        F: FnOnce() -> Result<Arc<ScanRaw>>,
+    {
+        let mut map = self.inner.lock();
+        if let Some(op) = map.get(raw_file) {
+            return Ok(op.clone());
+        }
+        let op = make()?;
+        map.insert(raw_file.to_string(), op.clone());
+        Ok(op)
+    }
+
+    /// Looks up an existing operator.
+    pub fn get(&self, raw_file: &str) -> Option<Arc<ScanRaw>> {
+        self.inner.lock().get(raw_file).cloned()
+    }
+
+    /// Drops operators whose raw file is entirely inside the database — they
+    /// have morphed into plain heap scans. Returns how many were deleted.
+    pub fn reap_fully_loaded(&self) -> usize {
+        let mut map = self.inner.lock();
+        let before = map.len();
+        map.retain(|_, op| !op.fully_loaded());
+        before - map.len()
+    }
+
+    /// Removes one operator explicitly.
+    pub fn remove(&self, raw_file: &str) -> bool {
+        self.inner.lock().remove(raw_file).is_some()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -1,0 +1,483 @@
+//! The scheduler thread and the persistent WRITE thread.
+//!
+//! The scheduler receives control messages (paper Figure 3) from READ, the
+//! conversion workers, and WRITE, and decides *when to load* according to the
+//! configured [`WritePolicy`]:
+//!
+//! * **ExternalTables** — never writes;
+//! * **Eager** — every converted chunk is stored (parallel ETL);
+//! * **Buffered** — chunks are stored when evicted from the full binary
+//!   cache;
+//! * **Invisible** — the first `chunks_per_query` converted chunks of every
+//!   query are stored, regardless of resource availability;
+//! * **Speculative** — a chunk is stored only while READ is blocked (the
+//!   disk is idle because the pipeline is CPU-bound), one chunk at a time,
+//!   picking the *oldest unloaded* cached chunk; plus the end-of-scan
+//!   *safeguard* that flushes the cache once the last raw chunk has been
+//!   read (paper §4).
+//!
+//! The WRITE thread is persistent — it belongs to the operator, not to a
+//! query — so a safeguard flush can overlap the tail of one query and the
+//! beginning of the next. READ delays its first device access of a new scan
+//! behind a write barrier, which is exactly the "only the reading of new
+//! chunks from disk has to be delayed until flushing the cache" rule of §4.
+
+use crate::cache::{ChunkCache, Evicted};
+use crate::profile::{Profiler, Stage};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use scanraw_storage::Database;
+use scanraw_types::{BinaryChunk, ChunkId, WritePolicy};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Control messages flowing into the scheduler (paper Figure 3).
+#[derive(Debug)]
+pub enum Event {
+    /// A worker finished converting a chunk (it is cached and delivered).
+    Converted(Arc<BinaryChunk>),
+    /// The cache evicted a chunk to make room.
+    Evicted(Evicted),
+    /// READ found the text-chunks buffer full — the disk is idle.
+    ReadBlocked,
+    /// READ delivered the last raw chunk of this scan.
+    RawScanComplete,
+    /// WRITE finished storing a chunk.
+    WriteDone(ChunkId),
+    /// The engine consumed the whole scan; the scheduler should wind down.
+    QueryDone,
+}
+
+/// Commands for the WRITE thread.
+pub(crate) enum WriteCmd {
+    /// Store all present columns of the chunk; notify `events` when done.
+    Store {
+        chunk: Arc<BinaryChunk>,
+        notify: Option<Sender<Event>>,
+    },
+    /// Reply on the channel once all previously queued stores completed.
+    Barrier(Sender<()>),
+    Shutdown,
+}
+
+/// Handle to the persistent WRITE thread.
+pub(crate) struct Writer {
+    tx: Sender<WriteCmd>,
+    handle: Option<JoinHandle<()>>,
+    /// Stores queued or in progress.
+    pending: Arc<AtomicU64>,
+    /// Chunks successfully stored over the writer's lifetime.
+    written: Arc<AtomicU64>,
+}
+
+impl Writer {
+    /// Spawns the WRITE thread for `table` over `db`, marking cache entries
+    /// loaded as stores complete.
+    pub(crate) fn spawn(
+        db: Database,
+        table: String,
+        cache: ChunkCache,
+        profiler: Profiler,
+    ) -> Self {
+        let (tx, rx): (Sender<WriteCmd>, Receiver<WriteCmd>) = unbounded();
+        let pending = Arc::new(AtomicU64::new(0));
+        let written = Arc::new(AtomicU64::new(0));
+        let pending2 = pending.clone();
+        let written2 = written.clone();
+        let clock = db.disk().clock().clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("scanraw-write-{table}"))
+            .spawn(move || {
+                while let Ok(cmd) = rx.recv() {
+                    match cmd {
+                        WriteCmd::Store { chunk, notify } => {
+                            let t0 = clock.now();
+                            // A failed store is fatal for loading but must
+                            // not kill the pipeline: the chunk simply stays
+                            // unloaded and will be converted again next scan.
+                            let ok = db.store_chunk(&table, &chunk).is_ok();
+                            let t1 = clock.now();
+                            profiler.record(Stage::Write, t1 - t0, t0, t1);
+                            if ok {
+                                cache.mark_loaded(chunk.id);
+                                written2.fetch_add(1, Ordering::Relaxed);
+                            }
+                            pending2.fetch_sub(1, Ordering::Release);
+                            if let Some(n) = notify {
+                                let _ = n.send(Event::WriteDone(chunk.id));
+                            }
+                        }
+                        WriteCmd::Barrier(ack) => {
+                            let _ = ack.send(());
+                        }
+                        WriteCmd::Shutdown => break,
+                    }
+                }
+            })
+            .expect("spawn write thread");
+        Writer {
+            tx,
+            handle: Some(handle),
+            pending,
+            written,
+        }
+    }
+
+    /// Queues a store.
+    pub(crate) fn store(&self, chunk: Arc<BinaryChunk>, notify: Option<Sender<Event>>) {
+        self.pending.fetch_add(1, Ordering::Acquire);
+        self.tx
+            .send(WriteCmd::Store { chunk, notify })
+            .expect("write thread alive");
+    }
+
+    /// Blocks until every store queued before this call has completed.
+    pub(crate) fn barrier(&self) {
+        let (ack_tx, ack_rx) = unbounded();
+        self.tx
+            .send(WriteCmd::Barrier(ack_tx))
+            .expect("write thread alive");
+        let _ = ack_rx.recv();
+    }
+
+    /// Stores queued or running right now.
+    pub(crate) fn pending(&self) -> u64 {
+        self.pending.load(Ordering::Acquire)
+    }
+
+    /// Chunks stored over the writer's lifetime.
+    pub(crate) fn written(&self) -> u64 {
+        self.written.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Writer {
+    fn drop(&mut self) {
+        let _ = self.tx.send(WriteCmd::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Per-scan scheduler outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerReport {
+    /// Stores this scan queued to WRITE.
+    pub writes_queued: u64,
+    /// Stores triggered by the speculative READ-blocked rule.
+    pub speculative_writes: u64,
+    /// Stores triggered by the end-of-scan safeguard.
+    pub safeguard_writes: u64,
+    /// Stores triggered by cache eviction (buffered policy).
+    pub eviction_writes: u64,
+}
+
+/// Runs the per-scan scheduling policy over the event stream.
+///
+/// Returns when [`Event::QueryDone`] arrives (sent by the chunk stream once
+/// the engine consumed everything and the pipeline threads joined).
+pub(crate) fn run_scheduler(
+    policy: WritePolicy,
+    events_rx: Receiver<Event>,
+    events_tx: Sender<Event>,
+    cache: ChunkCache,
+    writer: &Writer,
+    db: &Database,
+    table: &str,
+) -> SchedulerReport {
+    let mut report = SchedulerReport::default();
+    // Chunks already handed to WRITE this scan (idempotence guard).
+    let mut queued: std::collections::HashSet<ChunkId> = std::collections::HashSet::new();
+    // Speculative loading writes one chunk at a time (§4).
+    let mut write_in_flight = false;
+    let mut invisible_quota = match policy {
+        WritePolicy::Invisible { chunks_per_query } => chunks_per_query as u64,
+        _ => 0,
+    };
+    let mut raw_scan_done = false;
+
+    let already_loaded = |id: ChunkId, chunk: &BinaryChunk| -> bool {
+        db.loaded_columns(table, id, &chunk.present_columns())
+            .map(|l| l.len() == chunk.present_columns().len())
+            .unwrap_or(false)
+    };
+
+    while let Ok(ev) = events_rx.recv() {
+        match ev {
+            Event::Converted(chunk) => match policy {
+                WritePolicy::Eager if !already_loaded(chunk.id, &chunk) => {
+                    writer.store(chunk, Some(events_tx.clone()));
+                    report.writes_queued += 1;
+                }
+                WritePolicy::Invisible { .. }
+                    if invisible_quota > 0 && !already_loaded(chunk.id, &chunk) =>
+                {
+                    invisible_quota -= 1;
+                    writer.store(chunk, Some(events_tx.clone()));
+                    report.writes_queued += 1;
+                }
+                _ => {}
+            },
+            Event::Evicted(ev) => {
+                if policy == WritePolicy::Buffered && !ev.loaded {
+                    writer.store(ev.chunk, Some(events_tx.clone()));
+                    report.writes_queued += 1;
+                    report.eviction_writes += 1;
+                }
+            }
+            Event::ReadBlocked => {
+                if matches!(policy, WritePolicy::Speculative { .. }) && !write_in_flight {
+                    // Oldest cached chunk not yet loaded and not already
+                    // handed to WRITE during this scan.
+                    let next = cache
+                        .unloaded_chunks()
+                        .into_iter()
+                        .find(|c| !queued.contains(&c.id));
+                    if let Some(chunk) = next {
+                        queued.insert(chunk.id);
+                        write_in_flight = true;
+                        writer.store(chunk, Some(events_tx.clone()));
+                        report.writes_queued += 1;
+                        report.speculative_writes += 1;
+                    }
+                }
+            }
+            Event::WriteDone(_) => {
+                write_in_flight = false;
+            }
+            Event::RawScanComplete => {
+                raw_scan_done = true;
+                if let WritePolicy::Speculative { safeguard: true } = policy {
+                    // Flush the cache's unloaded chunks, oldest first; this
+                    // overlaps the remainder of query processing (§4).
+                    for chunk in cache.unloaded_chunks() {
+                        if queued.insert(chunk.id) {
+                            writer.store(chunk, None);
+                            report.writes_queued += 1;
+                            report.safeguard_writes += 1;
+                        }
+                    }
+                }
+            }
+            Event::QueryDone => {
+                // Chunks that were still mid-pipeline when the raw scan
+                // completed missed the first safeguard pass; flush them now
+                // so every query is guaranteed to make loading progress.
+                // The writes overlap the next query (the barrier only delays
+                // its first device read).
+                if let WritePolicy::Speculative { safeguard: true } = policy {
+                    if raw_scan_done {
+                        for chunk in cache.unloaded_chunks() {
+                            if queued.insert(chunk.id) {
+                                writer.store(chunk, None);
+                                report.writes_queued += 1;
+                                report.safeguard_writes += 1;
+                            }
+                        }
+                    }
+                }
+                break;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanraw_simio::SimDisk;
+    use scanraw_types::{ColumnData, Schema};
+
+    fn setup() -> (Database, ChunkCache, Writer) {
+        let db = Database::new(SimDisk::instant());
+        db.create_table("t", Schema::uniform_ints(1), "t.csv").unwrap();
+        let cache = ChunkCache::new(8);
+        let writer = Writer::spawn(
+            db.clone(),
+            "t".to_string(),
+            cache.clone(),
+            Profiler::new(),
+        );
+        (db, cache, writer)
+    }
+
+    fn chunk(id: u32) -> Arc<BinaryChunk> {
+        Arc::new(BinaryChunk {
+            id: ChunkId(id),
+            first_row: 0,
+            rows: 2,
+            columns: vec![Some(ColumnData::Int64(vec![id as i64, 2]))],
+        })
+    }
+
+    #[test]
+    fn writer_stores_and_marks_cache() {
+        let (db, cache, writer) = setup();
+        cache.insert(chunk(0), false);
+        writer.store(chunk(0), None);
+        writer.barrier();
+        assert_eq!(writer.written(), 1);
+        assert_eq!(writer.pending(), 0);
+        assert!(db.load_chunk("t", ChunkId(0), &[0]).is_ok());
+        assert!(cache.oldest_unloaded().is_none(), "cache marked loaded");
+    }
+
+    #[test]
+    fn barrier_orders_after_stores() {
+        let (_db, _cache, writer) = setup();
+        for i in 0..16 {
+            writer.store(chunk(i), None);
+        }
+        writer.barrier();
+        assert_eq!(writer.pending(), 0);
+        assert_eq!(writer.written(), 16);
+    }
+
+    fn run_policy(policy: WritePolicy, events: Vec<Event>) -> (Database, SchedulerReport) {
+        let (db, cache, writer) = setup();
+        let (tx, rx) = unbounded();
+        for ev in events {
+            // Pre-stage converted chunks into the cache like the pipeline does.
+            if let Event::Converted(c) = &ev {
+                cache.insert(c.clone(), false);
+            }
+            tx.send(ev).unwrap();
+        }
+        tx.send(Event::QueryDone).unwrap();
+        let report = run_scheduler(policy, rx, tx.clone(), cache, &writer, &db, "t");
+        writer.barrier();
+        (db, report)
+    }
+
+    #[test]
+    fn external_tables_never_writes() {
+        let (db, report) = run_policy(
+            WritePolicy::ExternalTables,
+            vec![
+                Event::Converted(chunk(0)),
+                Event::ReadBlocked,
+                Event::RawScanComplete,
+            ],
+        );
+        assert_eq!(report.writes_queued, 0);
+        assert!(db.load_chunk("t", ChunkId(0), &[0]).is_err());
+    }
+
+    #[test]
+    fn eager_writes_every_chunk() {
+        let (db, report) = run_policy(
+            WritePolicy::Eager,
+            vec![Event::Converted(chunk(0)), Event::Converted(chunk(1))],
+        );
+        assert_eq!(report.writes_queued, 2);
+        assert!(db.load_chunk("t", ChunkId(0), &[0]).is_ok());
+        assert!(db.load_chunk("t", ChunkId(1), &[0]).is_ok());
+    }
+
+    #[test]
+    fn invisible_respects_quota() {
+        let (db, report) = run_policy(
+            WritePolicy::Invisible { chunks_per_query: 2 },
+            vec![
+                Event::Converted(chunk(0)),
+                Event::Converted(chunk(1)),
+                Event::Converted(chunk(2)),
+            ],
+        );
+        assert_eq!(report.writes_queued, 2);
+        assert!(db.load_chunk("t", ChunkId(2), &[0]).is_err());
+    }
+
+    #[test]
+    fn buffered_writes_only_evictions() {
+        let ev = Evicted {
+            id: ChunkId(3),
+            chunk: chunk(3),
+            loaded: false,
+        };
+        let (db, report) = run_policy(
+            WritePolicy::Buffered,
+            vec![Event::Converted(chunk(0)), Event::Evicted(ev)],
+        );
+        assert_eq!(report.writes_queued, 1);
+        assert_eq!(report.eviction_writes, 1);
+        assert!(db.load_chunk("t", ChunkId(3), &[0]).is_ok());
+        assert!(db.load_chunk("t", ChunkId(0), &[0]).is_err());
+    }
+
+    #[test]
+    fn buffered_skips_already_loaded_evictions() {
+        let ev = Evicted {
+            id: ChunkId(3),
+            chunk: chunk(3),
+            loaded: true,
+        };
+        let (_db, report) = run_policy(WritePolicy::Buffered, vec![Event::Evicted(ev)]);
+        assert_eq!(report.writes_queued, 0);
+    }
+
+    #[test]
+    fn speculative_writes_oldest_on_read_blocked() {
+        let (db, report) = run_policy(
+            WritePolicy::speculative(),
+            vec![
+                Event::Converted(chunk(4)),
+                Event::Converted(chunk(5)),
+                Event::ReadBlocked,
+            ],
+        );
+        assert!(report.speculative_writes >= 1);
+        assert!(db.load_chunk("t", ChunkId(4), &[0]).is_ok(), "oldest first");
+    }
+
+    #[test]
+    fn speculative_one_at_a_time_until_write_done() {
+        let (db, report) = run_policy(
+            WritePolicy::speculative(),
+            vec![
+                Event::Converted(chunk(0)),
+                Event::Converted(chunk(1)),
+                Event::ReadBlocked,
+                Event::ReadBlocked, // in-flight → must not trigger another
+                Event::WriteDone(ChunkId(0)),
+                Event::ReadBlocked, // now it may
+            ],
+        );
+        // The WriteDone is injected manually here; the real WRITE thread also
+        // sends its own completions into the same channel, so depending on
+        // interleaving 2 or 3 stores can be triggered — never just 1.
+        assert!(
+            (2..=3).contains(&report.speculative_writes),
+            "got {}",
+            report.speculative_writes
+        );
+        let _ = db;
+    }
+
+    #[test]
+    fn safeguard_flushes_cache_at_scan_end() {
+        let (db, report) = run_policy(
+            WritePolicy::speculative(),
+            vec![
+                Event::Converted(chunk(0)),
+                Event::Converted(chunk(1)),
+                Event::RawScanComplete,
+            ],
+        );
+        assert_eq!(report.safeguard_writes, 2);
+        assert!(db.load_chunk("t", ChunkId(0), &[0]).is_ok());
+        assert!(db.load_chunk("t", ChunkId(1), &[0]).is_ok());
+    }
+
+    #[test]
+    fn safeguard_disabled_leaves_cache_unflushed() {
+        let (db, report) = run_policy(
+            WritePolicy::Speculative { safeguard: false },
+            vec![Event::Converted(chunk(0)), Event::RawScanComplete],
+        );
+        assert_eq!(report.safeguard_writes, 0);
+        assert!(db.load_chunk("t", ChunkId(0), &[0]).is_err());
+    }
+}

@@ -1,0 +1,366 @@
+//! End-to-end tests of the ScanRaw pipeline across write policies, worker
+//! counts, and query sequences.
+
+use scanraw::{ConvertScope, ScanRaw, ScanRequest};
+use scanraw_rawfile::generate::{expected_column_sums, stage_csv, CsvSpec};
+use scanraw_rawfile::TextDialect;
+use scanraw_simio::SimDisk;
+use scanraw_storage::Database;
+use scanraw_types::{RangePredicate, ScanRawConfig, Schema, Value, WritePolicy};
+use std::sync::Arc;
+
+const ROWS: u64 = 4000;
+const COLS: usize = 4;
+const CHUNK_ROWS: u32 = 500; // → 8 chunks
+
+fn setup(config: ScanRawConfig) -> (Arc<ScanRaw>, CsvSpec) {
+    let disk = SimDisk::instant();
+    let spec = CsvSpec::new(ROWS, COLS, 42);
+    stage_csv(&disk, "data.csv", &spec);
+    let db = Database::new(disk);
+    let op = ScanRaw::create(
+        db,
+        "t",
+        Schema::uniform_ints(COLS),
+        TextDialect::CSV,
+        "data.csv",
+        config,
+    )
+    .unwrap();
+    (op, spec)
+}
+
+fn base_config(policy: WritePolicy, workers: usize) -> ScanRawConfig {
+    ScanRawConfig::default()
+        .with_chunk_rows(CHUNK_ROWS)
+        .with_workers(workers)
+        .with_policy(policy)
+}
+
+/// Sums every projected column over a full scan and checks row counts.
+fn scan_and_sum(op: &Arc<ScanRaw>, req: ScanRequest) -> (Vec<i64>, u64, scanraw::ScanSummary) {
+    let cols = {
+        let mut c = req.projection.clone();
+        c.sort_unstable();
+        c.dedup();
+        c
+    };
+    let mut stream = op.scan(req).unwrap();
+    let mut sums = vec![0i64; cols.len()];
+    let mut rows = 0u64;
+    while let Some(chunk) = stream.next_chunk() {
+        rows += chunk.rows as u64;
+        for (i, &c) in cols.iter().enumerate() {
+            let col = chunk
+                .column(c)
+                .unwrap_or_else(|| panic!("column {c} missing from {:?}", chunk.id));
+            match col {
+                scanraw_types::ColumnData::Int64(v) => sums[i] += v.iter().sum::<i64>(),
+                other => panic!("unexpected column type {other:?}"),
+            }
+        }
+    }
+    let summary = stream.finish().unwrap();
+    (sums, rows, summary)
+}
+
+#[test]
+fn external_tables_correct_across_worker_counts() {
+    for workers in [0, 1, 2, 4] {
+        let (op, spec) = setup(base_config(WritePolicy::ExternalTables, workers));
+        let (sums, rows, summary) =
+            scan_and_sum(&op, ScanRequest::all_columns(vec![0, 1, 2, 3]));
+        assert_eq!(rows, ROWS, "workers={workers}");
+        assert_eq!(sums, expected_column_sums(&spec), "workers={workers}");
+        assert_eq!(summary.from_raw, 8);
+        assert_eq!(summary.writes_queued, 0);
+        assert_eq!(op.chunks_written(), 0);
+    }
+}
+
+#[test]
+fn repeat_scans_stay_correct_and_use_cache() {
+    let (op, spec) = setup(base_config(WritePolicy::ExternalTables, 2));
+    let expected = expected_column_sums(&spec);
+    let (s1, _, sum1) = scan_and_sum(&op, ScanRequest::all_columns(vec![0, 1, 2, 3]));
+    assert_eq!(s1, expected);
+    assert_eq!(sum1.from_cache, 0);
+    assert!(op.layout_known());
+    let (s2, r2, sum2) = scan_and_sum(&op, ScanRequest::all_columns(vec![0, 1, 2, 3]));
+    assert_eq!(s2, expected);
+    assert_eq!(r2, ROWS);
+    // Default cache (32 chunks) holds the whole 8-chunk file.
+    assert_eq!(sum2.from_cache, 8);
+    assert_eq!(sum2.from_raw, 0);
+}
+
+#[test]
+fn eager_loading_loads_everything_in_one_query() {
+    let (op, spec) = setup(base_config(WritePolicy::Eager, 2));
+    let (sums, _, summary) = scan_and_sum(&op, ScanRequest::all_columns(vec![0, 1, 2, 3]));
+    assert_eq!(sums, expected_column_sums(&spec));
+    assert_eq!(summary.writes_queued, 8);
+    assert_eq!(op.chunks_written(), 8);
+    assert!(op.fully_loaded());
+}
+
+#[test]
+fn second_scan_after_eager_reads_from_db_not_raw() {
+    let mut cfg = base_config(WritePolicy::Eager, 2);
+    cfg.binary_cache_chunks = 2; // tiny cache → most chunks must come from db
+    let (op, spec) = setup(cfg);
+    scan_and_sum(&op, ScanRequest::all_columns(vec![0, 1, 2, 3]));
+    assert!(op.fully_loaded());
+    let (sums, rows, summary) = scan_and_sum(&op, ScanRequest::all_columns(vec![0, 1, 2, 3]));
+    assert_eq!(sums, expected_column_sums(&spec));
+    assert_eq!(rows, ROWS);
+    assert_eq!(summary.from_raw, 0, "{summary:?}");
+    assert!(summary.from_db >= 6, "{summary:?}");
+}
+
+#[test]
+fn speculative_safeguard_flushes_cache_each_query() {
+    let mut cfg = base_config(WritePolicy::speculative(), 2);
+    cfg.binary_cache_chunks = 2; // cache is 1/4 of the 8-chunk file
+    let (op, spec) = setup(cfg);
+    let expected = expected_column_sums(&spec);
+
+    // Query 1: everything raw; safeguard flushes the (2-chunk) cache.
+    let (s, _, sum1) = scan_and_sum(&op, ScanRequest::all_columns(vec![0, 1, 2, 3]));
+    assert_eq!(s, expected);
+    assert_eq!(sum1.from_raw, 8);
+    assert!(sum1.safeguard_writes >= 1, "{sum1:?}");
+    op.drain_writes();
+    let written_after_q1 = op.chunks_written();
+    assert!(written_after_q1 >= 2, "safeguard stored the cached chunks");
+
+    // Subsequent queries: loaded chunks come from cache/db, more get stored
+    // each time until the file is fully loaded.
+    let mut prev = written_after_q1;
+    for q in 2..=6 {
+        let (s, rows, sum) = scan_and_sum(&op, ScanRequest::all_columns(vec![0, 1, 2, 3]));
+        assert_eq!(s, expected, "query {q}");
+        assert_eq!(rows, ROWS);
+        assert!(
+            sum.from_cache + sum.from_db + sum.from_raw == 8,
+            "query {q}: {sum:?}"
+        );
+        op.drain_writes();
+        let now = op.chunks_written();
+        if !op.fully_loaded() {
+            assert!(now > prev, "query {q} must make loading progress");
+        }
+        prev = now;
+    }
+    assert!(op.fully_loaded(), "file fully loaded after enough queries");
+}
+
+#[test]
+fn speculative_without_safeguard_may_not_converge_but_stays_correct() {
+    let mut cfg = base_config(WritePolicy::Speculative { safeguard: false }, 2);
+    cfg.binary_cache_chunks = 2;
+    let (op, spec) = setup(cfg);
+    let expected = expected_column_sums(&spec);
+    for _ in 0..3 {
+        let (s, rows, _) = scan_and_sum(&op, ScanRequest::all_columns(vec![0, 1, 2, 3]));
+        assert_eq!(s, expected);
+        assert_eq!(rows, ROWS);
+    }
+}
+
+#[test]
+fn buffered_loading_writes_evicted_chunks() {
+    let mut cfg = base_config(WritePolicy::Buffered, 2);
+    cfg.binary_cache_chunks = 3; // 8 chunks through a 3-chunk cache → evictions
+    let (op, spec) = setup(cfg);
+    let (s, _, summary) = scan_and_sum(&op, ScanRequest::all_columns(vec![0, 1, 2, 3]));
+    assert_eq!(s, expected_column_sums(&spec));
+    assert!(summary.eviction_writes >= 5, "{summary:?}");
+    assert!(op.chunks_written() >= 5);
+    assert!(!op.fully_loaded(), "chunks still in cache are not stored");
+}
+
+#[test]
+fn invisible_loading_fixed_quota_per_query() {
+    let mut cfg = base_config(WritePolicy::Invisible { chunks_per_query: 3 }, 2);
+    cfg.binary_cache_chunks = 2; // keep cache small so raw conversions repeat
+    let (op, spec) = setup(cfg);
+    let expected = expected_column_sums(&spec);
+
+    let (s, _, sum1) = scan_and_sum(&op, ScanRequest::all_columns(vec![0, 1, 2, 3]));
+    assert_eq!(s, expected);
+    assert_eq!(sum1.writes_queued, 3);
+    op.drain_writes();
+    assert_eq!(op.chunks_written(), 3);
+
+    let (_, _, sum2) = scan_and_sum(&op, ScanRequest::all_columns(vec![0, 1, 2, 3]));
+    assert!(sum2.writes_queued <= 3);
+    op.drain_writes();
+    assert!(op.chunks_written() <= 6);
+}
+
+#[test]
+fn projection_only_converts_requested_columns() {
+    let (op, spec) = setup(base_config(WritePolicy::ExternalTables, 2));
+    let req = ScanRequest::projected(vec![1, 3]);
+    let mut stream = op.scan(req).unwrap();
+    let mut sums = [0i64; 2];
+    while let Some(chunk) = stream.next_chunk() {
+        assert!(chunk.column(0).is_none(), "unprojected column materialized");
+        assert!(chunk.column(2).is_none());
+        for (i, c) in [1usize, 3].iter().enumerate() {
+            match chunk.column(*c).unwrap() {
+                scanraw_types::ColumnData::Int64(v) => sums[i] += v.iter().sum::<i64>(),
+                _ => panic!(),
+            }
+        }
+    }
+    stream.finish().unwrap();
+    let expected = expected_column_sums(&spec);
+    assert_eq!(sums[0], expected[1]);
+    assert_eq!(sums[1], expected[3]);
+}
+
+#[test]
+fn chunk_skipping_via_statistics() {
+    let disk = SimDisk::instant();
+    // Build a file whose column 0 is ordered by chunk: chunk i holds values
+    // around i*1000, so min/max statistics separate chunks cleanly.
+    let mut text = String::new();
+    for chunk in 0..4 {
+        for r in 0..100 {
+            text.push_str(&format!("{},{}\n", chunk * 1000 + r, r));
+        }
+    }
+    disk.storage().put("ordered.csv", text.into_bytes());
+    let db = Database::new(disk);
+    let cfg = ScanRawConfig::default()
+        .with_chunk_rows(100)
+        .with_workers(2)
+        .with_policy(WritePolicy::ExternalTables);
+    let op = ScanRaw::create(
+        db,
+        "ordered",
+        Schema::uniform_ints(2),
+        TextDialect::CSV,
+        "ordered.csv",
+        cfg,
+    )
+    .unwrap();
+
+    // First scan converts everything and gathers statistics.
+    let (_, rows, _) = scan_and_sum(&op, ScanRequest::all_columns(vec![0, 1]));
+    assert_eq!(rows, 400);
+
+    // Second scan restricted to chunk 2's value range must skip 3 chunks.
+    let req = ScanRequest::all_columns(vec![0, 1]).with_skip_predicate(
+        RangePredicate::between(0, Value::Int(2000), Value::Int(2099)),
+    );
+    let (_, rows, summary) = scan_and_sum(&op, req);
+    assert_eq!(summary.skipped, 3, "{summary:?}");
+    assert_eq!(rows, 100);
+}
+
+#[test]
+fn scan_rejects_bad_requests() {
+    let (op, _) = setup(base_config(WritePolicy::ExternalTables, 1));
+    assert!(op.scan(ScanRequest::all_columns(Vec::<usize>::new())).is_err());
+    assert!(op.scan(ScanRequest::all_columns(vec![COLS])).is_err());
+}
+
+#[test]
+fn malformed_file_surfaces_parse_error() {
+    let disk = SimDisk::instant();
+    disk.storage()
+        .put("bad.csv", b"1,2\n3,notanumber\n5,6\n".to_vec());
+    let db = Database::new(disk);
+    let op = ScanRaw::create(
+        db,
+        "bad",
+        Schema::uniform_ints(2),
+        TextDialect::CSV,
+        "bad.csv",
+        ScanRawConfig::default().with_chunk_rows(10).with_workers(2),
+    )
+    .unwrap();
+    let stream = op.scan(ScanRequest::all_columns(vec![0, 1])).unwrap();
+    let err = stream.finish().unwrap_err();
+    assert!(matches!(err, scanraw_types::Error::Parse { .. }), "{err}");
+}
+
+#[test]
+fn dropping_stream_mid_scan_does_not_hang() {
+    let (op, _) = setup(base_config(WritePolicy::speculative(), 2));
+    let mut stream = op.scan(ScanRequest::all_columns(vec![0, 1, 2, 3])).unwrap();
+    let _ = stream.next_chunk();
+    drop(stream); // must join all pipeline threads without deadlock
+    // The operator remains usable afterwards.
+    let (sums, rows, _) = scan_and_sum(&op, ScanRequest::all_columns(vec![0, 1, 2, 3]));
+    assert_eq!(rows, ROWS);
+    assert_eq!(sums.len(), 4);
+}
+
+#[test]
+fn mixed_projections_across_queries() {
+    let (op, spec) = setup(base_config(WritePolicy::speculative(), 2));
+    let expected = expected_column_sums(&spec);
+    let (s, _, _) = scan_and_sum(&op, ScanRequest::all_columns(vec![2]));
+    assert_eq!(s[0], expected[2]);
+    op.drain_writes();
+    let (s, _, _) = scan_and_sum(&op, ScanRequest::all_columns(vec![0, 3]));
+    assert_eq!(s, vec![expected[0], expected[3]]);
+}
+
+#[test]
+fn convert_scope_all_columns_enables_wider_reuse() {
+    // Query 1 projects col 0 but converts all columns; query 2 needs col 1
+    // and can be served entirely from cache.
+    let (op, _) = setup(base_config(WritePolicy::ExternalTables, 2));
+    let req = ScanRequest {
+        projection: vec![0],
+        convert: ConvertScope::AllColumns,
+        skip_predicate: None,
+        cols_mapped: None,
+        pushdown: None,
+    };
+    let (_, _, _) = scan_and_sum(&op, req);
+    let (_, _, summary) = scan_and_sum(&op, ScanRequest::all_columns(vec![1]));
+    assert_eq!(summary.from_cache, 8, "{summary:?}");
+    assert_eq!(summary.from_raw, 0);
+}
+
+#[test]
+fn registry_reuses_and_reaps_operators() {
+    use scanraw::OperatorRegistry;
+    let disk = SimDisk::instant();
+    stage_csv(&disk, "r.csv", &CsvSpec::new(100, 2, 1));
+    let db = Database::new(disk);
+    let reg = OperatorRegistry::new();
+    let make = {
+        let db = db.clone();
+        move || {
+            ScanRaw::create(
+                db.clone(),
+                "r",
+                Schema::uniform_ints(2),
+                TextDialect::CSV,
+                "r.csv",
+                ScanRawConfig::default()
+                    .with_chunk_rows(10)
+                    .with_workers(1)
+                    .with_policy(WritePolicy::Eager),
+            )
+        }
+    };
+    let op1 = reg.get_or_create("r.csv", make.clone()).unwrap();
+    let op2 = reg.get_or_create("r.csv", make).unwrap();
+    assert!(Arc::ptr_eq(&op1, &op2), "same operator across queries");
+    assert_eq!(reg.len(), 1);
+    assert_eq!(reg.reap_fully_loaded(), 0);
+
+    let (_, rows, _) = scan_and_sum(&op1, ScanRequest::all_columns(vec![0, 1]));
+    assert_eq!(rows, 100);
+    assert!(op1.fully_loaded());
+    assert_eq!(reg.reap_fully_loaded(), 1);
+    assert!(reg.is_empty());
+}

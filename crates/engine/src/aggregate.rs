@@ -1,0 +1,235 @@
+//! Aggregate functions and their accumulators.
+
+use crate::expr::Expr;
+use scanraw_types::{Error, Result, Value};
+
+/// Supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Sum,
+    Count,
+    Min,
+    Max,
+    Avg,
+}
+
+impl AggFunc {
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Sum => "SUM",
+            AggFunc::Count => "COUNT",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        }
+    }
+}
+
+/// An aggregate over an expression, e.g. `SUM(c0 + c1)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    pub func: AggFunc,
+    pub expr: Expr,
+}
+
+impl AggExpr {
+    pub fn sum(expr: Expr) -> Self {
+        AggExpr {
+            func: AggFunc::Sum,
+            expr,
+        }
+    }
+
+    pub fn count() -> Self {
+        // COUNT(*) — the argument is ignored; use a constant.
+        AggExpr {
+            func: AggFunc::Count,
+            expr: Expr::lit(1i64),
+        }
+    }
+
+    pub fn min(expr: Expr) -> Self {
+        AggExpr {
+            func: AggFunc::Min,
+            expr,
+        }
+    }
+
+    pub fn max(expr: Expr) -> Self {
+        AggExpr {
+            func: AggFunc::Max,
+            expr,
+        }
+    }
+
+    pub fn avg(expr: Expr) -> Self {
+        AggExpr {
+            func: AggFunc::Avg,
+            expr,
+        }
+    }
+}
+
+/// Running state of one aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Accumulator {
+    SumInt(i64),
+    SumFloat(f64),
+    Count(u64),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { sum: f64, n: u64 },
+}
+
+impl Accumulator {
+    pub fn new(func: AggFunc) -> Self {
+        match func {
+            AggFunc::Sum => Accumulator::SumInt(0),
+            AggFunc::Count => Accumulator::Count(0),
+            AggFunc::Min => Accumulator::Min(None),
+            AggFunc::Max => Accumulator::Max(None),
+            AggFunc::Avg => Accumulator::Avg { sum: 0.0, n: 0 },
+        }
+    }
+
+    /// Feeds one value.
+    pub fn update(&mut self, v: Value) -> Result<()> {
+        match self {
+            Accumulator::SumInt(acc) => match v {
+                Value::Int(x) => match acc.checked_add(x) {
+                    Some(s) => *acc = s,
+                    None => {
+                        // Overflow: promote to float accumulation.
+                        *self = Accumulator::SumFloat(*acc as f64 + x as f64);
+                    }
+                },
+                Value::Float(x) => *self = Accumulator::SumFloat(*acc as f64 + x),
+                Value::Str(_) => return Err(Error::query("SUM over a string value")),
+            },
+            Accumulator::SumFloat(acc) => {
+                *acc += v
+                    .as_f64()
+                    .ok_or_else(|| Error::query("SUM over a string value"))?;
+            }
+            Accumulator::Count(n) => *n += 1,
+            Accumulator::Min(m) => {
+                if m.as_ref().map(|cur| v < *cur).unwrap_or(true) {
+                    *m = Some(v);
+                }
+            }
+            Accumulator::Max(m) => {
+                if m.as_ref().map(|cur| v > *cur).unwrap_or(true) {
+                    *m = Some(v);
+                }
+            }
+            Accumulator::Avg { sum, n } => {
+                *sum += v
+                    .as_f64()
+                    .ok_or_else(|| Error::query("AVG over a string value"))?;
+                *n += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Final value (SQL semantics: MIN/MAX of nothing is an error here since
+    /// we have no NULL; COUNT/SUM of nothing are 0).
+    pub fn finish(self) -> Result<Value> {
+        Ok(match self {
+            Accumulator::SumInt(x) => Value::Int(x),
+            Accumulator::SumFloat(x) => Value::Float(x),
+            Accumulator::Count(n) => Value::Int(n as i64),
+            Accumulator::Min(v) | Accumulator::Max(v) => {
+                v.ok_or_else(|| Error::query("MIN/MAX over empty input"))?
+            }
+            Accumulator::Avg { sum, n } => {
+                if n == 0 {
+                    return Err(Error::query("AVG over empty input"));
+                }
+                Value::Float(sum / n as f64)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_ints() {
+        let mut a = Accumulator::new(AggFunc::Sum);
+        for x in [1i64, 2, 3] {
+            a.update(Value::Int(x)).unwrap();
+        }
+        assert_eq!(a.finish().unwrap(), Value::Int(6));
+    }
+
+    #[test]
+    fn sum_overflow_promotes_to_float() {
+        let mut a = Accumulator::new(AggFunc::Sum);
+        a.update(Value::Int(i64::MAX)).unwrap();
+        a.update(Value::Int(i64::MAX)).unwrap();
+        match a.finish().unwrap() {
+            Value::Float(f) => assert!(f > 1e18),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sum_mixed_types() {
+        let mut a = Accumulator::new(AggFunc::Sum);
+        a.update(Value::Int(1)).unwrap();
+        a.update(Value::Float(0.5)).unwrap();
+        assert_eq!(a.finish().unwrap(), Value::Float(1.5));
+    }
+
+    #[test]
+    fn count_counts_everything() {
+        let mut a = Accumulator::new(AggFunc::Count);
+        a.update(Value::from("x")).unwrap();
+        a.update(Value::Int(0)).unwrap();
+        assert_eq!(a.finish().unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn min_max_strings() {
+        let mut mn = Accumulator::new(AggFunc::Min);
+        let mut mx = Accumulator::new(AggFunc::Max);
+        for s in ["10M", "5D", "100M"] {
+            mn.update(Value::from(s)).unwrap();
+            mx.update(Value::from(s)).unwrap();
+        }
+        assert_eq!(mn.finish().unwrap(), Value::from("100M"));
+        assert_eq!(mx.finish().unwrap(), Value::from("5D"));
+    }
+
+    #[test]
+    fn avg() {
+        let mut a = Accumulator::new(AggFunc::Avg);
+        for x in [2i64, 4, 6] {
+            a.update(Value::Int(x)).unwrap();
+        }
+        assert_eq!(a.finish().unwrap(), Value::Float(4.0));
+    }
+
+    #[test]
+    fn empty_aggregates() {
+        assert_eq!(
+            Accumulator::new(AggFunc::Sum).finish().unwrap(),
+            Value::Int(0)
+        );
+        assert_eq!(
+            Accumulator::new(AggFunc::Count).finish().unwrap(),
+            Value::Int(0)
+        );
+        assert!(Accumulator::new(AggFunc::Min).finish().is_err());
+        assert!(Accumulator::new(AggFunc::Avg).finish().is_err());
+    }
+
+    #[test]
+    fn sum_of_string_is_error() {
+        let mut a = Accumulator::new(AggFunc::Sum);
+        assert!(a.update(Value::from("x")).is_err());
+    }
+}

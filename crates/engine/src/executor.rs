@@ -1,0 +1,384 @@
+//! The engine: plans scans over ScanRaw operators and folds aggregates.
+
+use crate::aggregate::{Accumulator, AggExpr};
+use crate::predicate::Predicate;
+use crate::query::{Query, QueryResult, ResultRow};
+use parking_lot::Mutex;
+use scanraw::{ConvertScope, OperatorRegistry, ScanRaw, ScanRequest, ScanSummary};
+use scanraw_rawfile::TextDialect;
+use scanraw_storage::Database;
+use scanraw_types::{BinaryChunk, Error, Result, ScanRawConfig, Schema, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Result of running a query through the engine: the rows plus what the scan
+/// did underneath (chunk sources, writes triggered, elapsed time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    pub result: QueryResult,
+    pub scan: ScanSummary,
+}
+
+/// Plan report for a query: what the scan would do and what the optimizer
+/// statistics predict (paper §3.3, cardinality estimation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainReport {
+    pub table: String,
+    /// Columns the scan must provide.
+    pub projection: Vec<usize>,
+    /// True when the filter is range-expressible and chunk skipping applies.
+    pub uses_chunk_skipping: bool,
+    /// Estimated fraction of rows matching the filter (1.0 without one, or
+    /// without statistics).
+    pub estimated_selectivity: f64,
+    /// Estimated matching rows (None before the first scan established the
+    /// layout/row counts).
+    pub estimated_rows: Option<u64>,
+    /// Chunks expected from each source given current cache/catalog state.
+    pub expect_from_cache: usize,
+    pub expect_from_db: usize,
+    pub expect_from_raw: usize,
+}
+
+/// Table registration data.
+struct TableDef {
+    raw_file: String,
+    schema: Schema,
+    dialect: TextDialect,
+    config: ScanRawConfig,
+}
+
+/// The execution engine façade.
+///
+/// Holds the database, the ScanRaw operator registry ("when a new query
+/// arrives, the execution engine first checks the existence of a
+/// corresponding ScanRaw operator", paper §3.3), and table definitions.
+pub struct Engine {
+    db: Database,
+    registry: OperatorRegistry,
+    tables: Mutex<HashMap<String, TableDef>>,
+    /// Convert scope applied to scans (paper default: all columns).
+    pub convert_scope: ConvertScope,
+}
+
+impl Engine {
+    pub fn new(db: Database) -> Self {
+        Engine {
+            db,
+            registry: OperatorRegistry::new(),
+            tables: Mutex::new(HashMap::new()),
+            convert_scope: ConvertScope::AllColumns,
+        }
+    }
+
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    pub fn registry(&self) -> &OperatorRegistry {
+        &self.registry
+    }
+
+    /// Registers a raw file as a queryable table.
+    pub fn register_table(
+        &self,
+        name: impl Into<String>,
+        raw_file: impl Into<String>,
+        schema: Schema,
+        dialect: TextDialect,
+        config: ScanRawConfig,
+    ) -> Result<()> {
+        config.validate()?;
+        let name = name.into();
+        let mut tables = self.tables.lock();
+        if tables.contains_key(&name) {
+            return Err(Error::query(format!("table '{name}' already registered")));
+        }
+        tables.insert(
+            name,
+            TableDef {
+                raw_file: raw_file.into(),
+                schema,
+                dialect,
+                config,
+            },
+        );
+        Ok(())
+    }
+
+    /// Fetches (or creates) the ScanRaw operator backing a table.
+    pub fn operator(&self, table: &str) -> Result<Arc<ScanRaw>> {
+        let tables = self.tables.lock();
+        let def = tables
+            .get(table)
+            .ok_or_else(|| Error::query(format!("unknown table '{table}'")))?;
+        self.registry.get_or_create(&def.raw_file, || {
+            ScanRaw::create(
+                self.db.clone(),
+                table,
+                def.schema.clone(),
+                def.dialect,
+                def.raw_file.clone(),
+                def.config.clone(),
+            )
+        })
+    }
+
+    /// Explains a query without running it: projection, chunk sources, and
+    /// statistics-based cardinality estimates.
+    pub fn explain(&self, query: &Query) -> Result<ExplainReport> {
+        let op = self.operator(&query.table)?;
+        let projection = query.required_columns();
+        let range = query.filter.as_ref().and_then(|f| f.extract_range());
+        let entry = op.database().catalog().table(&query.table)?;
+        let entry = entry.read();
+        let (selectivity, total_rows) = match &range {
+            Some(pred) => (
+                entry.estimate_selectivity(pred),
+                entry.layout().map(|l| l.total_rows()),
+            ),
+            None => (1.0, entry.layout().map(|l| l.total_rows())),
+        };
+        let mut from_cache = 0;
+        let mut from_db = 0;
+        let mut from_raw = 0;
+        if let Some(layout) = entry.layout() {
+            for meta in layout.iter() {
+                if op.cache().covers(meta.id, &projection) {
+                    from_cache += 1;
+                } else if entry.is_loaded(meta.id, &projection) {
+                    from_db += 1;
+                } else {
+                    from_raw += 1;
+                }
+            }
+        }
+        Ok(ExplainReport {
+            table: query.table.clone(),
+            projection,
+            uses_chunk_skipping: range.is_some(),
+            estimated_selectivity: selectivity,
+            estimated_rows: total_rows.map(|r| (r as f64 * selectivity).round() as u64),
+            expect_from_cache: from_cache,
+            expect_from_db: from_db,
+            expect_from_raw: from_raw,
+        })
+    }
+
+    /// Runs a batch of queries over the *same* table with a single shared
+    /// scan — the paper's §7 future work ("extending ScanRaw with support
+    /// for multi-query processing over raw files"). The raw file is read and
+    /// converted once; every query folds its own filter and aggregates over
+    /// the shared chunk stream.
+    ///
+    /// Restrictions: all queries must target one table; chunk skipping is
+    /// applied only when every query shares the same extractable range (the
+    /// scan must deliver a superset of what each query needs).
+    pub fn execute_shared(&self, queries: &[Query]) -> Result<Vec<QueryOutcome>> {
+        let first = queries
+            .first()
+            .ok_or_else(|| Error::query("shared execution needs at least one query"))?;
+        if queries.iter().any(|q| q.table != first.table) {
+            return Err(Error::query("shared execution requires a single table"));
+        }
+        if queries.iter().any(|q| q.aggregates.is_empty()) {
+            return Err(Error::query("every query needs at least one aggregate"));
+        }
+        if queries.iter().any(|q| q.pushdown) {
+            return Err(Error::query(
+                "push-down selection cannot be shared across queries",
+            ));
+        }
+        let op = self.operator(&first.table)?;
+        let clock = self.db.disk().clock().clone();
+        let started = clock.now();
+
+        // Union of all projections.
+        let mut projection: Vec<usize> = queries
+            .iter()
+            .flat_map(|q| q.required_columns())
+            .collect();
+        projection.sort_unstable();
+        projection.dedup();
+
+        // A skip predicate is only safe when every query would skip the
+        // same chunks.
+        let ranges: Vec<_> = queries
+            .iter()
+            .map(|q| q.filter.as_ref().and_then(|f| f.extract_range()))
+            .collect();
+        let skip_predicate = match ranges.split_first() {
+            Some((head, tail)) if tail.iter().all(|r| r == head) => head.clone(),
+            _ => None,
+        };
+
+        let request = ScanRequest {
+            projection,
+            convert: self.convert_scope,
+            skip_predicate,
+            cols_mapped: None,
+            pushdown: None,
+        };
+        let mut stream = op.scan(request)?;
+        let mut aggs: Vec<GroupedAggregator<'_>> = queries
+            .iter()
+            .map(|q| GroupedAggregator::new(&q.group_by, &q.aggregates))
+            .collect();
+        while let Some(chunk) = stream.next_chunk() {
+            for (agg, q) in aggs.iter_mut().zip(queries) {
+                agg.consume(&chunk, q.filter.as_ref())?;
+            }
+        }
+        let scan = stream.finish()?;
+        let elapsed = clock.now().saturating_sub(started);
+        aggs.into_iter()
+            .map(|agg| {
+                let rows_scanned = agg.rows_seen();
+                let rows = agg.finish()?;
+                Ok(QueryOutcome {
+                    result: QueryResult {
+                        rows,
+                        rows_scanned,
+                        elapsed,
+                    },
+                    scan: scan.clone(),
+                })
+            })
+            .collect()
+    }
+
+    /// Runs an aggregate query.
+    pub fn execute(&self, query: &Query) -> Result<QueryOutcome> {
+        if query.aggregates.is_empty() {
+            return Err(Error::query("query needs at least one aggregate"));
+        }
+        let op = self.operator(&query.table)?;
+        let clock = self.db.disk().clock().clone();
+        let started = clock.now();
+
+        let mut request = ScanRequest {
+            projection: query.required_columns(),
+            convert: self.convert_scope,
+            skip_predicate: None,
+            cols_mapped: None,
+            pushdown: None,
+        };
+        if let Some(f) = &query.filter {
+            request.skip_predicate = f.extract_range();
+            if query.pushdown {
+                let cols = f.columns();
+                let pred = f.clone();
+                let cols2 = cols.clone();
+                request.pushdown = Some(Arc::new(scanraw::operator::PushdownFilter {
+                    columns: cols,
+                    predicate: Arc::new(move |values: &[Value]| {
+                        pred.eval_values(&cols2, values).unwrap_or(false)
+                    }),
+                }));
+            }
+        }
+
+        let mut stream = op.scan(request)?;
+        let mut agg = GroupedAggregator::new(&query.group_by, &query.aggregates);
+        while let Some(chunk) = stream.next_chunk() {
+            agg.consume(&chunk, query.filter.as_ref())?;
+        }
+        let scan = stream.finish()?;
+        let rows_scanned = agg.rows_seen();
+        let rows = agg.finish()?;
+        let elapsed = clock.now().saturating_sub(started);
+        Ok(QueryOutcome {
+            result: QueryResult {
+                rows,
+                rows_scanned,
+                elapsed,
+            },
+            scan,
+        })
+    }
+}
+
+/// Shared grouped-aggregation fold, also used by the BAM path.
+pub(crate) struct GroupedAggregator<'a> {
+    group_by: &'a [usize],
+    aggs: &'a [AggExpr],
+    groups: HashMap<Vec<Value>, Vec<Accumulator>>,
+    rows_seen: u64,
+}
+
+impl<'a> GroupedAggregator<'a> {
+    pub(crate) fn new(group_by: &'a [usize], aggs: &'a [AggExpr]) -> Self {
+        GroupedAggregator {
+            group_by,
+            aggs,
+            groups: HashMap::new(),
+            rows_seen: 0,
+        }
+    }
+
+    pub(crate) fn consume(
+        &mut self,
+        chunk: &BinaryChunk,
+        filter: Option<&Predicate>,
+    ) -> Result<()> {
+        for row in 0..chunk.rows as usize {
+            if let Some(f) = filter {
+                if !f.eval(chunk, row)? {
+                    continue;
+                }
+            }
+            self.rows_seen += 1;
+            let key: Vec<Value> = self
+                .group_by
+                .iter()
+                .map(|&c| {
+                    chunk
+                        .column(c)
+                        .ok_or_else(|| Error::query(format!("group column {c} absent")))?
+                        .value(row)
+                        .ok_or_else(|| Error::query("row out of range"))
+                })
+                .collect::<Result<_>>()?;
+            let accs = self.groups.entry(key).or_insert_with(|| {
+                self.aggs
+                    .iter()
+                    .map(|a| Accumulator::new(a.func))
+                    .collect()
+            });
+            for (acc, a) in accs.iter_mut().zip(self.aggs) {
+                acc.update(a.expr.eval(chunk, row)?)?;
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn rows_seen(&self) -> u64 {
+        self.rows_seen
+    }
+
+    pub(crate) fn finish(mut self) -> Result<Vec<ResultRow>> {
+        // An aggregate without GROUP BY returns one row even on empty input.
+        if self.group_by.is_empty() && self.groups.is_empty() {
+            self.groups.insert(
+                Vec::new(),
+                self.aggs
+                    .iter()
+                    .map(|a| Accumulator::new(a.func))
+                    .collect(),
+            );
+        }
+        let mut rows: Vec<ResultRow> = self
+            .groups
+            .into_iter()
+            .map(|(keys, accs)| {
+                let aggregates = accs
+                    .into_iter()
+                    .map(|a| a.finish())
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(ResultRow { keys, aggregates })
+            })
+            .collect::<Result<_>>()?;
+        rows.sort_by(|a, b| a.keys.cmp(&b.keys));
+        Ok(rows)
+    }
+}

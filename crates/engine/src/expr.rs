@@ -1,0 +1,209 @@
+//! Scalar expressions evaluated over binary-chunk rows.
+
+use scanraw_types::{BinaryChunk, Error, Result, Value};
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to a table column by index.
+    Column(usize),
+    /// A constant.
+    Literal(Value),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    pub fn col(i: usize) -> Expr {
+        Expr::Column(i)
+    }
+
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// `c0 + c1 + … + ck` — the paper's micro-benchmark aggregate argument.
+    pub fn sum_of_columns(cols: impl IntoIterator<Item = usize>) -> Expr {
+        let mut it = cols.into_iter();
+        let first = Expr::Column(it.next().expect("at least one column"));
+        it.fold(first, |acc, c| {
+            Expr::Add(Box::new(acc), Box::new(Expr::Column(c)))
+        })
+    }
+
+    /// Columns referenced anywhere in the tree (sorted, deduplicated).
+    pub fn columns(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Column(c) => out.push(*c),
+            Expr::Literal(_) => {}
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+        }
+    }
+
+    /// Evaluates the expression against a bag of column values (used by
+    /// push-down selection, where only the predicate columns are parsed).
+    /// `cols[i]` names the column whose value is `values[i]`.
+    pub fn eval_values(&self, cols: &[usize], values: &[Value]) -> Result<Value> {
+        match self {
+            Expr::Column(c) => cols
+                .iter()
+                .position(|x| x == c)
+                .map(|i| values[i].clone())
+                .ok_or_else(|| Error::query(format!("column {c} not bound"))),
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Add(a, b) => numeric(
+                a.eval_values(cols, values)?,
+                b.eval_values(cols, values)?,
+                "+",
+                |x, y| x + y,
+            ),
+            Expr::Sub(a, b) => numeric(
+                a.eval_values(cols, values)?,
+                b.eval_values(cols, values)?,
+                "-",
+                |x, y| x - y,
+            ),
+            Expr::Mul(a, b) => numeric(
+                a.eval_values(cols, values)?,
+                b.eval_values(cols, values)?,
+                "*",
+                |x, y| x * y,
+            ),
+        }
+    }
+
+    /// Evaluates the expression for one row of a chunk.
+    pub fn eval(&self, chunk: &BinaryChunk, row: usize) -> Result<Value> {
+        match self {
+            Expr::Column(c) => chunk
+                .column(*c)
+                .ok_or_else(|| Error::query(format!("column {c} absent from chunk")))?
+                .value(row)
+                .ok_or_else(|| Error::query(format!("row {row} out of range"))),
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Add(a, b) => numeric(a.eval(chunk, row)?, b.eval(chunk, row)?, "+", |x, y| {
+                x + y
+            }),
+            Expr::Sub(a, b) => numeric(a.eval(chunk, row)?, b.eval(chunk, row)?, "-", |x, y| {
+                x - y
+            }),
+            Expr::Mul(a, b) => numeric(a.eval(chunk, row)?, b.eval(chunk, row)?, "*", |x, y| {
+                x * y
+            }),
+        }
+    }
+}
+
+/// Applies an arithmetic op, keeping integers integral when both sides are.
+fn numeric(a: Value, b: Value, op: &str, f: fn(f64, f64) -> f64) -> Result<Value> {
+    match (&a, &b) {
+        (Value::Int(x), Value::Int(y)) => {
+            let r = match op {
+                "+" => x.checked_add(*y),
+                "-" => x.checked_sub(*y),
+                "*" => x.checked_mul(*y),
+                _ => None,
+            };
+            r.map(Value::Int)
+                .ok_or_else(|| Error::query(format!("integer overflow in {op}")))
+        }
+        _ => {
+            let (x, y) = (
+                a.as_f64()
+                    .ok_or_else(|| Error::query(format!("non-numeric operand to {op}")))?,
+                b.as_f64()
+                    .ok_or_else(|| Error::query(format!("non-numeric operand to {op}")))?,
+            );
+            Ok(Value::Float(f(x, y)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanraw_types::{ChunkId, ColumnData};
+
+    fn chunk() -> BinaryChunk {
+        BinaryChunk {
+            id: ChunkId(0),
+            first_row: 0,
+            rows: 2,
+            columns: vec![
+                Some(ColumnData::Int64(vec![10, 20])),
+                Some(ColumnData::Int64(vec![1, 2])),
+                Some(ColumnData::Float64(vec![0.5, 1.5])),
+            ],
+        }
+    }
+
+    #[test]
+    fn column_and_literal() {
+        let c = chunk();
+        assert_eq!(Expr::col(0).eval(&c, 1).unwrap(), Value::Int(20));
+        assert_eq!(Expr::lit(7i64).eval(&c, 0).unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn arithmetic_int() {
+        let c = chunk();
+        let e = Expr::Add(Box::new(Expr::col(0)), Box::new(Expr::col(1)));
+        assert_eq!(e.eval(&c, 0).unwrap(), Value::Int(11));
+        let e = Expr::Mul(Box::new(Expr::col(0)), Box::new(Expr::lit(3i64)));
+        assert_eq!(e.eval(&c, 1).unwrap(), Value::Int(60));
+    }
+
+    #[test]
+    fn arithmetic_mixed_promotes_to_float() {
+        let c = chunk();
+        let e = Expr::Add(Box::new(Expr::col(0)), Box::new(Expr::col(2)));
+        assert_eq!(e.eval(&c, 0).unwrap(), Value::Float(10.5));
+    }
+
+    #[test]
+    fn sum_of_columns_builder() {
+        let c = chunk();
+        let e = Expr::sum_of_columns([0, 1]);
+        assert_eq!(e.eval(&c, 1).unwrap(), Value::Int(22));
+        assert_eq!(e.columns(), vec![0, 1]);
+    }
+
+    #[test]
+    fn columns_deduplicated_sorted() {
+        let e = Expr::Add(
+            Box::new(Expr::sum_of_columns([3, 1])),
+            Box::new(Expr::col(1)),
+        );
+        assert_eq!(e.columns(), vec![1, 3]);
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let c = BinaryChunk {
+            id: ChunkId(0),
+            first_row: 0,
+            rows: 1,
+            columns: vec![Some(ColumnData::Int64(vec![i64::MAX]))],
+        };
+        let e = Expr::Add(Box::new(Expr::col(0)), Box::new(Expr::lit(1i64)));
+        assert!(e.eval(&c, 0).is_err());
+    }
+
+    #[test]
+    fn missing_column_is_query_error() {
+        let c = chunk();
+        assert!(Expr::col(9).eval(&c, 0).is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! A columnar query execution engine running over the ScanRaw operator.
+//!
+//! The paper integrates ScanRaw with the DataPath system and evaluates SQL
+//! aggregate queries (`SELECT SUM(ΣCi) FROM file`, and a group-by aggregate
+//! with a pattern-matching predicate for the genomic workload). This crate
+//! provides exactly that slice of an execution engine:
+//!
+//! * [`expr`] — scalar expressions over chunk rows (column refs, literals,
+//!   arithmetic);
+//! * [`predicate`] — boolean predicates (comparisons, SQL-`LIKE` pattern
+//!   matching, conjunction/disjunction) plus best-effort extraction of a
+//!   range for chunk skipping;
+//! * [`aggregate`] — SUM / COUNT / MIN / MAX / AVG accumulators;
+//! * [`query`] — the query description and result types;
+//! * [`executor`] — the [`executor::Engine`]: plans the scan (projection,
+//!   convert scope, skip predicate), pulls chunks from ScanRaw, filters,
+//!   and folds aggregates — including grouped aggregation;
+//! * [`bamscan`] — the Table 1 binary path: the same query logic driven by
+//!   the *sequential* BAM-sim reader, where ScanRaw only performs MAP.
+
+pub mod aggregate;
+pub mod bamscan;
+pub mod executor;
+pub mod expr;
+pub mod predicate;
+pub mod query;
+
+pub use aggregate::{AggExpr, AggFunc};
+pub use executor::{Engine, ExplainReport, QueryOutcome};
+pub use expr::Expr;
+pub use predicate::Predicate;
+pub use query::{Query, QueryResult};

@@ -1,0 +1,145 @@
+//! Query description and results.
+
+use crate::aggregate::AggExpr;
+use crate::expr::Expr;
+use crate::predicate::Predicate;
+use scanraw_types::Value;
+use std::time::Duration;
+
+/// An aggregate query over one raw-file-backed table:
+/// `SELECT <group columns>, <aggregates> FROM table [WHERE …] [GROUP BY …]`.
+///
+/// This covers the paper's entire evaluation workload: the micro-benchmark
+/// `SELECT SUM(ΣCi) FROM file` and the genomic CIGAR-distribution group-by
+/// with a pattern predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Table (registered with the engine) to scan.
+    pub table: String,
+    /// Row filter; also drives chunk skipping when range-expressible.
+    pub filter: Option<Predicate>,
+    /// Grouping columns (empty = one global group).
+    pub group_by: Vec<usize>,
+    /// Aggregates to compute per group (at least one).
+    pub aggregates: Vec<AggExpr>,
+    /// Evaluate the filter during PARSE (push-down selection, paper §2).
+    /// Chunks scanned under push-down are neither cached nor loaded, so this
+    /// is only worthwhile for highly selective one-off queries.
+    pub pushdown: bool,
+}
+
+impl Query {
+    /// The paper's micro-benchmark: `SELECT SUM(c_0 + … + c_{k-1}) FROM t`.
+    pub fn sum_of_columns(table: impl Into<String>, cols: impl IntoIterator<Item = usize>) -> Self {
+        Query {
+            table: table.into(),
+            filter: None,
+            group_by: Vec::new(),
+            aggregates: vec![AggExpr::sum(Expr::sum_of_columns(cols))],
+            pushdown: false,
+        }
+    }
+
+    /// Builder: add a filter.
+    pub fn with_filter(mut self, p: Predicate) -> Self {
+        self.filter = Some(p);
+        self
+    }
+
+    /// Builder: group by the given columns.
+    pub fn with_group_by(mut self, cols: impl Into<Vec<usize>>) -> Self {
+        self.group_by = cols.into();
+        self
+    }
+
+    /// Builder: enable push-down selection.
+    pub fn with_pushdown(mut self) -> Self {
+        self.pushdown = true;
+        self
+    }
+
+    /// Every column the query touches (projection the scan must provide).
+    pub fn required_columns(&self) -> Vec<usize> {
+        let mut cols = Vec::new();
+        if let Some(f) = &self.filter {
+            cols.extend(f.columns());
+        }
+        cols.extend(self.group_by.iter().copied());
+        for a in &self.aggregates {
+            cols.extend(a.expr.columns());
+        }
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+}
+
+/// One result row: group key values followed by aggregate values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultRow {
+    pub keys: Vec<Value>,
+    pub aggregates: Vec<Value>,
+}
+
+/// A completed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// One row per group, sorted by key for determinism.
+    pub rows: Vec<ResultRow>,
+    /// Rows that passed the filter.
+    pub rows_scanned: u64,
+    /// Engine-side execution time (scan + fold).
+    pub elapsed: Duration,
+}
+
+impl QueryResult {
+    /// Single-group convenience: the first aggregate of the only row.
+    pub fn scalar(&self) -> Option<&Value> {
+        match self.rows.as_slice() {
+            [row] => row.aggregates.first(),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+
+    #[test]
+    fn sum_of_columns_shape() {
+        let q = Query::sum_of_columns("t", [0, 1, 2]);
+        assert_eq!(q.table, "t");
+        assert!(q.filter.is_none());
+        assert_eq!(q.aggregates.len(), 1);
+        assert_eq!(q.required_columns(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn required_columns_union() {
+        let q = Query::sum_of_columns("t", [4])
+            .with_filter(Predicate::between(1, 0i64, 9i64))
+            .with_group_by(vec![2]);
+        assert_eq!(q.required_columns(), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn scalar_only_for_single_row() {
+        let r = QueryResult {
+            rows: vec![ResultRow {
+                keys: vec![],
+                aggregates: vec![Value::Int(5)],
+            }],
+            rows_scanned: 1,
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(r.scalar(), Some(&Value::Int(5)));
+        let empty = QueryResult {
+            rows: vec![],
+            rows_scanned: 0,
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(empty.scalar(), None);
+    }
+}

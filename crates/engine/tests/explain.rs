@@ -1,0 +1,134 @@
+//! Tests of the statistics-driven EXPLAIN path (paper §3.3: cardinality
+//! estimation from conversion-time statistics).
+
+use scanraw_engine::{Engine, Predicate, Query};
+use scanraw_rawfile::TextDialect;
+use scanraw_simio::SimDisk;
+use scanraw_storage::Database;
+use scanraw_types::{ScanRawConfig, Schema, WritePolicy};
+
+/// 8 chunks of 100 rows; column 0 is `chunk*1000 + row` (clustered),
+/// column 1 cycles 0..10.
+fn clustered_engine(advanced: bool) -> Engine {
+    let disk = SimDisk::instant();
+    let mut text = String::new();
+    for chunk in 0..8 {
+        for r in 0..100 {
+            text.push_str(&format!("{},{}\n", chunk * 1000 + r, r % 10));
+        }
+    }
+    disk.storage().put("c.csv", text.into_bytes());
+    let engine = Engine::new(Database::new(disk));
+    engine
+        .register_table(
+            "c",
+            "c.csv",
+            Schema::uniform_ints(2),
+            TextDialect::CSV,
+            ScanRawConfig::default()
+                .with_chunk_rows(100)
+                .with_workers(2)
+                .with_policy(WritePolicy::ExternalTables)
+                .with_advanced_statistics(advanced),
+        )
+        .unwrap();
+    engine
+}
+
+#[test]
+fn explain_before_first_scan_knows_nothing() {
+    let engine = clustered_engine(true);
+    let q = Query::sum_of_columns("c", [0, 1]);
+    let rep = engine.explain(&q).unwrap();
+    assert_eq!(rep.estimated_rows, None, "no layout yet");
+    assert_eq!(rep.expect_from_raw + rep.expect_from_db + rep.expect_from_cache, 0);
+    assert!(!rep.uses_chunk_skipping);
+    assert_eq!(rep.projection, vec![0, 1]);
+}
+
+#[test]
+fn explain_after_scan_estimates_cardinality() {
+    let engine = clustered_engine(true);
+    let q = Query::sum_of_columns("c", [0, 1]);
+    engine.execute(&q).unwrap(); // collects statistics
+
+    // Range covering exactly one chunk: bounds prune 7 of 8 chunks.
+    let narrow = q.clone().with_filter(Predicate::between(0, 3000i64, 3099i64));
+    let rep = engine.explain(&narrow).unwrap();
+    assert!(rep.uses_chunk_skipping);
+    assert_eq!(rep.expect_from_cache + rep.expect_from_db + rep.expect_from_raw, 8);
+    // 100 of 800 rows match → selectivity ≈ 1/8 (sample-based within the
+    // surviving chunk; bounds zero out the rest).
+    assert!(
+        rep.estimated_selectivity <= 0.2,
+        "selectivity {}",
+        rep.estimated_selectivity
+    );
+    assert!(rep.estimated_selectivity > 0.0);
+    let est = rep.estimated_rows.unwrap();
+    assert!(est <= 160, "estimated {est}");
+
+    // Verify against the true answer.
+    let out = engine.execute(&narrow).unwrap();
+    assert_eq!(out.result.rows_scanned, 100);
+}
+
+#[test]
+fn explain_without_advanced_stats_falls_back_to_bounds() {
+    let engine = clustered_engine(false);
+    let q = Query::sum_of_columns("c", [0, 1]);
+    engine.execute(&q).unwrap();
+    let narrow = q.clone().with_filter(Predicate::between(0, 3000i64, 3099i64));
+    let rep = engine.explain(&narrow).unwrap();
+    // Bounds prune 7/8 chunks; the surviving chunk counts fully (no sample).
+    assert!((rep.estimated_selectivity - 0.125).abs() < 1e-9);
+}
+
+#[test]
+fn explain_tracks_chunk_sources_as_loading_progresses() {
+    let disk = SimDisk::instant();
+    let mut text = String::new();
+    for i in 0..400 {
+        text.push_str(&format!("{i},{i}\n"));
+    }
+    disk.storage().put("p.csv", text.into_bytes());
+    let engine = Engine::new(Database::new(disk));
+    engine
+        .register_table(
+            "p",
+            "p.csv",
+            Schema::uniform_ints(2),
+            TextDialect::CSV,
+            ScanRawConfig::default()
+                .with_chunk_rows(100)
+                .with_cache_chunks(1)
+                .with_workers(2)
+                .with_policy(WritePolicy::Eager),
+        )
+        .unwrap();
+    let q = Query::sum_of_columns("p", [0, 1]);
+    engine.execute(&q).unwrap();
+    engine.operator("p").unwrap().drain_writes();
+    let rep = engine.explain(&q).unwrap();
+    assert_eq!(rep.expect_from_raw, 0, "{rep:?}");
+    assert_eq!(rep.expect_from_cache + rep.expect_from_db, 4);
+    assert_eq!(rep.estimated_rows, Some(400));
+}
+
+#[test]
+fn distinct_estimates_from_advanced_stats() {
+    let engine = clustered_engine(true);
+    engine
+        .execute(&Query::sum_of_columns("c", [0, 1]))
+        .unwrap();
+    let op = engine.operator("c").unwrap();
+    let entry = op.database().catalog().table("c").unwrap();
+    let entry = entry.read();
+    // Column 1 holds 10 distinct values per chunk → upper bound 80 across 8
+    // chunks, at least 10.
+    let d = entry.estimate_distinct(1).unwrap();
+    assert!((10..=80).contains(&d), "distinct estimate {d}");
+    // Column 0 is unique per row: 100 distinct per chunk (exact, < budget).
+    let d0 = entry.estimate_distinct(0).unwrap();
+    assert_eq!(d0, 800);
+}

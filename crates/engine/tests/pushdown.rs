@@ -1,0 +1,152 @@
+//! Push-down selection tests (paper §2, PARSE): predicate evaluated during
+//! parsing, remaining columns converted only for qualifying rows; filtered
+//! chunks are never cached or loaded.
+
+use scanraw_engine::{AggExpr, Engine, Expr, Predicate, Query};
+use scanraw_rawfile::generate::{csv_bytes, stage_csv, CsvSpec};
+use scanraw_rawfile::TextDialect;
+use scanraw_simio::SimDisk;
+use scanraw_storage::Database;
+use scanraw_types::{ScanRawConfig, Schema, Value, WritePolicy};
+
+fn engine(policy: WritePolicy) -> (Engine, CsvSpec) {
+    let disk = SimDisk::instant();
+    let spec = CsvSpec::new(2000, 4, 21);
+    stage_csv(&disk, "t.csv", &spec);
+    let engine = Engine::new(Database::new(disk));
+    engine
+        .register_table(
+            "t",
+            "t.csv",
+            Schema::uniform_ints(4),
+            TextDialect::CSV,
+            ScanRawConfig::default()
+                .with_chunk_rows(250)
+                .with_workers(2)
+                .with_policy(policy),
+        )
+        .unwrap();
+    (engine, spec)
+}
+
+fn selective_query() -> Query {
+    Query {
+        table: "t".into(),
+        filter: Some(Predicate::Cmp(
+            Expr::col(0),
+            scanraw_engine::predicate::CmpOp::Lt,
+            Expr::lit(1i64 << 28), // ~12% of uniform u32 < 2^31
+        )),
+        group_by: vec![],
+        aggregates: vec![AggExpr::sum(Expr::col(2)), AggExpr::count()],
+        pushdown: false,
+    }
+}
+
+fn reference_answer(spec: &CsvSpec) -> (i64, i64) {
+    let text = String::from_utf8(csv_bytes(spec)).unwrap();
+    let mut sum = 0i64;
+    let mut count = 0i64;
+    for line in text.lines() {
+        let v: Vec<i64> = line.split(',').map(|f| f.parse().unwrap()).collect();
+        if v[0] < 1 << 28 {
+            sum += v[2];
+            count += 1;
+        }
+    }
+    (sum, count)
+}
+
+#[test]
+fn pushdown_matches_row_filter_answer() {
+    let (eng, spec) = engine(WritePolicy::ExternalTables);
+    let (sum, count) = reference_answer(&spec);
+
+    let plain = eng.execute(&selective_query()).unwrap();
+    let pushed = eng.execute(&selective_query().with_pushdown()).unwrap();
+    assert_eq!(plain.result.rows[0].aggregates[0], Value::Int(sum));
+    assert_eq!(pushed.result.rows, plain.result.rows);
+    assert_eq!(pushed.result.rows_scanned, count as u64);
+}
+
+#[test]
+fn pushdown_chunks_are_not_cached() {
+    let (eng, _) = engine(WritePolicy::ExternalTables);
+    eng.execute(&selective_query().with_pushdown()).unwrap();
+    let op = eng.operator("t").unwrap();
+    assert!(
+        op.cache().is_empty(),
+        "filtered chunks must not enter the cache"
+    );
+    // A plain query afterwards converts from raw again and caches normally.
+    let out = eng.execute(&selective_query()).unwrap();
+    assert_eq!(out.scan.from_raw, 8);
+    assert_eq!(op.cache().len(), 8);
+}
+
+#[test]
+fn pushdown_never_loads_even_under_speculative() {
+    let (eng, _) = engine(WritePolicy::speculative());
+    eng.execute(&selective_query().with_pushdown()).unwrap();
+    let op = eng.operator("t").unwrap();
+    op.drain_writes();
+    assert_eq!(
+        op.chunks_written(),
+        0,
+        "filtered chunks must never reach the database"
+    );
+}
+
+#[test]
+fn pushdown_with_like_predicate_on_strings() {
+    use scanraw_rawfile::sam::{field, sam_schema, stage_sam, SamSpec};
+    let disk = SimDisk::instant();
+    let (reads, _) = stage_sam(
+        &disk,
+        "r.sam",
+        &SamSpec {
+            reads: 800,
+            read_len: 30,
+            ref_len: 10_000,
+            seed: 3,
+        },
+    );
+    let eng = Engine::new(Database::new(disk));
+    eng.register_table(
+        "r",
+        "r.sam",
+        sam_schema(),
+        TextDialect::TSV,
+        ScanRawConfig::default().with_chunk_rows(128).with_workers(2),
+    )
+    .unwrap();
+    let q = Query {
+        table: "r".into(),
+        filter: Some(Predicate::Like(field::CIGAR, "%I%".into())),
+        group_by: vec![],
+        aggregates: vec![AggExpr::count()],
+        pushdown: true,
+    };
+    let out = eng.execute(&q).unwrap();
+    let expected = reads.iter().filter(|r| r.cigar.contains('I')).count();
+    assert_eq!(out.result.scalar(), Some(&Value::Int(expected as i64)));
+}
+
+#[test]
+fn pushdown_statistics_are_not_recorded_from_filtered_chunks() {
+    // Filtered chunks would produce too-narrow min/max bounds; verify the
+    // catalog has no bounds after a pushdown-only scan.
+    let (eng, _) = engine(WritePolicy::ExternalTables);
+    eng.execute(&selective_query().with_pushdown()).unwrap();
+    let op = eng.operator("t").unwrap();
+    let entry = op.database().catalog().table("t").unwrap();
+    let entry = entry.read();
+    for i in 0..entry.n_chunks() {
+        if let Some(s) = entry.stats(scanraw_types::ChunkId(i as u32)) {
+            assert!(
+                s.bounds.iter().all(|b| b.is_none()),
+                "chunk {i} has bounds from filtered data"
+            );
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Engine-level integration tests: full queries over ScanRaw.
+
+use scanraw_engine::{AggExpr, Engine, Expr, Predicate, Query};
+use scanraw_rawfile::generate::{expected_column_sums, stage_csv, CsvSpec};
+use scanraw_rawfile::sam::{field, sam_schema, stage_sam, SamSpec};
+use scanraw_rawfile::TextDialect;
+use scanraw_simio::SimDisk;
+use scanraw_storage::Database;
+use scanraw_types::{ScanRawConfig, Schema, Value, WritePolicy};
+use std::collections::HashMap;
+
+fn engine_with_csv(policy: WritePolicy) -> (Engine, CsvSpec) {
+    let disk = SimDisk::instant();
+    let spec = CsvSpec::new(3000, 4, 11);
+    stage_csv(&disk, "t.csv", &spec);
+    let engine = Engine::new(Database::new(disk));
+    engine
+        .register_table(
+            "t",
+            "t.csv",
+            Schema::uniform_ints(4),
+            TextDialect::CSV,
+            ScanRawConfig::default()
+                .with_chunk_rows(250)
+                .with_workers(2)
+                .with_policy(policy),
+        )
+        .unwrap();
+    (engine, spec)
+}
+
+#[test]
+fn paper_microbenchmark_query() {
+    // SELECT SUM(c0+c1+c2+c3) FROM t — the §5.1 query.
+    let (engine, spec) = engine_with_csv(WritePolicy::speculative());
+    let q = Query::sum_of_columns("t", 0..4);
+    let out = engine.execute(&q).unwrap();
+    let expected: i64 = expected_column_sums(&spec).iter().sum();
+    assert_eq!(out.result.scalar(), Some(&Value::Int(expected)));
+    assert_eq!(out.result.rows_scanned, 3000);
+}
+
+#[test]
+fn all_policies_agree_on_results() {
+    let q = Query::sum_of_columns("t", 0..4);
+    let mut answers = Vec::new();
+    for policy in [
+        WritePolicy::ExternalTables,
+        WritePolicy::Eager,
+        WritePolicy::Buffered,
+        WritePolicy::Invisible { chunks_per_query: 2 },
+        WritePolicy::speculative(),
+        WritePolicy::Speculative { safeguard: false },
+    ] {
+        let (engine, _) = engine_with_csv(policy);
+        // Two queries each: results must be identical before and after any
+        // loading happened.
+        let a1 = engine.execute(&q).unwrap().result;
+        let a2 = engine.execute(&q).unwrap().result;
+        assert_eq!(a1.rows, a2.rows, "{policy:?} changed answers after loading");
+        answers.push(a1.rows);
+    }
+    for w in answers.windows(2) {
+        assert_eq!(w[0], w[1], "policies disagree");
+    }
+}
+
+#[test]
+fn filtered_aggregate() {
+    let (engine, spec) = engine_with_csv(WritePolicy::ExternalTables);
+    // Recompute the expected filtered sum from the generator.
+    let text = String::from_utf8(scanraw_rawfile::generate::csv_bytes(&spec)).unwrap();
+    let mut expected = 0i64;
+    let mut count = 0i64;
+    for line in text.lines() {
+        let v: Vec<i64> = line.split(',').map(|f| f.parse().unwrap()).collect();
+        if v[0] < 1 << 30 {
+            expected += v[1];
+            count += 1;
+        }
+    }
+    let q = Query {
+        table: "t".into(),
+        filter: Some(Predicate::Cmp(
+            Expr::col(0),
+            scanraw_engine::predicate::CmpOp::Lt,
+            Expr::lit(1i64 << 30),
+        )),
+        group_by: vec![],
+        aggregates: vec![AggExpr::sum(Expr::col(1)), AggExpr::count()],
+        pushdown: false,
+    };
+    let out = engine.execute(&q).unwrap();
+    assert_eq!(out.result.rows[0].aggregates[0], Value::Int(expected));
+    assert_eq!(out.result.rows[0].aggregates[1], Value::Int(count));
+}
+
+#[test]
+fn group_by_aggregate() {
+    let disk = SimDisk::instant();
+    // Two columns: group key (0..3) and a value.
+    let mut text = String::new();
+    let mut expected: HashMap<i64, (i64, i64)> = HashMap::new();
+    for i in 0..300i64 {
+        let k = i % 3;
+        let v = i * 10;
+        text.push_str(&format!("{k},{v}\n"));
+        let e = expected.entry(k).or_default();
+        e.0 += v;
+        e.1 += 1;
+    }
+    disk.storage().put("g.csv", text.into_bytes());
+    let engine = Engine::new(Database::new(disk));
+    engine
+        .register_table(
+            "g",
+            "g.csv",
+            Schema::uniform_ints(2),
+            TextDialect::CSV,
+            ScanRawConfig::default().with_chunk_rows(64).with_workers(2),
+        )
+        .unwrap();
+    let q = Query {
+        table: "g".into(),
+        filter: None,
+        group_by: vec![0],
+        aggregates: vec![AggExpr::sum(Expr::col(1)), AggExpr::count()],
+        pushdown: false,
+    };
+    let out = engine.execute(&q).unwrap();
+    assert_eq!(out.result.rows.len(), 3);
+    for row in &out.result.rows {
+        let k = row.keys[0].as_i64().unwrap();
+        let (sum, count) = expected[&k];
+        assert_eq!(row.aggregates[0], Value::Int(sum));
+        assert_eq!(row.aggregates[1], Value::Int(count));
+    }
+}
+
+#[test]
+fn query_sequence_converges_to_database_speed_sources() {
+    let (engine, _) = engine_with_csv(WritePolicy::speculative());
+    let q = Query::sum_of_columns("t", 0..4);
+    let first = engine.execute(&q).unwrap();
+    assert!(first.scan.from_raw > 0);
+    // Default cache holds all 12 chunks, so by query 2 everything is cached.
+    let second = engine.execute(&q).unwrap();
+    assert_eq!(second.scan.from_raw, 0);
+    assert_eq!(
+        second.scan.from_cache + second.scan.from_db,
+        second.scan.chunks_delivered
+    );
+}
+
+#[test]
+fn cigar_distribution_query_on_sam() {
+    // The §5.2 genomic workload: distribution of CIGAR values among reads
+    // matching a pattern at positions in a range.
+    let disk = SimDisk::instant();
+    let spec = SamSpec {
+        reads: 2000,
+        read_len: 50,
+        ref_len: 100_000,
+        seed: 5,
+    };
+    let (reads, _) = stage_sam(&disk, "na.sam", &spec);
+    let engine = Engine::new(Database::new(disk));
+    engine
+        .register_table(
+            "reads",
+            "na.sam",
+            sam_schema(),
+            TextDialect::TSV,
+            ScanRawConfig::default().with_chunk_rows(256).with_workers(2),
+        )
+        .unwrap();
+
+    let q = Query {
+        table: "reads".into(),
+        filter: Some(Predicate::And(
+            Box::new(Predicate::Like(field::CIGAR, "%I%".into())),
+            Box::new(Predicate::between(field::POS, 1i64, 50_000i64)),
+        )),
+        group_by: vec![field::CIGAR],
+        aggregates: vec![AggExpr::count()],
+        pushdown: false,
+    };
+    let out = engine.execute(&q).unwrap();
+
+    // Reference computation straight from the generated reads.
+    let mut expected: HashMap<&str, i64> = HashMap::new();
+    for r in &reads {
+        if r.cigar.contains('I') && (1..=50_000).contains(&r.pos) {
+            *expected.entry(r.cigar.as_str()).or_default() += 1;
+        }
+    }
+    assert_eq!(out.result.rows.len(), expected.len());
+    for row in &out.result.rows {
+        let cigar = row.keys[0].as_str().unwrap();
+        assert_eq!(
+            row.aggregates[0],
+            Value::Int(expected[cigar]),
+            "cigar {cigar}"
+        );
+    }
+}
+
+#[test]
+fn sam_and_bam_paths_agree() {
+    use scanraw_engine::bamscan::execute_over_bam;
+    use scanraw_rawfile::bamsim::stage_bam;
+    let disk = SimDisk::instant();
+    let spec = SamSpec {
+        reads: 1500,
+        read_len: 40,
+        ref_len: 50_000,
+        seed: 9,
+    };
+    let (reads, _) = stage_sam(&disk, "x.sam", &spec);
+    stage_bam(&disk, "x.bam", &reads);
+
+    let engine = Engine::new(Database::new(disk.clone()));
+    engine
+        .register_table(
+            "reads",
+            "x.sam",
+            sam_schema(),
+            TextDialect::TSV,
+            ScanRawConfig::default().with_chunk_rows(200).with_workers(2),
+        )
+        .unwrap();
+    let q = Query {
+        table: "reads".into(),
+        filter: Some(Predicate::Like(field::CIGAR, "%D%".into())),
+        group_by: vec![field::CIGAR],
+        aggregates: vec![AggExpr::count()],
+        pushdown: false,
+    };
+    let via_sam = engine.execute(&q).unwrap().result;
+    let via_bam = execute_over_bam(&disk, "x.bam", &q).unwrap();
+    assert_eq!(via_sam.rows, via_bam.rows);
+    assert_eq!(via_sam.rows_scanned, via_bam.rows_scanned);
+}
+
+#[test]
+fn unknown_table_and_empty_aggregates_rejected() {
+    let (engine, _) = engine_with_csv(WritePolicy::ExternalTables);
+    assert!(engine
+        .execute(&Query::sum_of_columns("nope", [0]))
+        .is_err());
+    let q = Query {
+        table: "t".into(),
+        filter: None,
+        group_by: vec![],
+        aggregates: vec![],
+        pushdown: false,
+    };
+    assert!(engine.execute(&q).is_err());
+    // Duplicate registration is also rejected.
+    assert!(engine
+        .register_table(
+            "t",
+            "t.csv",
+            Schema::uniform_ints(4),
+            TextDialect::CSV,
+            ScanRawConfig::default(),
+        )
+        .is_err());
+}
+
+#[test]
+fn chunk_skipping_reduces_io_on_repeat_query() {
+    let disk = SimDisk::instant();
+    let mut text = String::new();
+    for chunk in 0..8 {
+        for r in 0..100 {
+            text.push_str(&format!("{},{}\n", chunk * 1000 + r, r));
+        }
+    }
+    disk.storage().put("ord.csv", text.into_bytes());
+    let engine = Engine::new(Database::new(disk));
+    engine
+        .register_table(
+            "ord",
+            "ord.csv",
+            Schema::uniform_ints(2),
+            TextDialect::CSV,
+            ScanRawConfig::default().with_chunk_rows(100).with_workers(2),
+        )
+        .unwrap();
+    // Query 1 gathers statistics.
+    engine
+        .execute(&Query::sum_of_columns("ord", [0, 1]))
+        .unwrap();
+    // Query 2 with a narrow range must skip chunks.
+    let q = Query::sum_of_columns("ord", [0, 1])
+        .with_filter(Predicate::between(0, 3000i64, 3099i64));
+    let out = engine.execute(&q).unwrap();
+    assert_eq!(out.scan.skipped, 7, "{:?}", out.scan);
+    assert_eq!(out.result.rows_scanned, 100);
+}

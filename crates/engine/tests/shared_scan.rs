@@ -1,0 +1,150 @@
+//! Multi-query shared-scan tests (the paper's §7 future work): several
+//! queries over the same raw file answered from a single scan.
+
+use scanraw_engine::{AggExpr, Engine, Expr, Predicate, Query};
+use scanraw_rawfile::generate::{csv_bytes, expected_column_sums, stage_csv, CsvSpec};
+use scanraw_rawfile::TextDialect;
+use scanraw_simio::{AccessKind, SimDisk};
+use scanraw_storage::Database;
+use scanraw_types::{ScanRawConfig, Schema, Value, WritePolicy};
+
+fn engine() -> (Engine, CsvSpec, SimDisk) {
+    let disk = SimDisk::instant();
+    let spec = CsvSpec::new(2000, 4, 31);
+    stage_csv(&disk, "t.csv", &spec);
+    let engine = Engine::new(Database::new(disk.clone()));
+    engine
+        .register_table(
+            "t",
+            "t.csv",
+            Schema::uniform_ints(4),
+            TextDialect::CSV,
+            ScanRawConfig::default()
+                .with_chunk_rows(250)
+                .with_workers(2)
+                .with_policy(WritePolicy::ExternalTables),
+        )
+        .unwrap();
+    (engine, spec, disk)
+}
+
+#[test]
+fn shared_scan_matches_individual_execution() {
+    let (eng, _, _) = engine();
+    let queries = vec![
+        Query::sum_of_columns("t", [0]),
+        Query::sum_of_columns("t", [1, 2]),
+        Query {
+            table: "t".into(),
+            filter: Some(Predicate::Cmp(
+                Expr::col(3),
+                scanraw_engine::predicate::CmpOp::Lt,
+                Expr::lit(1i64 << 30),
+            )),
+            group_by: vec![],
+            aggregates: vec![AggExpr::count()],
+            pushdown: false,
+        },
+    ];
+    let shared = eng.execute_shared(&queries).unwrap();
+    for (q, sh) in queries.iter().zip(&shared) {
+        let single = eng.execute(q).unwrap();
+        assert_eq!(single.result.rows, sh.result.rows, "query {q:?}");
+        assert_eq!(single.result.rows_scanned, sh.result.rows_scanned);
+    }
+}
+
+#[test]
+fn shared_scan_reads_the_file_once() {
+    let (eng, spec, disk) = engine();
+    let before = disk.stats().bytes(AccessKind::Read);
+    let queries = vec![
+        Query::sum_of_columns("t", [0, 1]),
+        Query::sum_of_columns("t", [2, 3]),
+        Query::sum_of_columns("t", [0, 3]),
+    ];
+    let outcomes = eng.execute_shared(&queries).unwrap();
+    let read = disk.stats().bytes(AccessKind::Read) - before;
+    let file_len = csv_bytes(&spec).len() as u64;
+    assert!(
+        read <= file_len + 64 * 1024,
+        "three queries should cost ~one file read: {read} vs {file_len}"
+    );
+    // All three saw the same shared scan.
+    assert_eq!(outcomes[0].scan, outcomes[1].scan);
+    let expected = expected_column_sums(&spec);
+    assert_eq!(
+        outcomes[0].result.scalar(),
+        Some(&Value::Int(expected[0] + expected[1]))
+    );
+    assert_eq!(
+        outcomes[2].result.scalar(),
+        Some(&Value::Int(expected[0] + expected[3]))
+    );
+}
+
+#[test]
+fn shared_scan_common_range_still_skips_chunks() {
+    // Clustered file so statistics separate chunks.
+    let disk = SimDisk::instant();
+    let mut text = String::new();
+    for c in 0..8 {
+        for r in 0..100 {
+            text.push_str(&format!("{},{}\n", c * 1000 + r, r));
+        }
+    }
+    disk.storage().put("o.csv", text.into_bytes());
+    let eng = Engine::new(Database::new(disk));
+    eng.register_table(
+        "o",
+        "o.csv",
+        Schema::uniform_ints(2),
+        TextDialect::CSV,
+        ScanRawConfig::default().with_chunk_rows(100).with_workers(2),
+    )
+    .unwrap();
+    eng.execute(&Query::sum_of_columns("o", [0, 1])).unwrap(); // stats
+
+    let filter = Predicate::between(0, 2000i64, 2099i64);
+    let queries = vec![
+        Query::sum_of_columns("o", [1]).with_filter(filter.clone()),
+        Query {
+            table: "o".into(),
+            filter: Some(filter),
+            group_by: vec![],
+            aggregates: vec![AggExpr::count()],
+            pushdown: false,
+        },
+    ];
+    let outcomes = eng.execute_shared(&queries).unwrap();
+    assert_eq!(outcomes[0].scan.skipped, 7, "{:?}", outcomes[0].scan);
+    assert_eq!(outcomes[1].result.scalar(), Some(&Value::Int(100)));
+}
+
+#[test]
+fn shared_scan_divergent_ranges_disable_skipping() {
+    let (eng, _, _) = engine();
+    let queries = vec![
+        Query::sum_of_columns("t", [0]).with_filter(Predicate::between(0, 0i64, 10i64)),
+        Query::sum_of_columns("t", [0]).with_filter(Predicate::between(0, 20i64, 30i64)),
+    ];
+    // Must run correctly (delivering every chunk) even though the ranges
+    // disagree.
+    let outcomes = eng.execute_shared(&queries).unwrap();
+    assert_eq!(outcomes[0].scan.skipped, 0);
+}
+
+#[test]
+fn shared_scan_input_validation() {
+    let (eng, _, _) = engine();
+    assert!(eng.execute_shared(&[]).is_err());
+    let other_table = vec![
+        Query::sum_of_columns("t", [0]),
+        Query::sum_of_columns("elsewhere", [0]),
+    ];
+    assert!(eng.execute_shared(&other_table).is_err());
+    let pushed = vec![Query::sum_of_columns("t", [0])
+        .with_filter(Predicate::between(0, 0i64, 1i64))
+        .with_pushdown()];
+    assert!(eng.execute_shared(&pushed).is_err());
+}

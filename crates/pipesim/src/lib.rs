@@ -1,0 +1,31 @@
+//! Discrete-event simulator of the ScanRaw pipeline.
+//!
+//! ## Why this exists
+//!
+//! The paper's parallelism experiments (Figures 4, 7, 8, 9) were run on a
+//! 16-core server with a RAID-0 array. This reproduction runs on whatever
+//! machine CI provides — possibly a single core — where wall-clock thread
+//! scaling is physically meaningless. The simulator executes the *same
+//! scheduling logic* as the real operator (bounded buffers, worker pool,
+//! read/write disk arbitration, the write policies of
+//! [`WritePolicy`]) in virtual time, charging per-stage costs from a
+//! [`cost::CostModel`] that is *calibrated by measuring the real tokenizer
+//! and parser* of this repository on generated data.
+//!
+//! What the simulator preserves (and what the figures depend on):
+//!
+//! * the ratio of per-chunk conversion cost to disk bandwidth — this sets
+//!   the CPU-bound ↔ I/O-bound crossover of Figure 4;
+//! * buffer capacities and the blocked-READ rule — this sets when
+//!   speculative loading gets disk time;
+//! * the cache (load-biased LRU) and the safeguard flush — this sets the
+//!   per-query convergence of Figure 8;
+//! * per-task dispatch overhead and pipeline fill/drain — Figure 7.
+//!
+//! [`WritePolicy`]: scanraw_types::WritePolicy
+
+pub mod cost;
+pub mod sim;
+
+pub use cost::{measure_cost_model, CostModel};
+pub use sim::{FileSpec, QuerySim, QuerySpec, SimConfig, Simulator, UtilSample};

@@ -1,0 +1,997 @@
+//! The discrete-event simulation of the ScanRaw pipeline.
+//!
+//! One [`Simulator`] instance corresponds to one ScanRaw operator: it carries
+//! the binary-chunk cache, the set of chunks loaded in the database, and any
+//! writes still pending from a previous query (the speculative tail), across
+//! a sequence of simulated queries. [`Simulator::run_query`] plays the
+//! per-scan pipeline — cache deliveries, database reads, the raw-file
+//! conversion pipeline with bounded buffers and a worker pool, and the WRITE
+//! policy — in virtual time.
+
+use crate::cost::CostModel;
+use scanraw_types::WritePolicy;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+
+/// Shape of the simulated raw file.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FileSpec {
+    pub n_chunks: usize,
+    pub rows_per_chunk: u64,
+    pub cols: usize,
+    /// Average text bytes per attribute value, delimiter included. The
+    /// paper's uniform `u32 < 2^31` values average ≈ 9.48 digits, plus one
+    /// separator byte.
+    pub text_bytes_per_value: f64,
+    /// Bytes per value in the database representation (8 for this
+    /// repository's Int64 columns; the paper's system stored 4-byte
+    /// integers, hence its 40 GB → 16 GB text-to-binary ratio).
+    pub binary_bytes_per_value: f64,
+}
+
+impl FileSpec {
+    /// The paper's synthetic suite: `rows × cols` of uniform `u32 < 2^31`.
+    pub fn synthetic(rows: u64, cols: usize, chunk_rows: u64) -> Self {
+        FileSpec {
+            n_chunks: rows.div_ceil(chunk_rows) as usize,
+            rows_per_chunk: chunk_rows,
+            cols,
+            text_bytes_per_value: 10.48,
+            binary_bytes_per_value: 8.0,
+        }
+    }
+
+    pub fn text_bytes_per_chunk(&self) -> f64 {
+        self.rows_per_chunk as f64 * self.cols as f64 * self.text_bytes_per_value
+    }
+
+    pub fn binary_bytes_per_chunk(&self) -> f64 {
+        self.rows_per_chunk as f64 * self.cols as f64 * self.binary_bytes_per_value
+    }
+
+    pub fn total_text_bytes(&self) -> f64 {
+        self.text_bytes_per_chunk() * self.n_chunks as f64
+    }
+}
+
+/// Per-query parameters (selective conversion, Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuerySpec {
+    /// Columns converted by PARSE (engine consumes the same).
+    pub convert_cols: usize,
+    /// Leading attributes the tokenizer splits (selective tokenizing).
+    pub tokenize_cols: usize,
+}
+
+impl QuerySpec {
+    /// Convert everything — the paper's default regime.
+    pub fn full(file: &FileSpec) -> Self {
+        QuerySpec {
+            convert_cols: file.cols,
+            tokenize_cols: file.cols,
+        }
+    }
+}
+
+/// Simulator configuration (mirrors [`scanraw_types::ScanRawConfig`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    pub workers: usize,
+    /// Cores of the simulated machine (paper server: 16).
+    pub cores: usize,
+    pub text_buffer: usize,
+    pub position_buffer: usize,
+    pub cache_chunks: usize,
+    pub policy: WritePolicy,
+    pub cost: CostModel,
+    /// Record disk/CPU busy spans for utilization timelines (Figure 9).
+    pub record_timeline: bool,
+    /// Bias cache eviction toward chunks already loaded in the database
+    /// (paper §3.1). Disable for the ablation study.
+    pub cache_bias: bool,
+    /// Coordinate device access (READ priority; WRITE runs only when READ
+    /// cannot) — the paper's §3.2.1 arbitration. When disabled, WRITE takes
+    /// the device whenever its queue is non-empty, interleaving with reads
+    /// and paying direction-switch penalties (the ablation baseline).
+    pub arbitration: bool,
+}
+
+impl SimConfig {
+    /// Paper-like defaults: 16 cores, 8-slot stage buffers.
+    pub fn new(workers: usize, policy: WritePolicy, cost: CostModel) -> Self {
+        SimConfig {
+            workers,
+            cores: 16,
+            text_buffer: 8,
+            position_buffer: 8,
+            cache_chunks: 32,
+            policy,
+            cost,
+            record_timeline: false,
+            cache_bias: true,
+            arbitration: true,
+        }
+    }
+}
+
+/// One busy interval of a simulated resource, in seconds since query start.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    pub start: f64,
+    pub end: f64,
+}
+
+/// A point of a utilization timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilSample {
+    pub at: f64,
+    pub value: f64,
+}
+
+/// Outcome of one simulated query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySim {
+    pub elapsed_secs: f64,
+    pub from_cache: usize,
+    pub from_db: usize,
+    pub from_raw: usize,
+    /// Writes completed while this query ran (including the drain of the
+    /// previous query's speculative tail).
+    pub chunks_written: usize,
+    /// Chunks loaded in the database after the query (and its carried
+    /// writes were queued — pending ones not yet counted).
+    pub loaded_after: usize,
+    /// Disk busy spans split by direction (empty unless `record_timeline`).
+    pub disk_read_spans: Vec<Span>,
+    pub disk_write_spans: Vec<Span>,
+    /// Worker-CPU busy spans (empty unless `record_timeline`).
+    pub cpu_spans: Vec<Span>,
+}
+
+impl QuerySim {
+    /// Utilization of a span set over `window`-second buckets, as a fraction
+    /// (CPU spans can exceed 1.0 with multiple workers).
+    pub fn utilization(spans: &[Span], window: f64, until: f64) -> Vec<UtilSample> {
+        assert!(window > 0.0);
+        let n = (until / window).ceil().max(1.0) as usize;
+        let mut busy = vec![0.0f64; n];
+        for s in spans {
+            let mut cur = s.start;
+            while cur < s.end {
+                let idx = ((cur / window) as usize).min(n - 1);
+                let win_end = (idx as f64 + 1.0) * window;
+                let seg_end = s.end.min(win_end);
+                busy[idx] += seg_end - cur;
+                cur = seg_end.max(cur + 1e-12);
+            }
+        }
+        (0..n)
+            .map(|i| UtilSample {
+                at: i as f64 * window,
+                value: busy[i] / window,
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache mirror (id-level twin of scanraw::ChunkCache)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct SimCache {
+    cap: usize,
+    /// Prefer evicting already-loaded entries (load-biased LRU).
+    bias: bool,
+    entries: HashMap<usize, CacheEntry>,
+    next_stamp: u64,
+    next_seq: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    loaded: bool,
+    stamp: u64,
+    seq: u64,
+}
+
+impl SimCache {
+    fn new(cap: usize, bias: bool) -> Self {
+        SimCache {
+            cap: cap.max(1),
+            bias,
+            ..Default::default()
+        }
+    }
+
+    fn contains(&self, id: usize) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    fn touch(&mut self, id: usize) {
+        self.next_stamp += 1;
+        let stamp = self.next_stamp;
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.stamp = stamp;
+        }
+    }
+
+    /// Insert; returns evicted (id, loaded) if the cache was full.
+    fn insert(&mut self, id: usize, loaded: bool) -> Option<(usize, bool)> {
+        self.next_stamp += 1;
+        self.next_seq += 1;
+        let (stamp, seq) = (self.next_stamp, self.next_seq);
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.stamp = stamp;
+            e.loaded = loaded;
+            return None;
+        }
+        let mut evicted = None;
+        if self.entries.len() >= self.cap {
+            // Load-biased LRU: prefer evicting loaded entries (plain LRU
+            // when the bias is disabled for the ablation study).
+            let biased = if self.bias {
+                self.entries
+                    .iter()
+                    .filter(|(_, e)| e.loaded)
+                    .min_by_key(|(_, e)| e.stamp)
+            } else {
+                None
+            };
+            let victim = biased
+                .or_else(|| self.entries.iter().min_by_key(|(_, e)| e.stamp))
+                .map(|(id, e)| (*id, e.loaded));
+            if let Some((vid, vloaded)) = victim {
+                self.entries.remove(&vid);
+                evicted = Some((vid, vloaded));
+            }
+        }
+        self.entries.insert(id, CacheEntry { loaded, stamp, seq });
+        evicted
+    }
+
+    fn mark_loaded(&mut self, id: usize) {
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.loaded = true;
+        }
+    }
+
+    fn oldest_unloaded(&self, exclude: &HashSet<usize>) -> Option<usize> {
+        self.entries
+            .iter()
+            .filter(|(id, e)| !e.loaded && !exclude.contains(id))
+            .min_by_key(|(_, e)| e.seq)
+            .map(|(id, _)| *id)
+    }
+
+    fn unloaded(&self, exclude: &HashSet<usize>) -> Vec<usize> {
+        let mut v: Vec<(u64, usize)> = self
+            .entries
+            .iter()
+            .filter(|(id, e)| !e.loaded && !exclude.contains(id))
+            .map(|(id, e)| (e.seq, *id))
+            .collect();
+        v.sort_unstable();
+        v.into_iter().map(|(_, id)| id).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The simulator
+// ---------------------------------------------------------------------------
+
+/// Persistent operator state across simulated queries.
+pub struct Simulator {
+    pub cfg: SimConfig,
+    pub file: FileSpec,
+    loaded: Vec<bool>,
+    cache: SimCache,
+    /// Speculative writes carried from the previous query (drained before
+    /// the next query's first device read).
+    carried_writes: VecDeque<usize>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Source {
+    Cache(usize),
+    Db(usize),
+    Raw(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DiskOp {
+    ReadRaw(usize),
+    ReadDb(usize),
+    Write(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    Disk,
+    Tokenized(usize),
+    Parsed(usize),
+    Consumed(usize),
+}
+
+impl Simulator {
+    pub fn new(cfg: SimConfig, file: FileSpec) -> Self {
+        let cache = SimCache::new(cfg.cache_chunks, cfg.cache_bias);
+        Simulator {
+            cfg,
+            file,
+            loaded: vec![false; file.n_chunks],
+            cache,
+            carried_writes: VecDeque::new(),
+        }
+    }
+
+    /// Empties the binary-chunk cache (models a stateless external-table
+    /// operator that does not persist state across queries).
+    pub fn clear_cache(&mut self) {
+        self.cache = SimCache::new(self.cfg.cache_chunks, self.cfg.cache_bias);
+    }
+
+    /// Writes queued but not yet completed (the speculative tail carried to
+    /// the next query).
+    pub fn pending_loads(&self) -> usize {
+        self.carried_writes.len()
+    }
+
+    /// Chunks currently loaded in the database.
+    pub fn loaded_count(&self) -> usize {
+        self.loaded.iter().filter(|&&b| b).count()
+    }
+
+    /// True when the whole file is in the database.
+    pub fn fully_loaded(&self) -> bool {
+        self.loaded.iter().all(|&b| b)
+    }
+
+    /// Runs one query over the whole file (the paper's workload touches
+    /// every chunk; selection-driven skipping is orthogonal here).
+    pub fn run_query(&mut self, q: &QuerySpec) -> QuerySim {
+        assert!(q.convert_cols >= 1 && q.convert_cols <= self.file.cols);
+        assert!(q.tokenize_cols >= 1 && q.tokenize_cols <= self.file.cols);
+
+        // Build the delivery plan: cache → db → raw (§3.2.1).
+        let mut plan: Vec<Source> = Vec::with_capacity(self.file.n_chunks);
+        for id in 0..self.file.n_chunks {
+            if self.cache.contains(id) {
+                plan.push(Source::Cache(id));
+            }
+        }
+        for id in 0..self.file.n_chunks {
+            if !self.cache.contains(id) && self.loaded[id] {
+                plan.push(Source::Db(id));
+            }
+        }
+        for id in 0..self.file.n_chunks {
+            if !self.cache.contains(id) && !self.loaded[id] {
+                plan.push(Source::Raw(id));
+            }
+        }
+        let expected = plan.len();
+        let raw_total = plan
+            .iter()
+            .filter(|s| matches!(s, Source::Raw(_)))
+            .count();
+
+        // Per-chunk costs in nanoseconds.
+        let cost = &self.cfg.cost;
+        let text_bytes = self.file.text_bytes_per_chunk();
+        let split_frac = q.tokenize_cols as f64 / self.file.cols as f64;
+        let tokenize_ns = cost.dispatch_ns
+            + cost.tokenize_split_ns_per_byte * text_bytes * split_frac
+            + cost.tokenize_skip_ns_per_byte * text_bytes * (1.0 - split_frac);
+        let values_converted = self.file.rows_per_chunk as f64 * q.convert_cols as f64;
+        let parse_ns = cost.dispatch_ns + cost.parse_ns_per_value * values_converted;
+        let engine_ns = cost.engine_ns_per_value * values_converted;
+        let raw_read_ns = cost.read_secs(text_bytes) * 1e9;
+        let db_read_ns = cost.read_secs(self.file.binary_bytes_per_chunk()) * 1e9;
+        let write_ns = cost.write_secs(self.file.binary_bytes_per_chunk()) * 1e9;
+        let seek_ns = cost.seek_ns;
+
+        let slots = if self.cfg.workers == 0 {
+            1
+        } else {
+            self.cfg.workers.min(self.cfg.cores).max(1)
+        };
+        let serialize_read = self.cfg.workers == 0;
+        let wait_for_writes = matches!(
+            self.cfg.policy,
+            WritePolicy::Eager | WritePolicy::Buffered | WritePolicy::Invisible { .. }
+        );
+
+        // --- event machinery ---
+        let mut now: u64 = 0;
+        let mut seq: u64 = 0;
+        let mut events: BinaryHeap<Reverse<(u64, u64, Ev)>> = BinaryHeap::new();
+
+        // --- pipeline state ---
+        let mut deliver_idx = 0usize;
+        let mut text_q: VecDeque<usize> = VecDeque::new();
+        let mut pos_q: VecDeque<usize> = VecDeque::new();
+        let mut out_q: VecDeque<usize> = VecDeque::new();
+        let mut tokenizing = 0usize;
+        let mut parsing = 0usize;
+        let mut busy_workers = 0usize;
+        let mut engine_busy = false;
+        let mut engine_done = 0usize;
+        let mut disk: Option<DiskOp> = None;
+        let mut disk_dir: Option<bool> = None; // true = read
+        let mut disk_started: u64 = 0;
+        let mut write_q: VecDeque<usize> = VecDeque::new();
+        let mut pending_write: HashSet<usize> = HashSet::new();
+        let mut startup_drain = self.carried_writes.len();
+        for id in self.carried_writes.drain(..) {
+            pending_write.insert(id);
+            write_q.push_back(id);
+        }
+        let mut raw_read_done = 0usize;
+        let mut safeguard_fired = false;
+        let mut invisible_quota = match self.cfg.policy {
+            WritePolicy::Invisible { chunks_per_query } => chunks_per_query as usize,
+            _ => 0,
+        };
+        let mut from_cache = 0usize;
+        let mut from_db = 0usize;
+        let mut from_raw = 0usize;
+        let mut chunks_written = 0usize;
+        let mut disk_read_spans: Vec<Span> = Vec::new();
+        let mut disk_write_spans: Vec<Span> = Vec::new();
+        let mut cpu_spans: Vec<Span> = Vec::new();
+        let record = self.cfg.record_timeline;
+        let mut end_time: u64 = 0;
+
+        macro_rules! push_ev {
+            ($t:expr, $e:expr) => {{
+                seq += 1;
+                events.push(Reverse(($t, seq, $e)));
+            }};
+        }
+
+        // The dispatch closure is expressed as a macro to borrow state
+        // mutably without fighting the borrow checker.
+        macro_rules! dispatch {
+            () => {{
+                let mut progressed = true;
+                while progressed {
+                    progressed = false;
+
+                    // Safeguard flush: once the raw scan finished and the
+                    // conversion pipeline drained, everything still cached
+                    // and unloaded is queued for storing (§4). Independent
+                    // of the device state — writes overlap the engine tail.
+                    if let WritePolicy::Speculative { safeguard: true } = self.cfg.policy {
+                        if !safeguard_fired
+                            && raw_read_done == raw_total
+                            && text_q.is_empty()
+                            && pos_q.is_empty()
+                            && tokenizing == 0
+                            && parsing == 0
+                        {
+                            safeguard_fired = true;
+                            for id in self.cache.unloaded(&pending_write) {
+                                pending_write.insert(id);
+                                write_q.push_back(id);
+                            }
+                        }
+                    }
+
+                    // 0. Cache deliveries (no device involved).
+                    while deliver_idx < plan.len() {
+                        if let Source::Cache(id) = plan[deliver_idx] {
+                            if out_q.len() + parsing < self.cfg.cache_chunks.max(2) {
+                                self.cache.touch(id);
+                                out_q.push_back(id);
+                                from_cache += 1;
+                                deliver_idx += 1;
+                                progressed = true;
+                                continue;
+                            }
+                        }
+                        break;
+                    }
+
+                    // 1. PARSE first (downstream priority).
+                    while busy_workers < slots
+                        && !pos_q.is_empty()
+                        && out_q.len() + parsing < self.cfg.cache_chunks.max(2)
+                    {
+                        let id = pos_q.pop_front().expect("checked");
+                        busy_workers += 1;
+                        parsing += 1;
+                        if record {
+                            cpu_spans.push(Span {
+                                start: now as f64 * 1e-9,
+                                end: (now as f64 + parse_ns) * 1e-9,
+                            });
+                        }
+                        push_ev!(now + parse_ns as u64, Ev::Parsed(id));
+                        progressed = true;
+                    }
+
+                    // 2. TOKENIZE.
+                    while busy_workers < slots
+                        && !text_q.is_empty()
+                        && pos_q.len() + tokenizing < self.cfg.position_buffer
+                    {
+                        let id = text_q.pop_front().expect("checked");
+                        busy_workers += 1;
+                        tokenizing += 1;
+                        if record {
+                            cpu_spans.push(Span {
+                                start: now as f64 * 1e-9,
+                                end: (now as f64 + tokenize_ns) * 1e-9,
+                            });
+                        }
+                        push_ev!(now + tokenize_ns as u64, Ev::Tokenized(id));
+                        progressed = true;
+                    }
+
+                    // 3. Engine.
+                    if !engine_busy {
+                        if let Some(id) = out_q.pop_front() {
+                            engine_busy = true;
+                            push_ev!(now + engine_ns as u64, Ev::Consumed(id));
+                            progressed = true;
+                        }
+                    }
+
+                    // 4. Device.
+                    if disk.is_none() {
+                        // 4a. Determine whether READ can and wants to go.
+                        let mut read_blocked = false;
+                        let mut started_read = false;
+                        let write_preempts = !self.cfg.arbitration && !write_q.is_empty();
+                        if !write_preempts && startup_drain == 0 && deliver_idx < plan.len() {
+                            match plan[deliver_idx] {
+                                Source::Cache(_) => {} // handled in step 0
+                                Source::Db(_) => {
+                                    if out_q.len() + parsing < self.cfg.cache_chunks.max(2) {
+                                        let Source::Db(id) = plan[deliver_idx] else {
+                                            unreachable!()
+                                        };
+                                        let mut dur = db_read_ns;
+                                        if disk_dir == Some(false) {
+                                            dur += seek_ns;
+                                        }
+                                        disk = Some(DiskOp::ReadDb(id));
+                                        disk_dir = Some(true);
+                                        disk_started = now;
+                                        deliver_idx += 1;
+                                        push_ev!(now + dur as u64, Ev::Disk);
+                                        started_read = true;
+                                    } else {
+                                        read_blocked = true;
+                                    }
+                                }
+                                Source::Raw(_) => {
+                                    let room = text_q.len() < self.cfg.text_buffer;
+                                    let serial_ok = !serialize_read
+                                        || (text_q.is_empty()
+                                            && pos_q.is_empty()
+                                            && busy_workers == 0);
+                                    if room && serial_ok {
+                                        let Source::Raw(id) = plan[deliver_idx] else {
+                                            unreachable!()
+                                        };
+                                        let mut dur = raw_read_ns;
+                                        if disk_dir == Some(false) {
+                                            dur += seek_ns;
+                                        }
+                                        disk = Some(DiskOp::ReadRaw(id));
+                                        disk_dir = Some(true);
+                                        disk_started = now;
+                                        deliver_idx += 1;
+                                        push_ev!(now + dur as u64, Ev::Disk);
+                                        started_read = true;
+                                    } else {
+                                        read_blocked = true;
+                                    }
+                                }
+                            }
+                        }
+                        if started_read {
+                            progressed = true;
+                        } else {
+                            // 4b. Speculative trigger: READ is blocked (or
+                            // there is nothing left to read) and the disk is
+                            // idle.
+                            let _raw_done = raw_read_done == raw_total;
+                            if matches!(self.cfg.policy, WritePolicy::Speculative { .. })
+                                && (read_blocked || deliver_idx >= plan.len())
+                                && write_q.is_empty()
+                            {
+                                if let Some(id) = self.cache.oldest_unloaded(&pending_write) {
+                                    // One chunk at a time (§4).
+                                    pending_write.insert(id);
+                                    write_q.push_back(id);
+                                }
+                            }
+                            // 4c. WRITE gets the device: always during the
+                            // startup drain, otherwise only when READ is not
+                            // able to use it.
+                            if !write_q.is_empty() {
+                                let write_allowed = if startup_drain > 0 {
+                                    true
+                                } else {
+                                    match self.cfg.policy {
+                                        WritePolicy::Speculative { .. } => {
+                                            read_blocked || raw_read_done == raw_total
+                                        }
+                                        _ => true, // read had priority above
+                                    }
+                                };
+                                if write_allowed {
+                                    let id = write_q.pop_front().expect("checked");
+                                    let mut dur = write_ns;
+                                    if disk_dir == Some(true) {
+                                        dur += seek_ns;
+                                    }
+                                    disk = Some(DiskOp::Write(id));
+                                    disk_dir = Some(false);
+                                    disk_started = now;
+                                    push_ev!(now + dur as u64, Ev::Disk);
+                                    progressed = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }};
+        }
+
+        dispatch!();
+
+        // Main event loop.
+        while let Some(Reverse((t, _, ev))) = events.pop() {
+            now = t;
+            match ev {
+                Ev::Disk => {
+                    let op = disk.take().expect("disk op in flight");
+                    if record {
+                        let span = Span {
+                            start: disk_started as f64 * 1e-9,
+                            end: now as f64 * 1e-9,
+                        };
+                        match op {
+                            DiskOp::Write(_) => disk_write_spans.push(span),
+                            _ => disk_read_spans.push(span),
+                        }
+                    }
+                    match op {
+                        DiskOp::ReadRaw(id) => {
+                            text_q.push_back(id);
+                            from_raw += 1;
+                            raw_read_done += 1;
+                        }
+                        DiskOp::ReadDb(id) => {
+                            out_q.push_back(id);
+                            from_db += 1;
+                            self.cache.insert(id, true);
+                        }
+                        DiskOp::Write(id) => {
+                            self.loaded[id] = true;
+                            self.cache.mark_loaded(id);
+                            pending_write.remove(&id);
+                            chunks_written += 1;
+                            startup_drain = startup_drain.saturating_sub(1);
+                        }
+                    }
+                }
+                Ev::Tokenized(id) => {
+                    busy_workers -= 1;
+                    tokenizing -= 1;
+                    pos_q.push_back(id);
+                }
+                Ev::Parsed(id) => {
+                    busy_workers -= 1;
+                    parsing -= 1;
+                    out_q.push_back(id);
+                    // Cache insert + policy hooks.
+                    let evicted = self.cache.insert(id, self.loaded[id]);
+                    match self.cfg.policy {
+                        WritePolicy::Eager => {
+                            if !self.loaded[id] && pending_write.insert(id) {
+                                write_q.push_back(id);
+                            }
+                        }
+                        WritePolicy::Invisible { .. } if invisible_quota > 0 => {
+                            if !self.loaded[id] && pending_write.insert(id) {
+                                invisible_quota -= 1;
+                                write_q.push_back(id);
+                            }
+                        }
+                        WritePolicy::Buffered => {
+                            if let Some((vid, vloaded)) = evicted {
+                                if !vloaded && pending_write.insert(vid) {
+                                    write_q.push_back(vid);
+                                }
+                            }
+                        }
+                        _ => {
+                            let _ = evicted;
+                        }
+                    }
+                }
+                Ev::Consumed(_) => {
+                    engine_busy = false;
+                    engine_done += 1;
+                }
+            }
+
+            dispatch!();
+
+            // Completion check.
+            let engine_finished = engine_done == expected;
+            let writes_finished = write_q.is_empty() && !matches!(disk, Some(DiskOp::Write(_)));
+            if engine_finished && (!wait_for_writes || writes_finished) {
+                end_time = now;
+                break;
+            }
+        }
+        if end_time == 0 {
+            end_time = now;
+        }
+        debug_assert_eq!(engine_done, expected, "every planned chunk delivered");
+
+        // Carry unfinished speculative writes to the next query.
+        if let Some(DiskOp::Write(id)) = disk {
+            // Treat the in-flight write as still pending.
+            write_q.push_front(id);
+        }
+        // The query can end (engine done) while a write still holds the
+        // device, before the safeguard had a chance to fire; flush the
+        // remaining unloaded cached chunks into the carried set so every
+        // query is guaranteed to make loading progress (§4).
+        if let WritePolicy::Speculative { safeguard: true } = self.cfg.policy {
+            if !safeguard_fired {
+                for id in self.cache.unloaded(&pending_write) {
+                    pending_write.insert(id);
+                    write_q.push_back(id);
+                }
+            }
+        }
+        self.carried_writes = write_q
+            .iter()
+            .copied()
+            .collect();
+
+        QuerySim {
+            elapsed_secs: end_time as f64 * 1e-9,
+            from_cache,
+            from_db,
+            from_raw,
+            chunks_written,
+            loaded_after: self.loaded_count(),
+            disk_read_spans,
+            disk_write_spans,
+            cpu_spans,
+        }
+    }
+
+    /// Runs `n` identical full-conversion queries back to back (Figure 8).
+    pub fn run_sequence(&mut self, n: usize) -> Vec<QuerySim> {
+        let q = QuerySpec::full(&self.file);
+        (0..n).map(|_| self.run_query(&q)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file() -> FileSpec {
+        // 64 chunks of 2^14 rows × 16 cols.
+        FileSpec::synthetic(64 * (1 << 14), 16, 1 << 14)
+    }
+
+    fn cfg(workers: usize, policy: WritePolicy) -> SimConfig {
+        SimConfig::new(workers, policy, CostModel::nominal())
+    }
+
+    #[test]
+    fn all_chunks_delivered_exactly_once() {
+        let mut sim = Simulator::new(cfg(4, WritePolicy::ExternalTables), file());
+        let r = sim.run_query(&QuerySpec::full(&file()));
+        assert_eq!(r.from_raw, 64);
+        assert_eq!(r.from_cache + r.from_db, 0);
+        assert_eq!(r.chunks_written, 0);
+        assert_eq!(r.loaded_after, 0);
+    }
+
+    #[test]
+    fn more_workers_never_slower() {
+        let mut prev = f64::INFINITY;
+        for w in [0, 1, 2, 4, 8, 16] {
+            let mut sim = Simulator::new(cfg(w, WritePolicy::ExternalTables), file());
+            let r = sim.run_query(&QuerySpec::full(&file()));
+            assert!(
+                r.elapsed_secs <= prev * 1.001,
+                "w={w}: {} > prev {prev}",
+                r.elapsed_secs
+            );
+            prev = r.elapsed_secs;
+        }
+    }
+
+    #[test]
+    fn plateau_is_io_bound() {
+        let f = file();
+        let mut sim = Simulator::new(cfg(16, WritePolicy::ExternalTables), f);
+        let r = sim.run_query(&QuerySpec::full(&f));
+        let io_floor = CostModel::nominal().read_secs(f.total_text_bytes());
+        assert!(r.elapsed_secs >= io_floor * 0.999);
+        assert!(
+            r.elapsed_secs <= io_floor * 1.25,
+            "16 workers should be close to the I/O floor: {} vs {io_floor}",
+            r.elapsed_secs
+        );
+    }
+
+    #[test]
+    fn eager_loads_everything_and_is_not_faster() {
+        let f = file();
+        let mut ext = Simulator::new(cfg(8, WritePolicy::ExternalTables), f);
+        let ext_t = ext.run_query(&QuerySpec::full(&f)).elapsed_secs;
+        let mut eager = Simulator::new(cfg(8, WritePolicy::Eager), f);
+        let r = eager.run_query(&QuerySpec::full(&f));
+        assert!(eager.fully_loaded());
+        assert_eq!(r.chunks_written, 64);
+        assert!(r.elapsed_secs >= ext_t * 0.999);
+    }
+
+    #[test]
+    fn speculative_first_query_matches_external_tables_when_io_bound() {
+        let f = file();
+        let mut ext = Simulator::new(cfg(16, WritePolicy::ExternalTables), f);
+        let ext_t = ext.run_query(&QuerySpec::full(&f)).elapsed_secs;
+        let mut spec = Simulator::new(cfg(16, WritePolicy::speculative()), f);
+        let r = spec.run_query(&QuerySpec::full(&f));
+        // The speculative run may finish writes after the query; elapsed must
+        // match external tables almost exactly.
+        assert!(
+            (r.elapsed_secs - ext_t).abs() / ext_t < 0.02,
+            "spec {} vs ext {ext_t}",
+            r.elapsed_secs
+        );
+    }
+
+    #[test]
+    fn speculative_loads_heavily_when_cpu_bound() {
+        let f = file();
+        // One worker with expensive parsing → conversion is the bottleneck →
+        // the disk idles → the scheduler loads almost everything for free.
+        let mut cost = CostModel::nominal();
+        cost.parse_ns_per_value *= 8.0;
+        let mut sim = Simulator::new(
+            SimConfig::new(1, WritePolicy::speculative(), cost.clone()),
+            f,
+        );
+        let r = sim.run_query(&QuerySpec::full(&f));
+        assert!(
+            r.chunks_written + sim.carried_writes.len() >= f.n_chunks / 2,
+            "cpu-bound speculative should load much of the file: {} written, {} carried",
+            r.chunks_written,
+            sim.carried_writes.len()
+        );
+        // And it must not be slower than external tables.
+        let mut ext = Simulator::new(SimConfig::new(1, WritePolicy::ExternalTables, cost), f);
+        let ext_t = ext.run_query(&QuerySpec::full(&f)).elapsed_secs;
+        assert!(
+            (r.elapsed_secs - ext_t).abs() / ext_t < 0.02,
+            "spec {} vs ext {ext_t}",
+            r.elapsed_secs
+        );
+    }
+
+    #[test]
+    fn sequence_converges_to_database_reads() {
+        let f = file();
+        let mut sim = Simulator::new(cfg(16, WritePolicy::speculative()), f);
+        let results = sim.run_sequence(8);
+        // Query times must be non-increasing (within tolerance).
+        for w in results.windows(2) {
+            assert!(
+                w[1].elapsed_secs <= w[0].elapsed_secs * 1.02,
+                "{} then {}",
+                w[0].elapsed_secs,
+                w[1].elapsed_secs
+            );
+        }
+        let last = results.last().expect("non-empty");
+        assert_eq!(last.from_raw, 0, "converged: no more raw conversion");
+        assert!(sim.fully_loaded());
+        // Converged time ≈ binary read time of the uncached part.
+        let binary_secs = CostModel::nominal()
+            .read_secs(f.binary_bytes_per_chunk() * (f.n_chunks - 32) as f64);
+        assert!(last.elapsed_secs <= binary_secs * 1.5);
+    }
+
+    #[test]
+    fn buffered_writes_on_eviction_only() {
+        let f = file();
+        let mut sim = Simulator::new(cfg(8, WritePolicy::Buffered), f);
+        let r = sim.run_query(&QuerySpec::full(&f));
+        // 64 chunks through a 32-slot cache → 32 evictions written.
+        assert_eq!(r.chunks_written, 32);
+        assert_eq!(sim.loaded_count(), 32);
+    }
+
+    #[test]
+    fn invisible_quota_respected() {
+        let f = file();
+        let mut sim = Simulator::new(
+            cfg(8, WritePolicy::Invisible { chunks_per_query: 4 }),
+            f,
+        );
+        let r = sim.run_query(&QuerySpec::full(&f));
+        assert_eq!(r.chunks_written, 4);
+        let r2 = sim.run_query(&QuerySpec::full(&f));
+        assert!(r2.chunks_written <= 4);
+    }
+
+    #[test]
+    fn selective_conversion_is_cheaper() {
+        let f = file();
+        let full = Simulator::new(cfg(1, WritePolicy::ExternalTables), f)
+            .run_query(&QuerySpec::full(&f))
+            .elapsed_secs;
+        let selective = Simulator::new(cfg(1, WritePolicy::ExternalTables), f)
+            .run_query(&QuerySpec {
+                convert_cols: 2,
+                tokenize_cols: 2,
+            })
+            .elapsed_secs;
+        assert!(
+            selective < full,
+            "selective {selective} should beat full {full}"
+        );
+    }
+
+    #[test]
+    fn second_query_uses_cache_first() {
+        let f = FileSpec::synthetic(16 * (1 << 14), 16, 1 << 14); // 16 chunks < cache
+        let mut sim = Simulator::new(cfg(8, WritePolicy::ExternalTables), f);
+        sim.run_query(&QuerySpec::full(&f));
+        let r2 = sim.run_query(&QuerySpec::full(&f));
+        assert_eq!(r2.from_cache, 16);
+        assert_eq!(r2.from_raw, 0);
+        assert!(r2.elapsed_secs < 0.05, "cache-only query is near-instant");
+    }
+
+    #[test]
+    fn timeline_spans_recorded_when_enabled() {
+        let f = file();
+        let mut c = cfg(2, WritePolicy::speculative());
+        c.record_timeline = true;
+        let mut sim = Simulator::new(c, f);
+        let r = sim.run_query(&QuerySpec::full(&f));
+        assert!(!r.disk_read_spans.is_empty());
+        assert!(!r.cpu_spans.is_empty());
+        let util = QuerySim::utilization(&r.disk_read_spans, 0.1, r.elapsed_secs);
+        assert!(util.iter().any(|u| u.value > 0.5));
+        assert!(util.iter().all(|u| u.value <= 1.0 + 1e-9));
+    }
+
+    #[test]
+    fn zero_workers_is_fully_serial() {
+        let f = FileSpec::synthetic(8 * (1 << 14), 16, 1 << 14);
+        let mut sim = Simulator::new(cfg(0, WritePolicy::ExternalTables), f);
+        let r = sim.run_query(&QuerySpec::full(&f));
+        let cost = CostModel::nominal();
+        let per_chunk = cost.read_secs(f.text_bytes_per_chunk())
+            + (cost.dispatch_ns
+                + cost.tokenize_split_ns_per_byte * f.text_bytes_per_chunk()
+                + cost.dispatch_ns
+                + cost.parse_ns_per_value * (f.rows_per_chunk as f64 * f.cols as f64))
+                * 1e-9;
+        let serial_floor = per_chunk * f.n_chunks as f64;
+        assert!(
+            r.elapsed_secs >= serial_floor * 0.98,
+            "{} vs floor {serial_floor}",
+            r.elapsed_secs
+        );
+    }
+}

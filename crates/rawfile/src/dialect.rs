@@ -1,0 +1,30 @@
+//! Delimiter configuration for flat text formats.
+
+/// How attributes and records are separated in a text file.
+///
+/// Records are always newline (`\n`) separated; a trailing `\r` (CRLF input)
+/// is stripped by the tokenizer. Only the attribute delimiter varies between
+/// the formats the paper evaluates (CSV commas, SAM tabs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TextDialect {
+    /// Byte separating attributes within a line.
+    pub delimiter: u8,
+}
+
+impl TextDialect {
+    /// Comma-separated values — the synthetic micro-benchmark suite.
+    pub const CSV: TextDialect = TextDialect { delimiter: b',' };
+    /// Tab-delimited — SAM files and the paper's flat-file experiments.
+    pub const TSV: TextDialect = TextDialect { delimiter: b'\t' };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dialect_constants() {
+        assert_eq!(TextDialect::CSV.delimiter, b',');
+        assert_eq!(TextDialect::TSV.delimiter, b'\t');
+    }
+}

@@ -1,0 +1,153 @@
+//! Synthetic data generation — the paper's micro-benchmark suite (§5.1).
+//!
+//! "We generate a suite of synthetic CSV files … The value in each column is
+//! a randomly-generated unsigned integer smaller than 2^31." Files are staged
+//! directly into [`RamStorage`](scanraw_simio::RamStorage) (generation is not part of any measured
+//! experiment, so it bypasses throttling).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scanraw_simio::SimDisk;
+use scanraw_types::Schema;
+
+/// Description of one synthetic CSV file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsvSpec {
+    pub rows: u64,
+    pub cols: usize,
+    pub seed: u64,
+}
+
+impl CsvSpec {
+    pub fn new(rows: u64, cols: usize, seed: u64) -> Self {
+        CsvSpec { rows, cols, seed }
+    }
+
+    /// Schema of the generated file: `cols` integer columns.
+    pub fn schema(&self) -> Schema {
+        Schema::uniform_ints(self.cols)
+    }
+}
+
+/// Generates the CSV bytes for a spec.
+///
+/// Values are uniform in `[0, 2^31)` as in the paper. Deterministic per seed.
+pub fn csv_bytes(spec: &CsvSpec) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    // ~10 bytes per value plus delimiter.
+    let mut out = Vec::with_capacity((spec.rows as usize) * spec.cols * 11);
+    let mut buf = itoa_buffer();
+    for _ in 0..spec.rows {
+        for c in 0..spec.cols {
+            if c > 0 {
+                out.push(b',');
+            }
+            let v: u32 = rng.gen_range(0..(1u32 << 31));
+            write_u32(&mut out, v, &mut buf);
+        }
+        out.push(b'\n');
+    }
+    out
+}
+
+/// Generates and stages a CSV file on the device, returning its byte size.
+pub fn stage_csv(disk: &SimDisk, name: &str, spec: &CsvSpec) -> u64 {
+    let bytes = csv_bytes(spec);
+    let len = bytes.len() as u64;
+    disk.storage().put(name, bytes);
+    len
+}
+
+/// Sums of every column, computed independently of the parsing pipeline.
+/// Used by tests and harnesses to verify query answers end to end.
+pub fn expected_column_sums(spec: &CsvSpec) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut sums = vec![0i64; spec.cols];
+    for _ in 0..spec.rows {
+        for s in sums.iter_mut() {
+            let v: u32 = rng.gen_range(0..(1u32 << 31));
+            *s += v as i64;
+        }
+    }
+    sums
+}
+
+fn itoa_buffer() -> [u8; 10] {
+    [0u8; 10]
+}
+
+/// Appends the decimal form of `v` without allocating.
+fn write_u32(out: &mut Vec<u8>, mut v: u32, buf: &mut [u8; 10]) {
+    if v == 0 {
+        out.push(b'0');
+        return;
+    }
+    let mut i = buf.len();
+    while v > 0 {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+    }
+    out.extend_from_slice(&buf[i..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = CsvSpec::new(16, 4, 7);
+        assert_eq!(csv_bytes(&spec), csv_bytes(&spec));
+        let other = CsvSpec::new(16, 4, 8);
+        assert_ne!(csv_bytes(&spec), csv_bytes(&other));
+    }
+
+    #[test]
+    fn shape_is_rows_by_cols() {
+        let spec = CsvSpec::new(5, 3, 1);
+        let bytes = csv_bytes(&spec);
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        for l in lines {
+            assert_eq!(l.split(',').count(), 3);
+            for f in l.split(',') {
+                let v: u64 = f.parse().unwrap();
+                assert!(v < (1 << 31));
+            }
+        }
+    }
+
+    #[test]
+    fn expected_sums_match_file_contents() {
+        let spec = CsvSpec::new(100, 2, 42);
+        let text = String::from_utf8(csv_bytes(&spec)).unwrap();
+        let mut sums = vec![0i64; 2];
+        for l in text.lines() {
+            for (i, f) in l.split(',').enumerate() {
+                sums[i] += f.parse::<i64>().unwrap();
+            }
+        }
+        assert_eq!(sums, expected_column_sums(&spec));
+    }
+
+    #[test]
+    fn stage_reports_length() {
+        let d = SimDisk::instant();
+        let spec = CsvSpec::new(10, 2, 3);
+        let len = stage_csv(&d, "t.csv", &spec);
+        assert_eq!(len, d.len("t.csv").unwrap());
+        assert!(len > 0);
+    }
+
+    #[test]
+    fn write_u32_edge_values() {
+        let mut out = Vec::new();
+        let mut buf = itoa_buffer();
+        write_u32(&mut out, 0, &mut buf);
+        out.push(b' ');
+        write_u32(&mut out, u32::MAX, &mut buf);
+        assert_eq!(out, b"0 4294967295");
+    }
+}

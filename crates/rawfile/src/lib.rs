@@ -1,0 +1,31 @@
+//! Raw-file access and conversion stages for ScanRaw.
+//!
+//! Implements the generic raw-file query-processing decomposition of paper §2:
+//!
+//! * [`chunker`] — READ support: splits a flat file into line-aligned chunks
+//!   (the paper's reading/processing unit) while streaming from the device;
+//! * [`tokenize`] — TOKENIZE: positional maps, full and selective;
+//! * [`parse`] — PARSE(+MAP): typed conversion into columnar [`BinaryChunk`]s,
+//!   with selective parsing and optional push-down selection;
+//! * [`dialect`] — delimiter configuration (CSV, TSV/SAM);
+//! * [`generate`] — synthetic data generators (the paper's micro-benchmark
+//!   suite: 2^20–2^28 rows × 2–256 integer columns);
+//! * [`sam`] — the SAM genomic format: schema, record model, generator;
+//! * [`bamsim`] — a compressed binary container with a deliberately
+//!   *sequential* reader library, standing in for BAM + BAMTools (Table 1).
+//!
+//! [`BinaryChunk`]: scanraw_types::BinaryChunk
+
+pub mod bamsim;
+pub mod chunker;
+pub mod dialect;
+pub mod generate;
+pub mod parse;
+pub mod sam;
+pub mod tokenize;
+
+pub use chunker::ChunkReader;
+pub use scanraw_types::{ChunkLayout, ChunkMeta};
+pub use dialect::TextDialect;
+pub use parse::{parse_chunk, parse_chunk_projected, RowFilter};
+pub use tokenize::{tokenize_chunk, tokenize_chunk_selective};

@@ -1,0 +1,311 @@
+//! The SAM genomic alignment format (paper §1 motivating example, §5.2).
+//!
+//! A SAM file holds one *read* per line with 11 mandatory tab-delimited
+//! fields (Li et al., Bioinformatics 2009). The paper's real-data experiment
+//! computes "the distribution of the CIGAR field at positions in the genome
+//! where reads exhibit a certain pattern" — a group-by aggregate with a
+//! pattern-matching predicate.
+//!
+//! We do not have the 145 GB NA12878 file from the 1000 Genomes project, so
+//! [`generate_reads`] synthesizes reads with the same shape: realistic CIGAR
+//! strings, positions along a reference, flags, and quality strings. The
+//! header lines (`@`-prefixed) are omitted, as the paper's tab-delimited
+//! ScanRaw implementation consumes the alignment section.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scanraw_simio::SimDisk;
+use scanraw_types::{DataType, Field, Schema};
+
+/// Index of each mandatory SAM field within the schema.
+pub mod field {
+    pub const QNAME: usize = 0;
+    pub const FLAG: usize = 1;
+    pub const RNAME: usize = 2;
+    pub const POS: usize = 3;
+    pub const MAPQ: usize = 4;
+    pub const CIGAR: usize = 5;
+    pub const RNEXT: usize = 6;
+    pub const PNEXT: usize = 7;
+    pub const TLEN: usize = 8;
+    pub const SEQ: usize = 9;
+    pub const QUAL: usize = 10;
+}
+
+/// Schema of the 11 mandatory SAM fields.
+pub fn sam_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("qname", DataType::Utf8),
+        Field::new("flag", DataType::Int64),
+        Field::new("rname", DataType::Utf8),
+        Field::new("pos", DataType::Int64),
+        Field::new("mapq", DataType::Int64),
+        Field::new("cigar", DataType::Utf8),
+        Field::new("rnext", DataType::Utf8),
+        Field::new("pnext", DataType::Int64),
+        Field::new("tlen", DataType::Int64),
+        Field::new("seq", DataType::Utf8),
+        Field::new("qual", DataType::Utf8),
+    ])
+    .expect("static schema is valid")
+}
+
+/// One synthetic read, in memory (used by the BAM-sim writer too).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SamRead {
+    pub qname: String,
+    pub flag: i64,
+    pub rname: String,
+    pub pos: i64,
+    pub mapq: i64,
+    pub cigar: String,
+    pub rnext: String,
+    pub pnext: i64,
+    pub tlen: i64,
+    pub seq: String,
+    pub qual: String,
+}
+
+impl SamRead {
+    /// Serializes as one SAM line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            self.qname,
+            self.flag,
+            self.rname,
+            self.pos,
+            self.mapq,
+            self.cigar,
+            self.rnext,
+            self.pnext,
+            self.tlen,
+            self.seq,
+            self.qual
+        )
+    }
+}
+
+/// Parameters of the synthetic dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamSpec {
+    pub reads: u64,
+    pub seed: u64,
+    /// Read (sequence) length; 1000 Genomes Illumina data is ~100 bp.
+    pub read_len: usize,
+    /// Reference length the positions are drawn from.
+    pub ref_len: u64,
+}
+
+impl Default for SamSpec {
+    fn default() -> Self {
+        SamSpec {
+            reads: 10_000,
+            seed: 1,
+            read_len: 100,
+            ref_len: 10_000_000,
+        }
+    }
+}
+
+const CHROMS: [&str; 4] = ["chr1", "chr2", "chr3", "chrX"];
+const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// Generates `spec.reads` synthetic reads, deterministic per seed.
+pub fn generate_reads(spec: &SamSpec) -> Vec<SamRead> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    (0..spec.reads)
+        .map(|i| {
+            let pos = rng.gen_range(1..=spec.ref_len as i64);
+            let chrom = CHROMS[rng.gen_range(0..CHROMS.len())];
+            let seq: String = (0..spec.read_len)
+                .map(|_| BASES[rng.gen_range(0..4)] as char)
+                .collect();
+            let qual: String = (0..spec.read_len)
+                .map(|_| (b'!' + rng.gen_range(0..40u8)) as char)
+                .collect();
+            SamRead {
+                qname: format!("read.{i}"),
+                flag: [0, 16, 99, 147][rng.gen_range(0..4)],
+                rname: chrom.to_string(),
+                pos,
+                mapq: rng.gen_range(0..=60),
+                cigar: random_cigar(&mut rng, spec.read_len),
+                rnext: "=".to_string(),
+                pnext: (pos + rng.gen_range(-400i64..400)).max(1),
+                tlen: rng.gen_range(-600i64..600),
+                seq,
+                qual,
+            }
+        })
+        .collect()
+}
+
+/// Produces a CIGAR string covering `read_len` bases.
+///
+/// 70% of reads are perfect matches (`{len}M`), the rest mix in insertions,
+/// deletions and soft clips — the skew makes the CIGAR distribution query
+/// (Table 1) meaningful.
+fn random_cigar(rng: &mut StdRng, read_len: usize) -> String {
+    if rng.gen_bool(0.7) {
+        return format!("{read_len}M");
+    }
+    let mut remaining = read_len;
+    let mut parts = Vec::new();
+    // Leading soft clip sometimes.
+    if rng.gen_bool(0.3) && remaining > 10 {
+        let s = rng.gen_range(1..=10);
+        parts.push(format!("{s}S"));
+        remaining -= s;
+    }
+    while remaining > 0 {
+        let m = rng.gen_range(1..=remaining);
+        parts.push(format!("{m}M"));
+        remaining -= m;
+        if remaining == 0 {
+            break;
+        }
+        match rng.gen_range(0..3) {
+            0 => {
+                let d = rng.gen_range(1..=5);
+                parts.push(format!("{d}D")); // deletions consume no read bases
+            }
+            1 => {
+                let i = rng.gen_range(1..=remaining.min(5));
+                parts.push(format!("{i}I"));
+                remaining -= i;
+            }
+            _ => {}
+        }
+    }
+    parts.join("")
+}
+
+/// Serializes reads as SAM text.
+pub fn sam_bytes(reads: &[SamRead]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(reads.len() * 256);
+    for r in reads {
+        out.extend_from_slice(r.to_line().as_bytes());
+        out.push(b'\n');
+    }
+    out
+}
+
+/// Generates and stages a SAM file; returns (reads, byte length).
+pub fn stage_sam(disk: &SimDisk, name: &str, spec: &SamSpec) -> (Vec<SamRead>, u64) {
+    let reads = generate_reads(spec);
+    let bytes = sam_bytes(&reads);
+    let len = bytes.len() as u64;
+    disk.storage().put(name, bytes);
+    (reads, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dialect::TextDialect;
+    use crate::parse::reference;
+
+    #[test]
+    fn schema_has_eleven_fields() {
+        let s = sam_schema();
+        assert_eq!(s.len(), 11);
+        assert_eq!(s.index_of("cigar").unwrap(), field::CIGAR);
+        assert_eq!(s.index_of("pos").unwrap(), field::POS);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = SamSpec {
+            reads: 32,
+            ..Default::default()
+        };
+        assert_eq!(generate_reads(&spec), generate_reads(&spec));
+    }
+
+    #[test]
+    fn lines_have_eleven_tab_fields() {
+        let spec = SamSpec {
+            reads: 20,
+            ..Default::default()
+        };
+        let text = String::from_utf8(sam_bytes(&generate_reads(&spec))).unwrap();
+        for line in text.lines() {
+            assert_eq!(line.split('\t').count(), 11);
+        }
+    }
+
+    #[test]
+    fn reads_parse_under_sam_schema() {
+        let spec = SamSpec {
+            reads: 10,
+            ..Default::default()
+        };
+        let reads = generate_reads(&spec);
+        let text = String::from_utf8(sam_bytes(&reads)).unwrap();
+        let rows = reference::parse_rows(
+            &text,
+            TextDialect::TSV,
+            &sam_schema(),
+            &[field::POS, field::CIGAR],
+        )
+        .unwrap();
+        for (row, read) in rows.iter().zip(&reads) {
+            assert_eq!(row[0].as_i64().unwrap(), read.pos);
+            assert_eq!(row[1].as_str().unwrap(), read.cigar);
+        }
+    }
+
+    #[test]
+    fn cigars_cover_read_length() {
+        // M, I, S consume read bases; D does not.
+        let spec = SamSpec {
+            reads: 200,
+            read_len: 50,
+            ..Default::default()
+        };
+        for r in generate_reads(&spec) {
+            let mut covered = 0usize;
+            let mut num = 0usize;
+            for ch in r.cigar.chars() {
+                if ch.is_ascii_digit() {
+                    num = num * 10 + (ch as u8 - b'0') as usize;
+                } else {
+                    if matches!(ch, 'M' | 'I' | 'S') {
+                        covered += num;
+                    }
+                    num = 0;
+                }
+            }
+            assert_eq!(covered, 50, "cigar {} does not cover read", r.cigar);
+        }
+    }
+
+    #[test]
+    fn positions_within_reference() {
+        let spec = SamSpec {
+            reads: 100,
+            ref_len: 1000,
+            ..Default::default()
+        };
+        for r in generate_reads(&spec) {
+            assert!(r.pos >= 1 && r.pos <= 1000);
+            assert!(r.pnext >= 1);
+        }
+    }
+
+    #[test]
+    fn stage_sam_writes_device() {
+        let d = SimDisk::instant();
+        let (reads, len) = stage_sam(
+            &d,
+            "x.sam",
+            &SamSpec {
+                reads: 5,
+                ..Default::default()
+            },
+        );
+        assert_eq!(reads.len(), 5);
+        assert_eq!(d.len("x.sam").unwrap(), len);
+    }
+}

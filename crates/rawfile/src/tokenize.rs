@@ -1,0 +1,217 @@
+//! TOKENIZE: locate attribute boundaries within a text chunk.
+//!
+//! "Taking a text line corresponding to a tuple as input, TOKENIZE is
+//! responsible for identifying the attributes of the tuple. The output is a
+//! vector containing the starting position for every attribute" (paper §2).
+//!
+//! Two variants are provided:
+//!
+//! * [`tokenize_chunk`] — full positional map over all `n_cols` attributes;
+//! * [`tokenize_chunk_selective`] — *selective tokenizing* (paper §2, citing
+//!   NoDB): the per-line scan stops at the end of the last attribute that will
+//!   be converted, producing a partial map; PARSE scans forward from the
+//!   closest mapped attribute for anything beyond the prefix.
+
+use crate::dialect::TextDialect;
+use scanraw_types::{Error, PositionalMap, Result, TextChunk};
+
+/// Builds a full positional map of the first `n_cols` attributes per line.
+pub fn tokenize_chunk(
+    chunk: &TextChunk,
+    dialect: TextDialect,
+    n_cols: usize,
+) -> Result<PositionalMap> {
+    tokenize_chunk_selective(chunk, dialect, n_cols, n_cols)
+}
+
+/// Builds a partial positional map with the first `cols_mapped` of `n_cols`
+/// attribute starts per line.
+///
+/// `cols_mapped` must be at least 1 and at most `n_cols`. Lines with fewer
+/// than `cols_mapped` attributes are an error (malformed input).
+pub fn tokenize_chunk_selective(
+    chunk: &TextChunk,
+    dialect: TextDialect,
+    n_cols: usize,
+    cols_mapped: usize,
+) -> Result<PositionalMap> {
+    if cols_mapped == 0 || cols_mapped > n_cols {
+        return Err(Error::Config(format!(
+            "cols_mapped must be in 1..={n_cols}, got {cols_mapped}"
+        )));
+    }
+    let data = &chunk.data[..];
+    let rows = chunk.rows as usize;
+    let delim = dialect.delimiter;
+
+    let mut line_starts: Vec<u32> = Vec::with_capacity(rows + 1);
+    let mut attr_starts: Vec<u32> = Vec::with_capacity(rows * cols_mapped);
+
+    let mut pos = 0usize;
+    for row in 0..rows {
+        line_starts.push(pos as u32);
+        // Attribute 0 starts at the line start.
+        attr_starts.push(pos as u32);
+        let mut found = 1usize;
+        // Selective scan: stop splitting once the prefix is mapped.
+        while found < cols_mapped {
+            match scan_until(data, pos, delim) {
+                ScanHit::Delim(at) => {
+                    attr_starts.push((at + 1) as u32);
+                    pos = at + 1;
+                    found += 1;
+                }
+                ScanHit::LineEnd | ScanHit::Eof => {
+                    return Err(Error::Tokenize {
+                        line: chunk.first_row + row as u64,
+                        message: format!(
+                            "expected at least {cols_mapped} attributes, found {found}"
+                        ),
+                    });
+                }
+            }
+        }
+        // Skip the remainder of the line looking only for the newline.
+        pos = match find_newline(data, pos) {
+            Some(nl) => nl + 1,
+            None => data.len(), // last line without trailing newline
+        };
+    }
+    line_starts.push(pos as u32);
+    if pos != data.len() {
+        return Err(Error::Tokenize {
+            line: chunk.first_row + rows as u64,
+            message: format!(
+                "chunk declares {rows} rows but {} bytes remain",
+                data.len() - pos
+            ),
+        });
+    }
+    PositionalMap::new(chunk.rows, cols_mapped as u32, line_starts, attr_starts)
+}
+
+enum ScanHit {
+    /// Delimiter at this index.
+    Delim(usize),
+    /// Newline encountered before a delimiter.
+    LineEnd,
+    Eof,
+}
+
+/// Scans from `from` for the next delimiter, stopping at a newline.
+fn scan_until(data: &[u8], from: usize, delim: u8) -> ScanHit {
+    for (i, &b) in data[from..].iter().enumerate() {
+        if b == delim {
+            return ScanHit::Delim(from + i);
+        }
+        if b == b'\n' {
+            return ScanHit::LineEnd;
+        }
+    }
+    ScanHit::Eof
+}
+
+fn find_newline(data: &[u8], from: usize) -> Option<usize> {
+    data[from..].iter().position(|&b| b == b'\n').map(|i| from + i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use scanraw_types::ChunkId;
+
+    fn chunk(text: &str, rows: u32) -> TextChunk {
+        TextChunk {
+            id: ChunkId(0),
+            file_offset: 0,
+            first_row: 0,
+            rows,
+            data: Bytes::from(text.as_bytes().to_vec()),
+        }
+    }
+
+    #[test]
+    fn full_map_positions() {
+        let c = chunk("10,200,3\n4,55,666\n", 2);
+        let m = tokenize_chunk(&c, TextDialect::CSV, 3).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols_mapped(), 3);
+        // Line 0: "10,200,3\n" → starts 0, 3, 7.
+        assert_eq!(m.attr_start(0, 0), Some(0));
+        assert_eq!(m.attr_start(0, 1), Some(3));
+        assert_eq!(m.attr_start(0, 2), Some(7));
+        // Line 1 begins at byte 9: "4,55,666\n" → 9, 11, 14.
+        assert_eq!(m.attr_start(1, 0), Some(9));
+        assert_eq!(m.attr_start(1, 1), Some(11));
+        assert_eq!(m.attr_start(1, 2), Some(14));
+        assert_eq!(m.line_span(0), (0, 9));
+        assert_eq!(m.line_span(1), (9, 18));
+    }
+
+    #[test]
+    fn selective_map_stops_early() {
+        let c = chunk("1,2,3,4,5\n6,7,8,9,10\n", 2);
+        let m = tokenize_chunk_selective(&c, TextDialect::CSV, 5, 2).unwrap();
+        assert_eq!(m.cols_mapped(), 2);
+        assert_eq!(m.attr_start(0, 0), Some(0));
+        assert_eq!(m.attr_start(0, 1), Some(2));
+        assert_eq!(m.attr_start(0, 2), None);
+        // Line spans are still complete.
+        assert_eq!(m.line_span(1), (10, 21));
+    }
+
+    #[test]
+    fn too_few_attributes_is_error() {
+        let c = chunk("1,2\n", 1);
+        let err = tokenize_chunk(&c, TextDialect::CSV, 3).unwrap_err();
+        assert!(matches!(err, Error::Tokenize { .. }));
+    }
+
+    #[test]
+    fn row_count_mismatch_detected() {
+        let c = chunk("1\n2\n3\n", 2); // declares 2 rows, has 3
+        let err = tokenize_chunk(&c, TextDialect::CSV, 1).unwrap_err();
+        assert!(matches!(err, Error::Tokenize { .. }));
+    }
+
+    #[test]
+    fn unterminated_last_line() {
+        let c = chunk("1,2\n3,4", 2);
+        let m = tokenize_chunk(&c, TextDialect::CSV, 2).unwrap();
+        assert_eq!(m.line_span(1), (4, 7));
+        assert_eq!(m.attr_start(1, 1), Some(6));
+    }
+
+    #[test]
+    fn tab_dialect() {
+        let c = chunk("a\tb\nc\td\n", 2);
+        let m = tokenize_chunk(&c, TextDialect::TSV, 2).unwrap();
+        assert_eq!(m.attr_start(0, 1), Some(2));
+        assert_eq!(m.attr_start(1, 1), Some(6));
+    }
+
+    #[test]
+    fn cols_mapped_bounds_checked() {
+        let c = chunk("1,2\n", 1);
+        assert!(tokenize_chunk_selective(&c, TextDialect::CSV, 2, 0).is_err());
+        assert!(tokenize_chunk_selective(&c, TextDialect::CSV, 2, 3).is_err());
+    }
+
+    #[test]
+    fn single_column_lines() {
+        let c = chunk("alpha\nbeta\n", 2);
+        let m = tokenize_chunk(&c, TextDialect::CSV, 1).unwrap();
+        assert_eq!(m.attr_start(0, 0), Some(0));
+        assert_eq!(m.attr_start(1, 0), Some(6));
+    }
+
+    #[test]
+    fn empty_fields_are_positions_too() {
+        let c = chunk(",,\n", 1);
+        let m = tokenize_chunk(&c, TextDialect::CSV, 3).unwrap();
+        assert_eq!(m.attr_start(0, 0), Some(0));
+        assert_eq!(m.attr_start(0, 1), Some(1));
+        assert_eq!(m.attr_start(0, 2), Some(2));
+    }
+}

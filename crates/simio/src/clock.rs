@@ -1,0 +1,124 @@
+//! Pluggable time source for the simulated device.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonic clock that can also pass time.
+///
+/// `SimDisk` charges I/O cost by calling [`Clock::sleep`]; swapping the clock
+/// changes whether that cost is paid in wall-clock time ([`RealClock`], used
+/// by the live multithreaded operator) or in bookkeeping only
+/// ([`VirtualClock`], used by unit tests).
+pub trait Clock: Send + Sync {
+    /// Time elapsed since the clock's epoch.
+    fn now(&self) -> Duration;
+    /// Blocks the caller (really or virtually) for `d`.
+    fn sleep(&self, d: Duration);
+}
+
+/// Shared handle to a clock implementation.
+pub type SharedClock = Arc<dyn Clock>;
+
+/// Wall-clock time; `sleep` parks the calling thread.
+#[derive(Debug)]
+pub struct RealClock {
+    epoch: Instant,
+}
+
+impl RealClock {
+    pub fn new() -> Self {
+        RealClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Convenience constructor returning a shared handle.
+    pub fn shared() -> SharedClock {
+        Arc::new(RealClock::new())
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        RealClock::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    fn sleep(&self, d: Duration) {
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+/// Virtual time: `sleep` advances a counter instead of parking.
+///
+/// Deterministic and free; exact for single-threaded use (unit tests and the
+/// calibration harness). Multi-threaded callers still get consistent totals —
+/// each sleep advances the global clock atomically — but not a faithful
+/// parallel schedule; the discrete-event simulator in `scanraw-pipesim` exists
+/// for that.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now: Mutex<Duration>,
+}
+
+impl VirtualClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn shared() -> SharedClock {
+        Arc::new(VirtualClock::new())
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Duration {
+        *self.now.lock()
+    }
+
+    fn sleep(&self, d: Duration) {
+        let mut now = self.now.lock();
+        *now += d;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_advances_only_on_sleep() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), Duration::ZERO);
+        c.sleep(Duration::from_millis(250));
+        assert_eq!(c.now(), Duration::from_millis(250));
+        c.sleep(Duration::ZERO);
+        assert_eq!(c.now(), Duration::from_millis(250));
+    }
+
+    #[test]
+    fn real_clock_monotonic() {
+        let c = RealClock::new();
+        let a = c.now();
+        c.sleep(Duration::from_millis(2));
+        let b = c.now();
+        assert!(b >= a + Duration::from_millis(2));
+    }
+
+    #[test]
+    fn shared_handles_are_object_safe() {
+        let clocks: Vec<SharedClock> = vec![VirtualClock::shared(), RealClock::shared()];
+        for c in clocks {
+            c.sleep(Duration::from_micros(1));
+            let _ = c.now();
+        }
+    }
+}

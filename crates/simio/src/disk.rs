@@ -1,0 +1,416 @@
+//! The throttled, arbitrated device: [`SimDisk`].
+//!
+//! All ScanRaw I/O — reading the raw file and writing binary chunks into the
+//! database — goes through one `SimDisk`, because on the paper's testbed both
+//! hit the same RAID array. The device:
+//!
+//! * serializes operations (one accessor at a time — "ScanRaw has to enforce
+//!   that only one of READ or WRITE accesses the disk at any particular
+//!   instant", §3.2.1);
+//! * charges a direction-switch *seek penalty*, so interleaving reads and
+//!   writes is strictly worse than batching them — the cost the scheduler's
+//!   arbitration avoids;
+//! * serves re-reads of recently accessed ranges from a modeled OS page cache
+//!   at a higher bandwidth (paper §2 READ, §5 methodology).
+
+use crate::clock::SharedClock;
+use crate::ramfile::RamStorage;
+use crate::stats::{DiskStats, OpRecord};
+use parking_lot::Mutex;
+use scanraw_types::Result;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Direction of a device operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    Read,
+    Write,
+}
+
+/// Device parameters.
+///
+/// Defaults mirror the paper's storage system scaled for test runs: 436 MB/s
+/// average read, 3 GB/s cached read (§5 "System"). Write bandwidth is set
+/// equal to read bandwidth (RAID-0 of identical drives).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiskConfig {
+    pub read_bw: u64,
+    pub write_bw: u64,
+    /// Bandwidth for reads served by the page-cache model.
+    pub cached_read_bw: u64,
+    /// Extra latency when the device switches between reading and writing.
+    pub seek_latency: Duration,
+    /// Page-cache capacity in bytes (0 disables the cache model).
+    pub page_cache_bytes: u64,
+    /// Page granularity of the cache model.
+    pub page_bytes: u64,
+}
+
+impl Default for DiskConfig {
+    fn default() -> Self {
+        DiskConfig {
+            read_bw: 436 * 1024 * 1024,
+            write_bw: 436 * 1024 * 1024,
+            cached_read_bw: 3 * 1024 * 1024 * 1024,
+            seek_latency: Duration::from_millis(5),
+            page_cache_bytes: 256 * 1024 * 1024,
+            page_bytes: 256 * 1024,
+        }
+    }
+}
+
+impl DiskConfig {
+    /// A fast configuration for unit tests: high bandwidths, no seek penalty,
+    /// so real-clock tests finish in microseconds.
+    pub fn instant() -> Self {
+        DiskConfig {
+            read_bw: u64::MAX / 4,
+            write_bw: u64::MAX / 4,
+            cached_read_bw: u64::MAX / 4,
+            seek_latency: Duration::ZERO,
+            page_cache_bytes: 0,
+            page_bytes: 256 * 1024,
+        }
+    }
+}
+
+/// LRU page cache model: tracks *which* (file, page) ranges are resident; the
+/// bytes themselves live in [`RamStorage`] either way.
+#[derive(Debug, Default)]
+struct PageCacheModel {
+    /// Resident pages; value is unused, order kept in `lru`.
+    resident: HashMap<(String, u64), ()>,
+    /// Least-recently-used page queue (front = coldest).
+    lru: VecDeque<(String, u64)>,
+    bytes: u64,
+}
+
+impl PageCacheModel {
+    fn touch(&mut self, key: (String, u64), page_bytes: u64, capacity: u64) {
+        if self.resident.contains_key(&key) {
+            // Refresh recency.
+            if let Some(pos) = self.lru.iter().position(|k| *k == key) {
+                self.lru.remove(pos);
+            }
+            self.lru.push_back(key);
+            return;
+        }
+        self.resident.insert(key.clone(), ());
+        self.lru.push_back(key);
+        self.bytes += page_bytes;
+        while self.bytes > capacity {
+            match self.lru.pop_front() {
+                Some(cold) => {
+                    self.resident.remove(&cold);
+                    self.bytes -= page_bytes;
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn contains(&self, key: &(String, u64)) -> bool {
+        self.resident.contains_key(key)
+    }
+
+    fn clear(&mut self) {
+        self.resident.clear();
+        self.lru.clear();
+        self.bytes = 0;
+    }
+}
+
+struct DiskInner {
+    /// Held for the duration of each operation → single accessor.
+    /// Also remembers the direction of the previous operation for the seek
+    /// penalty model.
+    last_kind: Option<AccessKind>,
+    cache: PageCacheModel,
+}
+
+/// Bandwidth-throttled, single-accessor storage device over [`RamStorage`].
+///
+/// Cheap to clone; clones share the same device state.
+#[derive(Clone)]
+pub struct SimDisk {
+    storage: RamStorage,
+    cfg: DiskConfig,
+    clock: SharedClock,
+    inner: Arc<Mutex<DiskInner>>,
+    stats: Arc<DiskStats>,
+}
+
+impl SimDisk {
+    pub fn new(cfg: DiskConfig, clock: SharedClock) -> Self {
+        SimDisk {
+            storage: RamStorage::new(),
+            cfg,
+            clock,
+            inner: Arc::new(Mutex::new(DiskInner {
+                last_kind: None,
+                cache: PageCacheModel::default(),
+            })),
+            stats: Arc::new(DiskStats::new()),
+        }
+    }
+
+    /// Device with [`DiskConfig::instant`] and a virtual clock — for tests.
+    pub fn instant() -> Self {
+        SimDisk::new(DiskConfig::instant(), crate::clock::VirtualClock::shared())
+    }
+
+    pub fn config(&self) -> &DiskConfig {
+        &self.cfg
+    }
+
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+
+    pub fn stats(&self) -> &DiskStats {
+        &self.stats
+    }
+
+    /// Direct access to the backing store, bypassing throttling. Used to stage
+    /// input files (data generation is not part of the measured experiment).
+    pub fn storage(&self) -> &RamStorage {
+        &self.storage
+    }
+
+    /// Empties the page-cache model — the paper's "cleaning the file system
+    /// buffers before execution" (§5 Methodology).
+    pub fn drop_caches(&self) {
+        self.inner.lock().cache.clear();
+    }
+
+    pub fn exists(&self, name: &str) -> bool {
+        self.storage.exists(name)
+    }
+
+    pub fn len(&self, name: &str) -> Result<u64> {
+        self.storage.len(name)
+    }
+
+    /// Throttled read of `len` bytes at `offset`.
+    ///
+    /// Splits the range into cached and uncached pages, charges each share at
+    /// the corresponding bandwidth, then marks the pages resident.
+    pub fn read(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
+        // Compute cache hit/miss split and the seek penalty under the device
+        // lock, and hold the lock while time passes: single accessor.
+        let mut inner = self.inner.lock();
+        let (hit_bytes, miss_bytes) = self.classify_and_touch(&mut inner, name, offset, len as u64);
+        let mut cost = Duration::ZERO;
+        if inner.last_kind == Some(AccessKind::Write) && miss_bytes > 0 {
+            cost += self.cfg.seek_latency;
+        }
+        if miss_bytes > 0 {
+            inner.last_kind = Some(AccessKind::Read);
+        }
+        cost += bytes_over_bw(miss_bytes, self.cfg.read_bw);
+        cost += bytes_over_bw(hit_bytes, self.cfg.cached_read_bw);
+
+        let start = self.clock.now();
+        self.clock.sleep(cost);
+        let end = self.clock.now();
+        let data = self.storage.read_at(name, offset, len)?;
+        self.stats.record(OpRecord {
+            kind: AccessKind::Read,
+            start,
+            end,
+            bytes: len as u64,
+        });
+        Ok(data)
+    }
+
+    /// Throttled positional write (write-through; pages become resident).
+    pub fn write_at(&self, name: &str, offset: u64, buf: &[u8]) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let mut cost = Duration::ZERO;
+        if inner.last_kind == Some(AccessKind::Read) {
+            cost += self.cfg.seek_latency;
+        }
+        inner.last_kind = Some(AccessKind::Write);
+        cost += bytes_over_bw(buf.len() as u64, self.cfg.write_bw);
+        self.classify_and_touch(&mut inner, name, offset, buf.len() as u64);
+
+        let start = self.clock.now();
+        self.clock.sleep(cost);
+        let end = self.clock.now();
+        self.storage.write_at(name, offset, buf)?;
+        self.stats.record(OpRecord {
+            kind: AccessKind::Write,
+            start,
+            end,
+            bytes: buf.len() as u64,
+        });
+        Ok(())
+    }
+
+    /// Throttled append; returns the offset written at.
+    pub fn append(&self, name: &str, buf: &[u8]) -> Result<u64> {
+        let offset = self.storage.len(name)?;
+        self.write_at(name, offset, buf)?;
+        Ok(offset)
+    }
+
+    /// Creates an empty file (no throttling — metadata operation).
+    pub fn create(&self, name: &str) -> bool {
+        self.storage.create(name)
+    }
+
+    /// Splits `[offset, offset+len)` into cached/uncached bytes by page, and
+    /// marks every page of the range resident.
+    fn classify_and_touch(
+        &self,
+        inner: &mut DiskInner,
+        name: &str,
+        offset: u64,
+        len: u64,
+    ) -> (u64, u64) {
+        if self.cfg.page_cache_bytes == 0 || len == 0 {
+            return (0, len);
+        }
+        let pb = self.cfg.page_bytes;
+        let first = offset / pb;
+        let last = (offset + len - 1) / pb;
+        let mut hit = 0u64;
+        let mut miss = 0u64;
+        for page in first..=last {
+            let page_start = page * pb;
+            let page_end = page_start + pb;
+            let span = (offset + len).min(page_end) - offset.max(page_start);
+            let key = (name.to_string(), page);
+            if inner.cache.contains(&key) {
+                hit += span;
+            } else {
+                miss += span;
+            }
+            inner
+                .cache
+                .touch(key, pb, self.cfg.page_cache_bytes);
+        }
+        (hit, miss)
+    }
+}
+
+fn bytes_over_bw(bytes: u64, bw: u64) -> Duration {
+    if bytes == 0 || bw == 0 {
+        return Duration::ZERO;
+    }
+    Duration::from_secs_f64(bytes as f64 / bw as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+
+    fn throttled_disk() -> SimDisk {
+        let cfg = DiskConfig {
+            read_bw: 1000,        // 1000 B/s → 1 ms per byte
+            write_bw: 500,        // 2 ms per byte
+            cached_read_bw: 100_000,
+            seek_latency: Duration::from_millis(10),
+            page_cache_bytes: 4096,
+            page_bytes: 1024,
+        };
+        SimDisk::new(cfg, VirtualClock::shared())
+    }
+
+    #[test]
+    fn cold_read_charged_at_disk_bandwidth() {
+        let d = throttled_disk();
+        d.storage().put("f", vec![0u8; 2000]);
+        let t0 = d.clock().now();
+        d.read("f", 0, 1000).unwrap();
+        let elapsed = d.clock().now() - t0;
+        // 1000 bytes at 1000 B/s = 1 s.
+        assert!((elapsed.as_secs_f64() - 1.0).abs() < 1e-6, "{elapsed:?}");
+    }
+
+    #[test]
+    fn warm_read_charged_at_cached_bandwidth() {
+        let d = throttled_disk();
+        d.storage().put("f", vec![0u8; 1024]);
+        d.read("f", 0, 1024).unwrap();
+        let t0 = d.clock().now();
+        d.read("f", 0, 1024).unwrap();
+        let warm = d.clock().now() - t0;
+        // 1024 bytes at 100 kB/s ≈ 10 ms, far below the 1 s cold cost.
+        assert!(warm < Duration::from_millis(100), "{warm:?}");
+    }
+
+    #[test]
+    fn drop_caches_restores_cold_cost() {
+        let d = throttled_disk();
+        d.storage().put("f", vec![0u8; 1024]);
+        d.read("f", 0, 1024).unwrap();
+        d.drop_caches();
+        let t0 = d.clock().now();
+        d.read("f", 0, 1024).unwrap();
+        let cold = d.clock().now() - t0;
+        assert!(cold >= Duration::from_millis(900), "{cold:?}");
+    }
+
+    #[test]
+    fn direction_switch_pays_seek() {
+        let d = throttled_disk();
+        d.storage().put("f", vec![0u8; 4096]);
+        d.create("g");
+        d.read("f", 0, 100).unwrap(); // last_kind = Read
+        let t0 = d.clock().now();
+        d.write_at("g", 0, &[1u8; 100]).unwrap();
+        let w = d.clock().now() - t0;
+        // 100 B at 500 B/s = 200 ms, plus 10 ms seek.
+        assert!((w.as_secs_f64() - 0.210).abs() < 1e-6, "{w:?}");
+        // A second write in the same direction pays no seek.
+        let t1 = d.clock().now();
+        d.write_at("g", 100, &[1u8; 100]).unwrap();
+        let w2 = d.clock().now() - t1;
+        assert!((w2.as_secs_f64() - 0.200).abs() < 1e-6, "{w2:?}");
+    }
+
+    #[test]
+    fn append_returns_running_offsets() {
+        let d = SimDisk::instant();
+        d.create("g");
+        assert_eq!(d.append("g", &[0u8; 8]).unwrap(), 0);
+        assert_eq!(d.append("g", &[0u8; 8]).unwrap(), 8);
+        assert_eq!(d.len("g").unwrap(), 16);
+    }
+
+    #[test]
+    fn stats_capture_bytes_and_direction() {
+        let d = SimDisk::instant();
+        d.storage().put("f", vec![0u8; 100]);
+        d.create("g");
+        d.read("f", 0, 100).unwrap();
+        d.write_at("g", 0, &[0u8; 40]).unwrap();
+        assert_eq!(d.stats().bytes(AccessKind::Read), 100);
+        assert_eq!(d.stats().bytes(AccessKind::Write), 40);
+        assert_eq!(d.stats().op_count(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_limits_cache() {
+        let d = throttled_disk(); // capacity 4096 B = 4 pages of 1024 B
+        d.storage().put("f", vec![0u8; 8192]);
+        // Touch pages 0..6 — pages 0 and 1 must be evicted.
+        for p in 0..6u64 {
+            d.read("f", p * 1024, 1024).unwrap();
+        }
+        let t0 = d.clock().now();
+        d.read("f", 0, 1024).unwrap(); // page 0: must be cold again
+        let again = d.clock().now() - t0;
+        assert!(again >= Duration::from_millis(900), "{again:?}");
+    }
+
+    #[test]
+    fn reads_of_missing_files_fail_cleanly() {
+        let d = SimDisk::instant();
+        assert!(d.read("missing", 0, 1).is_err());
+    }
+}

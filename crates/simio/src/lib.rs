@@ -1,0 +1,29 @@
+//! Simulated storage device for the ScanRaw reproduction.
+//!
+//! The paper's testbed is a 4-disk RAID-0 array with ~436 MB/s average read
+//! throughput. We do not have that hardware, so this crate provides a
+//! deterministic substitute: RAM-backed files ([`ramfile`]) behind a
+//! bandwidth-throttled device ([`disk::SimDisk`]) that
+//!
+//! * charges `bytes / bandwidth` of (real or virtual) time per operation,
+//! * enforces single-accessor semantics — READ and WRITE contend for the same
+//!   device, and switching direction pays a seek penalty, which is exactly the
+//!   interference the ScanRaw scheduler exists to avoid (paper §3.2),
+//! * models the OS page cache — re-reads of cached ranges run at the (much
+//!   higher) cached bandwidth, matching the paper's methodology of dropping
+//!   caches before cold runs (§5),
+//! * records a complete utilization timeline (who was busy when), which is
+//!   what Figure 9 plots.
+//!
+//! Time comes from a pluggable [`clock::Clock`] so unit tests can run on a
+//! virtual clock with zero wall-clock cost.
+
+pub mod clock;
+pub mod disk;
+pub mod ramfile;
+pub mod stats;
+
+pub use clock::{Clock, RealClock, SharedClock, VirtualClock};
+pub use disk::{AccessKind, DiskConfig, SimDisk};
+pub use ramfile::RamStorage;
+pub use stats::{DiskStats, UtilizationSample};

@@ -1,0 +1,192 @@
+//! RAM-backed named files: the byte store underneath [`crate::SimDisk`].
+//!
+//! Keeping file contents in memory removes the host's real disk from the
+//! experiment entirely; all timing behaviour is produced by the throttling
+//! layer, which makes runs reproducible on any machine.
+
+use parking_lot::RwLock;
+use scanraw_types::{Error, Result};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A single file's contents behind its own lock.
+type FileCell = Arc<RwLock<Vec<u8>>>;
+
+/// A set of named in-memory files.
+///
+/// Cheap to clone (shared behind `Arc`); all operations are thread-safe.
+#[derive(Debug, Clone, Default)]
+pub struct RamStorage {
+    inner: Arc<RwLock<HashMap<String, FileCell>>>,
+}
+
+impl RamStorage {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates (or truncates) a file with the given contents.
+    pub fn put(&self, name: &str, data: Vec<u8>) {
+        self.inner
+            .write()
+            .insert(name.to_string(), Arc::new(RwLock::new(data)));
+    }
+
+    /// Creates an empty file if absent; returns whether it was created.
+    pub fn create(&self, name: &str) -> bool {
+        let mut files = self.inner.write();
+        if files.contains_key(name) {
+            false
+        } else {
+            files.insert(name.to_string(), Arc::new(RwLock::new(Vec::new())));
+            true
+        }
+    }
+
+    /// Removes a file; returns whether it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        self.inner.write().remove(name).is_some()
+    }
+
+    pub fn exists(&self, name: &str) -> bool {
+        self.inner.read().contains_key(name)
+    }
+
+    pub fn len(&self, name: &str) -> Result<u64> {
+        let f = self.handle(name)?;
+        let len = f.read().len() as u64;
+        Ok(len)
+    }
+
+    pub fn is_empty(&self, name: &str) -> Result<bool> {
+        Ok(self.len(name)? == 0)
+    }
+
+    /// Lists file names (unordered).
+    pub fn names(&self) -> Vec<String> {
+        self.inner.read().keys().cloned().collect()
+    }
+
+    /// Reads `len` bytes at `offset`. Short files are an error — the device
+    /// never returns partial reads, mirroring page-granular storage.
+    pub fn read_at(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let f = self.handle(name)?;
+        let data = f.read();
+        let start = offset as usize;
+        let end = start
+            .checked_add(len)
+            .ok_or_else(|| Error::io("read range overflow"))?;
+        if end > data.len() {
+            return Err(Error::io(format!(
+                "read past end of '{name}': {end} > {}",
+                data.len()
+            )));
+        }
+        Ok(data[start..end].to_vec())
+    }
+
+    /// Writes `buf` at `offset`, extending the file with zeros if needed.
+    pub fn write_at(&self, name: &str, offset: u64, buf: &[u8]) -> Result<()> {
+        let f = self.handle(name)?;
+        let mut data = f.write();
+        let start = offset as usize;
+        let end = start
+            .checked_add(buf.len())
+            .ok_or_else(|| Error::io("write range overflow"))?;
+        if end > data.len() {
+            data.resize(end, 0);
+        }
+        data[start..end].copy_from_slice(buf);
+        Ok(())
+    }
+
+    /// Appends `buf`, returning the offset it was written at.
+    pub fn append(&self, name: &str, buf: &[u8]) -> Result<u64> {
+        let f = self.handle(name)?;
+        let mut data = f.write();
+        let offset = data.len() as u64;
+        data.extend_from_slice(buf);
+        Ok(offset)
+    }
+
+    fn handle(&self, name: &str) -> Result<FileCell> {
+        self.inner
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::io(format!("no such file '{name}'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_read_roundtrip() {
+        let s = RamStorage::new();
+        s.put("a", b"hello world".to_vec());
+        assert_eq!(s.read_at("a", 6, 5).unwrap(), b"world");
+        assert_eq!(s.len("a").unwrap(), 11);
+    }
+
+    #[test]
+    fn read_past_end_is_error() {
+        let s = RamStorage::new();
+        s.put("a", vec![1, 2, 3]);
+        assert!(s.read_at("a", 2, 2).is_err());
+        assert!(s.read_at("a", 0, 3).is_ok());
+    }
+
+    #[test]
+    fn missing_file_is_error() {
+        let s = RamStorage::new();
+        assert!(s.read_at("nope", 0, 1).is_err());
+        assert!(s.len("nope").is_err());
+    }
+
+    #[test]
+    fn write_extends_with_zeros() {
+        let s = RamStorage::new();
+        s.create("f");
+        s.write_at("f", 4, b"xy").unwrap();
+        assert_eq!(s.read_at("f", 0, 6).unwrap(), vec![0, 0, 0, 0, b'x', b'y']);
+    }
+
+    #[test]
+    fn append_returns_offsets() {
+        let s = RamStorage::new();
+        s.create("f");
+        assert_eq!(s.append("f", b"ab").unwrap(), 0);
+        assert_eq!(s.append("f", b"cd").unwrap(), 2);
+        assert_eq!(s.read_at("f", 0, 4).unwrap(), b"abcd");
+    }
+
+    #[test]
+    fn create_and_remove() {
+        let s = RamStorage::new();
+        assert!(s.create("f"));
+        assert!(!s.create("f"), "second create is a no-op");
+        assert!(s.exists("f"));
+        assert!(s.remove("f"));
+        assert!(!s.remove("f"));
+        assert!(!s.exists("f"));
+    }
+
+    #[test]
+    fn concurrent_appends_preserve_total_length() {
+        let s = RamStorage::new();
+        s.create("f");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        s.append("f", &[7u8; 16]).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(s.len("f").unwrap(), 4 * 100 * 16);
+    }
+}

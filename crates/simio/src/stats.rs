@@ -1,0 +1,177 @@
+//! Device accounting: totals and a busy/idle timeline (the data behind Fig 9).
+
+use crate::disk::AccessKind;
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// One completed device operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpRecord {
+    pub kind: AccessKind,
+    pub start: Duration,
+    pub end: Duration,
+    pub bytes: u64,
+}
+
+/// A point of the utilization timeline: fraction of one window the device
+/// spent reading and writing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilizationSample {
+    /// Window start, since the clock epoch.
+    pub at: Duration,
+    /// Fraction of the window busy with reads, in `[0, 1]`.
+    pub read: f64,
+    /// Fraction of the window busy with writes, in `[0, 1]`.
+    pub write: f64,
+}
+
+/// Thread-safe collector of [`OpRecord`]s.
+#[derive(Debug, Default)]
+pub struct DiskStats {
+    ops: Mutex<Vec<OpRecord>>,
+}
+
+impl DiskStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&self, op: OpRecord) {
+        self.ops.lock().push(op);
+    }
+
+    pub fn clear(&self) {
+        self.ops.lock().clear();
+    }
+
+    /// Total bytes moved in the given direction.
+    pub fn bytes(&self, kind: AccessKind) -> u64 {
+        self.ops
+            .lock()
+            .iter()
+            .filter(|o| o.kind == kind)
+            .map(|o| o.bytes)
+            .sum()
+    }
+
+    /// Total device-busy time in the given direction.
+    pub fn busy(&self, kind: AccessKind) -> Duration {
+        self.ops
+            .lock()
+            .iter()
+            .filter(|o| o.kind == kind)
+            .map(|o| o.end.saturating_sub(o.start))
+            .sum()
+    }
+
+    pub fn op_count(&self) -> usize {
+        self.ops.lock().len()
+    }
+
+    /// Snapshot of all recorded operations, in completion order.
+    pub fn ops(&self) -> Vec<OpRecord> {
+        self.ops.lock().clone()
+    }
+
+    /// Busy fraction per `window`, from the first op start to the last op end.
+    ///
+    /// This is the series Figure 9 plots (I/O utilization vs progress): a
+    /// window fully covered by read operations yields `read = 1.0`.
+    pub fn utilization_timeline(&self, window: Duration) -> Vec<UtilizationSample> {
+        assert!(!window.is_zero(), "window must be positive");
+        let ops = self.ops.lock();
+        if ops.is_empty() {
+            return Vec::new();
+        }
+        let t0 = ops.iter().map(|o| o.start).min().expect("non-empty");
+        let t1 = ops.iter().map(|o| o.end).max().expect("non-empty");
+        let n = ((t1 - t0).as_nanos() / window.as_nanos()) as usize + 1;
+        let mut read_busy = vec![Duration::ZERO; n];
+        let mut write_busy = vec![Duration::ZERO; n];
+        for op in ops.iter() {
+            // Spread the op's busy time over every window it overlaps.
+            let mut cur = op.start;
+            while cur < op.end {
+                let idx = ((cur - t0).as_nanos() / window.as_nanos()) as usize;
+                let win_end = t0 + window * (idx as u32 + 1);
+                let seg_end = op.end.min(win_end);
+                let seg = seg_end - cur;
+                match op.kind {
+                    AccessKind::Read => read_busy[idx] += seg,
+                    AccessKind::Write => write_busy[idx] += seg,
+                }
+                cur = seg_end;
+            }
+        }
+        (0..n)
+            .map(|i| UtilizationSample {
+                at: t0 + window * i as u32,
+                read: read_busy[i].as_secs_f64() / window.as_secs_f64(),
+                write: write_busy[i].as_secs_f64() / window.as_secs_f64(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(kind: AccessKind, start_ms: u64, end_ms: u64, bytes: u64) -> OpRecord {
+        OpRecord {
+            kind,
+            start: Duration::from_millis(start_ms),
+            end: Duration::from_millis(end_ms),
+            bytes,
+        }
+    }
+
+    #[test]
+    fn totals_by_kind() {
+        let s = DiskStats::new();
+        s.record(op(AccessKind::Read, 0, 10, 100));
+        s.record(op(AccessKind::Write, 10, 30, 50));
+        s.record(op(AccessKind::Read, 30, 35, 25));
+        assert_eq!(s.bytes(AccessKind::Read), 125);
+        assert_eq!(s.bytes(AccessKind::Write), 50);
+        assert_eq!(s.busy(AccessKind::Read), Duration::from_millis(15));
+        assert_eq!(s.busy(AccessKind::Write), Duration::from_millis(20));
+        assert_eq!(s.op_count(), 3);
+    }
+
+    #[test]
+    fn timeline_fully_busy_window() {
+        let s = DiskStats::new();
+        s.record(op(AccessKind::Read, 0, 100, 1));
+        let tl = s.utilization_timeline(Duration::from_millis(50));
+        assert_eq!(tl.len(), 3); // windows [0,50) [50,100) [100,150)
+        assert!((tl[0].read - 1.0).abs() < 1e-9);
+        assert!((tl[1].read - 1.0).abs() < 1e-9);
+        assert_eq!(tl[0].write, 0.0);
+    }
+
+    #[test]
+    fn timeline_alternating_read_write() {
+        let s = DiskStats::new();
+        s.record(op(AccessKind::Read, 0, 50, 1));
+        s.record(op(AccessKind::Write, 50, 100, 1));
+        let tl = s.utilization_timeline(Duration::from_millis(100));
+        assert!((tl[0].read - 0.5).abs() < 1e-9);
+        assert!((tl[0].write - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let s = DiskStats::new();
+        assert!(s.utilization_timeline(Duration::from_millis(10)).is_empty());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let s = DiskStats::new();
+        s.record(op(AccessKind::Read, 0, 1, 1));
+        s.clear();
+        assert_eq!(s.op_count(), 0);
+        assert_eq!(s.bytes(AccessKind::Read), 0);
+    }
+}

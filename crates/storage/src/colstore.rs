@@ -1,0 +1,343 @@
+//! Columnar chunked store: the on-"disk" database representation.
+//!
+//! Each (table, column) pair gets its own device file; each loaded chunk of a
+//! column is an independent page run appended to that file. The encoding is
+//! the flat array layout of the in-memory representation ("when written to
+//! disk, each column is assigned an independent set of pages which can be
+//! directly mapped into the in-memory array representation", paper §3.1), so
+//! loading a chunk back is a single device read plus a memcpy-equivalent
+//! decode.
+
+use parking_lot::RwLock;
+use scanraw_simio::SimDisk;
+use scanraw_types::{BinaryChunk, ChunkId, ColumnData, DataType, Error, Result, Schema};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Device location of one stored column run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RunLocator {
+    offset: u64,
+    len: u64,
+    rows: u32,
+}
+
+/// Columnar store over a shared device. Cheap to clone.
+/// Index key of a stored column run: (table, column, chunk).
+type RunKey = (String, usize, ChunkId);
+
+#[derive(Clone)]
+pub struct ColumnStore {
+    disk: SimDisk,
+    runs: Arc<RwLock<HashMap<RunKey, RunLocator>>>,
+}
+
+impl ColumnStore {
+    pub fn new(disk: SimDisk) -> Self {
+        ColumnStore {
+            disk,
+            runs: Arc::new(RwLock::new(HashMap::new())),
+        }
+    }
+
+    pub fn disk(&self) -> &SimDisk {
+        &self.disk
+    }
+
+    fn file_name(table: &str, col: usize) -> String {
+        format!("db/{table}/col{col}.bin")
+    }
+
+    /// Writes every present column of `chunk` that is not already stored.
+    /// Returns the column indices actually written.
+    pub fn store_chunk(&self, table: &str, chunk: &BinaryChunk) -> Result<Vec<usize>> {
+        let mut written = Vec::new();
+        for (col, data) in chunk.columns.iter().enumerate() {
+            let Some(data) = data else { continue };
+            let key = (table.to_string(), col, chunk.id);
+            if self.runs.read().contains_key(&key) {
+                continue; // already stored; chunks are immutable
+            }
+            let bytes = encode_column(data);
+            let file = Self::file_name(table, col);
+            self.disk.create(&file);
+            let offset = self.disk.append(&file, &bytes)?;
+            self.runs.write().insert(
+                key,
+                RunLocator {
+                    offset,
+                    len: bytes.len() as u64,
+                    rows: chunk.rows,
+                },
+            );
+            written.push(col);
+        }
+        Ok(written)
+    }
+
+    /// True when (table, column, chunk) is stored.
+    pub fn has(&self, table: &str, col: usize, id: ChunkId) -> bool {
+        self.runs
+            .read()
+            .contains_key(&(table.to_string(), col, id))
+    }
+
+    /// Reads the requested columns of a chunk back into a [`BinaryChunk`].
+    ///
+    /// This is the database-side READ path: no tokenizing, no parsing — one
+    /// device read per column plus decode (§3.2.1: "chunks loaded inside the
+    /// database can be read directly in the binary chunks buffer without any
+    /// tokenizing and parsing").
+    pub fn load_chunk(
+        &self,
+        table: &str,
+        schema: &Schema,
+        id: ChunkId,
+        first_row: u64,
+        cols: &[usize],
+    ) -> Result<BinaryChunk> {
+        let mut rows: Option<u32> = None;
+        let mut out_cols: Vec<Option<ColumnData>> = vec![None; schema.len()];
+        for &col in cols {
+            let key = (table.to_string(), col, id);
+            let loc = *self.runs.read().get(&key).ok_or_else(|| {
+                Error::storage(format!("column {col} of {id} not stored for '{table}'"))
+            })?;
+            let file = Self::file_name(table, col);
+            let bytes = self.disk.read(&file, loc.offset, loc.len as usize)?;
+            let dt = schema
+                .field(col)
+                .ok_or_else(|| Error::storage(format!("column {col} out of schema")))?
+                .data_type;
+            let data = decode_column(&bytes, dt, loc.rows)?;
+            match rows {
+                Some(r) if r != loc.rows => {
+                    return Err(Error::storage(format!(
+                        "row count mismatch in stored chunk {id}: {r} vs {}",
+                        loc.rows
+                    )));
+                }
+                _ => rows = Some(loc.rows),
+            }
+            out_cols[col] = Some(data);
+        }
+        Ok(BinaryChunk {
+            id,
+            first_row,
+            rows: rows.unwrap_or(0),
+            columns: out_cols,
+        })
+    }
+
+    /// Total stored bytes for a table (all columns, all chunks).
+    pub fn stored_bytes(&self, table: &str) -> u64 {
+        self.runs
+            .read()
+            .iter()
+            .filter(|((t, _, _), _)| t == table)
+            .map(|(_, loc)| loc.len)
+            .sum()
+    }
+}
+
+/// Flat little-endian encoding; strings are `u32` length + bytes.
+fn encode_column(data: &ColumnData) -> Vec<u8> {
+    match data {
+        ColumnData::Int64(v) => {
+            let mut out = Vec::with_capacity(v.len() * 8);
+            for x in v {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+            out
+        }
+        ColumnData::Float64(v) => {
+            let mut out = Vec::with_capacity(v.len() * 8);
+            for x in v {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+            out
+        }
+        ColumnData::Utf8(v) => {
+            let mut out = Vec::with_capacity(v.iter().map(|s| 4 + s.len()).sum());
+            for s in v {
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            out
+        }
+    }
+}
+
+fn decode_column(bytes: &[u8], dt: DataType, rows: u32) -> Result<ColumnData> {
+    let rows = rows as usize;
+    match dt {
+        DataType::Int64 => {
+            if bytes.len() != rows * 8 {
+                return Err(Error::storage("int64 run length mismatch"));
+            }
+            Ok(ColumnData::Int64(
+                bytes
+                    .chunks_exact(8)
+                    .map(|c| i64::from_le_bytes(c.try_into().expect("8 bytes")))
+                    .collect(),
+            ))
+        }
+        DataType::Float64 => {
+            if bytes.len() != rows * 8 {
+                return Err(Error::storage("float64 run length mismatch"));
+            }
+            Ok(ColumnData::Float64(
+                bytes
+                    .chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+                    .collect(),
+            ))
+        }
+        DataType::Utf8 => {
+            let mut v = Vec::with_capacity(rows);
+            let mut pos = 0usize;
+            for _ in 0..rows {
+                let len_bytes = bytes
+                    .get(pos..pos + 4)
+                    .ok_or_else(|| Error::storage("truncated string run"))?;
+                let len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
+                pos += 4;
+                let s = bytes
+                    .get(pos..pos + len)
+                    .ok_or_else(|| Error::storage("truncated string payload"))?;
+                pos += len;
+                v.push(
+                    String::from_utf8(s.to_vec())
+                        .map_err(|_| Error::storage("invalid utf-8 in stored column"))?,
+                );
+            }
+            if pos != bytes.len() {
+                return Err(Error::storage("trailing bytes in string run"));
+            }
+            Ok(ColumnData::Utf8(v))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanraw_types::Field;
+
+    fn chunk(id: u32) -> BinaryChunk {
+        BinaryChunk {
+            id: ChunkId(id),
+            first_row: id as u64 * 3,
+            rows: 3,
+            columns: vec![
+                Some(ColumnData::Int64(vec![1 + id as i64, 2, 3])),
+                Some(ColumnData::Utf8(vec!["a".into(), "bb".into(), "".into()])),
+                None,
+            ],
+        }
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("i", DataType::Int64),
+            Field::new("s", DataType::Utf8),
+            Field::new("f", DataType::Float64),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn store_and_load_roundtrip() {
+        let store = ColumnStore::new(SimDisk::instant());
+        let c = chunk(0);
+        let written = store.store_chunk("t", &c).unwrap();
+        assert_eq!(written, vec![0, 1]);
+        let back = store
+            .load_chunk("t", &schema(), ChunkId(0), 0, &[0, 1])
+            .unwrap();
+        assert_eq!(back.column(0), c.column(0));
+        assert_eq!(back.column(1), c.column(1));
+        assert_eq!(back.rows, 3);
+    }
+
+    #[test]
+    fn partial_load() {
+        let store = ColumnStore::new(SimDisk::instant());
+        store.store_chunk("t", &chunk(0)).unwrap();
+        let back = store
+            .load_chunk("t", &schema(), ChunkId(0), 0, &[1])
+            .unwrap();
+        assert!(back.column(0).is_none());
+        assert!(back.column(1).is_some());
+    }
+
+    #[test]
+    fn duplicate_store_is_idempotent() {
+        let store = ColumnStore::new(SimDisk::instant());
+        let first = store.store_chunk("t", &chunk(0)).unwrap();
+        assert_eq!(first.len(), 2);
+        let second = store.store_chunk("t", &chunk(0)).unwrap();
+        assert!(second.is_empty(), "already-stored columns are skipped");
+    }
+
+    #[test]
+    fn missing_chunk_is_error() {
+        let store = ColumnStore::new(SimDisk::instant());
+        assert!(store
+            .load_chunk("t", &schema(), ChunkId(9), 0, &[0])
+            .is_err());
+    }
+
+    #[test]
+    fn multiple_chunks_per_column_file() {
+        let store = ColumnStore::new(SimDisk::instant());
+        for i in 0..4 {
+            store.store_chunk("t", &chunk(i)).unwrap();
+        }
+        for i in 0..4 {
+            let back = store
+                .load_chunk("t", &schema(), ChunkId(i), 0, &[0])
+                .unwrap();
+            match back.column(0).unwrap() {
+                ColumnData::Int64(v) => assert_eq!(v[0], 1 + i as i64),
+                _ => panic!("wrong type"),
+            }
+        }
+    }
+
+    #[test]
+    fn tables_are_isolated() {
+        let store = ColumnStore::new(SimDisk::instant());
+        store.store_chunk("t1", &chunk(0)).unwrap();
+        assert!(store.has("t1", 0, ChunkId(0)));
+        assert!(!store.has("t2", 0, ChunkId(0)));
+        assert!(store
+            .load_chunk("t2", &schema(), ChunkId(0), 0, &[0])
+            .is_err());
+    }
+
+    #[test]
+    fn stored_bytes_accounting() {
+        let store = ColumnStore::new(SimDisk::instant());
+        store.store_chunk("t", &chunk(0)).unwrap();
+        // 3 i64 = 24 bytes, strings = (4+1)+(4+2)+(4+0) = 15.
+        assert_eq!(store.stored_bytes("t"), 39);
+        assert_eq!(store.stored_bytes("other"), 0);
+    }
+
+    #[test]
+    fn float_roundtrip() {
+        let store = ColumnStore::new(SimDisk::instant());
+        let c = BinaryChunk {
+            id: ChunkId(0),
+            first_row: 0,
+            rows: 2,
+            columns: vec![None, None, Some(ColumnData::Float64(vec![1.5, -0.25]))],
+        };
+        store.store_chunk("t", &c).unwrap();
+        let back = store
+            .load_chunk("t", &schema(), ChunkId(0), 0, &[2])
+            .unwrap();
+        assert_eq!(back.column(2), c.column(2));
+    }
+}

@@ -1,0 +1,192 @@
+//! Database façade: catalog + column store over one shared device.
+
+use crate::catalog::Catalog;
+use crate::colstore::ColumnStore;
+use scanraw_simio::SimDisk;
+use scanraw_types::{BinaryChunk, ChunkId, Error, Result, Schema};
+
+/// The database ScanRaw integrates with.
+///
+/// WRITE calls [`Database::store_chunk`]; READ calls
+/// [`Database::load_chunk`] for chunks whose columns are already inside the
+/// database. Both update/consult the catalog so the two sides stay
+/// consistent ("it also updates the catalog metadata accordingly", §3.2.1).
+#[derive(Clone)]
+pub struct Database {
+    catalog: Catalog,
+    store: ColumnStore,
+}
+
+impl Database {
+    pub fn new(disk: SimDisk) -> Self {
+        Database {
+            catalog: Catalog::new(),
+            store: ColumnStore::new(disk),
+        }
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn store(&self) -> &ColumnStore {
+        &self.store
+    }
+
+    pub fn disk(&self) -> &SimDisk {
+        self.store.disk()
+    }
+
+    /// Registers a raw-file-backed table.
+    pub fn create_table(
+        &self,
+        name: impl Into<String>,
+        schema: Schema,
+        raw_file: impl Into<String>,
+    ) -> Result<()> {
+        self.catalog.create_table(name, schema, raw_file)
+    }
+
+    /// Persists a converted chunk (all present columns) and updates the
+    /// catalog. Returns the columns newly written.
+    pub fn store_chunk(&self, table: &str, chunk: &BinaryChunk) -> Result<Vec<usize>> {
+        let written = self.store.store_chunk(table, chunk)?;
+        if !written.is_empty() {
+            self.catalog.mark_loaded(table, chunk.id, &written)?;
+        }
+        Ok(written)
+    }
+
+    /// Loads the requested columns of a chunk from the store, verifying the
+    /// catalog agrees they are available.
+    pub fn load_chunk(&self, table: &str, id: ChunkId, cols: &[usize]) -> Result<BinaryChunk> {
+        let entry = self.catalog.table(table)?;
+        let (schema, first_row, ok) = {
+            let t = entry.read();
+            let first_row = t
+                .layout()
+                .and_then(|l| l.get(id))
+                .map(|m| m.first_row)
+                .unwrap_or(0);
+            (t.schema.clone(), first_row, t.is_loaded(id, cols))
+        };
+        if !ok {
+            return Err(Error::storage(format!(
+                "catalog says {id} of '{table}' lacks requested columns"
+            )));
+        }
+        self.store.load_chunk(table, &schema, id, first_row, cols)
+    }
+
+    /// Which of `cols` are loaded for chunk `id`.
+    pub fn loaded_columns(&self, table: &str, id: ChunkId, cols: &[usize]) -> Result<Vec<usize>> {
+        let entry = self.catalog.table(table)?;
+        let t = entry.read();
+        Ok(t.loaded_columns(id, cols))
+    }
+
+    /// True when every chunk/column of the table is stored.
+    pub fn fully_loaded(&self, table: &str) -> Result<bool> {
+        let entry = self.catalog.table(table)?;
+        let loaded = entry.read().fully_loaded();
+        Ok(loaded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanraw_types::{ChunkLayout, ChunkMeta, ColumnData};
+
+    fn db() -> Database {
+        let db = Database::new(SimDisk::instant());
+        db.create_table("t", Schema::uniform_ints(2), "t.csv").unwrap();
+        db
+    }
+
+    fn chunk(id: u32, full: bool) -> BinaryChunk {
+        BinaryChunk {
+            id: ChunkId(id),
+            first_row: id as u64 * 2,
+            rows: 2,
+            columns: vec![
+                Some(ColumnData::Int64(vec![id as i64, 1])),
+                if full {
+                    Some(ColumnData::Int64(vec![10, 11]))
+                } else {
+                    None
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn store_updates_catalog() {
+        let db = db();
+        db.store_chunk("t", &chunk(0, false)).unwrap();
+        assert_eq!(db.loaded_columns("t", ChunkId(0), &[0, 1]).unwrap(), vec![0]);
+        let back = db.load_chunk("t", ChunkId(0), &[0]).unwrap();
+        assert_eq!(back.column(0), chunk(0, false).column(0));
+    }
+
+    #[test]
+    fn loading_unstored_columns_fails_via_catalog() {
+        let db = db();
+        db.store_chunk("t", &chunk(0, false)).unwrap();
+        assert!(db.load_chunk("t", ChunkId(0), &[1]).is_err());
+    }
+
+    #[test]
+    fn fully_loaded_lifecycle() {
+        let db = db();
+        let mut layout = ChunkLayout::default();
+        for i in 0..2u32 {
+            layout.push(ChunkMeta {
+                id: ChunkId(i),
+                file_offset: i as u64 * 8,
+                byte_len: 8,
+                first_row: i as u64 * 2,
+                rows: 2,
+            });
+        }
+        db.catalog().set_layout("t", layout).unwrap();
+        assert!(!db.fully_loaded("t").unwrap());
+        db.store_chunk("t", &chunk(0, true)).unwrap();
+        assert!(!db.fully_loaded("t").unwrap());
+        db.store_chunk("t", &chunk(1, true)).unwrap();
+        assert!(db.fully_loaded("t").unwrap());
+    }
+
+    #[test]
+    fn load_uses_layout_first_row() {
+        let db = db();
+        let mut layout = ChunkLayout::default();
+        layout.push(ChunkMeta {
+            id: ChunkId(0),
+            file_offset: 0,
+            byte_len: 8,
+            first_row: 0,
+            rows: 2,
+        });
+        layout.push(ChunkMeta {
+            id: ChunkId(1),
+            file_offset: 8,
+            byte_len: 8,
+            first_row: 2,
+            rows: 2,
+        });
+        db.catalog().set_layout("t", layout).unwrap();
+        db.store_chunk("t", &chunk(1, true)).unwrap();
+        let back = db.load_chunk("t", ChunkId(1), &[0, 1]).unwrap();
+        assert_eq!(back.first_row, 2);
+    }
+
+    #[test]
+    fn incremental_column_loading() {
+        let db = db();
+        db.store_chunk("t", &chunk(0, false)).unwrap();
+        db.store_chunk("t", &chunk(0, true)).unwrap(); // adds column 1 only
+        let back = db.load_chunk("t", ChunkId(0), &[0, 1]).unwrap();
+        assert!(back.covers(&[0, 1]));
+    }
+}

@@ -1,0 +1,28 @@
+//! The database storage layer ScanRaw loads into.
+//!
+//! The paper integrates ScanRaw with the DataPath system; we provide the
+//! pieces of a database that the operator actually touches:
+//!
+//! * [`catalog`] — table metadata at chunk granularity: raw-file layout,
+//!   per-chunk/per-column loaded bitmap, and min/max statistics (paper §3.3
+//!   "Query optimization" and §3.2.1 READ-thread optimizations);
+//! * [`colstore`] — the columnar chunked store: each column of each chunk is
+//!   written as an independent page run that maps directly onto the in-memory
+//!   array representation ("each column is assigned an independent set of
+//!   pages which can be directly mapped into the in-memory array
+//!   representation", §3.1);
+//! * [`database`] — the façade combining both over a shared [`SimDisk`]:
+//!   `store_chunk` is what the WRITE thread calls, `load_chunk` is what READ
+//!   uses for chunks already inside the database.
+//!
+//! [`SimDisk`]: scanraw_simio::SimDisk
+
+pub mod catalog;
+pub mod colstore;
+pub mod database;
+pub mod stats;
+
+pub use catalog::{Catalog, ChunkStats, TableEntry};
+pub use colstore::ColumnStore;
+pub use database::Database;
+pub use stats::{ColumnDetail, ColumnSample, DistinctSketch};

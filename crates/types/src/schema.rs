@@ -1,0 +1,188 @@
+//! Relational schema description for raw files and database tables.
+//!
+//! A [`Schema`] is supplied alongside every raw file (paper §2: "The input to
+//! the process is a raw file, a schema, and a procedure to extract tuples with
+//! the given schema"). The same schema describes the columnar binary layout
+//! used by the execution engine and the database store.
+
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Physical type of one attribute.
+///
+/// The paper's synthetic suite uses unsigned 32-bit integers (stored here as
+/// `Int64` for arithmetic headroom in SUM aggregates); SAM files additionally
+/// need strings and the engine supports floats for generality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer (also used for the paper's `u32 < 2^31` data).
+    Int64,
+    /// 64-bit IEEE-754 float.
+    Float64,
+    /// UTF-8 string (SAM QNAME, CIGAR, SEQ, …).
+    Utf8,
+}
+
+impl DataType {
+    /// Width in bytes of one value in the binary (database) representation.
+    ///
+    /// Strings are variable length; we charge their actual byte length plus a
+    /// 4-byte length prefix when sizing chunks, so this returns the prefix.
+    pub fn fixed_width(self) -> usize {
+        match self {
+            DataType::Int64 => 8,
+            DataType::Float64 => 8,
+            DataType::Utf8 => 4,
+        }
+    }
+
+    /// Human-readable name, used in catalogs and error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Int64 => "INT64",
+            DataType::Float64 => "FLOAT64",
+            DataType::Utf8 => "UTF8",
+        }
+    }
+}
+
+/// One named, typed attribute of a schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    pub name: String,
+    pub data_type: DataType,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+        }
+    }
+}
+
+/// Ordered collection of fields describing a raw file or table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate field names.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(Error::Schema(format!("duplicate field name '{}'", f.name)));
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// Schema of `n` integer columns named `c0..c{n-1}` — the shape of the
+    /// paper's synthetic CSV suite.
+    pub fn uniform_ints(n: usize) -> Self {
+        Schema {
+            fields: (0..n)
+                .map(|i| Field::new(format!("c{i}"), DataType::Int64))
+                .collect(),
+        }
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    pub fn field(&self, idx: usize) -> Option<&Field> {
+        self.fields.get(idx)
+    }
+
+    /// Index of the field with the given name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| Error::Schema(format!("unknown column '{name}'")))
+    }
+
+    /// Projects a subset of columns into a new schema (keeps input order).
+    pub fn project(&self, indices: &[usize]) -> Result<Schema> {
+        let mut fields = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let f = self
+                .fields
+                .get(i)
+                .ok_or_else(|| Error::Schema(format!("column index {i} out of range")))?;
+            fields.push(f.clone());
+        }
+        Schema::new(fields)
+    }
+
+    /// Estimated bytes per row in the binary representation (strings counted
+    /// as their length prefix only; callers add payload bytes).
+    pub fn fixed_row_width(&self) -> usize {
+        self.fields.iter().map(|f| f.data_type.fixed_width()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_ints_names_and_types() {
+        let s = Schema::uniform_ints(3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.field(0).unwrap().name, "c0");
+        assert_eq!(s.field(2).unwrap().name, "c2");
+        assert!(s
+            .fields()
+            .iter()
+            .all(|f| f.data_type == DataType::Int64));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("a", DataType::Utf8),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, Error::Schema(_)));
+    }
+
+    #[test]
+    fn index_of_finds_and_errors() {
+        let s = Schema::uniform_ints(4);
+        assert_eq!(s.index_of("c2").unwrap(), 2);
+        assert!(s.index_of("missing").is_err());
+    }
+
+    #[test]
+    fn project_subset_preserves_order() {
+        let s = Schema::uniform_ints(5);
+        let p = s.project(&[3, 1]).unwrap();
+        assert_eq!(p.field(0).unwrap().name, "c3");
+        assert_eq!(p.field(1).unwrap().name, "c1");
+        assert!(s.project(&[9]).is_err());
+    }
+
+    #[test]
+    fn fixed_row_width_sums_widths() {
+        let s = Schema::new(vec![
+            Field::new("i", DataType::Int64),
+            Field::new("f", DataType::Float64),
+            Field::new("s", DataType::Utf8),
+        ])
+        .unwrap();
+        assert_eq!(s.fixed_row_width(), 8 + 8 + 4);
+    }
+}

@@ -1,0 +1,174 @@
+//! Scalar values used by expressions, statistics, and group-by keys.
+
+use crate::schema::DataType;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A dynamically typed scalar.
+///
+/// Values of different types never compare equal; ordering across types is
+/// defined (Int < Float < Str) only so that `Value` can key ordered maps.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Int(i64),
+    Float(f64),
+    Str(String),
+}
+
+impl Value {
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Int(_) => DataType::Int64,
+            Value::Float(_) => DataType::Float64,
+            Value::Str(_) => DataType::Utf8,
+        }
+    }
+
+    /// Numeric view used by arithmetic expressions; strings are `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Str(_) => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Int(_), _) => Ordering::Less,
+            (_, Value::Int(_)) => Ordering::Greater,
+            (Value::Float(_), _) => Ordering::Less,
+            (_, Value::Float(_)) => Ordering::Greater,
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Int(i) => {
+                0u8.hash(state);
+                i.hash(state);
+            }
+            Value::Float(f) => {
+                1u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn value_types_report_correctly() {
+        assert_eq!(Value::Int(1).data_type(), DataType::Int64);
+        assert_eq!(Value::Float(1.0).data_type(), DataType::Float64);
+        assert_eq!(Value::from("x").data_type(), DataType::Utf8);
+    }
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::from("x").as_f64(), None);
+        assert_eq!(Value::Int(3).as_i64(), Some(3));
+        assert_eq!(Value::Float(2.5).as_i64(), None);
+    }
+
+    #[test]
+    fn ordering_within_types() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::Float(1.0) < Value::Float(1.5));
+        assert!(Value::from("a") < Value::from("b"));
+    }
+
+    #[test]
+    fn cross_type_order_is_total() {
+        assert!(Value::Int(i64::MAX) < Value::Float(f64::MIN));
+        assert!(Value::Float(f64::MAX) < Value::from(""));
+    }
+
+    #[test]
+    fn hashable_as_group_key() {
+        let mut m: HashMap<Value, usize> = HashMap::new();
+        *m.entry(Value::from("10M")).or_default() += 1;
+        *m.entry(Value::from("10M")).or_default() += 1;
+        assert_eq!(m[&Value::from("10M")], 2);
+    }
+
+    #[test]
+    fn display_round_trip() {
+        assert_eq!(Value::Int(-7).to_string(), "-7");
+        assert_eq!(Value::from("cigar").to_string(), "cigar");
+    }
+}

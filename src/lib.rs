@@ -1,0 +1,60 @@
+//! # scanraw-repro — umbrella crate
+//!
+//! Reproduction of *"Parallel In-Situ Data Processing with Speculative
+//! Loading"* (Cheng & Rusu, SIGMOD 2014). This crate re-exports the public
+//! API of every workspace member so examples and downstream users can depend
+//! on a single crate:
+//!
+//! * [`types`] — schemas, values, chunks, configuration;
+//! * [`simio`] — the simulated storage device;
+//! * [`rawfile`] — chunker, TOKENIZE/PARSE stages, CSV/SAM/BAM-sim formats,
+//!   data generators;
+//! * [`storage`] — the columnar database (catalog + column store);
+//! * [`core`] — the ScanRaw operator itself (pipeline, scheduler, cache,
+//!   speculative loading);
+//! * [`engine`] — the query execution engine;
+//! * [`pipesim`] — the discrete-event pipeline simulator used by the
+//!   paper-scale experiments.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use scanraw_repro::prelude::*;
+//!
+//! // A device with instant I/O (tests); use DiskConfig::default() for the
+//! // paper's throttled 436 MB/s device.
+//! let disk = SimDisk::instant();
+//! scanraw_repro::rawfile::generate::stage_csv(&disk, "t.csv", &CsvSpec::new(1000, 4, 1));
+//!
+//! let engine = Engine::new(Database::new(disk));
+//! engine
+//!     .register_table("t", "t.csv", Schema::uniform_ints(4), TextDialect::CSV,
+//!                     ScanRawConfig::default().with_chunk_rows(100))
+//!     .unwrap();
+//!
+//! // SELECT SUM(c0+c1+c2+c3) FROM t — instantly, no loading required;
+//! // speculative loading stores chunks whenever the device would idle.
+//! let out = engine.execute(&Query::sum_of_columns("t", 0..4)).unwrap();
+//! assert_eq!(out.result.rows_scanned, 1000);
+//! ```
+
+pub use scanraw as core;
+pub use scanraw_engine as engine;
+pub use scanraw_pipesim as pipesim;
+pub use scanraw_rawfile as rawfile;
+pub use scanraw_simio as simio;
+pub use scanraw_storage as storage;
+pub use scanraw_types as types;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use scanraw::{ConvertScope, OperatorRegistry, ScanRaw, ScanRequest, ScanSummary};
+    pub use scanraw_engine::{AggExpr, Engine, Expr, Predicate, Query, QueryOutcome};
+    pub use scanraw_rawfile::generate::CsvSpec;
+    pub use scanraw_rawfile::TextDialect;
+    pub use scanraw_simio::{DiskConfig, SimDisk};
+    pub use scanraw_storage::Database;
+    pub use scanraw_types::{
+        DataType, Field, RangePredicate, ScanRawConfig, Schema, Value, WritePolicy,
+    };
+}

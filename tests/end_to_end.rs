@@ -1,0 +1,228 @@
+//! Cross-crate integration tests: the full stack — generator → device →
+//! ScanRaw pipeline → database → engine — exercised together, including on a
+//! bandwidth-throttled device and across operator lifecycles.
+
+use scanraw_repro::prelude::*;
+use scanraw_repro::rawfile::generate::{expected_column_sums, stage_csv, CsvSpec};
+use scanraw_repro::simio::{AccessKind, DiskConfig, VirtualClock};
+use std::time::Duration;
+
+fn throttled_disk() -> SimDisk {
+    // Virtual clock: throttling is accounted, not slept.
+    let cfg = DiskConfig {
+        read_bw: 64 * 1024 * 1024,
+        write_bw: 64 * 1024 * 1024,
+        cached_read_bw: 1024 * 1024 * 1024,
+        seek_latency: Duration::from_millis(2),
+        page_cache_bytes: 0, // always cold — deterministic accounting
+        page_bytes: 256 * 1024,
+    };
+    SimDisk::new(cfg, VirtualClock::shared())
+}
+
+#[test]
+fn full_stack_on_throttled_device() {
+    let disk = throttled_disk();
+    let spec = CsvSpec::new(10_000, 6, 77);
+    let file_len = stage_csv(&disk, "t.csv", &spec);
+    let engine = Engine::new(Database::new(disk.clone()));
+    engine
+        .register_table(
+            "t",
+            "t.csv",
+            Schema::uniform_ints(6),
+            TextDialect::CSV,
+            ScanRawConfig::default()
+                .with_chunk_rows(1_000)
+                .with_workers(2)
+                .with_policy(WritePolicy::speculative()),
+        )
+        .unwrap();
+
+    let q = Query::sum_of_columns("t", 0..6);
+    let out = engine.execute(&q).unwrap();
+    let expected: i64 = expected_column_sums(&spec).iter().sum();
+    assert_eq!(out.result.scalar().unwrap(), &Value::Int(expected));
+
+    // Device accounting: the raw file was read exactly once, cold.
+    let read = disk.stats().bytes(AccessKind::Read);
+    assert!(
+        read >= file_len,
+        "must have read the whole file: {read} < {file_len}"
+    );
+    // Virtual time advanced by at least the raw read cost.
+    let min_secs = file_len as f64 / (64.0 * 1024.0 * 1024.0);
+    assert!(out.scan.elapsed.as_secs_f64() >= min_secs * 0.95);
+}
+
+#[test]
+fn speculative_writes_cost_no_query_time_when_cpu_bound() {
+    // With a virtual clock, I/O is free wall-clock-wise but accounted; this
+    // verifies write bytes land on the device without failing the query.
+    let disk = throttled_disk();
+    stage_csv(&disk, "t.csv", &CsvSpec::new(5_000, 4, 3));
+    let engine = Engine::new(Database::new(disk.clone()));
+    engine
+        .register_table(
+            "t",
+            "t.csv",
+            Schema::uniform_ints(4),
+            TextDialect::CSV,
+            ScanRawConfig::default()
+                .with_chunk_rows(500)
+                .with_workers(1)
+                .with_policy(WritePolicy::speculative()),
+        )
+        .unwrap();
+    let q = Query::sum_of_columns("t", 0..4);
+    engine.execute(&q).unwrap();
+    engine.operator("t").unwrap().drain_writes();
+    assert!(
+        disk.stats().bytes(AccessKind::Write) > 0,
+        "speculative loading stored chunks"
+    );
+}
+
+#[test]
+fn sequence_until_fully_loaded_then_reaped() {
+    let disk = SimDisk::instant();
+    let spec = CsvSpec::new(8_000, 3, 9);
+    stage_csv(&disk, "t.csv", &spec);
+    let engine = Engine::new(Database::new(disk));
+    engine
+        .register_table(
+            "t",
+            "t.csv",
+            Schema::uniform_ints(3),
+            TextDialect::CSV,
+            ScanRawConfig::default()
+                .with_chunk_rows(500) // 16 chunks
+                .with_cache_chunks(4)
+                .with_workers(2)
+                .with_policy(WritePolicy::speculative()),
+        )
+        .unwrap();
+    let q = Query::sum_of_columns("t", 0..3);
+    let expected: i64 = expected_column_sums(&spec).iter().sum();
+
+    let mut queries = 0;
+    loop {
+        queries += 1;
+        let out = engine.execute(&q).unwrap();
+        assert_eq!(out.result.scalar().unwrap(), &Value::Int(expected));
+        let op = engine.operator("t").unwrap();
+        op.drain_writes();
+        if op.fully_loaded() {
+            break;
+        }
+        assert!(queries < 20, "speculative loading must converge");
+    }
+    // Guaranteed progress: cache/4-of-16 → at most ~6 queries.
+    assert!(queries <= 8, "took {queries} queries");
+    assert_eq!(engine.registry().reap_fully_loaded(), 1);
+
+    // A new query transparently creates a fresh operator which reads
+    // everything back from the database (heap-scan regime).
+    let out = engine.execute(&q).unwrap();
+    assert_eq!(out.result.scalar().unwrap(), &Value::Int(expected));
+    assert_eq!(out.scan.from_raw, 0, "{:?}", out.scan);
+    assert_eq!(out.scan.from_db, 16);
+}
+
+#[test]
+fn two_tables_share_one_database() {
+    let disk = SimDisk::instant();
+    let s1 = CsvSpec::new(2_000, 2, 1);
+    let s2 = CsvSpec::new(3_000, 5, 2);
+    stage_csv(&disk, "a.csv", &s1);
+    stage_csv(&disk, "b.csv", &s2);
+    let engine = Engine::new(Database::new(disk));
+    engine
+        .register_table(
+            "a",
+            "a.csv",
+            Schema::uniform_ints(2),
+            TextDialect::CSV,
+            ScanRawConfig::default()
+                .with_chunk_rows(256)
+                .with_workers(2)
+                .with_policy(WritePolicy::ExternalTables),
+        )
+        .unwrap();
+    engine
+        .register_table(
+            "b",
+            "b.csv",
+            Schema::uniform_ints(5),
+            TextDialect::CSV,
+            ScanRawConfig::default()
+                .with_chunk_rows(512)
+                .with_workers(2)
+                .with_policy(WritePolicy::Eager),
+        )
+        .unwrap();
+    let ra = engine.execute(&Query::sum_of_columns("a", 0..2)).unwrap();
+    let rb = engine.execute(&Query::sum_of_columns("b", 0..5)).unwrap();
+    assert_eq!(
+        ra.result.scalar().unwrap(),
+        &Value::Int(expected_column_sums(&s1).iter().sum())
+    );
+    assert_eq!(
+        rb.result.scalar().unwrap(),
+        &Value::Int(expected_column_sums(&s2).iter().sum())
+    );
+    assert_eq!(engine.registry().len(), 2);
+    assert!(engine.operator("b").unwrap().fully_loaded());
+    assert!(!engine.operator("a").unwrap().fully_loaded());
+}
+
+#[test]
+fn umbrella_prelude_compiles_and_works() {
+    // The doc example from the umbrella crate, as a test.
+    let disk = SimDisk::instant();
+    scanraw_repro::rawfile::generate::stage_csv(&disk, "t.csv", &CsvSpec::new(1000, 4, 1));
+    let engine = Engine::new(Database::new(disk));
+    engine
+        .register_table(
+            "t",
+            "t.csv",
+            Schema::uniform_ints(4),
+            TextDialect::CSV,
+            ScanRawConfig::default().with_chunk_rows(100),
+        )
+        .unwrap();
+    let out = engine.execute(&Query::sum_of_columns("t", 0..4)).unwrap();
+    assert_eq!(out.result.rows_scanned, 1000);
+}
+
+#[test]
+fn real_clock_throttling_bounds_wall_time() {
+    use scanraw_repro::simio::RealClock;
+    // 2 MB at 100 MB/s read ⇒ ≥ 20 ms wall time, cold.
+    let cfg = DiskConfig {
+        read_bw: 100 * 1024 * 1024,
+        write_bw: 100 * 1024 * 1024,
+        cached_read_bw: u64::MAX / 4,
+        seek_latency: Duration::ZERO,
+        page_cache_bytes: 0,
+        page_bytes: 256 * 1024,
+    };
+    let disk = SimDisk::new(cfg, RealClock::shared());
+    let spec = CsvSpec::new(20_000, 8, 4); // ≈ 1.7 MB
+    let len = stage_csv(&disk, "t.csv", &spec);
+    let engine = Engine::new(Database::new(disk));
+    engine
+        .register_table(
+            "t",
+            "t.csv",
+            Schema::uniform_ints(8),
+            TextDialect::CSV,
+            ScanRawConfig::default().with_chunk_rows(2_000).with_workers(2),
+        )
+        .unwrap();
+    let t0 = std::time::Instant::now();
+    engine.execute(&Query::sum_of_columns("t", 0..8)).unwrap();
+    let wall = t0.elapsed();
+    let floor = Duration::from_secs_f64(len as f64 / (100.0 * 1024.0 * 1024.0));
+    assert!(wall >= floor, "wall {wall:?} < I/O floor {floor:?}");
+}

@@ -22,16 +22,12 @@ fn main() {
     let file = FileSpec::synthetic(rows, 64, 1 << 19);
     let cost = experiment_model();
     let queries = 6usize;
-    let mut json = serde_json::json!({});
+    let mut json = scanraw_obs::json!({});
 
     // ---------------- 1. safeguard on/off ----------------
     let mut rows_out = Vec::new();
     for (label, safeguard) in [("safeguard ON", true), ("safeguard OFF", false)] {
-        let mut cfg = SimConfig::new(
-            16,
-            WritePolicy::Speculative { safeguard },
-            cost.clone(),
-        );
+        let mut cfg = SimConfig::new(16, WritePolicy::Speculative { safeguard }, cost.clone());
         cfg.cache_chunks = 32;
         let mut sim = Simulator::new(cfg, file);
         let results = sim.run_sequence(queries);
@@ -40,7 +36,7 @@ fn main() {
             row.push(secs(r.elapsed_secs));
         }
         row.push(format!("{}", sim.loaded_count()));
-        json["safeguard"][label] = serde_json::json!({
+        json["safeguard"][label] = scanraw_obs::json!({
             "per_query": results.iter().map(|r| r.elapsed_secs).collect::<Vec<_>>(),
             "loaded": sim.loaded_count(),
         });
@@ -65,7 +61,7 @@ fn main() {
             row.push(secs(r.elapsed_secs));
         }
         row.push(format!("{}", sim.loaded_count()));
-        json["cache_bias"][label] = serde_json::json!({
+        json["cache_bias"][label] = scanraw_obs::json!({
             "per_query": results.iter().map(|r| r.elapsed_secs).collect::<Vec<_>>(),
             "loaded": sim.loaded_count(),
         });
@@ -102,7 +98,7 @@ fn main() {
             let r = sim.run_sequence(1).remove(0);
             row.push(secs(r.elapsed_secs));
         }
-        json["seek_penalty"][format!("{seek_ms}")] = serde_json::json!({
+        json["seek_penalty"][format!("{seek_ms}")] = scanraw_obs::json!({
             "eager_arbitrated": row[1], "eager_interleaved": row[2], "speculative": row[3],
         });
         rows_out.push(row);

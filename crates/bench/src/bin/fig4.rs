@@ -27,7 +27,7 @@ fn main() {
     let mut time_rows = Vec::new();
     let mut loaded_rows = Vec::new();
     let mut speedup_rows = Vec::new();
-    let mut json = serde_json::json!({
+    let mut json = scanraw_obs::json!({
         "file": {"rows": rows, "cols": cols, "chunk_rows": chunk_rows, "chunks": file.n_chunks},
         "series": {}
     });
@@ -51,7 +51,7 @@ fn main() {
             trow.push(secs(r.elapsed_secs));
             lrow.push(format!("{pct:.1}"));
             srow.push(format!("{:.2}", seq_time[name] / r.elapsed_secs));
-            json["series"][name][w.to_string()] = serde_json::json!({
+            json["series"][name][w.to_string()] = scanraw_obs::json!({
                 "elapsed_secs": r.elapsed_secs,
                 "loaded_pct": pct,
                 "speedup": seq_time[name] / r.elapsed_secs,
@@ -75,7 +75,13 @@ fn main() {
     );
     print_table(
         "Figure 4c — speedup vs worker threads",
-        &["workers", "speculative", "external", "load+process", "ideal"],
+        &[
+            "workers",
+            "speculative",
+            "external",
+            "load+process",
+            "ideal",
+        ],
         &speedup_rows,
     );
     write_json("fig4", &json);

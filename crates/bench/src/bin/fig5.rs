@@ -11,6 +11,7 @@
 //! *relative* distribution (Figure 5b) is height-invariant.
 
 use scanraw_bench::{env_u64, print_table, write_json};
+use scanraw_obs::MetricsRegistry;
 use scanraw_pipesim::CostModel;
 use scanraw_rawfile::generate::{csv_bytes, CsvSpec};
 use scanraw_rawfile::{parse_chunk, tokenize_chunk, TextDialect};
@@ -22,9 +23,12 @@ fn main() {
     let device = CostModel::nominal();
     let col_sweep = [2usize, 4, 8, 16, 32, 64, 128, 256];
 
+    // Every trial lands in the metrics registry; the JSON artifact embeds
+    // its export so `results/` files share the observability schema.
+    let metrics = MetricsRegistry::new();
     let mut abs_rows = Vec::new();
     let mut rel_rows = Vec::new();
-    let mut json = serde_json::json!({"chunk_rows": chunk_rows, "per_chunk_secs": {}});
+    let mut json = scanraw_obs::json!({"chunk_rows": chunk_rows, "per_chunk_secs": {}});
 
     for &cols in &col_sweep {
         let spec = CsvSpec::new(chunk_rows, cols, 4242);
@@ -44,16 +48,26 @@ fn main() {
         let mut parse = f64::INFINITY;
         let mut map = None;
         let mut parsed = None;
+        let tokenize_hist = metrics.duration_histogram("bench.tokenize.nanos");
+        let parse_hist = metrics.duration_histogram("bench.parse.nanos");
         for _ in 0..3 {
             let t0 = Instant::now();
             let m = tokenize_chunk(&chunk, TextDialect::CSV, cols).expect("tokenizes");
-            tokenize = tokenize.min(t0.elapsed().as_secs_f64());
+            let dt = t0.elapsed();
+            tokenize_hist.observe_duration(dt);
+            tokenize = tokenize.min(dt.as_secs_f64());
             let t0 = Instant::now();
             let p = parse_chunk(&chunk, &m, TextDialect::CSV, &schema).expect("parses");
-            parse = parse.min(t0.elapsed().as_secs_f64());
+            let dp = t0.elapsed();
+            parse_hist.observe_duration(dp);
+            parse = parse.min(dp.as_secs_f64());
             map = Some(m);
             parsed = Some(p);
         }
+        metrics.counter("bench.chunk.trials").add(3);
+        metrics
+            .counter(&format!("bench.bytes.cols{cols}"))
+            .add(text_len as u64);
         let _map = map.expect("ran");
         let parsed = parsed.expect("ran");
 
@@ -75,7 +89,7 @@ fn main() {
             format!("{:.1}", 100.0 * parse / total),
             format!("{:.1}", 100.0 * write / total),
         ]);
-        json["per_chunk_secs"][cols.to_string()] = serde_json::json!({
+        json["per_chunk_secs"][cols.to_string()] = scanraw_obs::json!({
             "read": read, "tokenize": tokenize, "parse": parse, "write": write,
         });
     }
@@ -90,5 +104,6 @@ fn main() {
         &["cols", "READ", "TOKENIZE", "PARSE", "WRITE"],
         &rel_rows,
     );
+    json["metrics"] = metrics.to_json();
     write_json("fig5", &json);
 }

@@ -23,7 +23,7 @@ fn main() {
     let widths = [1usize, 8, 16, 32];
 
     let mut rows_out = Vec::new();
-    let mut json = serde_json::json!({"secs": {}});
+    let mut json = scanraw_obs::json!({"secs": {}});
     for &p in &positions {
         let mut row = vec![format!("pos {p}")];
         for &k in &widths {

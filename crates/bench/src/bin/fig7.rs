@@ -17,11 +17,19 @@ fn main() {
     // The paper sweeps 2^14..2^20; we extend below 2^14 because our
     // measured dispatch overhead is far smaller than the 2014 system's,
     // which shifts the small-chunk penalty to smaller chunk sizes.
-    let chunk_sizes = [1u64 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20];
+    let chunk_sizes = [
+        1u64 << 8,
+        1 << 10,
+        1 << 12,
+        1 << 14,
+        1 << 16,
+        1 << 18,
+        1 << 20,
+    ];
     let worker_counts = [2usize, 8, 16];
 
     let mut out = Vec::new();
-    let mut json = serde_json::json!({"secs": {}});
+    let mut json = scanraw_obs::json!({"secs": {}});
     for &chunk_rows in &chunk_sizes {
         let file = FileSpec::synthetic(rows, cols, chunk_rows);
         let mut row = vec![chunk_rows.to_string()];

@@ -49,7 +49,7 @@ fn main() {
 
     let mut rows_a = Vec::new();
     let mut rows_b = Vec::new();
-    let mut json = serde_json::json!({"per_query_secs": {}, "cumulative_secs": {}});
+    let mut json = scanraw_obs::json!({"per_query_secs": {}, "cumulative_secs": {}});
     let mut cumulative = vec![0.0f64; methods.len()];
     for q in 0..n_queries {
         let mut ra = vec![(q + 1).to_string()];

@@ -40,7 +40,7 @@ fn main() {
     let cpu = QuerySim::utilization(&r.cpu_spans, window, r.elapsed_secs);
 
     let mut rows_out = Vec::new();
-    let mut json = serde_json::json!({
+    let mut json = scanraw_obs::json!({
         "elapsed_secs": r.elapsed_secs,
         "chunks_written": r.chunks_written,
         "samples": []
@@ -55,12 +55,15 @@ fn main() {
             format!("{:.0}", io_write[i].value * 100.0),
             format!("{cpu_pct:.0}"),
         ]);
-        json["samples"].as_array_mut().expect("array").push(serde_json::json!({
-            "progress_pct": progress,
-            "io_pct": io,
-            "io_write_pct": io_write[i].value * 100.0,
-            "cpu_pct": cpu_pct,
-        }));
+        json["samples"]
+            .as_array_mut()
+            .expect("array")
+            .push(scanraw_obs::json!({
+                "progress_pct": progress,
+                "io_pct": io,
+                "io_write_pct": io_write[i].value * 100.0,
+                "cpu_pct": cpu_pct,
+            }));
     }
 
     print_table(

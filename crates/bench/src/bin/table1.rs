@@ -119,8 +119,7 @@ fn main() {
     cost.tokenize_split_ns_per_byte = 0.15; // newline/delimiter scan share
     cost.tokenize_skip_ns_per_byte = 0.05;
     cost.parse_ns_per_value =
-        (sam_convert_ns_per_read - cost.tokenize_split_ns_per_byte * sam_bytes_per_read)
-            .max(1.0)
+        (sam_convert_ns_per_read - cost.tokenize_split_ns_per_byte * sam_bytes_per_read).max(1.0)
             / cols as f64;
     cost.engine_ns_per_value = engine_ns_per_read / cols as f64;
 
@@ -144,11 +143,16 @@ fn main() {
     // single-threaded decode — the two costs add; the (parallel) MAP and
     // engine work hides behind the decode, as the paper observed when
     // parallelizing MAP brought "no performance gains".
-    let bam_secs = device.read_secs(bam_bytes_per_read * n)
-        + bam_decode_ns_per_read * n * 1e-9;
+    let bam_secs = device.read_secs(bam_bytes_per_read * n) + bam_decode_ns_per_read * n * 1e-9;
 
     let paper = [370.0, 2714.0, 945.0, 122.0, 370.0];
-    let ours = [external_sam, bam_secs, loading_sam, db_secs, speculative_sam];
+    let ours = [
+        external_sam,
+        bam_secs,
+        loading_sam,
+        db_secs,
+        speculative_sam,
+    ];
     let names = [
         "External tables (SAM)",
         "External tables (BAM + seq. library)",
@@ -157,7 +161,7 @@ fn main() {
         "Speculative loading (SAM)",
     ];
     let mut rows_out = Vec::new();
-    let mut json = serde_json::json!({"scale_reads": scale_reads, "rows": {}});
+    let mut json = scanraw_obs::json!({"scale_reads": scale_reads, "rows": {}});
     for i in 0..names.len() {
         rows_out.push(vec![
             names[i].to_string(),
@@ -166,7 +170,7 @@ fn main() {
             format!("{:.0}", paper[i]),
             format!("{:.2}", paper[i] / paper[0]),
         ]);
-        json["rows"][names[i]] = serde_json::json!({
+        json["rows"][names[i]] = scanraw_obs::json!({
             "secs": ours[i],
             "relative": ours[i] / ours[0],
             "paper_secs": paper[i],
@@ -174,7 +178,9 @@ fn main() {
         });
     }
     print_table(
-        &format!("Table 1 — SAM/BAM workload at {scale_reads} reads (relative to SAM external tables)"),
+        &format!(
+            "Table 1 — SAM/BAM workload at {scale_reads} reads (relative to SAM external tables)"
+        ),
         &["method", "secs", "rel", "paper secs", "paper rel"],
         &rows_out,
     );

@@ -93,14 +93,14 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 }
 
 /// Writes an experiment's machine-readable output under `results/`.
-pub fn write_json(name: &str, value: &serde_json::Value) {
+pub fn write_json(name: &str, value: &scanraw_obs::Value) {
     let dir = PathBuf::from("results");
     if std::fs::create_dir_all(&dir).is_err() {
         return;
     }
     let path = dir.join(format!("{name}.json"));
     if let Ok(mut f) = std::fs::File::create(&path) {
-        let _ = writeln!(f, "{}", serde_json::to_string_pretty(value).expect("serializable"));
+        let _ = writeln!(f, "{}", value.to_json_pretty());
         eprintln!("# wrote {}", path.display());
     }
 }

@@ -8,9 +8,26 @@
 //! to lose than one that would need re-tokenizing and re-parsing.
 
 use parking_lot::Mutex;
+use scanraw_obs::{Counter, Obs, ObsEvent};
 use scanraw_types::{BinaryChunk, ChunkId};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Lifetime cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheCounters {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+/// Metric handles + journal used when observability is attached.
+struct CacheObs {
+    obs: Obs,
+    hit: Counter,
+    miss: Counter,
+    evict: Counter,
+}
 
 /// One cached entry.
 struct Entry {
@@ -30,9 +47,9 @@ struct Inner {
     next_stamp: u64,
     next_seq: u64,
     /// Lifetime counters for observability and tests.
-    hits: u64,
-    misses: u64,
-    evictions: u64,
+    counters: CacheCounters,
+    /// Attached observability (metrics + journal); absent by default.
+    obs: Option<CacheObs>,
 }
 
 /// Thread-safe chunk cache with load-biased LRU eviction. Cheap to clone.
@@ -59,11 +76,22 @@ impl ChunkCache {
                 capacity,
                 next_stamp: 0,
                 next_seq: 0,
-                hits: 0,
-                misses: 0,
-                evictions: 0,
+                counters: CacheCounters::default(),
+                obs: None,
             })),
         }
+    }
+
+    /// Attaches an observability bundle: hits/misses/evictions feed the
+    /// `cache.chunk.*` metrics and the event journal from now on.
+    pub fn attach_obs(&self, obs: &Obs) {
+        let cache_obs = CacheObs {
+            obs: obs.clone(),
+            hit: obs.metrics.counter("cache.chunk.hit"),
+            miss: obs.metrics.counter("cache.chunk.miss"),
+            evict: obs.metrics.counter("cache.chunk.evict"),
+        };
+        self.inner.lock().obs = Some(cache_obs);
     }
 
     pub fn capacity(&self) -> usize {
@@ -97,7 +125,14 @@ impl ChunkCache {
         if g.map.len() >= g.capacity {
             if let Some(victim) = g.pick_victim() {
                 let e = g.map.remove(&victim).expect("victim exists");
-                g.evictions += 1;
+                g.counters.evictions += 1;
+                if let Some(o) = &g.obs {
+                    o.evict.inc();
+                    o.obs.event(ObsEvent::CacheEvict {
+                        chunk: victim.0 as u64,
+                        loaded: e.loaded,
+                    });
+                }
                 evicted = Some(Evicted {
                     id: victim,
                     chunk: e.chunk,
@@ -124,11 +159,19 @@ impl ChunkCache {
         match g.map.get_mut(&id) {
             Some(e) => {
                 e.stamp = stamp;
-                g.hits += 1;
+                g.counters.hits += 1;
+                if let Some(o) = &g.obs {
+                    o.hit.inc();
+                    o.obs.event(ObsEvent::CacheHit { chunk: id.0 as u64 });
+                }
                 Some(g.map[&id].chunk.clone())
             }
             None => {
-                g.misses += 1;
+                g.counters.misses += 1;
+                if let Some(o) = &g.obs {
+                    o.miss.inc();
+                    o.obs.event(ObsEvent::CacheMiss { chunk: id.0 as u64 });
+                }
                 None
             }
         }
@@ -187,10 +230,9 @@ impl ChunkCache {
         self.inner.lock().map.keys().copied().collect()
     }
 
-    /// (hits, misses, evictions) lifetime counters.
-    pub fn counters(&self) -> (u64, u64, u64) {
-        let g = self.inner.lock();
-        (g.hits, g.misses, g.evictions)
+    /// Lifetime hit/miss/eviction counters.
+    pub fn counters(&self) -> CacheCounters {
+        self.inner.lock().counters
     }
 
     /// Drops every entry (used by tests and operator teardown).
@@ -242,8 +284,8 @@ mod tests {
         c.insert(chunk(1), false);
         assert!(c.get(ChunkId(1)).is_some());
         assert!(c.get(ChunkId(2)).is_none());
-        let (hits, misses, _) = c.counters();
-        assert_eq!((hits, misses), (1, 1));
+        let counters = c.counters();
+        assert_eq!((counters.hits, counters.misses), (1, 1));
     }
 
     #[test]
@@ -321,8 +363,37 @@ mod tests {
         c.insert(chunk(1), false);
         c.insert(chunk(2), false);
         c.insert(chunk(3), false);
-        assert_eq!(c.counters().2, 2);
+        assert_eq!(c.counters().evictions, 2);
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn attached_obs_sees_hits_misses_evictions() {
+        let obs = Obs::with_journal_capacity(64);
+        let c = ChunkCache::new(1);
+        c.attach_obs(&obs);
+        c.insert(chunk(1), false);
+        c.get(ChunkId(1)); // hit
+        c.get(ChunkId(9)); // miss
+        c.insert(chunk(2), false); // evicts 1
+        assert_eq!(obs.metrics.counter_value("cache.chunk.hit"), Some(1));
+        assert_eq!(obs.metrics.counter_value("cache.chunk.miss"), Some(1));
+        assert_eq!(obs.metrics.counter_value("cache.chunk.evict"), Some(1));
+        assert_eq!(
+            obs.journal
+                .count_where(|e| matches!(e, ObsEvent::CacheEvict { chunk: 1, .. })),
+            1
+        );
+        // Journal and struct counters agree.
+        let counters = c.counters();
+        assert_eq!(
+            counters,
+            CacheCounters {
+                hits: 1,
+                misses: 1,
+                evictions: 1
+            }
+        );
     }
 
     #[test]

@@ -50,8 +50,12 @@ pub mod registry;
 pub mod scheduler;
 pub mod stream;
 
-pub use cache::ChunkCache;
-pub use operator::{ConvertScope, PushdownFilter, ResourceAdvice, ScanRaw, ScanRequest, ScanSummary};
+pub use cache::{CacheCounters, ChunkCache};
+pub use operator::{
+    ConvertScope, PushdownFilter, ResourceAdvice, ScanRaw, ScanRequest, ScanSummary,
+};
+pub use profile::{Profiler, Stage};
 pub use registry::OperatorRegistry;
 pub use scanraw_types::{ScanRawConfig, WritePolicy};
+pub use scheduler::SchedulerReport;
 pub use stream::ChunkStream;

@@ -16,13 +16,14 @@ use crate::scheduler::{run_scheduler, Event, Writer};
 use crate::stream::{ChunkStream, ScanCounters, ScanState};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
+use scanraw_obs::{Obs, ObsEvent};
 use scanraw_rawfile::chunker::{read_chunk_at, ChunkReader};
 use scanraw_rawfile::parse::{parse_chunk_filtered, RowFilter};
 use scanraw_rawfile::{parse_chunk_projected, tokenize_chunk_selective, TextDialect};
 use scanraw_storage::Database;
 use scanraw_types::{
-    BinaryChunk, ChunkId, ChunkMeta, Error, PositionalMap, RangePredicate, Result,
-    ScanRawConfig, Schema, TextChunk, Value, WritePolicy,
+    BinaryChunk, ChunkId, ChunkMeta, Error, PositionalMap, RangePredicate, Result, ScanRawConfig,
+    Schema, TextChunk, Value, WritePolicy,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -174,6 +175,8 @@ struct ScanParams {
     convert_cols: Vec<usize>,
     cols_mapped: usize,
     pushdown: Option<Arc<PushdownFilter>>,
+    /// Worker-pool size of this scan (0 = sequential regime).
+    workers: usize,
 }
 
 /// The ScanRaw physical operator (paper §3).
@@ -186,7 +189,11 @@ pub struct ScanRaw {
     db: Database,
     cache: ChunkCache,
     profiler: Profiler,
+    obs: Obs,
     writer: Arc<Writer>,
+    /// Current worker-pool size; starts at `config.workers`, adjustable via
+    /// [`ScanRaw::set_workers`] (resource-manager feedback, §3.3).
+    workers: AtomicUsize,
     /// Positional maps cached across scans (None unless configured).
     map_cache: Option<Mutex<HashMap<ChunkId, PositionalMap>>>,
     /// True once a full sequential scan recorded the complete chunk layout.
@@ -241,12 +248,25 @@ impl ScanRaw {
             None
         };
         let profiler = Profiler::new();
+        // Journal timestamps follow the device clock so events line up with
+        // simulated I/O; metrics are clock-agnostic.
+        let obs_clock = db.disk().clock().clone();
+        let obs = Obs::with_time_source(
+            scanraw_obs::DEFAULT_JOURNAL_CAPACITY,
+            Arc::new(move || obs_clock.now()),
+        );
+        cache.attach_obs(&obs);
+        profiler.attach_obs(&obs);
+        // The device mirrors its accounting into the first registry attached;
+        // with several operators over one database that is the oldest one.
+        db.disk().attach_obs(&obs.metrics);
         let writer = Arc::new(Writer::spawn(
             db.clone(),
             table.clone(),
             cache.clone(),
             profiler.clone(),
         ));
+        let workers = AtomicUsize::new(config.workers);
         Ok(Arc::new(ScanRaw {
             table,
             schema,
@@ -256,7 +276,9 @@ impl ScanRaw {
             db,
             cache,
             profiler,
+            obs,
             writer,
+            workers,
             map_cache: map_cache_init,
             layout_known: AtomicBool::new(layout_known),
             scans_run: AtomicUsize::new(0),
@@ -283,6 +305,30 @@ impl ScanRaw {
         &self.profiler
     }
 
+    /// The operator's observability handle: metrics registry plus event
+    /// journal, shared by the cache, profiler, scheduler, and every scan.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Current worker-pool size used by new scans.
+    pub fn workers(&self) -> usize {
+        self.workers.load(Ordering::Relaxed)
+    }
+
+    /// Resizes the worker pool for subsequent scans (in-flight scans keep
+    /// their pool). This is the knob the resource manager turns after
+    /// [`ScanRaw::resource_advice`]; the change lands in the journal.
+    pub fn set_workers(&self, n: usize) {
+        let from = self.workers.swap(n, Ordering::Relaxed);
+        if from != n {
+            self.obs.event(ObsEvent::WorkerScaled {
+                from: from as u64,
+                to: n as u64,
+            });
+        }
+    }
+
     /// Advises the resource manager from accumulated stage measurements:
     /// compares per-worker conversion wall time against device time and
     /// suggests acquiring or releasing workers (paper §3.3).
@@ -293,7 +339,7 @@ impl ScanRaw {
         if cpu.is_zero() || io.is_zero() {
             return ResourceAdvice::Unknown;
         }
-        let workers = self.config.workers.max(1);
+        let workers = self.workers().max(1);
         let cpu_wall = cpu.as_secs_f64() / workers as f64;
         let io_wall = io.as_secs_f64();
         // Workers needed so conversion wall time matches device time.
@@ -380,23 +426,27 @@ impl ScanRaw {
                 ));
             }
         }
+        let workers = self.workers();
         let params = Arc::new(ScanParams {
             convert_cols: convert_cols.clone(),
             cols_mapped,
             pushdown: request.pushdown.clone(),
+            workers,
         });
 
+        self.obs.event(ObsEvent::QueryStart {
+            table: self.table.clone(),
+            columns: needed.len() as u64,
+        });
         let clock = self.db.disk().clock().clone();
         let started_at = clock.now();
         let counters = Arc::new(ScanCounters::default());
         let stop = Arc::new(AtomicBool::new(false));
         let in_pipeline = Arc::new(AtomicUsize::new(0));
 
-        let (out_tx, out_rx) = bounded::<Result<Arc<BinaryChunk>>>(
-            self.config.binary_cache_chunks.max(2),
-        );
+        let (out_tx, out_rx) =
+            bounded::<Result<Arc<BinaryChunk>>>(self.config.binary_cache_chunks.max(2));
         let (events_tx, events_rx) = unbounded::<Event>();
-        let workers = self.config.workers;
         let (text_tx, text_rx) = bounded::<RawJob>(self.config.text_buffer_chunks);
         let (pos_tx, pos_rx) = bounded::<TokenizedChunk>(self.config.position_buffer_chunks);
 
@@ -404,9 +454,7 @@ impl ScanRaw {
         // Plan chunk sources (cache → database → raw, §3.2.1).
         // ------------------------------------------------------------------
         let plan = self.plan_scan(&needed, request.skip_predicate.as_ref())?;
-        counters
-            .skipped
-            .store(plan.skipped, Ordering::Relaxed);
+        counters.skipped.store(plan.skipped, Ordering::Relaxed);
 
         // ------------------------------------------------------------------
         // READ thread.
@@ -490,10 +538,13 @@ impl ScanRaw {
             let db = self.db.clone();
             let table = self.table.clone();
             let events_tx2 = events_tx.clone();
+            let obs = self.obs.clone();
             std::thread::Builder::new()
                 .name(format!("scanraw-sched-{}", self.table))
                 .spawn(move || {
-                    run_scheduler(policy, events_rx, events_tx2, cache, &writer, &db, &table)
+                    run_scheduler(
+                        policy, events_rx, events_tx2, cache, &writer, &db, &table, &obs,
+                    )
                 })
                 .map_err(|e| Error::Pipeline(format!("spawn scheduler: {e}")))?
         };
@@ -513,6 +564,8 @@ impl ScanRaw {
             counters,
             clock,
             started_at,
+            obs: self.obs.clone(),
+            table: self.table.clone(),
         };
         Ok(ChunkStream::new(out_rx, state))
     }
@@ -521,11 +574,7 @@ impl ScanRaw {
     // Planning
     // ----------------------------------------------------------------------
 
-    fn plan_scan(
-        &self,
-        needed: &[usize],
-        skip: Option<&RangePredicate>,
-    ) -> Result<ScanPlan> {
+    fn plan_scan(&self, needed: &[usize], skip: Option<&RangePredicate>) -> Result<ScanPlan> {
         if !self.layout_known() {
             // First scan: stream the whole file sequentially.
             return Ok(ScanPlan {
@@ -556,6 +605,9 @@ impl ScanRaw {
                         {
                             if !pred.may_overlap(lo, hi) {
                                 skipped += 1;
+                                self.obs.event(ObsEvent::ChunkSkipped {
+                                    chunk: meta.id.0 as u64,
+                                });
                                 continue;
                             }
                         }
@@ -566,8 +618,7 @@ impl ScanRaw {
                 cached.push(*meta);
             } else if entry.is_loaded(meta.id, needed) {
                 from_db.push(*meta);
-            } else if self.config.hybrid_reads
-                && !entry.loaded_columns(meta.id, needed).is_empty()
+            } else if self.config.hybrid_reads && !entry.loaded_columns(meta.id, needed).is_empty()
             {
                 hybrid.push(*meta);
             } else {
@@ -684,9 +735,7 @@ impl ScanRaw {
                 return Ok(());
             }
             let t0 = clock.now();
-            let loaded = self
-                .db
-                .loaded_columns(&self.table, meta.id, &needed)?;
+            let loaded = self.db.loaded_columns(&self.table, meta.id, &needed)?;
             let base = self.db.load_chunk(&self.table, meta.id, &loaded)?;
             let text = read_chunk_at(self.db.disk(), &self.raw_file, meta)?;
             let t1 = clock.now();
@@ -846,15 +895,13 @@ impl ScanRaw {
         if count_raw {
             counters.from_raw.fetch_add(1, Ordering::Relaxed);
         }
-        if self.config.workers == 0 {
+        if params.workers == 0 {
             // Sequential regime: the chunk passes through the conversion
             // stages one at a time in the READ thread (paper §5.1,
             // "zero worker threads correspond to sequential execution").
             let converted = self.convert_job(&job, params);
             return match converted {
-                Ok((bin, filtered)) => {
-                    Ok(self.deliver(Arc::new(bin), filtered, out, events, stop))
-                }
+                Ok((bin, filtered)) => Ok(self.deliver(Arc::new(bin), filtered, out, events, stop)),
                 Err(e) => {
                     let _ = out.send(Err(e));
                     Ok(true)
@@ -874,6 +921,11 @@ impl ScanRaw {
                     pending = c;
                     // The text chunks buffer is full: READ is blocked, the
                     // disk is idle — the speculative-loading window (§4).
+                    // Journaled here (not in the scheduler) because only the
+                    // READ side knows which chunk is waiting.
+                    self.obs.event(ObsEvent::ReadBlocked {
+                        chunk: pending.text.id.0 as u64,
+                    });
                     let _ = events.send(Event::ReadBlocked);
                 }
                 Err(crossbeam::channel::SendTimeoutError::Disconnected(_)) => {
@@ -888,9 +940,11 @@ impl ScanRaw {
         // Load the catalog-backed columns; at minimum the needed ones are
         // there (planning checked), and loading everything available keeps
         // the cache useful for wider future queries.
-        let available = self
-            .db
-            .loaded_columns(&self.table, meta.id, &(0..self.schema.len()).collect::<Vec<_>>())?;
+        let available = self.db.loaded_columns(
+            &self.table,
+            meta.id,
+            &(0..self.schema.len()).collect::<Vec<_>>(),
+        )?;
         let cols: Vec<usize> = if available.is_empty() {
             cols.to_vec()
         } else {

@@ -6,8 +6,9 @@
 //! (Figure 9, together with the device's own utilization timeline).
 
 use parking_lot::Mutex;
+use scanraw_obs::{Histogram, Obs};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// Pipeline stages that are timed.
@@ -74,11 +75,23 @@ struct ProfilerInner {
     /// CPU busy spans, for utilization timelines (opt-in).
     spans: Mutex<Vec<BusySpan>>,
     record_spans: AtomicU64, // 0 = off, 1 = on
+    /// One duration histogram per stage, attached at most once; the hot
+    /// path pays a single atomic load when unattached.
+    stage_histograms: OnceLock<[Histogram; 5]>,
 }
 
 impl Profiler {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Mirrors per-chunk stage timings onto `pipeline.stage.<name>.nanos`
+    /// histograms in the given registry. Attaching twice is a no-op.
+    pub fn attach_obs(&self, obs: &Obs) {
+        let _ = self.inner.stage_histograms.set(Stage::ALL.map(|s| {
+            obs.metrics
+                .duration_histogram(&format!("pipeline.stage.{}.nanos", s.name().to_lowercase()))
+        }));
     }
 
     /// Enables busy-span recording (needed only for utilization timelines).
@@ -97,6 +110,9 @@ impl Profiler {
         let i = stage.index();
         self.inner.totals[i].fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
         self.inner.chunks[i].fetch_add(1, Ordering::Relaxed);
+        if let Some(histograms) = self.inner.stage_histograms.get() {
+            histograms[i].observe_duration(elapsed);
+        }
         if self.inner.record_spans.load(Ordering::Relaxed) != 0 {
             self.inner.spans.lock().push(BusySpan { stage, start, end });
         }
@@ -134,9 +150,14 @@ impl Profiler {
     pub fn cpu_utilization_timeline(&self, window: Duration) -> Vec<(Duration, f64)> {
         assert!(!window.is_zero());
         let spans = self.inner.spans.lock();
+        // Guard against degenerate spans: zero-length spans contribute no
+        // busy time but would stretch the timeline, and spans recorded with
+        // end < start (clock skew between workers) would underflow the
+        // Duration arithmetic below. Both are dropped.
         let cpu: Vec<&BusySpan> = spans
             .iter()
             .filter(|s| matches!(s.stage, Stage::Tokenize | Stage::Parse))
+            .filter(|s| s.end > s.start)
             .collect();
         if cpu.is_empty() {
             return Vec::new();
@@ -239,6 +260,63 @@ mod tests {
         assert_eq!(p.total(Stage::Write), Duration::ZERO);
         assert_eq!(p.chunks(Stage::Write), 0);
         assert!(p.spans().is_empty());
+    }
+
+    #[test]
+    fn timeline_ignores_zero_length_spans() {
+        let p = Profiler::new();
+        p.record_spans(true);
+        // A zero-length span far in the future must not stretch the
+        // timeline or contribute busy time.
+        p.record(Stage::Parse, ms(0), ms(5000), ms(5000));
+        p.record(Stage::Parse, ms(100), ms(0), ms(100));
+        let tl = p.cpu_utilization_timeline(ms(100));
+        assert_eq!(tl.len(), 2);
+        assert!((tl[0].1 - 1.0).abs() < 1e-9, "{tl:?}");
+        // Only zero-length spans → empty timeline, no panic.
+        p.reset();
+        p.record_spans(true);
+        p.record(Stage::Tokenize, ms(0), ms(7), ms(7));
+        assert!(p.cpu_utilization_timeline(ms(100)).is_empty());
+    }
+
+    #[test]
+    fn timeline_ignores_inverted_spans() {
+        let p = Profiler::new();
+        p.record_spans(true);
+        // end < start (e.g. clock skew) previously underflowed Duration
+        // subtraction; such spans are now dropped.
+        p.record(Stage::Parse, ms(10), ms(50), ms(40));
+        p.record(Stage::Parse, ms(100), ms(0), ms(100));
+        let tl = p.cpu_utilization_timeline(ms(100));
+        assert_eq!(tl.len(), 2);
+        assert!((tl[0].1 - 1.0).abs() < 1e-9, "{tl:?}");
+        // Only inverted spans → empty, no panic.
+        p.reset();
+        p.record_spans(true);
+        p.record(Stage::Tokenize, ms(1), ms(9), ms(3));
+        assert!(p.cpu_utilization_timeline(ms(100)).is_empty());
+    }
+
+    #[test]
+    fn attached_obs_records_stage_histograms() {
+        let p = Profiler::new();
+        let obs = scanraw_obs::Obs::new();
+        p.attach_obs(&obs);
+        p.record(Stage::Parse, ms(10), ms(0), ms(10));
+        p.record(Stage::Parse, ms(30), ms(10), ms(40));
+        let snap = obs
+            .metrics
+            .histogram_snapshot("pipeline.stage.parse.nanos")
+            .expect("histogram registered");
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.sum, ms(40).as_nanos() as u64);
+        // Stages that never ran stay at zero.
+        let read = obs
+            .metrics
+            .histogram_snapshot("pipeline.stage.read.nanos")
+            .expect("registered at attach time");
+        assert_eq!(read.count, 0);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 use crate::cache::{ChunkCache, Evicted};
 use crate::profile::{Profiler, Stage};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use scanraw_obs::{EventJournal, Obs, ObsEvent, WriteCause};
 use scanraw_storage::Database;
 use scanraw_types::{BinaryChunk, ChunkId, WritePolicy};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -173,10 +174,48 @@ pub struct SchedulerReport {
     pub eviction_writes: u64,
 }
 
+impl SchedulerReport {
+    /// Reconstructs a report from the journal entries with `seq >= since`.
+    ///
+    /// The scheduler emits one journal event per store decision
+    /// ([`ObsEvent::SpeculativeWriteTriggered`], [`ObsEvent::SafeguardFlush`]
+    /// batches, [`ObsEvent::WriteQueued`] for the eager/invisible/eviction
+    /// causes), so the per-scan report is fully derivable from the journal —
+    /// this is what makes the journal, not the return value, the source of
+    /// truth for tools like `explain_analyze`.
+    pub fn from_journal(journal: &EventJournal, since: u64) -> SchedulerReport {
+        let mut report = SchedulerReport::default();
+        for entry in journal.entries() {
+            if entry.seq < since {
+                continue;
+            }
+            match entry.event {
+                ObsEvent::SpeculativeWriteTriggered { .. } => {
+                    report.writes_queued += 1;
+                    report.speculative_writes += 1;
+                }
+                ObsEvent::SafeguardFlush { chunks } => {
+                    report.writes_queued += chunks;
+                    report.safeguard_writes += chunks;
+                }
+                ObsEvent::WriteQueued { cause, .. } => {
+                    report.writes_queued += 1;
+                    if cause == WriteCause::Eviction {
+                        report.eviction_writes += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        report
+    }
+}
+
 /// Runs the per-scan scheduling policy over the event stream.
 ///
 /// Returns when [`Event::QueryDone`] arrives (sent by the chunk stream once
 /// the engine consumed everything and the pipeline threads joined).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_scheduler(
     policy: WritePolicy,
     events_rx: Receiver<Event>,
@@ -185,6 +224,7 @@ pub(crate) fn run_scheduler(
     writer: &Writer,
     db: &Database,
     table: &str,
+    obs: &Obs,
 ) -> SchedulerReport {
     let mut report = SchedulerReport::default();
     // Chunks already handed to WRITE this scan (idempotence guard).
@@ -207,6 +247,10 @@ pub(crate) fn run_scheduler(
         match ev {
             Event::Converted(chunk) => match policy {
                 WritePolicy::Eager if !already_loaded(chunk.id, &chunk) => {
+                    obs.event(ObsEvent::WriteQueued {
+                        chunk: chunk.id.0 as u64,
+                        cause: WriteCause::Eager,
+                    });
                     writer.store(chunk, Some(events_tx.clone()));
                     report.writes_queued += 1;
                 }
@@ -214,6 +258,10 @@ pub(crate) fn run_scheduler(
                     if invisible_quota > 0 && !already_loaded(chunk.id, &chunk) =>
                 {
                     invisible_quota -= 1;
+                    obs.event(ObsEvent::WriteQueued {
+                        chunk: chunk.id.0 as u64,
+                        cause: WriteCause::Invisible,
+                    });
                     writer.store(chunk, Some(events_tx.clone()));
                     report.writes_queued += 1;
                 }
@@ -221,6 +269,10 @@ pub(crate) fn run_scheduler(
             },
             Event::Evicted(ev) => {
                 if policy == WritePolicy::Buffered && !ev.loaded {
+                    obs.event(ObsEvent::WriteQueued {
+                        chunk: ev.id.0 as u64,
+                        cause: WriteCause::Eviction,
+                    });
                     writer.store(ev.chunk, Some(events_tx.clone()));
                     report.writes_queued += 1;
                     report.eviction_writes += 1;
@@ -237,6 +289,9 @@ pub(crate) fn run_scheduler(
                     if let Some(chunk) = next {
                         queued.insert(chunk.id);
                         write_in_flight = true;
+                        obs.event(ObsEvent::SpeculativeWriteTriggered {
+                            chunk: chunk.id.0 as u64,
+                        });
                         writer.store(chunk, Some(events_tx.clone()));
                         report.writes_queued += 1;
                         report.speculative_writes += 1;
@@ -251,12 +306,17 @@ pub(crate) fn run_scheduler(
                 if let WritePolicy::Speculative { safeguard: true } = policy {
                     // Flush the cache's unloaded chunks, oldest first; this
                     // overlaps the remainder of query processing (§4).
+                    let mut flushed = 0;
                     for chunk in cache.unloaded_chunks() {
                         if queued.insert(chunk.id) {
                             writer.store(chunk, None);
                             report.writes_queued += 1;
                             report.safeguard_writes += 1;
+                            flushed += 1;
                         }
+                    }
+                    if flushed > 0 {
+                        obs.event(ObsEvent::SafeguardFlush { chunks: flushed });
                     }
                 }
             }
@@ -268,12 +328,17 @@ pub(crate) fn run_scheduler(
                 // its first device read).
                 if let WritePolicy::Speculative { safeguard: true } = policy {
                     if raw_scan_done {
+                        let mut flushed = 0;
                         for chunk in cache.unloaded_chunks() {
                             if queued.insert(chunk.id) {
                                 writer.store(chunk, None);
                                 report.writes_queued += 1;
                                 report.safeguard_writes += 1;
+                                flushed += 1;
                             }
+                        }
+                        if flushed > 0 {
+                            obs.event(ObsEvent::SafeguardFlush { chunks: flushed });
                         }
                     }
                 }
@@ -292,14 +357,10 @@ mod tests {
 
     fn setup() -> (Database, ChunkCache, Writer) {
         let db = Database::new(SimDisk::instant());
-        db.create_table("t", Schema::uniform_ints(1), "t.csv").unwrap();
+        db.create_table("t", Schema::uniform_ints(1), "t.csv")
+            .unwrap();
         let cache = ChunkCache::new(8);
-        let writer = Writer::spawn(
-            db.clone(),
-            "t".to_string(),
-            cache.clone(),
-            Profiler::new(),
-        );
+        let writer = Writer::spawn(db.clone(), "t".to_string(), cache.clone(), Profiler::new());
         (db, cache, writer)
     }
 
@@ -335,7 +396,7 @@ mod tests {
         assert_eq!(writer.written(), 16);
     }
 
-    fn run_policy(policy: WritePolicy, events: Vec<Event>) -> (Database, SchedulerReport) {
+    fn run_policy_obs(policy: WritePolicy, events: Vec<Event>) -> (Database, SchedulerReport, Obs) {
         let (db, cache, writer) = setup();
         let (tx, rx) = unbounded();
         for ev in events {
@@ -346,8 +407,22 @@ mod tests {
             tx.send(ev).unwrap();
         }
         tx.send(Event::QueryDone).unwrap();
-        let report = run_scheduler(policy, rx, tx.clone(), cache, &writer, &db, "t");
+        let obs = Obs::new();
+        let report = run_scheduler(policy, rx, tx.clone(), cache, &writer, &db, "t", &obs);
         writer.barrier();
+        (db, report, obs)
+    }
+
+    fn run_policy(policy: WritePolicy, events: Vec<Event>) -> (Database, SchedulerReport) {
+        let (db, report, obs) = run_policy_obs(policy, events);
+        // Every policy path must journal its decisions faithfully: the
+        // report reconstructed from the journal always matches the one the
+        // scheduler returned.
+        assert_eq!(
+            SchedulerReport::from_journal(&obs.journal, 0),
+            report,
+            "journal-derived report diverged"
+        );
         (db, report)
     }
 
@@ -379,7 +454,9 @@ mod tests {
     #[test]
     fn invisible_respects_quota() {
         let (db, report) = run_policy(
-            WritePolicy::Invisible { chunks_per_query: 2 },
+            WritePolicy::Invisible {
+                chunks_per_query: 2,
+            },
             vec![
                 Event::Converted(chunk(0)),
                 Event::Converted(chunk(1)),
@@ -469,6 +546,25 @@ mod tests {
         assert_eq!(report.safeguard_writes, 2);
         assert!(db.load_chunk("t", ChunkId(0), &[0]).is_ok());
         assert!(db.load_chunk("t", ChunkId(1), &[0]).is_ok());
+    }
+
+    #[test]
+    fn journal_report_respects_since_seq() {
+        let (_db, report, obs) = run_policy_obs(
+            WritePolicy::speculative(),
+            vec![
+                Event::Converted(chunk(0)),
+                Event::Converted(chunk(1)),
+                Event::RawScanComplete,
+            ],
+        );
+        assert_eq!(report.safeguard_writes, 2);
+        let full = SchedulerReport::from_journal(&obs.journal, 0);
+        assert_eq!(full, report);
+        // A `since` past the last entry sees an empty scan.
+        let next_seq = obs.journal.total_recorded();
+        let empty = SchedulerReport::from_journal(&obs.journal, next_seq);
+        assert_eq!(empty, SchedulerReport::default());
     }
 
     #[test]

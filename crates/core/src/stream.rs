@@ -10,6 +10,7 @@
 
 use crate::scheduler::{Event, SchedulerReport};
 use crossbeam::channel::{Receiver, Sender};
+use scanraw_obs::{Obs, ObsEvent};
 use scanraw_simio::SharedClock;
 use scanraw_types::{BinaryChunk, Error, Result};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -68,6 +69,8 @@ pub(crate) struct ScanState {
     pub counters: Arc<ScanCounters>,
     pub clock: SharedClock,
     pub started_at: Duration,
+    pub obs: Obs,
+    pub table: String,
 }
 
 /// Stream of converted chunks produced by one [`crate::ScanRaw::scan`].
@@ -75,6 +78,7 @@ pub struct ChunkStream {
     rx: Option<Receiver<Result<Arc<BinaryChunk>>>>,
     state: Option<ScanState>,
     delivered: usize,
+    rows: u64,
     first_error: Option<Error>,
 }
 
@@ -84,6 +88,7 @@ impl ChunkStream {
             rx: Some(rx),
             state: Some(state),
             delivered: 0,
+            rows: 0,
             first_error: None,
         }
     }
@@ -96,6 +101,7 @@ impl ChunkStream {
             match rx.recv() {
                 Ok(Ok(chunk)) => {
                     self.delivered += 1;
+                    self.rows += chunk.rows as u64;
                     return Some(chunk);
                 }
                 Ok(Err(e)) => {
@@ -135,6 +141,12 @@ impl ChunkStream {
             (state.barrier)();
         }
         let elapsed = state.clock.now().saturating_sub(state.started_at);
+        state.obs.event(ObsEvent::QueryEnd {
+            table: state.table.clone(),
+            chunks: self.delivered as u64,
+            rows: self.rows,
+            elapsed_micros: elapsed.as_micros() as u64,
+        });
 
         if let Some(e) = self.first_error.take() {
             return Err(e);

@@ -27,9 +27,7 @@ fn operator(config: ScanRawConfig, disk: SimDisk) -> (Arc<ScanRaw>, CsvSpec) {
 }
 
 fn full_scan(op: &Arc<ScanRaw>) -> Vec<i64> {
-    let mut stream = op
-        .scan(ScanRequest::all_columns(vec![0, 1, 2, 3]))
-        .unwrap();
+    let mut stream = op.scan(ScanRequest::all_columns(vec![0, 1, 2, 3])).unwrap();
     let mut sums = vec![0i64; 4];
     while let Some(chunk) = stream.next_chunk() {
         for (i, s) in sums.iter_mut().enumerate() {

@@ -68,8 +68,7 @@ fn scan_and_sum(op: &Arc<ScanRaw>, req: ScanRequest) -> (Vec<i64>, u64, scanraw:
 fn external_tables_correct_across_worker_counts() {
     for workers in [0, 1, 2, 4] {
         let (op, spec) = setup(base_config(WritePolicy::ExternalTables, workers));
-        let (sums, rows, summary) =
-            scan_and_sum(&op, ScanRequest::all_columns(vec![0, 1, 2, 3]));
+        let (sums, rows, summary) = scan_and_sum(&op, ScanRequest::all_columns(vec![0, 1, 2, 3]));
         assert_eq!(rows, ROWS, "workers={workers}");
         assert_eq!(sums, expected_column_sums(&spec), "workers={workers}");
         assert_eq!(summary.from_raw, 8);
@@ -182,7 +181,12 @@ fn buffered_loading_writes_evicted_chunks() {
 
 #[test]
 fn invisible_loading_fixed_quota_per_query() {
-    let mut cfg = base_config(WritePolicy::Invisible { chunks_per_query: 3 }, 2);
+    let mut cfg = base_config(
+        WritePolicy::Invisible {
+            chunks_per_query: 3,
+        },
+        2,
+    );
     cfg.binary_cache_chunks = 2; // keep cache small so raw conversions repeat
     let (op, spec) = setup(cfg);
     let expected = expected_column_sums(&spec);
@@ -253,9 +257,11 @@ fn chunk_skipping_via_statistics() {
     assert_eq!(rows, 400);
 
     // Second scan restricted to chunk 2's value range must skip 3 chunks.
-    let req = ScanRequest::all_columns(vec![0, 1]).with_skip_predicate(
-        RangePredicate::between(0, Value::Int(2000), Value::Int(2099)),
-    );
+    let req = ScanRequest::all_columns(vec![0, 1]).with_skip_predicate(RangePredicate::between(
+        0,
+        Value::Int(2000),
+        Value::Int(2099),
+    ));
     let (_, rows, summary) = scan_and_sum(&op, req);
     assert_eq!(summary.skipped, 3, "{summary:?}");
     assert_eq!(rows, 100);
@@ -264,7 +270,9 @@ fn chunk_skipping_via_statistics() {
 #[test]
 fn scan_rejects_bad_requests() {
     let (op, _) = setup(base_config(WritePolicy::ExternalTables, 1));
-    assert!(op.scan(ScanRequest::all_columns(Vec::<usize>::new())).is_err());
+    assert!(op
+        .scan(ScanRequest::all_columns(Vec::<usize>::new()))
+        .is_err());
     assert!(op.scan(ScanRequest::all_columns(vec![COLS])).is_err());
 }
 
@@ -294,7 +302,7 @@ fn dropping_stream_mid_scan_does_not_hang() {
     let mut stream = op.scan(ScanRequest::all_columns(vec![0, 1, 2, 3])).unwrap();
     let _ = stream.next_chunk();
     drop(stream); // must join all pipeline threads without deadlock
-    // The operator remains usable afterwards.
+                  // The operator remains usable afterwards.
     let (sums, rows, _) = scan_and_sum(&op, ScanRequest::all_columns(vec![0, 1, 2, 3]));
     assert_eq!(rows, ROWS);
     assert_eq!(sums.len(), 4);

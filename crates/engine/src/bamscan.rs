@@ -90,9 +90,9 @@ pub fn execute_over_bam(disk: &SimDisk, file: &str, query: &Query) -> Result<Que
     let mut chunk_no = 0u32;
     let mut first_row = 0u64;
     let flush = |batch: &mut Vec<SamRead>,
-                     chunk_no: &mut u32,
-                     first_row: &mut u64,
-                     agg: &mut GroupedAggregator<'_>|
+                 chunk_no: &mut u32,
+                 first_row: &mut u64,
+                 agg: &mut GroupedAggregator<'_>|
      -> Result<()> {
         let chunk = map_reads(batch, ChunkId(*chunk_no), *first_row);
         agg.consume(&chunk, query.filter.as_ref())?;

@@ -4,12 +4,14 @@ use crate::aggregate::{Accumulator, AggExpr};
 use crate::predicate::Predicate;
 use crate::query::{Query, QueryResult, ResultRow};
 use parking_lot::Mutex;
-use scanraw::{ConvertScope, OperatorRegistry, ScanRaw, ScanRequest, ScanSummary};
+use scanraw::{ConvertScope, OperatorRegistry, ScanRaw, ScanRequest, ScanSummary, Stage};
+use scanraw_obs::{json, JournalEntry};
 use scanraw_rawfile::TextDialect;
 use scanraw_storage::Database;
 use scanraw_types::{BinaryChunk, Error, Result, ScanRawConfig, Schema, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Result of running a query through the engine: the rows plus what the scan
 /// did underneath (chunk sources, writes triggered, elapsed time).
@@ -38,6 +40,66 @@ pub struct ExplainReport {
     pub expect_from_cache: usize,
     pub expect_from_db: usize,
     pub expect_from_raw: usize,
+}
+
+/// `EXPLAIN ANALYZE` output: the plan-time [`ExplainReport`] plus what the
+/// scan actually did, measured from the operator's metrics registry and
+/// event journal over this query alone.
+#[derive(Debug, Clone)]
+pub struct AnalyzeReport {
+    /// The plan as predicted before execution.
+    pub explain: ExplainReport,
+    /// Rows produced and the scan summary (chunk sources, writes, elapsed).
+    pub outcome: QueryOutcome,
+    /// Actual total time per pipeline stage during this query, in
+    /// [`Stage::ALL`] order (READ, TOKENIZE, PARSE, WRITE, DELIVER).
+    pub stage_durations: Vec<(&'static str, Duration)>,
+    /// Chunks the speculative policy wrote during this query.
+    pub speculative_chunks_written: u64,
+    /// Chunks the end-of-scan safeguard flushed during this query.
+    pub safeguard_chunks_written: u64,
+    /// hits / (hits + misses) over this query; `None` when the cache was
+    /// never consulted.
+    pub cache_hit_rate: Option<f64>,
+    /// Journal entries recorded while the query ran.
+    pub events: Vec<JournalEntry>,
+}
+
+impl AnalyzeReport {
+    /// The whole report as one JSON document (same schema family as
+    /// `Obs::snapshot_json`).
+    pub fn to_json(&self) -> scanraw_obs::Value {
+        let scan = &self.outcome.scan;
+        json!({
+            "table": self.explain.table.clone(),
+            "projection": self.explain.projection.clone(),
+            "estimated_rows": self.explain.estimated_rows,
+            "estimated_selectivity": self.explain.estimated_selectivity,
+            "expected_sources": {
+                "cache": self.explain.expect_from_cache as u64,
+                "db": self.explain.expect_from_db as u64,
+                "raw": self.explain.expect_from_raw as u64,
+            },
+            "actual_sources": {
+                "cache": scan.from_cache as u64,
+                "db": scan.from_db as u64,
+                "raw": scan.from_raw as u64,
+                "hybrid": scan.from_hybrid as u64,
+                "skipped": scan.skipped as u64,
+            },
+            "rows_scanned": self.outcome.result.rows_scanned,
+            "elapsed_micros": scan.elapsed.as_micros() as u64,
+            "stage_micros": self
+                .stage_durations
+                .iter()
+                .map(|(name, d)| json!({"stage": *name, "micros": d.as_micros() as u64}))
+                .collect::<Vec<_>>(),
+            "speculative_chunks_written": self.speculative_chunks_written,
+            "safeguard_chunks_written": self.safeguard_chunks_written,
+            "cache_hit_rate": self.cache_hit_rate,
+            "events": self.events.iter().map(|e| e.to_json()).collect::<Vec<_>>(),
+        })
+    }
 }
 
 /// Table registration data.
@@ -194,10 +256,8 @@ impl Engine {
         let started = clock.now();
 
         // Union of all projections.
-        let mut projection: Vec<usize> = queries
-            .iter()
-            .flat_map(|q| q.required_columns())
-            .collect();
+        let mut projection: Vec<usize> =
+            queries.iter().flat_map(|q| q.required_columns()).collect();
         projection.sort_unstable();
         projection.dedup();
 
@@ -245,6 +305,56 @@ impl Engine {
                 })
             })
             .collect()
+    }
+
+    /// `EXPLAIN ANALYZE`: runs the query and reports the plan alongside the
+    /// observed behaviour — per-stage durations, actual chunk sources,
+    /// speculative-loading progress, and the cache hit rate, all scoped to
+    /// this query via before/after snapshots of the operator's metrics and
+    /// the journal sequence number.
+    pub fn explain_analyze(&self, query: &Query) -> Result<AnalyzeReport> {
+        let op = self.operator(&query.table)?;
+        let explain = self.explain(query)?;
+
+        let stage_before: Vec<Duration> =
+            Stage::ALL.iter().map(|&s| op.profiler().total(s)).collect();
+        let cache_before = op.cache().counters();
+        let journal_since = op.obs().journal.total_recorded();
+
+        let outcome = self.execute(query)?;
+        // The safeguard flush overlaps the next query; drain it so the
+        // journal and write counters cover everything this query caused.
+        op.drain_writes();
+
+        let stage_durations: Vec<(&'static str, Duration)> = Stage::ALL
+            .iter()
+            .zip(&stage_before)
+            .map(|(&s, &before)| (s.name(), op.profiler().total(s).saturating_sub(before)))
+            .collect();
+        let cache_after = op.cache().counters();
+        let hits = cache_after.hits - cache_before.hits;
+        let misses = cache_after.misses - cache_before.misses;
+        let cache_hit_rate = if hits + misses > 0 {
+            Some(hits as f64 / (hits + misses) as f64)
+        } else {
+            None
+        };
+        let events: Vec<JournalEntry> = op
+            .obs()
+            .journal
+            .entries()
+            .into_iter()
+            .filter(|e| e.seq >= journal_since)
+            .collect();
+        Ok(AnalyzeReport {
+            explain,
+            speculative_chunks_written: outcome.scan.speculative_writes,
+            safeguard_chunks_written: outcome.scan.safeguard_writes,
+            cache_hit_rate,
+            stage_durations,
+            events,
+            outcome,
+        })
     }
 
     /// Runs an aggregate query.
@@ -339,12 +449,10 @@ impl<'a> GroupedAggregator<'a> {
                         .ok_or_else(|| Error::query("row out of range"))
                 })
                 .collect::<Result<_>>()?;
-            let accs = self.groups.entry(key).or_insert_with(|| {
-                self.aggs
-                    .iter()
-                    .map(|a| Accumulator::new(a.func))
-                    .collect()
-            });
+            let accs = self
+                .groups
+                .entry(key)
+                .or_insert_with(|| self.aggs.iter().map(|a| Accumulator::new(a.func)).collect());
             for (acc, a) in accs.iter_mut().zip(self.aggs) {
                 acc.update(a.expr.eval(chunk, row)?)?;
             }
@@ -361,10 +469,7 @@ impl<'a> GroupedAggregator<'a> {
         if self.group_by.is_empty() && self.groups.is_empty() {
             self.groups.insert(
                 Vec::new(),
-                self.aggs
-                    .iter()
-                    .map(|a| Accumulator::new(a.func))
-                    .collect(),
+                self.aggs.iter().map(|a| Accumulator::new(a.func)).collect(),
             );
         }
         let mut rows: Vec<ResultRow> = self

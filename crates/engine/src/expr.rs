@@ -93,15 +93,9 @@ impl Expr {
                 .value(row)
                 .ok_or_else(|| Error::query(format!("row {row} out of range"))),
             Expr::Literal(v) => Ok(v.clone()),
-            Expr::Add(a, b) => numeric(a.eval(chunk, row)?, b.eval(chunk, row)?, "+", |x, y| {
-                x + y
-            }),
-            Expr::Sub(a, b) => numeric(a.eval(chunk, row)?, b.eval(chunk, row)?, "-", |x, y| {
-                x - y
-            }),
-            Expr::Mul(a, b) => numeric(a.eval(chunk, row)?, b.eval(chunk, row)?, "*", |x, y| {
-                x * y
-            }),
+            Expr::Add(a, b) => numeric(a.eval(chunk, row)?, b.eval(chunk, row)?, "+", |x, y| x + y),
+            Expr::Sub(a, b) => numeric(a.eval(chunk, row)?, b.eval(chunk, row)?, "-", |x, y| x - y),
+            Expr::Mul(a, b) => numeric(a.eval(chunk, row)?, b.eval(chunk, row)?, "*", |x, y| x * y),
         }
     }
 }

@@ -26,7 +26,7 @@ pub mod predicate;
 pub mod query;
 
 pub use aggregate::{AggExpr, AggFunc};
-pub use executor::{Engine, ExplainReport, QueryOutcome};
+pub use executor::{AnalyzeReport, Engine, ExplainReport, QueryOutcome};
 pub use expr::Expr;
 pub use predicate::Predicate;
 pub use query::{Query, QueryResult};

@@ -122,9 +122,7 @@ impl Predicate {
             Predicate::And(a, b) => {
                 Ok(a.eval_values(cols, values)? && b.eval_values(cols, values)?)
             }
-            Predicate::Or(a, b) => {
-                Ok(a.eval_values(cols, values)? || b.eval_values(cols, values)?)
-            }
+            Predicate::Or(a, b) => Ok(a.eval_values(cols, values)? || b.eval_values(cols, values)?),
             Predicate::Not(p) => Ok(!p.eval_values(cols, values)?),
         }
     }
@@ -162,8 +160,7 @@ impl Predicate {
                     CmpOp::Gt => CmpOp::Lt,
                     CmpOp::Ge => CmpOp::Le,
                 };
-                Predicate::Cmp(Expr::Column(*c), flipped, Expr::Literal(v.clone()))
-                    .extract_range()
+                Predicate::Cmp(Expr::Column(*c), flipped, Expr::Literal(v.clone())).extract_range()
             }
             Predicate::And(a, b) => {
                 // Intersect two ranges over the same column, or pass one

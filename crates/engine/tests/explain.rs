@@ -41,7 +41,10 @@ fn explain_before_first_scan_knows_nothing() {
     let q = Query::sum_of_columns("c", [0, 1]);
     let rep = engine.explain(&q).unwrap();
     assert_eq!(rep.estimated_rows, None, "no layout yet");
-    assert_eq!(rep.expect_from_raw + rep.expect_from_db + rep.expect_from_cache, 0);
+    assert_eq!(
+        rep.expect_from_raw + rep.expect_from_db + rep.expect_from_cache,
+        0
+    );
     assert!(!rep.uses_chunk_skipping);
     assert_eq!(rep.projection, vec![0, 1]);
 }
@@ -53,10 +56,15 @@ fn explain_after_scan_estimates_cardinality() {
     engine.execute(&q).unwrap(); // collects statistics
 
     // Range covering exactly one chunk: bounds prune 7 of 8 chunks.
-    let narrow = q.clone().with_filter(Predicate::between(0, 3000i64, 3099i64));
+    let narrow = q
+        .clone()
+        .with_filter(Predicate::between(0, 3000i64, 3099i64));
     let rep = engine.explain(&narrow).unwrap();
     assert!(rep.uses_chunk_skipping);
-    assert_eq!(rep.expect_from_cache + rep.expect_from_db + rep.expect_from_raw, 8);
+    assert_eq!(
+        rep.expect_from_cache + rep.expect_from_db + rep.expect_from_raw,
+        8
+    );
     // 100 of 800 rows match → selectivity ≈ 1/8 (sample-based within the
     // surviving chunk; bounds zero out the rest).
     assert!(
@@ -78,7 +86,9 @@ fn explain_without_advanced_stats_falls_back_to_bounds() {
     let engine = clustered_engine(false);
     let q = Query::sum_of_columns("c", [0, 1]);
     engine.execute(&q).unwrap();
-    let narrow = q.clone().with_filter(Predicate::between(0, 3000i64, 3099i64));
+    let narrow = q
+        .clone()
+        .with_filter(Predicate::between(0, 3000i64, 3099i64));
     let rep = engine.explain(&narrow).unwrap();
     // Bounds prune 7/8 chunks; the surviving chunk counts fully (no sample).
     assert!((rep.estimated_selectivity - 0.125).abs() < 1e-9);
@@ -118,9 +128,7 @@ fn explain_tracks_chunk_sources_as_loading_progresses() {
 #[test]
 fn distinct_estimates_from_advanced_stats() {
     let engine = clustered_engine(true);
-    engine
-        .execute(&Query::sum_of_columns("c", [0, 1]))
-        .unwrap();
+    engine.execute(&Query::sum_of_columns("c", [0, 1])).unwrap();
     let op = engine.operator("c").unwrap();
     let entry = op.database().catalog().table("c").unwrap();
     let entry = entry.read();

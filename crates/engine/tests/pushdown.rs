@@ -117,7 +117,9 @@ fn pushdown_with_like_predicate_on_strings() {
         "r.sam",
         sam_schema(),
         TextDialect::TSV,
-        ScanRawConfig::default().with_chunk_rows(128).with_workers(2),
+        ScanRawConfig::default()
+            .with_chunk_rows(128)
+            .with_workers(2),
     )
     .unwrap();
     let q = Query {

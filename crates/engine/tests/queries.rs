@@ -48,7 +48,9 @@ fn all_policies_agree_on_results() {
         WritePolicy::ExternalTables,
         WritePolicy::Eager,
         WritePolicy::Buffered,
-        WritePolicy::Invisible { chunks_per_query: 2 },
+        WritePolicy::Invisible {
+            chunks_per_query: 2,
+        },
         WritePolicy::speculative(),
         WritePolicy::Speculative { safeguard: false },
     ] {
@@ -171,7 +173,9 @@ fn cigar_distribution_query_on_sam() {
             "na.sam",
             sam_schema(),
             TextDialect::TSV,
-            ScanRawConfig::default().with_chunk_rows(256).with_workers(2),
+            ScanRawConfig::default()
+                .with_chunk_rows(256)
+                .with_workers(2),
         )
         .unwrap();
 
@@ -226,7 +230,9 @@ fn sam_and_bam_paths_agree() {
             "x.sam",
             sam_schema(),
             TextDialect::TSV,
-            ScanRawConfig::default().with_chunk_rows(200).with_workers(2),
+            ScanRawConfig::default()
+                .with_chunk_rows(200)
+                .with_workers(2),
         )
         .unwrap();
     let q = Query {
@@ -245,9 +251,7 @@ fn sam_and_bam_paths_agree() {
 #[test]
 fn unknown_table_and_empty_aggregates_rejected() {
     let (engine, _) = engine_with_csv(WritePolicy::ExternalTables);
-    assert!(engine
-        .execute(&Query::sum_of_columns("nope", [0]))
-        .is_err());
+    assert!(engine.execute(&Query::sum_of_columns("nope", [0])).is_err());
     let q = Query {
         table: "t".into(),
         filter: None,
@@ -285,7 +289,9 @@ fn chunk_skipping_reduces_io_on_repeat_query() {
             "ord.csv",
             Schema::uniform_ints(2),
             TextDialect::CSV,
-            ScanRawConfig::default().with_chunk_rows(100).with_workers(2),
+            ScanRawConfig::default()
+                .with_chunk_rows(100)
+                .with_workers(2),
         )
         .unwrap();
     // Query 1 gathers statistics.
@@ -293,8 +299,8 @@ fn chunk_skipping_reduces_io_on_repeat_query() {
         .execute(&Query::sum_of_columns("ord", [0, 1]))
         .unwrap();
     // Query 2 with a narrow range must skip chunks.
-    let q = Query::sum_of_columns("ord", [0, 1])
-        .with_filter(Predicate::between(0, 3000i64, 3099i64));
+    let q =
+        Query::sum_of_columns("ord", [0, 1]).with_filter(Predicate::between(0, 3000i64, 3099i64));
     let out = engine.execute(&q).unwrap();
     assert_eq!(out.scan.skipped, 7, "{:?}", out.scan);
     assert_eq!(out.result.rows_scanned, 100);

@@ -100,7 +100,9 @@ fn shared_scan_common_range_still_skips_chunks() {
         "o.csv",
         Schema::uniform_ints(2),
         TextDialect::CSV,
-        ScanRawConfig::default().with_chunk_rows(100).with_workers(2),
+        ScanRawConfig::default()
+            .with_chunk_rows(100)
+            .with_workers(2),
     )
     .unwrap();
     eng.execute(&Query::sum_of_columns("o", [0, 1])).unwrap(); // stats

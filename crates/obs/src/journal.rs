@@ -1,0 +1,466 @@
+//! The structured event journal: a bounded, timestamped ring of typed
+//! pipeline events.
+//!
+//! Every interesting decision the ScanRaw pipeline makes — a read stalling
+//! on a full buffer, a speculative write firing, the safeguard flushing the
+//! write queue, a cache hit — is recorded here with a monotonic sequence
+//! number. The ring is bounded: when full, the oldest entry is dropped and
+//! counted, so a long-running operator keeps the most recent window of
+//! activity. Recorders (see [`crate::recorder`]) observe every entry before
+//! it enters the ring, including ones the ring later drops.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::json;
+use crate::json::Value;
+use crate::recorder::{NullRecorder, Recorder};
+
+/// What happened. Payload fields are plain integers/strings so entries
+/// serialise to one JSONL line each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObsEvent {
+    /// A query began scanning a table.
+    QueryStart { table: String, columns: u64 },
+    /// A query finished; `elapsed_micros` is wall-clock for the scan.
+    QueryEnd {
+        table: String,
+        chunks: u64,
+        rows: u64,
+        elapsed_micros: u64,
+    },
+    /// The READ stage stalled because the text-chunk buffer was full.
+    ReadBlocked { chunk: u64 },
+    /// The speculative policy decided to load this chunk into the DB
+    /// during idle device time.
+    SpeculativeWriteTriggered { chunk: u64 },
+    /// The safeguard fired and force-flushed queued speculative writes.
+    SafeguardFlush { chunks: u64 },
+    /// A chunk write was queued for a non-speculative reason.
+    WriteQueued { chunk: u64, cause: WriteCause },
+    /// Chunk served from the in-memory cache.
+    CacheHit { chunk: u64 },
+    /// Chunk requested but absent from the cache.
+    CacheMiss { chunk: u64 },
+    /// Chunk evicted; `loaded` = it already lives in the DB.
+    CacheEvict { chunk: u64, loaded: bool },
+    /// Chunk skipped entirely by min/max pushdown.
+    ChunkSkipped { chunk: u64 },
+    /// The operator's worker pool was resized.
+    WorkerScaled { from: u64, to: u64 },
+}
+
+/// Why a non-speculative write was queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteCause {
+    Eager,
+    Invisible,
+    Eviction,
+}
+
+impl WriteCause {
+    pub fn name(&self) -> &'static str {
+        match self {
+            WriteCause::Eager => "eager",
+            WriteCause::Invisible => "invisible",
+            WriteCause::Eviction => "eviction",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "eager" => Some(WriteCause::Eager),
+            "invisible" => Some(WriteCause::Invisible),
+            "eviction" => Some(WriteCause::Eviction),
+            _ => None,
+        }
+    }
+}
+
+impl ObsEvent {
+    /// Stable event-type name used in JSON exports and DESIGN.md.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsEvent::QueryStart { .. } => "QueryStart",
+            ObsEvent::QueryEnd { .. } => "QueryEnd",
+            ObsEvent::ReadBlocked { .. } => "ReadBlocked",
+            ObsEvent::SpeculativeWriteTriggered { .. } => "SpeculativeWriteTriggered",
+            ObsEvent::SafeguardFlush { .. } => "SafeguardFlush",
+            ObsEvent::WriteQueued { .. } => "WriteQueued",
+            ObsEvent::CacheHit { .. } => "CacheHit",
+            ObsEvent::CacheMiss { .. } => "CacheMiss",
+            ObsEvent::CacheEvict { .. } => "CacheEvict",
+            ObsEvent::ChunkSkipped { .. } => "ChunkSkipped",
+            ObsEvent::WorkerScaled { .. } => "WorkerScaled",
+        }
+    }
+
+    pub fn payload(&self) -> Value {
+        match self {
+            ObsEvent::QueryStart { table, columns } => {
+                json!({"table": table, "columns": *columns})
+            }
+            ObsEvent::QueryEnd {
+                table,
+                chunks,
+                rows,
+                elapsed_micros,
+            } => json!({
+                "table": table,
+                "chunks": *chunks,
+                "rows": *rows,
+                "elapsed_micros": *elapsed_micros,
+            }),
+            ObsEvent::ReadBlocked { chunk } => json!({"chunk": *chunk}),
+            ObsEvent::SpeculativeWriteTriggered { chunk } => json!({"chunk": *chunk}),
+            ObsEvent::SafeguardFlush { chunks } => json!({"chunks": *chunks}),
+            ObsEvent::WriteQueued { chunk, cause } => {
+                json!({"chunk": *chunk, "cause": cause.name()})
+            }
+            ObsEvent::CacheHit { chunk } => json!({"chunk": *chunk}),
+            ObsEvent::CacheMiss { chunk } => json!({"chunk": *chunk}),
+            ObsEvent::CacheEvict { chunk, loaded } => {
+                json!({"chunk": *chunk, "loaded": *loaded})
+            }
+            ObsEvent::ChunkSkipped { chunk } => json!({"chunk": *chunk}),
+            ObsEvent::WorkerScaled { from, to } => json!({"from": *from, "to": *to}),
+        }
+    }
+
+    /// Inverse of `kind()` + `payload()`; used by the JSONL round-trip.
+    pub fn from_parts(kind: &str, payload: &Value) -> Option<ObsEvent> {
+        let chunk = || payload["chunk"].as_u64();
+        Some(match kind {
+            "QueryStart" => ObsEvent::QueryStart {
+                table: payload["table"].as_str()?.to_string(),
+                columns: payload["columns"].as_u64()?,
+            },
+            "QueryEnd" => ObsEvent::QueryEnd {
+                table: payload["table"].as_str()?.to_string(),
+                chunks: payload["chunks"].as_u64()?,
+                rows: payload["rows"].as_u64()?,
+                elapsed_micros: payload["elapsed_micros"].as_u64()?,
+            },
+            "ReadBlocked" => ObsEvent::ReadBlocked { chunk: chunk()? },
+            "SpeculativeWriteTriggered" => ObsEvent::SpeculativeWriteTriggered { chunk: chunk()? },
+            "SafeguardFlush" => ObsEvent::SafeguardFlush {
+                chunks: payload["chunks"].as_u64()?,
+            },
+            "WriteQueued" => ObsEvent::WriteQueued {
+                chunk: chunk()?,
+                cause: WriteCause::from_name(payload["cause"].as_str()?)?,
+            },
+            "CacheHit" => ObsEvent::CacheHit { chunk: chunk()? },
+            "CacheMiss" => ObsEvent::CacheMiss { chunk: chunk()? },
+            "CacheEvict" => ObsEvent::CacheEvict {
+                chunk: chunk()?,
+                loaded: payload["loaded"].as_bool()?,
+            },
+            "ChunkSkipped" => ObsEvent::ChunkSkipped { chunk: chunk()? },
+            "WorkerScaled" => ObsEvent::WorkerScaled {
+                from: payload["from"].as_u64()?,
+                to: payload["to"].as_u64()?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+/// One journal record: sequence number, time since the journal's epoch, and
+/// the event itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    pub seq: u64,
+    pub at: Duration,
+    pub event: ObsEvent,
+}
+
+impl JournalEntry {
+    pub fn to_json(&self) -> Value {
+        json!({
+            "seq": self.seq,
+            "at_nanos": self.at.as_nanos() as u64,
+            "event": self.event.kind(),
+            "payload": self.event.payload(),
+        })
+    }
+
+    pub fn from_json(v: &Value) -> Option<JournalEntry> {
+        Some(JournalEntry {
+            seq: v["seq"].as_u64()?,
+            at: Duration::from_nanos(v["at_nanos"].as_u64()?),
+            event: ObsEvent::from_parts(v["event"].as_str()?, &v["payload"])?,
+        })
+    }
+}
+
+/// Where timestamps come from. The default is wall-clock relative to the
+/// journal's creation; simulated pipelines inject their virtual clock so
+/// journal timestamps line up with simulated device time.
+pub type TimeSource = Arc<dyn Fn() -> Duration + Send + Sync>;
+
+struct JournalState {
+    ring: VecDeque<JournalEntry>,
+    next_seq: u64,
+    dropped: u64,
+    recorder: Box<dyn Recorder>,
+}
+
+struct JournalInner {
+    state: Mutex<JournalState>,
+    capacity: usize,
+    now: TimeSource,
+}
+
+/// Bounded ring of [`JournalEntry`]s, shareable across threads.
+#[derive(Clone)]
+pub struct EventJournal {
+    inner: Arc<JournalInner>,
+}
+
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 4096;
+
+impl Default for EventJournal {
+    fn default() -> Self {
+        EventJournal::with_capacity(DEFAULT_JOURNAL_CAPACITY)
+    }
+}
+
+impl EventJournal {
+    pub fn new() -> Self {
+        EventJournal::default()
+    }
+
+    pub fn with_capacity(capacity: usize) -> Self {
+        let epoch = Instant::now();
+        EventJournal::with_time_source(capacity, Arc::new(move || epoch.elapsed()))
+    }
+
+    pub fn with_time_source(capacity: usize, now: TimeSource) -> Self {
+        assert!(capacity > 0, "journal capacity must be positive");
+        EventJournal {
+            inner: Arc::new(JournalInner {
+                state: Mutex::new(JournalState {
+                    ring: VecDeque::with_capacity(capacity),
+                    next_seq: 0,
+                    dropped: 0,
+                    recorder: Box::new(NullRecorder),
+                }),
+                capacity,
+                now,
+            }),
+        }
+    }
+
+    /// Replaces the recorder sink; entries recorded from now on flow to it.
+    pub fn set_recorder(&self, recorder: Box<dyn Recorder>) {
+        self.inner.state.lock().expect("journal lock").recorder = recorder;
+    }
+
+    /// Records an event, returning its sequence number.
+    pub fn record(&self, event: ObsEvent) -> u64 {
+        let at = (self.inner.now)();
+        let mut state = self.inner.state.lock().expect("journal lock");
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        let entry = JournalEntry { seq, at, event };
+        state.recorder.record(&entry);
+        if state.ring.len() == self.inner.capacity {
+            state.ring.pop_front();
+            state.dropped += 1;
+        }
+        state.ring.push_back(entry);
+        seq
+    }
+
+    /// A copy of the retained entries, oldest first.
+    pub fn entries(&self) -> Vec<JournalEntry> {
+        self.inner
+            .state
+            .lock()
+            .expect("journal lock")
+            .ring
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of retained entries (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().expect("journal lock").ring.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Entries evicted from the ring because it was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.state.lock().expect("journal lock").dropped
+    }
+
+    /// Total events ever recorded (retained + dropped).
+    pub fn total_recorded(&self) -> u64 {
+        self.inner.state.lock().expect("journal lock").next_seq
+    }
+
+    /// Counts retained entries matching a predicate.
+    pub fn count_where(&self, mut pred: impl FnMut(&ObsEvent) -> bool) -> usize {
+        self.inner
+            .state
+            .lock()
+            .expect("journal lock")
+            .ring
+            .iter()
+            .filter(|e| pred(&e.event))
+            .count()
+    }
+
+    /// Flushes the attached recorder.
+    pub fn flush_recorder(&self) {
+        self.inner
+            .state
+            .lock()
+            .expect("journal lock")
+            .recorder
+            .flush();
+    }
+
+    pub fn to_json(&self) -> Value {
+        let state = self.inner.state.lock().expect("journal lock");
+        let entries: Vec<Value> = state.ring.iter().map(JournalEntry::to_json).collect();
+        json!({
+            "capacity": self.inner.capacity,
+            "dropped": state.dropped,
+            "total_recorded": state.next_seq,
+            "entries": entries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn records_in_sequence_with_timestamps() {
+        let j = EventJournal::with_capacity(16);
+        j.record(ObsEvent::CacheMiss { chunk: 1 });
+        j.record(ObsEvent::CacheHit { chunk: 1 });
+        let entries = j.entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].seq, 0);
+        assert_eq!(entries[1].seq, 1);
+        assert!(entries[0].at <= entries[1].at);
+        assert_eq!(entries[0].event.kind(), "CacheMiss");
+    }
+
+    #[test]
+    fn ring_wraparound_keeps_newest_in_order() {
+        // Satellite requirement: wraparound must preserve ordering and
+        // account for dropped entries.
+        let j = EventJournal::with_capacity(8);
+        for i in 0..20 {
+            j.record(ObsEvent::ChunkSkipped { chunk: i });
+        }
+        assert_eq!(j.len(), 8);
+        assert_eq!(j.dropped(), 12);
+        assert_eq!(j.total_recorded(), 20);
+        let entries = j.entries();
+        let seqs: Vec<u64> = entries.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (12..20).collect::<Vec<_>>());
+        for e in &entries {
+            match &e.event {
+                ObsEvent::ChunkSkipped { chunk } => assert_eq!(*chunk, e.seq),
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_assigns_unique_seqs() {
+        let j = EventJournal::with_capacity(10_000);
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let j = j.clone();
+                thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        j.record(ObsEvent::CacheHit {
+                            chunk: t * 1000 + i,
+                        });
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("thread");
+        }
+        let mut seqs: Vec<u64> = j.entries().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs.len(), 4000);
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..4000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn injected_time_source_is_used() {
+        let j = EventJournal::with_time_source(4, Arc::new(|| Duration::from_micros(1234)));
+        j.record(ObsEvent::ReadBlocked { chunk: 9 });
+        assert_eq!(j.entries()[0].at, Duration::from_micros(1234));
+    }
+
+    #[test]
+    fn every_event_round_trips_through_json() {
+        let events = vec![
+            ObsEvent::QueryStart {
+                table: "t".into(),
+                columns: 3,
+            },
+            ObsEvent::QueryEnd {
+                table: "t".into(),
+                chunks: 10,
+                rows: 1000,
+                elapsed_micros: 42,
+            },
+            ObsEvent::ReadBlocked { chunk: 1 },
+            ObsEvent::SpeculativeWriteTriggered { chunk: 2 },
+            ObsEvent::SafeguardFlush { chunks: 3 },
+            ObsEvent::WriteQueued {
+                chunk: 4,
+                cause: WriteCause::Eviction,
+            },
+            ObsEvent::CacheHit { chunk: 5 },
+            ObsEvent::CacheMiss { chunk: 6 },
+            ObsEvent::CacheEvict {
+                chunk: 7,
+                loaded: true,
+            },
+            ObsEvent::ChunkSkipped { chunk: 8 },
+            ObsEvent::WorkerScaled { from: 2, to: 4 },
+        ];
+        for event in events {
+            let entry = JournalEntry {
+                seq: 7,
+                at: Duration::from_micros(99),
+                event: event.clone(),
+            };
+            let parsed = crate::json::parse(&entry.to_json().to_json()).expect("parse");
+            let back = JournalEntry::from_json(&parsed).expect("decode");
+            assert_eq!(back, entry, "event {} did not round-trip", event.kind());
+        }
+    }
+
+    #[test]
+    fn count_where_filters_events() {
+        let j = EventJournal::with_capacity(16);
+        j.record(ObsEvent::CacheHit { chunk: 1 });
+        j.record(ObsEvent::CacheMiss { chunk: 2 });
+        j.record(ObsEvent::CacheHit { chunk: 3 });
+        assert_eq!(j.count_where(|e| matches!(e, ObsEvent::CacheHit { .. })), 2);
+    }
+}

@@ -1,0 +1,110 @@
+//! Unified observability for the ScanRaw reproduction.
+//!
+//! Three pieces, usable separately or bundled through [`Obs`]:
+//!
+//! * [`metrics`] — a lock-light registry of named counters, gauges, and
+//!   fixed-bucket histograms. Handles are atomics behind `Arc`s: cheap to
+//!   clone, safe to update from any pipeline thread.
+//! * [`journal`] — a bounded ring of typed, timestamped pipeline events
+//!   (`SpeculativeWriteTriggered`, `SafeguardFlush`, `CacheHit`, ...), each
+//!   with a monotonic sequence number, plus pluggable [`recorder`] sinks
+//!   (null, in-memory, JSONL).
+//! * [`json`] — a dependency-free JSON value/macro/parser used by every
+//!   export path, including the bench harness's result files.
+//!
+//! The crate deliberately depends on nothing else in the workspace so any
+//! layer (simio, core, engine, bench) can use it without cycles; simulated
+//! pipelines inject their virtual clock via
+//! [`journal::EventJournal::with_time_source`].
+
+pub mod journal;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+
+pub use journal::{
+    EventJournal, JournalEntry, ObsEvent, TimeSource, WriteCause, DEFAULT_JOURNAL_CAPACITY,
+};
+pub use json::Value;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
+pub use recorder::{JsonlRecorder, MemoryRecorder, NullRecorder, Recorder};
+
+/// Metrics registry and event journal bundled under one cheap-to-clone
+/// handle. One `Obs` is shared by an operator and everything it spawns.
+#[derive(Clone, Default)]
+pub struct Obs {
+    pub metrics: MetricsRegistry,
+    pub journal: EventJournal,
+}
+
+impl Obs {
+    /// Wall-clock timestamps, default journal capacity.
+    pub fn new() -> Self {
+        Obs::default()
+    }
+
+    pub fn with_journal_capacity(capacity: usize) -> Self {
+        Obs {
+            metrics: MetricsRegistry::new(),
+            journal: EventJournal::with_capacity(capacity),
+        }
+    }
+
+    /// Journal timestamps come from `now` — e.g. a simulated clock.
+    pub fn with_time_source(capacity: usize, now: TimeSource) -> Self {
+        Obs {
+            metrics: MetricsRegistry::new(),
+            journal: EventJournal::with_time_source(capacity, now),
+        }
+    }
+
+    /// Records a journal event; shorthand for `obs.journal.record(..)`.
+    pub fn event(&self, event: ObsEvent) -> u64 {
+        self.journal.record(event)
+    }
+
+    /// One JSON document holding the full metric and journal state.
+    pub fn snapshot_json(&self) -> Value {
+        json!({
+            "metrics": self.metrics.to_json(),
+            "journal": self.journal.to_json(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_combines_metrics_and_journal() {
+        let obs = Obs::with_journal_capacity(8);
+        obs.metrics.counter("cache.chunk.hit").add(3);
+        obs.event(ObsEvent::CacheHit { chunk: 0 });
+        obs.event(ObsEvent::SpeculativeWriteTriggered { chunk: 1 });
+        let snap = obs.snapshot_json();
+        assert_eq!(
+            snap["metrics"]["counters"]["cache.chunk.hit"].as_u64(),
+            Some(3)
+        );
+        let entries = snap["journal"]["entries"].as_array().expect("entries");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(
+            entries[1]["event"].as_str(),
+            Some("SpeculativeWriteTriggered")
+        );
+        // The snapshot itself must be valid JSON text.
+        let round = json::parse(&snap.to_json_pretty()).expect("parse");
+        assert_eq!(round, snap);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let obs = Obs::new();
+        let obs2 = obs.clone();
+        obs2.metrics.counter("a.b.c").inc();
+        obs2.event(ObsEvent::ReadBlocked { chunk: 0 });
+        assert_eq!(obs.metrics.counter_value("a.b.c"), Some(1));
+        assert_eq!(obs.journal.len(), 1);
+    }
+}

@@ -1,0 +1,401 @@
+//! Lock-light metrics: named counters, gauges, and fixed-bucket histograms.
+//!
+//! Handles are `Arc`-backed and cheap to clone; the hot update path is pure
+//! atomics. The registry itself only takes a lock on registration and on
+//! snapshot, never per update, so pipeline threads can bump metrics from
+//! inner loops without contending.
+//!
+//! Names follow the `subsystem.object.verb` convention documented in
+//! DESIGN.md — e.g. `cache.chunk.hit`, `disk.read.bytes`,
+//! `pipeline.stage.parse.nanos`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::json;
+use crate::json::Value;
+
+/// Monotonically increasing count.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Point-in-time signed level (queue depths, in-flight counts).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn sub(&self, delta: i64) {
+        self.value.fetch_sub(delta, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed-bucket histogram over `u64` observations (typically nanoseconds or
+/// bytes). Bounds are inclusive upper edges; one extra implicit bucket
+/// catches everything above the last bound.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Exponential duration bounds in nanoseconds: 1µs to ~4.2s, ×4 per step.
+pub fn default_duration_bounds() -> Vec<u64> {
+    (0..12).map(|i| 1_000u64 << (2 * i)).collect()
+}
+
+impl Histogram {
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                bounds: bounds.to_vec(),
+                buckets,
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    pub fn observe(&self, value: u64) {
+        let inner = &*self.inner;
+        let idx = inner
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(inner.bounds.len());
+        inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.min.fetch_min(value, Ordering::Relaxed);
+        inner.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (saturating at `u64::MAX`).
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &*self.inner;
+        let count = inner.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            bounds: inner.bounds.clone(),
+            buckets: inner
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count,
+            sum: inner.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                inner.min.load(Ordering::Relaxed)
+            },
+            max: inner.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A consistent-enough copy of a histogram's state for export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub bounds: Vec<u64>,
+    /// One count per bound plus the trailing overflow bucket.
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    pub fn to_json(&self) -> Value {
+        let buckets: Vec<Value> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| {
+                let le = self
+                    .bounds
+                    .get(i)
+                    .map(|&b| Value::from(b))
+                    .unwrap_or(Value::Str("+inf".to_string()));
+                json!({"le": le, "count": count})
+            })
+            .collect();
+        json!({
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean(),
+            "buckets": buckets,
+        })
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// The process-wide (or per-operator) collection of named metrics.
+///
+/// Cloning shares the underlying maps; `counter`/`gauge`/`histogram`
+/// get-or-register and hand back a clonable handle, so callers keep the
+/// handle and never touch the registry lock again.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.counters.lock().expect("registry lock");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.gauges.lock().expect("registry lock");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Registers a histogram with the given bucket bounds; if the name
+    /// already exists the existing histogram (and its bounds) wins.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let mut map = self.inner.histograms.lock().expect("registry lock");
+        map.entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .clone()
+    }
+
+    /// A histogram pre-sized for durations in nanoseconds.
+    pub fn duration_histogram(&self, name: &str) -> Histogram {
+        self.histogram(name, &default_duration_bounds())
+    }
+
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        let map = self.inner.counters.lock().expect("registry lock");
+        map.get(name).map(Counter::get)
+    }
+
+    pub fn gauge_value(&self, name: &str) -> Option<i64> {
+        let map = self.inner.gauges.lock().expect("registry lock");
+        map.get(name).map(Gauge::get)
+    }
+
+    pub fn histogram_snapshot(&self, name: &str) -> Option<HistogramSnapshot> {
+        let map = self.inner.histograms.lock().expect("registry lock");
+        map.get(name).map(Histogram::snapshot)
+    }
+
+    /// Exports every metric as a JSON object keyed by metric name.
+    pub fn to_json(&self) -> Value {
+        let mut counters = Value::Object(Default::default());
+        for (name, c) in self.inner.counters.lock().expect("registry lock").iter() {
+            counters[name] = Value::from(c.get());
+        }
+        let mut gauges = Value::Object(Default::default());
+        for (name, g) in self.inner.gauges.lock().expect("registry lock").iter() {
+            gauges[name] = Value::from(g.get());
+        }
+        let mut histograms = Value::Object(Default::default());
+        for (name, h) in self.inner.histograms.lock().expect("registry lock").iter() {
+            histograms[name] = h.snapshot().to_json();
+        }
+        json!({
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("cache.chunk.hit");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter_value("cache.chunk.hit"), Some(5));
+        assert_eq!(reg.counter_value("unknown"), None);
+
+        let g = reg.gauge("disk.queue.depth");
+        g.set(3);
+        g.add(2);
+        g.sub(1);
+        assert_eq!(reg.gauge_value("disk.queue.depth"), Some(4));
+    }
+
+    #[test]
+    fn same_name_shares_state() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x").inc();
+        reg.counter("x").inc();
+        assert_eq!(reg.counter_value("x"), Some(2));
+        let reg2 = reg.clone();
+        reg2.counter("x").inc();
+        assert_eq!(reg.counter_value("x"), Some(3));
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        for v in [1, 10, 11, 500, 5000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![2, 1, 1, 1]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1 + 10 + 11 + 500 + 5000);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 5000);
+        assert!((s.mean() - s.sum as f64 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_sane() {
+        let s = Histogram::new(&[10]).snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_updates_from_many_threads() {
+        // Satellite requirement: hammer one counter and one histogram from
+        // >= 4 threads and verify nothing is lost.
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 10_000;
+        let reg = MetricsRegistry::new();
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let reg = reg.clone();
+                thread::spawn(move || {
+                    let c = reg.counter("test.op.count");
+                    let h = reg.histogram("test.op.nanos", &[64, 4096, 1 << 20]);
+                    for i in 0..PER_THREAD {
+                        c.inc();
+                        h.observe((t as u64) * PER_THREAD + i);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("thread");
+        }
+        assert_eq!(
+            reg.counter_value("test.op.count"),
+            Some(THREADS as u64 * PER_THREAD)
+        );
+        let s = reg.histogram_snapshot("test.op.nanos").expect("histogram");
+        assert_eq!(s.count, THREADS as u64 * PER_THREAD);
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, THREADS as u64 * PER_THREAD - 1);
+        // Sum of 0..N-1.
+        let n = THREADS as u64 * PER_THREAD;
+        assert_eq!(s.sum, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn duration_histogram_defaults() {
+        let reg = MetricsRegistry::new();
+        let h = reg.duration_histogram("pipeline.stage.read.nanos");
+        h.observe_duration(Duration::from_micros(5));
+        let s = reg
+            .histogram_snapshot("pipeline.stage.read.nanos")
+            .expect("histogram");
+        assert_eq!(s.count, 1);
+        assert_eq!(s.bounds.len(), 12);
+    }
+
+    #[test]
+    fn registry_json_export() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.b.c").add(7);
+        reg.gauge("d.e.f").set(-2);
+        reg.histogram("g.h.i", &[10]).observe(3);
+        let v = reg.to_json();
+        assert_eq!(v["counters"]["a.b.c"].as_u64(), Some(7));
+        assert_eq!(v["gauges"]["d.e.f"].as_i64(), Some(-2));
+        assert_eq!(v["histograms"]["g.h.i"]["count"].as_u64(), Some(1));
+    }
+}

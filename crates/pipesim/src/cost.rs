@@ -12,7 +12,7 @@ use std::time::Instant;
 /// experiments run on ([`measure_cost_model`]); the device-side constants
 /// default to the paper's storage system (§5 "System": 436 MB/s average
 /// read).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     /// Device read bandwidth, bytes/second.
     pub read_bw: f64,
@@ -59,8 +59,8 @@ impl CostModel {
     pub fn with_crossover_at(mut self, n: f64, text_bytes_per_value: f64) -> Self {
         // One worker converts one value in (tokenize + parse) ns; it
         // consumes text_bytes_per_value bytes in that time.
-        let ns_per_value = self.tokenize_split_ns_per_byte * text_bytes_per_value
-            + self.parse_ns_per_value;
+        let ns_per_value =
+            self.tokenize_split_ns_per_byte * text_bytes_per_value + self.parse_ns_per_value;
         let worker_bytes_per_sec = text_bytes_per_value / (ns_per_value * 1e-9);
         self.read_bw = worker_bytes_per_sec * n;
         self.write_bw = self.read_bw;

@@ -371,10 +371,7 @@ impl Simulator {
             }
         }
         let expected = plan.len();
-        let raw_total = plan
-            .iter()
-            .filter(|s| matches!(s, Source::Raw(_)))
-            .count();
+        let raw_total = plan.iter().filter(|s| matches!(s, Source::Raw(_))).count();
 
         // Per-chunk costs in nanoseconds.
         let cost = &self.cfg.cost;
@@ -753,10 +750,7 @@ impl Simulator {
                 }
             }
         }
-        self.carried_writes = write_q
-            .iter()
-            .copied()
-            .collect();
+        self.carried_writes = write_q.iter().copied().collect();
 
         QuerySim {
             elapsed_secs: end_time as f64 * 1e-9,
@@ -904,8 +898,8 @@ mod tests {
         assert_eq!(last.from_raw, 0, "converged: no more raw conversion");
         assert!(sim.fully_loaded());
         // Converged time ≈ binary read time of the uncached part.
-        let binary_secs = CostModel::nominal()
-            .read_secs(f.binary_bytes_per_chunk() * (f.n_chunks - 32) as f64);
+        let binary_secs =
+            CostModel::nominal().read_secs(f.binary_bytes_per_chunk() * (f.n_chunks - 32) as f64);
         assert!(last.elapsed_secs <= binary_secs * 1.5);
     }
 
@@ -923,7 +917,12 @@ mod tests {
     fn invisible_quota_respected() {
         let f = file();
         let mut sim = Simulator::new(
-            cfg(8, WritePolicy::Invisible { chunks_per_query: 4 }),
+            cfg(
+                8,
+                WritePolicy::Invisible {
+                    chunks_per_query: 4,
+                },
+            ),
             f,
         );
         let r = sim.run_query(&QuerySpec::full(&f));

@@ -18,15 +18,21 @@ fn paper_ratio() -> CostModel {
 fn crossover_lands_where_configured() {
     let f = file();
     let time = |w: usize| {
-        Simulator::new(SimConfig::new(w, WritePolicy::ExternalTables, paper_ratio()), f)
-            .run_query(&QuerySpec::full(&f))
-            .elapsed_secs
+        Simulator::new(
+            SimConfig::new(w, WritePolicy::ExternalTables, paper_ratio()),
+            f,
+        )
+        .run_query(&QuerySpec::full(&f))
+        .elapsed_secs
     };
     let t4 = time(4);
     let t6 = time(6);
     let t8 = time(8);
     let t16 = time(16);
-    assert!(t6 < t4 * 0.95, "still improving up to the crossover: {t6} vs {t4}");
+    assert!(
+        t6 < t4 * 0.95,
+        "still improving up to the crossover: {t6} vs {t4}"
+    );
     assert!((t8 - t6).abs() / t6 < 0.02, "flat beyond the crossover");
     assert!((t16 - t6).abs() / t6 < 0.02);
 }
@@ -35,12 +41,18 @@ fn crossover_lands_where_configured() {
 fn speculative_equals_external_at_every_worker_count() {
     let f = file();
     for w in [0usize, 1, 2, 4, 6, 8, 16] {
-        let ext = Simulator::new(SimConfig::new(w, WritePolicy::ExternalTables, paper_ratio()), f)
-            .run_query(&QuerySpec::full(&f))
-            .elapsed_secs;
-        let spec = Simulator::new(SimConfig::new(w, WritePolicy::speculative(), paper_ratio()), f)
-            .run_query(&QuerySpec::full(&f))
-            .elapsed_secs;
+        let ext = Simulator::new(
+            SimConfig::new(w, WritePolicy::ExternalTables, paper_ratio()),
+            f,
+        )
+        .run_query(&QuerySpec::full(&f))
+        .elapsed_secs;
+        let spec = Simulator::new(
+            SimConfig::new(w, WritePolicy::speculative(), paper_ratio()),
+            f,
+        )
+        .run_query(&QuerySpec::full(&f))
+        .elapsed_secs;
         // Fully serial mode (w=0) tolerates slightly more: each speculative
         // write adds a device direction switch that the single-threaded loop
         // cannot hide (the paper's 0-worker bars are equally indistinct).
@@ -77,11 +89,17 @@ fn eager_is_free_when_cpu_bound_and_costly_when_io_bound() {
 fn speculative_loads_all_when_cpu_bound_few_when_io_bound() {
     let f = file();
     let loaded = |w: usize| {
-        let mut sim = Simulator::new(SimConfig::new(w, WritePolicy::speculative(), paper_ratio()), f);
+        let mut sim = Simulator::new(
+            SimConfig::new(w, WritePolicy::speculative(), paper_ratio()),
+            f,
+        );
         let r = sim.run_query(&QuerySpec::full(&f));
         r.loaded_after
     };
-    assert!(loaded(1) as f64 >= f.n_chunks as f64 * 0.9, "CPU-bound ⇒ ~all loaded");
+    assert!(
+        loaded(1) as f64 >= f.n_chunks as f64 * 0.9,
+        "CPU-bound ⇒ ~all loaded"
+    );
     assert!(
         loaded(16) <= f.n_chunks / 8,
         "I/O-bound ⇒ only the end-of-scan trickle: {}",
@@ -118,9 +136,12 @@ fn fig7_u_shape_exists_at_low_worker_count() {
     let rows = 1u64 << 24;
     let time = |chunk_rows: u64| {
         let f = FileSpec::synthetic(rows, 64, chunk_rows);
-        Simulator::new(SimConfig::new(2, WritePolicy::ExternalTables, paper_ratio()), f)
-            .run_query(&QuerySpec::full(&f))
-            .elapsed_secs
+        Simulator::new(
+            SimConfig::new(2, WritePolicy::ExternalTables, paper_ratio()),
+            f,
+        )
+        .run_query(&QuerySpec::full(&f))
+        .elapsed_secs
     };
     let tiny = time(1 << 8);
     let mid = time(1 << 14);

@@ -120,7 +120,11 @@ fn pack_seq(out: &mut Vec<u8>, seq: &str) {
     let bytes = seq.as_bytes();
     for pair in bytes.chunks(2) {
         let hi = base_code(pair[0]);
-        let lo = if pair.len() > 1 { base_code(pair[1]) } else { 0 };
+        let lo = if pair.len() > 1 {
+            base_code(pair[1])
+        } else {
+            0
+        };
         out.push((hi << 4) | lo);
     }
 }

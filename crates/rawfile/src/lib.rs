@@ -25,7 +25,7 @@ pub mod sam;
 pub mod tokenize;
 
 pub use chunker::ChunkReader;
-pub use scanraw_types::{ChunkLayout, ChunkMeta};
 pub use dialect::TextDialect;
 pub use parse::{parse_chunk, parse_chunk_projected, RowFilter};
+pub use scanraw_types::{ChunkLayout, ChunkMeta};
 pub use tokenize::{tokenize_chunk, tokenize_chunk_selective};

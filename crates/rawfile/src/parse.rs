@@ -82,7 +82,11 @@ pub fn parse_chunk_projected(
         locate_row(chunk, map, dialect, schema.len(), row, &sorted, &mut spans)?;
         for (c, b) in builders.iter_mut() {
             let (s, e) = spans[*c];
-            b.push(&chunk.data[s as usize..e as usize], chunk.first_row + row as u64, *c)?;
+            b.push(
+                &chunk.data[s as usize..e as usize],
+                chunk.first_row + row as u64,
+                *c,
+            )?;
         }
     }
 
@@ -155,7 +159,15 @@ pub fn parse_chunk_filtered(
     let mut selected = 0u32;
 
     for row in 0..chunk.rows {
-        locate_row(chunk, map, dialect, schema.len(), row, &pred_sorted, &mut spans)?;
+        locate_row(
+            chunk,
+            map,
+            dialect,
+            schema.len(),
+            row,
+            &pred_sorted,
+            &mut spans,
+        )?;
         pred_values.clear();
         for &c in filter.columns {
             let (s, e) = spans[c];
@@ -177,7 +189,15 @@ pub fn parse_chunk_filtered(
             }
         }
         if !rest_sorted.is_empty() {
-            locate_row(chunk, map, dialect, schema.len(), row, &rest_sorted, &mut spans)?;
+            locate_row(
+                chunk,
+                map,
+                dialect,
+                schema.len(),
+                row,
+                &rest_sorted,
+                &mut spans,
+            )?;
             for (c, b) in rest_builders.iter_mut() {
                 let (s, e) = spans[*c];
                 b.push(
@@ -400,11 +420,13 @@ pub mod reference {
                     .ok_or_else(|| Error::Schema("bad projection".into()))?
                     .data_type;
                 let v = match dt {
-                    DataType::Int64 => Value::Int(raw.trim().parse().map_err(|e| Error::Parse {
-                        line: i as u64,
-                        column: c,
-                        message: format!("{e}"),
-                    })?),
+                    DataType::Int64 => {
+                        Value::Int(raw.trim().parse().map_err(|e| Error::Parse {
+                            line: i as u64,
+                            column: c,
+                            message: format!("{e}"),
+                        })?)
+                    }
                     DataType::Float64 => {
                         Value::Float(raw.trim().parse().map_err(|e| Error::Parse {
                             line: i as u64,
@@ -532,10 +554,7 @@ mod tests {
             b.column(0).unwrap(),
             &ColumnData::Utf8(vec!["alice".into(), "bob".into()])
         );
-        assert_eq!(
-            b.column(1).unwrap(),
-            &ColumnData::Float64(vec![1.5, -0.25])
-        );
+        assert_eq!(b.column(1).unwrap(), &ColumnData::Float64(vec![1.5, -0.25]));
         assert_eq!(ints(&b, 2), vec![3, 4]);
     }
 
@@ -548,8 +567,7 @@ mod tests {
             columns: &[0],
             predicate: &|vals: &[Value]| vals[0].as_i64().unwrap() % 2 == 0,
         };
-        let b =
-            parse_chunk_filtered(&c, &m, TextDialect::CSV, &schema, &[0, 1], &filter).unwrap();
+        let b = parse_chunk_filtered(&c, &m, TextDialect::CSV, &schema, &[0, 1], &filter).unwrap();
         assert_eq!(b.rows, 2);
         assert_eq!(ints(&b, 0), vec![2, 4]);
         assert_eq!(ints(&b, 1), vec![20, 40]);
@@ -598,8 +616,7 @@ mod tests {
         let c = chunk("1,2\n", 1);
         let schema = Schema::uniform_ints(4);
         let m = tokenize_chunk_selective(&c, TextDialect::CSV, 4, 1).unwrap();
-        let err =
-            parse_chunk_projected(&c, &m, TextDialect::CSV, &schema, &[3]).unwrap_err();
+        let err = parse_chunk_projected(&c, &m, TextDialect::CSV, &schema, &[3]).unwrap_err();
         assert!(matches!(err, Error::Tokenize { .. }));
     }
 }

@@ -119,14 +119,14 @@ pub fn generate_reads(spec: &SamSpec) -> Vec<SamRead> {
             let pos = rng.gen_range(1..=spec.ref_len as i64);
             let chrom = CHROMS[rng.gen_range(0..CHROMS.len())];
             let seq: String = (0..spec.read_len)
-                .map(|_| BASES[rng.gen_range(0..4)] as char)
+                .map(|_| BASES[rng.gen_range(0..4usize)] as char)
                 .collect();
             let qual: String = (0..spec.read_len)
                 .map(|_| (b'!' + rng.gen_range(0..40u8)) as char)
                 .collect();
             SamRead {
                 qname: format!("read.{i}"),
-                flag: [0, 16, 99, 147][rng.gen_range(0..4)],
+                flag: [0, 16, 99, 147][rng.gen_range(0..4usize)],
                 rname: chrom.to_string(),
                 pos,
                 mapq: rng.gen_range(0..=60),
@@ -154,7 +154,7 @@ fn random_cigar(rng: &mut StdRng, read_len: usize) -> String {
     let mut parts = Vec::new();
     // Leading soft clip sometimes.
     if rng.gen_bool(0.3) && remaining > 10 {
-        let s = rng.gen_range(1..=10);
+        let s = rng.gen_range(1..=10usize);
         parts.push(format!("{s}S"));
         remaining -= s;
     }

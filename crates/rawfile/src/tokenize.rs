@@ -112,7 +112,10 @@ fn scan_until(data: &[u8], from: usize, delim: u8) -> ScanHit {
 }
 
 fn find_newline(data: &[u8], from: usize) -> Option<usize> {
-    data[from..].iter().position(|&b| b == b'\n').map(|i| from + i)
+    data[from..]
+        .iter()
+        .position(|&b| b == b'\n')
+        .map(|i| from + i)
 }
 
 #[cfg(test)]

@@ -173,6 +173,13 @@ impl SimDisk {
         &self.stats
     }
 
+    /// Mirrors device accounting (bytes, ops, busy time, queue depth) into
+    /// named metrics. Delegates to [`DiskStats::attach_obs`]; the first
+    /// registry attached wins.
+    pub fn attach_obs(&self, metrics: &scanraw_obs::MetricsRegistry) {
+        self.stats.attach_obs(metrics);
+    }
+
     /// Direct access to the backing store, bypassing throttling. Used to stage
     /// input files (data generation is not part of the measured experiment).
     pub fn storage(&self) -> &RamStorage {
@@ -200,6 +207,7 @@ impl SimDisk {
     pub fn read(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
         // Compute cache hit/miss split and the seek penalty under the device
         // lock, and hold the lock while time passes: single accessor.
+        self.stats.queue_enter();
         let mut inner = self.inner.lock();
         let (hit_bytes, miss_bytes) = self.classify_and_touch(&mut inner, name, offset, len as u64);
         let mut cost = Duration::ZERO;
@@ -215,18 +223,20 @@ impl SimDisk {
         let start = self.clock.now();
         self.clock.sleep(cost);
         let end = self.clock.now();
-        let data = self.storage.read_at(name, offset, len)?;
+        let data = self.storage.read_at(name, offset, len);
         self.stats.record(OpRecord {
             kind: AccessKind::Read,
             start,
             end,
             bytes: len as u64,
         });
-        Ok(data)
+        self.stats.queue_exit();
+        data
     }
 
     /// Throttled positional write (write-through; pages become resident).
     pub fn write_at(&self, name: &str, offset: u64, buf: &[u8]) -> Result<()> {
+        self.stats.queue_enter();
         let mut inner = self.inner.lock();
         let mut cost = Duration::ZERO;
         if inner.last_kind == Some(AccessKind::Read) {
@@ -239,14 +249,15 @@ impl SimDisk {
         let start = self.clock.now();
         self.clock.sleep(cost);
         let end = self.clock.now();
-        self.storage.write_at(name, offset, buf)?;
+        let result = self.storage.write_at(name, offset, buf);
         self.stats.record(OpRecord {
             kind: AccessKind::Write,
             start,
             end,
             bytes: buf.len() as u64,
         });
-        Ok(())
+        self.stats.queue_exit();
+        result
     }
 
     /// Throttled append; returns the offset written at.
@@ -288,9 +299,7 @@ impl SimDisk {
             } else {
                 miss += span;
             }
-            inner
-                .cache
-                .touch(key, pb, self.cfg.page_cache_bytes);
+            inner.cache.touch(key, pb, self.cfg.page_cache_bytes);
         }
         (hit, miss)
     }
@@ -310,8 +319,8 @@ mod tests {
 
     fn throttled_disk() -> SimDisk {
         let cfg = DiskConfig {
-            read_bw: 1000,        // 1000 B/s → 1 ms per byte
-            write_bw: 500,        // 2 ms per byte
+            read_bw: 1000, // 1000 B/s → 1 ms per byte
+            write_bw: 500, // 2 ms per byte
             cached_read_bw: 100_000,
             seek_latency: Duration::from_millis(10),
             page_cache_bytes: 4096,

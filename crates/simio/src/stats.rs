@@ -2,6 +2,8 @@
 
 use crate::disk::AccessKind;
 use parking_lot::Mutex;
+use scanraw_obs::{Counter, Gauge, MetricsRegistry};
+use std::sync::OnceLock;
 use std::time::Duration;
 
 /// One completed device operation.
@@ -25,10 +27,24 @@ pub struct UtilizationSample {
     pub write: f64,
 }
 
+/// Metric handles mirroring the device's accounting into a registry.
+struct DiskObsHandles {
+    read_bytes: Counter,
+    write_bytes: Counter,
+    read_ops: Counter,
+    write_ops: Counter,
+    /// Cumulative device-busy time per direction, in microseconds.
+    read_busy_micros: Counter,
+    write_busy_micros: Counter,
+    /// Operations queued on or holding the single-accessor device lock.
+    queue_depth: Gauge,
+}
+
 /// Thread-safe collector of [`OpRecord`]s.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct DiskStats {
     ops: Mutex<Vec<OpRecord>>,
+    obs: OnceLock<DiskObsHandles>,
 }
 
 impl DiskStats {
@@ -36,7 +52,51 @@ impl DiskStats {
         Self::default()
     }
 
+    /// Mirrors device accounting into named metrics (`disk.read.bytes`,
+    /// `disk.write.busy_micros`, `disk.queue.depth`, ...). First attachment
+    /// wins; later calls are no-ops.
+    pub fn attach_obs(&self, metrics: &MetricsRegistry) {
+        let _ = self.obs.set(DiskObsHandles {
+            read_bytes: metrics.counter("disk.read.bytes"),
+            write_bytes: metrics.counter("disk.write.bytes"),
+            read_ops: metrics.counter("disk.read.ops"),
+            write_ops: metrics.counter("disk.write.ops"),
+            read_busy_micros: metrics.counter("disk.read.busy_micros"),
+            write_busy_micros: metrics.counter("disk.write.busy_micros"),
+            queue_depth: metrics.gauge("disk.queue.depth"),
+        });
+    }
+
+    /// An accessor started waiting for (or holding) the device.
+    pub(crate) fn queue_enter(&self) {
+        if let Some(h) = self.obs.get() {
+            h.queue_depth.add(1);
+        }
+    }
+
+    /// An accessor finished its device operation.
+    pub(crate) fn queue_exit(&self) {
+        if let Some(h) = self.obs.get() {
+            h.queue_depth.sub(1);
+        }
+    }
+
     pub fn record(&self, op: OpRecord) {
+        if let Some(h) = self.obs.get() {
+            let busy = op.end.saturating_sub(op.start).as_micros() as u64;
+            match op.kind {
+                AccessKind::Read => {
+                    h.read_bytes.add(op.bytes);
+                    h.read_ops.inc();
+                    h.read_busy_micros.add(busy);
+                }
+                AccessKind::Write => {
+                    h.write_bytes.add(op.bytes);
+                    h.write_ops.inc();
+                    h.write_busy_micros.add(busy);
+                }
+            }
+        }
         self.ops.lock().push(op);
     }
 
@@ -164,6 +224,30 @@ mod tests {
     fn empty_timeline() {
         let s = DiskStats::new();
         assert!(s.utilization_timeline(Duration::from_millis(10)).is_empty());
+    }
+
+    #[test]
+    fn attached_registry_mirrors_ops() {
+        let s = DiskStats::new();
+        let metrics = MetricsRegistry::new();
+        s.attach_obs(&metrics);
+        s.queue_enter();
+        assert_eq!(metrics.gauge_value("disk.queue.depth"), Some(1));
+        s.record(op(AccessKind::Read, 0, 10, 100));
+        s.queue_exit();
+        s.queue_enter();
+        s.record(op(AccessKind::Write, 10, 30, 50));
+        s.queue_exit();
+        assert_eq!(metrics.counter_value("disk.read.bytes"), Some(100));
+        assert_eq!(metrics.counter_value("disk.write.bytes"), Some(50));
+        assert_eq!(metrics.counter_value("disk.read.ops"), Some(1));
+        assert_eq!(metrics.counter_value("disk.write.ops"), Some(1));
+        assert_eq!(metrics.counter_value("disk.read.busy_micros"), Some(10_000));
+        assert_eq!(
+            metrics.counter_value("disk.write.busy_micros"),
+            Some(20_000)
+        );
+        assert_eq!(metrics.gauge_value("disk.queue.depth"), Some(0));
     }
 
     #[test]

@@ -393,7 +393,8 @@ mod tests {
 
     fn catalog_with_table() -> Catalog {
         let c = Catalog::new();
-        c.create_table("t", Schema::uniform_ints(3), "t.csv").unwrap();
+        c.create_table("t", Schema::uniform_ints(3), "t.csv")
+            .unwrap();
         c
     }
 
@@ -410,9 +411,7 @@ mod tests {
     #[test]
     fn duplicate_table_rejected() {
         let c = catalog_with_table();
-        assert!(c
-            .create_table("t", Schema::uniform_ints(1), "x")
-            .is_err());
+        assert!(c.create_table("t", Schema::uniform_ints(1), "x").is_err());
     }
 
     #[test]
@@ -463,10 +462,7 @@ mod tests {
         let t = c.table("t").unwrap();
         let t = t.read();
         let s = t.stats(ChunkId(0)).unwrap();
-        assert_eq!(
-            s.bounds[0],
-            Some((Value::Int(5), Value::Int(25)))
-        );
+        assert_eq!(s.bounds[0], Some((Value::Int(5), Value::Int(25))));
     }
 
     #[test]

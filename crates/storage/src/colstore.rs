@@ -77,9 +77,7 @@ impl ColumnStore {
 
     /// True when (table, column, chunk) is stored.
     pub fn has(&self, table: &str, col: usize, id: ChunkId) -> bool {
-        self.runs
-            .read()
-            .contains_key(&(table.to_string(), col, id))
+        self.runs.read().contains_key(&(table.to_string(), col, id))
     }
 
     /// Reads the requested columns of a chunk back into a [`BinaryChunk`].

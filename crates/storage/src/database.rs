@@ -100,7 +100,8 @@ mod tests {
 
     fn db() -> Database {
         let db = Database::new(SimDisk::instant());
-        db.create_table("t", Schema::uniform_ints(2), "t.csv").unwrap();
+        db.create_table("t", Schema::uniform_ints(2), "t.csv")
+            .unwrap();
         db
     }
 
@@ -124,7 +125,10 @@ mod tests {
     fn store_updates_catalog() {
         let db = db();
         db.store_chunk("t", &chunk(0, false)).unwrap();
-        assert_eq!(db.loaded_columns("t", ChunkId(0), &[0, 1]).unwrap(), vec![0]);
+        assert_eq!(
+            db.loaded_columns("t", ChunkId(0), &[0, 1]).unwrap(),
+            vec![0]
+        );
         let back = db.load_chunk("t", ChunkId(0), &[0]).unwrap();
         assert_eq!(back.column(0), chunk(0, false).column(0));
     }

@@ -13,12 +13,9 @@
 use crate::error::{Error, Result};
 use crate::schema::{DataType, Schema};
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a chunk within one raw file (dense, 0-based, in file order).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ChunkId(pub u32);
 
 impl ChunkId {
@@ -139,7 +136,7 @@ impl PositionalMap {
 ///
 /// "In binary format, tuples are vertically partitioned along columns
 /// represented as arrays in memory" (paper §3.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ColumnData {
     Int64(Vec<i64>),
     Float64(Vec<f64>),
@@ -296,11 +293,7 @@ impl BinaryChunk {
 
     /// Total bytes of all present columns (the quantity WRITE pushes to disk).
     pub fn size_bytes(&self) -> usize {
-        self.columns
-            .iter()
-            .flatten()
-            .map(|c| c.size_bytes())
-            .sum()
+        self.columns.iter().flatten().map(|c| c.size_bytes()).sum()
     }
 }
 
@@ -346,10 +339,7 @@ mod tests {
         let e = ColumnData::Int64(vec![]);
         assert_eq!(e.min_max(), None);
         let s = ColumnData::Utf8(vec!["b".into(), "a".into()]);
-        assert_eq!(
-            s.min_max(),
-            Some((Value::from("a"), Value::from("b")))
-        );
+        assert_eq!(s.min_max(), Some((Value::from("a"), Value::from("b"))));
     }
 
     #[test]

@@ -1,11 +1,10 @@
 //! Operator configuration: write policies, buffer sizes, worker counts.
 
 use crate::error::{Error, Result};
-use serde::{Deserialize, Serialize};
 
 /// Scheduling policy for the WRITE thread (paper §3: "The scheduling policy
 /// for WRITE dictates the ScanRaw behavior").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WritePolicy {
     /// Never invoke WRITE — ScanRaw is a parallel external-table operator.
     ExternalTables,
@@ -58,7 +57,7 @@ impl WritePolicy {
 /// Defaults follow the paper's experimental setup scaled to test size:
 /// chunk of 2^19 lines in the paper, smaller here; buffer capacities sized so
 /// the pipeline can hold several chunks in flight.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScanRawConfig {
     /// Lines per chunk ("between 2^17 and 2^19 tuples per chunk are optimal",
     /// paper §5.1).
@@ -206,11 +205,13 @@ mod tests {
 
     #[test]
     fn invisible_needs_positive_quota() {
-        let c = ScanRawConfig::default()
-            .with_policy(WritePolicy::Invisible { chunks_per_query: 0 });
+        let c = ScanRawConfig::default().with_policy(WritePolicy::Invisible {
+            chunks_per_query: 0,
+        });
         assert!(c.validate().is_err());
-        let c = ScanRawConfig::default()
-            .with_policy(WritePolicy::Invisible { chunks_per_query: 4 });
+        let c = ScanRawConfig::default().with_policy(WritePolicy::Invisible {
+            chunks_per_query: 4,
+        });
         c.validate().unwrap();
     }
 

@@ -7,10 +7,9 @@
 //! skip them entirely.
 
 use crate::chunk::ChunkId;
-use serde::{Deserialize, Serialize};
 
 /// Location of one chunk inside the raw file.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChunkMeta {
     pub id: ChunkId,
     pub file_offset: u64,
@@ -20,7 +19,7 @@ pub struct ChunkMeta {
 }
 
 /// The complete chunk map of one raw file (dense, in file order).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ChunkLayout {
     chunks: Vec<ChunkMeta>,
 }

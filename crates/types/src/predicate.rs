@@ -98,14 +98,18 @@ mod tests {
 
     #[test]
     fn half_bounded() {
-        assert!(RangePredicate::at_least(0, Value::Int(5))
-            .may_overlap(&Value::Int(0), &Value::Int(5)));
-        assert!(!RangePredicate::at_least(0, Value::Int(5))
-            .may_overlap(&Value::Int(0), &Value::Int(4)));
-        assert!(RangePredicate::at_most(0, Value::Int(5))
-            .may_overlap(&Value::Int(5), &Value::Int(9)));
-        assert!(!RangePredicate::at_most(0, Value::Int(5))
-            .may_overlap(&Value::Int(6), &Value::Int(9)));
+        assert!(
+            RangePredicate::at_least(0, Value::Int(5)).may_overlap(&Value::Int(0), &Value::Int(5))
+        );
+        assert!(
+            !RangePredicate::at_least(0, Value::Int(5)).may_overlap(&Value::Int(0), &Value::Int(4))
+        );
+        assert!(
+            RangePredicate::at_most(0, Value::Int(5)).may_overlap(&Value::Int(5), &Value::Int(9))
+        );
+        assert!(
+            !RangePredicate::at_most(0, Value::Int(5)).may_overlap(&Value::Int(6), &Value::Int(9))
+        );
     }
 
     #[test]

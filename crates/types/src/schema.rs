@@ -6,14 +6,13 @@
 //! used by the execution engine and the database store.
 
 use crate::error::{Error, Result};
-use serde::{Deserialize, Serialize};
 
 /// Physical type of one attribute.
 ///
 /// The paper's synthetic suite uses unsigned 32-bit integers (stored here as
 /// `Int64` for arithmetic headroom in SUM aggregates); SAM files additionally
 /// need strings and the engine supports floats for generality.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// 64-bit signed integer (also used for the paper's `u32 < 2^31` data).
     Int64,
@@ -47,7 +46,7 @@ impl DataType {
 }
 
 /// One named, typed attribute of a schema.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Field {
     pub name: String,
     pub data_type: DataType,
@@ -63,7 +62,7 @@ impl Field {
 }
 
 /// Ordered collection of fields describing a raw file or table.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     fields: Vec<Field>,
 }
@@ -143,10 +142,7 @@ mod tests {
         assert_eq!(s.len(), 3);
         assert_eq!(s.field(0).unwrap().name, "c0");
         assert_eq!(s.field(2).unwrap().name, "c2");
-        assert!(s
-            .fields()
-            .iter()
-            .all(|f| f.data_type == DataType::Int64));
+        assert!(s.fields().iter().all(|f| f.data_type == DataType::Int64));
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! EXPLAIN ANALYZE over a cold and a warm scan: per-stage durations, chunk
+//! sources, speculative-loading progress, and the JSON export.
+//!
+//! ```text
+//! cargo run --release --example explain_analyze
+//! ```
+
+use scanraw_repro::prelude::*;
+
+fn main() -> Result<(), scanraw_repro::types::Error> {
+    let disk = SimDisk::instant();
+    scanraw_repro::rawfile::generate::stage_csv(&disk, "t.csv", &CsvSpec::new(4_000, 4, 1));
+    let engine = Engine::new(Database::new(disk));
+    engine.register_table(
+        "t",
+        "t.csv",
+        Schema::uniform_ints(4),
+        TextDialect::CSV,
+        ScanRawConfig::default()
+            .with_chunk_rows(500)
+            .with_policy(WritePolicy::speculative()),
+    )?;
+
+    let query = Query::sum_of_columns("t", 0..4);
+    for run in ["cold", "warm"] {
+        let report = engine.explain_analyze(&query)?;
+        println!("-- {run} run --");
+        for (stage, t) in &report.stage_durations {
+            println!("{stage:>9}: {t:?}");
+        }
+        println!(
+            "sources: {} cache / {} db / {} raw; speculative {} + safeguard {}; hit rate {:?}",
+            report.outcome.scan.from_cache,
+            report.outcome.scan.from_db,
+            report.outcome.scan.from_raw,
+            report.speculative_chunks_written,
+            report.safeguard_chunks_written,
+            report.cache_hit_rate,
+        );
+    }
+
+    // The final report as one JSON document.
+    let report = engine.explain_analyze(&query)?;
+    println!("{}", report.to_json().to_json_pretty());
+    Ok(())
+}

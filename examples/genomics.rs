@@ -75,11 +75,7 @@ fn main() {
     top.sort_by_key(|r| std::cmp::Reverse(r.aggregates[0].as_i64().unwrap_or(0)));
     println!("top CIGAR patterns:");
     for row in top.iter().take(5) {
-        println!(
-            "  {:>12}  {}",
-            row.keys[0].to_string(),
-            row.aggregates[0]
-        );
+        println!("  {:>12}  {}", row.keys[0].to_string(), row.aggregates[0]);
     }
     println!(
         "SAM path: {} chunks converted, {} queued for loading",

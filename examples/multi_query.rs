@@ -42,10 +42,7 @@ fn main() {
             table: "metrics".into(),
             filter: None,
             group_by: vec![],
-            aggregates: vec![
-                AggExpr::min(Expr::col(2)),
-                AggExpr::max(Expr::col(2)),
-            ],
+            aggregates: vec![AggExpr::min(Expr::col(2)), AggExpr::max(Expr::col(2))],
             pushdown: false,
         },
     ];

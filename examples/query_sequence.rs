@@ -43,7 +43,11 @@ fn run_sequence(policy: WritePolicy, queries: usize) {
             out.scan.from_raw,
             out.scan.skipped,
             op.chunks_written(),
-            if op.fully_loaded() { "  (fully loaded)" } else { "" },
+            if op.fully_loaded() {
+                "  (fully loaded)"
+            } else {
+                ""
+            },
         );
     }
 }
@@ -53,7 +57,9 @@ fn main() {
         WritePolicy::ExternalTables,
         WritePolicy::Eager,
         WritePolicy::Buffered,
-        WritePolicy::Invisible { chunks_per_query: 3 },
+        WritePolicy::Invisible {
+            chunks_per_query: 3,
+        },
         WritePolicy::speculative(),
     ] {
         run_sequence(policy, 6);

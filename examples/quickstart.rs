@@ -11,7 +11,10 @@ use scanraw_repro::rawfile::generate::{stage_csv, CsvSpec};
 fn main() {
     // A simulated device with the paper's storage characteristics
     // (436 MB/s, page-cache model, read/write arbitration).
-    let disk = SimDisk::new(DiskConfig::default(), scanraw_repro::simio::RealClock::shared());
+    let disk = SimDisk::new(
+        DiskConfig::default(),
+        scanraw_repro::simio::RealClock::shared(),
+    );
 
     // Stage a synthetic raw file: 200k rows × 8 integer columns (~17 MB).
     let spec = CsvSpec::new(200_000, 8, 2024);

@@ -53,9 +53,7 @@ fn main() {
     let out = engine.execute(&narrow).expect("narrow scan");
     println!(
         "narrow scan: {} rows matched, {} chunks skipped via min/max metadata, {} delivered",
-        out.result.rows_scanned,
-        out.scan.skipped,
-        out.scan.chunks_delivered
+        out.result.rows_scanned, out.scan.skipped, out.scan.chunks_delivered
     );
     assert_eq!(out.scan.skipped as u32, chunks - 1);
 

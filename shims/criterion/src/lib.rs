@@ -1,0 +1,287 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A deliberately small timing harness exposing the slice of the criterion
+//! API the workspace benches use: `Criterion` with the builder knobs,
+//! `benchmark_group`/`bench_function`, `Bencher::{iter, iter_batched}`,
+//! `Throughput`, `BatchSize`, and the `criterion_group!`/`criterion_main!`
+//! macros. No statistics beyond a mean — it reports wall-clock per
+//! iteration and optional throughput. When invoked by `cargo test` (the
+//! harness sees a `--test` argument) every benchmark runs exactly once, so
+//! bench targets double as smoke tests.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units the per-iteration time is normalised against.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// How `iter_batched` amortises setup cost. The stand-in times every
+/// routine call individually, so the variants only affect batching in name.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level harness configuration.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Reads harness-relevant CLI flags. `cargo test` runs `harness = false`
+    /// bench binaries with `--test`; in that mode each benchmark executes a
+    /// single iteration.
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.test_mode = true;
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = BenchmarkGroup {
+            criterion: self,
+            name: String::new(),
+            throughput: None,
+        };
+        group.bench_function(id, f);
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+/// A named group of related benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        let mut bencher = Bencher {
+            iterations: if self.criterion.test_mode {
+                1
+            } else {
+                self.criterion.sample_size as u64
+            },
+            elapsed: Duration::ZERO,
+            executed: 0,
+        };
+        if !self.criterion.test_mode {
+            // Minimal warm-up: a single untimed pass.
+            let mut warm = Bencher {
+                iterations: 1,
+                elapsed: Duration::ZERO,
+                executed: 0,
+            };
+            f(&mut warm);
+        }
+        f(&mut bencher);
+        report(&label, &bencher, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn report(label: &str, b: &Bencher, throughput: Option<Throughput>) {
+    if b.executed == 0 {
+        println!("{label}: no iterations executed");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.executed as f64;
+    let mut line = format!("{label}: {:.3} ms/iter", per_iter * 1e3);
+    match throughput {
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            let mibs = n as f64 / per_iter / (1024.0 * 1024.0);
+            line.push_str(&format!(" ({mibs:.1} MiB/s)"));
+        }
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            let eps = n as f64 / per_iter;
+            line.push_str(&format!(" ({eps:.0} elem/s)"));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+/// Handed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+    executed: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.executed += self.iterations;
+    }
+
+    /// Times `routine` with fresh untimed input from `setup` each iteration.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.executed += 1;
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_counts_all_iterations() {
+        let mut b = Bencher {
+            iterations: 5,
+            elapsed: Duration::ZERO,
+            executed: 0,
+        };
+        let mut calls = 0u64;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 5);
+        assert_eq!(b.executed, 5);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut b = Bencher {
+            iterations: 3,
+            elapsed: Duration::ZERO,
+            executed: 0,
+        };
+        let mut setups = 0u64;
+        b.iter_batched(
+            || {
+                setups += 1;
+                setups
+            },
+            |v| v * 2,
+            BatchSize::PerIteration,
+        );
+        assert_eq!(setups, 3);
+        assert_eq!(b.executed, 3);
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default().sample_size(2);
+        c.test_mode = true;
+        let mut ran = false;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Bytes(10));
+            g.bench_function("f", |b| b.iter(|| ran = true));
+            g.finish();
+        }
+        assert!(ran);
+    }
+}

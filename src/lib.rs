@@ -40,6 +40,7 @@
 
 pub use scanraw as core;
 pub use scanraw_engine as engine;
+pub use scanraw_obs as obs;
 pub use scanraw_pipesim as pipesim;
 pub use scanraw_rawfile as rawfile;
 pub use scanraw_simio as simio;
@@ -49,7 +50,10 @@ pub use scanraw_types as types;
 /// The most common imports in one place.
 pub mod prelude {
     pub use scanraw::{ConvertScope, OperatorRegistry, ScanRaw, ScanRequest, ScanSummary};
-    pub use scanraw_engine::{AggExpr, Engine, Expr, Predicate, Query, QueryOutcome};
+    pub use scanraw_engine::{
+        AggExpr, AnalyzeReport, Engine, Expr, Predicate, Query, QueryOutcome,
+    };
+    pub use scanraw_obs::{Obs, ObsEvent};
     pub use scanraw_rawfile::generate::CsvSpec;
     pub use scanraw_rawfile::TextDialect;
     pub use scanraw_simio::{DiskConfig, SimDisk};

@@ -217,7 +217,9 @@ fn real_clock_throttling_bounds_wall_time() {
             "t.csv",
             Schema::uniform_ints(8),
             TextDialect::CSV,
-            ScanRawConfig::default().with_chunk_rows(2_000).with_workers(2),
+            ScanRawConfig::default()
+                .with_chunk_rows(2_000)
+                .with_workers(2),
         )
         .unwrap();
     let t0 = std::time::Instant::now();

@@ -1,7 +1,13 @@
-//! Property-based tests (proptest) over the core data structures and the
-//! conversion pipeline invariants.
+//! Property-style tests over the core data structures and the conversion
+//! pipeline invariants.
+//!
+//! Originally written against proptest; rewritten on seeded `StdRng` case
+//! generation so the suite runs in the offline build environment. Each
+//! property keeps its original contract and exercises a fixed number of
+//! pseudo-random cases, deterministic per seed.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use scanraw_repro::core::ChunkCache;
 use scanraw_repro::rawfile::bamsim::lzss;
 use scanraw_repro::rawfile::chunker::ChunkReader;
@@ -11,14 +17,15 @@ use scanraw_repro::simio::SimDisk;
 use scanraw_repro::types::{BinaryChunk, ChunkId, ColumnData, Schema, TextChunk, Value};
 use std::sync::Arc;
 
-/// Strategy: a rectangular table of i64 values, 1..=8 columns, 1..=50 rows.
-fn int_table() -> impl Strategy<Value = Vec<Vec<i64>>> {
-    (1usize..=8).prop_flat_map(|cols| {
-        proptest::collection::vec(
-            proptest::collection::vec(any::<i64>(), cols..=cols),
-            1..=50,
-        )
-    })
+const CASES: usize = 64;
+
+/// A rectangular table of i64 values, 1..=8 columns, 1..=50 rows.
+fn int_table(rng: &mut StdRng) -> Vec<Vec<i64>> {
+    let cols = rng.gen_range(1usize..=8);
+    let rows = rng.gen_range(1usize..=50);
+    (0..rows)
+        .map(|_| (0..cols).map(|_| rng.gen::<i64>()).collect())
+        .collect()
 }
 
 fn to_csv(table: &[Vec<i64>]) -> String {
@@ -45,43 +52,63 @@ fn chunk_of(text: &str, rows: u32) -> TextChunk {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// tokenize→parse equals the naive reference parser for any integer
-    /// table, any mapped-prefix width, and any projection.
-    #[test]
-    fn tokenize_parse_matches_reference(table in int_table(), prefix in 1usize..=8, proj_seed in any::<u64>()) {
+/// tokenize→parse equals the naive reference parser for any integer table,
+/// any mapped-prefix width, and any projection.
+#[test]
+fn tokenize_parse_matches_reference() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for _ in 0..CASES {
+        let table = int_table(&mut rng);
         let cols = table[0].len();
         let rows = table.len() as u32;
         let text = to_csv(&table);
         let chunk = chunk_of(&text, rows);
         let schema = Schema::uniform_ints(cols);
-        let prefix = prefix.min(cols);
+        let prefix = rng.gen_range(1usize..=8).min(cols);
         // Pseudo-random non-empty projection.
+        let proj_seed = rng.gen::<u64>();
         let projection: Vec<usize> = (0..cols)
             .filter(|c| (proj_seed >> (c % 60)) & 1 == 1)
             .collect();
-        let projection = if projection.is_empty() { vec![cols - 1] } else { projection };
+        let projection = if projection.is_empty() {
+            vec![cols - 1]
+        } else {
+            projection
+        };
 
         let map = tokenize_chunk_selective(&chunk, TextDialect::CSV, cols, prefix).unwrap();
-        let fast = parse_chunk_projected(&chunk, &map, TextDialect::CSV, &schema, &projection).unwrap();
+        let fast =
+            parse_chunk_projected(&chunk, &map, TextDialect::CSV, &schema, &projection).unwrap();
         fast.validate(&schema).unwrap();
         let slow = reference::parse_rows(&text, TextDialect::CSV, &schema, &projection).unwrap();
         for (r, slow_row) in slow.iter().enumerate() {
             for (i, &c) in projection.iter().enumerate() {
-                prop_assert_eq!(
+                assert_eq!(
                     fast.column(c).unwrap().value(r).unwrap(),
                     slow_row[i].clone()
                 );
             }
         }
     }
+}
 
-    /// The chunker partitions any byte content exactly: offsets are dense,
-    /// concatenated chunk bytes equal the file, row counts match line counts.
-    #[test]
-    fn chunker_partitions_exactly(lines in proptest::collection::vec("[a-z0-9,]{0,20}", 0..40), chunk_rows in 1u32..10) {
+/// The chunker partitions any byte content exactly: offsets are dense,
+/// concatenated chunk bytes equal the file, row counts match line counts.
+#[test]
+fn chunker_partitions_exactly() {
+    let mut rng = StdRng::seed_from_u64(0xC4A9);
+    const LINE_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789,";
+    for _ in 0..CASES {
+        let n_lines = rng.gen_range(0usize..40);
+        let lines: Vec<String> = (0..n_lines)
+            .map(|_| {
+                let len = rng.gen_range(0usize..=20);
+                (0..len)
+                    .map(|_| LINE_CHARS[rng.gen_range(0..LINE_CHARS.len())] as char)
+                    .collect()
+            })
+            .collect();
+        let chunk_rows = rng.gen_range(1u32..10);
         let mut content = lines.join("\n");
         if !lines.is_empty() {
             content.push('\n');
@@ -96,65 +123,95 @@ proptest! {
         let mut reassembled = Vec::new();
         let mut next_row = 0u64;
         for (i, c) in chunks.iter().enumerate() {
-            prop_assert_eq!(c.id, ChunkId(i as u32));
-            prop_assert_eq!(c.first_row, next_row);
+            assert_eq!(c.id, ChunkId(i as u32));
+            assert_eq!(c.first_row, next_row);
             next_row += c.rows as u64;
             reassembled.extend_from_slice(&c.data);
         }
-        prop_assert_eq!(reassembled, content.as_bytes().to_vec());
-        prop_assert_eq!(layout.total_rows(), lines.len() as u64);
+        assert_eq!(reassembled, content.as_bytes().to_vec());
+        assert_eq!(layout.total_rows(), lines.len() as u64);
     }
+}
 
-    /// LZSS decompress(compress(x)) == x for arbitrary bytes.
-    #[test]
-    fn lzss_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..2000)) {
+/// LZSS decompress(compress(x)) == x for arbitrary bytes.
+#[test]
+fn lzss_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x1255);
+    for _ in 0..CASES {
+        let len = rng.gen_range(0usize..2000);
+        let data: Vec<u8> = (0..len).map(|_| rng.gen::<u8>()).collect();
         let comp = lzss::compress(&data);
-        prop_assert_eq!(lzss::decompress(&comp, data.len()).unwrap(), data);
+        assert_eq!(lzss::decompress(&comp, data.len()).unwrap(), data);
     }
+}
 
-    /// Cache invariants: size bound, eviction only when full, the oldest
-    /// unloaded chunk is genuinely the first unloaded inserted.
-    #[test]
-    fn cache_invariants(ops in proptest::collection::vec((0u32..30, any::<bool>()), 1..100), cap in 1usize..8) {
+/// Cache invariants: size bound, eviction only when full, the oldest
+/// unloaded chunk is genuinely the first unloaded inserted.
+#[test]
+fn cache_invariants() {
+    let mut rng = StdRng::seed_from_u64(0xCAC4E);
+    for _ in 0..CASES {
+        let cap = rng.gen_range(1usize..8);
+        let n_ops = rng.gen_range(1usize..100);
+        let ops: Vec<(u32, bool)> = (0..n_ops)
+            .map(|_| (rng.gen_range(0u32..30), rng.gen_bool(0.5)))
+            .collect();
         let cache = ChunkCache::new(cap);
-        let mut first_unloaded: Vec<u32> = Vec::new();
         for (id, loaded) in &ops {
             cache.insert(Arc::new(BinaryChunk::empty(ChunkId(*id), 0, 1, 1)), *loaded);
-            prop_assert!(cache.len() <= cap);
+            assert!(cache.len() <= cap);
         }
-        // Whatever remains unloaded in the cache: oldest_unloaded agrees with
-        // the order of unloaded_chunks.
+        // Whatever remains unloaded in the cache: oldest_unloaded agrees
+        // with the order of unloaded_chunks.
         let unloaded = cache.unloaded_chunks();
         if let Some(first) = cache.oldest_unloaded() {
-            prop_assert_eq!(first.id, unloaded[0].id);
+            assert_eq!(first.id, unloaded[0].id);
         } else {
-            prop_assert!(unloaded.is_empty());
+            assert!(unloaded.is_empty());
         }
         // Marking everything loaded empties the unloaded view.
         for id in cache.cached_ids() {
             cache.mark_loaded(id);
-            first_unloaded.push(id.0);
         }
-        prop_assert!(cache.oldest_unloaded().is_none());
+        assert!(cache.oldest_unloaded().is_none());
     }
+}
 
-    /// Column statistics bound every value in the chunk.
-    #[test]
-    fn min_max_bounds_every_value(values in proptest::collection::vec(any::<i64>(), 1..100)) {
+/// Column statistics bound every value in the chunk.
+#[test]
+fn min_max_bounds_every_value() {
+    let mut rng = StdRng::seed_from_u64(0x3141);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1usize..100);
+        let values: Vec<i64> = (0..len).map(|_| rng.gen::<i64>()).collect();
         let col = ColumnData::Int64(values.clone());
         let (lo, hi) = col.min_max().unwrap();
         for v in values {
-            prop_assert!(Value::Int(v) >= lo.clone());
-            prop_assert!(Value::Int(v) <= hi.clone());
+            assert!(Value::Int(v) >= lo.clone());
+            assert!(Value::Int(v) <= hi.clone());
         }
     }
+}
 
-    /// Column-store persistence round-trips arbitrary typed columns.
-    #[test]
-    fn colstore_roundtrip(ints in proptest::collection::vec(any::<i64>(), 1..50),
-                          strs in proptest::collection::vec("[ -~]{0,12}", 1..50)) {
-        use scanraw_repro::storage::ColumnStore;
-        use scanraw_repro::types::{DataType, Field};
+/// Column-store persistence round-trips arbitrary typed columns.
+#[test]
+fn colstore_roundtrip() {
+    use scanraw_repro::storage::ColumnStore;
+    use scanraw_repro::types::{DataType, Field};
+    let mut rng = StdRng::seed_from_u64(0xC057);
+    for _ in 0..CASES {
+        let n_ints = rng.gen_range(1usize..50);
+        let n_strs = rng.gen_range(1usize..50);
+        let ints: Vec<i64> = (0..n_ints).map(|_| rng.gen::<i64>()).collect();
+        let strs: Vec<String> = (0..n_strs)
+            .map(|_| {
+                let len = rng.gen_range(0usize..=12);
+                // Printable ASCII (space..tilde), as the proptest regex did.
+                (0..len)
+                    .map(|_| rng.gen_range(0x20u8..=0x7e) as char)
+                    .collect()
+            })
+            .collect();
         let rows = ints.len().min(strs.len());
         let chunk = BinaryChunk {
             id: ChunkId(0),
@@ -168,41 +225,59 @@ proptest! {
         let schema = Schema::new(vec![
             Field::new("i", DataType::Int64),
             Field::new("s", DataType::Utf8),
-        ]).unwrap();
+        ])
+        .unwrap();
         let store = ColumnStore::new(SimDisk::instant());
         store.store_chunk("t", &chunk).unwrap();
-        let back = store.load_chunk("t", &schema, ChunkId(0), 0, &[0, 1]).unwrap();
-        prop_assert_eq!(back.column(0), chunk.column(0));
-        prop_assert_eq!(back.column(1), chunk.column(1));
+        let back = store
+            .load_chunk("t", &schema, ChunkId(0), 0, &[0, 1])
+            .unwrap();
+        assert_eq!(back.column(0), chunk.column(0));
+        assert_eq!(back.column(1), chunk.column(1));
     }
+}
 
-    /// Engine sum over a random table equals a direct computation, under
-    /// every write policy.
-    #[test]
-    fn engine_sum_matches_direct(table in int_table(), policy_pick in 0usize..5) {
-        use scanraw_repro::prelude::*;
+/// Engine sum over a random table equals a direct computation, under every
+/// write policy.
+#[test]
+fn engine_sum_matches_direct() {
+    use scanraw_repro::prelude::*;
+    let mut rng = StdRng::seed_from_u64(0xE9019E);
+    // Fewer cases: each one spins up a full engine + operator.
+    for case in 0..20 {
+        let table = int_table(&mut rng);
         let cols = table[0].len();
         let text = to_csv(&table);
-        // Keep sums in range (any::<i64> can overflow SUM; the engine
-        // promotes to float on overflow, direct computation must match) —
-        // simplest: compute with the same promotion rule.
         let disk = SimDisk::instant();
         disk.storage().put("p.csv", text.into_bytes());
         let policy = [
             WritePolicy::ExternalTables,
             WritePolicy::Eager,
             WritePolicy::Buffered,
-            WritePolicy::Invisible { chunks_per_query: 1 },
+            WritePolicy::Invisible {
+                chunks_per_query: 1,
+            },
             WritePolicy::speculative(),
-        ][policy_pick];
+        ][case % 5];
         let engine = Engine::new(Database::new(disk));
-        engine.register_table(
-            "p", "p.csv", Schema::uniform_ints(cols), TextDialect::CSV,
-            ScanRawConfig::default().with_chunk_rows(7).with_workers(2).with_policy(policy),
-        ).unwrap();
+        engine
+            .register_table(
+                "p",
+                "p.csv",
+                Schema::uniform_ints(cols),
+                TextDialect::CSV,
+                ScanRawConfig::default()
+                    .with_chunk_rows(7)
+                    .with_workers(2)
+                    .with_policy(policy),
+            )
+            .unwrap();
         // Sum a single column to avoid row-level overflow in the expression.
         let q = Query::sum_of_columns("p", [0]);
         let out = engine.execute(&q).unwrap();
+        // any::<i64> analogue can overflow SUM; the engine promotes to
+        // float on overflow, so the direct computation applies the same
+        // promotion rule.
         let mut acc: i64 = 0;
         let mut promoted = false;
         for row in &table {
@@ -212,26 +287,34 @@ proptest! {
             }
         }
         if promoted {
-            prop_assert!(matches!(out.result.scalar().unwrap(), Value::Float(_)));
+            assert!(matches!(out.result.scalar().unwrap(), Value::Float(_)));
         } else {
-            prop_assert_eq!(out.result.scalar().unwrap(), &Value::Int(acc));
+            assert_eq!(out.result.scalar().unwrap(), &Value::Int(acc));
         }
     }
+}
 
-    /// Pipeline simulator conservation: every planned chunk is delivered
-    /// exactly once per query, loading is monotone across a sequence, and
-    /// cache+db+raw partitions the file.
-    #[test]
-    fn simulator_conservation(workers in 0usize..8, cache in 1usize..16, n_chunks in 1usize..40, policy_pick in 0usize..5) {
-        use scanraw_repro::pipesim::{CostModel, FileSpec, SimConfig, Simulator};
-        use scanraw_repro::types::WritePolicy;
+/// Pipeline simulator conservation: every planned chunk is delivered
+/// exactly once per query, loading is monotone across a sequence, and
+/// cache+db+raw partitions the file.
+#[test]
+fn simulator_conservation() {
+    use scanraw_repro::pipesim::{CostModel, FileSpec, SimConfig, Simulator};
+    use scanraw_repro::types::WritePolicy;
+    let mut rng = StdRng::seed_from_u64(0x51A7);
+    for case in 0..CASES {
+        let workers = rng.gen_range(0usize..8);
+        let cache = rng.gen_range(1usize..16);
+        let n_chunks = rng.gen_range(1usize..40);
         let policy = [
             WritePolicy::ExternalTables,
             WritePolicy::Eager,
             WritePolicy::Buffered,
-            WritePolicy::Invisible { chunks_per_query: 2 },
+            WritePolicy::Invisible {
+                chunks_per_query: 2,
+            },
             WritePolicy::speculative(),
-        ][policy_pick];
+        ][case % 5];
         let file = FileSpec::synthetic(n_chunks as u64 * 64, 4, 64);
         let mut cfg = SimConfig::new(workers, policy, CostModel::nominal());
         cfg.cache_chunks = cache;
@@ -239,10 +322,10 @@ proptest! {
         let mut last_loaded = 0usize;
         for _ in 0..3 {
             let r = sim.run_sequence(1).remove(0);
-            prop_assert_eq!(r.from_cache + r.from_db + r.from_raw, file.n_chunks);
-            prop_assert!(r.loaded_after >= last_loaded, "loading is monotone");
+            assert_eq!(r.from_cache + r.from_db + r.from_raw, file.n_chunks);
+            assert!(r.loaded_after >= last_loaded, "loading is monotone");
             last_loaded = r.loaded_after;
-            prop_assert!(r.elapsed_secs >= 0.0);
+            assert!(r.elapsed_secs >= 0.0);
         }
     }
 }

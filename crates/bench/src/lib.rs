@@ -17,6 +17,8 @@
 //! Results print as aligned text tables (the same rows/series the paper
 //! reports) and are also written as JSON under `results/`.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 use scanraw_pipesim::{measure_cost_model, CostModel};
 use std::io::Write as _;
 use std::path::PathBuf;

@@ -68,6 +68,12 @@ pub struct Evicted {
 }
 
 impl ChunkCache {
+    /// Creates a cache holding at most `capacity` chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a zero-capacity cache could never
+    /// admit the chunk being inserted and would evict on every call.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
         ChunkCache {
@@ -111,6 +117,11 @@ impl ChunkCache {
     ///
     /// Victim selection: least-recently-used among `loaded` entries first;
     /// only if every entry is unloaded, the globally least-recently-used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal victim bookkeeping desynchronizes from the
+    /// map — an invariant violation, not an input condition.
     pub fn insert(&self, chunk: Arc<BinaryChunk>, loaded: bool) -> Option<Evicted> {
         let mut g = self.inner.lock();
         let stamp = g.bump_stamp();

@@ -43,6 +43,8 @@
 //!
 //! [`WritePolicy`]: scanraw_types::WritePolicy
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 pub mod cache;
 pub mod operator;
 pub mod profile;

@@ -203,6 +203,12 @@ pub struct ScanRaw {
 
 impl ScanRaw {
     /// Creates the operator and registers its table in the database catalog.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `config` violates a pipeline invariant (zero buffer or
+    /// chunk sizes), when the catalog rejects the table registration, or
+    /// when the OS cannot spawn the persistent WRITE thread.
     pub fn create(
         db: Database,
         table: impl Into<String>,
@@ -265,7 +271,7 @@ impl ScanRaw {
             table.clone(),
             cache.clone(),
             profiler.clone(),
-        ));
+        )?);
         let workers = AtomicUsize::new(config.workers);
         Ok(Arc::new(ScanRaw {
             table,
@@ -313,6 +319,7 @@ impl ScanRaw {
 
     /// Current worker-pool size used by new scans.
     pub fn workers(&self) -> usize {
+        // relaxed-ok: sizing hint read at scan start; no data is published through it
         self.workers.load(Ordering::Relaxed)
     }
 
@@ -320,6 +327,7 @@ impl ScanRaw {
     /// their pool). This is the knob the resource manager turns after
     /// [`ScanRaw::resource_advice`]; the change lands in the journal.
     pub fn set_workers(&self, n: usize) {
+        // relaxed-ok: sizing hint — in-flight scans intentionally keep their pool
         let from = self.workers.swap(n, Ordering::Relaxed);
         if from != n {
             self.obs.event(ObsEvent::WorkerScaled {
@@ -368,6 +376,7 @@ impl ScanRaw {
 
     /// Number of scans served so far.
     pub fn scans_run(&self) -> usize {
+        // relaxed-ok: monotonic statistic; no ordering with other state required
         self.scans_run.load(Ordering::Relaxed)
     }
 
@@ -390,7 +399,14 @@ impl ScanRaw {
     }
 
     /// Starts a scan and returns the stream of converted chunks.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the projection names a column outside the schema, when
+    /// the raw file cannot be opened, or when a pipeline thread cannot be
+    /// spawned.
     pub fn scan(self: &Arc<Self>, request: ScanRequest) -> Result<ChunkStream> {
+        // relaxed-ok: monotonic statistic; no ordering with other state required
         self.scans_run.fetch_add(1, Ordering::Relaxed);
         let mut needed: Vec<usize> = request.projection.clone();
         needed.sort_unstable();
@@ -454,7 +470,7 @@ impl ScanRaw {
         // Plan chunk sources (cache → database → raw, §3.2.1).
         // ------------------------------------------------------------------
         let plan = self.plan_scan(&needed, request.skip_predicate.as_ref())?;
-        counters.skipped.store(plan.skipped, Ordering::Relaxed);
+        counters.skipped.store(plan.skipped, Ordering::Release);
 
         // ------------------------------------------------------------------
         // READ thread.
@@ -656,16 +672,18 @@ impl ScanRaw {
 
         // Phase 1: cached chunks — no I/O, no conversion.
         for meta in &plan.cached {
+            // relaxed-ok: advisory stop flag — a stale read only delays shutdown by one iteration
             if stop.load(Ordering::Relaxed) {
                 return Ok(());
             }
             let t0 = clock.now();
             match self.cache.get(meta.id) {
                 Some(chunk) => {
-                    counters.from_cache.fetch_add(1, Ordering::Relaxed);
+                    counters.from_cache.fetch_add(1, Ordering::Release);
                     let t1 = clock.now();
                     self.profiler.record(Stage::Deliver, t1 - t0, t0, t1);
                     if out.send(Ok(chunk)).is_err() {
+                        // relaxed-ok: advisory stop flag — readers need eventual visibility only
                         stop.store(true, Ordering::Relaxed);
                         return Ok(());
                     }
@@ -674,15 +692,15 @@ impl ScanRaw {
                     // Raced out of the cache since planning; fall back to the
                     // database or raw file.
                     if let Ok(chunk) = self.load_from_db(meta, &params.convert_cols) {
-                        counters.from_db.fetch_add(1, Ordering::Relaxed);
+                        counters.from_db.fetch_add(1, Ordering::Release);
                         if out.send(Ok(Arc::new(chunk))).is_err() {
+                            // relaxed-ok: advisory stop flag — readers need eventual visibility only
                             stop.store(true, Ordering::Relaxed);
                             return Ok(());
                         }
                     } else {
                         self.feed_raw_chunk(
-                            Some(meta),
-                            None,
+                            meta,
                             &text_tx,
                             &out,
                             &events,
@@ -707,6 +725,7 @@ impl ScanRaw {
 
         // Phase 2: chunks already loaded in the database — binary reads.
         for meta in &plan.from_db {
+            // relaxed-ok: advisory stop flag — a stale read only delays shutdown by one iteration
             if stop.load(Ordering::Relaxed) {
                 return Ok(());
             }
@@ -714,9 +733,10 @@ impl ScanRaw {
             let chunk = self.load_from_db(meta, &params.convert_cols)?;
             let t1 = clock.now();
             self.profiler.record(Stage::Read, t1 - t0, t0, t1);
-            counters.from_db.fetch_add(1, Ordering::Relaxed);
+            counters.from_db.fetch_add(1, Ordering::Release);
             let arc = Arc::new(chunk);
             if out.send(Ok(arc.clone())).is_err() {
+                // relaxed-ok: advisory stop flag — readers need eventual visibility only
                 stop.store(true, Ordering::Relaxed);
                 return Ok(());
             }
@@ -731,6 +751,7 @@ impl ScanRaw {
         // missing ones converted from the raw file and merged (§3.2.1).
         let needed: Vec<usize> = params.convert_cols.clone();
         for meta in &plan.hybrid {
+            // relaxed-ok: advisory stop flag — a stale read only delays shutdown by one iteration
             if stop.load(Ordering::Relaxed) {
                 return Ok(());
             }
@@ -740,7 +761,7 @@ impl ScanRaw {
             let text = read_chunk_at(self.db.disk(), &self.raw_file, meta)?;
             let t1 = clock.now();
             self.profiler.record(Stage::Read, t1 - t0, t0, t1);
-            counters.hybrid.fetch_add(1, Ordering::Relaxed);
+            counters.hybrid.fetch_add(1, Ordering::Release);
             let missing: Vec<usize> = needed
                 .iter()
                 .copied()
@@ -777,6 +798,7 @@ impl ScanRaw {
             )?;
             let mut complete = true;
             loop {
+                // relaxed-ok: advisory stop flag — a stale read only delays shutdown by one iteration
                 if stop.load(Ordering::Relaxed) {
                     complete = false;
                     break;
@@ -817,12 +839,12 @@ impl ScanRaw {
             }
         } else {
             for meta in &plan.raw {
+                // relaxed-ok: advisory stop flag — a stale read only delays shutdown by one iteration
                 if stop.load(Ordering::Relaxed) {
                     return Ok(());
                 }
                 self.feed_raw_chunk(
-                    Some(meta),
-                    None,
+                    meta,
                     &text_tx,
                     &out,
                     &events,
@@ -840,8 +862,7 @@ impl ScanRaw {
     #[allow(clippy::too_many_arguments)]
     fn feed_raw_chunk(
         self: &Arc<Self>,
-        meta: Option<&ChunkMeta>,
-        pre_read: Option<TextChunk>,
+        meta: &ChunkMeta,
         text_tx: &Sender<RawJob>,
         out: &Sender<Result<Arc<BinaryChunk>>>,
         events: &Sender<Event>,
@@ -851,16 +872,12 @@ impl ScanRaw {
         params: &Arc<ScanParams>,
     ) -> Result<()> {
         let clock = self.db.disk().clock().clone();
-        let chunk = match pre_read {
-            Some(c) => c,
-            None => {
-                let meta = meta.expect("meta or pre_read");
-                let t0 = clock.now();
-                let c = read_chunk_at(self.db.disk(), &self.raw_file, meta)?;
-                let t1 = clock.now();
-                self.profiler.record(Stage::Read, t1 - t0, t0, t1);
-                c
-            }
+        let chunk = {
+            let t0 = clock.now();
+            let c = read_chunk_at(self.db.disk(), &self.raw_file, meta)?;
+            let t1 = clock.now();
+            self.profiler.record(Stage::Read, t1 - t0, t0, t1);
+            c
         };
         self.dispatch_raw_job(
             RawJob::plain(chunk),
@@ -893,7 +910,7 @@ impl ScanRaw {
         count_raw: bool,
     ) -> Result<bool> {
         if count_raw {
-            counters.from_raw.fetch_add(1, Ordering::Relaxed);
+            counters.from_raw.fetch_add(1, Ordering::Release);
         }
         if params.workers == 0 {
             // Sequential regime: the chunk passes through the conversion
@@ -911,6 +928,7 @@ impl ScanRaw {
         in_pipeline.fetch_add(1, Ordering::AcqRel);
         let mut pending = job;
         loop {
+            // relaxed-ok: advisory stop flag — a stale read only delays shutdown by one iteration
             if stop.load(Ordering::Relaxed) {
                 in_pipeline.fetch_sub(1, Ordering::AcqRel);
                 return Ok(false);
@@ -1088,6 +1106,7 @@ impl ScanRaw {
         stop: &Arc<AtomicBool>,
     ) -> bool {
         if out.send(Ok(bin.clone())).is_err() {
+            // relaxed-ok: advisory stop flag — readers need eventual visibility only
             stop.store(true, Ordering::Relaxed);
             return false;
         }
@@ -1126,6 +1145,7 @@ impl ScanRaw {
         params: &Arc<ScanParams>,
     ) {
         loop {
+            // relaxed-ok: advisory stop flag — a stale read only delays shutdown by one iteration
             if stop.load(Ordering::Relaxed) {
                 break;
             }
@@ -1188,6 +1208,7 @@ impl ScanRaw {
             Ok(map) => {
                 let mut job = TokenizedChunk { job: raw, map };
                 loop {
+                    // relaxed-ok: advisory stop flag — a stale read only delays shutdown by one iteration
                     if stop.load(Ordering::Relaxed) {
                         in_pipeline.fetch_sub(1, Ordering::AcqRel);
                         return;

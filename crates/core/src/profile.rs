@@ -98,6 +98,7 @@ impl Profiler {
     pub fn record_spans(&self, on: bool) {
         self.inner
             .record_spans
+            // relaxed-ok: independent timing statistics; totals are read after the pipeline joins
             .store(u64::from(on), Ordering::Relaxed);
     }
 
@@ -108,11 +109,13 @@ impl Profiler {
     /// off.
     pub fn record(&self, stage: Stage, elapsed: Duration, start: Duration, end: Duration) {
         let i = stage.index();
+        // relaxed-ok: independent timing statistics; totals are read after the pipeline joins
         self.inner.totals[i].fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
         self.inner.chunks[i].fetch_add(1, Ordering::Relaxed);
         if let Some(histograms) = self.inner.stage_histograms.get() {
             histograms[i].observe_duration(elapsed);
         }
+        // relaxed-ok: independent timing statistics; totals are read after the pipeline joins
         if self.inner.record_spans.load(Ordering::Relaxed) != 0 {
             self.inner.spans.lock().push(BusySpan { stage, start, end });
         }
@@ -120,11 +123,13 @@ impl Profiler {
 
     /// Total time spent in a stage across all chunks and workers.
     pub fn total(&self, stage: Stage) -> Duration {
+        // relaxed-ok: independent timing statistics; totals are read after the pipeline joins
         Duration::from_nanos(self.inner.totals[stage.index()].load(Ordering::Relaxed))
     }
 
     /// Number of chunk-units processed by a stage.
     pub fn chunks(&self, stage: Stage) -> u64 {
+        // relaxed-ok: independent timing statistics; totals are read after the pipeline joins
         self.inner.chunks[stage.index()].load(Ordering::Relaxed)
     }
 
@@ -147,6 +152,10 @@ impl Profiler {
     /// (TOKENIZE + PARSE) in each window divided by the window length.
     /// With `n` workers the value ranges up to `n` (×100 = the "800%" of
     /// paper Figure 9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
     pub fn cpu_utilization_timeline(&self, window: Duration) -> Vec<(Duration, f64)> {
         assert!(!window.is_zero());
         let spans = self.inner.spans.lock();
@@ -189,9 +198,11 @@ impl Profiler {
     /// Clears all accumulated data.
     pub fn reset(&self) {
         for t in &self.inner.totals {
+            // relaxed-ok: independent timing statistics; totals are read after the pipeline joins
             t.store(0, Ordering::Relaxed);
         }
         for c in &self.inner.chunks {
+            // relaxed-ok: independent timing statistics; totals are read after the pipeline joins
             c.store(0, Ordering::Relaxed);
         }
         self.inner.spans.lock().clear();

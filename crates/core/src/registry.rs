@@ -25,6 +25,11 @@ impl OperatorRegistry {
 
     /// Returns the operator for `raw_file`, creating it with `make` on first
     /// use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error from `make` when first-use construction fails;
+    /// nothing is cached in that case.
     pub fn get_or_create<F>(&self, raw_file: &str, make: F) -> Result<Arc<ScanRaw>>
     where
         F: FnOnce() -> Result<Arc<ScanRaw>>,

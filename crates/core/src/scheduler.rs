@@ -74,70 +74,81 @@ pub(crate) struct Writer {
 impl Writer {
     /// Spawns the WRITE thread for `table` over `db`, marking cache entries
     /// loaded as stores complete.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the OS refuses to spawn the thread.
     pub(crate) fn spawn(
         db: Database,
         table: String,
         cache: ChunkCache,
         profiler: Profiler,
-    ) -> Self {
+    ) -> scanraw_types::Result<Self> {
         let (tx, rx): (Sender<WriteCmd>, Receiver<WriteCmd>) = unbounded();
         let pending = Arc::new(AtomicU64::new(0));
         let written = Arc::new(AtomicU64::new(0));
-        let pending2 = pending.clone();
-        let written2 = written.clone();
-        let clock = db.disk().clock().clone();
-        let handle = std::thread::Builder::new()
-            .name(format!("scanraw-write-{table}"))
-            .spawn(move || {
-                while let Ok(cmd) = rx.recv() {
-                    match cmd {
-                        WriteCmd::Store { chunk, notify } => {
-                            let t0 = clock.now();
-                            // A failed store is fatal for loading but must
-                            // not kill the pipeline: the chunk simply stays
-                            // unloaded and will be converted again next scan.
-                            let ok = db.store_chunk(&table, &chunk).is_ok();
-                            let t1 = clock.now();
-                            profiler.record(Stage::Write, t1 - t0, t0, t1);
-                            if ok {
-                                cache.mark_loaded(chunk.id);
-                                written2.fetch_add(1, Ordering::Relaxed);
+        let handle = {
+            let pending = pending.clone();
+            let written = written.clone();
+            let clock = db.disk().clock().clone();
+            std::thread::Builder::new()
+                .name(format!("scanraw-write-{table}"))
+                .spawn(move || {
+                    while let Ok(cmd) = rx.recv() {
+                        match cmd {
+                            WriteCmd::Store { chunk, notify } => {
+                                let t0 = clock.now();
+                                // A failed store is fatal for loading but must
+                                // not kill the pipeline: the chunk simply stays
+                                // unloaded and will be converted again next scan.
+                                let ok = db.store_chunk(&table, &chunk).is_ok();
+                                let t1 = clock.now();
+                                profiler.record(Stage::Write, t1 - t0, t0, t1);
+                                if ok {
+                                    cache.mark_loaded(chunk.id);
+                                    // relaxed-ok: monotonic lifetime statistic; readers don't order on it
+                                    written.fetch_add(1, Ordering::Relaxed);
+                                }
+                                pending.fetch_sub(1, Ordering::Release);
+                                if let Some(n) = notify {
+                                    let _ = n.send(Event::WriteDone(chunk.id));
+                                }
                             }
-                            pending2.fetch_sub(1, Ordering::Release);
-                            if let Some(n) = notify {
-                                let _ = n.send(Event::WriteDone(chunk.id));
+                            WriteCmd::Barrier(ack) => {
+                                let _ = ack.send(());
                             }
+                            WriteCmd::Shutdown => break,
                         }
-                        WriteCmd::Barrier(ack) => {
-                            let _ = ack.send(());
-                        }
-                        WriteCmd::Shutdown => break,
                     }
-                }
-            })
-            .expect("spawn write thread");
-        Writer {
+                })
+                .map_err(|e| scanraw_types::Error::Pipeline(format!("spawn WRITE: {e}")))?
+        };
+        Ok(Writer {
             tx,
             handle: Some(handle),
             pending,
             written,
-        }
+        })
     }
 
-    /// Queues a store.
-    pub(crate) fn store(&self, chunk: Arc<BinaryChunk>, notify: Option<Sender<Event>>) {
+    /// Queues a store. Returns false when the WRITE thread is gone (operator
+    /// teardown raced the scheduler); the chunk then simply stays unloaded.
+    pub(crate) fn store(&self, chunk: Arc<BinaryChunk>, notify: Option<Sender<Event>>) -> bool {
         self.pending.fetch_add(1, Ordering::Acquire);
-        self.tx
-            .send(WriteCmd::Store { chunk, notify })
-            .expect("write thread alive");
+        if self.tx.send(WriteCmd::Store { chunk, notify }).is_err() {
+            self.pending.fetch_sub(1, Ordering::Release);
+            return false;
+        }
+        true
     }
 
-    /// Blocks until every store queued before this call has completed.
+    /// Blocks until every store queued before this call has completed. A
+    /// dead WRITE thread means nothing is pending; returns immediately.
     pub(crate) fn barrier(&self) {
         let (ack_tx, ack_rx) = unbounded();
-        self.tx
-            .send(WriteCmd::Barrier(ack_tx))
-            .expect("write thread alive");
+        if self.tx.send(WriteCmd::Barrier(ack_tx)).is_err() {
+            return;
+        }
         let _ = ack_rx.recv();
     }
 
@@ -148,6 +159,7 @@ impl Writer {
 
     /// Chunks stored over the writer's lifetime.
     pub(crate) fn written(&self) -> u64 {
+        // relaxed-ok: monotonic lifetime statistic; readers don't order on it
         self.written.load(Ordering::Relaxed)
     }
 }
@@ -246,34 +258,39 @@ pub(crate) fn run_scheduler(
     while let Ok(ev) = events_rx.recv() {
         match ev {
             Event::Converted(chunk) => match policy {
-                WritePolicy::Eager if !already_loaded(chunk.id, &chunk) => {
+                WritePolicy::Eager
+                    if !already_loaded(chunk.id, &chunk)
+                        && writer.store(chunk.clone(), Some(events_tx.clone())) =>
+                {
                     obs.event(ObsEvent::WriteQueued {
                         chunk: chunk.id.0 as u64,
                         cause: WriteCause::Eager,
                     });
-                    writer.store(chunk, Some(events_tx.clone()));
                     report.writes_queued += 1;
                 }
                 WritePolicy::Invisible { .. }
-                    if invisible_quota > 0 && !already_loaded(chunk.id, &chunk) =>
+                    if invisible_quota > 0
+                        && !already_loaded(chunk.id, &chunk)
+                        && writer.store(chunk.clone(), Some(events_tx.clone())) =>
                 {
                     invisible_quota -= 1;
                     obs.event(ObsEvent::WriteQueued {
                         chunk: chunk.id.0 as u64,
                         cause: WriteCause::Invisible,
                     });
-                    writer.store(chunk, Some(events_tx.clone()));
                     report.writes_queued += 1;
                 }
                 _ => {}
             },
             Event::Evicted(ev) => {
-                if policy == WritePolicy::Buffered && !ev.loaded {
+                if policy == WritePolicy::Buffered
+                    && !ev.loaded
+                    && writer.store(ev.chunk.clone(), Some(events_tx.clone()))
+                {
                     obs.event(ObsEvent::WriteQueued {
                         chunk: ev.id.0 as u64,
                         cause: WriteCause::Eviction,
                     });
-                    writer.store(ev.chunk, Some(events_tx.clone()));
                     report.writes_queued += 1;
                     report.eviction_writes += 1;
                 }
@@ -287,14 +304,14 @@ pub(crate) fn run_scheduler(
                         .into_iter()
                         .find(|c| !queued.contains(&c.id));
                     if let Some(chunk) = next {
-                        queued.insert(chunk.id);
-                        write_in_flight = true;
-                        obs.event(ObsEvent::SpeculativeWriteTriggered {
-                            chunk: chunk.id.0 as u64,
-                        });
-                        writer.store(chunk, Some(events_tx.clone()));
-                        report.writes_queued += 1;
-                        report.speculative_writes += 1;
+                        let id = chunk.id;
+                        if writer.store(chunk, Some(events_tx.clone())) {
+                            queued.insert(id);
+                            write_in_flight = true;
+                            obs.event(ObsEvent::SpeculativeWriteTriggered { chunk: id.0 as u64 });
+                            report.writes_queued += 1;
+                            report.speculative_writes += 1;
+                        }
                     }
                 }
             }
@@ -308,8 +325,9 @@ pub(crate) fn run_scheduler(
                     // overlaps the remainder of query processing (§4).
                     let mut flushed = 0;
                     for chunk in cache.unloaded_chunks() {
-                        if queued.insert(chunk.id) {
-                            writer.store(chunk, None);
+                        let id = chunk.id;
+                        if !queued.contains(&id) && writer.store(chunk, None) {
+                            queued.insert(id);
                             report.writes_queued += 1;
                             report.safeguard_writes += 1;
                             flushed += 1;
@@ -330,8 +348,9 @@ pub(crate) fn run_scheduler(
                     if raw_scan_done {
                         let mut flushed = 0;
                         for chunk in cache.unloaded_chunks() {
-                            if queued.insert(chunk.id) {
-                                writer.store(chunk, None);
+                            let id = chunk.id;
+                            if !queued.contains(&id) && writer.store(chunk, None) {
+                                queued.insert(id);
                                 report.writes_queued += 1;
                                 report.safeguard_writes += 1;
                                 flushed += 1;
@@ -360,7 +379,8 @@ mod tests {
         db.create_table("t", Schema::uniform_ints(1), "t.csv")
             .unwrap();
         let cache = ChunkCache::new(8);
-        let writer = Writer::spawn(db.clone(), "t".to_string(), cache.clone(), Profiler::new());
+        let writer = Writer::spawn(db.clone(), "t".to_string(), cache.clone(), Profiler::new())
+            .expect("spawn writer");
         (db, cache, writer)
     }
 
@@ -377,7 +397,7 @@ mod tests {
     fn writer_stores_and_marks_cache() {
         let (db, cache, writer) = setup();
         cache.insert(chunk(0), false);
-        writer.store(chunk(0), None);
+        assert!(writer.store(chunk(0), None));
         writer.barrier();
         assert_eq!(writer.written(), 1);
         assert_eq!(writer.pending(), 0);
@@ -389,7 +409,7 @@ mod tests {
     fn barrier_orders_after_stores() {
         let (_db, _cache, writer) = setup();
         for i in 0..16 {
-            writer.store(chunk(i), None);
+            assert!(writer.store(chunk(i), None));
         }
         writer.barrier();
         assert_eq!(writer.pending(), 0);

@@ -19,6 +19,12 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Counters shared between the pipeline threads and the stream.
+///
+/// Pipeline threads increment with `Release` stores and [`ChunkStream::finish`]
+/// reads with `Acquire` loads, so the totals observed at `finish()` are
+/// ordered after every pipeline-side increment even though the thread joins
+/// already provide a happens-before edge — the explicit pairing keeps the
+/// counters correct if a future refactor reads them mid-scan.
 #[derive(Debug, Default)]
 pub(crate) struct ScanCounters {
     pub from_cache: AtomicUsize,
@@ -117,13 +123,23 @@ impl ChunkStream {
 
     /// Consumes the rest of the stream, joins every pipeline thread, and
     /// returns the scan summary (or the first pipeline error).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error any pipeline stage reported (parse errors,
+    /// I/O failures, a panicked worker), or a `Pipeline` error if the scan
+    /// state was already torn down.
     pub fn finish(mut self) -> Result<ScanSummary> {
         // Drain whatever the engine did not consume.
         while self.next_chunk().is_some() {}
         // All producers are gone once the channel disconnects; drop our end.
         self.rx = None;
 
-        let state = self.state.take().expect("finish called once");
+        let Some(state) = self.state.take() else {
+            // Unreachable by construction (`finish` consumes `self`), but a
+            // missing state must not abort the caller's thread.
+            return Err(Error::Pipeline("scan state already torn down".into()));
+        };
         let read_result = state
             .read_handle
             .join()
@@ -155,11 +171,12 @@ impl ChunkStream {
 
         Ok(ScanSummary {
             chunks_delivered: self.delivered,
-            from_cache: state.counters.from_cache.load(Ordering::Relaxed),
-            from_db: state.counters.from_db.load(Ordering::Relaxed),
-            from_raw: state.counters.from_raw.load(Ordering::Relaxed),
-            from_hybrid: state.counters.hybrid.load(Ordering::Relaxed),
-            skipped: state.counters.skipped.load(Ordering::Relaxed),
+            // Acquire pairs with the pipeline threads' Release increments.
+            from_cache: state.counters.from_cache.load(Ordering::Acquire),
+            from_db: state.counters.from_db.load(Ordering::Acquire),
+            from_raw: state.counters.from_raw.load(Ordering::Acquire),
+            from_hybrid: state.counters.hybrid.load(Ordering::Acquire),
+            skipped: state.counters.skipped.load(Ordering::Acquire),
             writes_queued: report.writes_queued,
             speculative_writes: report.speculative_writes,
             safeguard_writes: report.safeguard_writes,

@@ -1,0 +1,487 @@
+//! Deterministic schedule stress harness.
+//!
+//! The pipeline's two central shared structures — the crossbeam-shim channel
+//! and the [`ChunkCache`] — are driven through thousands of *seeded
+//! permutations* of operation interleavings (send/recv/drop/disconnect
+//! orders, insert/get/evict orders) and checked against straight-line
+//! reference models after every step. A failure prints its seed; re-running
+//! with that seed reproduces the exact schedule.
+//!
+//! Three layers:
+//! 1. single-threaded channel permutations vs. a queue model (every result
+//!    and every intermediate length must match, including disconnection
+//!    semantics),
+//! 2. single-threaded cache permutations vs. an LRU model (victims, hit and
+//!    miss counters, speculative-loading order),
+//! 3. multi-threaded conservation runs (no chunk lost or duplicated across
+//!    real producer/consumer threads).
+
+use crossbeam::channel::{self, Receiver, SendTimeoutError, Sender, TryRecvError};
+use scanraw::ChunkCache;
+use scanraw_types::{BinaryChunk, ChunkId};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Seed counts per layer; the harness promises ≥ 1000 distinct interleavings.
+const CHANNEL_SEEDS: u64 = 600;
+const CACHE_SEEDS: u64 = 420;
+const MT_RUNS: u64 = 8;
+
+#[test]
+fn harness_covers_at_least_1000_interleavings() {
+    const { assert!(CHANNEL_SEEDS + CACHE_SEEDS + MT_RUNS >= 1000) }
+}
+
+/// SplitMix64: tiny, seedable, and good enough to scramble schedules.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_add(0x9e37_79b9_7f4a_7c15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 1: channel permutations vs. queue model
+// ---------------------------------------------------------------------------
+
+/// Reference semantics of a bounded MPMC channel.
+struct ChannelModel {
+    queue: VecDeque<u64>,
+    cap: usize,
+    senders: usize,
+    receivers: usize,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum SendOutcome {
+    Ok,
+    Full,
+    Disconnected,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum RecvOutcome {
+    Got(u64),
+    Empty,
+    Disconnected,
+}
+
+impl ChannelModel {
+    fn send(&mut self, v: u64) -> SendOutcome {
+        if self.receivers == 0 {
+            SendOutcome::Disconnected
+        } else if self.queue.len() >= self.cap {
+            SendOutcome::Full
+        } else {
+            self.queue.push_back(v);
+            SendOutcome::Ok
+        }
+    }
+
+    fn recv(&mut self) -> RecvOutcome {
+        match self.queue.pop_front() {
+            Some(v) => RecvOutcome::Got(v),
+            None if self.senders == 0 => RecvOutcome::Disconnected,
+            None => RecvOutcome::Empty,
+        }
+    }
+}
+
+fn real_send(tx: &Sender<u64>, v: u64) -> SendOutcome {
+    match tx.send_timeout(v, Duration::ZERO) {
+        Ok(()) => SendOutcome::Ok,
+        Err(SendTimeoutError::Timeout(_)) => SendOutcome::Full,
+        Err(SendTimeoutError::Disconnected(_)) => SendOutcome::Disconnected,
+    }
+}
+
+fn real_recv(rx: &Receiver<u64>) -> RecvOutcome {
+    match rx.try_recv() {
+        Ok(v) => RecvOutcome::Got(v),
+        Err(TryRecvError::Empty) => RecvOutcome::Empty,
+        Err(TryRecvError::Disconnected) => RecvOutcome::Disconnected,
+    }
+}
+
+/// One seeded permutation: a random schedule of sends, receives, endpoint
+/// clones and endpoint drops, with the model consulted after every step.
+fn channel_permutation(seed: u64) {
+    let mut rng = Rng::new(seed);
+    let cap = 1 + rng.below(4) as usize;
+    let (tx, rx) = channel::bounded::<u64>(cap);
+    let mut senders = vec![tx];
+    let mut receivers = vec![rx];
+    let mut model = ChannelModel {
+        queue: VecDeque::new(),
+        cap,
+        senders: 1,
+        receivers: 1,
+    };
+    let mut next_val = 0u64;
+
+    for step in 0..40 {
+        match rng.below(10) {
+            // Send from a random live sender.
+            0..=3 if !senders.is_empty() => {
+                let i = rng.below(senders.len() as u64) as usize;
+                let v = next_val;
+                next_val += 1;
+                assert_eq!(
+                    real_send(&senders[i], v),
+                    model.send(v),
+                    "seed {seed} step {step}: send outcome diverged"
+                );
+            }
+            // Receive on a random live receiver.
+            4..=7 if !receivers.is_empty() => {
+                let i = rng.below(receivers.len() as u64) as usize;
+                assert_eq!(
+                    real_recv(&receivers[i]),
+                    model.recv(),
+                    "seed {seed} step {step}: recv outcome diverged"
+                );
+            }
+            // Clone or drop an endpoint.
+            8 => {
+                if rng.below(2) == 0 && !senders.is_empty() {
+                    let i = rng.below(senders.len() as u64) as usize;
+                    senders.push(senders[i].clone());
+                    model.senders += 1;
+                } else if !receivers.is_empty() {
+                    let i = rng.below(receivers.len() as u64) as usize;
+                    receivers.push(receivers[i].clone());
+                    model.receivers += 1;
+                }
+            }
+            9 => {
+                if rng.below(2) == 0 && !senders.is_empty() {
+                    let i = rng.below(senders.len() as u64) as usize;
+                    drop(senders.swap_remove(i));
+                    model.senders -= 1;
+                } else if !receivers.is_empty() {
+                    let i = rng.below(receivers.len() as u64) as usize;
+                    drop(receivers.swap_remove(i));
+                    model.receivers -= 1;
+                }
+            }
+            _ => {}
+        }
+        if let Some(rx) = receivers.first() {
+            assert_eq!(
+                rx.len(),
+                model.queue.len(),
+                "seed {seed} step {step}: queue length diverged"
+            );
+        }
+        if senders.is_empty() && receivers.is_empty() {
+            break;
+        }
+    }
+
+    // Drain: everything the model says is in flight must come out, in FIFO
+    // order, then the disconnection state must match.
+    if let Some(rx) = receivers.first() {
+        while let Some(expect) = model.queue.pop_front() {
+            assert_eq!(
+                real_recv(rx),
+                RecvOutcome::Got(expect),
+                "seed {seed}: drain order diverged"
+            );
+        }
+        let tail = real_recv(rx);
+        if senders.is_empty() {
+            assert_eq!(tail, RecvOutcome::Disconnected, "seed {seed}");
+        } else {
+            assert_eq!(tail, RecvOutcome::Empty, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn channel_schedule_permutations_match_model() {
+    for seed in 0..CHANNEL_SEEDS {
+        channel_permutation(seed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 2: cache permutations vs. LRU model
+// ---------------------------------------------------------------------------
+
+/// Reference semantics of [`ChunkCache`]: LRU with loaded-victims-first
+/// eviction, recency bumped by `get` but not `peek`, speculative-loading
+/// order (`oldest_unloaded`) keyed by first-insertion sequence.
+struct CacheModel {
+    entries: Vec<ModelEntry>,
+    capacity: usize,
+    next_stamp: u64,
+    next_seq: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+struct ModelEntry {
+    id: u32,
+    loaded: bool,
+    stamp: u64,
+    seq: u64,
+}
+
+impl CacheModel {
+    fn new(capacity: usize) -> Self {
+        CacheModel {
+            entries: Vec::new(),
+            capacity,
+            next_stamp: 0,
+            next_seq: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Returns the evicted victim id, if any.
+    fn insert(&mut self, id: u32, loaded: bool) -> Option<(u32, bool)> {
+        self.next_stamp += 1;
+        self.next_seq += 1;
+        let stamp = self.next_stamp;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.id == id) {
+            e.loaded = loaded;
+            e.stamp = stamp;
+            return None; // replacement keeps the original seq
+        }
+        let mut evicted = None;
+        if self.entries.len() >= self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|e| e.loaded)
+                .min_by_key(|e| e.stamp)
+                .or_else(|| self.entries.iter().min_by_key(|e| e.stamp))
+                .map(|e| e.id);
+            if let Some(vid) = victim {
+                let pos = self
+                    .entries
+                    .iter()
+                    .position(|e| e.id == vid)
+                    .expect("victim");
+                let v = self.entries.remove(pos);
+                self.evictions += 1;
+                evicted = Some((v.id, v.loaded));
+            }
+        }
+        self.entries.push(ModelEntry {
+            id,
+            loaded,
+            stamp,
+            seq: self.next_seq,
+        });
+        evicted
+    }
+
+    fn get(&mut self, id: u32) -> bool {
+        self.next_stamp += 1;
+        let stamp = self.next_stamp;
+        match self.entries.iter_mut().find(|e| e.id == id) {
+            Some(e) => {
+                e.stamp = stamp;
+                self.hits += 1;
+                true
+            }
+            None => {
+                self.misses += 1;
+                false
+            }
+        }
+    }
+
+    fn mark_loaded(&mut self, id: u32) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.id == id) {
+            e.loaded = true;
+        }
+    }
+
+    fn oldest_unloaded(&self) -> Option<u32> {
+        self.entries
+            .iter()
+            .filter(|e| !e.loaded)
+            .min_by_key(|e| e.seq)
+            .map(|e| e.id)
+    }
+
+    fn unloaded_ids(&self) -> Vec<u32> {
+        let mut v: Vec<(u64, u32)> = self
+            .entries
+            .iter()
+            .filter(|e| !e.loaded)
+            .map(|e| (e.seq, e.id))
+            .collect();
+        v.sort_unstable();
+        v.into_iter().map(|(_, id)| id).collect()
+    }
+}
+
+fn chunk(id: u32) -> Arc<BinaryChunk> {
+    Arc::new(BinaryChunk::empty(ChunkId(id), id as u64 * 10, 10, 1))
+}
+
+fn cache_permutation(seed: u64) {
+    let mut rng = Rng::new(seed ^ 0xc0ff_ee00);
+    let capacity = 2 + rng.below(4) as usize;
+    let cache = ChunkCache::new(capacity);
+    let mut model = CacheModel::new(capacity);
+    let id_space = 2 + rng.below(8) as u32;
+
+    for step in 0..60 {
+        let id = rng.below(id_space as u64) as u32;
+        match rng.below(8) {
+            0..=2 => {
+                let loaded = rng.below(2) == 0;
+                let real = cache.insert(chunk(id), loaded).map(|e| (e.id.0, e.loaded));
+                let want = model.insert(id, loaded);
+                assert_eq!(real, want, "seed {seed} step {step}: eviction diverged");
+            }
+            3..=4 => {
+                let real = cache.get(ChunkId(id)).is_some();
+                let want = model.get(id);
+                assert_eq!(real, want, "seed {seed} step {step}: get diverged");
+            }
+            5 => {
+                cache.mark_loaded(ChunkId(id));
+                model.mark_loaded(id);
+            }
+            6 => {
+                let real = cache.oldest_unloaded().map(|c| c.id.0);
+                assert_eq!(
+                    real,
+                    model.oldest_unloaded(),
+                    "seed {seed} step {step}: speculative-load order diverged"
+                );
+            }
+            7 => {
+                let real: Vec<u32> = cache.unloaded_chunks().iter().map(|c| c.id.0).collect();
+                assert_eq!(
+                    real,
+                    model.unloaded_ids(),
+                    "seed {seed} step {step}: safeguard flush set diverged"
+                );
+            }
+            _ => unreachable!(),
+        }
+        // Standing invariants after every step.
+        assert!(cache.len() <= capacity, "seed {seed}: capacity exceeded");
+        let mut real_ids: Vec<u32> = cache.cached_ids().iter().map(|c| c.0).collect();
+        real_ids.sort_unstable();
+        let mut want_ids: Vec<u32> = model.entries.iter().map(|e| e.id).collect();
+        want_ids.sort_unstable();
+        assert_eq!(
+            real_ids, want_ids,
+            "seed {seed} step {step}: contents diverged"
+        );
+    }
+
+    let c = cache.counters();
+    assert_eq!(
+        (c.hits, c.misses, c.evictions),
+        (model.hits, model.misses, model.evictions),
+        "seed {seed}: lifetime counters diverged"
+    );
+}
+
+#[test]
+fn cache_schedule_permutations_match_model() {
+    for seed in 0..CACHE_SEEDS {
+        cache_permutation(seed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 3: multi-threaded conservation
+// ---------------------------------------------------------------------------
+
+/// Real threads, seeded per-thread schedules: every value sent is received
+/// exactly once across all consumers, and consumers observe disconnection
+/// (not a hang, not a loss) once every producer is done.
+fn conservation_run(seed: u64, producers: usize, consumers: usize) {
+    const PER_PRODUCER: u64 = 500;
+    let (tx, rx) = channel::bounded::<u64>(4);
+
+    let mut handles = Vec::new();
+    for p in 0..producers {
+        let tx = tx.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = Rng::new(seed * 31 + p as u64);
+            for i in 0..PER_PRODUCER {
+                let v = (p as u64) * PER_PRODUCER + i;
+                tx.send(v).expect("receivers alive");
+                if rng.below(8) == 0 {
+                    std::thread::yield_now();
+                }
+            }
+        }));
+    }
+    drop(tx); // consumers must see Disconnected after the producers finish
+
+    let mut consumers_h = Vec::new();
+    for c in 0..consumers {
+        let rx = rx.clone();
+        consumers_h.push(std::thread::spawn(move || {
+            let mut rng = Rng::new(seed * 67 + c as u64);
+            let mut got = Vec::new();
+            // Runs until Disconnected: all producers done, queue drained.
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+                if rng.below(8) == 0 {
+                    std::thread::yield_now();
+                }
+            }
+            got
+        }));
+    }
+    drop(rx);
+
+    for h in handles {
+        h.join().expect("producer");
+    }
+    let mut all: Vec<u64> = Vec::new();
+    for h in consumers_h {
+        all.extend(h.join().expect("consumer"));
+    }
+    let expected = producers as u64 * PER_PRODUCER;
+    assert_eq!(
+        all.len() as u64,
+        expected,
+        "seed {seed}: chunk count diverged"
+    );
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(
+        all.len() as u64,
+        expected,
+        "seed {seed}: duplicate or lost values"
+    );
+}
+
+#[test]
+fn multithreaded_conservation_across_seeds() {
+    for seed in 0..MT_RUNS {
+        let producers = 1 + (seed as usize % 3);
+        let consumers = 1 + (seed as usize % 2);
+        conservation_run(seed, producers, consumers);
+    }
+}

@@ -18,6 +18,8 @@
 //! * [`bamscan`] — the Table 1 binary path: the same query logic driven by
 //!   the *sequential* BAM-sim reader, where ScanRaw only performs MAP.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 pub mod aggregate;
 pub mod bamscan;
 pub mod executor;

@@ -1,0 +1,376 @@
+//! scanraw-lint: a concurrency-focused static analyzer for this workspace.
+//!
+//! The ScanRaw pipeline is thread-rich — a READ thread, a worker pool, a
+//! scheduler, a persistent WRITE thread — and its correctness rests on a
+//! handful of conventions the compiler does not check: which atomics may be
+//! `Relaxed`, that worker closures never panic, that locks are taken in one
+//! global order, that nobody blocks on a channel while holding a guard, that
+//! every `Condvar::wait` sits in a predicate loop, and that the public API
+//! documents its failure modes. This crate checks them, lexically, with zero
+//! dependencies. Run it as `cargo xtask lint`.
+//!
+//! Findings are silenced in-source with `// lint-ok: <RULE> <reason>` (or
+//! `// relaxed-ok: <reason>` for L001) on the same line or the line above;
+//! the reason is mandatory by convention and reviewed like code.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+pub mod lexer;
+pub mod lockgraph;
+pub mod model;
+pub mod rules;
+
+use model::SourceFile;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Rule identifiers, one per check in the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Cross-module `Ordering::Relaxed` without a `relaxed-ok:` audit note.
+    L001,
+    /// `unwrap`/`expect` inside spawned worker closures (core, simio).
+    L002,
+    /// Lock-acquisition-order cycle across the workspace.
+    L003,
+    /// Blocking channel `send`/`recv` while a lock guard is live.
+    L004,
+    /// `Condvar::wait` outside a predicate loop.
+    L005,
+    /// Missing `# Errors`/`# Panics` docs on public API (types, core).
+    L006,
+}
+
+impl Rule {
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::L001 => "L001",
+            Rule::L002 => "L002",
+            Rule::L003 => "L003",
+            Rule::L004 => "L004",
+            Rule::L005 => "L005",
+            Rule::L006 => "L006",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One unsilenced finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+    /// How to fix it (or how to silence it when it is a false positive).
+    pub hint: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    fix: {}",
+            self.file, self.line, self.rule, self.message, self.hint
+        )
+    }
+}
+
+/// Lints in-memory sources; `files` is `(workspace-relative path, contents)`.
+/// This is the pure core — the tests and the xtask binary both go through it.
+pub fn lint_sources(files: &[(String, String)]) -> Vec<Finding> {
+    let parsed: Vec<SourceFile> = files
+        .iter()
+        .map(|(rel, src)| SourceFile::parse(rel.clone(), src))
+        .collect();
+    rules::run_all(&parsed)
+}
+
+/// Collects the `.rs` files under `root` that the linter analyzes: crate and
+/// shim sources plus the root binary, excluding build output, integration
+/// test directories, and benches (test-support code legitimately unwraps).
+///
+/// # Errors
+///
+/// Returns `Err` when a directory or file under `root` cannot be read.
+pub fn collect_workspace_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut files = Vec::new();
+    let mut stack: Vec<PathBuf> = vec![
+        root.join("crates"),
+        root.join("shims"),
+        root.join("src"),
+        root.join("xtask"),
+    ];
+    while let Some(dir) = stack.pop() {
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .collect::<std::io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default();
+            if path.is_dir() {
+                if matches!(name, "target" | "tests" | "benches" | "examples" | ".git") {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                files.push((rel, std::fs::read_to_string(&path)?));
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lints the workspace rooted at `root`. Returns the findings; the caller
+/// decides the exit code.
+///
+/// # Errors
+///
+/// Returns `Err` when workspace sources cannot be read from disk.
+pub fn run(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let files = collect_workspace_sources(root)?;
+    Ok(lint_sources(&files))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_one(rel: &str, src: &str) -> Vec<Finding> {
+        lint_sources(&[(rel.to_string(), src.to_string())])
+    }
+
+    #[test]
+    fn l001_requires_two_modules() {
+        let src = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }";
+        // One module: no finding.
+        assert!(lint_one("crates/a/src/lib.rs", src).is_empty());
+        // Two modules touching the same receiver name: findings in both.
+        let fs = lint_sources(&[
+            ("crates/a/src/lib.rs".into(), src.into()),
+            ("crates/a/src/other.rs".into(), src.into()),
+        ]);
+        assert_eq!(fs.len(), 2);
+        assert!(fs.iter().all(|f| f.rule == Rule::L001));
+    }
+
+    #[test]
+    fn l001_annotation_silences() {
+        let a = "fn f(c: &AtomicU64) { c.load(Ordering::Relaxed); } // relaxed-ok: stat";
+        let b =
+            "fn g(c: &AtomicU64) {\n    // relaxed-ok: stat\n    c.store(1, Ordering::Relaxed);\n}";
+        let fs = lint_sources(&[
+            ("crates/a/src/lib.rs".into(), a.into()),
+            ("crates/a/src/other.rs".into(), b.into()),
+        ]);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn l002_unwrap_in_spawn_flagged_only_in_scoped_crates() {
+        let src = r#"
+fn f(rx: Receiver<u32>) {
+    thread::spawn(move || {
+        let v = rx.recv().unwrap();
+        drop(v);
+    });
+}
+"#;
+        let fs = lint_one("crates/core/src/worker.rs", src);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, Rule::L002);
+        // Out of scope: shims may unwrap.
+        assert!(lint_one("shims/crossbeam/src/channel.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l003_inversion_across_functions() {
+        let src = r#"
+fn ab(a: &Mutex<u32>, b: &Mutex<u32>) {
+    let ga = a.lock();
+    let gb = b.lock();
+    drop(gb);
+    drop(ga);
+}
+fn ba(a: &Mutex<u32>, b: &Mutex<u32>) {
+    let gb = b.lock();
+    let ga = a.lock();
+    drop(ga);
+    drop(gb);
+}
+"#;
+        let fs = lint_one("crates/a/src/lib.rs", src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, Rule::L003);
+        assert!(fs[0].message.contains("a -> b"));
+        assert!(fs[0].message.contains("b -> a"));
+    }
+
+    #[test]
+    fn l003_consistent_order_is_clean() {
+        let src = r#"
+fn ab(a: &Mutex<u32>, b: &Mutex<u32>) {
+    let ga = a.lock();
+    let gb = b.lock();
+    drop(gb);
+    drop(ga);
+}
+fn ab2(a: &Mutex<u32>, b: &Mutex<u32>) {
+    let ga = a.lock();
+    let gb = b.lock();
+    drop(gb);
+    drop(ga);
+}
+"#;
+        assert!(lint_one("crates/a/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l003_scope_exit_releases_guard() {
+        // The inner guard dies with its block, so the second acquisition
+        // does not create an edge.
+        let src = r#"
+fn f(a: &Mutex<u32>, b: &Mutex<u32>) {
+    {
+        let ga = a.lock();
+        drop(ga);
+    }
+    let gb = b.lock();
+    drop(gb);
+}
+fn g(b: &Mutex<u32>, a: &Mutex<u32>) {
+    {
+        let gb = b.lock();
+        drop(gb);
+    }
+    let ga = a.lock();
+    drop(ga);
+}
+"#;
+        assert!(lint_one("crates/a/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l004_send_under_guard() {
+        let src = r#"
+fn f(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let g = m.lock();
+    tx.send(*g);
+}
+"#;
+        let fs = lint_one("crates/a/src/lib.rs", src);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, Rule::L004);
+    }
+
+    #[test]
+    fn l004_send_after_drop_is_clean() {
+        let src = r#"
+fn f(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let g = m.lock();
+    let v = *g;
+    drop(g);
+    tx.send(v);
+}
+"#;
+        assert!(lint_one("crates/a/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l005_wait_needs_loop() {
+        let bad = r#"
+fn f(cv: &Condvar, m: &Mutex<bool>) {
+    let g = m.lock();
+    let g = cv.wait(g);
+    drop(g);
+}
+"#;
+        let good = r#"
+fn f(cv: &Condvar, m: &Mutex<bool>) {
+    let mut g = m.lock();
+    while !*g {
+        g = cv.wait(g);
+    }
+}
+"#;
+        let fs = lint_one("crates/a/src/lib.rs", bad);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, Rule::L005);
+        assert!(lint_one("crates/a/src/lib.rs", good).is_empty());
+    }
+
+    #[test]
+    fn l006_result_needs_errors_section() {
+        let bad = "pub fn f() -> Result<(), E> { Ok(()) }";
+        let good = "/// Does f.\n///\n/// # Errors\n/// Never, actually.\npub fn f() -> Result<(), E> { Ok(()) }";
+        let fs = lint_one("crates/types/src/lib.rs", bad);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, Rule::L006);
+        assert!(lint_one("crates/types/src/lib.rs", good).is_empty());
+        // Out of scope crates are not checked.
+        assert!(lint_one("crates/obs/src/lib.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn l006_panic_needs_panics_section() {
+        let bad = "pub fn f(x: Option<u32>) -> u32 { x.expect(\"x\") }";
+        let fs = lint_one("crates/core/src/lib.rs", bad);
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].message.contains("# Panics"));
+        let good =
+            "/// # Panics\n/// When `x` is None.\npub fn f(x: Option<u32>) -> u32 { x.expect(\"x\") }";
+        assert!(lint_one("crates/core/src/lib.rs", good).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = r#"
+#[cfg(test)]
+mod tests {
+    fn f(rx: Receiver<u32>) {
+        thread::spawn(move || {
+            rx.recv().unwrap();
+        });
+    }
+    pub fn g() -> Result<(), E> { Ok(()) }
+}
+"#;
+        assert!(lint_one("crates/core/src/worker.rs", src).is_empty());
+    }
+
+    #[test]
+    fn findings_are_sorted_and_display_well() {
+        let src = r#"
+fn f(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let g = m.lock();
+    tx.send(*g);
+}
+"#;
+        let fs = lint_one("crates/a/src/lib.rs", src);
+        let shown = fs[0].to_string();
+        assert!(shown.contains("crates/a/src/lib.rs:4"));
+        assert!(shown.contains("[L004]"));
+        assert!(shown.contains("fix:"));
+    }
+}

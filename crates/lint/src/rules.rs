@@ -1,0 +1,627 @@
+//! The rule catalog.
+//!
+//! | rule | checks |
+//! |------|--------|
+//! | L001 | `Ordering::Relaxed` on an atomic touched from >1 module without a `// relaxed-ok:` audit annotation |
+//! | L002 | `unwrap()` / `expect()` inside `spawn`ed closure bodies in `crates/core` and `crates/simio` |
+//! | L003 | lock-acquisition-order extraction per function + cycle detection across the workspace |
+//! | L004 | blocking channel `send` / `recv` while a lock guard is live in the same scope |
+//! | L005 | `Condvar::wait` / `wait_timeout` not wrapped in a predicate loop |
+//! | L006 | public `Result` fns / panicking fns missing `# Errors` / `# Panics` docs in `crates/types` and `crates/core` |
+//!
+//! All rules are lexical heuristics over the token stream — deliberately so:
+//! they run in milliseconds with zero dependencies, and anything they get
+//! wrong is silenced in-source with `// lint-ok: <RULE> <reason>`, which
+//! doubles as an audit trail.
+
+use crate::lexer::{TokKind, Token};
+use crate::lockgraph::{LockGraph, Site};
+use crate::model::{match_brace, match_paren, SourceFile};
+use crate::{Finding, Rule};
+use std::collections::BTreeMap;
+
+const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_nand",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_min",
+    "fetch_max",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+fn is_punct(t: &Token, s: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == s
+}
+
+fn is_ident(t: &Token, s: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == s
+}
+
+/// Runs every rule over the file set.
+pub fn run_all(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    findings.extend(l001_relaxed_cross_module(files));
+    findings.extend(l002_unwrap_in_spawn(files));
+    let (l003, l004) = l003_l004_lock_order(files);
+    findings.extend(l003);
+    findings.extend(l004);
+    findings.extend(l005_condvar_predicate_loop(files));
+    findings.extend(l006_missing_error_panic_docs(files));
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings
+}
+
+/// The identifier the atomic operation is called on: for
+/// `counters.from_raw.fetch_add(1, Ordering::Relaxed)` this is `from_raw`;
+/// indexing like `totals[i].fetch_add(..)` resolves to `totals`.
+fn receiver_of_call(tokens: &[Token], method_idx: usize) -> Option<String> {
+    // tokens[method_idx] is the method name; tokens[method_idx - 1] must be `.`.
+    if method_idx < 2 || !is_punct(&tokens[method_idx - 1], ".") {
+        return None;
+    }
+    let mut i = method_idx - 2;
+    if is_punct(&tokens[i], "]") {
+        // Walk back over the index expression to its `[`.
+        let mut depth = 0usize;
+        loop {
+            if is_punct(&tokens[i], "]") {
+                depth += 1;
+            } else if is_punct(&tokens[i], "[") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if i == 0 {
+                return None;
+            }
+            i -= 1;
+        }
+        if i == 0 {
+            return None;
+        }
+        i -= 1;
+    }
+    if is_punct(&tokens[i], ")") {
+        // A call result like `x.col(i).load(..)` — walk back over the args.
+        let mut depth = 0usize;
+        loop {
+            if is_punct(&tokens[i], ")") {
+                depth += 1;
+            } else if is_punct(&tokens[i], "(") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if i == 0 {
+                return None;
+            }
+            i -= 1;
+        }
+        if i == 0 {
+            return None;
+        }
+        i -= 1;
+    }
+    (tokens[i].kind == TokKind::Ident).then(|| tokens[i].text.clone())
+}
+
+/// L001: every `Ordering::Relaxed` site is grouped by the receiver of the
+/// atomic call; a receiver relaxed from more than one module needs a
+/// `// relaxed-ok: <reason>` audit annotation at each site.
+fn l001_relaxed_cross_module(files: &[SourceFile]) -> Vec<Finding> {
+    struct Sitef {
+        file: usize,
+        line: u32,
+        annotated: bool,
+    }
+    // receiver -> sites
+    let mut atoms: BTreeMap<String, Vec<Sitef>> = BTreeMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        let toks = &f.tokens;
+        for i in 0..toks.len() {
+            if !(is_ident(&toks[i], "Ordering")
+                && i + 2 < toks.len()
+                && is_punct(&toks[i + 1], "::")
+                && is_ident(&toks[i + 2], "Relaxed"))
+            {
+                continue;
+            }
+            if f.in_test_code(i) {
+                continue;
+            }
+            // Find the atomic method this ordering is an argument of.
+            let mut method = None;
+            let lo = i.saturating_sub(16);
+            for j in (lo..i).rev() {
+                if toks[j].kind == TokKind::Ident
+                    && ATOMIC_METHODS.contains(&toks[j].text.as_str())
+                    && j + 1 < toks.len()
+                    && is_punct(&toks[j + 1], "(")
+                {
+                    method = Some(j);
+                    break;
+                }
+            }
+            let Some(m) = method else { continue };
+            let recv = receiver_of_call(toks, m).unwrap_or_else(|| "<atomic>".to_string());
+            let line = toks[i].line;
+            atoms.entry(recv).or_default().push(Sitef {
+                file: fi,
+                line,
+                annotated: f.has_annotation(line, "relaxed-ok:"),
+            });
+        }
+    }
+    let mut out = Vec::new();
+    for (recv, sites) in atoms {
+        let mut modules: Vec<usize> = sites.iter().map(|s| s.file).collect();
+        modules.sort_unstable();
+        modules.dedup();
+        if modules.len() < 2 {
+            continue;
+        }
+        for s in sites.iter().filter(|s| !s.annotated) {
+            out.push(Finding {
+                rule: Rule::L001,
+                file: files[s.file].rel.clone(),
+                line: s.line,
+                message: format!(
+                    "atomic `{recv}` uses Ordering::Relaxed and is touched from {} modules",
+                    modules.len()
+                ),
+                hint: "audit the ordering: upgrade to Acquire/Release if it synchronizes data, \
+                       or annotate the site with `// relaxed-ok: <reason>`"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// L002: `unwrap()` / `expect()` inside a closure passed to `spawn(...)` in
+/// `crates/core` and `crates/simio` — a panic there kills a pipeline worker
+/// silently instead of surfacing through the scan's error channel.
+fn l002_unwrap_in_spawn(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        if !(f.rel.starts_with("crates/core/src") || f.rel.starts_with("crates/simio/src")) {
+            continue;
+        }
+        let toks = &f.tokens;
+        for i in 0..toks.len() {
+            if !(is_ident(&toks[i], "spawn") && i + 1 < toks.len() && is_punct(&toks[i + 1], "(")) {
+                continue;
+            }
+            if f.in_test_code(i) {
+                continue;
+            }
+            let call_end = match_paren(toks, i + 1);
+            // Locate a closure `|…| { body }` inside the call.
+            let mut j = i + 2;
+            while j < call_end && !is_punct(&toks[j], "|") {
+                j += 1;
+            }
+            if j >= call_end {
+                continue; // no closure argument
+            }
+            // Skip the parameter list `|…|`.
+            j += 1;
+            while j < call_end && !is_punct(&toks[j], "|") {
+                j += 1;
+            }
+            j += 1;
+            // Body must be a braced block for a body range; expression
+            // closures can't hide much.
+            while j < call_end && !is_punct(&toks[j], "{") {
+                j += 1;
+            }
+            if j >= call_end {
+                continue;
+            }
+            let body_end = match_brace(toks, j).min(call_end);
+            for k in j..body_end {
+                if toks[k].kind == TokKind::Ident
+                    && (toks[k].text == "unwrap" || toks[k].text == "expect")
+                    && k >= 1
+                    && is_punct(&toks[k - 1], ".")
+                    && k + 1 < toks.len()
+                    && is_punct(&toks[k + 1], "(")
+                {
+                    let line = toks[k].line;
+                    if f.has_annotation(line, "lint-ok: L002") {
+                        continue;
+                    }
+                    out.push(Finding {
+                        rule: Rule::L002,
+                        file: f.rel.clone(),
+                        line,
+                        message: format!("`{}()` inside a spawned thread body", toks[k].text),
+                        hint: "propagate the error through the scan's error channel (send \
+                               `Err(..)` on the output channel) so the failure lands in the \
+                               ScanSummary instead of killing the worker"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+const GUARD_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// L003 + L004 share the per-function scope walk: track live lock guards,
+/// build the global acquisition graph (L003) and flag blocking channel ops
+/// under a live guard (L004).
+fn l003_l004_lock_order(files: &[SourceFile]) -> (Vec<Finding>, Vec<Finding>) {
+    let mut graph = LockGraph::default();
+    let mut l004 = Vec::new();
+
+    for f in files {
+        for func in &f.functions {
+            let Some((bstart, bend)) = func.body else {
+                continue;
+            };
+            if f.in_test_code(func.sig.0) {
+                continue;
+            }
+            scan_fn_scope(f, &func.name, bstart, bend, &mut graph, &mut l004);
+        }
+    }
+
+    let mut l003 = Vec::new();
+    for cycle in graph.cycles() {
+        // One finding per cycle, anchored at its first edge; a `lint-ok:
+        // L003` on any edge site declares the order intentional and
+        // silences the cycle.
+        let silenced = cycle.iter().any(|(_, _, site)| {
+            files
+                .iter()
+                .find(|f| f.rel == site.file)
+                .is_some_and(|f| f.has_annotation(site.line, "lint-ok: L003"))
+        });
+        if silenced {
+            continue;
+        }
+        let path: Vec<String> = cycle
+            .iter()
+            .map(|(a, b, s)| format!("{a} -> {b} ({}:{} in {})", s.file, s.line, s.func))
+            .collect();
+        let first = &cycle[0].2;
+        l003.push(Finding {
+            rule: Rule::L003,
+            file: first.file.clone(),
+            line: first.line,
+            message: format!("lock-order cycle: {}", path.join(", ")),
+            hint: "acquire these locks in one global order everywhere (see DESIGN.md \
+                   'Concurrency invariants'); or annotate with `// lint-ok: L003 <reason>` \
+                   if the cycle is unreachable"
+                .to_string(),
+        });
+    }
+    (l003, l004)
+}
+
+struct ActiveGuard {
+    bound: String,
+    lock: String,
+    depth: i32,
+}
+
+/// True when the token window starting at `i` is an acquisition:
+/// `recv.lock()` / `.read()` / `.write()` with zero arguments. Returns the
+/// method index.
+fn acquisition_at(tokens: &[Token], i: usize) -> Option<usize> {
+    if tokens[i].kind == TokKind::Ident
+        && GUARD_METHODS.contains(&tokens[i].text.as_str())
+        && i >= 2
+        && is_punct(&tokens[i - 1], ".")
+        && i + 2 < tokens.len()
+        && is_punct(&tokens[i + 1], "(")
+        && is_punct(&tokens[i + 2], ")")
+    {
+        Some(i)
+    } else {
+        None
+    }
+}
+
+fn scan_fn_scope(
+    f: &SourceFile,
+    fn_name: &str,
+    bstart: usize,
+    bend: usize,
+    graph: &mut LockGraph,
+    l004: &mut Vec<Finding>,
+) {
+    let toks = &f.tokens;
+    let mut guards: Vec<ActiveGuard> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = bstart;
+    while i < bend {
+        let t = &toks[i];
+        if is_punct(t, "{") {
+            depth += 1;
+        } else if is_punct(t, "}") {
+            depth -= 1;
+            guards.retain(|g| g.depth <= depth);
+        } else if is_ident(t, "drop")
+            && i + 3 < bend
+            && is_punct(&toks[i + 1], "(")
+            && toks[i + 2].kind == TokKind::Ident
+            && is_punct(&toks[i + 3], ")")
+        {
+            let name = &toks[i + 2].text;
+            guards.retain(|g| &g.bound != name);
+            i += 4;
+            continue;
+        } else if is_ident(t, "let") {
+            // `let [mut] name = expr;` — if expr *ends* in an acquisition
+            // (optionally followed by `.expect(..)`/`.unwrap()`), the bound
+            // value is a guard that lives to the end of this block.
+            let mut j = i + 1;
+            if j < bend && is_ident(&toks[j], "mut") {
+                j += 1;
+            }
+            let bound = (j < bend && toks[j].kind == TokKind::Ident).then(|| toks[j].text.clone());
+            // Find the end of the statement at balanced depth.
+            let mut k = j;
+            let (mut p, mut br, mut bk) = (0i32, 0i32, 0i32);
+            let mut last_acq: Option<(usize, usize)> = None; // (method idx, end idx after `)`)
+            while k < bend {
+                let tk = &toks[k];
+                match tk.text.as_str() {
+                    "(" if tk.kind == TokKind::Punct => p += 1,
+                    ")" if tk.kind == TokKind::Punct => p -= 1,
+                    "{" if tk.kind == TokKind::Punct => br += 1,
+                    "}" if tk.kind == TokKind::Punct => br -= 1,
+                    "[" if tk.kind == TokKind::Punct => bk += 1,
+                    "]" if tk.kind == TokKind::Punct => bk -= 1,
+                    ";" if tk.kind == TokKind::Punct && p == 0 && br == 0 && bk == 0 => break,
+                    _ => {}
+                }
+                if let Some(m) = acquisition_at(toks, k) {
+                    record_acquisition(f, fn_name, toks, m, &guards, graph);
+                    last_acq = Some((m, m + 3));
+                }
+                k += 1;
+            }
+            // Guard-ness: acquisition is the tail of the initializer.
+            if let (Some(bound), Some((m, acq_end))) = (bound, last_acq) {
+                let mut tail = acq_end;
+                // Allow one trailing `.expect("…")` / `.unwrap()`.
+                if tail + 1 < bend
+                    && is_punct(&toks[tail], ".")
+                    && (is_ident(&toks[tail + 1], "expect") || is_ident(&toks[tail + 1], "unwrap"))
+                {
+                    if let Some(open) =
+                        (tail + 2 < bend && is_punct(&toks[tail + 2], "(")).then_some(tail + 2)
+                    {
+                        tail = match_paren(toks, open);
+                    }
+                }
+                if tail == k {
+                    let lock = receiver_of_call(toks, m).unwrap_or_else(|| "<lock>".to_string());
+                    guards.push(ActiveGuard { bound, lock, depth });
+                }
+            }
+            i = k + 1;
+            continue;
+        } else if let Some(m) = acquisition_at(toks, i) {
+            record_acquisition(f, fn_name, toks, m, &guards, graph);
+            i = m + 3;
+            continue;
+        } else if !guards.is_empty()
+            && t.kind == TokKind::Ident
+            && (t.text == "send" || t.text == "recv")
+            && i >= 1
+            && is_punct(&toks[i - 1], ".")
+            && i + 1 < bend
+            && is_punct(&toks[i + 1], "(")
+        {
+            let line = t.line;
+            if !f.has_annotation(line, "lint-ok: L004") {
+                let held: Vec<&str> = guards.iter().map(|g| g.lock.as_str()).collect();
+                l004.push(Finding {
+                    rule: Rule::L004,
+                    file: f.rel.clone(),
+                    line,
+                    message: format!(
+                        "blocking channel `{}` while holding lock guard(s) [{}]",
+                        t.text,
+                        held.join(", ")
+                    ),
+                    hint: "drop the guard before blocking (narrow the scope or `drop(guard)`), \
+                           or use a try_/timeout variant; a full channel here can deadlock the \
+                           pipeline"
+                        .to_string(),
+                });
+            }
+        }
+        i += 1;
+    }
+}
+
+fn record_acquisition(
+    f: &SourceFile,
+    fn_name: &str,
+    toks: &[Token],
+    method_idx: usize,
+    guards: &[ActiveGuard],
+    graph: &mut LockGraph,
+) {
+    let Some(new_lock) = receiver_of_call(toks, method_idx) else {
+        return;
+    };
+    for g in guards {
+        graph.add_edge(
+            g.lock.clone(),
+            new_lock.clone(),
+            Site {
+                file: f.rel.clone(),
+                line: toks[method_idx].line,
+                func: fn_name.to_string(),
+            },
+        );
+    }
+}
+
+/// L005: `condvar.wait(guard)` / `wait_timeout(..)` must sit inside a
+/// `loop`/`while` so the predicate is re-checked after every (possibly
+/// spurious) wakeup.
+fn l005_condvar_predicate_loop(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        for func in &f.functions {
+            let Some((bstart, bend)) = func.body else {
+                continue;
+            };
+            if f.in_test_code(func.sig.0) {
+                continue;
+            }
+            let toks = &f.tokens;
+            let mut loop_stack: Vec<bool> = Vec::new();
+            let mut pending_loop = false;
+            let mut i = bstart;
+            while i < bend {
+                let t = &toks[i];
+                if is_ident(t, "loop") || is_ident(t, "while") {
+                    pending_loop = true;
+                } else if is_punct(t, "{") {
+                    loop_stack.push(pending_loop);
+                    pending_loop = false;
+                } else if is_punct(t, "}") {
+                    loop_stack.pop();
+                } else if t.kind == TokKind::Ident
+                    && (t.text == "wait" || t.text == "wait_timeout")
+                    && i >= 1
+                    && is_punct(&toks[i - 1], ".")
+                    && i + 1 < bend
+                    && is_punct(&toks[i + 1], "(")
+                    && i + 2 < bend
+                    && !is_punct(&toks[i + 2], ")")
+                {
+                    // Zero-arg `.wait()` is not a Condvar wait (those take
+                    // the guard); requiring an argument avoids unrelated
+                    // APIs.
+                    if !loop_stack.iter().any(|&l| l) && !f.has_annotation(t.line, "lint-ok: L005")
+                    {
+                        out.push(Finding {
+                            rule: Rule::L005,
+                            file: f.rel.clone(),
+                            line: t.line,
+                            message: format!(
+                                "`{}` outside a predicate loop in `{}`",
+                                t.text, func.name
+                            ),
+                            hint: "wrap the wait in `while !predicate { guard = cv.wait(guard) }` \
+                                   — condition variables wake spuriously and after missed \
+                                   notifications"
+                                .to_string(),
+                        });
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// L006: public API documentation of failure modes in `crates/types` and
+/// `crates/core`: a `pub fn` returning `Result` documents `# Errors`; a
+/// `pub fn` that can panic (macro panics, `unwrap`/`expect`) documents
+/// `# Panics`.
+fn l006_missing_error_panic_docs(files: &[SourceFile]) -> Vec<Finding> {
+    const PANIC_MACROS: &[&str] = &[
+        "panic",
+        "unreachable",
+        "todo",
+        "unimplemented",
+        "assert",
+        "assert_eq",
+        "assert_ne",
+    ];
+    let mut out = Vec::new();
+    for f in files {
+        if !(f.rel.starts_with("crates/types/src") || f.rel.starts_with("crates/core/src")) {
+            continue;
+        }
+        let toks = &f.tokens;
+        for func in &f.functions {
+            if !func.is_pub || f.in_test_code(func.sig.0) {
+                continue;
+            }
+            let Some((bstart, bend)) = func.body else {
+                continue;
+            };
+            // Return type: tokens between `->` and the body `{`.
+            let mut returns_result = false;
+            let mut seen_arrow = false;
+            for t in &toks[func.sig.0..func.sig.1] {
+                if is_punct(t, "->") {
+                    seen_arrow = true;
+                } else if seen_arrow && is_ident(t, "Result") {
+                    returns_result = true;
+                    break;
+                }
+            }
+            let mut can_panic = false;
+            for i in bstart..bend {
+                let t = &toks[i];
+                if t.kind == TokKind::Ident
+                    && i + 1 < bend
+                    && is_punct(&toks[i + 1], "!")
+                    && PANIC_MACROS.contains(&t.text.as_str())
+                {
+                    can_panic = true;
+                    break;
+                }
+                if t.kind == TokKind::Ident
+                    && (t.text == "unwrap" || t.text == "expect")
+                    && i >= 1
+                    && is_punct(&toks[i - 1], ".")
+                    && i + 1 < bend
+                    && is_punct(&toks[i + 1], "(")
+                {
+                    can_panic = true;
+                    break;
+                }
+            }
+            let silenced = f.has_annotation(func.line, "lint-ok: L006");
+            if returns_result && !func.doc.contains("# Errors") && !silenced {
+                out.push(Finding {
+                    rule: Rule::L006,
+                    file: f.rel.clone(),
+                    line: func.line,
+                    message: format!(
+                        "pub fn `{}` returns Result without `# Errors` docs",
+                        func.name
+                    ),
+                    hint: "add a `# Errors` doc section describing when and why it fails"
+                        .to_string(),
+                });
+            }
+            if can_panic && !func.doc.contains("# Panics") && !silenced {
+                out.push(Finding {
+                    rule: Rule::L006,
+                    file: f.rel.clone(),
+                    line: func.line,
+                    message: format!("pub fn `{}` can panic without `# Panics` docs", func.name),
+                    hint: "add a `# Panics` doc section (or remove the panic path)".to_string(),
+                });
+            }
+        }
+    }
+    out
+}

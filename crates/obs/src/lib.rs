@@ -17,6 +17,8 @@
 //! pipelines inject their virtual clock via
 //! [`journal::EventJournal::with_time_source`].
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 pub mod journal;
 pub mod json;
 pub mod metrics;

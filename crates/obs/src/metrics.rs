@@ -33,10 +33,12 @@ impl Counter {
     }
 
     pub fn add(&self, n: u64) {
+        // relaxed-ok: metrics are monotonic/independent samples; no cross-thread ordering is implied
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
     pub fn get(&self) -> u64 {
+        // relaxed-ok: metrics are monotonic/independent samples; no cross-thread ordering is implied
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -53,18 +55,22 @@ impl Gauge {
     }
 
     pub fn set(&self, v: i64) {
+        // relaxed-ok: metrics are monotonic/independent samples; no cross-thread ordering is implied
         self.value.store(v, Ordering::Relaxed);
     }
 
     pub fn add(&self, delta: i64) {
+        // relaxed-ok: metrics are monotonic/independent samples; no cross-thread ordering is implied
         self.value.fetch_add(delta, Ordering::Relaxed);
     }
 
     pub fn sub(&self, delta: i64) {
+        // relaxed-ok: metrics are monotonic/independent samples; no cross-thread ordering is implied
         self.value.fetch_sub(delta, Ordering::Relaxed);
     }
 
     pub fn get(&self) -> i64 {
+        // relaxed-ok: metrics are monotonic/independent samples; no cross-thread ordering is implied
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -119,6 +125,7 @@ impl Histogram {
             .iter()
             .position(|&b| value <= b)
             .unwrap_or(inner.bounds.len());
+        // relaxed-ok: metrics are monotonic/independent samples; no cross-thread ordering is implied
         inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
         inner.count.fetch_add(1, Ordering::Relaxed);
         inner.sum.fetch_add(value, Ordering::Relaxed);
@@ -133,21 +140,26 @@ impl Histogram {
 
     pub fn snapshot(&self) -> HistogramSnapshot {
         let inner = &*self.inner;
+        // relaxed-ok: metrics are monotonic/independent samples; no cross-thread ordering is implied
         let count = inner.count.load(Ordering::Relaxed);
         HistogramSnapshot {
             bounds: inner.bounds.clone(),
             buckets: inner
                 .buckets
                 .iter()
+                // relaxed-ok: metrics are monotonic/independent samples; no cross-thread ordering is implied
                 .map(|b| b.load(Ordering::Relaxed))
                 .collect(),
             count,
+            // relaxed-ok: metrics are monotonic/independent samples; no cross-thread ordering is implied
             sum: inner.sum.load(Ordering::Relaxed),
             min: if count == 0 {
                 0
             } else {
+                // relaxed-ok: metrics are monotonic/independent samples; no cross-thread ordering is implied
                 inner.min.load(Ordering::Relaxed)
             },
+            // relaxed-ok: metrics are monotonic/independent samples; no cross-thread ordering is implied
             max: inner.max.load(Ordering::Relaxed),
         }
     }

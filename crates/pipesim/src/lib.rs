@@ -24,6 +24,8 @@
 //!
 //! [`WritePolicy`]: scanraw_types::WritePolicy
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 pub mod cost;
 pub mod sim;
 

@@ -16,6 +16,8 @@
 //!
 //! [`BinaryChunk`]: scanraw_types::BinaryChunk
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 pub mod bamsim;
 pub mod chunker;
 pub mod dialect;

@@ -18,6 +18,8 @@
 //! Time comes from a pluggable [`clock::Clock`] so unit tests can run on a
 //! virtual clock with zero wall-clock cost.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 pub mod clock;
 pub mod disk;
 pub mod ramfile;

@@ -143,8 +143,14 @@ impl DiskStats {
         if ops.is_empty() {
             return Vec::new();
         }
-        let t0 = ops.iter().map(|o| o.start).min().expect("non-empty");
-        let t1 = ops.iter().map(|o| o.end).max().expect("non-empty");
+        // The emptiness check above guarantees min/max exist; fall back to
+        // an empty timeline rather than panicking if that ever changes.
+        let (Some(t0), Some(t1)) = (
+            ops.iter().map(|o| o.start).min(),
+            ops.iter().map(|o| o.end).max(),
+        ) else {
+            return Vec::new();
+        };
         let n = ((t1 - t0).as_nanos() / window.as_nanos()) as usize + 1;
         let mut read_busy = vec![Duration::ZERO; n];
         let mut write_busy = vec![Duration::ZERO; n];

@@ -17,6 +17,8 @@
 //!
 //! [`SimDisk`]: scanraw_simio::SimDisk
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 pub mod catalog;
 pub mod colstore;
 pub mod database;

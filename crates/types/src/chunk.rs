@@ -72,6 +72,11 @@ pub struct PositionalMap {
 
 impl PositionalMap {
     /// Assembles a map from its parts, validating dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `line_starts` or `attr_starts` do not match the declared
+    /// `rows` × `cols_mapped` dimensions.
     pub fn new(
         rows: u32,
         cols_mapped: u32,
@@ -241,6 +246,17 @@ impl BinaryChunk {
 
     /// Validates that every present column matches the schema type and the
     /// declared row count.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the column count diverges from the schema, a column's
+    /// value type mismatches its field type, or a column's length differs
+    /// from the chunk's declared row count.
+    ///
+    /// # Panics
+    ///
+    /// Never panics on user input; the internal indexing is bounded by the
+    /// length check above it.
     pub fn validate(&self, schema: &Schema) -> Result<()> {
         if self.columns.len() != schema.len() {
             return Err(Error::Schema(format!(

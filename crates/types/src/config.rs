@@ -111,6 +111,11 @@ impl Default for ScanRawConfig {
 
 impl ScanRawConfig {
     /// Validates invariants the pipeline relies on.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a size parameter (`chunk_rows`, buffer capacities, cache
+    /// capacity, worker count) is zero.
     pub fn validate(&self) -> Result<()> {
         if self.chunk_rows == 0 {
             return Err(Error::Config("chunk_rows must be positive".into()));

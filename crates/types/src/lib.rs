@@ -10,6 +10,8 @@
 //! communicate through buffers holding *chunks*: horizontal file partitions of
 //! a fixed number of lines. The types here are the currency of those buffers.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 pub mod chunk;
 pub mod config;
 pub mod error;

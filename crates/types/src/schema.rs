@@ -69,6 +69,10 @@ pub struct Schema {
 
 impl Schema {
     /// Builds a schema, rejecting duplicate field names.
+    ///
+    /// # Errors
+    ///
+    /// Fails when two fields share a name.
     pub fn new(fields: Vec<Field>) -> Result<Self> {
         for (i, f) in fields.iter().enumerate() {
             if fields[..i].iter().any(|g| g.name == f.name) {
@@ -105,6 +109,10 @@ impl Schema {
     }
 
     /// Index of the field with the given name.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no field is named `name`.
     pub fn index_of(&self, name: &str) -> Result<usize> {
         self.fields
             .iter()
@@ -113,6 +121,10 @@ impl Schema {
     }
 
     /// Projects a subset of columns into a new schema (keeps input order).
+    ///
+    /// # Errors
+    ///
+    /// Fails when an index is out of bounds for this schema.
     pub fn project(&self, indices: &[usize]) -> Result<Schema> {
         let mut fields = Vec::with_capacity(indices.len());
         for &i in indices {

@@ -4,6 +4,8 @@
 //! `Arc<[u8]>`. Clones share the allocation, which is the property the text
 //! pipeline relies on when fanning a raw chunk out to multiple workers.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 use std::fmt;
 use std::ops::Deref;
 use std::sync::Arc;

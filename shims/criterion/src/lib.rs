@@ -9,6 +9,8 @@
 //! harness sees a `--test` argument) every benchmark runs exactly once, so
 //! bench targets double as smoke tests.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

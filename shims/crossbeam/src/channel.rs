@@ -369,4 +369,112 @@ mod tests {
             .collect();
         assert_eq!(all, expected);
     }
+
+    #[test]
+    fn cloned_receivers_drain_queue_after_all_senders_drop() {
+        let (tx, rx) = bounded(8);
+        let rx2 = rx.clone();
+        for i in 0..6 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        // Both receiver clones keep draining the surviving queue, and both
+        // observe Disconnected (not a hang) once it is empty.
+        let mut got = Vec::new();
+        loop {
+            match rx.try_recv() {
+                Ok(v) => got.push(v),
+                Err(TryRecvError::Disconnected) => break,
+                Err(TryRecvError::Empty) => unreachable!("senders are gone"),
+            }
+            match rx2.try_recv() {
+                Ok(v) => got.push(v),
+                Err(TryRecvError::Disconnected) => break,
+                Err(TryRecvError::Empty) => unreachable!("senders are gone"),
+            }
+        }
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(rx2.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_timeout_unblocks_when_space_frees() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let sender = thread::spawn(move || {
+            // Generous deadline: succeeds long before it, because the
+            // consumer below frees the slot.
+            tx.send_timeout(2, Duration::from_secs(5))
+        });
+        assert_eq!(rx.recv(), Ok(1));
+        sender
+            .join()
+            .unwrap()
+            .expect("send completes once space frees");
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn send_timeout_deadline_is_respected_under_sustained_fullness() {
+        let (tx, _rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t0 = std::time::Instant::now();
+        let deadline = Duration::from_millis(30);
+        match tx.send_timeout(2, deadline) {
+            Err(SendTimeoutError::Timeout(2)) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert!(
+            t0.elapsed() >= deadline,
+            "send_timeout returned before its deadline"
+        );
+    }
+
+    #[test]
+    fn recv_timeout_sees_disconnect_mid_wait() {
+        let (tx, rx) = unbounded::<u8>();
+        let dropper = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            drop(tx);
+        });
+        // The blocked receiver must wake on disconnection well before the
+        // deadline, not sleep it out.
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+        dropper.join().unwrap();
+    }
+
+    #[test]
+    fn contended_receivers_all_make_progress() {
+        // Fairness in the weak-but-required sense: with a steady message
+        // supply, every cloned receiver gets messages — no clone is starved
+        // forever by its siblings.
+        let (tx, rx) = bounded(2);
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || {
+                    let mut count = 0u32;
+                    while rx.recv().is_ok() {
+                        count += 1;
+                        thread::yield_now();
+                    }
+                    count
+                })
+            })
+            .collect();
+        drop(rx);
+        for i in 0..600 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let counts: Vec<u32> = consumers.into_iter().map(|c| c.join().unwrap()).collect();
+        assert_eq!(counts.iter().sum::<u32>(), 600);
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "a receiver was starved: {counts:?}"
+        );
+    }
 }

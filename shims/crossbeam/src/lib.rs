@@ -8,4 +8,6 @@
 //! gone). Built on `std::sync::{Mutex, Condvar}` — slower than the real
 //! lock-free implementation but semantically equivalent for the pipeline.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 pub mod channel;

@@ -1,0 +1,163 @@
+//! Runtime lock-order detection (the `deadlock-detect` feature).
+//!
+//! The same idea as the kernel's lockdep, scaled to this workspace: every
+//! *blocking* acquisition is recorded against the set of locks the acquiring
+//! thread already holds, building a global directed graph of acquisition
+//! orders. The first acquisition that would close a cycle panics — on the
+//! *order violation*, not on an actual deadlock — so a single test run with
+//! good coverage surfaces inversions that would hang only under an unlucky
+//! interleaving in production.
+//!
+//! Nodes are lock identities — a monotonic id assigned on a lock's first
+//! acquisition, so a freed allocation can never alias an old node. Each edge
+//! stores the held stack and thread name at the moment it was created; the
+//! panic message prints both sides of the inversion: the current thread's
+//! held stack and the recorded stack that established the opposite order.
+//!
+//! `try_lock` pushes onto the held stack (a later blocking acquisition under
+//! it is still an ordering fact) but creates no edges itself: a failed
+//! `try_lock` backs off instead of blocking, so it cannot complete a cycle.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex as StdMutex, OnceLock};
+
+/// Issues each lock a process-unique identity on first acquisition.
+pub(crate) fn next_lock_id() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(1);
+    // relaxed-ok: uniqueness only; no ordering with other state required
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// One lock the current thread holds.
+#[derive(Clone)]
+struct Held {
+    id: usize,
+    name: &'static str,
+}
+
+thread_local! {
+    static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Provenance of an acquisition-order edge: who established it, holding what.
+struct EdgeSite {
+    thread: String,
+    /// Names of the held stack at edge creation, outermost first, with the
+    /// acquired lock appended.
+    stack: Vec<String>,
+}
+
+#[derive(Default)]
+struct Graph {
+    /// `a -> b`: some thread acquired `b` while holding `a`.
+    edges: HashMap<usize, HashMap<usize, EdgeSite>>,
+}
+
+impl Graph {
+    /// Is `to` reachable from `from` following recorded edges?
+    fn reaches(&self, from: usize, to: usize) -> bool {
+        let mut stack = vec![from];
+        let mut seen = vec![from];
+        while let Some(at) = stack.pop() {
+            if at == to {
+                return true;
+            }
+            if let Some(next) = self.edges.get(&at) {
+                for &n in next.keys() {
+                    if !seen.contains(&n) {
+                        seen.push(n);
+                        stack.push(n);
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+fn graph() -> &'static StdMutex<Graph> {
+    static GRAPH: OnceLock<StdMutex<Graph>> = OnceLock::new();
+    GRAPH.get_or_init(|| StdMutex::new(Graph::default()))
+}
+
+fn current_thread_name() -> String {
+    let t = std::thread::current();
+    t.name().unwrap_or("<unnamed>").to_string()
+}
+
+/// Records a blocking acquisition of lock `id` (`name` is its type name).
+/// Panics if the new ordering edges close a cycle in the global graph.
+pub(crate) fn acquire_blocking(id: usize, name: &'static str) {
+    let held: Vec<Held> = HELD.with(|h| h.borrow().clone());
+    {
+        let mut g = match graph().lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        for h in &held {
+            if h.id == id {
+                // Reentrant read of the same RwLock: not an ordering fact.
+                continue;
+            }
+            // Adding h -> id closes a cycle iff id already reaches h.
+            if g.reaches(id, h.id) {
+                let opposite = g
+                    .edges
+                    .get(&id)
+                    .and_then(|m| m.values().next())
+                    .map(|site| {
+                        format!(
+                            "thread '{}' holding [{}]",
+                            site.thread,
+                            site.stack.join(" -> ")
+                        )
+                    })
+                    .unwrap_or_else(|| "another thread (indirect path)".to_string());
+                let ours: Vec<String> = held
+                    .iter()
+                    .map(|x| x.name.to_string())
+                    .chain(std::iter::once(name.to_string()))
+                    .collect();
+                panic!(
+                    "lock-order inversion: thread '{}' acquiring [{}] while the opposite \
+                     order was established by {}; acquire these locks in one global order \
+                     (see DESIGN.md 'Concurrency invariants')",
+                    current_thread_name(),
+                    ours.join(" -> "),
+                    opposite,
+                );
+            }
+            let stack: Vec<String> = held
+                .iter()
+                .map(|x| x.name.to_string())
+                .chain(std::iter::once(name.to_string()))
+                .collect();
+            g.edges
+                .entry(h.id)
+                .or_default()
+                .entry(id)
+                .or_insert(EdgeSite {
+                    thread: current_thread_name(),
+                    stack,
+                });
+        }
+    }
+    HELD.with(|h| h.borrow_mut().push(Held { id, name }));
+}
+
+/// Records a successful `try_lock`: held, but no ordering edges.
+pub(crate) fn acquire_try(id: usize, name: &'static str) {
+    HELD.with(|h| h.borrow_mut().push(Held { id, name }));
+}
+
+/// The guard for lock `id` was dropped.
+pub(crate) fn release(id: usize) {
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|x| x.id == id) {
+            held.remove(pos);
+        }
+    });
+}

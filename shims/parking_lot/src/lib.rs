@@ -5,11 +5,27 @@
 //! [`RwLock`] whose guards come straight from `std::sync`, with poisoning
 //! swallowed (a panic while holding a lock does not poison it for everyone
 //! else — the `parking_lot` semantics the rest of the code base assumes).
+//!
+//! With the `deadlock-detect` feature enabled, every blocking acquisition is
+//! additionally recorded in a global lock-order graph (see [`deadlock`]);
+//! the acquisition that would establish a cyclic order panics with both
+//! threads' held-lock stacks instead of setting up a future deadlock. The
+//! guards become thin wrappers (same `Deref` surface) that unwind the
+//! per-thread held set on drop.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+#[cfg(feature = "deadlock-detect")]
+mod deadlock;
 
 use std::sync::{self, LockResult, TryLockError};
 
+#[cfg(not(feature = "deadlock-detect"))]
 pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+#[cfg(not(feature = "deadlock-detect"))]
 pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+#[cfg(not(feature = "deadlock-detect"))]
 pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
 
 fn ignore_poison<G>(r: LockResult<G>) -> G {
@@ -19,77 +35,186 @@ fn ignore_poison<G>(r: LockResult<G>) -> G {
     }
 }
 
+/// The identity of a lock in the order graph: assigned on first acquisition,
+/// process-unique for the lock's whole lifetime.
+#[cfg(feature = "deadlock-detect")]
+fn lock_id(slot: &sync::OnceLock<usize>) -> usize {
+    *slot.get_or_init(deadlock::next_lock_id)
+}
+
+macro_rules! tracked_guard {
+    ($name:ident, $std:ident $(, $mut_:ident)?) => {
+        /// Guard that pops the holder's per-thread held-lock set on drop.
+        #[cfg(feature = "deadlock-detect")]
+        pub struct $name<'a, T: ?Sized> {
+            inner: sync::$std<'a, T>,
+            id: usize,
+        }
+
+        #[cfg(feature = "deadlock-detect")]
+        impl<T: ?Sized> std::ops::Deref for $name<'_, T> {
+            type Target = T;
+            fn deref(&self) -> &T {
+                &self.inner
+            }
+        }
+
+        $(
+            #[cfg(feature = "deadlock-detect")]
+            impl<T: ?Sized> std::ops::$mut_ for $name<'_, T> {
+                fn deref_mut(&mut self) -> &mut T {
+                    &mut self.inner
+                }
+            }
+        )?
+
+        #[cfg(feature = "deadlock-detect")]
+        impl<T: ?Sized> Drop for $name<'_, T> {
+            fn drop(&mut self) {
+                deadlock::release(self.id);
+            }
+        }
+
+        #[cfg(feature = "deadlock-detect")]
+        impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for $name<'_, T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                self.inner.fmt(f)
+            }
+        }
+    };
+}
+
+tracked_guard!(MutexGuard, MutexGuard, DerefMut);
+tracked_guard!(RwLockReadGuard, RwLockReadGuard);
+tracked_guard!(RwLockWriteGuard, RwLockWriteGuard, DerefMut);
+
 /// Poison-free mutual exclusion, `parking_lot`-style: `lock()` returns the
 /// guard directly.
 #[derive(Default)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "deadlock-detect")]
+    id: sync::OnceLock<usize>,
+    inner: sync::Mutex<T>,
+}
 
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Self {
-        Mutex(sync::Mutex::new(value))
+        Mutex {
+            #[cfg(feature = "deadlock-detect")]
+            id: sync::OnceLock::new(),
+            inner: sync::Mutex::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
-        ignore_poison(self.0.into_inner())
+        ignore_poison(self.inner.into_inner())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        ignore_poison(self.0.lock())
+        #[cfg(feature = "deadlock-detect")]
+        {
+            // Check the order *before* blocking: an inversion panics here
+            // instead of deadlocking under an unlucky interleaving.
+            let id = lock_id(&self.id);
+            deadlock::acquire_blocking(id, std::any::type_name::<T>());
+            MutexGuard {
+                inner: ignore_poison(self.inner.lock()),
+                id,
+            }
+        }
+        #[cfg(not(feature = "deadlock-detect"))]
+        ignore_poison(self.inner.lock())
     }
 
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(TryLockError::WouldBlock) => None,
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(feature = "deadlock-detect")]
+        {
+            let id = lock_id(&self.id);
+            deadlock::acquire_try(id, std::any::type_name::<T>());
+            Some(MutexGuard { inner, id })
         }
+        #[cfg(not(feature = "deadlock-detect"))]
+        Some(inner)
     }
 
     pub fn get_mut(&mut self) -> &mut T {
-        ignore_poison(self.0.get_mut())
+        ignore_poison(self.inner.get_mut())
     }
 }
 
 impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        self.0.fmt(f)
+        self.inner.fmt(f)
     }
 }
 
 /// Poison-free reader-writer lock, `parking_lot`-style: `read()`/`write()`
 /// return guards directly.
 #[derive(Default)]
-pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "deadlock-detect")]
+    id: sync::OnceLock<usize>,
+    inner: sync::RwLock<T>,
+}
 
 impl<T> RwLock<T> {
     pub const fn new(value: T) -> Self {
-        RwLock(sync::RwLock::new(value))
+        RwLock {
+            #[cfg(feature = "deadlock-detect")]
+            id: sync::OnceLock::new(),
+            inner: sync::RwLock::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
-        ignore_poison(self.0.into_inner())
+        ignore_poison(self.inner.into_inner())
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        ignore_poison(self.0.read())
+        #[cfg(feature = "deadlock-detect")]
+        {
+            let id = lock_id(&self.id);
+            deadlock::acquire_blocking(id, std::any::type_name::<T>());
+            RwLockReadGuard {
+                inner: ignore_poison(self.inner.read()),
+                id,
+            }
+        }
+        #[cfg(not(feature = "deadlock-detect"))]
+        ignore_poison(self.inner.read())
     }
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        ignore_poison(self.0.write())
+        #[cfg(feature = "deadlock-detect")]
+        {
+            let id = lock_id(&self.id);
+            deadlock::acquire_blocking(id, std::any::type_name::<T>());
+            RwLockWriteGuard {
+                inner: ignore_poison(self.inner.write()),
+                id,
+            }
+        }
+        #[cfg(not(feature = "deadlock-detect"))]
+        ignore_poison(self.inner.write())
     }
 
     pub fn get_mut(&mut self) -> &mut T {
-        ignore_poison(self.0.get_mut())
+        ignore_poison(self.inner.get_mut())
     }
 }
 
 impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        self.0.fmt(f)
+        self.inner.fmt(f)
     }
 }
 
@@ -112,6 +237,15 @@ mod tests {
         let a = l.read();
         let b = l.read();
         assert_eq!(*a + *b, 10);
+    }
+
+    #[test]
+    fn try_lock_contended() {
+        let m = Mutex::new(7);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert_eq!(*m.try_lock().expect("uncontended"), 7);
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! real `rand` crate's — all consumers derive expectations from the generated
 //! data rather than hard-coding values.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 use std::ops::{Range, RangeInclusive};
 
 /// Low-level entropy source.

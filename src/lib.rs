@@ -38,6 +38,8 @@
 //! assert_eq!(out.result.rows_scanned, 1000);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 pub use scanraw as core;
 pub use scanraw_engine as engine;
 pub use scanraw_obs as obs;

@@ -1,0 +1,64 @@
+//! Workspace automation: `cargo xtask <task>`.
+//!
+//! Tasks:
+//! - `lint` — run the scanraw-lint concurrency analyzer over the workspace
+//!   and exit non-zero on any unsilenced finding.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // xtask/ sits directly under the workspace root.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().map(PathBuf::from).unwrap_or(manifest)
+}
+
+fn task_lint() -> ExitCode {
+    let root = workspace_root();
+    let findings = match scanraw_lint::run(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("xtask lint: failed to read workspace sources: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if findings.is_empty() {
+        println!("xtask lint: clean (rules L001-L006, 0 findings)");
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    let mut by_rule: Vec<(&str, usize)> = Vec::new();
+    for f in &findings {
+        match by_rule.iter_mut().find(|(id, _)| *id == f.rule.id()) {
+            Some((_, n)) => *n += 1,
+            None => by_rule.push((f.rule.id(), 1)),
+        }
+    }
+    let summary: Vec<String> = by_rule.iter().map(|(id, n)| format!("{id}: {n}")).collect();
+    eprintln!(
+        "xtask lint: {} finding(s) ({}); silence false positives with `// lint-ok: <RULE> <reason>`",
+        findings.len(),
+        summary.join(", ")
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let task = std::env::args().nth(1).unwrap_or_default();
+    match task.as_str() {
+        "lint" => task_lint(),
+        "" => {
+            eprintln!("usage: cargo xtask <task>\n\ntasks:\n  lint    run the concurrency lint catalog (L001-L006)");
+            ExitCode::FAILURE
+        }
+        other => {
+            eprintln!("xtask: unknown task `{other}` (available: lint)");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -49,6 +49,7 @@ pub mod cache;
 pub mod operator;
 pub mod profile;
 pub mod registry;
+mod retry;
 pub mod scheduler;
 pub mod stream;
 

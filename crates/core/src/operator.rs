@@ -12,6 +12,7 @@
 
 use crate::cache::ChunkCache;
 use crate::profile::{Profiler, Stage};
+use crate::retry::{with_retry, RetryPolicy, DB_FALLBACK_COUNTER};
 use crate::scheduler::{run_scheduler, Event, Writer};
 use crate::stream::{ChunkStream, ScanCounters, ScanState};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
@@ -271,6 +272,11 @@ impl ScanRaw {
             table.clone(),
             cache.clone(),
             profiler.clone(),
+            obs.clone(),
+            RetryPolicy {
+                budget: config.io_retry_budget,
+                backoff: config.io_retry_backoff,
+            },
         )?);
         let workers = AtomicUsize::new(config.workers);
         Ok(Arc::new(ScanRaw {
@@ -372,6 +378,32 @@ impl ScanRaw {
     /// Chunks written to the database over the operator's lifetime.
     pub fn chunks_written(&self) -> u64 {
         self.writer.written()
+    }
+
+    /// True once the WRITE path hit a permanent device fault and the operator
+    /// degraded to external-table mode: queries keep answering from the raw
+    /// file, but no further loading is attempted.
+    pub fn load_degraded(&self) -> bool {
+        self.writer.degraded()
+    }
+
+    /// Retries a device operation under the configured budget and backoff
+    /// (see [`ScanRawConfig::io_retry_budget`]).
+    fn io_retry<T>(&self, target: &str, op: impl FnMut() -> Result<T>) -> Result<T> {
+        let policy = RetryPolicy {
+            budget: self.config.io_retry_budget,
+            backoff: self.config.io_retry_backoff,
+        };
+        with_retry(&policy, self.db.disk().clock(), &self.obs, target, op)
+    }
+
+    /// Journals that a database read of `chunk` could not be served (even
+    /// after retries) and the READ stage is answering from the raw file.
+    fn note_db_fallback(&self, chunk: ChunkId) {
+        self.obs.event(ObsEvent::DbReadFallback {
+            chunk: chunk.0 as u64,
+        });
+        self.obs.metrics.counter(DB_FALLBACK_COUNTER).inc();
     }
 
     /// Number of scans served so far.
@@ -691,7 +723,7 @@ impl ScanRaw {
                 None => {
                     // Raced out of the cache since planning; fall back to the
                     // database or raw file.
-                    if let Ok(chunk) = self.load_from_db(meta, &params.convert_cols) {
+                    if let Ok(chunk) = self.retry_load_from_db(meta, &params.convert_cols) {
                         counters.from_db.fetch_add(1, Ordering::Release);
                         if out.send(Ok(Arc::new(chunk))).is_err() {
                             // relaxed-ok: advisory stop flag — readers need eventual visibility only
@@ -730,9 +762,30 @@ impl ScanRaw {
                 return Ok(());
             }
             let t0 = clock.now();
-            let chunk = self.load_from_db(meta, &params.convert_cols)?;
+            let loaded = self.retry_load_from_db(meta, &params.convert_cols);
             let t1 = clock.now();
             self.profiler.record(Stage::Read, t1 - t0, t0, t1);
+            let chunk = match loaded {
+                Ok(c) => c,
+                Err(_) => {
+                    // The database copy is unreadable even after retries
+                    // (permanent fault or persistent corruption): answer
+                    // from the raw file instead — a loading failure must
+                    // never fail the query.
+                    self.note_db_fallback(meta.id);
+                    self.feed_raw_chunk(
+                        meta,
+                        &text_tx,
+                        &out,
+                        &events,
+                        &counters,
+                        &stop,
+                        &in_pipeline,
+                        params,
+                    )?;
+                    continue;
+                }
+            };
             counters.from_db.fetch_add(1, Ordering::Release);
             let arc = Arc::new(chunk);
             if out.send(Ok(arc.clone())).is_err() {
@@ -757,22 +810,36 @@ impl ScanRaw {
             }
             let t0 = clock.now();
             let loaded = self.db.loaded_columns(&self.table, meta.id, &needed)?;
-            let base = self.db.load_chunk(&self.table, meta.id, &loaded)?;
-            let text = read_chunk_at(self.db.disk(), &self.raw_file, meta)?;
+            let base = self.io_retry(&format!("db/{}", self.table), || {
+                self.db.load_chunk(&self.table, meta.id, &loaded)
+            });
+            let text = self.io_retry(&self.raw_file, || {
+                read_chunk_at(self.db.disk(), &self.raw_file, meta)
+            })?;
             let t1 = clock.now();
             self.profiler.record(Stage::Read, t1 - t0, t0, t1);
             counters.hybrid.fetch_add(1, Ordering::Release);
-            let missing: Vec<usize> = needed
-                .iter()
-                .copied()
-                .filter(|c| !loaded.contains(c))
-                .collect();
-            let cols_mapped = missing.last().map(|&c| c + 1).unwrap_or(1);
-            let job = RawJob {
-                text,
-                base: Some(Arc::new(base)),
-                convert_cols: Some(Arc::new(missing)),
-                cols_mapped: Some(cols_mapped),
+            let job = match base {
+                Ok(base) => {
+                    let missing: Vec<usize> = needed
+                        .iter()
+                        .copied()
+                        .filter(|c| !loaded.contains(c))
+                        .collect();
+                    let cols_mapped = missing.last().map(|&c| c + 1).unwrap_or(1);
+                    RawJob {
+                        text,
+                        base: Some(Arc::new(base)),
+                        convert_cols: Some(Arc::new(missing)),
+                        cols_mapped: Some(cols_mapped),
+                    }
+                }
+                Err(_) => {
+                    // The loaded columns are unreadable: convert the whole
+                    // chunk from the raw text just read.
+                    self.note_db_fallback(meta.id);
+                    RawJob::plain(text)
+                }
             };
             if !self.dispatch_raw_job(
                 job,
@@ -804,7 +871,9 @@ impl ScanRaw {
                     break;
                 }
                 let t0 = clock.now();
-                let chunk = reader.next_chunk()?;
+                // Retry-safe: a failed read does not advance the reader's
+                // fetch position, so the re-issued read covers the same span.
+                let chunk = self.io_retry(&self.raw_file, || reader.next_chunk())?;
                 let t1 = clock.now();
                 let Some(chunk) = chunk else { break };
                 self.profiler.record(Stage::Read, t1 - t0, t0, t1);
@@ -874,7 +943,9 @@ impl ScanRaw {
         let clock = self.db.disk().clock().clone();
         let chunk = {
             let t0 = clock.now();
-            let c = read_chunk_at(self.db.disk(), &self.raw_file, meta)?;
+            let c = self.io_retry(&self.raw_file, || {
+                read_chunk_at(self.db.disk(), &self.raw_file, meta)
+            })?;
             let t1 = clock.now();
             self.profiler.record(Stage::Read, t1 - t0, t0, t1);
             c
@@ -952,6 +1023,13 @@ impl ScanRaw {
                 }
             }
         }
+    }
+
+    /// [`ScanRaw::load_from_db`] under the configured device-retry budget.
+    fn retry_load_from_db(&self, meta: &ChunkMeta, cols: &[usize]) -> Result<BinaryChunk> {
+        self.io_retry(&format!("db/{}", self.table), || {
+            self.load_from_db(meta, cols)
+        })
     }
 
     fn load_from_db(&self, meta: &ChunkMeta, cols: &[usize]) -> Result<BinaryChunk> {

@@ -24,11 +24,12 @@
 
 use crate::cache::{ChunkCache, Evicted};
 use crate::profile::{Profiler, Stage};
+use crate::retry::{with_retry, RetryPolicy, DEGRADED_COUNTER};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use scanraw_obs::{EventJournal, Obs, ObsEvent, WriteCause};
 use scanraw_storage::Database;
 use scanraw_types::{BinaryChunk, ChunkId, WritePolicy};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -69,11 +70,18 @@ pub(crate) struct Writer {
     pending: Arc<AtomicU64>,
     /// Chunks successfully stored over the writer's lifetime.
     written: Arc<AtomicU64>,
+    /// Sticky: set when a permanent device fault made loading impossible.
+    degraded: Arc<AtomicBool>,
 }
 
 impl Writer {
     /// Spawns the WRITE thread for `table` over `db`, marking cache entries
     /// loaded as stores complete.
+    ///
+    /// Transient device faults are retried under `retry`; a permanent fault
+    /// flips the sticky degraded flag, after which the scheduler stops
+    /// queueing stores entirely (external-table mode) — queries keep
+    /// answering from the raw file.
     ///
     /// # Errors
     ///
@@ -83,14 +91,19 @@ impl Writer {
         table: String,
         cache: ChunkCache,
         profiler: Profiler,
+        obs: Obs,
+        retry: RetryPolicy,
     ) -> scanraw_types::Result<Self> {
         let (tx, rx): (Sender<WriteCmd>, Receiver<WriteCmd>) = unbounded();
         let pending = Arc::new(AtomicU64::new(0));
         let written = Arc::new(AtomicU64::new(0));
+        let degraded = Arc::new(AtomicBool::new(false));
         let handle = {
             let pending = pending.clone();
             let written = written.clone();
+            let degraded = degraded.clone();
             let clock = db.disk().clock().clone();
+            let db_target = format!("db/{table}");
             std::thread::Builder::new()
                 .name(format!("scanraw-write-{table}"))
                 .spawn(move || {
@@ -101,13 +114,35 @@ impl Writer {
                                 // A failed store is fatal for loading but must
                                 // not kill the pipeline: the chunk simply stays
                                 // unloaded and will be converted again next scan.
-                                let ok = db.store_chunk(&table, &chunk).is_ok();
+                                // Retries are safe — already-committed columns
+                                // are skipped by the store's idempotence guard.
+                                let res = with_retry(&retry, &clock, &obs, &db_target, || {
+                                    db.store_chunk(&table, &chunk).map(|_| ())
+                                });
                                 let t1 = clock.now();
                                 profiler.record(Stage::Write, t1 - t0, t0, t1);
-                                if ok {
-                                    cache.mark_loaded(chunk.id);
-                                    // relaxed-ok: monotonic lifetime statistic; readers don't order on it
-                                    written.fetch_add(1, Ordering::Relaxed);
+                                match res {
+                                    Ok(()) => {
+                                        cache.mark_loaded(chunk.id);
+                                        // relaxed-ok: monotonic lifetime statistic; readers don't order on it
+                                        written.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    Err(e) if !e.is_retryable() => {
+                                        // Permanent fault: loading can no
+                                        // longer make progress. Degrade once
+                                        // to external-table mode.
+                                        if !degraded.swap(true, Ordering::AcqRel) {
+                                            obs.event(ObsEvent::LoadDegraded {
+                                                chunk: chunk.id.0 as u64,
+                                            });
+                                            obs.metrics.counter(DEGRADED_COUNTER).inc();
+                                        }
+                                    }
+                                    Err(_) => {
+                                        // Retry budget exhausted on a transient
+                                        // fault: the chunk stays unloaded and
+                                        // will be converted again next scan.
+                                    }
                                 }
                                 pending.fetch_sub(1, Ordering::Release);
                                 if let Some(n) = notify {
@@ -128,6 +163,7 @@ impl Writer {
             handle: Some(handle),
             pending,
             written,
+            degraded,
         })
     }
 
@@ -161,6 +197,12 @@ impl Writer {
     pub(crate) fn written(&self) -> u64 {
         // relaxed-ok: monotonic lifetime statistic; readers don't order on it
         self.written.load(Ordering::Relaxed)
+    }
+
+    /// True once a permanent device fault degraded loading; sticky for the
+    /// writer's (= operator's) lifetime.
+    pub(crate) fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
     }
 }
 
@@ -257,7 +299,10 @@ pub(crate) fn run_scheduler(
 
     while let Ok(ev) = events_rx.recv() {
         match ev {
-            Event::Converted(chunk) => match policy {
+            // In degraded (external-table) mode no stores are queued at all:
+            // a permanent device fault means every further attempt would fail
+            // the same way.
+            Event::Converted(chunk) if !writer.degraded() => match policy {
                 WritePolicy::Eager
                     if !already_loaded(chunk.id, &chunk)
                         && writer.store(chunk.clone(), Some(events_tx.clone())) =>
@@ -282,9 +327,11 @@ pub(crate) fn run_scheduler(
                 }
                 _ => {}
             },
+            Event::Converted(_) => {}
             Event::Evicted(ev) => {
                 if policy == WritePolicy::Buffered
                     && !ev.loaded
+                    && !writer.degraded()
                     && writer.store(ev.chunk.clone(), Some(events_tx.clone()))
                 {
                     obs.event(ObsEvent::WriteQueued {
@@ -296,7 +343,10 @@ pub(crate) fn run_scheduler(
                 }
             }
             Event::ReadBlocked => {
-                if matches!(policy, WritePolicy::Speculative { .. }) && !write_in_flight {
+                if matches!(policy, WritePolicy::Speculative { .. })
+                    && !write_in_flight
+                    && !writer.degraded()
+                {
                     // Oldest cached chunk not yet loaded and not already
                     // handed to WRITE during this scan.
                     let next = cache
@@ -320,7 +370,9 @@ pub(crate) fn run_scheduler(
             }
             Event::RawScanComplete => {
                 raw_scan_done = true;
-                if let WritePolicy::Speculative { safeguard: true } = policy {
+                if matches!(policy, WritePolicy::Speculative { safeguard: true })
+                    && !writer.degraded()
+                {
                     // Flush the cache's unloaded chunks, oldest first; this
                     // overlaps the remainder of query processing (§4).
                     let mut flushed = 0;
@@ -345,7 +397,7 @@ pub(crate) fn run_scheduler(
                 // The writes overlap the next query (the barrier only delays
                 // its first device read).
                 if let WritePolicy::Speculative { safeguard: true } = policy {
-                    if raw_scan_done {
+                    if raw_scan_done && !writer.degraded() {
                         let mut flushed = 0;
                         for chunk in cache.unloaded_chunks() {
                             let id = chunk.id;
@@ -375,12 +427,26 @@ mod tests {
     use scanraw_types::{ColumnData, Schema};
 
     fn setup() -> (Database, ChunkCache, Writer) {
+        setup_full(Obs::new(), 2)
+    }
+
+    fn setup_full(obs: Obs, budget: u32) -> (Database, ChunkCache, Writer) {
         let db = Database::new(SimDisk::instant());
         db.create_table("t", Schema::uniform_ints(1), "t.csv")
             .unwrap();
         let cache = ChunkCache::new(8);
-        let writer = Writer::spawn(db.clone(), "t".to_string(), cache.clone(), Profiler::new())
-            .expect("spawn writer");
+        let writer = Writer::spawn(
+            db.clone(),
+            "t".to_string(),
+            cache.clone(),
+            Profiler::new(),
+            obs,
+            RetryPolicy {
+                budget,
+                backoff: std::time::Duration::from_micros(100),
+            },
+        )
+        .expect("spawn writer");
         (db, cache, writer)
     }
 
@@ -595,5 +661,77 @@ mod tests {
         );
         assert_eq!(report.safeguard_writes, 0);
         assert!(db.load_chunk("t", ChunkId(0), &[0]).is_err());
+    }
+
+    #[cfg(feature = "fault-inject")]
+    mod faults {
+        use super::*;
+        use crate::retry::DEGRADED_COUNTER;
+        use scanraw_simio::{FaultConfig, FaultPlan};
+
+        #[test]
+        fn transient_store_faults_are_retried_to_success() {
+            // With max_consecutive = 1 and certain transient faults, the
+            // worst case is fail / ok+fail / fail / ok+ok — 3 retries.
+            let (db, cache, writer) = setup_full(Obs::new(), 4);
+            db.disk().set_fault_plan(FaultPlan::new(FaultConfig {
+                target: "db/".into(),
+                p_transient: 1.0,
+                max_consecutive: 1,
+                ..FaultConfig::seeded(3)
+            }));
+            cache.insert(chunk(0), false);
+            assert!(writer.store(chunk(0), None));
+            writer.barrier();
+            assert!(!writer.degraded());
+            assert_eq!(writer.written(), 1);
+            db.disk().clear_fault_plan();
+            assert!(db.load_chunk("t", ChunkId(0), &[0]).is_ok());
+        }
+
+        #[test]
+        fn permanent_store_fault_degrades_and_stops_queueing() {
+            let obs = Obs::new();
+            let (db, cache, writer) = setup_full(obs.clone(), 2);
+            db.disk().set_fault_plan(FaultPlan::new(FaultConfig {
+                target: "db/".into(),
+                permanent_after: Some(0),
+                ..FaultConfig::seeded(7)
+            }));
+            cache.insert(chunk(0), false);
+            assert!(writer.store(chunk(0), None));
+            writer.barrier();
+            assert!(writer.degraded(), "permanent fault must degrade loading");
+            assert_eq!(writer.written(), 0);
+            assert!(
+                cache.oldest_unloaded().is_some(),
+                "failed chunk must not be marked loaded"
+            );
+            assert!(obs
+                .journal
+                .entries()
+                .iter()
+                .any(|e| matches!(e.event, ObsEvent::LoadDegraded { .. })));
+            assert_eq!(obs.metrics.counter_value(DEGRADED_COUNTER), Some(1));
+
+            // External-table mode: every policy path stops queueing stores.
+            let (tx, rx) = unbounded();
+            cache.insert(chunk(1), false);
+            tx.send(Event::Converted(chunk(1))).unwrap();
+            tx.send(Event::ReadBlocked).unwrap();
+            tx.send(Event::RawScanComplete).unwrap();
+            tx.send(Event::QueryDone).unwrap();
+            let report = run_scheduler(
+                WritePolicy::speculative(),
+                rx,
+                tx.clone(),
+                cache,
+                &writer,
+                &db,
+                "t",
+                &obs,
+            );
+            assert_eq!(report.writes_queued, 0, "degraded mode queues nothing");
+        }
     }
 }

@@ -5,9 +5,9 @@ use crate::predicate::Predicate;
 use crate::query::{Query, QueryResult, ResultRow};
 use parking_lot::Mutex;
 use scanraw::{ConvertScope, OperatorRegistry, ScanRaw, ScanRequest, ScanSummary, Stage};
-use scanraw_obs::{json, JournalEntry};
+use scanraw_obs::{json, JournalEntry, ObsEvent};
 use scanraw_rawfile::TextDialect;
-use scanraw_storage::Database;
+use scanraw_storage::{Database, RecoveryReport};
 use scanraw_types::{BinaryChunk, Error, Result, ScanRawConfig, Schema, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -61,6 +61,13 @@ pub struct AnalyzeReport {
     /// hits / (hits + misses) over this query; `None` when the cache was
     /// never consulted.
     pub cache_hit_rate: Option<f64>,
+    /// Device operations re-issued after transient faults during this query.
+    pub io_retries: u64,
+    /// Database reads that fell back to raw-file conversion.
+    pub db_fallbacks: u64,
+    /// True when a permanent device fault degraded the operator to
+    /// external-table mode during this query.
+    pub load_degraded: bool,
     /// Journal entries recorded while the query ran.
     pub events: Vec<JournalEntry>,
 }
@@ -97,6 +104,9 @@ impl AnalyzeReport {
             "speculative_chunks_written": self.speculative_chunks_written,
             "safeguard_chunks_written": self.safeguard_chunks_written,
             "cache_hit_rate": self.cache_hit_rate,
+            "io_retries": self.io_retries,
+            "db_fallbacks": self.db_fallbacks,
+            "load_degraded": self.load_degraded,
             "events": self.events.iter().map(|e| e.to_json()).collect::<Vec<_>>(),
         })
     }
@@ -184,6 +194,33 @@ impl Engine {
                 def.config.clone(),
             )
         })
+    }
+
+    /// Rebuilds a registered table's loaded state from its commit log after
+    /// a simulated crash/restart: only chunk runs whose payload passes its
+    /// checksum are re-marked loaded; uncommitted or corrupt runs are
+    /// dropped. The outcome lands in the operator's journal as an
+    /// [`ObsEvent::RecoveryCompleted`] event.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unregistered tables, when the commit log cannot be read, or
+    /// when catalog-level metadata is corrupt.
+    pub fn recover_table(&self, table: &str) -> Result<RecoveryReport> {
+        let (raw_file, schema) = {
+            let tables = self.tables.lock();
+            let def = tables
+                .get(table)
+                .ok_or_else(|| Error::query(format!("unknown table '{table}'")))?;
+            (def.raw_file.clone(), def.schema.clone())
+        };
+        let report = self.db.recover_table(table, schema, &raw_file)?;
+        let op = self.operator(table)?;
+        op.obs().event(ObsEvent::RecoveryCompleted {
+            committed: report.committed_cells as u64,
+            dropped: (report.dropped_corrupt + report.dropped_malformed) as u64,
+        });
+        Ok(report)
     }
 
     /// Explains a query without running it: projection, chunk sources, and
@@ -346,12 +383,27 @@ impl Engine {
             .into_iter()
             .filter(|e| e.seq >= journal_since)
             .collect();
+        // Fault-tolerance telemetry, derived from the same journal window.
+        let mut io_retries = 0u64;
+        let mut db_fallbacks = 0u64;
+        let mut load_degraded = false;
+        for e in &events {
+            match &e.event {
+                ObsEvent::IoRetry { .. } => io_retries += 1,
+                ObsEvent::DbReadFallback { .. } => db_fallbacks += 1,
+                ObsEvent::LoadDegraded { .. } => load_degraded = true,
+                _ => {}
+            }
+        }
         Ok(AnalyzeReport {
             explain,
             speculative_chunks_written: outcome.scan.speculative_writes,
             safeguard_chunks_written: outcome.scan.safeguard_writes,
             cache_hit_rate,
             stage_durations,
+            io_retries,
+            db_fallbacks,
+            load_degraded,
             events,
             outcome,
         })

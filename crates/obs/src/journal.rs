@@ -49,6 +49,17 @@ pub enum ObsEvent {
     ChunkSkipped { chunk: u64 },
     /// The operator's worker pool was resized.
     WorkerScaled { from: u64, to: u64 },
+    /// A retryable device failure was retried; `attempt` is 1-based.
+    IoRetry { target: String, attempt: u64 },
+    /// A permanent device failure degraded loading to external-table mode
+    /// for the rest of the scan (the query still answers from raw).
+    LoadDegraded { chunk: u64 },
+    /// A database read of a loaded chunk failed past the retry budget; the
+    /// chunk was served by raw conversion instead.
+    DbReadFallback { chunk: u64 },
+    /// A post-crash recovery pass finished: `committed` cells restored,
+    /// `dropped` commit records discarded (corrupt or malformed).
+    RecoveryCompleted { committed: u64, dropped: u64 },
 }
 
 /// Why a non-speculative write was queued.
@@ -93,6 +104,10 @@ impl ObsEvent {
             ObsEvent::CacheEvict { .. } => "CacheEvict",
             ObsEvent::ChunkSkipped { .. } => "ChunkSkipped",
             ObsEvent::WorkerScaled { .. } => "WorkerScaled",
+            ObsEvent::IoRetry { .. } => "IoRetry",
+            ObsEvent::LoadDegraded { .. } => "LoadDegraded",
+            ObsEvent::DbReadFallback { .. } => "DbReadFallback",
+            ObsEvent::RecoveryCompleted { .. } => "RecoveryCompleted",
         }
     }
 
@@ -125,6 +140,14 @@ impl ObsEvent {
             }
             ObsEvent::ChunkSkipped { chunk } => json!({"chunk": *chunk}),
             ObsEvent::WorkerScaled { from, to } => json!({"from": *from, "to": *to}),
+            ObsEvent::IoRetry { target, attempt } => {
+                json!({"target": target, "attempt": *attempt})
+            }
+            ObsEvent::LoadDegraded { chunk } => json!({"chunk": *chunk}),
+            ObsEvent::DbReadFallback { chunk } => json!({"chunk": *chunk}),
+            ObsEvent::RecoveryCompleted { committed, dropped } => {
+                json!({"committed": *committed, "dropped": *dropped})
+            }
         }
     }
 
@@ -161,6 +184,16 @@ impl ObsEvent {
             "WorkerScaled" => ObsEvent::WorkerScaled {
                 from: payload["from"].as_u64()?,
                 to: payload["to"].as_u64()?,
+            },
+            "IoRetry" => ObsEvent::IoRetry {
+                target: payload["target"].as_str()?.to_string(),
+                attempt: payload["attempt"].as_u64()?,
+            },
+            "LoadDegraded" => ObsEvent::LoadDegraded { chunk: chunk()? },
+            "DbReadFallback" => ObsEvent::DbReadFallback { chunk: chunk()? },
+            "RecoveryCompleted" => ObsEvent::RecoveryCompleted {
+                committed: payload["committed"].as_u64()?,
+                dropped: payload["dropped"].as_u64()?,
             },
             _ => return None,
         })
@@ -442,6 +475,16 @@ mod tests {
             },
             ObsEvent::ChunkSkipped { chunk: 8 },
             ObsEvent::WorkerScaled { from: 2, to: 4 },
+            ObsEvent::IoRetry {
+                target: "db/t/col0.bin".into(),
+                attempt: 2,
+            },
+            ObsEvent::LoadDegraded { chunk: 9 },
+            ObsEvent::DbReadFallback { chunk: 10 },
+            ObsEvent::RecoveryCompleted {
+                committed: 12,
+                dropped: 3,
+            },
         ];
         for event in events {
             let entry = JournalEntry {

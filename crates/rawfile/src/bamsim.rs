@@ -408,7 +408,8 @@ impl BamReader {
         self.pos += 12;
         let comp = self.disk.read(&self.file, self.pos, comp_len)?;
         self.pos += comp_len as u64;
-        self.block = lzss::decompress(&comp, raw_len).map_err(Error::Io)?;
+        self.block = lzss::decompress(&comp, raw_len)
+            .map_err(|m| Error::io_corrupt(self.file.clone(), m))?;
         self.block_pos = 0;
         self.block_remaining = records;
         Ok(true)

@@ -14,6 +14,8 @@
 //!   at a higher bandwidth (paper §2 READ, §5 methodology).
 
 use crate::clock::SharedClock;
+#[cfg(feature = "fault-inject")]
+use crate::fault::{Decision, FaultPlan, Outcome};
 use crate::ramfile::RamStorage;
 use crate::stats::{DiskStats, OpRecord};
 use parking_lot::Mutex;
@@ -140,6 +142,8 @@ pub struct SimDisk {
     clock: SharedClock,
     inner: Arc<Mutex<DiskInner>>,
     stats: Arc<DiskStats>,
+    #[cfg(feature = "fault-inject")]
+    fault: Arc<Mutex<Option<FaultPlan>>>,
 }
 
 impl SimDisk {
@@ -153,6 +157,8 @@ impl SimDisk {
                 cache: PageCacheModel::default(),
             })),
             stats: Arc::new(DiskStats::new()),
+            #[cfg(feature = "fault-inject")]
+            fault: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -192,6 +198,36 @@ impl SimDisk {
         self.inner.lock().cache.clear();
     }
 
+    /// Installs a fault plan; every subsequent `read`/`write_at`/`append`
+    /// consults it. Replaces any previous plan.
+    #[cfg(feature = "fault-inject")]
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.fault.lock() = Some(plan);
+    }
+
+    /// Removes the installed fault plan (modeling a device repair/restart)
+    /// and returns it so tests can inspect its injection counters.
+    #[cfg(feature = "fault-inject")]
+    pub fn clear_fault_plan(&self) -> Option<FaultPlan> {
+        self.fault.lock().take()
+    }
+
+    /// Snapshot of the installed plan's injection counters, if any.
+    #[cfg(feature = "fault-inject")]
+    pub fn fault_counters(&self) -> Option<crate::fault::FaultCounters> {
+        self.fault.lock().as_ref().map(|p| p.counters().clone())
+    }
+
+    /// One fault decision per device op. Never called with `inner` held —
+    /// the fault mutex is a leaf lock.
+    #[cfg(feature = "fault-inject")]
+    fn fault_decision(&self, kind: AccessKind, name: &str, len: usize) -> Decision {
+        match self.fault.lock().as_mut() {
+            Some(plan) => plan.decide(kind, name, len),
+            None => Decision::clean(),
+        }
+    }
+
     pub fn exists(&self, name: &str) -> bool {
         self.storage.exists(name)
     }
@@ -205,6 +241,8 @@ impl SimDisk {
     /// Splits the range into cached and uncached pages, charges each share at
     /// the corresponding bandwidth, then marks the pages resident.
     pub fn read(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
+        #[cfg(feature = "fault-inject")]
+        let decision = self.fault_decision(AccessKind::Read, name, len);
         // Compute cache hit/miss split and the seek penalty under the device
         // lock, and hold the lock while time passes: single accessor.
         self.stats.queue_enter();
@@ -219,11 +257,32 @@ impl SimDisk {
         }
         cost += bytes_over_bw(miss_bytes, self.cfg.read_bw);
         cost += bytes_over_bw(hit_bytes, self.cfg.cached_read_bw);
+        #[cfg(feature = "fault-inject")]
+        {
+            cost += decision.extra_latency;
+        }
 
         let start = self.clock.now();
         self.clock.sleep(cost);
         let end = self.clock.now();
+        #[cfg(feature = "fault-inject")]
+        if let Outcome::Fail(e) = decision.outcome {
+            self.stats.queue_exit();
+            return Err(e);
+        }
         let data = self.storage.read_at(name, offset, len);
+        #[cfg(feature = "fault-inject")]
+        let data = match (data, decision.outcome) {
+            (Ok(mut bytes), Outcome::BitFlip { byte, mask }) => {
+                // Read-path corruption: the returned buffer is damaged, the
+                // stored bytes are not.
+                if let Some(b) = bytes.get_mut(byte) {
+                    *b ^= mask;
+                }
+                Ok(bytes)
+            }
+            (data, _) => data,
+        };
         self.stats.record(OpRecord {
             kind: AccessKind::Read,
             start,
@@ -236,6 +295,8 @@ impl SimDisk {
 
     /// Throttled positional write (write-through; pages become resident).
     pub fn write_at(&self, name: &str, offset: u64, buf: &[u8]) -> Result<()> {
+        #[cfg(feature = "fault-inject")]
+        let decision = self.fault_decision(AccessKind::Write, name, buf.len());
         self.stats.queue_enter();
         let mut inner = self.inner.lock();
         let mut cost = Duration::ZERO;
@@ -245,10 +306,30 @@ impl SimDisk {
         inner.last_kind = Some(AccessKind::Write);
         cost += bytes_over_bw(buf.len() as u64, self.cfg.write_bw);
         self.classify_and_touch(&mut inner, name, offset, buf.len() as u64);
+        #[cfg(feature = "fault-inject")]
+        {
+            cost += decision.extra_latency;
+        }
 
         let start = self.clock.now();
         self.clock.sleep(cost);
         let end = self.clock.now();
+        #[cfg(feature = "fault-inject")]
+        match decision.outcome {
+            Outcome::Fail(e) => {
+                self.stats.queue_exit();
+                return Err(e);
+            }
+            Outcome::Torn { keep, error } => {
+                // A prefix reaches storage; the caller sees an error. Retried
+                // appends recompute their offset, so torn bytes become dead
+                // space guarded by the commit protocol's checksums.
+                let _ = self.storage.write_at(name, offset, &buf[..keep]);
+                self.stats.queue_exit();
+                return Err(error);
+            }
+            Outcome::Proceed | Outcome::BitFlip { .. } => {}
+        }
         let result = self.storage.write_at(name, offset, buf);
         self.stats.record(OpRecord {
             kind: AccessKind::Write,
@@ -421,5 +502,99 @@ mod tests {
     fn reads_of_missing_files_fail_cleanly() {
         let d = SimDisk::instant();
         assert!(d.read("missing", 0, 1).is_err());
+    }
+
+    #[cfg(feature = "fault-inject")]
+    mod faults {
+        use super::*;
+        use crate::fault::{FaultConfig, FaultPlan};
+
+        #[test]
+        fn transient_faults_surface_and_clear() {
+            let d = SimDisk::instant();
+            d.storage().put("db/t/col0.bin", vec![7u8; 64]);
+            d.set_fault_plan(FaultPlan::new(FaultConfig {
+                p_transient: 1.0,
+                max_consecutive: 2,
+                ..FaultConfig::seeded(3)
+            }));
+            let e1 = d.read("db/t/col0.bin", 0, 64).unwrap_err();
+            assert!(e1.is_retryable());
+            let e2 = d.read("db/t/col0.bin", 0, 64).unwrap_err();
+            assert!(e2.is_retryable());
+            // Cap reached: third attempt succeeds.
+            assert_eq!(d.read("db/t/col0.bin", 0, 64).unwrap(), vec![7u8; 64]);
+            let plan = d.clear_fault_plan().unwrap();
+            assert_eq!(plan.counters().transient, 2);
+            // With the plan cleared the device is healthy again.
+            assert!(d.read("db/t/col0.bin", 0, 64).is_ok());
+        }
+
+        #[test]
+        fn bitflip_corrupts_returned_bytes_not_storage() {
+            let d = SimDisk::instant();
+            d.storage().put("db/t/col0.bin", vec![0u8; 32]);
+            d.set_fault_plan(FaultPlan::new(FaultConfig {
+                p_bitflip: 1.0,
+                max_consecutive: 1,
+                ..FaultConfig::seeded(5)
+            }));
+            let flipped = d.read("db/t/col0.bin", 0, 32).unwrap();
+            assert_ne!(flipped, vec![0u8; 32], "one bit must differ");
+            assert_eq!(flipped.iter().map(|b| b.count_ones()).sum::<u32>(), 1);
+            // Streak capped at 1 → the re-read returns pristine bytes.
+            assert_eq!(d.read("db/t/col0.bin", 0, 32).unwrap(), vec![0u8; 32]);
+        }
+
+        #[test]
+        fn torn_write_leaves_prefix_only() {
+            let d = SimDisk::instant();
+            d.create("db/t/col0.bin");
+            d.set_fault_plan(FaultPlan::new(FaultConfig {
+                p_torn: 1.0,
+                max_consecutive: 1,
+                ..FaultConfig::seeded(8)
+            }));
+            let err = d.append("db/t/col0.bin", &[9u8; 100]).unwrap_err();
+            assert!(err.is_retryable());
+            let torn_len = d.len("db/t/col0.bin").unwrap();
+            assert!(torn_len < 100, "short write expected, got {torn_len}");
+            // Retry: append recomputes its offset past the torn prefix.
+            let off = d.append("db/t/col0.bin", &[9u8; 100]).unwrap();
+            assert_eq!(off, torn_len);
+            assert_eq!(d.read("db/t/col0.bin", off, 100).unwrap(), vec![9u8; 100]);
+        }
+
+        #[test]
+        fn crash_fails_everything_until_cleared() {
+            let d = SimDisk::instant();
+            d.storage().put("f", vec![1u8; 16]);
+            d.set_fault_plan(FaultPlan::new(FaultConfig {
+                crash_at_op: Some(2),
+                ..FaultConfig::seeded(1)
+            }));
+            assert!(d.read("f", 0, 16).is_ok());
+            let e = d.read("f", 0, 16).unwrap_err();
+            assert!(!e.is_retryable());
+            assert!(d.read("f", 0, 16).is_err());
+            d.clear_fault_plan();
+            assert!(d.read("f", 0, 16).is_ok(), "restart heals the device");
+        }
+
+        #[test]
+        fn latency_spike_costs_virtual_time() {
+            let cfg = DiskConfig::instant();
+            let d = SimDisk::new(cfg, VirtualClock::shared());
+            d.storage().put("f", vec![0u8; 16]);
+            d.set_fault_plan(FaultPlan::new(FaultConfig {
+                p_latency: 1.0,
+                latency_spike: Duration::from_millis(50),
+                ..FaultConfig::seeded(2)
+            }));
+            let t0 = d.clock().now();
+            d.read("f", 0, 16).unwrap();
+            let elapsed = d.clock().now() - t0;
+            assert!(elapsed >= Duration::from_millis(50), "{elapsed:?}");
+        }
     }
 }

@@ -1,0 +1,501 @@
+//! Seeded fault injection for [`SimDisk`] (feature `fault-inject`).
+//!
+//! A [`FaultPlan`] is a deterministic stream of per-operation decisions drawn
+//! from a SplitMix64 generator (the same mixer as the schedule-stress harness
+//! of crates/core/tests/schedule_stress.rs). Installed on a disk via
+//! [`SimDisk::set_fault_plan`], it can make any `read`/`write_at`/`append`
+//! fail with a typed [`scanraw_types::IoError`], tear a write short, flip a
+//! bit in the bytes a read returns, or add a latency spike — with per-file
+//! (substring) targeting and per-op-count triggers (a permanent failure
+//! threshold and a whole-device crash point).
+//!
+//! Two properties keep seeded test suites meaningful:
+//!
+//! * **Bounded unfairness** — at most [`FaultConfig::max_consecutive`]
+//!   consecutive injected failures per file, so a retry budget of
+//!   `max_consecutive + 1` attempts is guaranteed to succeed (absent a
+//!   permanent trigger). Without the cap, oracle-equality assertions would be
+//!   probabilistic rather than invariant.
+//! * **Silent corruption stays detectable** — bit flips and torn writes are
+//!   restricted to files matching [`FaultConfig::corrupt_target`]
+//!   (default `db/`, the checksummed binary store), never the raw input, so
+//!   injected corruption can change *performance*, never *results*.
+//!
+//! [`SimDisk`]: crate::disk::SimDisk
+//! [`SimDisk::set_fault_plan`]: crate::disk::SimDisk::set_fault_plan
+
+use crate::disk::AccessKind;
+use scanraw_types::Error;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// SplitMix64 — mirrors the stress-harness generator so fault schedules and
+/// thread schedules share one seeding idiom.
+#[derive(Debug, Clone)]
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            (self.next() % n as u64) as usize
+        }
+    }
+}
+
+/// What a [`FaultPlan`] may do to device operations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Seed of the decision stream; same seed + same op sequence = same faults.
+    pub seed: u64,
+    /// Probability a matching op fails with a transient error.
+    pub p_transient: f64,
+    /// Probability a matching write is torn: a random prefix reaches storage,
+    /// the op reports a transient "short write" error.
+    pub p_torn: f64,
+    /// Probability one bit is flipped in the bytes a matching read *returns*
+    /// (stored bytes stay intact — read-path corruption).
+    pub p_bitflip: f64,
+    /// Probability a matching op is delayed by [`latency_spike`].
+    ///
+    /// [`latency_spike`]: FaultConfig::latency_spike
+    pub p_latency: f64,
+    /// Extra (virtual) latency added on a latency-spike draw.
+    pub latency_spike: Duration,
+    /// Only files whose name contains this substring are faulted at all
+    /// (empty = every file).
+    pub target: String,
+    /// Torn writes and bit flips are additionally restricted to files
+    /// matching this substring. Default `db/`: the binary store is
+    /// checksummed, so injected corruption is always detectable and can
+    /// never silently change query results.
+    pub corrupt_target: String,
+    /// Cap on consecutive injected failures per file; bounds the attempts a
+    /// retry loop needs to `max_consecutive + 1`.
+    pub max_consecutive: u32,
+    /// After this many *matching* ops, every further matching op fails
+    /// permanently (a dead device region).
+    pub permanent_after: Option<u64>,
+    /// Whole-device crash at this op count (counting every op): the in-flight
+    /// write is torn with no error-path warning to the caller's protocol —
+    /// a permanent error — and all later ops fail permanently until the plan
+    /// is cleared (modeling a restart).
+    pub crash_at_op: Option<u64>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            p_transient: 0.0,
+            p_torn: 0.0,
+            p_bitflip: 0.0,
+            p_latency: 0.0,
+            latency_spike: Duration::from_millis(5),
+            target: String::new(),
+            corrupt_target: "db/".into(),
+            max_consecutive: 3,
+            permanent_after: None,
+            crash_at_op: None,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A plan seeded for general mayhem at the given rates.
+    pub fn seeded(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// Tallies of what a plan actually injected — read back by tests via
+/// [`FaultPlan::counters`] to assert a schedule exercised the paths it meant
+/// to.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    pub transient: u64,
+    pub torn: u64,
+    pub bitflip: u64,
+    pub permanent: u64,
+    pub latency_spikes: u64,
+    pub crashes: u64,
+}
+
+/// Per-op fault decision handed to the disk.
+#[derive(Debug)]
+pub(crate) struct Decision {
+    pub(crate) extra_latency: Duration,
+    pub(crate) outcome: Outcome,
+}
+
+#[derive(Debug)]
+pub(crate) enum Outcome {
+    /// Execute the operation normally.
+    Proceed,
+    /// Fail without touching storage.
+    Fail(Error),
+    /// Write only the first `keep` bytes, then report `error`.
+    Torn { keep: usize, error: Error },
+    /// Read normally, then flip `mask` in byte `byte` of the returned buffer.
+    BitFlip { byte: usize, mask: u8 },
+}
+
+impl Decision {
+    pub(crate) fn clean() -> Self {
+        Decision {
+            extra_latency: Duration::ZERO,
+            outcome: Outcome::Proceed,
+        }
+    }
+
+    fn fail(error: Error) -> Self {
+        Decision {
+            extra_latency: Duration::ZERO,
+            outcome: Outcome::Fail(error),
+        }
+    }
+}
+
+/// Live fault-decision state installed on a [`SimDisk`].
+///
+/// [`SimDisk`]: crate::disk::SimDisk
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    rng: Rng,
+    /// Every op seen (crash trigger counts these).
+    ops: u64,
+    /// Ops on files matching `cfg.target` (permanent trigger counts these).
+    matching_ops: u64,
+    /// Consecutive injected failures per file, reset by a clean op.
+    consecutive: HashMap<String, u32>,
+    crashed: bool,
+    counters: FaultCounters,
+}
+
+impl FaultPlan {
+    pub fn new(cfg: FaultConfig) -> Self {
+        let rng = Rng(cfg.seed);
+        FaultPlan {
+            cfg,
+            rng,
+            ops: 0,
+            matching_ops: 0,
+            consecutive: HashMap::new(),
+            crashed: false,
+            counters: FaultCounters::default(),
+        }
+    }
+
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// What this plan has injected so far.
+    pub fn counters(&self) -> &FaultCounters {
+        &self.counters
+    }
+
+    /// True once the crash trigger fired (every later op fails permanently).
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Total device ops observed.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    fn roll(&mut self, p: f64) -> bool {
+        p > 0.0 && self.rng.unit() < p
+    }
+
+    pub(crate) fn decide(&mut self, kind: AccessKind, file: &str, len: usize) -> Decision {
+        self.ops += 1;
+
+        if self.crashed {
+            return Decision::fail(Error::io_permanent(file, "device crashed"));
+        }
+        if let Some(at) = self.cfg.crash_at_op {
+            if self.ops >= at {
+                self.crashed = true;
+                self.counters.crashes += 1;
+                if kind == AccessKind::Write && len > 0 {
+                    // The op straddling the crash point is torn mid-transfer:
+                    // a prefix reaches the platter, the caller sees a dead
+                    // device. Write-then-commit recovery must catch this.
+                    let keep = self.rng.below(len);
+                    self.counters.torn += 1;
+                    return Decision {
+                        extra_latency: Duration::ZERO,
+                        outcome: Outcome::Torn {
+                            keep,
+                            error: Error::io_permanent(file, "device crashed mid-write"),
+                        },
+                    };
+                }
+                return Decision::fail(Error::io_permanent(file, "device crashed"));
+            }
+        }
+
+        if !self.cfg.target.is_empty() && !file.contains(&self.cfg.target) {
+            return Decision::clean();
+        }
+        self.matching_ops += 1;
+
+        if let Some(after) = self.cfg.permanent_after {
+            if self.matching_ops > after {
+                self.counters.permanent += 1;
+                return Decision::fail(Error::io_permanent(file, "injected permanent failure"));
+            }
+        }
+
+        let mut decision = Decision::clean();
+        if self.roll(self.cfg.p_latency) {
+            decision.extra_latency = self.cfg.latency_spike;
+            self.counters.latency_spikes += 1;
+        }
+
+        let streak = self.consecutive.entry(file.to_string()).or_insert(0);
+        let may_fault = *streak < self.cfg.max_consecutive;
+        let corruptible =
+            self.cfg.corrupt_target.is_empty() || file.contains(&self.cfg.corrupt_target);
+
+        if may_fault && self.roll(self.cfg.p_transient) {
+            *self.consecutive.entry(file.to_string()).or_insert(0) += 1;
+            self.counters.transient += 1;
+            decision.outcome = Outcome::Fail(Error::io_transient(file, "injected transient error"));
+            return decision;
+        }
+        if kind == AccessKind::Write
+            && may_fault
+            && corruptible
+            && len > 0
+            && self.roll(self.cfg.p_torn)
+        {
+            let keep = self.rng.below(len);
+            *self.consecutive.entry(file.to_string()).or_insert(0) += 1;
+            self.counters.torn += 1;
+            decision.outcome = Outcome::Torn {
+                keep,
+                error: Error::io_transient(
+                    file,
+                    format!("torn write: {keep} of {len} bytes reached storage"),
+                ),
+            };
+            return decision;
+        }
+        if kind == AccessKind::Read
+            && may_fault
+            && corruptible
+            && len > 0
+            && self.roll(self.cfg.p_bitflip)
+        {
+            let byte = self.rng.below(len);
+            let mask = 1u8 << (self.rng.next() % 8);
+            *self.consecutive.entry(file.to_string()).or_insert(0) += 1;
+            self.counters.bitflip += 1;
+            decision.outcome = Outcome::BitFlip { byte, mask };
+            return decision;
+        }
+
+        self.consecutive.insert(file.to_string(), 0);
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn always() -> FaultConfig {
+        FaultConfig {
+            seed: 7,
+            p_transient: 1.0,
+            max_consecutive: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn consecutive_cap_bounds_failure_streaks() {
+        let mut plan = FaultPlan::new(always());
+        let mut failures = 0;
+        for _ in 0..3 {
+            match plan.decide(AccessKind::Read, "f", 64).outcome {
+                Outcome::Fail(e) => {
+                    assert!(e.is_retryable());
+                    failures += 1;
+                }
+                Outcome::Proceed => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(failures, 2, "cap of 2 must stop the streak");
+        // The loop's clean op reset the streak: faults resume, capped again.
+        assert!(matches!(
+            plan.decide(AccessKind::Read, "f", 64).outcome,
+            Outcome::Fail(_)
+        ));
+        assert!(matches!(
+            plan.decide(AccessKind::Read, "f", 64).outcome,
+            Outcome::Fail(_)
+        ));
+        assert!(matches!(
+            plan.decide(AccessKind::Read, "f", 64).outcome,
+            Outcome::Proceed
+        ));
+    }
+
+    #[test]
+    fn target_substring_scopes_faults() {
+        let cfg = FaultConfig {
+            target: "db/".into(),
+            ..always()
+        };
+        let mut plan = FaultPlan::new(cfg);
+        assert!(matches!(
+            plan.decide(AccessKind::Read, "input.csv", 64).outcome,
+            Outcome::Proceed
+        ));
+        assert!(matches!(
+            plan.decide(AccessKind::Read, "db/t/col0.bin", 64).outcome,
+            Outcome::Fail(_)
+        ));
+    }
+
+    #[test]
+    fn corruption_restricted_to_corrupt_target() {
+        let cfg = FaultConfig {
+            seed: 11,
+            p_bitflip: 1.0,
+            p_torn: 1.0,
+            ..Default::default()
+        };
+        let mut plan = FaultPlan::new(cfg);
+        // Raw file: never corrupted.
+        assert!(matches!(
+            plan.decide(AccessKind::Read, "input.csv", 64).outcome,
+            Outcome::Proceed
+        ));
+        assert!(matches!(
+            plan.decide(AccessKind::Write, "input.csv", 64).outcome,
+            Outcome::Proceed
+        ));
+        // Binary store: fair game.
+        assert!(matches!(
+            plan.decide(AccessKind::Read, "db/t/col0.bin", 64).outcome,
+            Outcome::BitFlip { .. }
+        ));
+        assert!(matches!(
+            plan.decide(AccessKind::Write, "db/t/col1.bin", 64).outcome,
+            Outcome::Torn { .. }
+        ));
+    }
+
+    #[test]
+    fn crash_kills_the_device_and_tears_inflight_write() {
+        let cfg = FaultConfig {
+            crash_at_op: Some(3),
+            ..FaultConfig::seeded(5)
+        };
+        let mut plan = FaultPlan::new(cfg);
+        assert!(matches!(
+            plan.decide(AccessKind::Read, "f", 8).outcome,
+            Outcome::Proceed
+        ));
+        assert!(matches!(
+            plan.decide(AccessKind::Read, "f", 8).outcome,
+            Outcome::Proceed
+        ));
+        match plan.decide(AccessKind::Write, "db/t/col0.bin", 100).outcome {
+            Outcome::Torn { keep, error } => {
+                assert!(keep < 100);
+                assert!(!error.is_retryable());
+            }
+            other => panic!("expected torn crash write, got {other:?}"),
+        }
+        assert!(plan.crashed());
+        // Everything afterwards fails permanently.
+        match plan.decide(AccessKind::Read, "f", 8).outcome {
+            Outcome::Fail(e) => assert!(!e.is_retryable()),
+            other => panic!("expected permanent failure, got {other:?}"),
+        }
+        assert_eq!(plan.counters().crashes, 1);
+    }
+
+    #[test]
+    fn permanent_after_threshold_on_matching_ops() {
+        let cfg = FaultConfig {
+            target: "db/".into(),
+            permanent_after: Some(1),
+            ..FaultConfig::seeded(9)
+        };
+        let mut plan = FaultPlan::new(cfg);
+        assert!(matches!(
+            plan.decide(AccessKind::Write, "db/t/col0.bin", 8).outcome,
+            Outcome::Proceed
+        ));
+        // Non-matching ops never count against the threshold.
+        for _ in 0..4 {
+            assert!(matches!(
+                plan.decide(AccessKind::Read, "input.csv", 8).outcome,
+                Outcome::Proceed
+            ));
+        }
+        match plan.decide(AccessKind::Write, "db/t/col0.bin", 8).outcome {
+            Outcome::Fail(e) => assert!(!e.is_retryable()),
+            other => panic!("expected permanent failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let cfg = FaultConfig {
+            p_transient: 0.5,
+            p_bitflip: 0.3,
+            p_torn: 0.3,
+            max_consecutive: 100,
+            ..FaultConfig::seeded(42)
+        };
+        let run = |cfg: FaultConfig| {
+            let mut plan = FaultPlan::new(cfg);
+            let mut trace = Vec::new();
+            for i in 0..200 {
+                let kind = if i % 3 == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                let d = plan.decide(kind, "db/t/col0.bin", 64);
+                trace.push(format!("{:?}", d.outcome));
+            }
+            (trace, plan.counters().clone())
+        };
+        let (t1, c1) = run(cfg.clone());
+        let (t2, c2) = run(cfg);
+        assert_eq!(t1, t2);
+        assert_eq!(c1, c2);
+        assert!(
+            c1.transient + c1.bitflip + c1.torn > 0,
+            "plan injected nothing"
+        );
+    }
+}

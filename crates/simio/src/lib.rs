@@ -22,10 +22,14 @@
 #![deny(rust_2018_idioms)]
 pub mod clock;
 pub mod disk;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod ramfile;
 pub mod stats;
 
 pub use clock::{Clock, RealClock, SharedClock, VirtualClock};
 pub use disk::{AccessKind, DiskConfig, SimDisk};
+#[cfg(feature = "fault-inject")]
+pub use fault::{FaultConfig, FaultCounters, FaultPlan};
 pub use ramfile::RamStorage;
 pub use stats::{DiskStats, UtilizationSample};

@@ -233,18 +233,27 @@ impl TableEntry {
         any.then_some(total)
     }
 
+    /// Absolute number of (chunk, column) cells marked loaded. Unlike
+    /// [`loaded_fraction`], whose denominator shrinks when a restart forgets
+    /// the in-memory layout, this count must be monotonically non-decreasing
+    /// across queries and honest recoveries — the fault-schedule suite
+    /// asserts exactly that.
+    ///
+    /// [`loaded_fraction`]: TableEntry::loaded_fraction
+    pub fn loaded_cell_count(&self) -> usize {
+        self.loaded
+            .iter()
+            .map(|l| l.iter().filter(|&&b| b).count())
+            .sum()
+    }
+
     /// Fraction of (chunk, column) cells loaded, for progress reporting.
     pub fn loaded_fraction(&self) -> f64 {
         let total: usize = self.loaded.iter().map(|l| l.len()).sum();
         if total == 0 {
             return 0.0;
         }
-        let set: usize = self
-            .loaded
-            .iter()
-            .map(|l| l.iter().filter(|&&b| b).count())
-            .sum();
-        set as f64 / total as f64
+        self.loaded_cell_count() as f64 / total as f64
     }
 }
 

@@ -7,7 +7,21 @@
 //! directly mapped into the in-memory array representation", paper §3.1), so
 //! loading a chunk back is a single device read plus a memcpy-equivalent
 //! decode.
+//!
+//! # Durability: write-then-commit
+//!
+//! A run only counts as loaded once two appends complete in order: the
+//! payload into the column file, then a one-line commit record (with the
+//! payload's CRC-32) into the table's `commit.log`. A crash between the two
+//! leaves dead payload bytes that no record references — [`recover`] replays
+//! the log after a restart, re-verifies every referenced payload against its
+//! checksum, and rebuilds the run index from surviving records only, so the
+//! catalog's loaded bitmap never claims a chunk whose bytes are missing or
+//! corrupt (DESIGN.md §10).
+//!
+//! [`recover`]: ColumnStore::recover
 
+use crate::checksum::crc32;
 use parking_lot::RwLock;
 use scanraw_simio::SimDisk;
 use scanraw_types::{BinaryChunk, ChunkId, ColumnData, DataType, Error, Result, Schema};
@@ -20,6 +34,27 @@ struct RunLocator {
     offset: u64,
     len: u64,
     rows: u32,
+    /// CRC-32 of the payload, verified on every read of the run.
+    crc: u32,
+}
+
+/// One column run restored by [`ColumnStore::recover`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveredRun {
+    pub col: usize,
+    pub id: ChunkId,
+    pub rows: u32,
+}
+
+/// Outcome of a [`ColumnStore::recover`] pass over one table's commit log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveredRuns {
+    /// Runs whose commit record and payload both survived.
+    pub committed: Vec<RecoveredRun>,
+    /// Commit records whose payload was missing, short, or failed its CRC.
+    pub dropped_corrupt: usize,
+    /// Unparseable records (torn log tail, garbage lines).
+    pub dropped_malformed: usize,
 }
 
 /// Columnar store over a shared device. Cheap to clone.
@@ -48,9 +83,42 @@ impl ColumnStore {
         format!("db/{table}/col{col}.bin")
     }
 
+    fn log_name(table: &str) -> String {
+        format!("db/{table}/commit.log")
+    }
+
     /// Writes every present column of `chunk` that is not already stored.
     /// Returns the column indices actually written.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first device error; columns written before it stay
+    /// committed (use [`store_chunk_partial`] to learn which).
+    ///
+    /// [`store_chunk_partial`]: ColumnStore::store_chunk_partial
     pub fn store_chunk(&self, table: &str, chunk: &BinaryChunk) -> Result<Vec<usize>> {
+        let (written, err) = self.store_chunk_partial(table, chunk);
+        match err {
+            Some(e) => Err(e),
+            None => Ok(written),
+        }
+    }
+
+    /// Like [`store_chunk`], but reports partial progress: the columns that
+    /// were durably committed before a device error, plus the error itself.
+    /// The WRITE stage needs both — committed columns must be marked loaded
+    /// in the catalog (the work is durable), the failed column must not be.
+    ///
+    /// Each column follows the write-then-commit protocol: payload append,
+    /// then commit-record append. A column counts as written only when both
+    /// appends succeeded.
+    ///
+    /// [`store_chunk`]: ColumnStore::store_chunk
+    pub fn store_chunk_partial(
+        &self,
+        table: &str,
+        chunk: &BinaryChunk,
+    ) -> (Vec<usize>, Option<Error>) {
         let mut written = Vec::new();
         for (col, data) in chunk.columns.iter().enumerate() {
             let Some(data) = data else { continue };
@@ -59,20 +127,111 @@ impl ColumnStore {
                 continue; // already stored; chunks are immutable
             }
             let bytes = encode_column(data);
+            let crc = crc32(&bytes);
             let file = Self::file_name(table, col);
             self.disk.create(&file);
-            let offset = self.disk.append(&file, &bytes)?;
+            let offset = match self.disk.append(&file, &bytes) {
+                Ok(o) => o,
+                Err(e) => return (written, Some(e)),
+            };
+            // Commit point: the run exists once this record is durable. A
+            // crash before it leaves the payload as unreferenced dead bytes
+            // that recovery ignores. The leading newline isolates the record
+            // from any partial bytes a torn earlier append left at the log
+            // tail — otherwise the torn prefix and this record would merge
+            // into one malformed line and recovery would drop a durable run.
+            let record = format!(
+                "\nv1 {col} {id} {offset} {len} {rows} {crc}\n",
+                id = chunk.id.0,
+                len = bytes.len(),
+                rows = chunk.rows,
+            );
+            let log = Self::log_name(table);
+            self.disk.create(&log);
+            if let Err(e) = self.disk.append(&log, record.as_bytes()) {
+                return (written, Some(e));
+            }
             self.runs.write().insert(
                 key,
                 RunLocator {
                     offset,
                     len: bytes.len() as u64,
                     rows: chunk.rows,
+                    crc,
                 },
             );
             written.push(col);
         }
-        Ok(written)
+        (written, None)
+    }
+
+    /// Rebuilds the run index for `table` from its commit log after a crash
+    /// or restart. Only records whose payload is present and passes its
+    /// CRC-32 survive; everything else is dropped and counted, so a caller
+    /// re-marking the catalog from [`RecoveredRuns::committed`] can never
+    /// mark a lying bit.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a commit record names a column outside `schema` —
+    /// corruption of the metadata itself rather than of a payload.
+    pub fn recover(&self, table: &str, schema: &Schema) -> Result<RecoveredRuns> {
+        let mut report = RecoveredRuns::default();
+        let log = Self::log_name(table);
+        if !self.disk.exists(&log) {
+            return Ok(report); // nothing was ever committed
+        }
+        let log_len = self.disk.len(&log)?;
+        let raw = self.disk.read(&log, 0, log_len as usize)?;
+        let text = String::from_utf8_lossy(&raw);
+        // Only newline-terminated records count: a crash mid-append tears the
+        // final line, which must not resurrect a half-committed run.
+        let complete_upto = text.rfind('\n').map_or(0, |i| i + 1);
+        if complete_upto < text.len() {
+            report.dropped_malformed += 1;
+        }
+        for line in text[..complete_upto].lines() {
+            if line.is_empty() {
+                continue; // records are newline-isolated; blanks are padding
+            }
+            let Some(rec) = parse_commit_record(line) else {
+                report.dropped_malformed += 1;
+                continue;
+            };
+            let (col, id, offset, len, rows, crc) = rec;
+            if col >= schema.len() {
+                return Err(Error::storage(format!(
+                    "commit log of '{table}' names column {col} outside the schema"
+                )));
+            }
+            let key = (table.to_string(), col, id);
+            if self.runs.read().contains_key(&key) {
+                continue; // duplicate record; first commit wins
+            }
+            let file = Self::file_name(table, col);
+            let payload = match self.disk.read(&file, offset, len as usize) {
+                Ok(p) => p,
+                Err(_) => {
+                    report.dropped_corrupt += 1;
+                    continue;
+                }
+            };
+            if crc32(&payload) != crc {
+                report.dropped_corrupt += 1;
+                continue;
+            }
+            self.runs.write().insert(
+                key,
+                RunLocator {
+                    offset,
+                    len,
+                    rows,
+                    crc,
+                },
+            );
+            report.committed.push(RecoveredRun { col, id, rows });
+        }
+        Ok(report)
     }
 
     /// True when (table, column, chunk) is stored.
@@ -103,6 +262,15 @@ impl ColumnStore {
             })?;
             let file = Self::file_name(table, col);
             let bytes = self.disk.read(&file, loc.offset, loc.len as usize)?;
+            if crc32(&bytes) != loc.crc {
+                // Read-path corruption (a flipped bit between platter and
+                // buffer) — retryable; persistent mismatch means the stored
+                // payload itself is bad and the caller falls back to raw.
+                return Err(Error::io_corrupt(
+                    file,
+                    format!("checksum mismatch reading {id} column {col} of '{table}'"),
+                ));
+            }
             let dt = schema
                 .field(col)
                 .ok_or_else(|| Error::storage(format!("column {col} out of schema")))?
@@ -136,6 +304,27 @@ impl ColumnStore {
             .map(|(_, loc)| loc.len)
             .sum()
     }
+}
+
+/// Parses one commit record: `v1 <col> <chunk> <offset> <len> <rows> <crc>`.
+/// Returns `None` for anything that does not match exactly (torn tails,
+/// unknown versions, garbage).
+#[allow(clippy::type_complexity)]
+fn parse_commit_record(line: &str) -> Option<(usize, ChunkId, u64, u64, u32, u32)> {
+    let mut parts = line.split_ascii_whitespace();
+    if parts.next()? != "v1" {
+        return None;
+    }
+    let col = parts.next()?.parse().ok()?;
+    let id = ChunkId(parts.next()?.parse().ok()?);
+    let offset = parts.next()?.parse().ok()?;
+    let len = parts.next()?.parse().ok()?;
+    let rows = parts.next()?.parse().ok()?;
+    let crc = parts.next()?.parse().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((col, id, offset, len, rows, crc))
 }
 
 /// Flat little-endian encoding; strings are `u32` length + bytes.
@@ -321,6 +510,126 @@ mod tests {
         // 3 i64 = 24 bytes, strings = (4+1)+(4+2)+(4+0) = 15.
         assert_eq!(store.stored_bytes("t"), 39);
         assert_eq!(store.stored_bytes("other"), 0);
+    }
+
+    #[test]
+    fn corrupted_payload_detected_by_checksum() {
+        let store = ColumnStore::new(SimDisk::instant());
+        store.store_chunk("t", &chunk(0)).unwrap();
+        // Damage one stored byte directly (bypassing the device model).
+        let file = "db/t/col0.bin";
+        let byte = store.disk().read(file, 0, 1).unwrap()[0];
+        store
+            .disk()
+            .storage()
+            .write_at(file, 0, &[byte ^ 0x40])
+            .unwrap();
+        let err = store
+            .load_chunk("t", &schema(), ChunkId(0), 0, &[0])
+            .unwrap_err();
+        assert_eq!(
+            err.io_kind(),
+            Some(scanraw_types::IoErrorKind::Corrupt),
+            "{err}"
+        );
+        // The untouched column still loads.
+        store
+            .load_chunk("t", &schema(), ChunkId(0), 0, &[1])
+            .unwrap();
+    }
+
+    #[test]
+    fn recover_rebuilds_runs_from_commit_log() {
+        let disk = SimDisk::instant();
+        {
+            let store = ColumnStore::new(disk.clone());
+            for i in 0..3 {
+                store.store_chunk("t", &chunk(i)).unwrap();
+            }
+        }
+        // "Restart": a fresh store over the surviving device.
+        let store = ColumnStore::new(disk);
+        assert!(!store.has("t", 0, ChunkId(0)));
+        let report = store.recover("t", &schema()).unwrap();
+        assert_eq!(report.committed.len(), 6, "3 chunks × 2 present columns");
+        assert_eq!(report.dropped_corrupt, 0);
+        assert_eq!(report.dropped_malformed, 0);
+        for i in 0..3 {
+            let back = store
+                .load_chunk("t", &schema(), ChunkId(i), 0, &[0, 1])
+                .unwrap();
+            assert_eq!(back.column(0), chunk(i).column(0));
+        }
+    }
+
+    #[test]
+    fn recover_drops_uncommitted_payload() {
+        let disk = SimDisk::instant();
+        let store = ColumnStore::new(disk.clone());
+        store.store_chunk("t", &chunk(0)).unwrap();
+        // Simulate a crash after a payload append but before its commit
+        // record: orphan bytes at the tail of the column file.
+        disk.storage().append("db/t/col0.bin", &[0xAA; 24]).unwrap();
+        let fresh = ColumnStore::new(disk);
+        let report = fresh.recover("t", &schema()).unwrap();
+        assert_eq!(report.committed.len(), 2);
+        assert!(fresh.has("t", 0, ChunkId(0)));
+        assert!(!fresh.has("t", 0, ChunkId(1)), "orphan never committed");
+    }
+
+    #[test]
+    fn recover_drops_torn_log_tail() {
+        let disk = SimDisk::instant();
+        let store = ColumnStore::new(disk.clone());
+        store.store_chunk("t", &chunk(0)).unwrap();
+        store.store_chunk("t", &chunk(1)).unwrap();
+        // Tear the last committed record: strip the trailing newline plus a
+        // few characters, as a crash mid-append would.
+        let log = "db/t/commit.log";
+        let len = disk.len(log).unwrap();
+        let all = disk.read(log, 0, len as usize).unwrap();
+        let torn = &all[..all.len() - 4];
+        disk.storage().put(log, torn.to_vec());
+        let fresh = ColumnStore::new(disk);
+        let report = fresh.recover("t", &schema()).unwrap();
+        assert_eq!(report.dropped_malformed, 1);
+        // Chunk 1's second column lost its commit record → not recovered.
+        assert_eq!(report.committed.len(), 3);
+        assert!(fresh.has("t", 0, ChunkId(1)));
+        assert!(!fresh.has("t", 1, ChunkId(1)));
+    }
+
+    #[test]
+    fn recover_drops_corrupt_payload() {
+        let disk = SimDisk::instant();
+        let store = ColumnStore::new(disk.clone());
+        store.store_chunk("t", &chunk(0)).unwrap();
+        let byte = disk.read("db/t/col1.bin", 0, 1).unwrap()[0];
+        disk.storage()
+            .write_at("db/t/col1.bin", 0, &[byte ^ 0x01])
+            .unwrap();
+        let fresh = ColumnStore::new(disk);
+        let report = fresh.recover("t", &schema()).unwrap();
+        assert_eq!(report.dropped_corrupt, 1);
+        assert!(fresh.has("t", 0, ChunkId(0)));
+        assert!(!fresh.has("t", 1, ChunkId(0)));
+    }
+
+    #[test]
+    fn recover_without_log_is_empty() {
+        let store = ColumnStore::new(SimDisk::instant());
+        let report = store.recover("t", &schema()).unwrap();
+        assert_eq!(report, RecoveredRuns::default());
+    }
+
+    #[test]
+    fn commit_record_parser_rejects_garbage() {
+        assert!(parse_commit_record("v1 0 3 128 64 8 123456").is_some());
+        assert!(parse_commit_record("v2 0 3 128 64 8 123456").is_none());
+        assert!(parse_commit_record("v1 0 3 128 64 8").is_none());
+        assert!(parse_commit_record("v1 0 3 128 64 8 123456 extra").is_none());
+        assert!(parse_commit_record("v1 x 3 128 64 8 123456").is_none());
+        assert!(parse_commit_record("").is_none());
     }
 
     #[test]

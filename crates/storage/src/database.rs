@@ -5,6 +5,17 @@ use crate::colstore::ColumnStore;
 use scanraw_simio::SimDisk;
 use scanraw_types::{BinaryChunk, ChunkId, Error, Result, Schema};
 
+/// What [`Database::recover_table`] found after a crash/restart.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// (chunk, column) cells restored and re-marked loaded in the catalog.
+    pub committed_cells: usize,
+    /// Commit records whose payload was missing, short, or failed its CRC.
+    pub dropped_corrupt: usize,
+    /// Unparseable commit records (torn tail, garbage).
+    pub dropped_malformed: usize,
+}
+
 /// The database ScanRaw integrates with.
 ///
 /// WRITE calls [`Database::store_chunk`]; READ calls
@@ -49,12 +60,55 @@ impl Database {
 
     /// Persists a converted chunk (all present columns) and updates the
     /// catalog. Returns the columns newly written.
+    ///
+    /// On a device error the catalog is still updated for the columns that
+    /// committed *before* the failure — that work is durable — while the
+    /// failed column is never marked, so a failed safeguard flush cannot
+    /// leave a lying loaded bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first device error the store hit; partial progress is
+    /// already reflected in the catalog when it surfaces.
     pub fn store_chunk(&self, table: &str, chunk: &BinaryChunk) -> Result<Vec<usize>> {
-        let written = self.store.store_chunk(table, chunk)?;
+        let (written, err) = self.store.store_chunk_partial(table, chunk);
         if !written.is_empty() {
             self.catalog.mark_loaded(table, chunk.id, &written)?;
         }
-        Ok(written)
+        match err {
+            Some(e) => Err(e),
+            None => Ok(written),
+        }
+    }
+
+    /// Rebuilds a table's store index and catalog loaded-bitmap from its
+    /// commit log after a simulated crash. Creates the table entry if this
+    /// `Database` is fresh (the usual restart case). Only runs whose payload
+    /// passes its checksum are re-marked loaded; uncommitted or corrupt runs
+    /// are dropped and counted.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the catalog rejects the table/columns (metadata-level
+    /// corruption) or the commit log itself cannot be read.
+    pub fn recover_table(
+        &self,
+        table: &str,
+        schema: Schema,
+        raw_file: &str,
+    ) -> Result<RecoveryReport> {
+        if self.catalog.table(table).is_err() {
+            self.catalog.create_table(table, schema.clone(), raw_file)?;
+        }
+        let runs = self.store.recover(table, &schema)?;
+        for run in &runs.committed {
+            self.catalog.mark_loaded(table, run.id, &[run.col])?;
+        }
+        Ok(RecoveryReport {
+            committed_cells: runs.committed.len(),
+            dropped_corrupt: runs.dropped_corrupt,
+            dropped_malformed: runs.dropped_malformed,
+        })
     }
 
     /// Loads the requested columns of a chunk from the store, verifying the
@@ -192,5 +246,98 @@ mod tests {
         db.store_chunk("t", &chunk(0, true)).unwrap(); // adds column 1 only
         let back = db.load_chunk("t", ChunkId(0), &[0, 1]).unwrap();
         assert!(back.covers(&[0, 1]));
+    }
+
+    // Regression (ISSUE 3 satellite): a failed flush must never mark the
+    // failed chunk/column loaded in the catalog — only durably committed
+    // columns may be marked.
+    #[test]
+    fn failed_flush_marks_nothing_phantom() {
+        use scanraw_simio::{FaultConfig, FaultPlan};
+        let db = db();
+        // Every db/ write fails permanently from the first op on.
+        db.disk().set_fault_plan(FaultPlan::new(FaultConfig {
+            target: "db/".into(),
+            permanent_after: Some(0),
+            ..FaultConfig::seeded(1)
+        }));
+        let err = db.store_chunk("t", &chunk(0, true)).unwrap_err();
+        assert!(!err.is_retryable());
+        assert!(
+            db.loaded_columns("t", ChunkId(0), &[0, 1])
+                .unwrap()
+                .is_empty(),
+            "failed flush must not mark any column loaded"
+        );
+        db.disk().clear_fault_plan();
+        // The flush can be retried wholesale afterwards.
+        db.store_chunk("t", &chunk(0, true)).unwrap();
+        assert_eq!(
+            db.loaded_columns("t", ChunkId(0), &[0, 1]).unwrap(),
+            vec![0, 1]
+        );
+    }
+
+    #[test]
+    fn partially_failed_flush_marks_only_committed_columns() {
+        use scanraw_simio::{FaultConfig, FaultPlan};
+        let db = db();
+        // Column 0 needs a payload append + a commit append (2 matching db/
+        // ops); fail permanently from the third matching op, killing col 1.
+        db.disk().set_fault_plan(FaultPlan::new(FaultConfig {
+            target: "db/".into(),
+            permanent_after: Some(2),
+            ..FaultConfig::seeded(1)
+        }));
+        let err = db.store_chunk("t", &chunk(0, true)).unwrap_err();
+        assert!(!err.is_retryable());
+        assert_eq!(
+            db.loaded_columns("t", ChunkId(0), &[0, 1]).unwrap(),
+            vec![0],
+            "durable column stays marked, failed column must not be"
+        );
+        db.disk().clear_fault_plan();
+        // Column 0 survives on disk: a fresh database recovers exactly it.
+        let fresh = Database::new(db.disk().clone());
+        let report = fresh
+            .recover_table("t", Schema::uniform_ints(2), "t.csv")
+            .unwrap();
+        assert_eq!(report.committed_cells, 1);
+        assert_eq!(
+            fresh.loaded_columns("t", ChunkId(0), &[0, 1]).unwrap(),
+            vec![0]
+        );
+    }
+
+    #[test]
+    fn recover_table_restores_catalog_and_data() {
+        let db = db();
+        db.store_chunk("t", &chunk(0, true)).unwrap();
+        db.store_chunk("t", &chunk(1, true)).unwrap();
+        let fresh = Database::new(db.disk().clone());
+        let report = fresh
+            .recover_table("t", Schema::uniform_ints(2), "t.csv")
+            .unwrap();
+        assert_eq!(report.committed_cells, 4);
+        assert_eq!(report.dropped_corrupt, 0);
+        assert_eq!(report.dropped_malformed, 0);
+        let back = fresh.load_chunk("t", ChunkId(1), &[0, 1]).unwrap();
+        assert_eq!(back.column(0), chunk(1, true).column(0));
+        let entry = fresh.catalog().table("t").unwrap();
+        assert_eq!(entry.read().loaded_cell_count(), 4);
+    }
+
+    #[test]
+    fn recover_table_on_existing_entry_is_additive() {
+        let db = db();
+        db.store_chunk("t", &chunk(0, true)).unwrap();
+        // Recover into the same (still-live) database: idempotent because
+        // already-indexed runs are skipped.
+        let report = db
+            .recover_table("t", Schema::uniform_ints(2), "t.csv")
+            .unwrap();
+        assert_eq!(report.committed_cells, 0, "live runs are not re-committed");
+        let entry = db.catalog().table("t").unwrap();
+        assert_eq!(entry.read().loaded_cell_count(), 2);
     }
 }

@@ -20,11 +20,13 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 pub mod catalog;
+pub mod checksum;
 pub mod colstore;
 pub mod database;
 pub mod stats;
 
 pub use catalog::{Catalog, ChunkStats, TableEntry};
-pub use colstore::ColumnStore;
-pub use database::Database;
+pub use checksum::crc32;
+pub use colstore::{ColumnStore, RecoveredRun, RecoveredRuns};
+pub use database::{Database, RecoveryReport};
 pub use stats::{ColumnDetail, ColumnSample, DistinctSketch};

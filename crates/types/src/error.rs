@@ -5,6 +5,65 @@ use std::fmt;
 /// Convenience alias used across all ScanRaw crates.
 pub type Result<T> = std::result::Result<T, Error>;
 
+/// Classification of a device failure, used by retry policy (DESIGN.md §10).
+///
+/// The READ stage and the WRITE thread match on this kind: `Transient`
+/// failures are retried under a bounded backoff budget, `Permanent` failures
+/// degrade the operator gracefully (loading is skipped, the query answers
+/// from raw), and `Corrupt` reads are retried like transients — a read-path
+/// bit flip disappears on re-read, while genuinely corrupt stored payload
+/// exhausts the budget and falls back to raw conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoErrorKind {
+    /// Likely to succeed on retry: an injected glitch, a detected short
+    /// write, a momentary device error.
+    Transient,
+    /// Retrying cannot help: missing file, out-of-range access, a crashed
+    /// device.
+    Permanent,
+    /// Bytes came back but failed validation (checksum mismatch, torn
+    /// payload, undecodable content).
+    Corrupt,
+}
+
+impl IoErrorKind {
+    /// Stable lowercase name used in messages and JSON exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            IoErrorKind::Transient => "transient",
+            IoErrorKind::Permanent => "permanent",
+            IoErrorKind::Corrupt => "corrupt",
+        }
+    }
+}
+
+/// Typed simulated-device failure: what happened, to which file, and whether
+/// retrying may help. Replaces the former stringly `Error::Io(String)` so
+/// retry policy can match on [`IoErrorKind`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoError {
+    pub kind: IoErrorKind,
+    /// Device file the operation targeted (empty when not file-specific).
+    pub file: String,
+    pub message: String,
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.file.is_empty() {
+            write!(f, "{}: {}", self.kind.name(), self.message)
+        } else {
+            write!(
+                f,
+                "{} on '{}': {}",
+                self.kind.name(),
+                self.file,
+                self.message
+            )
+        }
+    }
+}
+
 /// Unified error type for raw-file conversion, storage, and query execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
@@ -18,8 +77,8 @@ pub enum Error {
     },
     /// Schema-level problem: unknown column, type mismatch, duplicate field…
     Schema(String),
-    /// Simulated-device failure (out-of-range read, unknown file…).
-    Io(String),
+    /// Simulated-device failure, typed for retry policy.
+    Io(IoError),
     /// Catalog/storage inconsistency (missing chunk, column not loaded…).
     Storage(String),
     /// Query is malformed or references unavailable data.
@@ -42,7 +101,7 @@ impl fmt::Display for Error {
                 message,
             } => write!(f, "parse error at line {line}, column {column}: {message}"),
             Error::Schema(m) => write!(f, "schema error: {m}"),
-            Error::Io(m) => write!(f, "i/o error: {m}"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
             Error::Storage(m) => write!(f, "storage error: {m}"),
             Error::Query(m) => write!(f, "query error: {m}"),
             Error::Pipeline(m) => write!(f, "pipeline error: {m}"),
@@ -54,9 +113,58 @@ impl fmt::Display for Error {
 impl std::error::Error for Error {}
 
 impl Error {
-    /// Shorthand for an [`Error::Io`] with a formatted message.
+    /// Shorthand for a *permanent* [`Error::Io`] with a formatted message —
+    /// the historical default (missing files, out-of-range accesses).
     pub fn io(msg: impl Into<String>) -> Self {
-        Error::Io(msg.into())
+        Error::Io(IoError {
+            kind: IoErrorKind::Permanent,
+            file: String::new(),
+            message: msg.into(),
+        })
+    }
+
+    /// A transient (retryable) I/O failure on `file`.
+    pub fn io_transient(file: impl Into<String>, msg: impl Into<String>) -> Self {
+        Error::Io(IoError {
+            kind: IoErrorKind::Transient,
+            file: file.into(),
+            message: msg.into(),
+        })
+    }
+
+    /// A permanent (non-retryable) I/O failure on `file`.
+    pub fn io_permanent(file: impl Into<String>, msg: impl Into<String>) -> Self {
+        Error::Io(IoError {
+            kind: IoErrorKind::Permanent,
+            file: file.into(),
+            message: msg.into(),
+        })
+    }
+
+    /// A corruption failure on `file` (checksum mismatch, torn payload).
+    pub fn io_corrupt(file: impl Into<String>, msg: impl Into<String>) -> Self {
+        Error::Io(IoError {
+            kind: IoErrorKind::Corrupt,
+            file: file.into(),
+            message: msg.into(),
+        })
+    }
+
+    /// The I/O kind, when this is an [`Error::Io`].
+    pub fn io_kind(&self) -> Option<IoErrorKind> {
+        match self {
+            Error::Io(e) => Some(e.kind),
+            _ => None,
+        }
+    }
+
+    /// True when retrying the failed operation may succeed (transient
+    /// glitches and read-path corruption; see [`IoErrorKind`]).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self.io_kind(),
+            Some(IoErrorKind::Transient) | Some(IoErrorKind::Corrupt)
+        )
     }
 
     /// Shorthand for an [`Error::Storage`] with a formatted message.
@@ -98,5 +206,24 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(Error::io("a"), Error::io("a"));
         assert_ne!(Error::io("a"), Error::storage("a"));
+    }
+
+    #[test]
+    fn io_kinds_drive_retryability() {
+        assert_eq!(Error::io("x").io_kind(), Some(IoErrorKind::Permanent));
+        assert!(!Error::io("x").is_retryable());
+        assert!(Error::io_transient("f", "glitch").is_retryable());
+        assert!(Error::io_corrupt("f", "crc").is_retryable());
+        assert!(!Error::io_permanent("f", "gone").is_retryable());
+        assert_eq!(Error::storage("x").io_kind(), None);
+    }
+
+    #[test]
+    fn io_display_includes_kind_and_file() {
+        let s = Error::io_transient("db/t/col0.bin", "injected").to_string();
+        assert!(s.contains("transient"), "{s}");
+        assert!(s.contains("db/t/col0.bin"), "{s}");
+        let s = Error::io("no such file").to_string();
+        assert!(s.contains("permanent"), "{s}");
     }
 }

@@ -22,7 +22,7 @@ pub mod value;
 
 pub use chunk::{BinaryChunk, ChunkId, ColumnData, PositionalMap, TextChunk};
 pub use config::{ScanRawConfig, WritePolicy};
-pub use error::{Error, Result};
+pub use error::{Error, IoError, IoErrorKind, Result};
 pub use layout::{ChunkLayout, ChunkMeta};
 pub use predicate::RangePredicate;
 pub use schema::{DataType, Field, Schema};

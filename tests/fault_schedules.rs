@@ -1,0 +1,452 @@
+//! Deterministic failure-schedule suite (ISSUE 3 headline artifact).
+//!
+//! Each test drives full query sequences through engines whose simulated
+//! device runs a seeded [`FaultPlan`] — transient errors, torn writes,
+//! read-path bit flips, latency spikes, permanent dead regions, and
+//! whole-device crashes with restarts — and asserts three invariants on
+//! every schedule:
+//!
+//! 1. **Oracle equality** — query results are identical to a fault-free run
+//!    of the same schedule (faults may change *performance*, never answers);
+//! 2. **Loading monotonicity** — the catalog's loaded cell count never
+//!    decreases across queries, crashes, or restarts, and never counts a
+//!    cell that cannot actually be read back (checksum-verified);
+//! 3. **Completion** — every schedule terminates without panic or deadlock
+//!    (the suite finishing is the assertion; stage threads join per query).
+//!
+//! The suite runs `SCANRAW_FAULT_SCHEDULES` seeds per test (default 64 —
+//! 8 tests × 64 = 512 schedules). CI caps it for wall-time; run e.g.
+//! `SCANRAW_FAULT_SCHEDULES=256 cargo test --features fault-inject
+//! --test fault_schedules` for the extended local sweep.
+
+#![cfg(feature = "fault-inject")]
+
+use scanraw_repro::engine::query::ResultRow;
+use scanraw_repro::prelude::*;
+use scanraw_repro::rawfile::generate::{stage_csv, CsvSpec};
+use scanraw_repro::simio::{AccessKind, FaultConfig, FaultPlan};
+use scanraw_repro::storage::RecoveryReport;
+use scanraw_repro::types::ChunkId;
+use std::time::Duration;
+
+/// Seeded schedules per test; override with `SCANRAW_FAULT_SCHEDULES=<n>`.
+fn n_schedules() -> u64 {
+    std::env::var("SCANRAW_FAULT_SCHEDULES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+/// One failure schedule: a table, a pipeline shape, a fault plan, and the
+/// query sequence driven through it.
+struct Schedule {
+    spec: CsvSpec,
+    cols: usize,
+    config: ScanRawConfig,
+    fault: FaultConfig,
+    queries: Vec<Query>,
+}
+
+impl Schedule {
+    /// Derives a small-but-varied schedule from one seed: 120–360 rows,
+    /// 3–4 columns, 4–18 chunks, 0–2 workers.
+    fn from_seed(seed: u64, fault: FaultConfig) -> Schedule {
+        let cols = 3 + (seed % 2) as usize;
+        let rows = 120 + (seed % 5) * 60;
+        let chunk_rows = 20 + (seed % 3) as u32 * 15;
+        let config = ScanRawConfig::default()
+            .with_chunk_rows(chunk_rows)
+            .with_cache_chunks(2 + (seed % 4) as usize)
+            .with_workers((seed % 3) as usize)
+            .with_policy(WritePolicy::speculative());
+        let queries = vec![
+            Query::sum_of_columns("t", 0..cols),
+            Query::sum_of_columns("t", [(seed % cols as u64) as usize]),
+            Query::sum_of_columns("t", 0..cols),
+        ];
+        Schedule {
+            spec: CsvSpec::new(rows, cols, seed.wrapping_mul(0x9e37_79b9)),
+            cols,
+            config,
+            fault,
+            queries,
+        }
+    }
+
+    fn with_policy(mut self, policy: WritePolicy) -> Schedule {
+        self.config = self.config.with_policy(policy);
+        self
+    }
+}
+
+fn new_engine(disk: &SimDisk, s: &Schedule) -> Engine {
+    let engine = Engine::new(Database::new(disk.clone()));
+    engine
+        .register_table(
+            "t",
+            "t.csv",
+            Schema::uniform_ints(s.cols),
+            TextDialect::CSV,
+            s.config.clone(),
+        )
+        .unwrap();
+    engine
+}
+
+/// The fault-free oracle: the same schedule on a clean twin device.
+fn oracle_outcomes(s: &Schedule) -> Vec<(Vec<ResultRow>, u64)> {
+    let disk = SimDisk::instant();
+    stage_csv(&disk, "t.csv", &s.spec);
+    let engine = new_engine(&disk, s);
+    s.queries
+        .iter()
+        .map(|q| {
+            let out = engine.execute(q).expect("oracle run is fault-free");
+            (out.result.rows, out.result.rows_scanned)
+        })
+        .collect()
+}
+
+fn loaded_cells(db: &Database) -> usize {
+    db.catalog().table("t").unwrap().read().loaded_cell_count()
+}
+
+/// Invariant 2b: every (chunk, column) the catalog marks loaded must read
+/// back through the checksum — the loaded bitmap never lies.
+fn assert_loaded_cells_readable(db: &Database, cols: usize) {
+    let entry = db.catalog().table("t").unwrap();
+    let all: Vec<usize> = (0..cols).collect();
+    let per_chunk: Vec<(u32, Vec<usize>)> = {
+        let t = entry.read();
+        (0..t.n_chunks() as u32)
+            .map(|id| (id, t.loaded_columns(ChunkId(id), &all)))
+            .collect()
+    };
+    for (id, loaded) in per_chunk {
+        if !loaded.is_empty() {
+            db.load_chunk("t", ChunkId(id), &loaded)
+                .unwrap_or_else(|e| panic!("loaded cell unreadable: chunk {id}: {e}"));
+        }
+    }
+}
+
+/// Restart after a simulated crash: device repaired (plan cleared), a fresh
+/// database is rebuilt over the surviving bytes from the commit log.
+fn restart(disk: &SimDisk, s: &Schedule) -> (Engine, RecoveryReport) {
+    disk.clear_fault_plan();
+    let engine = new_engine(disk, s);
+    let report = engine.recover_table("t").expect("recovery must succeed");
+    (engine, report)
+}
+
+/// Outcome of one schedule, for aggregate assertions across seeds.
+#[derive(Default)]
+struct ScheduleStats {
+    crashes: u64,
+    restarts: u64,
+    final_cells: usize,
+    degraded: bool,
+}
+
+/// Drives one schedule end to end, asserting the three invariants.
+fn run_schedule(s: &Schedule) -> ScheduleStats {
+    let oracle = oracle_outcomes(s);
+    let disk = SimDisk::instant();
+    stage_csv(&disk, "t.csv", &s.spec);
+    disk.set_fault_plan(FaultPlan::new(s.fault.clone()));
+
+    let mut stats = ScheduleStats::default();
+    let mut engine = new_engine(&disk, s);
+    let mut last_cells = 0usize;
+    for (qi, q) in s.queries.iter().enumerate() {
+        let mut attempts = 0;
+        let out = loop {
+            match engine.execute(q) {
+                Ok(out) => break out,
+                Err(e) => {
+                    // Transient faults are retried under the budget and
+                    // corruption is confined to the checksummed store (which
+                    // falls back to raw), so only a crashed or permanently
+                    // dead device may surface an error — and then recovery
+                    // must bring the query back.
+                    let plan = disk.clear_fault_plan();
+                    let fatal = plan
+                        .as_ref()
+                        .map(|p| p.crashed() || p.counters().permanent > 0)
+                        .unwrap_or(false);
+                    assert!(fatal, "query failed without a fatal fault: {e}");
+                    if plan.map(|p| p.crashed()).unwrap_or(false) {
+                        stats.crashes += 1;
+                    }
+                    let (fresh, report) = restart(&disk, s);
+                    stats.restarts += 1;
+                    engine = fresh;
+                    // Everything durably committed before the crash survives
+                    // recovery: monotonicity holds across the restart.
+                    assert!(
+                        report.committed_cells >= last_cells,
+                        "recovery lost committed cells: {} < {last_cells}",
+                        report.committed_cells
+                    );
+                    attempts += 1;
+                    assert!(attempts <= 2, "restart did not converge");
+                }
+            }
+        };
+        assert_eq!(
+            (out.result.rows, out.result.rows_scanned),
+            oracle[qi],
+            "schedule diverged from fault-free oracle at query {qi}"
+        );
+        let op = engine.operator("t").unwrap();
+        op.drain_writes();
+        stats.degraded |= op.load_degraded();
+        let cells = loaded_cells(engine.database());
+        assert!(
+            cells >= last_cells,
+            "loading regressed: {cells} < {last_cells}"
+        );
+        last_cells = cells;
+    }
+    disk.clear_fault_plan();
+    assert_loaded_cells_readable(engine.database(), s.cols);
+    stats.final_cells = loaded_cells(engine.database());
+    stats
+}
+
+#[test]
+fn transient_read_faults_are_invisible_to_queries() {
+    for seed in 0..n_schedules() {
+        let fault = FaultConfig {
+            p_transient: 0.3,
+            // Streaks ≤ budget − 1 guarantee the READ retry loop wins.
+            max_consecutive: 3,
+            ..FaultConfig::seeded(seed)
+        };
+        run_schedule(&Schedule::from_seed(seed, fault));
+    }
+}
+
+#[test]
+fn torn_and_transient_db_writes_never_fake_loading() {
+    let mut total_cells = 0usize;
+    for seed in 0..n_schedules() {
+        let fault = FaultConfig {
+            target: "db/".into(),
+            p_transient: 0.25,
+            p_torn: 0.25,
+            max_consecutive: 3,
+            ..FaultConfig::seeded(seed)
+        };
+        total_cells += run_schedule(&Schedule::from_seed(seed, fault)).final_cells;
+    }
+    assert!(total_cells > 0, "some schedules must make loading progress");
+}
+
+#[test]
+fn bitflip_db_corruption_is_detected_and_survived() {
+    let mut total_flips = 0u64;
+    for seed in 0..n_schedules() {
+        let fault = FaultConfig {
+            target: "db/".into(),
+            p_bitflip: 0.3,
+            max_consecutive: 3,
+            ..FaultConfig::seeded(seed)
+        };
+        let s = Schedule::from_seed(seed, fault);
+        let oracle = oracle_outcomes(&s);
+        let disk = SimDisk::instant();
+        stage_csv(&disk, "t.csv", &s.spec);
+        // Load everything fault-free first so later queries actually read
+        // the database and hit the corrupted transfers.
+        let engine = new_engine(&disk, &s);
+        for q in &s.queries {
+            engine.execute(q).unwrap();
+            engine.operator("t").unwrap().drain_writes();
+        }
+        disk.set_fault_plan(FaultPlan::new(s.fault.clone()));
+        for (qi, q) in s.queries.iter().enumerate() {
+            let out = engine.execute(q).expect("corrupt reads must not be fatal");
+            assert_eq!((out.result.rows, out.result.rows_scanned), oracle[qi]);
+        }
+        if let Some(plan) = disk.clear_fault_plan() {
+            total_flips += plan.counters().bitflip;
+        }
+        assert_loaded_cells_readable(engine.database(), s.cols);
+    }
+    assert!(total_flips > 0, "the sweep must actually inject bit flips");
+}
+
+#[test]
+fn permanent_db_fault_degrades_to_external_tables() {
+    let mut any_degraded = false;
+    for seed in 0..n_schedules() {
+        let fault = FaultConfig {
+            target: "db/".into(),
+            permanent_after: Some(seed % 8),
+            ..FaultConfig::seeded(seed)
+        };
+        let stats = run_schedule(&Schedule::from_seed(seed, fault));
+        any_degraded |= stats.degraded;
+    }
+    assert!(
+        any_degraded,
+        "early-permanent schedules must reach external-table mode"
+    );
+}
+
+#[test]
+fn crash_and_restart_schedules_preserve_all_invariants() {
+    let mut crashes = 0u64;
+    for seed in 0..n_schedules() {
+        let fault = FaultConfig {
+            crash_at_op: Some(1 + (seed.wrapping_mul(7919)) % 220),
+            ..FaultConfig::seeded(seed)
+        };
+        crashes += run_schedule(&Schedule::from_seed(seed, fault)).crashes;
+    }
+    assert!(crashes > 0, "the sweep must actually crash some schedules");
+}
+
+#[test]
+fn mixed_fault_storms_with_restarts() {
+    for seed in 0..n_schedules() {
+        let fault = FaultConfig {
+            p_transient: 0.15,
+            p_torn: 0.15,
+            p_bitflip: 0.1,
+            p_latency: 0.2,
+            latency_spike: Duration::from_millis(2),
+            max_consecutive: 3,
+            // Roughly a third of the storms also crash mid-sequence.
+            crash_at_op: (seed % 3 == 0).then_some(40 + seed % 300),
+            ..FaultConfig::seeded(seed)
+        };
+        let policy = [
+            WritePolicy::speculative(),
+            WritePolicy::Eager,
+            WritePolicy::Buffered,
+        ][(seed % 3) as usize];
+        run_schedule(&Schedule::from_seed(seed, fault).with_policy(policy));
+    }
+}
+
+#[test]
+fn crash_mid_safeguard_flush_recovers_without_phantom_or_duplicate_chunks() {
+    let mut mid_flush_crashes = 0u64;
+    for seed in 0..n_schedules() {
+        let s = Schedule::from_seed(seed, FaultConfig::seeded(seed));
+        let oracle = oracle_outcomes(&s);
+
+        // Calibrate on a clean twin: how many device ops does the first
+        // query (raw scan) take before the safeguard flush writes?
+        let op_counts = |disk: &SimDisk| {
+            let ops = disk.stats().ops();
+            let reads = ops.iter().filter(|o| o.kind == AccessKind::Read).count();
+            (reads as u64, (ops.len() - reads) as u64)
+        };
+        let (twin_reads, twin_writes) = {
+            let disk = SimDisk::instant();
+            stage_csv(&disk, "t.csv", &s.spec);
+            let (r0, w0) = op_counts(&disk);
+            let engine = new_engine(&disk, &s);
+            engine.execute(&s.queries[0]).unwrap();
+            engine.operator("t").unwrap().drain_writes();
+            let (r1, w1) = op_counts(&disk);
+            (r1 - r0, w1 - w0)
+        };
+        if twin_writes == 0 {
+            continue; // nothing to flush at this shape; schedule is vacuous
+        }
+
+        let disk = SimDisk::instant();
+        stage_csv(&disk, "t.csv", &s.spec);
+        // Crash somewhere inside the write phase of the first query.
+        let crash_at = twin_reads + 1 + seed % twin_writes;
+        disk.set_fault_plan(FaultPlan::new(FaultConfig {
+            crash_at_op: Some(crash_at),
+            ..FaultConfig::seeded(seed)
+        }));
+        let engine = new_engine(&disk, &s);
+        // The query itself may complete (crash during overlapped flush) or
+        // fail (crash during its reads); both are legal crash points.
+        let _ = engine.execute(&s.queries[0]);
+        engine.operator("t").unwrap().drain_writes();
+        let crashed = disk
+            .clear_fault_plan()
+            .map(|p| p.crashed())
+            .unwrap_or(false);
+        if !crashed {
+            continue;
+        }
+        mid_flush_crashes += 1;
+
+        // Restart: recovery must mark exactly the durably committed cells —
+        // no phantom (unreadable) cells, no duplicates on re-recovery.
+        let (engine, report) = restart(&disk, &s);
+        assert_eq!(
+            report.committed_cells,
+            loaded_cells(engine.database()),
+            "catalog must hold exactly the recovered cells"
+        );
+        assert_loaded_cells_readable(engine.database(), s.cols);
+        let again = engine
+            .database()
+            .recover_table("t", Schema::uniform_ints(s.cols), "t.csv");
+        assert_eq!(
+            again.unwrap().committed_cells,
+            0,
+            "re-recovery must find zero new (duplicate) runs"
+        );
+
+        // The repaired engine answers the whole sequence oracle-identically
+        // and the safeguard finishes the interrupted flush.
+        for (qi, q) in s.queries.iter().enumerate() {
+            let out = engine.execute(q).unwrap();
+            assert_eq!((out.result.rows, out.result.rows_scanned), oracle[qi]);
+            engine.operator("t").unwrap().drain_writes();
+        }
+        assert_loaded_cells_readable(engine.database(), s.cols);
+    }
+    assert!(
+        mid_flush_crashes > 0,
+        "the sweep must crash at least one safeguard flush"
+    );
+}
+
+#[test]
+fn same_seed_injects_identical_schedules() {
+    // Determinism holds when a single thread owns the device op order;
+    // ExternalTables keeps WRITE off the device so the READ stream is the
+    // only accessor and the fault decision sequence is reproducible.
+    for seed in 0..n_schedules() {
+        let fault = FaultConfig {
+            p_transient: 0.3,
+            p_latency: 0.3,
+            latency_spike: Duration::from_millis(1),
+            max_consecutive: 3,
+            ..FaultConfig::seeded(seed)
+        };
+        let run = |fault: FaultConfig| {
+            let s = Schedule::from_seed(seed, fault).with_policy(WritePolicy::ExternalTables);
+            let disk = SimDisk::instant();
+            stage_csv(&disk, "t.csv", &s.spec);
+            disk.set_fault_plan(FaultPlan::new(s.fault.clone()));
+            let engine = new_engine(&disk, &s);
+            let outs: Vec<_> = s
+                .queries
+                .iter()
+                .map(|q| {
+                    let out = engine.execute(q).unwrap();
+                    (out.result.rows, out.result.rows_scanned)
+                })
+                .collect();
+            let counters = disk.clear_fault_plan().unwrap().counters().clone();
+            (outs, counters)
+        };
+        let a = run(fault.clone());
+        let b = run(fault);
+        assert_eq!(a.0, b.0, "results must be reproducible for seed {seed}");
+        assert_eq!(a.1, b.1, "fault injection must replay exactly for {seed}");
+    }
+}

@@ -329,3 +329,68 @@ fn simulator_conservation() {
         }
     }
 }
+
+/// Under seeded device faults (transient errors, torn writes, read-side bit
+/// flips) the engine returns exactly the rows a fault-free oracle returns,
+/// across random cache sizes, chunk sizes, and worker counts (ISSUE 3).
+#[cfg(feature = "fault-inject")]
+#[test]
+fn faulted_engine_matches_fault_free_oracle() {
+    use scanraw_repro::prelude::*;
+    use scanraw_repro::simio::{FaultConfig, FaultPlan};
+    let mut rng = StdRng::seed_from_u64(0xFA017);
+    // Fewer cases: each one spins up two full engines.
+    for case in 0..20 {
+        // Bounded values: an overflowing SUM promotes to float, whose
+        // accumulation order (and thus rounding) varies with the pipeline
+        // schedule — exact Int sums make the oracle comparison strict.
+        let cols = rng.gen_range(1usize..=8);
+        let rows = rng.gen_range(1usize..=50);
+        let table: Vec<Vec<i64>> = (0..rows)
+            .map(|_| {
+                (0..cols)
+                    .map(|_| rng.gen_range(-1_000_000i64..1_000_000))
+                    .collect()
+            })
+            .collect();
+        let text = to_csv(&table);
+        let config = ScanRawConfig::default()
+            .with_chunk_rows(rng.gen_range(3u32..12))
+            .with_cache_chunks(rng.gen_range(1usize..8))
+            .with_workers(rng.gen_range(0usize..3))
+            .with_policy(WritePolicy::speculative());
+        let run = |fault: Option<FaultConfig>| {
+            let disk = SimDisk::instant();
+            disk.storage().put("p.csv", text.clone().into_bytes());
+            if let Some(f) = fault {
+                disk.set_fault_plan(FaultPlan::new(f));
+            }
+            let engine = Engine::new(Database::new(disk));
+            engine
+                .register_table(
+                    "p",
+                    "p.csv",
+                    Schema::uniform_ints(cols),
+                    TextDialect::CSV,
+                    config.clone(),
+                )
+                .unwrap();
+            // Two passes: the second may serve from cache or the database,
+            // so loading-path faults are exercised too.
+            let q = Query::sum_of_columns("p", [0]);
+            let a = engine.execute(&q).unwrap().result.rows;
+            engine.operator("p").unwrap().drain_writes();
+            let b = engine.execute(&q).unwrap().result.rows;
+            (a, b)
+        };
+        let oracle = run(None);
+        let faulted = run(Some(FaultConfig {
+            p_transient: 0.25,
+            p_torn: 0.2,
+            p_bitflip: 0.15,
+            max_consecutive: 3,
+            ..FaultConfig::seeded(0xFA017 + case as u64)
+        }));
+        assert_eq!(faulted, oracle, "case {case} diverged under faults");
+    }
+}

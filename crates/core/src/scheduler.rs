@@ -258,7 +258,21 @@ impl SchedulerReport {
                         report.eviction_writes += 1;
                     }
                 }
-                _ => {}
+                // The report is a write-decision summary; every other event
+                // is listed so a new journal event forces a decision on
+                // whether it belongs in the report (L007).
+                ObsEvent::QueryStart { .. }
+                | ObsEvent::QueryEnd { .. }
+                | ObsEvent::ReadBlocked { .. }
+                | ObsEvent::CacheHit { .. }
+                | ObsEvent::CacheMiss { .. }
+                | ObsEvent::CacheEvict { .. }
+                | ObsEvent::ChunkSkipped { .. }
+                | ObsEvent::WorkerScaled { .. }
+                | ObsEvent::IoRetry { .. }
+                | ObsEvent::LoadDegraded { .. }
+                | ObsEvent::DbReadFallback { .. }
+                | ObsEvent::RecoveryCompleted { .. } => {}
             }
         }
         report

@@ -392,7 +392,21 @@ impl Engine {
                 ObsEvent::IoRetry { .. } => io_retries += 1,
                 ObsEvent::DbReadFallback { .. } => db_fallbacks += 1,
                 ObsEvent::LoadDegraded { .. } => load_degraded = true,
-                _ => {}
+                // Only fault telemetry is summarized here; every other event
+                // is listed so a new journal event forces a decision on
+                // whether the report should count it (L007).
+                ObsEvent::QueryStart { .. }
+                | ObsEvent::QueryEnd { .. }
+                | ObsEvent::ReadBlocked { .. }
+                | ObsEvent::SpeculativeWriteTriggered { .. }
+                | ObsEvent::SafeguardFlush { .. }
+                | ObsEvent::WriteQueued { .. }
+                | ObsEvent::CacheHit { .. }
+                | ObsEvent::CacheMiss { .. }
+                | ObsEvent::CacheEvict { .. }
+                | ObsEvent::ChunkSkipped { .. }
+                | ObsEvent::WorkerScaled { .. }
+                | ObsEvent::RecoveryCompleted { .. } => {}
             }
         }
         Ok(AnalyzeReport {

@@ -164,7 +164,8 @@ pub fn lex(src: &str) -> Lexed {
                     j += 1;
                     let text_start = j;
                     let tok_line = line;
-                    'raw: while j < n {
+                    let mut closed = false;
+                    while j < n {
                         if b[j] == '\n' {
                             line += 1;
                         }
@@ -182,14 +183,18 @@ pub fn lex(src: &str) -> Lexed {
                                     tok_line
                                 );
                                 i = k;
-                                break 'raw;
+                                closed = true;
+                                break;
                             }
                         }
                         j += 1;
-                        if j >= n {
-                            push_tok!(TokKind::Str, b[text_start..].iter().collect(), tok_line);
-                            i = n;
-                        }
+                    }
+                    if !closed {
+                        // Unterminated raw string: emit what we have and
+                        // stop — without this the outer loop never advances
+                        // `i` and the lexer spins forever.
+                        push_tok!(TokKind::Str, b[text_start..].iter().collect(), tok_line);
+                        i = n;
                     }
                     continue;
                 }
@@ -221,6 +226,11 @@ pub fn lex(src: &str) -> Lexed {
             let start = i;
             while i < n && b[i] != '"' {
                 if b[i] == '\\' {
+                    // A `\` line continuation escapes the newline itself;
+                    // still count it or every later token's line drifts.
+                    if i + 1 < n && b[i + 1] == '\n' {
+                        line += 1;
+                    }
                     i += 2;
                     continue;
                 }
@@ -236,10 +246,14 @@ pub fn lex(src: &str) -> Lexed {
         // Char literal vs lifetime/label.
         if c == '\'' {
             if i + 1 < n && b[i + 1] == '\\' {
-                // Escaped char literal: '\n', '\u{..}', …
+                // Escaped char literal: '\n', '\u{..}', '\'', …. Skip the
+                // backslash *and* the escaped character before hunting the
+                // closing quote, or `'\''` terminates on its own escaped
+                // quote and the real closing quote leaks into the stream
+                // (where it fuses with following code as a bogus lifetime).
                 let tok_line = line;
                 let start = i + 1;
-                i += 2;
+                i += 3;
                 while i < n && b[i] != '\'' {
                     i += 1;
                 }
@@ -385,5 +399,40 @@ mod tests {
         let l = lex("/* a /* b */ c */ fn f() {}");
         assert_eq!(l.comments.len(), 1);
         assert_eq!(l.tokens[0].text, "fn");
+    }
+
+    #[test]
+    fn unterminated_raw_string_terminates_lexer() {
+        // Regression: an unterminated raw string used to spin forever when
+        // the opening quote was the last character.
+        let l = lex("let s = r\"");
+        assert!(l.tokens.iter().any(|t| t.kind == TokKind::Str));
+        let l = lex("let s = r#\"abc");
+        let s = l.tokens.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert_eq!(s.text, "abc");
+    }
+
+    #[test]
+    fn escaped_newline_in_string_keeps_lines_aligned() {
+        // Regression: the `\`-continuation newline was skipped without
+        // counting, shifting every later token up a line (and with it the
+        // `lint-ok:` annotation lookup).
+        let l = lex("let s = \"a\\\nb\";\nfn f() {}\n");
+        let f = l.tokens.iter().find(|t| t.text == "fn").unwrap();
+        assert_eq!(f.line, 3);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        // Regression: '\'' used to stop at its own escaped quote, leaking
+        // the real closing quote back into the stream where it fused with
+        // following identifiers as a bogus lifetime.
+        let t = kinds("let q = '\\''; let x = send;");
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Char && x == "\\'"));
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Ident && x == "send"));
+        assert!(!t.iter().any(|(k, _)| *k == TokKind::Lifetime));
+        // '\u{7f}' still lexes as one char token.
+        let t = kinds("let c = '\\u{7f}';");
+        assert!(t.iter().any(|(k, x)| *k == TokKind::Char && x == "\\u{7f}"));
     }
 }

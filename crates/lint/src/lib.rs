@@ -16,9 +16,16 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
+pub mod features;
+pub mod flow;
 pub mod lexer;
 pub mod lockgraph;
+pub mod manifest;
 pub mod model;
+pub mod obscatalog;
+pub mod output;
+pub mod parser;
+pub mod protocol;
 pub mod rules;
 
 use model::SourceFile;
@@ -40,6 +47,16 @@ pub enum Rule {
     L005,
     /// Missing `# Errors`/`# Panics` docs on public API (types, core).
     L006,
+    /// Wildcard arm in a `match` on a workspace protocol enum.
+    L007,
+    /// Buffer/cache resource leaked on an early-exit path.
+    L008,
+    /// Feature-gate inconsistency: undeclared feature, broken forwarding
+    /// chain, or gated pub item without a compiled-off story.
+    L009,
+    /// Observability-catalog drift: metric/event used but not documented in
+    /// DESIGN.md, or documented but unused.
+    L010,
 }
 
 impl Rule {
@@ -51,8 +68,41 @@ impl Rule {
             Rule::L004 => "L004",
             Rule::L005 => "L005",
             Rule::L006 => "L006",
+            Rule::L007 => "L007",
+            Rule::L008 => "L008",
+            Rule::L009 => "L009",
+            Rule::L010 => "L010",
         }
     }
+
+    /// One-line rule description, used by the SARIF rule table.
+    pub fn description(self) -> &'static str {
+        match self {
+            Rule::L001 => "Cross-module Ordering::Relaxed without an audit note",
+            Rule::L002 => "unwrap/expect inside spawned worker closures",
+            Rule::L003 => "Lock-acquisition-order cycle across the workspace",
+            Rule::L004 => "Blocking channel op while a lock guard is live",
+            Rule::L005 => "Condvar::wait outside a predicate loop",
+            Rule::L006 => "Missing # Errors/# Panics docs on public API",
+            Rule::L007 => "Wildcard arm in a match on a workspace protocol enum",
+            Rule::L008 => "Buffer/cache resource leaked on an early-exit path",
+            Rule::L009 => "Feature declaration, forwarding chain, or gate inconsistency",
+            Rule::L010 => "Metric/event drift between code and the DESIGN.md catalog",
+        }
+    }
+
+    pub const ALL: [Rule; 10] = [
+        Rule::L001,
+        Rule::L002,
+        Rule::L003,
+        Rule::L004,
+        Rule::L005,
+        Rule::L006,
+        Rule::L007,
+        Rule::L008,
+        Rule::L009,
+        Rule::L010,
+    ];
 }
 
 impl fmt::Display for Rule {
@@ -85,12 +135,47 @@ impl fmt::Display for Finding {
 
 /// Lints in-memory sources; `files` is `(workspace-relative path, contents)`.
 /// This is the pure core — the tests and the xtask binary both go through it.
+/// Runs the source-only rules (L001–L008); the workspace-level rules need
+/// manifests and docs too — see [`lint_workspace`].
 pub fn lint_sources(files: &[(String, String)]) -> Vec<Finding> {
     let parsed: Vec<SourceFile> = files
         .iter()
         .map(|(rel, src)| SourceFile::parse(rel.clone(), src))
         .collect();
     rules::run_all(&parsed)
+}
+
+/// Everything the full analyzer consumes, all as
+/// `(workspace-relative path, contents)` pairs.
+#[derive(Debug, Default)]
+pub struct WorkspaceFiles {
+    /// `.rs` sources.
+    pub sources: Vec<(String, String)>,
+    /// `Cargo.toml` manifests (root, crates, shims, xtask).
+    pub manifests: Vec<(String, String)>,
+    /// Catalog documents (DESIGN.md).
+    pub docs: Vec<(String, String)>,
+}
+
+/// Runs the full rule set — L001–L008 over sources, L009 over sources +
+/// manifests, L010 over sources + docs. Findings come back sorted by
+/// (file, line, rule), which makes every output format byte-stable.
+pub fn lint_workspace(ws: &WorkspaceFiles) -> Vec<Finding> {
+    let parsed: Vec<SourceFile> = ws
+        .sources
+        .iter()
+        .map(|(rel, src)| SourceFile::parse(rel.clone(), src))
+        .collect();
+    let mut findings = rules::run_all(&parsed);
+    let manifests: Vec<manifest::Manifest> = ws
+        .manifests
+        .iter()
+        .map(|(rel, text)| manifest::parse(rel, text))
+        .collect();
+    features::check(&parsed, &manifests, &mut findings);
+    obscatalog::check(&parsed, &ws.docs, &mut findings);
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings
 }
 
 /// Collects the `.rs` files under `root` that the linter analyzes: crate and
@@ -142,15 +227,61 @@ pub fn collect_workspace_sources(root: &Path) -> std::io::Result<Vec<(String, St
     Ok(files)
 }
 
-/// Lints the workspace rooted at `root`. Returns the findings; the caller
-/// decides the exit code.
+/// Collects everything the full analyzer reads: the `.rs` sources plus the
+/// Cargo.toml manifests (root, crates, shims, xtask) and the DESIGN.md
+/// catalog document.
+///
+/// # Errors
+///
+/// Returns `Err` when a directory or file under `root` cannot be read.
+pub fn collect_workspace(root: &Path) -> std::io::Result<WorkspaceFiles> {
+    let mut ws = WorkspaceFiles {
+        sources: collect_workspace_sources(root)?,
+        ..WorkspaceFiles::default()
+    };
+    let mut manifest_paths: Vec<PathBuf> =
+        vec![root.join("Cargo.toml"), root.join("xtask/Cargo.toml")];
+    for group in ["crates", "shims"] {
+        let dir = root.join(group);
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .collect::<std::io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path().join("Cargo.toml"))
+            .collect();
+        entries.sort();
+        manifest_paths.extend(entries);
+    }
+    for path in manifest_paths {
+        if !path.is_file() {
+            continue;
+        }
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        ws.manifests.push((rel, std::fs::read_to_string(&path)?));
+    }
+    let design = root.join("DESIGN.md");
+    if design.is_file() {
+        ws.docs
+            .push(("DESIGN.md".to_string(), std::fs::read_to_string(&design)?));
+    }
+    Ok(ws)
+}
+
+/// Lints the workspace rooted at `root` with the full rule set. Returns the
+/// findings; the caller decides the exit code.
 ///
 /// # Errors
 ///
 /// Returns `Err` when workspace sources cannot be read from disk.
 pub fn run(root: &Path) -> std::io::Result<Vec<Finding>> {
-    let files = collect_workspace_sources(root)?;
-    Ok(lint_sources(&files))
+    let ws = collect_workspace(root)?;
+    Ok(lint_workspace(&ws))
 }
 
 #[cfg(test)]

@@ -1,0 +1,233 @@
+//! Minimal Cargo.toml reader for the L009 feature-consistency checks.
+//!
+//! Parses just the subset the workspace actually uses: `[package] name`,
+//! dependency keys under `[dependencies]` / `[dev-dependencies]`, and
+//! `[features]` arrays (single-line or multiline). Anything else — profiles,
+//! workspace tables, metadata — is skipped. Line-based and total: malformed
+//! input yields fewer parsed entries, never an error.
+
+/// One feature declaration: its name, forwarded entries (`"dep/feat"` or
+/// plain `"feat"`), and the line it starts on.
+#[derive(Debug, Clone)]
+pub struct FeatureDecl {
+    pub name: String,
+    pub entries: Vec<String>,
+    pub line: u32,
+}
+
+/// The parsed subset of one Cargo.toml.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// Workspace-relative path of the manifest file.
+    pub rel: String,
+    /// `[package] name`, empty for a virtual manifest.
+    pub package: String,
+    /// Dependency keys from `[dependencies]` (dev-deps excluded). Keys are
+    /// the names used in feature-forward entries (`key/feature`).
+    pub deps: Vec<String>,
+    /// Dependency keys from `[dev-dependencies]`.
+    pub dev_deps: Vec<String>,
+    pub features: Vec<FeatureDecl>,
+}
+
+impl Manifest {
+    pub fn feature(&self, name: &str) -> Option<&FeatureDecl> {
+        self.features.iter().find(|f| f.name == name)
+    }
+
+    pub fn declares(&self, name: &str) -> bool {
+        self.feature(name).is_some()
+    }
+
+    /// Directory of the manifest, workspace-relative ("" for the root).
+    pub fn dir(&self) -> &str {
+        self.rel.rsplit_once('/').map(|(d, _)| d).unwrap_or("")
+    }
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Section {
+    Package,
+    Deps,
+    DevDeps,
+    Features,
+    Other,
+}
+
+/// Strips a trailing `#` comment that is not inside a double-quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Extracts all double-quoted strings from a fragment.
+fn quoted_strings(s: &str, out: &mut Vec<String>) {
+    let mut rest = s;
+    while let Some(start) = rest.find('"') {
+        let tail = &rest[start + 1..];
+        let Some(len) = tail.find('"') else { break };
+        out.push(tail[..len].to_string());
+        rest = &tail[len + 1..];
+    }
+}
+
+/// Parses one manifest. `rel` is the workspace-relative path, used in
+/// findings.
+pub fn parse(rel: &str, text: &str) -> Manifest {
+    let mut m = Manifest {
+        rel: rel.to_string(),
+        package: String::new(),
+        deps: Vec::new(),
+        dev_deps: Vec::new(),
+        features: Vec::new(),
+    };
+    let mut section = Section::Other;
+    let mut pending: Option<FeatureDecl> = None; // open multiline array
+    for (idx, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(decl) = pending.as_mut() {
+            let closed = line.contains(']');
+            let frag = line.split(']').next().unwrap_or("");
+            let mut items = Vec::new();
+            quoted_strings(frag, &mut items);
+            decl.entries.extend(items);
+            if closed {
+                m.features.push(pending.take().unwrap());
+            }
+            continue;
+        }
+        if line.starts_with('[') {
+            section = match line.trim_matches(['[', ']']) {
+                "package" => Section::Package,
+                "dependencies" => Section::Deps,
+                "dev-dependencies" => Section::DevDeps,
+                "features" => Section::Features,
+                _ => Section::Other,
+            };
+            continue;
+        }
+        let Some((key_raw, value)) = line.split_once('=') else {
+            continue;
+        };
+        // `scanraw-types.workspace = true` → key `scanraw-types`.
+        let key = key_raw
+            .trim()
+            .trim_matches('"')
+            .split('.')
+            .next()
+            .unwrap_or("")
+            .to_string();
+        let value = value.trim();
+        match section {
+            Section::Package if key == "name" => {
+                m.package = value.trim_matches('"').to_string();
+            }
+            Section::Deps => m.deps.push(key),
+            Section::DevDeps => m.dev_deps.push(key),
+            Section::Features => {
+                let mut decl = FeatureDecl {
+                    name: key,
+                    entries: Vec::new(),
+                    line: idx as u32 + 1,
+                };
+                if let Some(open) = value.find('[') {
+                    let body = &value[open + 1..];
+                    if let Some(close) = body.find(']') {
+                        quoted_strings(&body[..close], &mut decl.entries);
+                        m.features.push(decl);
+                    } else {
+                        quoted_strings(body, &mut decl.entries);
+                        pending = Some(decl);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(decl) = pending {
+        m.features.push(decl);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+[package]
+name = "scanraw-engine"
+version.workspace = true
+
+[dependencies]
+scanraw-types.workspace = true
+scanraw.workspace = true
+parking_lot.workspace = true
+
+[dev-dependencies]
+rand.workspace = true
+scanraw-simio = { workspace = true, features = ["fault-inject"] }
+
+[features]
+# a comment
+deadlock-detect = ["parking_lot/deadlock-detect"]
+fault-inject = [
+    "scanraw/fault-inject",      # forwarded down
+    "scanraw-simio/fault-inject",
+]
+bare = []
+"#;
+
+    #[test]
+    fn parses_package_deps_and_features() {
+        let m = parse("crates/engine/Cargo.toml", SAMPLE);
+        assert_eq!(m.package, "scanraw-engine");
+        assert_eq!(m.deps, vec!["scanraw-types", "scanraw", "parking_lot"]);
+        assert_eq!(m.dev_deps, vec!["rand", "scanraw-simio"]);
+        assert_eq!(m.features.len(), 3);
+        let f = m.feature("fault-inject").unwrap();
+        assert_eq!(
+            f.entries,
+            vec!["scanraw/fault-inject", "scanraw-simio/fault-inject"]
+        );
+        assert!(m.feature("bare").unwrap().entries.is_empty());
+        assert_eq!(m.feature("deadlock-detect").unwrap().entries.len(), 1);
+    }
+
+    #[test]
+    fn feature_lines_point_at_declarations() {
+        let m = parse("crates/engine/Cargo.toml", SAMPLE);
+        let d = m.feature("deadlock-detect").unwrap();
+        // Line numbers are 1-based into the sample text.
+        assert_eq!(
+            SAMPLE.lines().nth(d.line as usize - 1).unwrap().trim(),
+            "deadlock-detect = [\"parking_lot/deadlock-detect\"]"
+        );
+    }
+
+    #[test]
+    fn virtual_manifest_has_no_package() {
+        let m = parse(
+            "Cargo.toml",
+            "[workspace]\nmembers = [\"crates/*\"]\n[workspace.dependencies]\nrand = { path = \"shims/rand\" }\n",
+        );
+        assert_eq!(m.package, "");
+        assert!(m.deps.is_empty());
+    }
+
+    #[test]
+    fn dir_strips_filename() {
+        assert_eq!(parse("crates/engine/Cargo.toml", "").dir(), "crates/engine");
+        assert_eq!(parse("Cargo.toml", "").dir(), "");
+    }
+}

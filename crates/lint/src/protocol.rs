@@ -1,0 +1,330 @@
+//! L007 — protocol exhaustiveness.
+//!
+//! The pipeline's control plane is a handful of message/error enums:
+//! scheduler events, write commands, journal events, the workspace error
+//! type. A `match` on one of these with a `_` (or bare-binding) catch-all
+//! silently swallows any variant added later — exactly the drift this rule
+//! exists to force into the open. Any match whose arms name a workspace
+//! protocol enum must list every remaining variant explicitly.
+//!
+//! A *protocol enum* is an enum defined under `crates/` whose name ends in
+//! `Event`, `Cmd`, `Msg`, `Cause`, `Error`, or `ErrorKind`. Matches inside
+//! `#[cfg(test)]` code are exempt; individual sites are silenced with
+//! `// lint-ok: L007 <reason>`.
+
+use crate::lexer::TokKind;
+use crate::model::SourceFile;
+use crate::parser::{self, MatchArm, MatchExpr};
+use crate::{Finding, Rule};
+use std::collections::BTreeMap;
+
+const PROTOCOL_SUFFIXES: &[&str] = &["Event", "Cmd", "Msg", "Cause", "Error", "ErrorKind"];
+
+fn is_protocol_name(name: &str) -> bool {
+    PROTOCOL_SUFFIXES.iter().any(|s| {
+        name.ends_with(s)
+            // Require a real suffix: `Event` itself qualifies, `PreventX`
+            // does not (the char before the suffix must be lowercase-to-
+            // uppercase boundary, i.e. the suffix starts a capitalized word).
+            && (name.len() == s.len()
+                || name[..name.len() - s.len()]
+                    .chars()
+                    .last()
+                    .is_some_and(|c| c.is_lowercase() || c.is_numeric()))
+    })
+}
+
+/// A workspace protocol enum: defining file plus variant list.
+#[derive(Debug, Clone)]
+pub struct ProtocolEnum {
+    pub file: String,
+    pub variants: Vec<String>,
+}
+
+/// Collects protocol enums from all files under `crates/`.
+pub fn collect_protocol_enums(files: &[SourceFile]) -> BTreeMap<String, ProtocolEnum> {
+    let mut out: BTreeMap<String, ProtocolEnum> = BTreeMap::new();
+    for f in files {
+        if !f.rel.starts_with("crates/") {
+            continue;
+        }
+        for e in parser::enums(f) {
+            if !is_protocol_name(&e.name) || f.in_test_code(e.tok) {
+                continue;
+            }
+            // Same-name enums in different files (should not happen in this
+            // workspace): keep the union of variants so the missing-variant
+            // report never invents one.
+            out.entry(e.name.clone())
+                .and_modify(|p| {
+                    for v in &e.variants {
+                        if !p.variants.contains(v) {
+                            p.variants.push(v.clone());
+                        }
+                    }
+                })
+                .or_insert(ProtocolEnum {
+                    file: f.rel.clone(),
+                    variants: e.variants,
+                });
+        }
+    }
+    out
+}
+
+/// The enum a match scrutinizes, judged from its arm patterns: the first
+/// pattern path `E::V` (after stripping `&`/`ref`/`mut`/`(`) where `E` is a
+/// known protocol enum. Looking at patterns instead of the scrutinee
+/// expression sidesteps type inference entirely.
+fn matched_protocol<'a>(
+    f: &SourceFile,
+    m: &MatchExpr,
+    enums: &'a BTreeMap<String, ProtocolEnum>,
+) -> Option<(&'a str, &'a ProtocolEnum)> {
+    for arm in &m.arms {
+        let (start, end) = arm.pat;
+        let mut i = start;
+        while i < end {
+            let t = &f.tokens[i];
+            if t.kind == TokKind::Punct && matches!(t.text.as_str(), "&" | "(") {
+                i += 1;
+                continue;
+            }
+            if t.kind == TokKind::Ident && matches!(t.text.as_str(), "ref" | "mut") {
+                i += 1;
+                continue;
+            }
+            break;
+        }
+        if i + 2 < end
+            && f.tokens[i].kind == TokKind::Ident
+            && f.tokens[i + 1].text == "::"
+            && f.tokens[i + 2].kind == TokKind::Ident
+        {
+            if let Some((name, pe)) = enums.get_key_value(f.tokens[i].text.as_str()) {
+                if pe.variants.iter().any(|v| v == &f.tokens[i + 2].text) {
+                    return Some((name.as_str(), pe));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// True when the arm is a catch-all: `_`, or a single bare binding that is
+/// not one of the enum's variants (an unqualified variant name via
+/// `use E::*` is a legitimate exhaustive arm).
+fn is_wildcard_arm(f: &SourceFile, arm: &MatchArm, pe: &ProtocolEnum) -> bool {
+    let (start, end) = arm.pat;
+    let toks: Vec<_> = f.tokens[start..end].iter().collect();
+    match toks.as_slice() {
+        [t] if t.kind == TokKind::Punct && t.text == "_" => true,
+        [t] if t.kind == TokKind::Ident
+            && !pe.variants.iter().any(|v| v == &t.text)
+            && !matches!(t.text.as_str(), "ref" | "mut") =>
+        {
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Variants of `enum_name` the arm patterns name via `E::V` paths.
+fn mentioned_variants(f: &SourceFile, m: &MatchExpr, enum_name: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for arm in &m.arms {
+        let (start, end) = arm.pat;
+        let mut i = start;
+        while i + 2 < end {
+            if f.tokens[i].kind == TokKind::Ident
+                && f.tokens[i].text == enum_name
+                && f.tokens[i + 1].text == "::"
+                && f.tokens[i + 2].kind == TokKind::Ident
+            {
+                let v = f.tokens[i + 2].text.clone();
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Runs L007 over one file against the workspace enum table.
+pub fn check_file(
+    f: &SourceFile,
+    enums: &BTreeMap<String, ProtocolEnum>,
+    findings: &mut Vec<Finding>,
+) {
+    for m in parser::matches(f) {
+        if f.in_test_code(m.tok) {
+            continue;
+        }
+        let Some((name, pe)) = matched_protocol(f, &m, enums) else {
+            continue;
+        };
+        for arm in &m.arms {
+            if !is_wildcard_arm(f, arm, pe) {
+                continue;
+            }
+            if f.has_annotation(arm.line, "lint-ok: L007")
+                || f.has_annotation(m.line, "lint-ok: L007")
+            {
+                continue;
+            }
+            let mentioned = mentioned_variants(f, &m, name);
+            let missing: Vec<&str> = pe
+                .variants
+                .iter()
+                .filter(|v| !mentioned.contains(v))
+                .map(|v| v.as_str())
+                .collect();
+            let missing_txt = if missing.is_empty() {
+                String::from("all variants are already listed — drop the arm")
+            } else {
+                format!("unhandled: {}", missing.join(", "))
+            };
+            findings.push(Finding {
+                rule: Rule::L007,
+                file: f.rel.clone(),
+                line: arm.line,
+                message: format!(
+                    "wildcard arm in match on protocol enum `{name}` ({missing_txt})"
+                ),
+                hint: format!(
+                    "list every `{name}` variant explicitly so new variants force a decision here; \
+                     silence with `// lint-ok: L007 <reason>` if exhaustiveness is genuinely unwanted"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Finding> {
+        let parsed: Vec<SourceFile> = files
+            .iter()
+            .map(|(rel, src)| SourceFile::parse(*rel, src))
+            .collect();
+        let enums = collect_protocol_enums(&parsed);
+        let mut out = Vec::new();
+        for f in &parsed {
+            check_file(f, &enums, &mut out);
+        }
+        out
+    }
+
+    const ENUM_DEF: &str = "pub enum PipeEvent { Started, Stopped, Failed }";
+
+    #[test]
+    fn wildcard_on_protocol_enum_flagged() {
+        let user = r#"
+fn f(e: &PipeEvent) -> u32 {
+    match e {
+        PipeEvent::Started => 1,
+        _ => 0,
+    }
+}
+"#;
+        let fs = run(&[
+            ("crates/a/src/lib.rs", ENUM_DEF),
+            ("crates/b/src/lib.rs", user),
+        ]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, Rule::L007);
+        assert!(
+            fs[0].message.contains("Stopped, Failed"),
+            "{}",
+            fs[0].message
+        );
+    }
+
+    #[test]
+    fn bare_binding_catch_all_flagged() {
+        let user = "fn f(e: PipeEvent) -> u32 { match e { PipeEvent::Started => 1, other => 0 } }";
+        let fs = run(&[
+            ("crates/a/src/lib.rs", ENUM_DEF),
+            ("crates/b/src/lib.rs", user),
+        ]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+    }
+
+    #[test]
+    fn exhaustive_match_is_clean() {
+        let user = "fn f(e: PipeEvent) -> u32 { match e { PipeEvent::Started => 1, PipeEvent::Stopped => 2, PipeEvent::Failed => 3 } }";
+        assert!(run(&[
+            ("crates/a/src/lib.rs", ENUM_DEF),
+            ("crates/b/src/lib.rs", user),
+        ])
+        .is_empty());
+    }
+
+    #[test]
+    fn non_protocol_enum_ignored() {
+        let files = [
+            ("crates/a/src/lib.rs", "pub enum Shape { Dot, Line }"),
+            (
+                "crates/b/src/lib.rs",
+                "fn f(s: Shape) -> u32 { match s { Shape::Dot => 1, _ => 0 } }",
+            ),
+        ];
+        assert!(run(&files).is_empty());
+    }
+
+    #[test]
+    fn wildcard_on_non_enum_scrutinee_ignored() {
+        // Match on Option — arms start with Some/None, not a protocol path.
+        let user = "fn f(x: Option<u32>) -> u32 { match x { Some(v) => v, _ => 0 } }";
+        assert!(run(&[
+            ("crates/a/src/lib.rs", ENUM_DEF),
+            ("crates/b/src/lib.rs", user),
+        ])
+        .is_empty());
+    }
+
+    #[test]
+    fn annotation_silences() {
+        let user = "fn f(e: PipeEvent) -> u32 {\n    match e {\n        PipeEvent::Started => 1,\n        // lint-ok: L007 report counts only these\n        _ => 0,\n    }\n}";
+        assert!(run(&[
+            ("crates/a/src/lib.rs", ENUM_DEF),
+            ("crates/b/src/lib.rs", user),
+        ])
+        .is_empty());
+    }
+
+    #[test]
+    fn guarded_wildcard_still_flagged() {
+        let user = "fn f(e: PipeEvent) -> u32 { match e { PipeEvent::Started => 1, _ if true => 2, PipeEvent::Stopped => 3, PipeEvent::Failed => 4 } }";
+        let fs = run(&[
+            ("crates/a/src/lib.rs", ENUM_DEF),
+            ("crates/b/src/lib.rs", user),
+        ]);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+    }
+
+    #[test]
+    fn test_code_exempt() {
+        let user = "#[cfg(test)]\nmod tests {\n    fn f(e: PipeEvent) -> u32 { match e { PipeEvent::Started => 1, _ => 0 } }\n}";
+        assert!(run(&[
+            ("crates/a/src/lib.rs", ENUM_DEF),
+            ("crates/b/src/lib.rs", user),
+        ])
+        .is_empty());
+    }
+
+    #[test]
+    fn suffix_match_requires_word_boundary() {
+        assert!(is_protocol_name("ObsEvent"));
+        assert!(is_protocol_name("WriteCmd"));
+        assert!(is_protocol_name("IoErrorKind"));
+        assert!(is_protocol_name("Error"));
+        assert!(!is_protocol_name("PreventX"));
+        assert!(!is_protocol_name("Eventual"));
+        assert!(!is_protocol_name("SEvent".trim_end_matches("SEvent"))); // empty
+    }
+}

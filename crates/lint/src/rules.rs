@@ -8,11 +8,15 @@
 //! | L004 | blocking channel `send` / `recv` while a lock guard is live in the same scope |
 //! | L005 | `Condvar::wait` / `wait_timeout` not wrapped in a predicate loop |
 //! | L006 | public `Result` fns / panicking fns missing `# Errors` / `# Panics` docs in `crates/types` and `crates/core` |
+//! | L007 | wildcard arm in a `match` on a workspace protocol enum (see `protocol`) |
+//! | L008 | buffer/cache resource leaked on an early-exit path (see `flow`) |
 //!
-//! All rules are lexical heuristics over the token stream — deliberately so:
+//! L001–L006 are lexical heuristics over the token stream — deliberately so:
 //! they run in milliseconds with zero dependencies, and anything they get
 //! wrong is silenced in-source with `// lint-ok: <RULE> <reason>`, which
-//! doubles as an audit trail.
+//! doubles as an audit trail. L007/L008 run over the semantic layer in
+//! `parser`; the workspace-level rules L009/L010 need manifests and docs and
+//! live behind [`crate::lint_workspace`].
 
 use crate::lexer::{TokKind, Token};
 use crate::lockgraph::{LockGraph, Site};
@@ -55,6 +59,11 @@ pub fn run_all(files: &[SourceFile]) -> Vec<Finding> {
     findings.extend(l004);
     findings.extend(l005_condvar_predicate_loop(files));
     findings.extend(l006_missing_error_panic_docs(files));
+    let enums = crate::protocol::collect_protocol_enums(files);
+    for f in files {
+        crate::protocol::check_file(f, &enums, &mut findings);
+        crate::flow::check_file(f, &mut findings);
+    }
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     findings
 }

@@ -1,0 +1,246 @@
+//! Golden-file tests for the machine-readable output formats.
+//!
+//! One fixture workspace with a violation from each semantic rule family is
+//! linted, formatted as JSON and SARIF, and compared byte-for-byte against
+//! checked-in golden files — which pins both the report schema and the
+//! (file, line, rule) finding order. Regenerate deliberately with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p scanraw-lint --test golden
+//! ```
+//!
+//! Shape assertions go through `scanraw-obs`'s JSON parser, so "the report
+//! is valid JSON with the documented fields" is checked by an actual parse,
+//! not substring luck.
+
+use scanraw_lint::{lint_workspace, output, Finding, WorkspaceFiles};
+use scanraw_obs::json;
+use std::path::PathBuf;
+
+/// A fixture with one L007, one L008, one L009 and two L010 findings at
+/// fixed lines. Kept small so golden diffs stay reviewable.
+fn fixture_findings() -> Vec<Finding> {
+    let sources = [
+        (
+            "crates/core/src/proto.rs",
+            r#"pub enum CtrlMsg { Start, Stop }
+
+fn dispatch(m: &CtrlMsg) -> u32 {
+    match m {
+        CtrlMsg::Start => 1,
+        _ => 0,
+    }
+}
+
+fn forward(buf: &Buffer, out: &Sender) -> Result<(), Error> {
+    let chunk = buf.pop();
+    let meta = lookup()?;
+    out.send(chunk, meta);
+    Ok(())
+}
+
+fn wire(m: &Metrics) {
+    m.counter("cache.chunk.bogus").inc();
+}
+"#,
+        ),
+        (
+            "crates/obs/src/journal.rs",
+            "pub enum ObsEvent { CacheHit }",
+        ),
+    ];
+    let manifests = [
+        (
+            "crates/core/Cargo.toml",
+            "[package]\nname = \"scanraw\"\n[dependencies]\nscanraw-obs = { path = \"../obs\" }\n[features]\nturbo = []\n",
+        ),
+        (
+            "crates/obs/Cargo.toml",
+            "[package]\nname = \"scanraw-obs\"\n[features]\nturbo = []\n",
+        ),
+    ];
+    let docs = [(
+        "DESIGN.md",
+        "# fixture\n\n<!-- lint-catalog:metrics -->\n```text\ncache.chunk.hit\n```\n\n<!-- lint-catalog:events -->\n```text\nCacheHit\n```\n",
+    )];
+    lint_workspace(&WorkspaceFiles {
+        sources: sources
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect(),
+        manifests: manifests
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect(),
+        docs: docs
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect(),
+    })
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "{name} drifted from its golden file; if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn fixture_produces_stable_finding_set() {
+    let findings = fixture_findings();
+    // The fixture plants exactly these, in (file, line, rule) order.
+    let got: Vec<(String, u32, String)> = findings
+        .iter()
+        .map(|f| (f.file.clone(), f.line, f.rule.id().to_string()))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("DESIGN.md".to_string(), 5, "L010".to_string()),
+            ("crates/core/Cargo.toml".to_string(), 6, "L009".to_string()),
+            (
+                "crates/core/src/proto.rs".to_string(),
+                6,
+                "L007".to_string()
+            ),
+            (
+                "crates/core/src/proto.rs".to_string(),
+                12,
+                "L008".to_string()
+            ),
+            (
+                "crates/core/src/proto.rs".to_string(),
+                18,
+                "L010".to_string()
+            ),
+        ],
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn json_output_matches_golden_and_parses() {
+    let findings = fixture_findings();
+    let out = output::to_json(&findings);
+    check_golden("report.json", &out);
+
+    let doc = json::parse(&out).expect("report must be valid JSON");
+    assert_eq!(doc.get("version").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(
+        doc.get("tool").and_then(|v| v.as_str()),
+        Some("scanraw-lint")
+    );
+    let items = doc
+        .get("findings")
+        .and_then(|v| v.as_array())
+        .expect("findings array");
+    assert_eq!(items.len(), findings.len());
+    for item in items {
+        for key in ["rule", "file", "message", "hint"] {
+            assert!(
+                item.get(key).and_then(|v| v.as_str()).is_some(),
+                "finding missing string field `{key}`"
+            );
+        }
+        assert!(item.get("line").and_then(|v| v.as_u64()).is_some());
+    }
+    let summary = doc.get("summary").expect("summary object");
+    assert_eq!(
+        summary.get("total").and_then(|v| v.as_u64()),
+        Some(findings.len() as u64)
+    );
+    let by_rule = summary
+        .get("by_rule")
+        .and_then(|v| v.as_object())
+        .expect("by_rule object");
+    assert_eq!(by_rule.get("L010").and_then(|v| v.as_u64()), Some(2));
+}
+
+#[test]
+fn sarif_output_matches_golden_and_parses() {
+    let findings = fixture_findings();
+    let out = output::to_sarif(&findings);
+    check_golden("report.sarif", &out);
+
+    let doc = json::parse(&out).expect("SARIF must be valid JSON");
+    assert_eq!(doc.get("version").and_then(|v| v.as_str()), Some("2.1.0"));
+    let runs = doc.get("runs").and_then(|v| v.as_array()).expect("runs");
+    assert_eq!(runs.len(), 1);
+    let driver = runs[0]
+        .get("tool")
+        .and_then(|t| t.get("driver"))
+        .expect("tool.driver");
+    assert_eq!(
+        driver.get("name").and_then(|v| v.as_str()),
+        Some("scanraw-lint")
+    );
+    let rules = driver
+        .get("rules")
+        .and_then(|v| v.as_array())
+        .expect("rule table");
+    assert_eq!(rules.len(), 10, "all rules L001-L010 in the table");
+    let results = runs[0]
+        .get("results")
+        .and_then(|v| v.as_array())
+        .expect("results");
+    assert_eq!(results.len(), findings.len());
+    for r in results {
+        assert!(r.get("ruleId").and_then(|v| v.as_str()).is_some());
+        assert_eq!(r.get("level").and_then(|v| v.as_str()), Some("error"));
+        let loc = r
+            .get("locations")
+            .and_then(|v| v.as_array())
+            .and_then(|a| a.first())
+            .and_then(|l| l.get("physicalLocation"))
+            .expect("physicalLocation");
+        assert!(loc
+            .get("artifactLocation")
+            .and_then(|a| a.get("uri"))
+            .and_then(|v| v.as_str())
+            .is_some());
+        assert!(loc
+            .get("region")
+            .and_then(|r| r.get("startLine"))
+            .and_then(|v| v.as_u64())
+            .is_some());
+    }
+}
+
+#[test]
+fn empty_report_is_valid_json_in_both_formats() {
+    let j = json::parse(&output::to_json(&[])).expect("empty JSON report parses");
+    assert_eq!(
+        j.get("summary")
+            .and_then(|s| s.get("total"))
+            .and_then(|v| v.as_u64()),
+        Some(0)
+    );
+    let s = json::parse(&output::to_sarif(&[])).expect("empty SARIF parses");
+    let results = s
+        .get("runs")
+        .and_then(|v| v.as_array())
+        .and_then(|a| a.first())
+        .and_then(|r| r.get("results"))
+        .and_then(|v| v.as_array())
+        .expect("results array");
+    assert!(results.is_empty());
+}

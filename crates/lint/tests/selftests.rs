@@ -1,0 +1,270 @@
+//! Seeded-violation self-tests: every semantic rule (L007–L010) must catch
+//! a deliberately planted bug in a miniature fixture workspace, end-to-end
+//! through the public [`scanraw_lint::lint_workspace`] API. If a rule ever
+//! stops firing on its canonical bug, these fail before the real workspace
+//! quietly rots.
+
+use scanraw_lint::{lint_workspace, Rule, WorkspaceFiles};
+
+fn ws(
+    sources: &[(&str, &str)],
+    manifests: &[(&str, &str)],
+    docs: &[(&str, &str)],
+) -> WorkspaceFiles {
+    WorkspaceFiles {
+        sources: sources
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect(),
+        manifests: manifests
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect(),
+        docs: docs
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect(),
+    }
+}
+
+const CORE_TOML: &str = "[package]\nname = \"scanraw\"\n[features]\nturbo = []\n";
+
+/// A catalog document with one metrics block and one events block.
+fn design(metrics: &str, events: &str) -> String {
+    format!(
+        "# fixture\n\n<!-- lint-catalog:metrics -->\n```text\n{metrics}\n```\n\n<!-- lint-catalog:events -->\n```text\n{events}\n```\n"
+    )
+}
+
+#[test]
+fn l007_catches_planted_wildcard_arm() {
+    let fixture = ws(
+        &[(
+            "crates/core/src/proto.rs",
+            r#"
+pub enum CtrlMsg { Start, Stop, Tick }
+
+pub fn dispatch(m: &CtrlMsg) -> u32 {
+    match m {
+        CtrlMsg::Start => 1,
+        _ => 0, // planted: swallows Stop and Tick
+    }
+}
+"#,
+        )],
+        &[("crates/core/Cargo.toml", CORE_TOML)],
+        &[],
+    );
+    let findings = lint_workspace(&fixture);
+    let l007: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L007).collect();
+    assert_eq!(l007.len(), 1, "{findings:?}");
+    assert_eq!(l007[0].file, "crates/core/src/proto.rs");
+    assert!(l007[0].message.contains("CtrlMsg"));
+    assert!(
+        l007[0].message.contains("Stop") && l007[0].message.contains("Tick"),
+        "must name the swallowed variants: {}",
+        l007[0].message
+    );
+}
+
+#[test]
+fn l008_catches_planted_chunk_leak_on_early_return() {
+    let fixture = ws(
+        &[(
+            "crates/core/src/stage.rs",
+            r#"
+pub fn forward(buf: &Buffer, out: &Sender) -> Result<(), Error> {
+    let chunk = buf.pop();
+    let meta = catalog_lookup()?; // planted: error path drops `chunk`
+    out.send(chunk, meta);
+    Ok(())
+}
+"#,
+        )],
+        &[("crates/core/Cargo.toml", CORE_TOML)],
+        &[],
+    );
+    let findings = lint_workspace(&fixture);
+    let l008: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L008).collect();
+    assert_eq!(l008.len(), 1, "{findings:?}");
+    assert!(l008[0].message.contains("chunk"), "{}", l008[0].message);
+    assert!(l008[0].message.contains('?'), "{}", l008[0].message);
+}
+
+#[test]
+fn l009_catches_planted_undeclared_feature() {
+    let fixture = ws(
+        &[(
+            "crates/core/src/lib.rs",
+            "#[cfg(feature = \"trubo\")] // planted typo\npub fn fast() {}\n",
+        )],
+        &[("crates/core/Cargo.toml", CORE_TOML)],
+        &[],
+    );
+    let findings = lint_workspace(&fixture);
+    let l009: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L009).collect();
+    assert_eq!(l009.len(), 1, "{findings:?}");
+    assert!(l009[0].message.contains("trubo"), "{}", l009[0].message);
+}
+
+#[test]
+fn l009_catches_planted_missing_feature_forward() {
+    let engine_toml = "[package]\nname = \"scanraw-engine\"\n[dependencies]\nscanraw = { path = \"../core\" }\n[features]\nturbo = [] # planted: does not forward scanraw/turbo\n";
+    let fixture = ws(
+        &[],
+        &[
+            ("crates/core/Cargo.toml", CORE_TOML),
+            ("crates/engine/Cargo.toml", engine_toml),
+        ],
+        &[],
+    );
+    let findings = lint_workspace(&fixture);
+    let l009: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L009).collect();
+    assert_eq!(l009.len(), 1, "{findings:?}");
+    assert_eq!(l009[0].file, "crates/engine/Cargo.toml");
+    assert!(
+        l009[0]
+            .message
+            .contains("not forwarded to dependency `scanraw`"),
+        "{}",
+        l009[0].message
+    );
+}
+
+#[test]
+fn l009_catches_planted_ungated_use_of_gated_pub_item() {
+    let engine_toml = "[package]\nname = \"scanraw-engine\"\n[dependencies]\nscanraw = { path = \"../core\" }\n[features]\nturbo = [\"scanraw/turbo\"]\n";
+    let fixture = ws(
+        &[
+            (
+                "crates/core/src/lib.rs",
+                "#[cfg(feature = \"turbo\")]\npub fn boost() {}\n",
+            ),
+            (
+                "crates/engine/src/lib.rs",
+                "pub fn go() { scanraw::boost(); } // planted: breaks default build\n",
+            ),
+        ],
+        &[
+            ("crates/core/Cargo.toml", CORE_TOML),
+            ("crates/engine/Cargo.toml", engine_toml),
+        ],
+        &[],
+    );
+    let findings = lint_workspace(&fixture);
+    let l009: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L009).collect();
+    assert_eq!(l009.len(), 1, "{findings:?}");
+    assert!(l009[0].message.contains("boost"), "{}", l009[0].message);
+    assert!(
+        l009[0].message.contains("crates/engine/src/lib.rs"),
+        "{}",
+        l009[0].message
+    );
+}
+
+#[test]
+fn l010_catches_planted_undocumented_metric() {
+    let fixture = ws(
+        &[
+            (
+                "crates/obs/src/journal.rs",
+                "pub enum ObsEvent { CacheHit }",
+            ),
+            (
+                "crates/core/src/cache.rs",
+                "fn wire(m: &Metrics) { m.counter(\"cache.chunk.bogus\").inc(); } // planted",
+            ),
+        ],
+        &[
+            ("crates/core/Cargo.toml", CORE_TOML),
+            (
+                "crates/obs/Cargo.toml",
+                "[package]\nname = \"scanraw-obs\"\n",
+            ),
+        ],
+        &[("DESIGN.md", &design("cache.chunk.hit", "CacheHit"))],
+    );
+    let findings = lint_workspace(&fixture);
+    let l010: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L010).collect();
+    // Planted metric is undocumented AND the cataloged one is now unused.
+    assert_eq!(l010.len(), 2, "{findings:?}");
+    assert!(l010
+        .iter()
+        .any(|f| f.file == "crates/core/src/cache.rs" && f.message.contains("cache.chunk.bogus")));
+    assert!(l010
+        .iter()
+        .any(|f| f.file == "DESIGN.md" && f.message.contains("cache.chunk.hit")));
+}
+
+#[test]
+fn l010_catches_planted_uncataloged_event() {
+    let fixture = ws(
+        &[
+            (
+                "crates/obs/src/journal.rs",
+                "pub enum ObsEvent { CacheHit, ChunkSkipped }",
+            ),
+            (
+                "crates/core/src/sched.rs",
+                "fn f(j: &Journal) { j.record(ObsEvent::ChunkSkipped); } // planted: not cataloged",
+            ),
+        ],
+        &[
+            ("crates/core/Cargo.toml", CORE_TOML),
+            (
+                "crates/obs/Cargo.toml",
+                "[package]\nname = \"scanraw-obs\"\n",
+            ),
+        ],
+        &[("DESIGN.md", &design("", "CacheHit"))],
+    );
+    let findings = lint_workspace(&fixture);
+    let l010: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L010).collect();
+    // Use site + definition site both flagged.
+    assert_eq!(l010.len(), 2, "{findings:?}");
+    assert!(l010.iter().all(|f| f.message.contains("ChunkSkipped")));
+}
+
+#[test]
+fn clean_fixture_stays_clean() {
+    // The inverse control: a fixture with none of the planted bugs produces
+    // zero findings, so the self-tests above isolate exactly one cause each.
+    let engine_toml = "[package]\nname = \"scanraw-engine\"\n[dependencies]\nscanraw = { path = \"../core\" }\n[features]\nturbo = [\"scanraw/turbo\"]\n";
+    let fixture = ws(
+        &[
+            (
+                "crates/core/src/proto.rs",
+                r#"
+pub enum CtrlMsg { Start, Stop }
+pub fn dispatch(m: &CtrlMsg) -> u32 {
+    match m {
+        CtrlMsg::Start => 1,
+        CtrlMsg::Stop => 0,
+    }
+}
+fn forward(buf: &Buffer, out: &Sender) -> Result<(), Error> {
+    let chunk = buf.pop();
+    out.send(chunk);
+    Ok(())
+}
+"#,
+            ),
+            (
+                "crates/obs/src/journal.rs",
+                "pub enum ObsEvent { CacheHit }",
+            ),
+            (
+                "crates/core/src/cache.rs",
+                "fn wire(m: &Metrics, j: &Journal) { m.counter(\"cache.chunk.hit\").inc(); j.record(ObsEvent::CacheHit); }",
+            ),
+        ],
+        &[
+            ("crates/core/Cargo.toml", CORE_TOML),
+            ("crates/engine/Cargo.toml", engine_toml),
+            ("crates/obs/Cargo.toml", "[package]\nname = \"scanraw-obs\"\n"),
+        ],
+        &[("DESIGN.md", &design("cache.chunk.hit", "CacheHit"))],
+    );
+    let findings = lint_workspace(&fixture);
+    assert!(findings.is_empty(), "{findings:?}");
+}

@@ -152,9 +152,17 @@ impl Error {
 
     /// The I/O kind, when this is an [`Error::Io`].
     pub fn io_kind(&self) -> Option<IoErrorKind> {
+        // Every non-Io variant is listed so adding one forces a decision on
+        // whether it carries a retryable device failure (L007).
         match self {
             Error::Io(e) => Some(e.kind),
-            _ => None,
+            Error::Tokenize { .. }
+            | Error::Parse { .. }
+            | Error::Schema(_)
+            | Error::Storage(_)
+            | Error::Query(_)
+            | Error::Pipeline(_)
+            | Error::Config(_) => None,
         }
     }
 

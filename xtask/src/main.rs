@@ -1,8 +1,16 @@
 //! Workspace automation: `cargo xtask <task>`.
 //!
 //! Tasks:
-//! - `lint` — run the scanraw-lint concurrency analyzer over the workspace
-//!   and exit non-zero on any unsilenced finding.
+//! - `lint` — run the scanraw-lint analyzer (rules L001–L010) over the
+//!   workspace and exit non-zero on any unsilenced, unbaselined finding.
+//!
+//! `lint` options:
+//! - `--format text|json|sarif|github` — output format (default `text`)
+//! - `--output <path>` — additionally write the JSON report to `<path>`
+//! - `--baseline <path>` — baseline file (default `lint-baseline.txt` at the
+//!   workspace root when it exists)
+//! - `--no-baseline` — ignore any baseline file
+//! - `--update-baseline` — rewrite the baseline to accept current findings
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
@@ -10,13 +18,66 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use scanraw_lint::output;
+
+const DEFAULT_BASELINE: &str = "lint-baseline.txt";
+
 fn workspace_root() -> PathBuf {
     // xtask/ sits directly under the workspace root.
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     manifest.parent().map(PathBuf::from).unwrap_or(manifest)
 }
 
-fn task_lint() -> ExitCode {
+struct LintOpts {
+    format: String,
+    output: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    no_baseline: bool,
+    update_baseline: bool,
+}
+
+fn parse_lint_opts(args: &[String]) -> Result<LintOpts, String> {
+    let mut opts = LintOpts {
+        format: "text".to_string(),
+        output: None,
+        baseline: None,
+        no_baseline: false,
+        update_baseline: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                if !matches!(v.as_str(), "text" | "json" | "sarif" | "github") {
+                    return Err(format!(
+                        "unknown format `{v}` (expected text, json, sarif, or github)"
+                    ));
+                }
+                opts.format = v.clone();
+            }
+            "--output" => {
+                opts.output = Some(PathBuf::from(it.next().ok_or("--output needs a path")?))
+            }
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a path")?))
+            }
+            "--no-baseline" => opts.no_baseline = true,
+            "--update-baseline" => opts.update_baseline = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn task_lint(args: &[String]) -> ExitCode {
+    let opts = match parse_lint_opts(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let root = workspace_root();
     let findings = match scanraw_lint::run(&root) {
         Ok(f) => f,
@@ -25,38 +86,118 @@ fn task_lint() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if findings.is_empty() {
-        println!("xtask lint: clean (rules L001-L006, 0 findings)");
+
+    if opts.update_baseline {
+        let path = opts
+            .baseline
+            .clone()
+            .unwrap_or_else(|| root.join(DEFAULT_BASELINE));
+        if let Err(e) = std::fs::write(&path, output::write_baseline(&findings)) {
+            eprintln!("xtask lint: cannot write baseline {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "xtask lint: baseline updated ({} finding(s) accepted in {})",
+            findings.len(),
+            path.display()
+        );
         return ExitCode::SUCCESS;
     }
-    for f in &findings {
-        println!("{f}");
-    }
-    let mut by_rule: Vec<(&str, usize)> = Vec::new();
-    for f in &findings {
-        match by_rule.iter_mut().find(|(id, _)| *id == f.rule.id()) {
-            Some((_, n)) => *n += 1,
-            None => by_rule.push((f.rule.id(), 1)),
+
+    // Apply the baseline: explicit path > default file when present > none.
+    let baseline_path = if opts.no_baseline {
+        None
+    } else {
+        match opts.baseline {
+            Some(p) => Some(p),
+            None => {
+                let p = root.join(DEFAULT_BASELINE);
+                p.is_file().then_some(p)
+            }
+        }
+    };
+    let (findings, suppressed, stale) = match &baseline_path {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let entries = output::parse_baseline(&text);
+                output::apply_baseline(findings, &entries)
+            }
+            Err(e) => {
+                eprintln!("xtask lint: cannot read baseline {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => (findings, 0, Vec::new()),
+    };
+
+    if let Some(path) = &opts.output {
+        if let Err(e) = std::fs::write(path, output::to_json(&findings)) {
+            eprintln!("xtask lint: cannot write report {}: {e}", path.display());
+            return ExitCode::FAILURE;
         }
     }
-    let summary: Vec<String> = by_rule.iter().map(|(id, n)| format!("{id}: {n}")).collect();
-    eprintln!(
-        "xtask lint: {} finding(s) ({}); silence false positives with `// lint-ok: <RULE> <reason>`",
-        findings.len(),
-        summary.join(", ")
-    );
+
+    match opts.format.as_str() {
+        "json" => print!("{}", output::to_json(&findings)),
+        "sarif" => print!("{}", output::to_sarif(&findings)),
+        "github" => print!("{}", output::to_github(&findings)),
+        _ => {
+            for f in &findings {
+                println!("{f}");
+            }
+        }
+    }
+
+    for b in &stale {
+        eprintln!(
+            "xtask lint: stale baseline entry (no longer matches anything): {} {} {}",
+            b.rule, b.file, b.message
+        );
+    }
+
+    if findings.is_empty() {
+        if opts.format == "text" {
+            match suppressed {
+                0 => println!("xtask lint: clean (rules L001-L010, 0 findings)"),
+                n => println!("xtask lint: clean (rules L001-L010, {n} baselined finding(s))"),
+            }
+        }
+        // Stale baseline entries are an error: the file must only shrink.
+        return if stale.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    if opts.format == "text" {
+        let mut by_rule: Vec<(&str, usize)> = Vec::new();
+        for f in &findings {
+            match by_rule.iter_mut().find(|(id, _)| *id == f.rule.id()) {
+                Some((_, n)) => *n += 1,
+                None => by_rule.push((f.rule.id(), 1)),
+            }
+        }
+        let summary: Vec<String> = by_rule.iter().map(|(id, n)| format!("{id}: {n}")).collect();
+        eprintln!(
+            "xtask lint: {} finding(s) ({}); silence false positives with `// lint-ok: <RULE> <reason>` or the baseline file",
+            findings.len(),
+            summary.join(", ")
+        );
+    }
     ExitCode::FAILURE
 }
 
 fn main() -> ExitCode {
-    let task = std::env::args().nth(1).unwrap_or_default();
-    match task.as_str() {
-        "lint" => task_lint(),
-        "" => {
-            eprintln!("usage: cargo xtask <task>\n\ntasks:\n  lint    run the concurrency lint catalog (L001-L006)");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => task_lint(&args[1..]),
+        None => {
+            eprintln!(
+                "usage: cargo xtask <task>\n\ntasks:\n  lint    run the static analysis catalog (L001-L010)\n          options: --format text|json|sarif|github, --output <path>,\n                   --baseline <path>, --no-baseline, --update-baseline"
+            );
             ExitCode::FAILURE
         }
-        other => {
+        Some(other) => {
             eprintln!("xtask: unknown task `{other}` (available: lint)");
             ExitCode::FAILURE
         }

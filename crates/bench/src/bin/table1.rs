@@ -17,7 +17,7 @@
 
 use scanraw_bench::{env_u64, print_table, write_json};
 use scanraw_engine::bamscan::{execute_over_bam, map_reads};
-use scanraw_engine::{AggExpr, Predicate, Query};
+use scanraw_engine::{AggExpr, Col, Predicate, Query};
 use scanraw_pipesim::{CostModel, FileSpec, QuerySpec, SimConfig, Simulator};
 use scanraw_rawfile::bamsim::{stage_bam, BamReader};
 use scanraw_rawfile::sam::{field, generate_reads, sam_bytes, sam_schema, SamSpec};
@@ -197,10 +197,10 @@ fn table1_query() -> Query {
     Query {
         table: "reads".into(),
         filter: Some(Predicate::And(
-            Box::new(Predicate::Like(field::SEQ, "%ACGTA%".into())),
+            Box::new(Predicate::like(field::SEQ, "%ACGTA%")),
             Box::new(Predicate::between(field::POS, 1i64, 5_000_000i64)),
         )),
-        group_by: vec![field::CIGAR],
+        group_by: vec![Col(field::CIGAR)],
         aggregates: vec![AggExpr::count()],
         pushdown: false,
     }

@@ -61,4 +61,4 @@ pub use profile::{Profiler, Stage};
 pub use registry::OperatorRegistry;
 pub use scanraw_types::{ScanRawConfig, WritePolicy};
 pub use scheduler::SchedulerReport;
-pub use stream::ChunkStream;
+pub use stream::{ChunkStream, ExecHandle, ExecTask};

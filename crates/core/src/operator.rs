@@ -14,10 +14,10 @@ use crate::cache::ChunkCache;
 use crate::profile::{Profiler, Stage};
 use crate::retry::{with_retry, RetryPolicy, DB_FALLBACK_COUNTER};
 use crate::scheduler::{run_scheduler, Event, Writer};
-use crate::stream::{ChunkStream, ScanCounters, ScanState};
+use crate::stream::{ChunkStream, ExecTask, ScanCounters, ScanState};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
-use scanraw_obs::{Obs, ObsEvent};
+use scanraw_obs::{Histogram, Obs, ObsEvent};
 use scanraw_rawfile::chunker::{read_chunk_at, ChunkReader};
 use scanraw_rawfile::parse::{parse_chunk_filtered, RowFilter};
 use scanraw_rawfile::{parse_chunk_projected, tokenize_chunk_selective, TextDialect};
@@ -169,6 +169,13 @@ impl RawJob {
 struct TokenizedChunk {
     job: RawJob,
     map: PositionalMap,
+}
+
+/// Per-worker stage histograms (`pipeline.worker.<w>.<stage>.nanos`).
+struct WorkerHists {
+    tokenize: Histogram,
+    parse: Histogram,
+    exec: Histogram,
 }
 
 /// Scan-wide conversion parameters shared by READ and the workers.
@@ -497,6 +504,9 @@ impl ScanRaw {
         let (events_tx, events_rx) = unbounded::<Event>();
         let (text_tx, text_rx) = bounded::<RawJob>(self.config.text_buffer_chunks);
         let (pos_tx, pos_rx) = bounded::<TokenizedChunk>(self.config.position_buffer_chunks);
+        // Consumer-execution channel: the engine partitions delivered chunks
+        // back onto this pool for predicate + partial-aggregate work.
+        let (exec_tx, exec_rx) = unbounded::<ExecTask>();
 
         // ------------------------------------------------------------------
         // Plan chunk sources (cache → database → raw, §3.2.1).
@@ -549,6 +559,7 @@ impl ScanRaw {
             let pos_tx = pos_tx.clone();
             let out = out_tx.clone();
             let events = events_tx.clone();
+            let exec_rx = exec_rx.clone();
             let counters = counters.clone();
             let stop = stop.clone();
             let in_pipeline = in_pipeline.clone();
@@ -557,11 +568,13 @@ impl ScanRaw {
                 .name(format!("scanraw-worker-{}-{w}", self.table))
                 .spawn(move || {
                     op.worker_loop(
+                        w,
                         text_rx,
                         pos_rx,
                         pos_tx,
                         out,
                         events,
+                        exec_rx,
                         counters,
                         stop,
                         in_pipeline,
@@ -575,6 +588,7 @@ impl ScanRaw {
         drop(pos_rx);
         drop(text_rx);
         drop(out_tx);
+        drop(exec_rx);
 
         // ------------------------------------------------------------------
         // Scheduler thread (write policy).
@@ -614,6 +628,10 @@ impl ScanRaw {
             started_at,
             obs: self.obs.clone(),
             table: self.table.clone(),
+            // Sequential regime has no pool to serve EXEC tasks: holding the
+            // sender would strand engine-submitted work forever.
+            exec_tx: (workers > 0).then_some(exec_tx),
+            workers,
         };
         Ok(ChunkStream::new(out_rx, state))
     }
@@ -1206,47 +1224,84 @@ impl ScanRaw {
     }
 
     // ----------------------------------------------------------------------
-    // Worker loop (dynamic TOKENIZE / PARSE assignment)
+    // Worker loop (dynamic TOKENIZE / PARSE / EXEC assignment)
     // ----------------------------------------------------------------------
 
     #[allow(clippy::too_many_arguments)]
     fn worker_loop(
         self: &Arc<Self>,
+        w: usize,
         text_rx: Receiver<RawJob>,
         pos_rx: Receiver<TokenizedChunk>,
         pos_tx: Sender<TokenizedChunk>,
         out: Sender<Result<Arc<BinaryChunk>>>,
         events: Sender<Event>,
+        exec_rx: Receiver<ExecTask>,
         _counters: Arc<ScanCounters>,
         stop: Arc<AtomicBool>,
         in_pipeline: Arc<AtomicUsize>,
         params: &Arc<ScanParams>,
     ) {
+        // Per-worker stage histograms: wall time the worker spent in each
+        // stage *including* hand-off back-pressure, so pool imbalance is
+        // visible even when the pure per-chunk compute times are uniform.
+        let hists = WorkerHists {
+            tokenize: self
+                .obs
+                .metrics
+                .duration_histogram(&format!("pipeline.worker.{w}.tokenize.nanos")),
+            parse: self
+                .obs
+                .metrics
+                .duration_histogram(&format!("pipeline.worker.{w}.parse.nanos")),
+            exec: self
+                .obs
+                .metrics
+                .duration_histogram(&format!("pipeline.worker.{w}.exec.nanos")),
+        };
+        // Phase 1 — conversion: dynamic TOKENIZE/PARSE assignment, with
+        // consumer EXEC tasks served first so chunk-parallel queries overlap
+        // aggregation with conversion of later chunks.
         loop {
             // relaxed-ok: advisory stop flag — a stale read only delays shutdown by one iteration
             if stop.load(Ordering::Relaxed) {
-                break;
+                return;
             }
-            // Prefer PARSE (downstream) to keep the pipeline draining — the
-            // scheduler heuristic that guarantees progress (§3.2.1).
+            // Prefer EXEC (downstream-most), then PARSE, then TOKENIZE —
+            // the draining heuristic that guarantees progress (§3.2.1)
+            // extended one stage downstream.
+            match exec_rx.try_recv() {
+                Ok(task) => {
+                    self.run_exec(task, &hists.exec);
+                    continue;
+                }
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => {}
+            }
             match pos_rx.try_recv() {
                 Ok(job) => {
+                    let t = std::time::Instant::now();
                     self.do_parse(job, &out, &events, &stop, &in_pipeline, params);
+                    hists.parse.observe_duration(t.elapsed());
                     continue;
                 }
                 Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => {}
             }
             match text_rx.try_recv() {
                 Ok(job) => {
+                    let t = std::time::Instant::now();
                     self.do_tokenize(job, &pos_tx, &out, &stop, &in_pipeline, params);
+                    hists.tokenize.observe_duration(t.elapsed());
                     continue;
                 }
                 Err(TryRecvError::Empty) => {
                     // Nothing ready: block briefly on the position buffer
-                    // (the only channel guaranteed to stay connected).
+                    // (the only conversion channel guaranteed to stay
+                    // connected).
                     match pos_rx.recv_timeout(Duration::from_micros(200)) {
                         Ok(job) => {
+                            let t = std::time::Instant::now();
                             self.do_parse(job, &out, &events, &stop, &in_pipeline, params);
+                            hists.parse.observe_duration(t.elapsed());
                         }
                         Err(RecvTimeoutError::Timeout) => {}
                         Err(RecvTimeoutError::Disconnected) => break,
@@ -1257,7 +1312,9 @@ impl ScanRaw {
                     // pipeline is empty.
                     match pos_rx.recv_timeout(Duration::from_micros(200)) {
                         Ok(job) => {
+                            let t = std::time::Instant::now();
                             self.do_parse(job, &out, &events, &stop, &in_pipeline, params);
+                            hists.parse.observe_duration(t.elapsed());
                         }
                         Err(RecvTimeoutError::Timeout) => {
                             if in_pipeline.load(Ordering::Acquire) == 0 {
@@ -1269,6 +1326,40 @@ impl ScanRaw {
                 }
             }
         }
+        // Phase 2 — conversion is complete. Drop the conversion-side senders
+        // first: the engine's chunk loop ends exactly when every worker has
+        // released its `out` clone, so parking here must not hold it. Then
+        // keep serving EXEC tasks until every submitter (engine handles and
+        // the stream's own sender) is gone.
+        drop(pos_tx);
+        drop(pos_rx);
+        drop(text_rx);
+        drop(out);
+        drop(events);
+        loop {
+            // relaxed-ok: advisory stop flag — a stale read only delays shutdown by one iteration
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            match exec_rx.recv_timeout(Duration::from_micros(200)) {
+                Ok(task) => self.run_exec(task, &hists.exec),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+
+    /// Runs one consumer-execution task, recording EXEC stage time (the
+    /// device clock may be virtual, so compute is timed in wall-clock).
+    fn run_exec(&self, task: ExecTask, hist: &Histogram) {
+        let clock = self.db.disk().clock().clone();
+        let t0 = clock.now();
+        let w0 = std::time::Instant::now();
+        task();
+        let elapsed = w0.elapsed();
+        let t1 = clock.now();
+        self.profiler.record(Stage::Exec, elapsed, t0, t1);
+        hist.observe_duration(elapsed);
     }
 
     fn do_tokenize(

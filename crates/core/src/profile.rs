@@ -20,15 +20,19 @@ pub enum Stage {
     Write,
     /// Delivery of cache/database chunks (no conversion).
     Deliver,
+    /// Consumer-side query execution (predicate + partial aggregation) run
+    /// on the worker pool for chunk-parallel queries.
+    Exec,
 }
 
 impl Stage {
-    pub const ALL: [Stage; 5] = [
+    pub const ALL: [Stage; 6] = [
         Stage::Read,
         Stage::Tokenize,
         Stage::Parse,
         Stage::Write,
         Stage::Deliver,
+        Stage::Exec,
     ];
 
     pub fn name(self) -> &'static str {
@@ -38,6 +42,7 @@ impl Stage {
             Stage::Parse => "PARSE",
             Stage::Write => "WRITE",
             Stage::Deliver => "DELIVER",
+            Stage::Exec => "EXEC",
         }
     }
 
@@ -48,6 +53,7 @@ impl Stage {
             Stage::Parse => 2,
             Stage::Write => 3,
             Stage::Deliver => 4,
+            Stage::Exec => 5,
         }
     }
 }
@@ -69,15 +75,15 @@ pub struct Profiler {
 #[derive(Default)]
 struct ProfilerInner {
     /// Total nanoseconds per stage.
-    totals: [AtomicU64; 5],
+    totals: [AtomicU64; 6],
     /// Chunks processed per stage.
-    chunks: [AtomicU64; 5],
+    chunks: [AtomicU64; 6],
     /// CPU busy spans, for utilization timelines (opt-in).
     spans: Mutex<Vec<BusySpan>>,
     record_spans: AtomicU64, // 0 = off, 1 = on
     /// One duration histogram per stage, attached at most once; the hot
     /// path pays a single atomic load when unattached.
-    stage_histograms: OnceLock<[Histogram; 5]>,
+    stage_histograms: OnceLock<[Histogram; 6]>,
 }
 
 impl Profiler {
@@ -333,6 +339,7 @@ mod tests {
     #[test]
     fn stage_names() {
         assert_eq!(Stage::Tokenize.name(), "TOKENIZE");
-        assert_eq!(Stage::ALL.len(), 5);
+        assert_eq!(Stage::Exec.name(), "EXEC");
+        assert_eq!(Stage::ALL.len(), 6);
     }
 }

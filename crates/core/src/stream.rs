@@ -18,6 +18,35 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// A unit of consumer-side work (predicate evaluation + partial aggregation
+/// over one delivered chunk) handed to the worker pool.
+pub type ExecTask = Box<dyn FnOnce() + Send + 'static>;
+
+/// Engine-facing handle for submitting [`ExecTask`]s to the scan's worker
+/// pool. Cloneable; the pool keeps serving tasks until every handle (and the
+/// stream itself) has been dropped.
+#[derive(Clone)]
+pub struct ExecHandle {
+    tx: Sender<ExecTask>,
+}
+
+impl ExecHandle {
+    pub(crate) fn new(tx: Sender<ExecTask>) -> Self {
+        ExecHandle { tx }
+    }
+
+    /// Submits a task to the worker pool. On failure (the pool has already
+    /// shut down) the task is handed back so the caller can run it inline.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(task)` when every worker has exited; the task has not
+    /// run and ownership returns to the caller.
+    pub fn submit(&self, task: ExecTask) -> std::result::Result<(), ExecTask> {
+        self.tx.send(task).map_err(|e| e.0)
+    }
+}
+
 /// Counters shared between the pipeline threads and the stream.
 ///
 /// Pipeline threads increment with `Release` stores and [`ChunkStream::finish`]
@@ -77,6 +106,12 @@ pub(crate) struct ScanState {
     pub started_at: Duration,
     pub obs: Obs,
     pub table: String,
+    /// Keeps the consumer-execution channel alive for the scan's lifetime so
+    /// engine-held [`ExecHandle`] clones stay connected. Dropped before the
+    /// worker joins — workers only exit their EXEC phase on disconnect.
+    pub exec_tx: Option<Sender<ExecTask>>,
+    /// Size of the worker pool (0 = sequential regime, no EXEC service).
+    pub workers: usize,
 }
 
 /// Stream of converted chunks produced by one [`crate::ScanRaw::scan`].
@@ -121,6 +156,20 @@ impl ChunkStream {
         }
     }
 
+    /// Handle for submitting consumer-execution tasks to the scan's worker
+    /// pool, or `None` when the scan runs in the sequential regime (zero
+    /// workers). Tasks are served concurrently with TOKENIZE/PARSE while the
+    /// conversion side is active and exclusively afterwards.
+    pub fn exec_handle(&self) -> Option<ExecHandle> {
+        let state = self.state.as_ref()?;
+        state.exec_tx.as_ref().map(|tx| ExecHandle::new(tx.clone()))
+    }
+
+    /// Number of pool workers serving this scan (0 = sequential regime).
+    pub fn workers(&self) -> usize {
+        self.state.as_ref().map_or(0, |s| s.workers)
+    }
+
     /// Consumes the rest of the stream, joins every pipeline thread, and
     /// returns the scan summary (or the first pipeline error).
     ///
@@ -140,6 +189,11 @@ impl ChunkStream {
             // missing state must not abort the caller's thread.
             return Err(Error::Pipeline("scan state already torn down".into()));
         };
+        let mut state = state;
+        // Disconnect the consumer-execution channel before joining: workers
+        // park in their EXEC phase until every sender is gone, and this is
+        // the last one once the engine has dropped its handles.
+        state.exec_tx = None;
         let read_result = state
             .read_handle
             .join()
@@ -199,7 +253,8 @@ impl Drop for ChunkStream {
         // Abandoned stream: drop the receiver so producers unwind, then join
         // them to avoid leaking threads mid-scan.
         self.rx = None;
-        if let Some(state) = self.state.take() {
+        if let Some(mut state) = self.state.take() {
+            state.exec_tx = None;
             let _ = state.read_handle.join();
             for h in state.worker_handles {
                 let _ = h.join();

@@ -132,6 +132,54 @@ impl Accumulator {
         Ok(())
     }
 
+    /// Folds another accumulator of the same aggregate into this one —
+    /// the combine step of parallel partial aggregation. Deterministic and
+    /// (for the order-sensitive float cases) merged by the executor in
+    /// ascending chunk order, so repeated parallel runs agree bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the two accumulators belong to different aggregate
+    /// functions (SUM's int/float promotion pair merges fine).
+    pub fn merge(&mut self, other: Accumulator) -> Result<()> {
+        match (&mut *self, other) {
+            (Accumulator::SumInt(a), Accumulator::SumInt(b)) => match a.checked_add(b) {
+                Some(s) => *a = s,
+                None => *self = Accumulator::SumFloat(*a as f64 + b as f64),
+            },
+            (Accumulator::SumInt(a), Accumulator::SumFloat(b)) => {
+                *self = Accumulator::SumFloat(*a as f64 + b);
+            }
+            (Accumulator::SumFloat(a), Accumulator::SumInt(b)) => *a += b as f64,
+            (Accumulator::SumFloat(a), Accumulator::SumFloat(b)) => *a += b,
+            (Accumulator::Count(a), Accumulator::Count(b)) => *a += b,
+            (Accumulator::Min(a), Accumulator::Min(b)) => {
+                if let Some(v) = b {
+                    if a.as_ref().map(|cur| v < *cur).unwrap_or(true) {
+                        *a = Some(v);
+                    }
+                }
+            }
+            (Accumulator::Max(a), Accumulator::Max(b)) => {
+                if let Some(v) = b {
+                    if a.as_ref().map(|cur| v > *cur).unwrap_or(true) {
+                        *a = Some(v);
+                    }
+                }
+            }
+            (Accumulator::Avg { sum: a, n: an }, Accumulator::Avg { sum: b, n: bn }) => {
+                *a += b;
+                *an += bn;
+            }
+            _ => {
+                return Err(Error::query(
+                    "cannot merge accumulators of different aggregates",
+                ))
+            }
+        }
+        Ok(())
+    }
+
     /// Final value (SQL semantics: MIN/MAX of nothing is an error here since
     /// we have no NULL; COUNT/SUM of nothing are 0).
     pub fn finish(self) -> Result<Value> {
@@ -231,5 +279,52 @@ mod tests {
     fn sum_of_string_is_error() {
         let mut a = Accumulator::new(AggFunc::Sum);
         assert!(a.update(Value::from("x")).is_err());
+    }
+
+    #[test]
+    fn merge_matches_sequential_update() {
+        let mut whole = Accumulator::new(AggFunc::Sum);
+        let mut left = Accumulator::new(AggFunc::Sum);
+        let mut right = Accumulator::new(AggFunc::Sum);
+        for x in [3i64, -1, 7] {
+            whole.update(Value::Int(x)).unwrap();
+            left.update(Value::Int(x)).unwrap();
+        }
+        for x in [10i64, 20] {
+            whole.update(Value::Int(x)).unwrap();
+            right.update(Value::Int(x)).unwrap();
+        }
+        left.merge(right).unwrap();
+        assert_eq!(left, whole);
+    }
+
+    #[test]
+    fn merge_promotes_on_overflow() {
+        let mut a = Accumulator::SumInt(i64::MAX);
+        a.merge(Accumulator::SumInt(1)).unwrap();
+        assert!(matches!(a, Accumulator::SumFloat(_)));
+        // Float partial folded into an int partial also promotes.
+        let mut b = Accumulator::SumInt(5);
+        b.merge(Accumulator::SumFloat(0.5)).unwrap();
+        assert_eq!(b.finish().unwrap(), Value::Float(5.5));
+    }
+
+    #[test]
+    fn merge_min_max_and_avg() {
+        let mut mn = Accumulator::Min(Some(Value::Int(5)));
+        mn.merge(Accumulator::Min(Some(Value::Int(3)))).unwrap();
+        assert_eq!(mn.finish().unwrap(), Value::Int(3));
+        let mut mx = Accumulator::Max(None);
+        mx.merge(Accumulator::Max(Some(Value::Int(9)))).unwrap();
+        assert_eq!(mx.finish().unwrap(), Value::Int(9));
+        let mut avg = Accumulator::Avg { sum: 6.0, n: 2 };
+        avg.merge(Accumulator::Avg { sum: 6.0, n: 1 }).unwrap();
+        assert_eq!(avg.finish().unwrap(), Value::Float(4.0));
+    }
+
+    #[test]
+    fn merge_mismatched_functions_is_error() {
+        let mut a = Accumulator::new(AggFunc::Count);
+        assert!(a.merge(Accumulator::new(AggFunc::Sum)).is_err());
     }
 }

@@ -1,17 +1,34 @@
 //! The engine: plans scans over ScanRaw operators and folds aggregates.
 
 use crate::aggregate::{Accumulator, AggExpr};
+use crate::expr::Col;
+use crate::parallel::{AggSpec, AggState};
 use crate::predicate::Predicate;
 use crate::query::{Query, QueryResult, ResultRow};
 use parking_lot::Mutex;
-use scanraw::{ConvertScope, OperatorRegistry, ScanRaw, ScanRequest, ScanSummary, Stage};
+use scanraw::{
+    ChunkStream, ConvertScope, ExecTask, OperatorRegistry, ScanRaw, ScanRequest, ScanSummary, Stage,
+};
 use scanraw_obs::{json, JournalEntry, ObsEvent};
 use scanraw_rawfile::TextDialect;
 use scanraw_storage::{Database, RecoveryReport};
-use scanraw_types::{BinaryChunk, Error, Result, ScanRawConfig, Schema, Value};
+use scanraw_types::{BinaryChunk, Error, RangePredicate, Result, ScanRawConfig, Schema, Value};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
+
+/// How the engine folds delivered chunks into query results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Row-at-a-time fold on the calling thread (the reference
+    /// implementation; also the oracle for the differential tests).
+    Serial,
+    /// Chunk-parallel columnar execution: delivered chunks are partitioned
+    /// back onto the operator's TOKENIZE/PARSE worker pool, each producing a
+    /// partial [`AggState`] that the engine merges in ascending chunk order.
+    #[default]
+    Parallel,
+}
 
 /// Result of running a query through the engine: the rows plus what the scan
 /// did underneath (chunk sources, writes triggered, elapsed time).
@@ -52,7 +69,8 @@ pub struct AnalyzeReport {
     /// Rows produced and the scan summary (chunk sources, writes, elapsed).
     pub outcome: QueryOutcome,
     /// Actual total time per pipeline stage during this query, in
-    /// [`Stage::ALL`] order (READ, TOKENIZE, PARSE, WRITE, DELIVER).
+    /// [`Stage::ALL`] order (READ, TOKENIZE, PARSE, WRITE, DELIVER, EXEC —
+    /// the last being consumer-side parallel query execution).
     pub stage_durations: Vec<(&'static str, Duration)>,
     /// Chunks the speculative policy wrote during this query.
     pub speculative_chunks_written: u64,
@@ -131,6 +149,8 @@ pub struct Engine {
     tables: Mutex<HashMap<String, TableDef>>,
     /// Convert scope applied to scans (paper default: all columns).
     pub convert_scope: ConvertScope,
+    /// Chunk fold strategy; [`ExecMode::Parallel`] by default.
+    pub exec_mode: ExecMode,
 }
 
 impl Engine {
@@ -140,6 +160,7 @@ impl Engine {
             registry: OperatorRegistry::new(),
             tables: Mutex::new(HashMap::new()),
             convert_scope: ConvertScope::AllColumns,
+            exec_mode: ExecMode::default(),
         }
     }
 
@@ -280,17 +301,16 @@ impl Engine {
         if queries.iter().any(|q| q.table != first.table) {
             return Err(Error::query("shared execution requires a single table"));
         }
-        if queries.iter().any(|q| q.aggregates.is_empty()) {
-            return Err(Error::query("every query needs at least one aggregate"));
-        }
         if queries.iter().any(|q| q.pushdown) {
             return Err(Error::query(
                 "push-down selection cannot be shared across queries",
             ));
         }
         let op = self.operator(&first.table)?;
+        for q in queries {
+            q.validate(op.schema().len())?;
+        }
         let clock = self.db.disk().clock().clone();
-        let started = clock.now();
 
         // Union of all projections.
         let mut projection: Vec<usize> =
@@ -308,6 +328,7 @@ impl Engine {
             Some((head, tail)) if tail.iter().all(|r| r == head) => head.clone(),
             _ => None,
         };
+        let range = skip_predicate.clone();
 
         let request = ScanRequest {
             projection,
@@ -317,31 +338,55 @@ impl Engine {
             pushdown: None,
         };
         let mut stream = op.scan(request)?;
-        let mut aggs: Vec<GroupedAggregator<'_>> = queries
-            .iter()
-            .map(|q| GroupedAggregator::new(&q.group_by, &q.aggregates))
-            .collect();
-        while let Some(chunk) = stream.next_chunk() {
-            for (agg, q) in aggs.iter_mut().zip(queries) {
-                agg.consume(&chunk, q.filter.as_ref())?;
+        // Per-query durations run from pipeline attach (the consumers join
+        // the shared stream here) to each query's own fold completing — not
+        // from the engine-side planning that preceded the scan.
+        let attached = clock.now();
+        let outcomes: Vec<(Vec<ResultRow>, u64, Duration)> = match self.exec_mode {
+            ExecMode::Serial => {
+                let mut aggs: Vec<GroupedAggregator<'_>> = queries
+                    .iter()
+                    .map(|q| GroupedAggregator::new(&q.group_by, &q.aggregates))
+                    .collect();
+                while let Some(chunk) = stream.next_chunk() {
+                    for (agg, q) in aggs.iter_mut().zip(queries) {
+                        agg.consume(&chunk, q.filter.as_ref())?;
+                    }
+                }
+                aggs.into_iter()
+                    .map(|agg| {
+                        let rows_scanned = agg.rows_seen();
+                        let rows = agg.finish()?;
+                        Ok((rows, rows_scanned, clock.now().saturating_sub(attached)))
+                    })
+                    .collect::<Result<_>>()?
             }
-        }
+            ExecMode::Parallel => {
+                let specs: Vec<Arc<AggSpec>> = queries.iter().map(spec_of).collect();
+                let states =
+                    self.run_parallel(&op, &mut stream, &specs, range.as_ref(), &first.table)?;
+                states
+                    .into_iter()
+                    .map(|state| {
+                        let rows_scanned = state.rows_seen;
+                        let rows = state.finish()?;
+                        Ok((rows, rows_scanned, clock.now().saturating_sub(attached)))
+                    })
+                    .collect::<Result<_>>()?
+            }
+        };
         let scan = stream.finish()?;
-        let elapsed = clock.now().saturating_sub(started);
-        aggs.into_iter()
-            .map(|agg| {
-                let rows_scanned = agg.rows_seen();
-                let rows = agg.finish()?;
-                Ok(QueryOutcome {
-                    result: QueryResult {
-                        rows,
-                        rows_scanned,
-                        elapsed,
-                    },
-                    scan: scan.clone(),
-                })
+        Ok(outcomes
+            .into_iter()
+            .map(|(rows, rows_scanned, elapsed)| QueryOutcome {
+                result: QueryResult {
+                    rows,
+                    rows_scanned,
+                    elapsed,
+                },
+                scan: scan.clone(),
             })
-            .collect()
+            .collect())
     }
 
     /// `EXPLAIN ANALYZE`: runs the query and reports the plan alongside the
@@ -424,11 +469,15 @@ impl Engine {
     }
 
     /// Runs an aggregate query.
+    ///
+    /// Under [`ExecMode::Parallel`] (the default) delivered chunks are
+    /// evaluated on the operator's worker pool with a columnar inner loop
+    /// and the partial aggregates merged in ascending chunk order, so
+    /// results are identical to — and bit-for-bit as deterministic as — the
+    /// serial fold.
     pub fn execute(&self, query: &Query) -> Result<QueryOutcome> {
-        if query.aggregates.is_empty() {
-            return Err(Error::query("query needs at least one aggregate"));
-        }
         let op = self.operator(&query.table)?;
+        query.validate(op.schema().len())?;
         let clock = self.db.disk().clock().clone();
         let started = clock.now();
 
@@ -453,15 +502,28 @@ impl Engine {
                 }));
             }
         }
+        let range = request.skip_predicate.clone();
 
         let mut stream = op.scan(request)?;
-        let mut agg = GroupedAggregator::new(&query.group_by, &query.aggregates);
-        while let Some(chunk) = stream.next_chunk() {
-            agg.consume(&chunk, query.filter.as_ref())?;
-        }
+        let (rows, rows_scanned) = match self.exec_mode {
+            ExecMode::Serial => {
+                let mut agg = GroupedAggregator::new(&query.group_by, &query.aggregates);
+                while let Some(chunk) = stream.next_chunk() {
+                    agg.consume(&chunk, query.filter.as_ref())?;
+                }
+                let rows_scanned = agg.rows_seen();
+                (agg.finish()?, rows_scanned)
+            }
+            ExecMode::Parallel => {
+                let specs = vec![spec_of(query)];
+                let mut states =
+                    self.run_parallel(&op, &mut stream, &specs, range.as_ref(), &query.table)?;
+                let state = states.pop().expect("one state per spec");
+                let rows_scanned = state.rows_seen;
+                (state.finish()?, rows_scanned)
+            }
+        };
         let scan = stream.finish()?;
-        let rows_scanned = agg.rows_seen();
-        let rows = agg.finish()?;
         let elapsed = clock.now().saturating_sub(started);
         Ok(QueryOutcome {
             result: QueryResult {
@@ -472,18 +534,118 @@ impl Engine {
             scan,
         })
     }
+
+    /// Fans the delivered chunks of `stream` out to the operator's worker
+    /// pool — one [`ExecTask`] per chunk, each producing one partial
+    /// [`AggState`] per spec — then collects and merges the partials in
+    /// ascending chunk order (deterministic float accumulation). Falls back
+    /// to inline execution when the scan runs without a pool (`workers = 0`)
+    /// or a worker rejects the task during teardown.
+    ///
+    /// Also the second chance for min/max chunk skipping: chunks whose
+    /// statistics only materialized *during* this scan (first conversion)
+    /// are dropped here before any evaluation, counted in
+    /// `scanraw.exec.skipped_chunks`.
+    fn run_parallel(
+        &self,
+        op: &Arc<ScanRaw>,
+        stream: &mut ChunkStream,
+        specs: &[Arc<AggSpec>],
+        range: Option<&RangePredicate>,
+        table: &str,
+    ) -> Result<Vec<AggState>> {
+        let handle = stream.exec_handle();
+        let parallel_ctr = op.obs().metrics.counter("scanraw.exec.parallel_chunks");
+        let skipped_ctr = op.obs().metrics.counter("scanraw.exec.skipped_chunks");
+        let skip_enabled = {
+            let tables = self.tables.lock();
+            tables.get(table).is_some_and(|d| d.config.chunk_skipping)
+        };
+        let entry = match range {
+            Some(_) if skip_enabled => Some(op.database().catalog().table(table)?),
+            _ => None,
+        };
+
+        let (res_tx, res_rx) = mpsc::channel::<(u32, Result<Vec<AggState>>)>();
+        while let Some(chunk) = stream.next_chunk() {
+            if let (Some(pred), Some(entry)) = (range, entry.as_ref()) {
+                let e = entry.read();
+                if let Some(Some((lo, hi))) = e
+                    .stats(chunk.id)
+                    .and_then(|stats| stats.bounds.get(pred.column))
+                {
+                    if !pred.may_overlap(lo, hi) {
+                        skipped_ctr.inc();
+                        op.obs().event(ObsEvent::ChunkSkipped {
+                            chunk: chunk.id.0 as u64,
+                        });
+                        continue;
+                    }
+                }
+            }
+            let specs = specs.to_vec();
+            let tx = res_tx.clone();
+            let id = chunk.id.0;
+            let task: ExecTask = Box::new(move || {
+                let out = specs
+                    .iter()
+                    .map(|s| {
+                        let mut st = AggState::new(s.clone());
+                        st.consume_chunk(&chunk).map(|()| st)
+                    })
+                    .collect::<Result<Vec<_>>>();
+                // Receiver gone only when the engine already bailed out.
+                let _ = tx.send((id, out));
+            });
+            match &handle {
+                Some(h) => {
+                    parallel_ctr.inc();
+                    if let Err(task) = h.submit(task) {
+                        task();
+                    }
+                }
+                None => task(),
+            }
+        }
+        drop(res_tx);
+        drop(handle);
+
+        let mut partials: Vec<(u32, Result<Vec<AggState>>)> = Vec::new();
+        while let Ok(r) = res_rx.recv() {
+            partials.push(r);
+        }
+        // Ascending chunk order makes the merge — and therefore float
+        // accumulation — independent of worker scheduling.
+        partials.sort_by_key(|(id, _)| *id);
+        let mut merged: Vec<AggState> = specs.iter().map(|s| AggState::new(s.clone())).collect();
+        for (_, result) in partials {
+            for (m, s) in merged.iter_mut().zip(result?) {
+                m.merge(s)?;
+            }
+        }
+        Ok(merged)
+    }
+}
+
+/// Snapshot of a query's aggregation shape, shareable with worker tasks.
+fn spec_of(q: &Query) -> Arc<AggSpec> {
+    Arc::new(AggSpec {
+        group_by: q.group_by.iter().map(|c| c.index()).collect(),
+        aggregates: q.aggregates.clone(),
+        filter: q.filter.clone(),
+    })
 }
 
 /// Shared grouped-aggregation fold, also used by the BAM path.
 pub(crate) struct GroupedAggregator<'a> {
-    group_by: &'a [usize],
+    group_by: &'a [Col],
     aggs: &'a [AggExpr],
     groups: HashMap<Vec<Value>, Vec<Accumulator>>,
     rows_seen: u64,
 }
 
 impl<'a> GroupedAggregator<'a> {
-    pub(crate) fn new(group_by: &'a [usize], aggs: &'a [AggExpr]) -> Self {
+    pub(crate) fn new(group_by: &'a [Col], aggs: &'a [AggExpr]) -> Self {
         GroupedAggregator {
             group_by,
             aggs,
@@ -508,6 +670,7 @@ impl<'a> GroupedAggregator<'a> {
                 .group_by
                 .iter()
                 .map(|&c| {
+                    let c = c.index();
                     chunk
                         .column(c)
                         .ok_or_else(|| Error::query(format!("group column {c} absent")))?

@@ -1,12 +1,40 @@
 //! Scalar expressions evaluated over binary-chunk rows.
 
 use scanraw_types::{BinaryChunk, Error, Result, Value};
+use std::fmt;
+
+/// Typed zero-based column index.
+///
+/// Converts from `usize` (and therefore from integer literals at every
+/// `impl Into<Col>` call site), so query text stays terse while the type
+/// system keeps column indices from mixing with other integers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Col(pub usize);
+
+impl Col {
+    /// The underlying zero-based column index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for Col {
+    fn from(i: usize) -> Col {
+        Col(i)
+    }
+}
+
+impl fmt::Display for Col {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
 
 /// A scalar expression tree.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// Reference to a table column by index.
-    Column(usize),
+    Column(Col),
     /// A constant.
     Literal(Value),
     Add(Box<Expr>, Box<Expr>),
@@ -15,8 +43,8 @@ pub enum Expr {
 }
 
 impl Expr {
-    pub fn col(i: usize) -> Expr {
-        Expr::Column(i)
+    pub fn col(i: impl Into<Col>) -> Expr {
+        Expr::Column(i.into())
     }
 
     pub fn lit(v: impl Into<Value>) -> Expr {
@@ -24,11 +52,11 @@ impl Expr {
     }
 
     /// `c0 + c1 + … + ck` — the paper's micro-benchmark aggregate argument.
-    pub fn sum_of_columns(cols: impl IntoIterator<Item = usize>) -> Expr {
+    pub fn sum_of_columns(cols: impl IntoIterator<Item = impl Into<Col>>) -> Expr {
         let mut it = cols.into_iter();
-        let first = Expr::Column(it.next().expect("at least one column"));
+        let first = Expr::Column(it.next().expect("at least one column").into());
         it.fold(first, |acc, c| {
-            Expr::Add(Box::new(acc), Box::new(Expr::Column(c)))
+            Expr::Add(Box::new(acc), Box::new(Expr::Column(c.into())))
         })
     }
 
@@ -43,7 +71,7 @@ impl Expr {
 
     fn collect_columns(&self, out: &mut Vec<usize>) {
         match self {
-            Expr::Column(c) => out.push(*c),
+            Expr::Column(c) => out.push(c.index()),
             Expr::Literal(_) => {}
             Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
                 a.collect_columns(out);
@@ -59,7 +87,7 @@ impl Expr {
         match self {
             Expr::Column(c) => cols
                 .iter()
-                .position(|x| x == c)
+                .position(|&x| x == c.index())
                 .map(|i| values[i].clone())
                 .ok_or_else(|| Error::query(format!("column {c} not bound"))),
             Expr::Literal(v) => Ok(v.clone()),
@@ -88,7 +116,7 @@ impl Expr {
     pub fn eval(&self, chunk: &BinaryChunk, row: usize) -> Result<Value> {
         match self {
             Expr::Column(c) => chunk
-                .column(*c)
+                .column(c.index())
                 .ok_or_else(|| Error::query(format!("column {c} absent from chunk")))?
                 .value(row)
                 .ok_or_else(|| Error::query(format!("row {row} out of range"))),
@@ -101,7 +129,9 @@ impl Expr {
 }
 
 /// Applies an arithmetic op, keeping integers integral when both sides are.
-fn numeric(a: Value, b: Value, op: &str, f: fn(f64, f64) -> f64) -> Result<Value> {
+/// Shared with the columnar kernels so serial and parallel execution agree
+/// on overflow and promotion semantics exactly.
+pub(crate) fn numeric(a: Value, b: Value, op: &str, f: fn(f64, f64) -> f64) -> Result<Value> {
     match (&a, &b) {
         (Value::Int(x), Value::Int(y)) => {
             let r = match op {

@@ -12,9 +12,14 @@
 //!   range for chunk skipping;
 //! * [`aggregate`] — SUM / COUNT / MIN / MAX / AVG accumulators;
 //! * [`query`] — the query description and result types;
-//! * [`executor`] — the [`executor::Engine`]: plans the scan (projection,
-//!   convert scope, skip predicate), pulls chunks from ScanRaw, filters,
-//!   and folds aggregates — including grouped aggregation;
+//! * [`executor`] — the low-level [`executor::Engine`]: plans the scan
+//!   (projection, convert scope, skip predicate), pulls chunks from ScanRaw,
+//!   filters, and folds aggregates — serially or chunk-parallel on the
+//!   operator's worker pool ([`executor::ExecMode`]);
+//! * `parallel` — the columnar kernels and mergeable partial-aggregate
+//!   state behind parallel execution (crate-internal);
+//! * [`session`] — the [`Session`] facade: the high-level entry point
+//!   wrapping engine construction, registration, execution, and recovery;
 //! * [`bamscan`] — the Table 1 binary path: the same query logic driven by
 //!   the *sequential* BAM-sim reader, where ScanRaw only performs MAP.
 
@@ -24,11 +29,14 @@ pub mod aggregate;
 pub mod bamscan;
 pub mod executor;
 pub mod expr;
+mod parallel;
 pub mod predicate;
 pub mod query;
+pub mod session;
 
 pub use aggregate::{AggExpr, AggFunc};
-pub use executor::{AnalyzeReport, Engine, ExplainReport, QueryOutcome};
-pub use expr::Expr;
+pub use executor::{AnalyzeReport, Engine, ExecMode, ExplainReport, QueryOutcome};
+pub use expr::{Col, Expr};
 pub use predicate::Predicate;
-pub use query::{Query, QueryResult};
+pub use query::{Query, QueryBuilder, QueryResult};
+pub use session::Session;

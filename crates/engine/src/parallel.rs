@@ -1,0 +1,806 @@
+//! Chunk-parallel consumer execution: columnar predicate evaluation and
+//! partial aggregation, mergeable across chunks.
+//!
+//! The conversion side of ScanRaw is super-scalar (TOKENIZE/PARSE worker
+//! pool), but a serial per-row fold in the engine caps end-to-end throughput
+//! on CPU-bound queries. This module partitions *delivered* chunks back onto
+//! the same worker pool: each chunk is evaluated with a columnar inner loop
+//! (column slices, not `eval(chunk, row)` per cell) into an [`AggState`]
+//! partial, and the executor merges partials deterministically in ascending
+//! chunk order via [`AggState::merge`].
+//!
+//! Semantics parity with the serial fold is load-bearing: the kernels here
+//! reproduce the row-wise `Expr::eval`/`Predicate::eval` behaviour exactly —
+//! checked integer arithmetic with promotion to float on overflow, mixed
+//! int/float promotion, type-tag-ordered cross-type comparisons (matching
+//! `Value`'s `Ord`), `And`/`Or` short-circuiting (the right side is only
+//! evaluated for rows the left side did not decide), and identical error
+//! messages. `tests/parallel_exec.rs` holds the serial-vs-parallel
+//! differential suite.
+
+use crate::aggregate::{Accumulator, AggExpr};
+use crate::expr::Expr;
+use crate::predicate::{CmpOp, Predicate};
+use scanraw_types::{BinaryChunk, ColumnData, Error, Result, Value};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Row selection inside one chunk: either every row or a sorted subset.
+#[derive(Debug, Clone)]
+pub(crate) enum Sel {
+    /// All rows `0..n`.
+    All(usize),
+    /// A sorted, deduplicated subset of row indices.
+    Rows(Vec<u32>),
+}
+
+impl Sel {
+    fn len(&self) -> usize {
+        match self {
+            Sel::All(n) => *n,
+            Sel::Rows(r) => r.len(),
+        }
+    }
+
+    fn iter(&self) -> SelIter<'_> {
+        match self {
+            Sel::All(n) => SelIter::All(0, *n),
+            Sel::Rows(r) => SelIter::Rows(r.iter()),
+        }
+    }
+
+    fn to_rows(&self) -> Vec<u32> {
+        match self {
+            Sel::All(n) => (0..*n as u32).collect(),
+            Sel::Rows(r) => r.clone(),
+        }
+    }
+}
+
+enum SelIter<'a> {
+    All(usize, usize),
+    Rows(std::slice::Iter<'a, u32>),
+}
+
+impl Iterator for SelIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            SelIter::All(i, n) => {
+                if i < n {
+                    let r = *i;
+                    *i += 1;
+                    Some(r)
+                } else {
+                    None
+                }
+            }
+            SelIter::Rows(it) => it.next().map(|&r| r as usize),
+        }
+    }
+}
+
+/// An expression evaluated over a selection: one entry per selected row
+/// (or a constant covering all of them).
+enum ColVec<'a> {
+    /// Borrowed column slice — only valid when the selection is `Sel::All`.
+    IntSlice(&'a [i64]),
+    FloatSlice(&'a [f64]),
+    StrSlice(&'a [String]),
+    /// Gathered / computed per selected row.
+    Ints(Vec<i64>),
+    Floats(Vec<f64>),
+    Strs(Vec<&'a str>),
+    /// A literal, broadcast over the selection.
+    ConstInt(i64),
+    ConstFloat(f64),
+    ConstStr(&'a str),
+}
+
+/// Type class of a [`ColVec`], mirroring `Value`'s type tags. Cross-class
+/// comparisons are decided by tag rank alone (Int < Float < Str), exactly
+/// like `Value`'s `Ord`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Class {
+    Int,
+    Float,
+    Str,
+}
+
+impl ColVec<'_> {
+    fn class(&self) -> Class {
+        match self {
+            ColVec::IntSlice(_) | ColVec::Ints(_) | ColVec::ConstInt(_) => Class::Int,
+            ColVec::FloatSlice(_) | ColVec::Floats(_) | ColVec::ConstFloat(_) => Class::Float,
+            ColVec::StrSlice(_) | ColVec::Strs(_) | ColVec::ConstStr(_) => Class::Str,
+        }
+    }
+
+    fn int_at(&self, i: usize) -> i64 {
+        match self {
+            ColVec::IntSlice(s) => s[i],
+            ColVec::Ints(v) => v[i],
+            ColVec::ConstInt(x) => *x,
+            _ => unreachable!("int_at on non-int column"),
+        }
+    }
+
+    fn float_at(&self, i: usize) -> f64 {
+        match self {
+            ColVec::FloatSlice(s) => s[i],
+            ColVec::Floats(v) => v[i],
+            ColVec::ConstFloat(x) => *x,
+            _ => unreachable!("float_at on non-float column"),
+        }
+    }
+
+    /// Numeric value as f64 (int or float class).
+    fn f64_at(&self, i: usize) -> f64 {
+        match self.class() {
+            Class::Int => self.int_at(i) as f64,
+            Class::Float => self.float_at(i),
+            Class::Str => unreachable!("f64_at on string column"),
+        }
+    }
+
+    fn str_at(&self, i: usize) -> &str {
+        match self {
+            ColVec::StrSlice(s) => &s[i],
+            ColVec::Strs(v) => v[i],
+            ColVec::ConstStr(x) => x,
+            _ => unreachable!("str_at on non-string column"),
+        }
+    }
+
+    fn value_at(&self, i: usize) -> Value {
+        match self.class() {
+            Class::Int => Value::Int(self.int_at(i)),
+            Class::Float => Value::Float(self.float_at(i)),
+            Class::Str => Value::Str(self.str_at(i).to_string()),
+        }
+    }
+
+    fn is_const(&self) -> bool {
+        matches!(
+            self,
+            ColVec::ConstInt(_) | ColVec::ConstFloat(_) | ColVec::ConstStr(_)
+        )
+    }
+}
+
+/// Evaluates `expr` over the selected rows of `chunk`, columnar.
+fn eval_columnar<'a>(expr: &'a Expr, chunk: &'a BinaryChunk, sel: &Sel) -> Result<ColVec<'a>> {
+    match expr {
+        Expr::Column(c) => {
+            let col = chunk
+                .column(c.index())
+                .ok_or_else(|| Error::query(format!("column {c} absent from chunk")))?;
+            Ok(match (col, sel) {
+                (ColumnData::Int64(v), Sel::All(_)) => ColVec::IntSlice(v),
+                (ColumnData::Float64(v), Sel::All(_)) => ColVec::FloatSlice(v),
+                (ColumnData::Utf8(v), Sel::All(_)) => ColVec::StrSlice(v),
+                (ColumnData::Int64(v), Sel::Rows(rows)) => {
+                    ColVec::Ints(rows.iter().map(|&r| v[r as usize]).collect())
+                }
+                (ColumnData::Float64(v), Sel::Rows(rows)) => {
+                    ColVec::Floats(rows.iter().map(|&r| v[r as usize]).collect())
+                }
+                (ColumnData::Utf8(v), Sel::Rows(rows)) => {
+                    ColVec::Strs(rows.iter().map(|&r| v[r as usize].as_str()).collect())
+                }
+            })
+        }
+        Expr::Literal(v) => Ok(match v {
+            Value::Int(x) => ColVec::ConstInt(*x),
+            Value::Float(x) => ColVec::ConstFloat(*x),
+            Value::Str(s) => ColVec::ConstStr(s),
+        }),
+        Expr::Add(a, b) => arith(
+            eval_columnar(a, chunk, sel)?,
+            eval_columnar(b, chunk, sel)?,
+            "+",
+            sel.len(),
+        ),
+        Expr::Sub(a, b) => arith(
+            eval_columnar(a, chunk, sel)?,
+            eval_columnar(b, chunk, sel)?,
+            "-",
+            sel.len(),
+        ),
+        Expr::Mul(a, b) => arith(
+            eval_columnar(a, chunk, sel)?,
+            eval_columnar(b, chunk, sel)?,
+            "*",
+            sel.len(),
+        ),
+    }
+}
+
+/// Columnar arithmetic with the exact `numeric()` semantics: checked integer
+/// ops (per-element error on overflow), int+float promotion, strings
+/// rejected.
+fn arith<'a>(a: ColVec<'a>, b: ColVec<'a>, op: &str, n: usize) -> Result<ColVec<'a>> {
+    if a.class() == Class::Str || b.class() == Class::Str {
+        // Identical message to `numeric()` on a string operand.
+        return Err(Error::query(format!("non-numeric operand to {op}")));
+    }
+    if a.class() == Class::Int && b.class() == Class::Int {
+        let f = |x: i64, y: i64| -> Option<i64> {
+            match op {
+                "+" => x.checked_add(y),
+                "-" => x.checked_sub(y),
+                "*" => x.checked_mul(y),
+                _ => None,
+            }
+        };
+        if a.is_const() && b.is_const() {
+            return f(a.int_at(0), b.int_at(0))
+                .map(ColVec::ConstInt)
+                .ok_or_else(|| Error::query(format!("integer overflow in {op}")));
+        }
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            match f(a.int_at(i), b.int_at(i)) {
+                Some(v) => out.push(v),
+                None => return Err(Error::query(format!("integer overflow in {op}"))),
+            }
+        }
+        return Ok(ColVec::Ints(out));
+    }
+    // Mixed or all-float: promote to f64.
+    let f = |x: f64, y: f64| -> f64 {
+        match op {
+            "+" => x + y,
+            "-" => x - y,
+            _ => x * y,
+        }
+    };
+    if a.is_const() && b.is_const() {
+        return Ok(ColVec::ConstFloat(f(a.f64_at(0), b.f64_at(0))));
+    }
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(f(a.f64_at(i), b.f64_at(i)));
+    }
+    Ok(ColVec::Floats(out))
+}
+
+/// Per-row comparison over two evaluated columns, matching `Value`'s `Ord`:
+/// same-class compares naturally (floats via `partial_cmp` defaulting to
+/// `Equal`, like `Value`), cross-class by type-tag rank alone.
+fn cmp_at(a: &ColVec<'_>, b: &ColVec<'_>, i: usize) -> Ordering {
+    match (a.class(), b.class()) {
+        (Class::Int, Class::Int) => a.int_at(i).cmp(&b.int_at(i)),
+        (Class::Float, Class::Float) => a
+            .float_at(i)
+            .partial_cmp(&b.float_at(i))
+            .unwrap_or(Ordering::Equal),
+        (Class::Str, Class::Str) => a.str_at(i).cmp(b.str_at(i)),
+        (ca, cb) => ca.cmp(&cb),
+    }
+}
+
+fn cmp_holds(op: CmpOp, ord: Ordering) -> bool {
+    match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Ne => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+    }
+}
+
+/// Equality matching `Value`'s `PartialEq` (NOT its `Ord`): `Value` derives
+/// `PartialEq`, so cross-type values are simply unequal and float equality
+/// is IEEE (`NaN != NaN`) — whereas `Ord`-based comparison would call two
+/// NaNs equal. `Eq`/`Ne` must use this, the ordered operators use `cmp_at`.
+fn eq_at(a: &ColVec<'_>, b: &ColVec<'_>, i: usize) -> bool {
+    match (a.class(), b.class()) {
+        (Class::Int, Class::Int) => a.int_at(i) == b.int_at(i),
+        (Class::Float, Class::Float) => a.float_at(i) == b.float_at(i),
+        (Class::Str, Class::Str) => a.str_at(i) == b.str_at(i),
+        _ => false,
+    }
+}
+
+/// Sorted-set difference: rows in `all` not in `keep` (both sorted).
+fn diff_rows(all: &[u32], keep: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(all.len() - keep.len().min(all.len()));
+    let mut k = 0usize;
+    for &r in all {
+        while k < keep.len() && keep[k] < r {
+            k += 1;
+        }
+        if k < keep.len() && keep[k] == r {
+            k += 1;
+        } else {
+            out.push(r);
+        }
+    }
+    out
+}
+
+/// Sorted-set union of two disjoint sorted row lists.
+fn merge_rows(a: Vec<u32>, b: Vec<u32>) -> Vec<u32> {
+    if a.is_empty() {
+        return b;
+    }
+    if b.is_empty() {
+        return a;
+    }
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Filters `sel` down to the rows satisfying `pred`, preserving the serial
+/// evaluator's short-circuit structure: `And` evaluates its right side only
+/// over the left side's survivors, `Or` only over the left side's failures —
+/// so a row the serial path never evaluates an operand for cannot produce a
+/// spurious error here either.
+fn filter_sel(pred: &Predicate, chunk: &BinaryChunk, sel: Sel) -> Result<Sel> {
+    match pred {
+        Predicate::Cmp(a, op, b) => {
+            let va = eval_columnar(a, chunk, &sel)?;
+            let vb = eval_columnar(b, chunk, &sel)?;
+            let mut out = Vec::new();
+            let eq_like = matches!(op, CmpOp::Eq | CmpOp::Ne);
+            for (i, row) in sel.iter().enumerate() {
+                let hit = if eq_like {
+                    let eq = eq_at(&va, &vb, i);
+                    (*op == CmpOp::Eq) == eq
+                } else {
+                    cmp_holds(*op, cmp_at(&va, &vb, i))
+                };
+                if hit {
+                    out.push(row as u32);
+                }
+            }
+            Ok(Sel::Rows(out))
+        }
+        Predicate::Like(col, pattern) => {
+            let col_expr = Expr::col(*col);
+            let v = eval_columnar(&col_expr, chunk, &sel)?;
+            let mut out = Vec::new();
+            if v.class() == Class::Str {
+                for (i, row) in sel.iter().enumerate() {
+                    if crate::predicate::like_match(pattern.as_bytes(), v.str_at(i).as_bytes()) {
+                        out.push(row as u32);
+                    }
+                }
+            }
+            // Non-string column: LIKE is simply false for every row.
+            Ok(Sel::Rows(out))
+        }
+        Predicate::And(a, b) => {
+            let left = filter_sel(a, chunk, sel)?;
+            filter_sel(b, chunk, left)
+        }
+        Predicate::Or(a, b) => {
+            let all = sel.to_rows();
+            let left = match filter_sel(a, chunk, sel)? {
+                Sel::Rows(r) => r,
+                Sel::All(n) => (0..n as u32).collect(),
+            };
+            let rest = diff_rows(&all, &left);
+            let right = match filter_sel(b, chunk, Sel::Rows(rest))? {
+                Sel::Rows(r) => r,
+                Sel::All(_) => unreachable!("filter always returns Rows"),
+            };
+            Ok(Sel::Rows(merge_rows(left, right)))
+        }
+        Predicate::Not(p) => {
+            let all = sel.to_rows();
+            let kept = match filter_sel(p, chunk, sel)? {
+                Sel::Rows(r) => r,
+                Sel::All(n) => (0..n as u32).collect(),
+            };
+            Ok(Sel::Rows(diff_rows(&all, &kept)))
+        }
+    }
+}
+
+/// Immutable description of what to aggregate — shared across all per-chunk
+/// partials of one query.
+#[derive(Debug)]
+pub(crate) struct AggSpec {
+    pub group_by: Vec<usize>,
+    pub aggregates: Vec<AggExpr>,
+    pub filter: Option<Predicate>,
+}
+
+/// Partial aggregation state over a set of chunks; combined with
+/// [`AggState::merge`]. This is the unit of work the executor ships to the
+/// worker pool (one state per chunk) and the unit it folds afterwards.
+pub(crate) struct AggState {
+    spec: Arc<AggSpec>,
+    groups: HashMap<Vec<Value>, Vec<Accumulator>>,
+    pub rows_seen: u64,
+}
+
+impl AggState {
+    pub fn new(spec: Arc<AggSpec>) -> Self {
+        AggState {
+            spec,
+            groups: HashMap::new(),
+            rows_seen: 0,
+        }
+    }
+
+    fn fresh_accumulators(&self) -> Vec<Accumulator> {
+        self.spec
+            .aggregates
+            .iter()
+            .map(|a| Accumulator::new(a.func))
+            .collect()
+    }
+
+    /// Consumes one chunk with a columnar inner loop: filter once over the
+    /// whole chunk, evaluate each aggregate expression over the surviving
+    /// selection, then update accumulators per value.
+    pub fn consume_chunk(&mut self, chunk: &BinaryChunk) -> Result<()> {
+        let rows = chunk.rows as usize;
+        let sel = match &self.spec.filter {
+            Some(p) => filter_sel(p, chunk, Sel::All(rows))?,
+            None => Sel::All(rows),
+        };
+        let n = sel.len();
+        self.rows_seen += n as u64;
+        if n == 0 {
+            return Ok(());
+        }
+        let agg_cols: Vec<ColVec<'_>> = self
+            .spec
+            .aggregates
+            .iter()
+            .map(|a| eval_columnar(&a.expr, chunk, &sel))
+            .collect::<Result<_>>()?;
+        if self.spec.group_by.is_empty() {
+            let accs = match self.groups.get_mut(&Vec::new() as &Vec<Value>) {
+                Some(a) => a,
+                None => {
+                    let fresh = self.fresh_accumulators();
+                    self.groups.entry(Vec::new()).or_insert(fresh)
+                }
+            };
+            for (acc, col) in accs.iter_mut().zip(&agg_cols) {
+                update_batch(acc, col, n)?;
+            }
+            return Ok(());
+        }
+        let key_cols: Vec<&ColumnData> = self
+            .spec
+            .group_by
+            .iter()
+            .map(|&c| {
+                chunk
+                    .column(c)
+                    .ok_or_else(|| Error::query(format!("group column {c} absent")))
+            })
+            .collect::<Result<_>>()?;
+        for (i, row) in sel.iter().enumerate() {
+            let key: Vec<Value> = key_cols
+                .iter()
+                .map(|c| c.value(row).ok_or_else(|| Error::query("row out of range")))
+                .collect::<Result<_>>()?;
+            let accs = match self.groups.get_mut(&key) {
+                Some(a) => a,
+                None => {
+                    let fresh = self.fresh_accumulators();
+                    self.groups.entry(key).or_insert(fresh)
+                }
+            };
+            for (acc, col) in accs.iter_mut().zip(&agg_cols) {
+                acc.update(col.value_at(i))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds `other` into `self`. Order-deterministic: the executor calls
+    /// this in ascending chunk order, so float accumulation order — the only
+    /// order-sensitive part — is identical on every run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accumulator-merge mismatches (impossible for partials of
+    /// the same spec).
+    pub fn merge(&mut self, other: AggState) -> Result<()> {
+        self.rows_seen += other.rows_seen;
+        for (key, accs) in other.groups {
+            match self.groups.get_mut(&key) {
+                Some(mine) => {
+                    for (a, b) in mine.iter_mut().zip(accs) {
+                        a.merge(b)?;
+                    }
+                }
+                None => {
+                    self.groups.insert(key, accs);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Finishes into sorted result rows — same shape and ordering as the
+    /// serial `GroupedAggregator::finish`.
+    pub fn finish(mut self) -> Result<Vec<crate::query::ResultRow>> {
+        if self.spec.group_by.is_empty() && self.groups.is_empty() {
+            // Global aggregate over zero rows still yields one row
+            // (SUM = 0, COUNT = 0, MIN/MAX/AVG error), like the serial path.
+            let fresh = self.fresh_accumulators();
+            self.groups.insert(Vec::new(), fresh);
+        }
+        let mut rows: Vec<(Vec<Value>, Vec<Accumulator>)> = self.groups.into_iter().collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows.into_iter()
+            .map(|(keys, accs)| {
+                Ok(crate::query::ResultRow {
+                    keys,
+                    aggregates: accs
+                        .into_iter()
+                        .map(Accumulator::finish)
+                        .collect::<Result<_>>()?,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Batched accumulator update with fast paths for the hot integer/float SUM
+/// loops; semantics identical to per-value [`Accumulator::update`] (checked
+/// add per element, mid-stream promotion to float on overflow).
+fn update_batch(acc: &mut Accumulator, col: &ColVec<'_>, n: usize) -> Result<()> {
+    match (&mut *acc, col.class()) {
+        (Accumulator::SumInt(_), Class::Int) => {
+            for i in 0..n {
+                let x = col.int_at(i);
+                match acc {
+                    Accumulator::SumInt(a) => match a.checked_add(x) {
+                        Some(s) => *a = s,
+                        None => *acc = Accumulator::SumFloat(*a as f64 + x as f64),
+                    },
+                    Accumulator::SumFloat(a) => *a += x as f64,
+                    _ => unreachable!("SUM accumulator changed class"),
+                }
+            }
+            Ok(())
+        }
+        (Accumulator::SumFloat(a), Class::Int) => {
+            for i in 0..n {
+                *a += col.int_at(i) as f64;
+            }
+            Ok(())
+        }
+        (Accumulator::SumFloat(a), Class::Float) => {
+            for i in 0..n {
+                *a += col.float_at(i);
+            }
+            Ok(())
+        }
+        (Accumulator::Count(c), _) => {
+            *c += n as u64;
+            Ok(())
+        }
+        (Accumulator::Avg { sum, n: cnt }, Class::Int) => {
+            for i in 0..n {
+                *sum += col.int_at(i) as f64;
+            }
+            *cnt += n as u64;
+            Ok(())
+        }
+        (Accumulator::Avg { sum, n: cnt }, Class::Float) => {
+            for i in 0..n {
+                *sum += col.float_at(i);
+            }
+            *cnt += n as u64;
+            Ok(())
+        }
+        _ => {
+            // Generic path (MIN/MAX, SUM over mixed/string — the latter
+            // errors exactly like the serial fold).
+            for i in 0..n {
+                acc.update(col.value_at(i))?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggFunc;
+    use crate::expr::Expr;
+    use scanraw_types::ChunkId;
+
+    fn chunk(id: u32, ints: Vec<i64>, floats: Vec<f64>, strs: Vec<&str>) -> BinaryChunk {
+        let rows = ints.len() as u32;
+        BinaryChunk {
+            id: ChunkId(id),
+            first_row: 0,
+            rows,
+            columns: vec![
+                Some(ColumnData::Int64(ints)),
+                Some(ColumnData::Float64(floats)),
+                Some(ColumnData::Utf8(
+                    strs.into_iter().map(String::from).collect(),
+                )),
+            ],
+        }
+    }
+
+    fn spec(filter: Option<Predicate>, group_by: Vec<usize>, aggs: Vec<AggExpr>) -> Arc<AggSpec> {
+        Arc::new(AggSpec {
+            group_by,
+            aggregates: aggs,
+            filter,
+        })
+    }
+
+    /// Serial oracle: per-row eval exactly as the engine's serial fold does.
+    fn serial_sum(chunks: &[BinaryChunk], filter: Option<&Predicate>, expr: &Expr) -> (Value, u64) {
+        let mut acc = Accumulator::new(AggFunc::Sum);
+        let mut rows = 0u64;
+        for c in chunks {
+            for r in 0..c.rows as usize {
+                if let Some(p) = filter {
+                    if !p.eval(c, r).unwrap() {
+                        continue;
+                    }
+                }
+                rows += 1;
+                acc.update(expr.eval(c, r).unwrap()).unwrap();
+            }
+        }
+        (acc.finish().unwrap(), rows)
+    }
+
+    #[test]
+    fn columnar_matches_serial_with_filter() {
+        let chunks = vec![
+            chunk(0, vec![1, 5, 9], vec![0.5, 1.5, 2.5], vec!["a", "b", "c"]),
+            chunk(1, vec![2, 6, 10], vec![3.5, 4.5, 5.5], vec!["d", "e", "f"]),
+        ];
+        let filter = Predicate::between(0, 2i64, 9i64);
+        let expr = Expr::Add(Box::new(Expr::col(0)), Box::new(Expr::col(1)));
+        let (oracle, oracle_rows) = serial_sum(&chunks, Some(&filter), &expr);
+
+        let s = spec(Some(filter), vec![], vec![AggExpr::sum(expr)]);
+        let mut total = AggState::new(s.clone());
+        for c in &chunks {
+            let mut part = AggState::new(s.clone());
+            part.consume_chunk(c).unwrap();
+            total.merge(part).unwrap();
+        }
+        assert_eq!(total.rows_seen, oracle_rows);
+        let rows = total.finish().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].aggregates[0], oracle);
+    }
+
+    #[test]
+    fn or_and_not_short_circuit_structure() {
+        // Row 0 passes the left arm; the right arm would error on eval
+        // (overflow) only for row 0 — serial never evaluates it there.
+        let c = chunk(0, vec![1, i64::MAX], vec![0.0, 0.0], vec!["x", "y"]);
+        let left = Predicate::Cmp(Expr::col(0), CmpOp::Eq, Expr::lit(1i64));
+        let overflowing = Predicate::Cmp(
+            Expr::Add(Box::new(Expr::col(0)), Box::new(Expr::lit(i64::MAX))),
+            CmpOp::Gt,
+            Expr::lit(0i64),
+        );
+        // Serial: row 0 → left true, right skipped. Row 1 → left false,
+        // right evaluated → overflow error. Columnar must agree.
+        let or = Predicate::Or(Box::new(left), Box::new(overflowing));
+        assert!(or.eval(&c, 0).unwrap());
+        assert!(or.eval(&c, 1).is_err());
+        let err = filter_sel(&or, &c, Sel::All(2)).unwrap_err();
+        assert!(err.to_string().contains("integer overflow"), "{err}");
+
+        // Restricting the selection to row 0 must succeed.
+        let or2 = Predicate::Or(
+            Box::new(Predicate::Cmp(Expr::col(0), CmpOp::Eq, Expr::lit(1i64))),
+            Box::new(Predicate::Cmp(
+                Expr::Add(Box::new(Expr::col(0)), Box::new(Expr::lit(i64::MAX))),
+                CmpOp::Gt,
+                Expr::lit(0i64),
+            )),
+        );
+        match filter_sel(&or2, &c, Sel::Rows(vec![0])).unwrap() {
+            Sel::Rows(r) => assert_eq!(r, vec![0]),
+            Sel::All(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn cross_type_comparison_matches_value_ord() {
+        // Value's Ord ranks Int < Float regardless of magnitude; the
+        // columnar comparator must agree with the serial evaluator.
+        let c = chunk(0, vec![i64::MAX], vec![f64::MIN], vec!["s"]);
+        let p = Predicate::Cmp(Expr::col(0), CmpOp::Lt, Expr::col(1));
+        assert!(p.eval(&c, 0).unwrap());
+        match filter_sel(&p, &c, Sel::All(1)).unwrap() {
+            Sel::Rows(r) => assert_eq!(r, vec![0]),
+            Sel::All(_) => unreachable!(),
+        }
+        // But equality follows PartialEq: cross-type is unequal, so Ne holds.
+        let p = Predicate::Cmp(Expr::col(0), CmpOp::Ne, Expr::col(1));
+        assert!(p.eval(&c, 0).unwrap());
+        match filter_sel(&p, &c, Sel::All(1)).unwrap() {
+            Sel::Rows(r) => assert_eq!(r, vec![0]),
+            Sel::All(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn group_by_merge_matches_single_state() {
+        let chunks = vec![
+            chunk(0, vec![1, 2, 1], vec![1.0, 2.0, 3.0], vec!["a", "b", "a"]),
+            chunk(1, vec![2, 1, 3], vec![4.0, 5.0, 6.0], vec!["b", "a", "c"]),
+        ];
+        let s = spec(
+            None,
+            vec![0],
+            vec![AggExpr::sum(Expr::col(1)), AggExpr::count()],
+        );
+        // One state consuming everything vs merged per-chunk partials.
+        let mut whole = AggState::new(s.clone());
+        for c in &chunks {
+            whole.consume_chunk(c).unwrap();
+        }
+        let mut merged = AggState::new(s.clone());
+        for c in &chunks {
+            let mut part = AggState::new(s.clone());
+            part.consume_chunk(c).unwrap();
+            merged.merge(part).unwrap();
+        }
+        let a = whole.finish().unwrap();
+        let b = merged.finish().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn like_filter_columnar() {
+        let c = chunk(0, vec![1, 2, 3], vec![0.0; 3], vec!["100M", "50I", "90M"]);
+        let p = Predicate::like(2, "%M");
+        match filter_sel(&p, &c, Sel::All(3)).unwrap() {
+            Sel::Rows(r) => assert_eq!(r, vec![0, 2]),
+            Sel::All(_) => unreachable!(),
+        }
+        // LIKE over a non-string column: false everywhere (serial parity).
+        let p = Predicate::like(0, "%");
+        match filter_sel(&p, &c, Sel::All(3)).unwrap() {
+            Sel::Rows(r) => assert!(r.is_empty()),
+            Sel::All(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn sum_overflow_promotes_mid_chunk() {
+        let c = chunk(0, vec![i64::MAX, 1, 1], vec![0.0; 3], vec!["x", "y", "z"]);
+        let s = spec(None, vec![], vec![AggExpr::sum(Expr::col(0))]);
+        let mut st = AggState::new(s);
+        st.consume_chunk(&c).unwrap();
+        let rows = st.finish().unwrap();
+        match &rows[0].aggregates[0] {
+            Value::Float(f) => assert!(*f > 9.2e18, "{f}"),
+            other => panic!("expected promoted float, got {other:?}"),
+        }
+    }
+}

@@ -4,7 +4,7 @@
 //! pattern matching predicate" — [`Predicate::Like`] provides the pattern
 //! matching (`%` = any sequence, `_` = any single character).
 
-use crate::expr::Expr;
+use crate::expr::{Col, Expr};
 use scanraw_types::{BinaryChunk, RangePredicate, Result, Value};
 
 /// Comparison operators.
@@ -23,7 +23,7 @@ pub enum CmpOp {
 pub enum Predicate {
     Cmp(Expr, CmpOp, Expr),
     /// SQL LIKE over a string column: `%` any run, `_` any char.
-    Like(usize, String),
+    Like(Col, String),
     And(Box<Predicate>, Box<Predicate>),
     Or(Box<Predicate>, Box<Predicate>),
     Not(Box<Predicate>),
@@ -31,7 +31,12 @@ pub enum Predicate {
 
 impl Predicate {
     /// `column BETWEEN lo AND hi` (inclusive).
-    pub fn between(column: usize, lo: impl Into<Value>, hi: impl Into<Value>) -> Predicate {
+    pub fn between(
+        column: impl Into<Col>,
+        lo: impl Into<Value>,
+        hi: impl Into<Value>,
+    ) -> Predicate {
+        let column = column.into();
         Predicate::And(
             Box::new(Predicate::Cmp(
                 Expr::col(column),
@@ -44,6 +49,11 @@ impl Predicate {
                 Expr::lit(hi.into()),
             )),
         )
+    }
+
+    /// `column LIKE pattern` (`%` any run, `_` one char).
+    pub fn like(column: impl Into<Col>, pattern: impl Into<String>) -> Predicate {
+        Predicate::Like(column.into(), pattern.into())
     }
 
     /// Columns referenced by the predicate (sorted, deduplicated).
@@ -61,7 +71,7 @@ impl Predicate {
                 out.extend(a.columns());
                 out.extend(b.columns());
             }
-            Predicate::Like(c, _) => out.push(*c),
+            Predicate::Like(c, _) => out.push(c.index()),
             Predicate::And(a, b) | Predicate::Or(a, b) => {
                 a.collect_columns(out);
                 b.collect_columns(out);
@@ -145,7 +155,7 @@ impl Predicate {
                     CmpOp::Ne => return None,
                 };
                 Some(RangePredicate {
-                    column: *c,
+                    column: c.index(),
                     low,
                     high,
                 })
@@ -214,8 +224,9 @@ fn tighter_high(a: std::ops::Bound<Value>, b: std::ops::Bound<Value>) -> std::op
 }
 
 /// Iterative SQL-LIKE matcher (`%` any run, `_` one char), O(n·m) worst case
-/// with the classic two-pointer backtracking technique.
-fn like_match(pattern: &[u8], text: &[u8]) -> bool {
+/// with the classic two-pointer backtracking technique. Shared with the
+/// columnar kernels in `parallel` so both paths match identically.
+pub(crate) fn like_match(pattern: &[u8], text: &[u8]) -> bool {
     let (mut p, mut t) = (0usize, 0usize);
     let (mut star_p, mut star_t) = (usize::MAX, 0usize);
     while t < text.len() {
@@ -302,11 +313,11 @@ mod tests {
     #[test]
     fn like_predicate_on_strings() {
         let c = chunk();
-        let p = Predicate::Like(1, "%I%".into());
+        let p = Predicate::like(1, "%I%");
         assert!(!p.eval(&c, 0).unwrap());
         assert!(p.eval(&c, 1).unwrap());
         // LIKE on a non-string column is simply false.
-        let p = Predicate::Like(0, "%".into());
+        let p = Predicate::like(0, "%");
         assert!(!p.eval(&c, 0).unwrap());
     }
 
@@ -352,7 +363,7 @@ mod tests {
     #[test]
     fn predicate_columns() {
         let p = Predicate::And(
-            Box::new(Predicate::Like(5, "%M".into())),
+            Box::new(Predicate::like(5, "%M")),
             Box::new(Predicate::between(3, 0i64, 9i64)),
         );
         assert_eq!(p.columns(), vec![3, 5]);

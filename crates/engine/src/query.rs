@@ -1,9 +1,9 @@
 //! Query description and results.
 
 use crate::aggregate::AggExpr;
-use crate::expr::Expr;
+use crate::expr::{Col, Expr};
 use crate::predicate::Predicate;
-use scanraw_types::Value;
+use scanraw_types::{Error, Result, Value};
 use std::time::Duration;
 
 /// An aggregate query over one raw-file-backed table:
@@ -19,7 +19,7 @@ pub struct Query {
     /// Row filter; also drives chunk skipping when range-expressible.
     pub filter: Option<Predicate>,
     /// Grouping columns (empty = one global group).
-    pub group_by: Vec<usize>,
+    pub group_by: Vec<Col>,
     /// Aggregates to compute per group (at least one).
     pub aggregates: Vec<AggExpr>,
     /// Evaluate the filter during PARSE (push-down selection, paper §2).
@@ -30,12 +30,26 @@ pub struct Query {
 
 impl Query {
     /// The paper's micro-benchmark: `SELECT SUM(c_0 + … + c_{k-1}) FROM t`.
-    pub fn sum_of_columns(table: impl Into<String>, cols: impl IntoIterator<Item = usize>) -> Self {
+    pub fn sum_of_columns(
+        table: impl Into<String>,
+        cols: impl IntoIterator<Item = impl Into<Col>>,
+    ) -> Self {
         Query {
             table: table.into(),
             filter: None,
             group_by: Vec::new(),
             aggregates: vec![AggExpr::sum(Expr::sum_of_columns(cols))],
+            pushdown: false,
+        }
+    }
+
+    /// Start building a query with validated construction ([`QueryBuilder`]).
+    pub fn builder(table: impl Into<String>) -> QueryBuilder {
+        QueryBuilder {
+            table: table.into(),
+            filter: None,
+            group_by: Vec::new(),
+            aggregates: Vec::new(),
             pushdown: false,
         }
     }
@@ -47,8 +61,8 @@ impl Query {
     }
 
     /// Builder: group by the given columns.
-    pub fn with_group_by(mut self, cols: impl Into<Vec<usize>>) -> Self {
-        self.group_by = cols.into();
+    pub fn with_group_by(mut self, cols: impl IntoIterator<Item = impl Into<Col>>) -> Self {
+        self.group_by = cols.into_iter().map(Into::into).collect();
         self
     }
 
@@ -64,13 +78,101 @@ impl Query {
         if let Some(f) = &self.filter {
             cols.extend(f.columns());
         }
-        cols.extend(self.group_by.iter().copied());
+        cols.extend(self.group_by.iter().map(|c| c.index()));
         for a in &self.aggregates {
             cols.extend(a.expr.columns());
         }
         cols.sort_unstable();
         cols.dedup();
         cols
+    }
+
+    /// Validates the query against the width of its table's schema: at least
+    /// one aggregate, and every referenced column inside the schema. Runs at
+    /// [`QueryBuilder::build`] time (column check deferred to the engine,
+    /// which knows the schema) so malformed queries fail typed and early
+    /// instead of mid-scan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidQuery`] naming the offending column or the
+    /// empty aggregate list.
+    pub fn validate(&self, schema_len: usize) -> Result<()> {
+        if self.aggregates.is_empty() {
+            return Err(Error::invalid_query(format!(
+                "query over '{}' computes no aggregates",
+                self.table
+            )));
+        }
+        if let Some(&max) = self.required_columns().last() {
+            if max >= schema_len {
+                return Err(Error::invalid_query(format!(
+                    "column {max} out of range for schema of {schema_len} columns"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validated query construction: [`QueryBuilder::build`] rejects structurally
+/// invalid queries (no aggregates) with a typed [`Error::InvalidQuery`]
+/// before any scan starts; the engine re-validates column ranges against the
+/// schema at execute time.
+#[derive(Debug, Clone)]
+pub struct QueryBuilder {
+    table: String,
+    filter: Option<Predicate>,
+    group_by: Vec<Col>,
+    aggregates: Vec<AggExpr>,
+    pushdown: bool,
+}
+
+impl QueryBuilder {
+    /// Adds a row filter (also drives chunk skipping when range-expressible).
+    pub fn filter(mut self, p: Predicate) -> Self {
+        self.filter = Some(p);
+        self
+    }
+
+    /// Groups by the given columns.
+    pub fn group_by(mut self, cols: impl IntoIterator<Item = impl Into<Col>>) -> Self {
+        self.group_by = cols.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Adds one aggregate (call repeatedly for several).
+    pub fn aggregate(mut self, a: AggExpr) -> Self {
+        self.aggregates.push(a);
+        self
+    }
+
+    /// Enables push-down selection.
+    pub fn pushdown(mut self) -> Self {
+        self.pushdown = true;
+        self
+    }
+
+    /// Finishes construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidQuery`] when no aggregate was added.
+    pub fn build(self) -> Result<Query> {
+        let q = Query {
+            table: self.table,
+            filter: self.filter,
+            group_by: self.group_by,
+            aggregates: self.aggregates,
+            pushdown: self.pushdown,
+        };
+        if q.aggregates.is_empty() {
+            return Err(Error::invalid_query(format!(
+                "query over '{}' computes no aggregates",
+                q.table
+            )));
+        }
+        Ok(q)
     }
 }
 

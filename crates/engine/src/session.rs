@@ -1,0 +1,160 @@
+//! [`Session`] — the high-level entry point for querying raw files.
+//!
+//! A session owns one engine over one simulated disk/database and exposes
+//! the whole register → query → inspect → recover lifecycle through a
+//! single type, so typical programs never touch [`Engine`], the operator
+//! registry, or the database plumbing directly. [`Engine`] remains public
+//! as the low-level API for callers that need to reach the operator layer
+//! (custom convert scopes, direct registry access).
+//!
+//! ```no_run
+//! use scanraw_engine::{Query, Session};
+//! use scanraw_rawfile::TextDialect;
+//! use scanraw_simio::SimDisk;
+//! use scanraw_types::{ScanRawConfig, Schema};
+//!
+//! let session = Session::open(SimDisk::instant());
+//! session
+//!     .register_table(
+//!         "t",
+//!         "data.csv",
+//!         Schema::uniform_ints(4),
+//!         TextDialect::CSV,
+//!         ScanRawConfig::default(),
+//!     )
+//!     .unwrap();
+//! let outcome = session.execute(&Query::sum_of_columns("t", 0..4)).unwrap();
+//! println!("{:?}", outcome.result.scalar());
+//! ```
+
+use crate::executor::{AnalyzeReport, Engine, ExecMode, ExplainReport, QueryOutcome};
+use crate::query::Query;
+use scanraw_rawfile::TextDialect;
+use scanraw_simio::SimDisk;
+use scanraw_storage::{Database, RecoveryReport};
+use scanraw_types::{Result, ScanRawConfig, Schema};
+
+/// High-level query session: the single public entry point wrapping engine
+/// construction, table registration, execution, plan inspection, and crash
+/// recovery.
+pub struct Session {
+    engine: Engine,
+}
+
+impl Session {
+    /// Opens a session over a fresh database on the given disk.
+    pub fn open(disk: SimDisk) -> Self {
+        Session::new(Database::new(disk))
+    }
+
+    /// Opens a session over an existing database (e.g. after a simulated
+    /// restart, before calling [`Session::recover_table`]).
+    pub fn new(db: Database) -> Self {
+        Session {
+            engine: Engine::new(db),
+        }
+    }
+
+    /// Switches the chunk-fold strategy (parallel by default); chainable at
+    /// construction time.
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.engine.exec_mode = mode;
+        self
+    }
+
+    /// The current chunk-fold strategy.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.engine.exec_mode
+    }
+
+    /// Registers a raw file as a queryable table.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an invalid configuration or a duplicate table name.
+    pub fn register_table(
+        &self,
+        name: impl Into<String>,
+        raw_file: impl Into<String>,
+        schema: Schema,
+        dialect: TextDialect,
+        config: ScanRawConfig,
+    ) -> Result<()> {
+        self.engine
+            .register_table(name, raw_file, schema, dialect, config)
+    }
+
+    /// Runs an aggregate query. See [`Engine::execute`].
+    pub fn execute(&self, query: &Query) -> Result<QueryOutcome> {
+        self.engine.execute(query)
+    }
+
+    /// Answers a batch of queries over the same table with one shared scan.
+    /// See [`Engine::execute_shared`].
+    pub fn execute_shared(&self, queries: &[Query]) -> Result<Vec<QueryOutcome>> {
+        self.engine.execute_shared(queries)
+    }
+
+    /// Explains a query without running it. See [`Engine::explain`].
+    pub fn explain(&self, query: &Query) -> Result<ExplainReport> {
+        self.engine.explain(query)
+    }
+
+    /// `EXPLAIN ANALYZE`: runs the query and reports plan vs. observed
+    /// behaviour. See [`Engine::explain_analyze`].
+    pub fn explain_analyze(&self, query: &Query) -> Result<AnalyzeReport> {
+        self.engine.explain_analyze(query)
+    }
+
+    /// Rebuilds a table's loaded state from its commit log after a simulated
+    /// crash. See [`Engine::recover_table`].
+    pub fn recover_table(&self, table: &str) -> Result<RecoveryReport> {
+        self.engine.recover_table(table)
+    }
+
+    /// The underlying low-level engine, for operator/registry access.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The database the session runs over.
+    pub fn database(&self) -> &Database {
+        self.engine.database()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scanraw_rawfile::generate::{stage_csv, CsvSpec};
+    use scanraw_types::Value;
+
+    #[test]
+    fn session_lifecycle() {
+        let disk = SimDisk::instant();
+        let spec = CsvSpec::new(1_000, 3, 7);
+        stage_csv(&disk, "t.csv", &spec);
+        let session = Session::open(disk);
+        session
+            .register_table(
+                "t",
+                "t.csv",
+                Schema::uniform_ints(3),
+                TextDialect::CSV,
+                ScanRawConfig::default().with_chunk_rows(200),
+            )
+            .unwrap();
+        let q = Query::sum_of_columns("t", 0..3);
+        let explain = session.explain(&q).unwrap();
+        assert_eq!(explain.projection, vec![0, 1, 2]);
+        let outcome = session.execute(&q).unwrap();
+        assert_eq!(outcome.result.rows_scanned, 1_000);
+        assert!(matches!(outcome.result.scalar(), Some(Value::Int(_))));
+    }
+
+    #[test]
+    fn session_exec_mode_toggle() {
+        let session = Session::open(SimDisk::instant()).with_exec_mode(ExecMode::Serial);
+        assert_eq!(session.exec_mode(), ExecMode::Serial);
+    }
+}

@@ -124,7 +124,7 @@ fn pushdown_with_like_predicate_on_strings() {
     .unwrap();
     let q = Query {
         table: "r".into(),
-        filter: Some(Predicate::Like(field::CIGAR, "%I%".into())),
+        filter: Some(Predicate::like(field::CIGAR, "%I%")),
         group_by: vec![],
         aggregates: vec![AggExpr::count()],
         pushdown: true,

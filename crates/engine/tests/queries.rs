@@ -1,6 +1,6 @@
 //! Engine-level integration tests: full queries over ScanRaw.
 
-use scanraw_engine::{AggExpr, Engine, Expr, Predicate, Query};
+use scanraw_engine::{AggExpr, Col, Engine, Expr, Predicate, Query};
 use scanraw_rawfile::generate::{expected_column_sums, stage_csv, CsvSpec};
 use scanraw_rawfile::sam::{field, sam_schema, stage_sam, SamSpec};
 use scanraw_rawfile::TextDialect;
@@ -125,7 +125,7 @@ fn group_by_aggregate() {
     let q = Query {
         table: "g".into(),
         filter: None,
-        group_by: vec![0],
+        group_by: vec![Col(0)],
         aggregates: vec![AggExpr::sum(Expr::col(1)), AggExpr::count()],
         pushdown: false,
     };
@@ -182,10 +182,10 @@ fn cigar_distribution_query_on_sam() {
     let q = Query {
         table: "reads".into(),
         filter: Some(Predicate::And(
-            Box::new(Predicate::Like(field::CIGAR, "%I%".into())),
+            Box::new(Predicate::like(field::CIGAR, "%I%")),
             Box::new(Predicate::between(field::POS, 1i64, 50_000i64)),
         )),
-        group_by: vec![field::CIGAR],
+        group_by: vec![Col(field::CIGAR)],
         aggregates: vec![AggExpr::count()],
         pushdown: false,
     };
@@ -237,8 +237,8 @@ fn sam_and_bam_paths_agree() {
         .unwrap();
     let q = Query {
         table: "reads".into(),
-        filter: Some(Predicate::Like(field::CIGAR, "%D%".into())),
-        group_by: vec![field::CIGAR],
+        filter: Some(Predicate::like(field::CIGAR, "%D%")),
+        group_by: vec![Col(field::CIGAR)],
         aggregates: vec![AggExpr::count()],
         pushdown: false,
     };

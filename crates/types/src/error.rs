@@ -83,6 +83,9 @@ pub enum Error {
     Storage(String),
     /// Query is malformed or references unavailable data.
     Query(String),
+    /// Query rejected by build-time validation (out-of-range column, empty
+    /// aggregate list) before any scan work started.
+    InvalidQuery(String),
     /// The pipeline was shut down or a channel peer disappeared.
     Pipeline(String),
     /// Configuration rejected during validation.
@@ -104,6 +107,7 @@ impl fmt::Display for Error {
             Error::Io(e) => write!(f, "i/o error: {e}"),
             Error::Storage(m) => write!(f, "storage error: {m}"),
             Error::Query(m) => write!(f, "query error: {m}"),
+            Error::InvalidQuery(m) => write!(f, "invalid query: {m}"),
             Error::Pipeline(m) => write!(f, "pipeline error: {m}"),
             Error::Config(m) => write!(f, "config error: {m}"),
         }
@@ -161,6 +165,7 @@ impl Error {
             | Error::Schema(_)
             | Error::Storage(_)
             | Error::Query(_)
+            | Error::InvalidQuery(_)
             | Error::Pipeline(_)
             | Error::Config(_) => None,
         }
@@ -183,6 +188,11 @@ impl Error {
     /// Shorthand for an [`Error::Query`] with a formatted message.
     pub fn query(msg: impl Into<String>) -> Self {
         Error::Query(msg.into())
+    }
+
+    /// Shorthand for an [`Error::InvalidQuery`] with a formatted message.
+    pub fn invalid_query(msg: impl Into<String>) -> Self {
+        Error::InvalidQuery(msg.into())
     }
 }
 

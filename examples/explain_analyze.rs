@@ -10,8 +10,8 @@ use scanraw_repro::prelude::*;
 fn main() -> Result<(), scanraw_repro::types::Error> {
     let disk = SimDisk::instant();
     scanraw_repro::rawfile::generate::stage_csv(&disk, "t.csv", &CsvSpec::new(4_000, 4, 1));
-    let engine = Engine::new(Database::new(disk));
-    engine.register_table(
+    let session = Session::open(disk);
+    session.register_table(
         "t",
         "t.csv",
         Schema::uniform_ints(4),
@@ -23,7 +23,7 @@ fn main() -> Result<(), scanraw_repro::types::Error> {
 
     let query = Query::sum_of_columns("t", 0..4);
     for run in ["cold", "warm"] {
-        let report = engine.explain_analyze(&query)?;
+        let report = session.explain_analyze(&query)?;
         println!("-- {run} run --");
         for (stage, t) in &report.stage_durations {
             println!("{stage:>9}: {t:?}");
@@ -40,7 +40,7 @@ fn main() -> Result<(), scanraw_repro::types::Error> {
     }
 
     // The final report as one JSON document.
-    let report = engine.explain_analyze(&query)?;
+    let report = session.explain_analyze(&query)?;
     println!("{}", report.to_json().to_json_pretty());
     Ok(())
 }

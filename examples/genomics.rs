@@ -37,17 +37,17 @@ fn main() {
     let query = Query {
         table: "reads".into(),
         filter: Some(Predicate::And(
-            Box::new(Predicate::Like(field::SEQ, "%ACGTAC%".into())),
+            Box::new(Predicate::like(field::SEQ, "%ACGTAC%")),
             Box::new(Predicate::between(field::POS, 1i64, 25_000_000i64)),
         )),
-        group_by: vec![field::CIGAR],
+        group_by: vec![Col(field::CIGAR)],
         aggregates: vec![AggExpr::count()],
         pushdown: false,
     };
 
     // Path 1: SQL over the SAM text file through ScanRaw.
-    let engine = Engine::new(Database::new(disk.clone()));
-    engine
+    let session = Session::open(disk.clone());
+    session
         .register_table(
             "reads",
             "na12878.sam",
@@ -59,7 +59,7 @@ fn main() {
                 .with_policy(WritePolicy::speculative()),
         )
         .expect("register");
-    let via_sam = engine.execute(&query).expect("sam query");
+    let via_sam = session.execute(&query).expect("sam query");
 
     // Path 2: the sequential access library over the binary container
     // (the "BAMTools" route — only MAP runs inside ScanRaw).

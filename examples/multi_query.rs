@@ -14,8 +14,8 @@ fn main() {
     let disk = SimDisk::instant();
     let spec = CsvSpec::new(100_000, 6, 77);
     let file_len = stage_csv(&disk, "metrics.csv", &spec);
-    let engine = Engine::new(Database::new(disk.clone()));
-    engine
+    let session = Session::open(disk.clone());
+    session
         .register_table(
             "metrics",
             "metrics.csv",
@@ -48,7 +48,7 @@ fn main() {
     ];
 
     let before = disk.stats().bytes(AccessKind::Read);
-    let outcomes = engine.execute_shared(&queries).expect("shared batch");
+    let outcomes = session.execute_shared(&queries).expect("shared batch");
     let read = disk.stats().bytes(AccessKind::Read) - before;
 
     println!(
@@ -63,11 +63,14 @@ fn main() {
             .iter()
             .map(|v| v.to_string())
             .collect();
+        // Each duration runs from the query attaching to the shared
+        // pipeline to its own fold finishing — not from the batch start.
         println!(
-            "  q{}: [{}] over {} matching rows",
+            "  q{}: [{}] over {} matching rows in {:?}",
             i + 1,
             aggs.join(", "),
-            o.result.rows_scanned
+            o.result.rows_scanned,
+            o.result.elapsed
         );
     }
     println!(

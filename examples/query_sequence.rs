@@ -13,8 +13,8 @@ fn run_sequence(policy: WritePolicy, queries: usize) {
     let disk = SimDisk::instant();
     let spec = CsvSpec::new(64_000, 8, 33);
     stage_csv(&disk, "t.csv", &spec);
-    let engine = Engine::new(Database::new(disk));
-    engine
+    let session = Session::open(disk);
+    session
         .register_table(
             "t",
             "t.csv",
@@ -32,8 +32,8 @@ fn run_sequence(policy: WritePolicy, queries: usize) {
     println!("query   cache  db  raw  skipped  loaded-after");
     let q = Query::sum_of_columns("t", 0..8);
     for i in 1..=queries {
-        let out = engine.execute(&q).expect("query");
-        let op = engine.operator("t").expect("operator");
+        let out = session.execute(&q).expect("query");
+        let op = session.engine().operator("t").expect("operator");
         op.drain_writes();
         println!(
             "{:>5}   {:>5} {:>3} {:>4}  {:>7}  {:>6} chunks{}",

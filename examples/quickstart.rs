@@ -23,8 +23,8 @@ fn main() {
 
     // Register the file as a table. ScanRaw attaches to the file, not to a
     // query: the operator (cache, learned layout, write thread) persists.
-    let engine = Engine::new(Database::new(disk));
-    engine
+    let session = Session::open(disk);
+    session
         .register_table(
             "events",
             "events.csv",
@@ -41,8 +41,8 @@ fn main() {
     // SELECT SUM(c0 + … + c7) FROM events.
     let query = Query::sum_of_columns("events", 0..8);
     for i in 1..=4 {
-        let out = engine.execute(&query).expect("query");
-        let op = engine.operator("events").expect("operator");
+        let out = session.execute(&query).expect("query");
+        let op = session.engine().operator("events").expect("operator");
         op.drain_writes(); // let the speculative tail finish for reporting
         println!(
             "query {i}: sum={} in {:?} — chunks: {} cache / {} db / {} raw; {} loaded so far",
@@ -55,7 +55,7 @@ fn main() {
         );
     }
 
-    let op = engine.operator("events").expect("operator");
+    let op = session.engine().operator("events").expect("operator");
     println!(
         "fully loaded: {} — ScanRaw has morphed into a heap scan",
         op.fully_loaded()

@@ -24,8 +24,8 @@ fn main() {
     }
     disk.storage().put("ordered.csv", text.into_bytes());
 
-    let engine = Engine::new(Database::new(disk));
-    engine
+    let session = Session::open(disk);
+    session
         .register_table(
             "ordered",
             "ordered.csv",
@@ -40,7 +40,7 @@ fn main() {
     // Query 1: full scan — converts everything, gathers per-chunk min/max
     // statistics as a side effect of conversion (§3.3).
     let full = Query::sum_of_columns("ordered", [0, 1, 2, 3]);
-    let out = engine.execute(&full).expect("full scan");
+    let out = session.execute(&full).expect("full scan");
     println!(
         "full scan: {} rows, {} chunks from raw (statistics collected)",
         out.result.rows_scanned, out.scan.from_raw
@@ -50,15 +50,16 @@ fn main() {
     // the catalog statistics and skips chunks that cannot match.
     let narrow = Query::sum_of_columns("ordered", [0, 3])
         .with_filter(Predicate::between(0, 30_000i64, 30_999i64));
-    let out = engine.execute(&narrow).expect("narrow scan");
+    let out = session.execute(&narrow).expect("narrow scan");
     println!(
         "narrow scan: {} rows matched, {} chunks skipped via min/max metadata, {} delivered",
         out.result.rows_scanned, out.scan.skipped, out.scan.chunks_delivered
     );
     assert_eq!(out.scan.skipped as u32, chunks - 1);
 
-    // Direct operator use: selective conversion through the ScanRequest API.
-    let op = engine.operator("ordered").expect("operator");
+    // Direct operator use: the low-level engine behind the session exposes
+    // the ScanRequest API.
+    let op = session.engine().operator("ordered").expect("operator");
     let stream = op
         .scan(
             ScanRequest::projected(vec![0]) // parse only column 0

@@ -26,15 +26,17 @@
 //! let disk = SimDisk::instant();
 //! scanraw_repro::rawfile::generate::stage_csv(&disk, "t.csv", &CsvSpec::new(1000, 4, 1));
 //!
-//! let engine = Engine::new(Database::new(disk));
-//! engine
+//! // A Session wraps the engine, the database, and table registration.
+//! let session = Session::open(disk);
+//! session
 //!     .register_table("t", "t.csv", Schema::uniform_ints(4), TextDialect::CSV,
 //!                     ScanRawConfig::default().with_chunk_rows(100))
 //!     .unwrap();
 //!
 //! // SELECT SUM(c0+c1+c2+c3) FROM t — instantly, no loading required;
-//! // speculative loading stores chunks whenever the device would idle.
-//! let out = engine.execute(&Query::sum_of_columns("t", 0..4)).unwrap();
+//! // speculative loading stores chunks whenever the device would idle, and
+//! // delivered chunks are evaluated in parallel on the conversion workers.
+//! let out = session.execute(&Query::sum_of_columns("t", 0..4)).unwrap();
 //! assert_eq!(out.result.rows_scanned, 1000);
 //! ```
 
@@ -53,7 +55,8 @@ pub use scanraw_types as types;
 pub mod prelude {
     pub use scanraw::{ConvertScope, OperatorRegistry, ScanRaw, ScanRequest, ScanSummary};
     pub use scanraw_engine::{
-        AggExpr, AnalyzeReport, Engine, Expr, Predicate, Query, QueryOutcome,
+        AggExpr, AnalyzeReport, Col, Engine, ExecMode, Expr, Predicate, Query, QueryBuilder,
+        QueryOutcome, Session,
     };
     pub use scanraw_obs::{Obs, ObsEvent};
     pub use scanraw_rawfile::generate::CsvSpec;

@@ -1,0 +1,373 @@
+//! Differential suite for chunk-parallel query execution (ISSUE 5).
+//!
+//! Every test runs the same workload through [`ExecMode::Serial`] (the
+//! row-at-a-time reference fold) and [`ExecMode::Parallel`] (columnar
+//! evaluation fanned out to the conversion worker pool, partials merged in
+//! ascending chunk order) and asserts identical answers — rows, grouping,
+//! and `rows_scanned`. Elapsed times are execution artifacts and are not
+//! compared. All data is integer-valued so float aggregates (AVG promotes
+//! to f64) are exact under any summation order below 2^53; determinism of
+//! the merge order itself is exercised separately by the repeated-run
+//! stress case.
+
+use scanraw_repro::engine::query::ResultRow;
+use scanraw_repro::prelude::*;
+use scanraw_repro::rawfile::generate::{stage_csv, CsvSpec};
+
+fn engine_for(disk: &SimDisk, cols: usize, config: ScanRawConfig, mode: ExecMode) -> Engine {
+    let mut engine = Engine::new(Database::new(disk.clone()));
+    engine.exec_mode = mode;
+    engine
+        .register_table(
+            "t",
+            "t.csv",
+            Schema::uniform_ints(cols),
+            TextDialect::CSV,
+            config,
+        )
+        .unwrap();
+    engine
+}
+
+/// Runs each query through a fresh serial engine and a fresh parallel engine
+/// over twin instant disks staged with the same file, asserting identical
+/// rows and row counts query-by-query (and across the repeat, so cache/db
+/// delivery regimes are covered too).
+fn assert_modes_agree(spec: &CsvSpec, cols: usize, config: &ScanRawConfig, queries: &[Query]) {
+    let runs: Vec<Vec<(Vec<ResultRow>, u64)>> = [ExecMode::Serial, ExecMode::Parallel]
+        .into_iter()
+        .map(|mode| {
+            let disk = SimDisk::instant();
+            stage_csv(&disk, "t.csv", spec);
+            let engine = engine_for(&disk, cols, config.clone(), mode);
+            queries
+                .iter()
+                .flat_map(|q| {
+                    // Twice per query: first raw/streaming, then cache/db.
+                    (0..2).map(|_| {
+                        let out = engine.execute(q).expect("query runs");
+                        (out.result.rows, out.result.rows_scanned)
+                    })
+                })
+                .collect()
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1], "serial and parallel answers diverged");
+}
+
+fn seeded_queries(cols: usize, seed: u64) -> Vec<Query> {
+    vec![
+        // The paper's micro-benchmark: SUM over all columns.
+        Query::sum_of_columns("t", 0..cols),
+        // Range filter (drives chunk skipping) + several aggregate kinds.
+        Query {
+            table: "t".into(),
+            filter: Some(Predicate::between(
+                0,
+                1i64 << 20,
+                (1i64 << 30) + (seed as i64) * 1_000_003,
+            )),
+            group_by: vec![],
+            aggregates: vec![
+                AggExpr::count(),
+                AggExpr::sum(Expr::col(1)),
+                AggExpr::min(Expr::col(2)),
+                AggExpr::max(Expr::col(2)),
+                AggExpr::avg(Expr::col(1)),
+            ],
+            pushdown: false,
+        },
+        // Group by a column while aggregating another.
+        Query {
+            table: "t".into(),
+            filter: Some(Predicate::between(1, 0i64, i64::MAX)),
+            group_by: vec![Col(cols - 1)],
+            aggregates: vec![AggExpr::count(), AggExpr::sum(Expr::col(0))],
+            pushdown: false,
+        },
+    ]
+}
+
+#[test]
+fn serial_and_parallel_agree_on_seeded_workloads() {
+    for seed in 0..6u64 {
+        let cols = 3 + (seed % 3) as usize;
+        let rows = 2_000 + (seed % 4) * 777;
+        let spec = CsvSpec::new(rows, cols, seed.wrapping_mul(0x9e37_79b9).max(1));
+        let config = ScanRawConfig::default()
+            .with_chunk_rows(200 + (seed % 3) as u32 * 130)
+            .with_workers((seed % 4) as usize) // includes the no-pool regime
+            .with_policy(WritePolicy::speculative());
+        assert_modes_agree(&spec, cols, &config, &seeded_queries(cols, seed));
+    }
+}
+
+#[test]
+fn pushdown_agrees_across_modes() {
+    let cols = 4;
+    let spec = CsvSpec::new(3_000, cols, 41);
+    let config = ScanRawConfig::default()
+        .with_chunk_rows(500)
+        .with_workers(3);
+    let q = Query::sum_of_columns("t", 0..cols)
+        .with_filter(Predicate::between(0, 0i64, 1i64 << 29))
+        .with_pushdown();
+    assert_modes_agree(&spec, cols, &config, &[q]);
+}
+
+#[test]
+fn parallel_group_by_with_like_predicate_agrees() {
+    use scanraw_repro::rawfile::sam::{field, sam_schema, stage_sam, SamSpec};
+    let spec = SamSpec {
+        reads: 4_000,
+        seed: 9,
+        read_len: 60,
+        ref_len: 1_000_000,
+    };
+    let query = Query {
+        table: "reads".into(),
+        filter: Some(Predicate::And(
+            Box::new(Predicate::like(field::SEQ, "%ACGT%")),
+            Box::new(Predicate::between(field::POS, 1i64, 600_000i64)),
+        )),
+        group_by: vec![Col(field::CIGAR)],
+        aggregates: vec![AggExpr::count()],
+        pushdown: false,
+    };
+    let mut answers = Vec::new();
+    for mode in [ExecMode::Serial, ExecMode::Parallel] {
+        let disk = SimDisk::instant();
+        stage_sam(&disk, "r.sam", &spec);
+        let mut engine = Engine::new(Database::new(disk.clone()));
+        engine.exec_mode = mode;
+        engine
+            .register_table(
+                "reads",
+                "r.sam",
+                sam_schema(),
+                TextDialect::TSV,
+                ScanRawConfig::default()
+                    .with_chunk_rows(512)
+                    .with_workers(4),
+            )
+            .unwrap();
+        let out = engine.execute(&query).unwrap();
+        assert!(
+            out.result.rows_scanned > 0,
+            "predicate must match something"
+        );
+        answers.push((out.result.rows, out.result.rows_scanned));
+    }
+    assert_eq!(answers[0], answers[1]);
+}
+
+/// Merge determinism under schedule stress: the same parallel query repeated
+/// on fresh engines must yield bit-for-bit identical rows every time, even
+/// for order-sensitive float aggregates (AVG), because partials are merged
+/// in ascending chunk order regardless of which worker finished first.
+#[test]
+fn parallel_merge_is_deterministic_across_runs() {
+    let cols = 4;
+    let spec = CsvSpec::new(5_000, cols, 1234);
+    let query = Query {
+        table: "t".into(),
+        filter: Some(Predicate::between(0, 0i64, 1i64 << 30)),
+        group_by: vec![Col(3)],
+        aggregates: vec![AggExpr::avg(Expr::col(1)), AggExpr::sum(Expr::col(2))],
+        pushdown: false,
+    };
+    let mut reference: Option<(Vec<ResultRow>, u64)> = None;
+    for _ in 0..20 {
+        let disk = SimDisk::instant();
+        stage_csv(&disk, "t.csv", &spec);
+        let engine = engine_for(
+            &disk,
+            cols,
+            ScanRawConfig::default()
+                .with_chunk_rows(250)
+                .with_workers(4),
+            ExecMode::Parallel,
+        );
+        let out = engine.execute(&query).unwrap();
+        let got = (out.result.rows, out.result.rows_scanned);
+        match &reference {
+            None => reference = Some(got),
+            Some(r) => assert_eq!(*r, got, "parallel run diverged across repeats"),
+        }
+    }
+}
+
+/// The parallel path actually runs on the pool (the `parallel_chunks`
+/// counter moves) and exec-level min/max skipping composes with plan-time
+/// skipping without changing answers.
+#[test]
+fn parallel_chunks_counter_and_skipping() {
+    let disk = SimDisk::instant();
+    // Clustered first column: chunk i holds [i*10_000, i*10_000 + rows).
+    let chunks = 8i64;
+    let rows_per_chunk = 1_000i64;
+    let mut text = String::new();
+    for c in 0..chunks {
+        for r in 0..rows_per_chunk {
+            let key = c * 10_000 + r;
+            text.push_str(&format!("{key},{},{}\n", key % 97, key % 7));
+        }
+    }
+    disk.storage().put("t.csv", text.into_bytes());
+    let mut engine = Engine::new(Database::new(disk.clone()));
+    engine.exec_mode = ExecMode::Parallel;
+    engine
+        .register_table(
+            "t",
+            "t.csv",
+            Schema::uniform_ints(3),
+            TextDialect::CSV,
+            ScanRawConfig::default()
+                .with_chunk_rows(rows_per_chunk as u32)
+                .with_workers(4),
+        )
+        .unwrap();
+    let narrow =
+        Query::sum_of_columns("t", [0, 2]).with_filter(Predicate::between(0, 30_000i64, 30_999i64));
+
+    // First scan streams the whole file (layout unknown): every delivered
+    // chunk is either submitted to the pool or exec-level skipped.
+    let out = engine.execute(&narrow).unwrap();
+    assert_eq!(out.result.rows_scanned, rows_per_chunk as u64);
+    let op = engine.operator("t").unwrap();
+    let submitted = op
+        .obs()
+        .metrics
+        .counter_value("scanraw.exec.parallel_chunks")
+        .unwrap_or(0);
+    let exec_skipped = op
+        .obs()
+        .metrics
+        .counter_value("scanraw.exec.skipped_chunks")
+        .unwrap_or(0);
+    assert!(submitted > 0, "no chunk went through the parallel path");
+    assert_eq!(
+        submitted + exec_skipped,
+        chunks as u64,
+        "every chunk of the streaming scan is either executed or skipped"
+    );
+
+    // Second scan plans from the catalog: min/max statistics now exist, so
+    // plan-time skipping drops the non-matching chunks and the answer is
+    // unchanged.
+    let again = engine.execute(&narrow).unwrap();
+    assert_eq!(again.result.rows, out.result.rows);
+    assert_eq!(again.scan.skipped as i64, chunks - 1);
+}
+
+/// Typed query validation rejects malformed queries before any scan work.
+#[test]
+fn invalid_queries_fail_typed_and_early() {
+    use scanraw_repro::types::Error;
+    let disk = SimDisk::instant();
+    stage_csv(&disk, "t.csv", &CsvSpec::new(100, 3, 5));
+    let engine = engine_for(
+        &disk,
+        3,
+        ScanRawConfig::default().with_chunk_rows(50),
+        ExecMode::Parallel,
+    );
+    // Out-of-range column.
+    let q = Query::sum_of_columns("t", [7]);
+    match engine.execute(&q) {
+        Err(Error::InvalidQuery(m)) => assert!(m.contains("column 7"), "{m}"),
+        other => panic!("expected InvalidQuery, got {other:?}"),
+    }
+    // Empty aggregate list is unrepresentable through the builder.
+    match Query::builder("t").build() {
+        Err(Error::InvalidQuery(m)) => assert!(m.contains("no aggregates"), "{m}"),
+        other => panic!("expected InvalidQuery, got {other:?}"),
+    }
+}
+
+/// Shared scans fan out once and each consumer merges its own partials;
+/// parallel and serial shared execution agree, and per-query durations are
+/// measured per query (attach-to-finish), not copied from the batch start.
+#[test]
+fn shared_scan_agrees_across_modes() {
+    let cols = 5;
+    let spec = CsvSpec::new(4_000, cols, 99);
+    let queries = vec![
+        Query::sum_of_columns("t", 0..cols),
+        Query {
+            table: "t".into(),
+            filter: Some(Predicate::between(0, 0i64, 1i64 << 29)),
+            group_by: vec![],
+            aggregates: vec![AggExpr::count(), AggExpr::avg(Expr::col(1))],
+            pushdown: false,
+        },
+        Query {
+            table: "t".into(),
+            filter: None,
+            group_by: vec![Col(4)],
+            aggregates: vec![AggExpr::min(Expr::col(2)), AggExpr::max(Expr::col(2))],
+            pushdown: false,
+        },
+    ];
+    let mut answers = Vec::new();
+    for mode in [ExecMode::Serial, ExecMode::Parallel] {
+        let disk = SimDisk::instant();
+        stage_csv(&disk, "t.csv", &spec);
+        let engine = engine_for(
+            &disk,
+            cols,
+            ScanRawConfig::default()
+                .with_chunk_rows(400)
+                .with_workers(4),
+            mode,
+        );
+        let outcomes = engine.execute_shared(&queries).unwrap();
+        answers.push(
+            outcomes
+                .iter()
+                .map(|o| (o.result.rows.clone(), o.result.rows_scanned))
+                .collect::<Vec<_>>(),
+        );
+    }
+    assert_eq!(answers[0], answers[1]);
+}
+
+/// Under fault injection, parallel execution returns the same answers as
+/// serial execution on the same faulty device schedule — faults may change
+/// performance and chunk sources, never results.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn parallel_matches_serial_under_fault_schedules() {
+    use scanraw_repro::simio::{FaultConfig, FaultPlan};
+    for seed in 0..16u64 {
+        let cols = 3;
+        let spec = CsvSpec::new(600, cols, seed.max(1));
+        let config = ScanRawConfig::default()
+            .with_chunk_rows(60)
+            .with_workers((seed % 3) as usize)
+            .with_policy(WritePolicy::speculative());
+        let fault = FaultConfig {
+            p_transient: 0.25,
+            max_consecutive: 3,
+            ..FaultConfig::seeded(seed)
+        };
+        let queries = seeded_queries(cols, seed);
+        let mut answers = Vec::new();
+        for mode in [ExecMode::Serial, ExecMode::Parallel] {
+            let disk = SimDisk::instant();
+            stage_csv(&disk, "t.csv", &spec);
+            disk.set_fault_plan(FaultPlan::new(fault.clone()));
+            let engine = engine_for(&disk, cols, config.clone(), mode);
+            answers.push(
+                queries
+                    .iter()
+                    .map(|q| {
+                        let out = engine.execute(q).expect("retries absorb transients");
+                        (out.result.rows, out.result.rows_scanned)
+                    })
+                    .collect::<Vec<_>>(),
+            );
+        }
+        assert_eq!(answers[0], answers[1], "seed {seed} diverged");
+    }
+}

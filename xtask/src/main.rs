@@ -3,6 +3,9 @@
 //! Tasks:
 //! - `lint` — run the scanraw-lint analyzer (rules L001–L010) over the
 //!   workspace and exit non-zero on any unsilenced, unbaselined finding.
+//! - `bench` — build and run the PR5 serial-vs-parallel benchmark, writing
+//!   `BENCH_PR5.json` at the workspace root. Pass `--smoke` for the small
+//!   CI-sized configuration; other arguments are forwarded to the binary.
 //!
 //! `lint` options:
 //! - `--format text|json|sarif|github` — output format (default `text`)
@@ -187,18 +190,46 @@ fn task_lint(args: &[String]) -> ExitCode {
     ExitCode::FAILURE
 }
 
+fn task_bench(args: &[String]) -> ExitCode {
+    let root = workspace_root();
+    let mut cmd = std::process::Command::new(env!("CARGO"));
+    cmd.current_dir(&root)
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "scanraw-bench",
+            "--bin",
+            "pr5",
+            "--",
+        ])
+        .args(args);
+    match cmd.status() {
+        Ok(status) if status.success() => ExitCode::SUCCESS,
+        Ok(status) => {
+            eprintln!("xtask bench: benchmark exited with {status}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask bench: failed to spawn cargo: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => task_lint(&args[1..]),
+        Some("bench") => task_bench(&args[1..]),
         None => {
             eprintln!(
-                "usage: cargo xtask <task>\n\ntasks:\n  lint    run the static analysis catalog (L001-L010)\n          options: --format text|json|sarif|github, --output <path>,\n                   --baseline <path>, --no-baseline, --update-baseline"
+                "usage: cargo xtask <task>\n\ntasks:\n  lint    run the static analysis catalog (L001-L010)\n          options: --format text|json|sarif|github, --output <path>,\n                   --baseline <path>, --no-baseline, --update-baseline\n  bench   run the PR5 serial-vs-parallel benchmark (writes BENCH_PR5.json)\n          options: --smoke (small CI configuration)"
             );
             ExitCode::FAILURE
         }
         Some(other) => {
-            eprintln!("xtask: unknown task `{other}` (available: lint)");
+            eprintln!("xtask: unknown task `{other}` (available: lint, bench)");
             ExitCode::FAILURE
         }
     }

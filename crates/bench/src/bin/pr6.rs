@@ -1,0 +1,215 @@
+//! PR6 — causal-tracing overhead guard.
+//!
+//! Re-runs the PR5 warm CPU-bound workload on two sessions — span recorder
+//! disabled (`tracing_off`) vs full causal tracing (`tracing_on`) — with
+//! the timed repetitions interleaved so host warm-up and drift hit both
+//! sides equally. Both sides report p50/p99 rows/sec, and the bench
+//! FAILS (non-zero exit) when tracing costs more than
+//! `PR6_MAX_OVERHEAD_PCT` percent of best-run throughput (default 5%).
+//!
+//! Results land in `BENCH_PR6.json` at the working directory and in
+//! `results/BENCH_PR6.json`.
+//!
+//! ```sh
+//! cargo run --release -p scanraw-bench --bin pr6              # full run
+//! cargo run --release -p scanraw-bench --bin pr6 -- --smoke   # CI size
+//! ```
+
+use scanraw_bench::{env_u64, print_table, write_json};
+use scanraw_engine::{AggExpr, Expr, Predicate, Query, Session};
+use scanraw_obs::Value as JsonValue;
+use scanraw_rawfile::generate::{stage_csv, CsvSpec};
+use scanraw_rawfile::TextDialect;
+use scanraw_simio::SimDisk;
+use scanraw_types::{ScanRawConfig, Schema, WritePolicy};
+use std::time::Instant;
+
+struct Workload {
+    rows: u64,
+    cols: usize,
+    chunk_rows: u32,
+    workers: usize,
+    runs: usize,
+}
+
+struct SideStats {
+    best_secs: f64,
+    p50_rows_per_sec: f64,
+    p99_rows_per_sec: f64,
+    spans_last_query: u64,
+}
+
+/// Same shape as the PR5 warm query: pass-everything filter plus a fat
+/// aggregate list, so consumer-side evaluation dominates.
+fn cpu_bound_query(table: &str, cols: usize) -> Query {
+    let mut aggregates: Vec<AggExpr> = (0..cols).map(|c| AggExpr::sum(Expr::col(c))).collect();
+    aggregates.push(AggExpr::count());
+    aggregates.push(AggExpr::avg(Expr::sum_of_columns([0, cols - 1])));
+    aggregates.push(AggExpr::min(Expr::col(1)));
+    aggregates.push(AggExpr::max(Expr::col(1)));
+    Query {
+        table: table.into(),
+        filter: Some(Predicate::between(0, i64::MIN / 4, i64::MAX / 4)),
+        group_by: vec![],
+        aggregates,
+        pushdown: false,
+    }
+}
+
+/// Sorted-sample percentile (nearest-rank on the run times).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// One warm session with the span recorder toggled to `traced`.
+fn warm_session(w: &Workload, traced: bool) -> (Session, Query) {
+    let disk = SimDisk::instant();
+    let spec = CsvSpec::new(w.rows, w.cols, 5151);
+    stage_csv(&disk, "wide.csv", &spec);
+    let chunks = w.rows.div_ceil(w.chunk_rows as u64) as usize;
+    let session = Session::open(disk);
+    session
+        .register_table(
+            "wide",
+            "wide.csv",
+            Schema::uniform_ints(w.cols),
+            TextDialect::CSV,
+            ScanRawConfig::default()
+                .with_chunk_rows(w.chunk_rows)
+                .with_workers(w.workers)
+                .with_cache_chunks(chunks + 1)
+                .with_policy(WritePolicy::speculative()),
+        )
+        .expect("register");
+    let op = session.engine().operator("wide").expect("operator");
+    op.obs().trace.set_enabled(traced);
+
+    let query = cpu_bound_query("wide", w.cols);
+    let warm = session.execute(&query).expect("warm-up scan");
+    assert_eq!(warm.result.rows_scanned, w.rows, "warm-up scans every row");
+    (session, query)
+}
+
+/// Runs both sides interleaved (off, on, off, on, …) so process warm-up,
+/// frequency scaling, and drift hit them symmetrically — the sequential
+/// layout systematically penalizes whichever side runs first.
+fn run_interleaved(w: &Workload) -> (SideStats, SideStats) {
+    let (off_session, query) = warm_session(w, false);
+    let (on_session, _) = warm_session(w, true);
+
+    let mut off_times: Vec<f64> = Vec::with_capacity(w.runs);
+    let mut on_times: Vec<f64> = Vec::with_capacity(w.runs);
+    let mut expected = None;
+    for i in 0..w.runs {
+        // Alternate which side goes first: within a pair the second run
+        // reuses caches the first just warmed (identical work), so a fixed
+        // order would flatter one side.
+        let mut pair = [(&off_session, &mut off_times), (&on_session, &mut on_times)];
+        if i % 2 == 1 {
+            pair.swap(0, 1);
+        }
+        for (session, times) in pair {
+            let t0 = Instant::now();
+            let out = session.execute(&query).expect("warm query");
+            times.push(t0.elapsed().as_secs_f64());
+            let scalars = out.result.rows[0].aggregates.clone();
+            if let Some(prev) = &expected {
+                assert_eq!(prev, &scalars, "tracing must not change answers");
+            }
+            expected = Some(scalars);
+        }
+    }
+
+    let trace = on_session
+        .last_trace("wide")
+        .expect("traced run has a trace");
+    trace.validate().expect("bench trace is well-formed");
+
+    let stats = |mut times: Vec<f64>, spans: u64| {
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        SideStats {
+            best_secs: times[0],
+            // p50 of time ≈ p50 of throughput (monotone transform); p99 time
+            // is the p1 (worst-case) throughput.
+            p50_rows_per_sec: w.rows as f64 / percentile(&times, 0.50),
+            p99_rows_per_sec: w.rows as f64 / percentile(&times, 0.99),
+            spans_last_query: spans,
+        }
+    };
+    let spans = trace.spans.len() as u64;
+    (stats(off_times, 0), stats(on_times, spans))
+}
+
+fn stats_json(s: &SideStats) -> JsonValue {
+    scanraw_obs::json!({
+        "best_secs": s.best_secs,
+        "p50_rows_per_sec": s.p50_rows_per_sec,
+        "p99_rows_per_sec": s.p99_rows_per_sec,
+        "spans_last_query": s.spans_last_query,
+    })
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke") || std::env::var("PR6_SMOKE").is_ok();
+    let (def_rows, def_runs) = if smoke { (49_152, 5) } else { (393_216, 9) };
+    let w = Workload {
+        rows: env_u64("PR6_ROWS", def_rows),
+        cols: env_u64("PR6_COLS", 12) as usize,
+        chunk_rows: env_u64("PR6_CHUNK_ROWS", 8_192) as u32,
+        workers: env_u64("PR6_WORKERS", 4) as usize,
+        runs: env_u64("PR6_RUNS", def_runs) as usize,
+    };
+    let max_overhead_pct = env_u64("PR6_MAX_OVERHEAD_PCT", 5) as f64;
+    println!(
+        "PR6 tracing-overhead bench: {} rows x {} cols, {}-row chunks, {} workers, {} runs{}",
+        w.rows,
+        w.cols,
+        w.chunk_rows,
+        w.workers,
+        w.runs,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let (off, on) = run_interleaved(&w);
+    // Best-of-runs is the least noisy comparison on shared CI hardware; the
+    // percentiles are reported for the tails.
+    let overhead_pct = 100.0 * (on.best_secs - off.best_secs) / off.best_secs;
+
+    let row = |name: &str, s: &SideStats| {
+        vec![
+            name.to_string(),
+            format!("{:.4}", s.best_secs),
+            format!("{:.0}", s.p50_rows_per_sec),
+            format!("{:.0}", s.p99_rows_per_sec),
+            format!("{}", s.spans_last_query),
+        ]
+    };
+    print_table(
+        "PR6 — warm CPU-bound, tracing off vs on",
+        &["tracing", "best (s)", "p50 rows/s", "p99 rows/s", "spans"],
+        &[row("off", &off), row("on", &on)],
+    );
+    println!("tracing overhead (best-of-runs): {overhead_pct:.2}% (limit {max_overhead_pct}%)");
+
+    let json = scanraw_obs::json!({
+        "smoke": smoke,
+        "rows": w.rows,
+        "cols": w.cols,
+        "chunk_rows": w.chunk_rows,
+        "workers": w.workers,
+        "runs": w.runs,
+        "tracing_off": stats_json(&off),
+        "tracing_on": stats_json(&on),
+        "overhead_pct": overhead_pct,
+        "max_overhead_pct": max_overhead_pct,
+    });
+    std::fs::write("BENCH_PR6.json", json.to_json_pretty()).expect("write BENCH_PR6.json");
+    println!("wrote BENCH_PR6.json");
+    write_json("BENCH_PR6", &json);
+
+    assert!(
+        overhead_pct <= max_overhead_pct,
+        "tracing overhead {overhead_pct:.2}% exceeds the {max_overhead_pct}% budget"
+    );
+}

@@ -1,0 +1,99 @@
+//! `cargo xtask trace` — run a seeded workload with causal tracing on and
+//! export the resulting span tree.
+//!
+//! The workload exercises every span kind in the taxonomy: a cold first
+//! scan (raw-file conversion → `read.chunk`/`tokenize.chunk`/`parse.chunk`
+//! spans, speculative `write.chunk` write-backs, `disk.read`/`disk.write`
+//! device ops), then a warm scan answered from the binary cache and database
+//! (`exec.chunk` fan-out plus the deterministic `merge`). The final query's
+//! trace is validated (one root, all spans closed, parents open before
+//! children) and exported twice:
+//!
+//! * `scanraw.trace.json` — Chrome trace-event JSON, loadable in Perfetto
+//!   (<https://ui.perfetto.dev>) or `about://tracing`;
+//! * `scanraw.folded` — folded-stack text for flamegraph tooling
+//!   (`flamegraph.pl scanraw.folded > trace.svg`).
+//!
+//! ```sh
+//! cargo xtask trace            # full run
+//! cargo xtask trace --smoke    # small sizes for CI
+//! ```
+
+use scanraw_bench::env_u64;
+use scanraw_engine::{Query, Session};
+use scanraw_rawfile::generate::{stage_csv, CsvSpec};
+use scanraw_rawfile::TextDialect;
+use scanraw_simio::{DiskConfig, SimDisk, VirtualClock};
+use scanraw_types::{ScanRawConfig, Schema, WritePolicy};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke") || std::env::var("TRACE_SMOKE").is_ok();
+    let def_rows = if smoke { 4_000 } else { 65_536 };
+    let rows = env_u64("TRACE_ROWS", def_rows);
+    let cols = env_u64("TRACE_COLS", 6) as usize;
+    let chunk_rows = env_u64("TRACE_CHUNK_ROWS", if smoke { 500 } else { 4_096 }) as u32;
+    let workers = env_u64("TRACE_WORKERS", 2) as usize;
+    println!(
+        "trace workload: {rows} rows x {cols} cols, {chunk_rows}-row chunks, {workers} workers{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // The paper's storage profile on a virtual clock: the run finishes
+    // instantly in wall time, but span durations reflect the modelled
+    // device (so the Perfetto view and the folded weights are meaningful)
+    // and are identical across runs.
+    let disk = SimDisk::new(DiskConfig::default(), VirtualClock::shared());
+    let spec = CsvSpec::new(rows, cols, 2026);
+    stage_csv(&disk, "t.csv", &spec);
+    let session = Session::open(disk);
+    session
+        .register_table(
+            "t",
+            "t.csv",
+            Schema::uniform_ints(cols),
+            TextDialect::CSV,
+            ScanRawConfig::default()
+                .with_chunk_rows(chunk_rows)
+                .with_workers(workers)
+                .with_cache_chunks(rows.div_ceil(chunk_rows as u64) as usize + 1)
+                .with_policy(WritePolicy::speculative()),
+        )
+        .expect("register table");
+
+    let query = Query::sum_of_columns("t", 0..cols);
+    // Cold scan: conversion pipeline + speculative write-backs.
+    let (cold, cold_trace) = session.execute_traced(&query).expect("cold traced query");
+    cold_trace.validate().expect("cold trace is well-formed");
+    // Warm scan: cache/db delivery + exec.chunk fan-out + merge.
+    let (warm, warm_trace) = session.execute_traced(&query).expect("warm traced query");
+    warm_trace.validate().expect("warm trace is well-formed");
+    assert_eq!(
+        cold.result.rows, warm.result.rows,
+        "cold and warm runs must agree"
+    );
+
+    // Export the cold trace (it has the richest span mix); the warm trace's
+    // span count is reported alongside for comparison.
+    let chrome = cold_trace.to_chrome_json();
+    std::fs::write("scanraw.trace.json", chrome.to_json_pretty()).expect("write trace json");
+    std::fs::write("scanraw.folded", cold_trace.to_folded()).expect("write folded stacks");
+
+    let count = |name: &str| cold_trace.spans_named(name).count();
+    println!(
+        "trace {}: {} spans (read.chunk {}, tokenize.chunk {}, parse.chunk {}, exec.chunk {}, write.chunk {}, disk ops {})",
+        cold_trace.trace.0,
+        cold_trace.spans.len(),
+        count("read.chunk"),
+        count("tokenize.chunk"),
+        count("parse.chunk"),
+        count("exec.chunk"),
+        count("write.chunk"),
+        count("disk.read") + count("disk.write"),
+    );
+    println!(
+        "warm trace {}: {} spans",
+        warm_trace.trace.0,
+        warm_trace.spans.len()
+    );
+    println!("wrote scanraw.trace.json (Perfetto / about://tracing) and scanraw.folded");
+}

@@ -17,6 +17,7 @@ use crate::scheduler::{run_scheduler, Event, Writer};
 use crate::stream::{ChunkStream, ExecTask, ScanCounters, ScanState};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
+use scanraw_obs::trace::{self, worker_label, SpanCtx};
 use scanraw_obs::{Histogram, Obs, ObsEvent};
 use scanraw_rawfile::chunker::{read_chunk_at, ChunkReader};
 use scanraw_rawfile::parse::{parse_chunk_filtered, RowFilter};
@@ -101,6 +102,9 @@ pub struct ScanRequest {
     /// Push-down selection evaluated during PARSE (disables caching and
     /// loading of the produced chunks).
     pub pushdown: Option<Arc<PushdownFilter>>,
+    /// Causal-trace context of the issuing query. When set, the scan and
+    /// every stage it runs record child spans under it.
+    pub trace: Option<SpanCtx>,
 }
 
 impl ScanRequest {
@@ -112,6 +116,7 @@ impl ScanRequest {
             skip_predicate: None,
             cols_mapped: None,
             pushdown: None,
+            trace: None,
         }
     }
 
@@ -123,12 +128,19 @@ impl ScanRequest {
             skip_predicate: None,
             cols_mapped: None,
             pushdown: None,
+            trace: None,
         }
     }
 
     /// Attaches a push-down selection filter.
     pub fn with_pushdown(mut self, filter: PushdownFilter) -> Self {
         self.pushdown = Some(Arc::new(filter));
+        self
+    }
+
+    /// Attaches the issuing query's trace context.
+    pub fn with_trace(mut self, ctx: SpanCtx) -> Self {
+        self.trace = Some(ctx);
         self
     }
 
@@ -185,6 +197,9 @@ struct ScanParams {
     pushdown: Option<Arc<PushdownFilter>>,
     /// Worker-pool size of this scan (0 = sequential regime).
     workers: usize,
+    /// The scan's span context; pipeline threads pin it as their ambient
+    /// span so stage spans attach under the scan.
+    trace: Option<SpanCtx>,
 }
 
 /// The ScanRaw physical operator (paper §3).
@@ -274,6 +289,9 @@ impl ScanRaw {
         // The device mirrors its accounting into the first registry attached;
         // with several operators over one database that is the oldest one.
         db.disk().attach_obs(&obs.metrics);
+        // Device ops record disk.read/disk.write spans under whatever span
+        // is ambient on the calling thread.
+        db.disk().attach_trace(&obs.trace);
         let writer = Arc::new(Writer::spawn(
             db.clone(),
             table.clone(),
@@ -411,6 +429,9 @@ impl ScanRaw {
             chunk: chunk.0 as u64,
         });
         self.obs.metrics.counter(DB_FALLBACK_COUNTER).inc();
+        self.obs
+            .trace
+            .instant_current("db.fallback", vec![("chunk", chunk.0.to_string())]);
     }
 
     /// Number of scans served so far.
@@ -482,11 +503,26 @@ impl ScanRaw {
             }
         }
         let workers = self.workers();
+        // The scan span brackets the whole pipeline (ends when the stream
+        // finishes); every stage span below hangs off it.
+        let scan_span = request.trace.map(|ctx| {
+            let id = self.obs.trace.begin(
+                ctx.trace,
+                Some(ctx.span),
+                "scan",
+                vec![("table", self.table.clone())],
+            );
+            SpanCtx {
+                trace: ctx.trace,
+                span: id,
+            }
+        });
         let params = Arc::new(ScanParams {
             convert_cols: convert_cols.clone(),
             cols_mapped,
             pushdown: request.pushdown.clone(),
             workers,
+            trace: scan_span,
         });
 
         self.obs.event(ObsEvent::QueryStart {
@@ -605,7 +641,7 @@ impl ScanRaw {
                 .name(format!("scanraw-sched-{}", self.table))
                 .spawn(move || {
                     run_scheduler(
-                        policy, events_rx, events_tx2, cache, &writer, &db, &table, &obs,
+                        policy, events_rx, events_tx2, cache, &writer, &db, &table, &obs, scan_span,
                     )
                 })
                 .map_err(|e| Error::Pipeline(format!("spawn scheduler: {e}")))?
@@ -632,6 +668,7 @@ impl ScanRaw {
             // sender would strand engine-submitted work forever.
             exec_tx: (workers > 0).then_some(exec_tx),
             workers,
+            scan_span,
         };
         Ok(ChunkStream::new(out_rx, state))
     }
@@ -719,6 +756,9 @@ impl ScanRaw {
         writer: Arc<Writer>,
     ) -> Result<()> {
         let clock = self.db.disk().clock().clone();
+        // Pin the scan span as this thread's ambient context: every
+        // read.chunk / retry / db.fallback / disk span below lands under it.
+        let _ambient = params.trace.map(trace::set_current);
 
         // Phase 1: cached chunks — no I/O, no conversion.
         for meta in &plan.cached {
@@ -726,6 +766,13 @@ impl ScanRaw {
             if stop.load(Ordering::Relaxed) {
                 return Ok(());
             }
+            let _span = self.obs.trace.enter_current(
+                "read.chunk",
+                vec![
+                    ("chunk", meta.id.0.to_string()),
+                    ("source", "cache".to_string()),
+                ],
+            );
             let t0 = clock.now();
             match self.cache.get(meta.id) {
                 Some(chunk) => {
@@ -779,6 +826,13 @@ impl ScanRaw {
             if stop.load(Ordering::Relaxed) {
                 return Ok(());
             }
+            let _span = self.obs.trace.enter_current(
+                "read.chunk",
+                vec![
+                    ("chunk", meta.id.0.to_string()),
+                    ("source", "db".to_string()),
+                ],
+            );
             let t0 = clock.now();
             let loaded = self.retry_load_from_db(meta, &params.convert_cols);
             let t1 = clock.now();
@@ -826,6 +880,13 @@ impl ScanRaw {
             if stop.load(Ordering::Relaxed) {
                 return Ok(());
             }
+            let _span = self.obs.trace.enter_current(
+                "read.chunk",
+                vec![
+                    ("chunk", meta.id.0.to_string()),
+                    ("source", "hybrid".to_string()),
+                ],
+            );
             let t0 = clock.now();
             let loaded = self.db.loaded_columns(&self.table, meta.id, &needed)?;
             let base = self.io_retry(&format!("db/{}", self.table), || {
@@ -888,12 +949,25 @@ impl ScanRaw {
                     complete = false;
                     break;
                 }
+                // Streaming discovers the chunk id only after the read, so
+                // the span opens with the source tag alone and is attributed
+                // to its chunk below. (The final iteration reads to discover
+                // EOF, leaving one untagged probe span per cold scan.)
+                let span = self
+                    .obs
+                    .trace
+                    .enter_current("read.chunk", vec![("source", "raw".to_string())]);
                 let t0 = clock.now();
                 // Retry-safe: a failed read does not advance the reader's
                 // fetch position, so the re-issued read covers the same span.
                 let chunk = self.io_retry(&self.raw_file, || reader.next_chunk())?;
                 let t1 = clock.now();
                 let Some(chunk) = chunk else { break };
+                if let Some(span) = &span {
+                    self.obs
+                        .trace
+                        .add_tag(span.ctx().span, "chunk", chunk.id.0.to_string());
+                }
                 self.profiler.record(Stage::Read, t1 - t0, t0, t1);
                 self.db.catalog().observe_chunk(
                     &self.table,
@@ -959,6 +1033,13 @@ impl ScanRaw {
         params: &Arc<ScanParams>,
     ) -> Result<()> {
         let clock = self.db.disk().clock().clone();
+        let _span = self.obs.trace.enter_current(
+            "read.chunk",
+            vec![
+                ("chunk", meta.id.0.to_string()),
+                ("source", "raw".to_string()),
+            ],
+        );
         let chunk = {
             let t0 = clock.now();
             let c = self.io_retry(&self.raw_file, || {
@@ -1085,6 +1166,13 @@ impl ScanRaw {
         // CPU stages are timed in wall-clock (the device clock may be
         // virtual, under which CPU work is instantaneous); span endpoints
         // stay on the device clock for utilization timelines.
+        let _span = self.obs.trace.enter_current(
+            "tokenize.chunk",
+            vec![
+                ("chunk", chunk.id.0.to_string()),
+                ("worker", worker_label()),
+            ],
+        );
         let clock = self.db.disk().clock().clone();
         let t0 = clock.now();
         let w0 = std::time::Instant::now();
@@ -1112,6 +1200,13 @@ impl ScanRaw {
             Some(c) => c,
             None => &params.convert_cols,
         };
+        let _span = self.obs.trace.enter_current(
+            "parse.chunk",
+            vec![
+                ("chunk", chunk.id.0.to_string()),
+                ("worker", worker_label()),
+            ],
+        );
         let clock = self.db.disk().clock().clone();
         let t0 = clock.now();
         let w0 = std::time::Instant::now();
@@ -1242,6 +1337,10 @@ impl ScanRaw {
         in_pipeline: Arc<AtomicUsize>,
         params: &Arc<ScanParams>,
     ) {
+        // Pin the scan span: tokenize/parse spans (and the retry/disk spans
+        // they trigger) attach under it. Engine EXEC tasks carry their own
+        // explicit context and override this for their duration.
+        let _ambient = params.trace.map(trace::set_current);
         // Per-worker stage histograms: wall time the worker spent in each
         // stage *including* hand-off back-pressure, so pool imbalance is
         // visible even when the pure per-chunk compute times are uniform.

@@ -57,6 +57,16 @@ pub(crate) fn with_retry<T>(
                     target: target.to_string(),
                     attempt: u64::from(attempt),
                 });
+                // The retry span covers just the backoff wait; it nests under
+                // whatever span is current on this thread (write.chunk,
+                // read.chunk, ...).
+                let _span = obs.trace.enter_current(
+                    "retry",
+                    vec![
+                        ("target", target.to_string()),
+                        ("attempt", attempt.to_string()),
+                    ],
+                );
                 clock.sleep(policy.backoff * attempt);
             }
             Err(e) => return Err(e),

@@ -26,7 +26,7 @@ use crate::cache::{ChunkCache, Evicted};
 use crate::profile::{Profiler, Stage};
 use crate::retry::{with_retry, RetryPolicy, DEGRADED_COUNTER};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use scanraw_obs::{EventJournal, Obs, ObsEvent, WriteCause};
+use scanraw_obs::{EventJournal, Obs, ObsEvent, SpanCtx, WriteCause};
 use scanraw_storage::Database;
 use scanraw_types::{BinaryChunk, ChunkId, WritePolicy};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -56,6 +56,9 @@ pub(crate) enum WriteCmd {
     Store {
         chunk: Arc<BinaryChunk>,
         notify: Option<Sender<Event>>,
+        /// Span context of the scan that queued the store; the WRITE thread
+        /// records the store as a `write.chunk` child span under it.
+        trace: Option<SpanCtx>,
     },
     /// Reply on the channel once all previously queued stores completed.
     Barrier(Sender<()>),
@@ -109,7 +112,20 @@ impl Writer {
                 .spawn(move || {
                     while let Ok(cmd) = rx.recv() {
                         match cmd {
-                            WriteCmd::Store { chunk, notify } => {
+                            WriteCmd::Store {
+                                chunk,
+                                notify,
+                                trace,
+                            } => {
+                                // The span covers the store including retries,
+                                // so IO retry spans nest under `write.chunk`.
+                                let _span = trace.map(|ctx| {
+                                    obs.trace.enter(
+                                        ctx,
+                                        "write.chunk",
+                                        vec![("chunk", chunk.id.0.to_string())],
+                                    )
+                                });
                                 let t0 = clock.now();
                                 // A failed store is fatal for loading but must
                                 // not kill the pipeline: the chunk simply stays
@@ -169,9 +185,22 @@ impl Writer {
 
     /// Queues a store. Returns false when the WRITE thread is gone (operator
     /// teardown raced the scheduler); the chunk then simply stays unloaded.
-    pub(crate) fn store(&self, chunk: Arc<BinaryChunk>, notify: Option<Sender<Event>>) -> bool {
+    pub(crate) fn store(
+        &self,
+        chunk: Arc<BinaryChunk>,
+        notify: Option<Sender<Event>>,
+        trace: Option<SpanCtx>,
+    ) -> bool {
         self.pending.fetch_add(1, Ordering::Acquire);
-        if self.tx.send(WriteCmd::Store { chunk, notify }).is_err() {
+        if self
+            .tx
+            .send(WriteCmd::Store {
+                chunk,
+                notify,
+                trace,
+            })
+            .is_err()
+        {
             self.pending.fetch_sub(1, Ordering::Release);
             return false;
         }
@@ -272,7 +301,9 @@ impl SchedulerReport {
                 | ObsEvent::IoRetry { .. }
                 | ObsEvent::LoadDegraded { .. }
                 | ObsEvent::DbReadFallback { .. }
-                | ObsEvent::RecoveryCompleted { .. } => {}
+                | ObsEvent::RecoveryCompleted { .. }
+                | ObsEvent::TraceStarted { .. }
+                | ObsEvent::TraceCompleted { .. } => {}
             }
         }
         report
@@ -293,6 +324,7 @@ pub(crate) fn run_scheduler(
     db: &Database,
     table: &str,
     obs: &Obs,
+    scan_span: Option<SpanCtx>,
 ) -> SchedulerReport {
     let mut report = SchedulerReport::default();
     // Chunks already handed to WRITE this scan (idempotence guard).
@@ -319,7 +351,7 @@ pub(crate) fn run_scheduler(
             Event::Converted(chunk) if !writer.degraded() => match policy {
                 WritePolicy::Eager
                     if !already_loaded(chunk.id, &chunk)
-                        && writer.store(chunk.clone(), Some(events_tx.clone())) =>
+                        && writer.store(chunk.clone(), Some(events_tx.clone()), scan_span) =>
                 {
                     obs.event(ObsEvent::WriteQueued {
                         chunk: chunk.id.0 as u64,
@@ -330,7 +362,7 @@ pub(crate) fn run_scheduler(
                 WritePolicy::Invisible { .. }
                     if invisible_quota > 0
                         && !already_loaded(chunk.id, &chunk)
-                        && writer.store(chunk.clone(), Some(events_tx.clone())) =>
+                        && writer.store(chunk.clone(), Some(events_tx.clone()), scan_span) =>
                 {
                     invisible_quota -= 1;
                     obs.event(ObsEvent::WriteQueued {
@@ -346,7 +378,7 @@ pub(crate) fn run_scheduler(
                 if policy == WritePolicy::Buffered
                     && !ev.loaded
                     && !writer.degraded()
-                    && writer.store(ev.chunk.clone(), Some(events_tx.clone()))
+                    && writer.store(ev.chunk.clone(), Some(events_tx.clone()), scan_span)
                 {
                     obs.event(ObsEvent::WriteQueued {
                         chunk: ev.id.0 as u64,
@@ -369,7 +401,7 @@ pub(crate) fn run_scheduler(
                         .find(|c| !queued.contains(&c.id));
                     if let Some(chunk) = next {
                         let id = chunk.id;
-                        if writer.store(chunk, Some(events_tx.clone())) {
+                        if writer.store(chunk, Some(events_tx.clone()), scan_span) {
                             queued.insert(id);
                             write_in_flight = true;
                             obs.event(ObsEvent::SpeculativeWriteTriggered { chunk: id.0 as u64 });
@@ -392,7 +424,7 @@ pub(crate) fn run_scheduler(
                     let mut flushed = 0;
                     for chunk in cache.unloaded_chunks() {
                         let id = chunk.id;
-                        if !queued.contains(&id) && writer.store(chunk, None) {
+                        if !queued.contains(&id) && writer.store(chunk, None, scan_span) {
                             queued.insert(id);
                             report.writes_queued += 1;
                             report.safeguard_writes += 1;
@@ -415,7 +447,7 @@ pub(crate) fn run_scheduler(
                         let mut flushed = 0;
                         for chunk in cache.unloaded_chunks() {
                             let id = chunk.id;
-                            if !queued.contains(&id) && writer.store(chunk, None) {
+                            if !queued.contains(&id) && writer.store(chunk, None, scan_span) {
                                 queued.insert(id);
                                 report.writes_queued += 1;
                                 report.safeguard_writes += 1;
@@ -477,7 +509,7 @@ mod tests {
     fn writer_stores_and_marks_cache() {
         let (db, cache, writer) = setup();
         cache.insert(chunk(0), false);
-        assert!(writer.store(chunk(0), None));
+        assert!(writer.store(chunk(0), None, None));
         writer.barrier();
         assert_eq!(writer.written(), 1);
         assert_eq!(writer.pending(), 0);
@@ -489,7 +521,7 @@ mod tests {
     fn barrier_orders_after_stores() {
         let (_db, _cache, writer) = setup();
         for i in 0..16 {
-            assert!(writer.store(chunk(i), None));
+            assert!(writer.store(chunk(i), None, None));
         }
         writer.barrier();
         assert_eq!(writer.pending(), 0);
@@ -508,7 +540,7 @@ mod tests {
         }
         tx.send(Event::QueryDone).unwrap();
         let obs = Obs::new();
-        let report = run_scheduler(policy, rx, tx.clone(), cache, &writer, &db, "t", &obs);
+        let report = run_scheduler(policy, rx, tx.clone(), cache, &writer, &db, "t", &obs, None);
         writer.barrier();
         (db, report, obs)
     }
@@ -695,7 +727,7 @@ mod tests {
                 ..FaultConfig::seeded(3)
             }));
             cache.insert(chunk(0), false);
-            assert!(writer.store(chunk(0), None));
+            assert!(writer.store(chunk(0), None, None));
             writer.barrier();
             assert!(!writer.degraded());
             assert_eq!(writer.written(), 1);
@@ -713,7 +745,7 @@ mod tests {
                 ..FaultConfig::seeded(7)
             }));
             cache.insert(chunk(0), false);
-            assert!(writer.store(chunk(0), None));
+            assert!(writer.store(chunk(0), None, None));
             writer.barrier();
             assert!(writer.degraded(), "permanent fault must degrade loading");
             assert_eq!(writer.written(), 0);
@@ -744,6 +776,7 @@ mod tests {
                 &db,
                 "t",
                 &obs,
+                None,
             );
             assert_eq!(report.writes_queued, 0, "degraded mode queues nothing");
         }

@@ -10,7 +10,7 @@
 
 use crate::scheduler::{Event, SchedulerReport};
 use crossbeam::channel::{Receiver, Sender};
-use scanraw_obs::{Obs, ObsEvent};
+use scanraw_obs::{Obs, ObsEvent, SpanCtx};
 use scanraw_simio::SharedClock;
 use scanraw_types::{BinaryChunk, Error, Result};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -106,6 +106,9 @@ pub(crate) struct ScanState {
     pub started_at: Duration,
     pub obs: Obs,
     pub table: String,
+    /// The scan's own span (child of the query root), ended when the stream
+    /// finishes or is abandoned.
+    pub scan_span: Option<SpanCtx>,
     /// Keeps the consumer-execution channel alive for the scan's lifetime so
     /// engine-held [`ExecHandle`] clones stay connected. Dropped before the
     /// worker joins — workers only exit their EXEC phase on disconnect.
@@ -211,6 +214,14 @@ impl ChunkStream {
             (state.barrier)();
         }
         let elapsed = state.clock.now().saturating_sub(state.started_at);
+        if let Some(ctx) = state.scan_span {
+            state.obs.trace.end(ctx.span);
+        }
+        state
+            .obs
+            .metrics
+            .duration_histogram("query.latency.nanos")
+            .observe_duration(elapsed);
         state.obs.event(ObsEvent::QueryEnd {
             table: state.table.clone(),
             chunks: self.delivered as u64,
@@ -261,6 +272,9 @@ impl Drop for ChunkStream {
             }
             let _ = state.events_tx.send(Event::QueryDone);
             let _ = state.scheduler_handle.join();
+            if let Some(ctx) = state.scan_span {
+                state.obs.trace.end(ctx.span);
+            }
         }
     }
 }

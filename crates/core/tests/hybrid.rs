@@ -41,6 +41,7 @@ fn partially_loaded(hybrid: bool) -> (Arc<ScanRaw>, CsvSpec) {
         skip_predicate: None,
         cols_mapped: None,
         pushdown: None,
+        trace: None,
     };
     op.scan(req).unwrap().finish().unwrap();
     op.drain_writes();
@@ -130,6 +131,7 @@ fn hybrid_sequential_mode_works_too() {
         skip_predicate: None,
         cols_mapped: None,
         pushdown: None,
+        trace: None,
     };
     op.scan(req).unwrap().finish().unwrap();
     op.drain_writes();

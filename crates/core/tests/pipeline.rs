@@ -330,6 +330,7 @@ fn convert_scope_all_columns_enables_wider_reuse() {
         skip_predicate: None,
         cols_mapped: None,
         pushdown: None,
+        trace: None,
     };
     let (_, _, _) = scan_and_sum(&op, req);
     let (_, _, summary) = scan_and_sum(&op, ScanRequest::all_columns(vec![1]));

@@ -9,7 +9,8 @@ use parking_lot::Mutex;
 use scanraw::{
     ChunkStream, ConvertScope, ExecTask, OperatorRegistry, ScanRaw, ScanRequest, ScanSummary, Stage,
 };
-use scanraw_obs::{json, JournalEntry, ObsEvent};
+use scanraw_obs::trace::worker_label;
+use scanraw_obs::{json, HistogramSnapshot, JournalEntry, ObsEvent, QueryTrace, TraceId};
 use scanraw_rawfile::TextDialect;
 use scanraw_storage::{Database, RecoveryReport};
 use scanraw_types::{BinaryChunk, Error, RangePredicate, Result, ScanRawConfig, Schema, Value};
@@ -72,6 +73,13 @@ pub struct AnalyzeReport {
     /// [`Stage::ALL`] order (READ, TOKENIZE, PARSE, WRITE, DELIVER, EXEC —
     /// the last being consumer-side parallel query execution).
     pub stage_durations: Vec<(&'static str, Duration)>,
+    /// Per-chunk latency percentiles `[p50, p95, p99]` in nanoseconds for
+    /// each stage, over this query's window of the stage histograms (same
+    /// order as `stage_durations`). Zeroes for stages that never ran.
+    pub stage_percentiles: Vec<(&'static str, [u64; 3])>,
+    /// End-to-end `[p50, p95, p99]` scan latency in nanoseconds over every
+    /// query this operator has served so far, `None` before the first.
+    pub query_latency_percentiles: Option<[u64; 3]>,
     /// Chunks the speculative policy wrote during this query.
     pub speculative_chunks_written: u64,
     /// Chunks the end-of-scan safeguard flushed during this query.
@@ -117,8 +125,20 @@ impl AnalyzeReport {
             "stage_micros": self
                 .stage_durations
                 .iter()
-                .map(|(name, d)| json!({"stage": *name, "micros": d.as_micros() as u64}))
+                .zip(&self.stage_percentiles)
+                .map(|((name, d), (_, p))| json!({
+                    "stage": *name,
+                    "micros": d.as_micros() as u64,
+                    "p50_nanos": p[0],
+                    "p95_nanos": p[1],
+                    "p99_nanos": p[2],
+                }))
                 .collect::<Vec<_>>(),
+            "query_latency_percentiles": self.query_latency_percentiles.map(|p| json!({
+                "p50_nanos": p[0],
+                "p95_nanos": p[1],
+                "p99_nanos": p[2],
+            })),
             "speculative_chunks_written": self.speculative_chunks_written,
             "safeguard_chunks_written": self.safeguard_chunks_written,
             "cache_hit_rate": self.cache_hit_rate,
@@ -151,6 +171,8 @@ pub struct Engine {
     pub convert_scope: ConvertScope,
     /// Chunk fold strategy; [`ExecMode::Parallel`] by default.
     pub exec_mode: ExecMode,
+    /// Table and trace id of the most recently completed traced query.
+    last_trace: Mutex<Option<(String, TraceId)>>,
 }
 
 impl Engine {
@@ -161,7 +183,54 @@ impl Engine {
             tables: Mutex::new(HashMap::new()),
             convert_scope: ConvertScope::AllColumns,
             exec_mode: ExecMode::default(),
+            last_trace: Mutex::new(None),
         }
+    }
+
+    /// Mints a per-query trace and opens its root `query` span, or `None`
+    /// when tracing is disabled on the operator's span recorder. The guard
+    /// pins the root span as the calling thread's current context.
+    fn begin_trace(
+        &self,
+        op: &Arc<ScanRaw>,
+        table: &str,
+        mode: &'static str,
+    ) -> Option<scanraw_obs::trace::SpanGuard> {
+        if !op.obs().trace.enabled() {
+            return None;
+        }
+        let trace = op.obs().trace.next_trace();
+        op.obs().event(ObsEvent::TraceStarted {
+            trace: trace.0,
+            table: table.to_string(),
+        });
+        Some(op.obs().trace.enter_root(
+            trace,
+            "query",
+            vec![("table", table.to_string()), ("mode", mode.to_string())],
+        ))
+    }
+
+    /// Closes a query's root span, journals the completion, and remembers the
+    /// trace for [`Engine::take_last_trace`].
+    fn end_trace(&self, op: &Arc<ScanRaw>, table: &str, guard: scanraw_obs::trace::SpanGuard) {
+        let ctx = guard.ctx();
+        drop(guard);
+        op.obs().event(ObsEvent::TraceCompleted {
+            trace: ctx.trace.0,
+            spans: op.obs().trace.span_count(ctx.trace),
+        });
+        *self.last_trace.lock() = Some((table.to_string(), ctx.trace));
+    }
+
+    /// The span tree of the most recently completed traced query, extracted
+    /// from the owning operator's recorder. Late write-back spans may still
+    /// be open; call the operator's `drain_writes` first for a closed tree
+    /// (the [`crate::Session`] wrapper does).
+    pub fn last_query_trace(&self) -> Option<QueryTrace> {
+        let (table, trace) = self.last_trace.lock().clone()?;
+        let op = self.operator(&table).ok()?;
+        Some(op.obs().trace.trace(trace))
     }
 
     pub fn database(&self) -> &Database {
@@ -330,12 +399,14 @@ impl Engine {
         };
         let range = skip_predicate.clone();
 
+        let trace_guard = self.begin_trace(&op, &first.table, "shared");
         let request = ScanRequest {
             projection,
             convert: self.convert_scope,
             skip_predicate,
             cols_mapped: None,
             pushdown: None,
+            trace: trace_guard.as_ref().map(|g| g.ctx()),
         };
         let mut stream = op.scan(request)?;
         // Per-query durations run from pipeline attach (the consumers join
@@ -376,6 +447,9 @@ impl Engine {
             }
         };
         let scan = stream.finish()?;
+        if let Some(guard) = trace_guard {
+            self.end_trace(&op, &first.table, guard);
+        }
         Ok(outcomes
             .into_iter()
             .map(|(rows, rows_scanned, elapsed)| QueryOutcome {
@@ -400,6 +474,14 @@ impl Engine {
 
         let stage_before: Vec<Duration> =
             Stage::ALL.iter().map(|&s| op.profiler().total(s)).collect();
+        let hist_names: Vec<String> = Stage::ALL
+            .iter()
+            .map(|s| format!("pipeline.stage.{}.nanos", s.name().to_lowercase()))
+            .collect();
+        let hist_before: Vec<Option<HistogramSnapshot>> = hist_names
+            .iter()
+            .map(|n| op.obs().metrics.histogram_snapshot(n))
+            .collect();
         let cache_before = op.cache().counters();
         let journal_since = op.obs().journal.total_recorded();
 
@@ -413,6 +495,30 @@ impl Engine {
             .zip(&stage_before)
             .map(|(&s, &before)| (s.name(), op.profiler().total(s).saturating_sub(before)))
             .collect();
+        // Per-chunk latency percentiles for this query's window: diff each
+        // stage histogram against its pre-query snapshot, then interpolate.
+        let stage_percentiles: Vec<(&'static str, [u64; 3])> = Stage::ALL
+            .iter()
+            .zip(&hist_names)
+            .zip(&hist_before)
+            .map(|((&s, name), before)| {
+                let window = match (op.obs().metrics.histogram_snapshot(name), before) {
+                    (Some(after), Some(before)) => Some(after.saturating_diff(before)),
+                    (Some(after), None) => Some(after),
+                    (None, _) => None,
+                };
+                let p = window.map_or([0, 0, 0], |w| {
+                    [w.quantile(0.50), w.quantile(0.95), w.quantile(0.99)]
+                });
+                (s.name(), p)
+            })
+            .collect();
+        let query_latency_percentiles = op
+            .obs()
+            .metrics
+            .histogram_snapshot("query.latency.nanos")
+            .filter(|s| s.count > 0)
+            .map(|s| [s.quantile(0.50), s.quantile(0.95), s.quantile(0.99)]);
         let cache_after = op.cache().counters();
         let hits = cache_after.hits - cache_before.hits;
         let misses = cache_after.misses - cache_before.misses;
@@ -451,7 +557,9 @@ impl Engine {
                 | ObsEvent::CacheEvict { .. }
                 | ObsEvent::ChunkSkipped { .. }
                 | ObsEvent::WorkerScaled { .. }
-                | ObsEvent::RecoveryCompleted { .. } => {}
+                | ObsEvent::RecoveryCompleted { .. }
+                | ObsEvent::TraceStarted { .. }
+                | ObsEvent::TraceCompleted { .. } => {}
             }
         }
         Ok(AnalyzeReport {
@@ -460,6 +568,8 @@ impl Engine {
             safeguard_chunks_written: outcome.scan.safeguard_writes,
             cache_hit_rate,
             stage_durations,
+            stage_percentiles,
+            query_latency_percentiles,
             io_retries,
             db_fallbacks,
             load_degraded,
@@ -480,6 +590,14 @@ impl Engine {
         query.validate(op.schema().len())?;
         let clock = self.db.disk().clock().clone();
         let started = clock.now();
+        let trace_guard = self.begin_trace(
+            &op,
+            &query.table,
+            match self.exec_mode {
+                ExecMode::Serial => "serial",
+                ExecMode::Parallel => "parallel",
+            },
+        );
 
         let mut request = ScanRequest {
             projection: query.required_columns(),
@@ -487,6 +605,7 @@ impl Engine {
             skip_predicate: None,
             cols_mapped: None,
             pushdown: None,
+            trace: trace_guard.as_ref().map(|g| g.ctx()),
         };
         if let Some(f) = &query.filter {
             request.skip_predicate = f.extract_range();
@@ -524,6 +643,9 @@ impl Engine {
             }
         };
         let scan = stream.finish()?;
+        if let Some(guard) = trace_guard {
+            self.end_trace(&op, &query.table, guard);
+        }
         let elapsed = clock.now().saturating_sub(started);
         Ok(QueryOutcome {
             result: QueryResult {
@@ -555,6 +677,11 @@ impl Engine {
         table: &str,
     ) -> Result<Vec<AggState>> {
         let handle = stream.exec_handle();
+        // When the query is traced the root span is the engine thread's
+        // current context; exec tasks run on pool workers, so the context is
+        // captured here and passed into each closure explicitly.
+        let query_ctx = scanraw_obs::trace::current();
+        let recorder = op.obs().trace.clone();
         let parallel_ctr = op.obs().metrics.counter("scanraw.exec.parallel_chunks");
         let skipped_ctr = op.obs().metrics.counter("scanraw.exec.skipped_chunks");
         let skip_enabled = {
@@ -586,7 +713,15 @@ impl Engine {
             let specs = specs.to_vec();
             let tx = res_tx.clone();
             let id = chunk.id.0;
+            let task_recorder = recorder.clone();
             let task: ExecTask = Box::new(move || {
+                let _span = query_ctx.map(|ctx| {
+                    task_recorder.enter(
+                        ctx,
+                        "exec.chunk",
+                        vec![("chunk", id.to_string()), ("worker", worker_label())],
+                    )
+                });
                 let out = specs
                     .iter()
                     .map(|s| {
@@ -616,6 +751,9 @@ impl Engine {
         }
         // Ascending chunk order makes the merge — and therefore float
         // accumulation — independent of worker scheduling.
+        let _merge_span = query_ctx.map(|ctx| {
+            recorder.enter(ctx, "merge", vec![("partials", partials.len().to_string())])
+        });
         partials.sort_by_key(|(id, _)| *id);
         let mut merged: Vec<AggState> = specs.iter().map(|s| AggState::new(s.clone())).collect();
         for (_, result) in partials {

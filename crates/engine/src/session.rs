@@ -29,10 +29,11 @@
 
 use crate::executor::{AnalyzeReport, Engine, ExecMode, ExplainReport, QueryOutcome};
 use crate::query::Query;
+use scanraw_obs::QueryTrace;
 use scanraw_rawfile::TextDialect;
 use scanraw_simio::SimDisk;
 use scanraw_storage::{Database, RecoveryReport};
-use scanraw_types::{Result, ScanRawConfig, Schema};
+use scanraw_types::{Error, Result, ScanRawConfig, Schema};
 
 /// High-level query session: the single public entry point wrapping engine
 /// construction, table registration, execution, plan inspection, and crash
@@ -93,6 +94,34 @@ impl Session {
     /// See [`Engine::execute_shared`].
     pub fn execute_shared(&self, queries: &[Query]) -> Result<Vec<QueryOutcome>> {
         self.engine.execute_shared(queries)
+    }
+
+    /// Runs a query and returns its outcome together with the causal span
+    /// tree of everything the query did — scan, per-chunk reads and
+    /// conversions, consumer-side execution, the merge, write-backs, disk
+    /// operations, retries, and fallbacks. Pending write-backs are drained
+    /// first so every span in the tree is closed.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the query fails, or when tracing is disabled on the
+    /// table's span recorder (`op.obs().trace.set_enabled(false)`).
+    pub fn execute_traced(&self, query: &Query) -> Result<(QueryOutcome, QueryTrace)> {
+        let outcome = self.engine.execute(query)?;
+        let trace = self
+            .last_trace(&query.table)
+            .ok_or_else(|| Error::query("tracing is disabled on this table's recorder"))?;
+        Ok((outcome, trace))
+    }
+
+    /// The span tree of the most recently completed traced query, or `None`
+    /// when no traced query has run. Drains `table`'s pending write-backs
+    /// first so late `write.chunk` spans are closed in the returned tree.
+    pub fn last_trace(&self, table: &str) -> Option<QueryTrace> {
+        if let Ok(op) = self.engine.operator(table) {
+            op.drain_writes();
+        }
+        self.engine.last_query_trace()
     }
 
     /// Explains a query without running it. See [`Engine::explain`].

@@ -60,6 +60,12 @@ pub enum ObsEvent {
     /// A post-crash recovery pass finished: `committed` cells restored,
     /// `dropped` commit records discarded (corrupt or malformed).
     RecoveryCompleted { committed: u64, dropped: u64 },
+    /// A causal trace was minted for a query; spans carrying this trace id
+    /// land in the operator's [`crate::trace::SpanRecorder`].
+    TraceStarted { trace: u64, table: String },
+    /// The query finished; `spans` counts the spans recorded under the
+    /// trace so far (asynchronous writes may still add more).
+    TraceCompleted { trace: u64, spans: u64 },
 }
 
 /// Why a non-speculative write was queued.
@@ -108,6 +114,8 @@ impl ObsEvent {
             ObsEvent::LoadDegraded { .. } => "LoadDegraded",
             ObsEvent::DbReadFallback { .. } => "DbReadFallback",
             ObsEvent::RecoveryCompleted { .. } => "RecoveryCompleted",
+            ObsEvent::TraceStarted { .. } => "TraceStarted",
+            ObsEvent::TraceCompleted { .. } => "TraceCompleted",
         }
     }
 
@@ -147,6 +155,12 @@ impl ObsEvent {
             ObsEvent::DbReadFallback { chunk } => json!({"chunk": *chunk}),
             ObsEvent::RecoveryCompleted { committed, dropped } => {
                 json!({"committed": *committed, "dropped": *dropped})
+            }
+            ObsEvent::TraceStarted { trace, table } => {
+                json!({"trace": *trace, "table": table})
+            }
+            ObsEvent::TraceCompleted { trace, spans } => {
+                json!({"trace": *trace, "spans": *spans})
             }
         }
     }
@@ -194,6 +208,14 @@ impl ObsEvent {
             "RecoveryCompleted" => ObsEvent::RecoveryCompleted {
                 committed: payload["committed"].as_u64()?,
                 dropped: payload["dropped"].as_u64()?,
+            },
+            "TraceStarted" => ObsEvent::TraceStarted {
+                trace: payload["trace"].as_u64()?,
+                table: payload["table"].as_str()?.to_string(),
+            },
+            "TraceCompleted" => ObsEvent::TraceCompleted {
+                trace: payload["trace"].as_u64()?,
+                spans: payload["spans"].as_u64()?,
             },
             _ => return None,
         })
@@ -484,6 +506,14 @@ mod tests {
             ObsEvent::RecoveryCompleted {
                 committed: 12,
                 dropped: 3,
+            },
+            ObsEvent::TraceStarted {
+                trace: 7,
+                table: "t".into(),
+            },
+            ObsEvent::TraceCompleted {
+                trace: 7,
+                spans: 40,
             },
         ];
         for event in events {

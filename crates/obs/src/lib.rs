@@ -23,6 +23,7 @@ pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
+pub mod trace;
 
 pub use journal::{
     EventJournal, JournalEntry, ObsEvent, TimeSource, WriteCause, DEFAULT_JOURNAL_CAPACITY,
@@ -30,13 +31,17 @@ pub use journal::{
 pub use json::Value;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
 pub use recorder::{JsonlRecorder, MemoryRecorder, NullRecorder, Recorder};
+pub use trace::{QueryTrace, SpanCtx, SpanId, SpanRecord, SpanRecorder, TraceId};
 
-/// Metrics registry and event journal bundled under one cheap-to-clone
-/// handle. One `Obs` is shared by an operator and everything it spawns.
+/// Metrics registry, event journal, and span recorder bundled under one
+/// cheap-to-clone handle. One `Obs` is shared by an operator and everything
+/// it spawns; the journal and the span recorder read the same clock, so
+/// events and spans line up on one timeline.
 #[derive(Clone, Default)]
 pub struct Obs {
     pub metrics: MetricsRegistry,
     pub journal: EventJournal,
+    pub trace: SpanRecorder,
 }
 
 impl Obs {
@@ -49,14 +54,16 @@ impl Obs {
         Obs {
             metrics: MetricsRegistry::new(),
             journal: EventJournal::with_capacity(capacity),
+            trace: SpanRecorder::new(),
         }
     }
 
-    /// Journal timestamps come from `now` — e.g. a simulated clock.
+    /// Journal and span timestamps come from `now` — e.g. a simulated clock.
     pub fn with_time_source(capacity: usize, now: TimeSource) -> Self {
         Obs {
             metrics: MetricsRegistry::new(),
-            journal: EventJournal::with_time_source(capacity, now),
+            journal: EventJournal::with_time_source(capacity, now.clone()),
+            trace: SpanRecorder::with_time_source(now),
         }
     }
 

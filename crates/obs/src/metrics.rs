@@ -186,6 +186,75 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by walking the buckets
+    /// and interpolating linearly within the one holding the target rank.
+    /// The first bucket interpolates up from the observed minimum and the
+    /// overflow bucket saturates at the observed maximum, so the estimate
+    /// never leaves `[min, max]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, &in_bucket) in self.buckets.iter().enumerate() {
+            if in_bucket == 0 {
+                continue;
+            }
+            let before = cumulative as f64;
+            cumulative += in_bucket;
+            if cumulative as f64 >= rank {
+                let lo = if i == 0 { self.min } else { self.bounds[i - 1] };
+                let hi = match self.bounds.get(i) {
+                    Some(&bound) => bound,
+                    None => self.max, // overflow bucket: saturate at the top
+                };
+                let (lo, hi) = (lo.max(self.min), hi.min(self.max).max(lo.max(self.min)));
+                let frac = ((rank - before) / in_bucket as f64).clamp(0.0, 1.0);
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return (est.round() as u64).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Bucket-wise difference against an `earlier` snapshot of the same
+    /// histogram: the distribution of observations made in between. `min`
+    /// and `max` are re-approximated from the surviving buckets' edges
+    /// (per-window extremes are not tracked). Snapshots with different
+    /// bounds do not diff; `self` is returned unchanged.
+    pub fn saturating_diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        if earlier.bounds != self.bounds || earlier.buckets.len() != self.buckets.len() {
+            return self.clone();
+        }
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .zip(&earlier.buckets)
+            .map(|(now, then)| now.saturating_sub(*then))
+            .collect();
+        let count = self.count.saturating_sub(earlier.count);
+        let first = buckets.iter().position(|&b| b > 0);
+        let last = buckets.iter().rposition(|&b| b > 0);
+        let min = match first {
+            Some(0) | None => self.min,
+            Some(i) => self.bounds[i - 1],
+        };
+        let max = match last {
+            Some(i) if i < self.bounds.len() => self.bounds[i].min(self.max),
+            _ => self.max,
+        };
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets,
+            count,
+            sum: self.sum.saturating_sub(earlier.sum),
+            min: if count == 0 { 0 } else { min },
+            max: if count == 0 { 0 } else { max },
+        }
+    }
+
     pub fn to_json(&self) -> Value {
         let buckets: Vec<Value> = self
             .buckets
@@ -206,6 +275,9 @@ impl HistogramSnapshot {
             "min": self.min,
             "max": self.max,
             "mean": self.mean(),
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
             "buckets": buckets,
         })
     }
@@ -397,6 +469,70 @@ mod tests {
             .expect("histogram");
         assert_eq!(s.count, 1);
         assert_eq!(s.bounds.len(), 12);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = Histogram::new(&[100, 200, 400]);
+        // 100 uniform observations in (100, 200]: the second bucket.
+        for i in 1..=100 {
+            h.observe(100 + i);
+        }
+        let s = h.snapshot();
+        // Interpolation inside [100, 200].
+        let p50 = s.quantile(0.5);
+        assert!((145..=155).contains(&p50), "p50 = {p50}");
+        let p95 = s.quantile(0.95);
+        assert!((190..=200).contains(&p95), "p95 = {p95}");
+        assert_eq!(s.quantile(1.0), 200);
+        assert_eq!(s.quantile(0.0), s.min);
+    }
+
+    #[test]
+    fn quantile_saturates_at_observed_extremes() {
+        let h = Histogram::new(&[10]);
+        h.observe(5_000); // overflow bucket
+        h.observe(7_000);
+        let s = h.snapshot();
+        assert!(s.quantile(0.99) <= s.max);
+        assert!(s.quantile(0.01) >= s.min);
+        assert_eq!(Histogram::new(&[10]).snapshot().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn snapshot_diff_scopes_a_window() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        h.observe(5);
+        h.observe(50);
+        let before = h.snapshot();
+        h.observe(500);
+        h.observe(600);
+        let diff = h.snapshot().saturating_diff(&before);
+        assert_eq!(diff.count, 2);
+        assert_eq!(diff.sum, 1100);
+        assert_eq!(diff.buckets, vec![0, 0, 2, 0]);
+        // Window extremes approximated from the surviving bucket's edges
+        // (upper edge clamped by the all-time max).
+        assert_eq!(diff.min, 100);
+        assert_eq!(diff.max, 600);
+        let p50 = diff.quantile(0.5);
+        assert!((100..=600).contains(&p50), "p50 = {p50}");
+        // An empty window is all zeros.
+        let empty = h.snapshot().saturating_diff(&h.snapshot());
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.quantile(0.9), 0);
+    }
+
+    #[test]
+    fn snapshot_json_carries_percentiles() {
+        let h = Histogram::new(&[10, 100]);
+        for v in [1, 2, 3, 50] {
+            h.observe(v);
+        }
+        let doc = h.snapshot().to_json();
+        assert!(doc["p50"].as_u64().is_some());
+        assert!(doc["p95"].as_u64().unwrap() >= doc["p50"].as_u64().unwrap());
+        assert!(doc["p99"].as_u64().unwrap() >= doc["p95"].as_u64().unwrap());
     }
 
     #[test]

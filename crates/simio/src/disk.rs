@@ -142,6 +142,10 @@ pub struct SimDisk {
     clock: SharedClock,
     inner: Arc<Mutex<DiskInner>>,
     stats: Arc<DiskStats>,
+    /// Span recorder for per-operation `disk.read`/`disk.write` spans; set by
+    /// [`SimDisk::attach_trace`], shared across clones. A leaf lock, taken
+    /// only briefly and never while `inner` is held.
+    trace: Arc<Mutex<Option<scanraw_obs::SpanRecorder>>>,
     #[cfg(feature = "fault-inject")]
     fault: Arc<Mutex<Option<FaultPlan>>>,
 }
@@ -157,6 +161,7 @@ impl SimDisk {
                 cache: PageCacheModel::default(),
             })),
             stats: Arc::new(DiskStats::new()),
+            trace: Arc::new(Mutex::new(None)),
             #[cfg(feature = "fault-inject")]
             fault: Arc::new(Mutex::new(None)),
         }
@@ -184,6 +189,28 @@ impl SimDisk {
     /// registry attached wins.
     pub fn attach_obs(&self, metrics: &scanraw_obs::MetricsRegistry) {
         self.stats.attach_obs(metrics);
+    }
+
+    /// Attaches a span recorder: every subsequent `read`/`write_at` records a
+    /// `disk.read`/`disk.write` span under the calling thread's current span
+    /// context (no-op on threads without one). Replaces any previous recorder.
+    pub fn attach_trace(&self, recorder: &scanraw_obs::SpanRecorder) {
+        *self.trace.lock() = Some(recorder.clone());
+    }
+
+    /// Opens a device-op span under the caller's ambient span context, if a
+    /// recorder is attached and a context is set.
+    fn op_span(
+        &self,
+        name: &'static str,
+        file: &str,
+        bytes: usize,
+    ) -> Option<scanraw_obs::trace::SpanGuard> {
+        let recorder = self.trace.lock().clone()?;
+        recorder.enter_current(
+            name,
+            vec![("file", file.to_string()), ("bytes", bytes.to_string())],
+        )
     }
 
     /// Direct access to the backing store, bypassing throttling. Used to stage
@@ -241,6 +268,8 @@ impl SimDisk {
     /// Splits the range into cached and uncached pages, charges each share at
     /// the corresponding bandwidth, then marks the pages resident.
     pub fn read(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
+        // Opened before the device lock so the span covers queueing time too.
+        let _span = self.op_span("disk.read", name, len);
         #[cfg(feature = "fault-inject")]
         let decision = self.fault_decision(AccessKind::Read, name, len);
         // Compute cache hit/miss split and the seek penalty under the device
@@ -295,6 +324,7 @@ impl SimDisk {
 
     /// Throttled positional write (write-through; pages become resident).
     pub fn write_at(&self, name: &str, offset: u64, buf: &[u8]) -> Result<()> {
+        let _span = self.op_span("disk.write", name, buf.len());
         #[cfg(feature = "fault-inject")]
         let decision = self.fault_decision(AccessKind::Write, name, buf.len());
         self.stats.queue_enter();

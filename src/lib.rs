@@ -58,7 +58,7 @@ pub mod prelude {
         AggExpr, AnalyzeReport, Col, Engine, ExecMode, Expr, Predicate, Query, QueryBuilder,
         QueryOutcome, Session,
     };
-    pub use scanraw_obs::{Obs, ObsEvent};
+    pub use scanraw_obs::{Obs, ObsEvent, QueryTrace, SpanRecord, TraceId};
     pub use scanraw_rawfile::generate::CsvSpec;
     pub use scanraw_rawfile::TextDialect;
     pub use scanraw_simio::{DiskConfig, SimDisk};

@@ -214,3 +214,94 @@ fn worker_scaling_is_journaled_and_applied() {
     let out = engine.execute(&Query::sum_of_columns("t", 0..4)).unwrap();
     assert_eq!(out.result.rows_scanned, 4_000);
 }
+
+#[test]
+fn every_obs_event_kind_round_trips_through_from_parts() {
+    use scanraw_repro::obs::WriteCause;
+    // One exemplar per variant. Adding an ObsEvent variant without extending
+    // this list fails the length assertion below (kept in sync with the L007
+    // exhaustive matches in kind()/payload()/from_parts()).
+    let exemplars = vec![
+        ObsEvent::QueryStart {
+            table: "t".into(),
+            columns: 4,
+        },
+        ObsEvent::QueryEnd {
+            table: "t".into(),
+            chunks: 8,
+            rows: 4_000,
+            elapsed_micros: 1_234,
+        },
+        ObsEvent::ReadBlocked { chunk: 1 },
+        ObsEvent::SpeculativeWriteTriggered { chunk: 2 },
+        ObsEvent::SafeguardFlush { chunks: 3 },
+        ObsEvent::WriteQueued {
+            chunk: 4,
+            cause: WriteCause::Eviction,
+        },
+        ObsEvent::CacheHit { chunk: 5 },
+        ObsEvent::CacheMiss { chunk: 6 },
+        ObsEvent::CacheEvict {
+            chunk: 7,
+            loaded: true,
+        },
+        ObsEvent::ChunkSkipped { chunk: 8 },
+        ObsEvent::WorkerScaled { from: 2, to: 4 },
+        ObsEvent::IoRetry {
+            target: "db/t".into(),
+            attempt: 1,
+        },
+        ObsEvent::LoadDegraded { chunk: 9 },
+        ObsEvent::DbReadFallback { chunk: 10 },
+        ObsEvent::RecoveryCompleted {
+            committed: 11,
+            dropped: 1,
+        },
+        ObsEvent::TraceStarted {
+            trace: 12,
+            table: "t".into(),
+        },
+        ObsEvent::TraceCompleted {
+            trace: 12,
+            spans: 42,
+        },
+    ];
+    assert_eq!(exemplars.len(), 17, "one exemplar per ObsEvent variant");
+    let mut kinds = std::collections::HashSet::new();
+    for event in exemplars {
+        assert!(
+            kinds.insert(event.kind()),
+            "duplicate kind {}",
+            event.kind()
+        );
+        let rebuilt = ObsEvent::from_parts(event.kind(), &event.payload())
+            .unwrap_or_else(|| panic!("{} must reconstruct from its parts", event.kind()));
+        assert_eq!(rebuilt, event, "{} payload round-trip", event.kind());
+    }
+}
+
+#[test]
+fn trace_lifecycle_is_journaled() {
+    let (_disk, engine) = engine_with_table(WritePolicy::speculative(), 32);
+    engine.execute(&Query::sum_of_columns("t", 0..4)).unwrap();
+    let op = engine.operator("t").unwrap();
+    let entries = op.obs().journal.entries();
+    let started: Vec<u64> = entries
+        .iter()
+        .filter_map(|e| match &e.event {
+            ObsEvent::TraceStarted { trace, table } if table == "t" => Some(*trace),
+            _ => None,
+        })
+        .collect();
+    let completed: Vec<(u64, u64)> = entries
+        .iter()
+        .filter_map(|e| match &e.event {
+            ObsEvent::TraceCompleted { trace, spans } => Some((*trace, *spans)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(started.len(), 1);
+    assert_eq!(completed.len(), 1);
+    assert_eq!(started[0], completed[0].0, "start/complete pair one trace");
+    assert!(completed[0].1 > 0, "the traced query recorded spans");
+}

@@ -6,6 +6,10 @@
 //! - `bench` — build and run the PR5 serial-vs-parallel benchmark, writing
 //!   `BENCH_PR5.json` at the workspace root. Pass `--smoke` for the small
 //!   CI-sized configuration; other arguments are forwarded to the binary.
+//! - `trace` — run a seeded traced workload and export its validated span
+//!   tree as Chrome trace-event JSON (`scanraw.trace.json`, loadable in
+//!   Perfetto / `about://tracing`) plus a folded-stack flamegraph file
+//!   (`scanraw.folded`). Pass `--smoke` for the small CI configuration.
 //!
 //! `lint` options:
 //! - `--format text|json|sarif|github` — output format (default `text`)
@@ -190,7 +194,8 @@ fn task_lint(args: &[String]) -> ExitCode {
     ExitCode::FAILURE
 }
 
-fn task_bench(args: &[String]) -> ExitCode {
+/// Runs a scanraw-bench binary in release mode, forwarding `args`.
+fn run_bench_bin(task: &str, bin: &str, args: &[String]) -> ExitCode {
     let root = workspace_root();
     let mut cmd = std::process::Command::new(env!("CARGO"));
     cmd.current_dir(&root)
@@ -200,21 +205,29 @@ fn task_bench(args: &[String]) -> ExitCode {
             "-p",
             "scanraw-bench",
             "--bin",
-            "pr5",
+            bin,
             "--",
         ])
         .args(args);
     match cmd.status() {
         Ok(status) if status.success() => ExitCode::SUCCESS,
         Ok(status) => {
-            eprintln!("xtask bench: benchmark exited with {status}");
+            eprintln!("xtask {task}: {bin} exited with {status}");
             ExitCode::FAILURE
         }
         Err(e) => {
-            eprintln!("xtask bench: failed to spawn cargo: {e}");
+            eprintln!("xtask {task}: failed to spawn cargo: {e}");
             ExitCode::FAILURE
         }
     }
+}
+
+fn task_bench(args: &[String]) -> ExitCode {
+    run_bench_bin("bench", "pr5", args)
+}
+
+fn task_trace(args: &[String]) -> ExitCode {
+    run_bench_bin("trace", "trace", args)
 }
 
 fn main() -> ExitCode {
@@ -222,14 +235,15 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => task_lint(&args[1..]),
         Some("bench") => task_bench(&args[1..]),
+        Some("trace") => task_trace(&args[1..]),
         None => {
             eprintln!(
-                "usage: cargo xtask <task>\n\ntasks:\n  lint    run the static analysis catalog (L001-L010)\n          options: --format text|json|sarif|github, --output <path>,\n                   --baseline <path>, --no-baseline, --update-baseline\n  bench   run the PR5 serial-vs-parallel benchmark (writes BENCH_PR5.json)\n          options: --smoke (small CI configuration)"
+                "usage: cargo xtask <task>\n\ntasks:\n  lint    run the static analysis catalog (L001-L010)\n          options: --format text|json|sarif|github, --output <path>,\n                   --baseline <path>, --no-baseline, --update-baseline\n  bench   run the PR5 serial-vs-parallel benchmark (writes BENCH_PR5.json)\n          options: --smoke (small CI configuration)\n  trace   run a seeded traced workload and export its span tree\n          (writes scanraw.trace.json for Perfetto and scanraw.folded)\n          options: --smoke (small CI configuration)"
             );
             ExitCode::FAILURE
         }
         Some(other) => {
-            eprintln!("xtask: unknown task `{other}` (available: lint, bench)");
+            eprintln!("xtask: unknown task `{other}` (available: lint, bench, trace)");
             ExitCode::FAILURE
         }
     }

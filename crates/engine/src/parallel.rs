@@ -521,6 +521,11 @@ impl AggState {
     /// the same spec).
     pub fn merge(&mut self, other: AggState) -> Result<()> {
         self.rows_seen += other.rows_seen;
+        // Keyed fold: every group key is merged exactly once per partial, so
+        // cross-key visitation order cannot reach any accumulator. The
+        // order-sensitive part is the executor's ascending chunk-id merge
+        // sequence, which is deterministic.
+        // lint-ok: L014 keyed fold, each key merged exactly once per partial
         for (key, accs) in other.groups {
             match self.groups.get_mut(&key) {
                 Some(mine) => {

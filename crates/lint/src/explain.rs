@@ -1,0 +1,209 @@
+//! One authoritative explanation per rule, readable two ways: as the
+//! rustdoc on each constant *and* as the string `cargo xtask lint
+//! --explain L0NN` prints. The `rule_doc!` macro emits both from the same
+//! doc-comment lines, so the printed text cannot drift from the docs.
+
+macro_rules! rule_doc {
+    ($(#[doc = $d:expr])* $name:ident) => {
+        $(#[doc = $d])*
+        pub const $name: &str = concat!($($d, "\n"),*);
+    };
+}
+
+rule_doc! {
+    /// L001 — cross-module `Ordering::Relaxed` without an audit note.
+    ///
+    /// Why: a Relaxed atomic shared across modules is usually meant to
+    /// synchronize something; Relaxed gives no happens-before edge, so a
+    /// reader can observe stale data forever.
+    ///
+    /// Example: `counters.rows.fetch_add(1, Ordering::Relaxed)` read from
+    /// another module's reporting path.
+    ///
+    /// Escape: `// relaxed-ok: <reason>` on the site or the line above,
+    /// when the value is a statistic and staleness is acceptable.
+    L001
+}
+
+rule_doc! {
+    /// L002 — `unwrap()`/`expect()` inside spawned worker closures
+    /// (crates/core, crates/simio).
+    ///
+    /// Why: a panic in a worker thread kills it silently; the scan hangs or
+    /// loses data instead of failing with an error.
+    ///
+    /// Example: `thread::spawn(move || { rx.recv().unwrap(); })`.
+    ///
+    /// Escape: `// lint-ok: L002 <reason>`; prefer sending `Err(..)` on the
+    /// scan's output channel.
+    L002
+}
+
+rule_doc! {
+    /// L003 — lock-acquisition-order cycle across the workspace.
+    ///
+    /// Why: two threads taking the same locks in opposite orders can each
+    /// hold one and wait for the other: deadlock.
+    ///
+    /// Example: fn A locks `catalog` then `cache`; fn B locks `cache` then
+    /// `catalog`.
+    ///
+    /// Escape: `// lint-ok: L003 <reason>` on any edge of the cycle, when
+    /// the two orders are provably never concurrent. The global order lives
+    /// in DESIGN.md "Concurrency invariants".
+    L003
+}
+
+rule_doc! {
+    /// L004 — blocking channel `send`/`recv` while a lock guard is live in
+    /// the same scope.
+    ///
+    /// Why: a full (or empty) channel blocks while the guard starves every
+    /// other thread needing the lock; with a lock-needing counterparty it
+    /// deadlocks (see L011 for the interprocedural version).
+    ///
+    /// Example: `let g = state.lock(); tx.send(item);`.
+    ///
+    /// Escape: `// lint-ok: L004 <reason>`; prefer dropping the guard or a
+    /// try_/timeout variant.
+    L004
+}
+
+rule_doc! {
+    /// L005 — `Condvar::wait` outside a predicate loop.
+    ///
+    /// Why: condition variables wake spuriously and after missed
+    /// notifications; a single un-looped wait proceeds on a false premise.
+    ///
+    /// Example: `let g = cv.wait(g);` not wrapped in `while !*g { … }`.
+    ///
+    /// Escape: `// lint-ok: L005 <reason>` (rarely right).
+    L005
+}
+
+rule_doc! {
+    /// L006 — missing `# Errors`/`# Panics` docs on public API
+    /// (crates/types, crates/core).
+    ///
+    /// Why: failure modes are part of the contract; undocumented ones leak
+    /// panics into callers that believed the API total.
+    ///
+    /// Escape: `// lint-ok: L006 <reason>`; prefer writing the section.
+    L006
+}
+
+rule_doc! {
+    /// L007 — wildcard arm in a `match` on a workspace protocol enum
+    /// (`*Event`/`*Cmd`/`*Msg`/`*Cause`/`*Error`).
+    ///
+    /// Why: `_ =>` swallows variants added later; protocol handling must
+    /// fail to compile when the protocol grows.
+    ///
+    /// Escape: `// lint-ok: L007 <reason>`; prefer listing every variant.
+    L007
+}
+
+rule_doc! {
+    /// L008 — buffer/cache resource leaked on an early-exit path.
+    ///
+    /// Why: a popped/taken/acquired resource that an early `return`, `?`,
+    /// or `break` abandons is lost accounting — chunk leaks surface as
+    /// stalls later.
+    ///
+    /// Escape: `// lint-ok: L008 <reason>`; prefer restructuring so every
+    /// path hands the value off.
+    L008
+}
+
+rule_doc! {
+    /// L009 — feature declaration, forwarding chain, or gate inconsistency.
+    ///
+    /// Why: a `cfg(feature)` on an undeclared feature silently compiles
+    /// out; a missing forward (`dep/feat`) makes a workspace feature
+    /// half-enabled.
+    ///
+    /// Escape: baseline entry (Cargo.toml has no comment channel); prefer
+    /// fixing the declaration.
+    L009
+}
+
+rule_doc! {
+    /// L010 — metric/event drift between code and the DESIGN.md catalog.
+    ///
+    /// Why: the observability catalog is the contract dashboards and tests
+    /// read; an unregistered metric or a stale catalog row both lie.
+    ///
+    /// Escape: baseline entry; prefer updating DESIGN.md's catalog markers.
+    L010
+}
+
+rule_doc! {
+    /// L011 — wait-for cycle through a channel or condvar, across crates.
+    ///
+    /// Why: locks are not the only wait edges. A thread that `recv`s while
+    /// holding lock `L` waits for a producer; if every producer must take
+    /// `L` to send, nobody progresses — a deadlock no lock-order rule sees.
+    /// The analyzer unifies lock-order edges with channel data/capacity
+    /// facets and condvar edges into one graph and reports cycles that pass
+    /// through a `chan:`/`cv:` node.
+    ///
+    /// Example: scheduler holds `state` and `recv`s acks; the writer must
+    /// lock `state` before `send`ing acks.
+    ///
+    /// Escape: `// lint-ok: L011 <reason>` on an edge site — only when an
+    /// unguarded producer provably keeps the channel live. L011 cannot be
+    /// baselined: fix or audit in source.
+    L011
+}
+
+rule_doc! {
+    /// L012 — blocking call while a lock guard is live, interprocedural.
+    ///
+    /// Why: the guard-holding frame may be many calls above the block:
+    /// `flush()` three frames down does `recv`, `sleep`, `join`, or disk
+    /// I/O, and every other thread needing the lock stalls behind it. The
+    /// call graph propagates each function's transitive blocking set;
+    /// the walk flags calls made under a live guard into a blocking
+    /// closure. Plain `.lock()` nesting is L003's domain and not counted.
+    ///
+    /// Example: `let g = cache.lock(); flush_writes();` where
+    /// `flush_writes → barrier → ack_rx.recv()`.
+    ///
+    /// Escape: `// unblock-ok: <reason>` (or `// lint-ok: L012 <reason>`)
+    /// on the call site, when the callee's blocking path is unreachable
+    /// from here. L012 cannot be baselined: fix or audit in source.
+    L012
+}
+
+rule_doc! {
+    /// L013 — panic reachable from a spawned-thread root through calls.
+    ///
+    /// Why: L002 sees `unwrap` in the closure body; a worker dies just as
+    /// silently when the panic is three helpers deep. Reachability from
+    /// every `spawn` site is closed over the call graph; `unwrap`,
+    /// `expect`, and `panic!`-family macros in reached functions are
+    /// reported (in core/engine/storage/simio/obs). `assert!` is exempt as
+    /// a deliberate invariant check; slice indexing is out of scope
+    /// (documented unsoundness).
+    ///
+    /// Escape: `// lint-ok: L013 <reason>` on the panic site, when the
+    /// invariant provably holds on every worker path.
+    L013
+}
+
+rule_doc! {
+    /// L014 — unordered iteration flowing into an order-sensitive sink.
+    ///
+    /// Why: the serial≡parallel differential guarantee and the journal/
+    /// trace exports promise byte-identical output; `HashMap`/`HashSet`
+    /// iteration order is arbitrary and changes across runs. Iterating an
+    /// unordered container into `merge`, string/output building, or
+    /// journal/trace recording without a sort (or BTree re-collection, or
+    /// keyed `entry()` insertion) breaks that promise nondeterministically.
+    ///
+    /// Example: `for (k, v) in groups { out.push_str(&render(k, v)); }`.
+    ///
+    /// Escape: `// lint-ok: L014 <reason>` on the iteration site, when the
+    /// sink is provably order-insensitive.
+    L014
+}

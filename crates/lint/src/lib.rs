@@ -16,8 +16,12 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
+pub mod callgraph;
+pub mod determinism;
+pub mod explain;
 pub mod features;
 pub mod flow;
+pub mod interproc;
 pub mod lexer;
 pub mod lockgraph;
 pub mod manifest;
@@ -26,11 +30,14 @@ pub mod obscatalog;
 pub mod output;
 pub mod parser;
 pub mod protocol;
+pub mod resolve;
 pub mod rules;
+pub mod waitgraph;
 
 use model::SourceFile;
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// Rule identifiers, one per check in the catalog.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -57,6 +64,17 @@ pub enum Rule {
     /// Observability-catalog drift: metric/event used but not documented in
     /// DESIGN.md, or documented but unused.
     L010,
+    /// Wait-for cycle through a channel/condvar node in the unified
+    /// lock+channel+condvar graph (cross-crate).
+    L011,
+    /// Blocking operation reached while a lock guard is live, through any
+    /// number of calls (interprocedural).
+    L012,
+    /// Panic site reachable from a spawned-thread root via the call graph.
+    L013,
+    /// Unordered `HashMap`/`HashSet` iteration flowing into an
+    /// order-sensitive sink (merge, output, journal/trace export).
+    L014,
 }
 
 impl Rule {
@@ -72,6 +90,37 @@ impl Rule {
             Rule::L008 => "L008",
             Rule::L009 => "L009",
             Rule::L010 => "L010",
+            Rule::L011 => "L011",
+            Rule::L012 => "L012",
+            Rule::L013 => "L013",
+            Rule::L014 => "L014",
+        }
+    }
+
+    /// Parses a rule id (`"L011"`). Used by `--explain` and the baseline
+    /// guard.
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.id() == id)
+    }
+
+    /// The full rationale/example/escape-hatch text for `--explain`,
+    /// sourced from the same doc block rustdoc renders (see [`explain`]).
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::L001 => explain::L001,
+            Rule::L002 => explain::L002,
+            Rule::L003 => explain::L003,
+            Rule::L004 => explain::L004,
+            Rule::L005 => explain::L005,
+            Rule::L006 => explain::L006,
+            Rule::L007 => explain::L007,
+            Rule::L008 => explain::L008,
+            Rule::L009 => explain::L009,
+            Rule::L010 => explain::L010,
+            Rule::L011 => explain::L011,
+            Rule::L012 => explain::L012,
+            Rule::L013 => explain::L013,
+            Rule::L014 => explain::L014,
         }
     }
 
@@ -88,10 +137,14 @@ impl Rule {
             Rule::L008 => "Buffer/cache resource leaked on an early-exit path",
             Rule::L009 => "Feature declaration, forwarding chain, or gate inconsistency",
             Rule::L010 => "Metric/event drift between code and the DESIGN.md catalog",
+            Rule::L011 => "Wait-for cycle through a channel/condvar across the workspace",
+            Rule::L012 => "Blocking call reached while a lock guard is live (interprocedural)",
+            Rule::L013 => "Panic reachable from a spawned-thread root through the call graph",
+            Rule::L014 => "Unordered iteration flowing into an order-sensitive sink",
         }
     }
 
-    pub const ALL: [Rule; 10] = [
+    pub const ALL: [Rule; 14] = [
         Rule::L001,
         Rule::L002,
         Rule::L003,
@@ -102,6 +155,10 @@ impl Rule {
         Rule::L008,
         Rule::L009,
         Rule::L010,
+        Rule::L011,
+        Rule::L012,
+        Rule::L013,
+        Rule::L014,
     ];
 }
 
@@ -135,14 +192,21 @@ impl fmt::Display for Finding {
 
 /// Lints in-memory sources; `files` is `(workspace-relative path, contents)`.
 /// This is the pure core — the tests and the xtask binary both go through it.
-/// Runs the source-only rules (L001–L008); the workspace-level rules need
-/// manifests and docs too — see [`lint_workspace`].
+/// Runs the source-only rules (L001–L008, plus the interprocedural
+/// L011–L013 with same-crate-only resolution and L014); the workspace-level
+/// rules need manifests and docs too — see [`lint_workspace`].
 pub fn lint_sources(files: &[(String, String)]) -> Vec<Finding> {
     let parsed: Vec<SourceFile> = files
         .iter()
         .map(|(rel, src)| SourceFile::parse(rel.clone(), src))
         .collect();
-    rules::run_all(&parsed)
+    let mut findings = rules::run_all(&parsed);
+    interproc::check(&parsed, &[], &mut findings);
+    for f in &parsed {
+        determinism::check_file(f, &mut findings);
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings
 }
 
 /// Everything the full analyzer consumes, all as
@@ -157,25 +221,109 @@ pub struct WorkspaceFiles {
     pub docs: Vec<(String, String)>,
 }
 
-/// Runs the full rule set — L001–L008 over sources, L009 over sources +
-/// manifests, L010 over sources + docs. Findings come back sorted by
-/// (file, line, rule), which makes every output format byte-stable.
-pub fn lint_workspace(ws: &WorkspaceFiles) -> Vec<Finding> {
-    let parsed: Vec<SourceFile> = ws
-        .sources
-        .iter()
-        .map(|(rel, src)| SourceFile::parse(rel.clone(), src))
-        .collect();
+/// One timed phase of a full analyzer run (see `--timing`).
+#[derive(Debug)]
+pub struct PhaseTiming {
+    pub name: &'static str,
+    pub duration: Duration,
+}
+
+/// A full analyzer run: findings, the per-phase wall-clock breakdown, and
+/// the call-graph DOT dump (for the CI artifact and the golden test).
+#[derive(Debug)]
+pub struct LintReport {
+    pub findings: Vec<Finding>,
+    pub timing: Vec<PhaseTiming>,
+    pub callgraph_dot: String,
+}
+
+/// Parses sources in parallel across std threads — the parse phase
+/// dominates wall time and is embarrassingly parallel; every later phase
+/// (resolution, graphs, rules over shared state) stays single-threaded.
+fn parse_parallel(sources: &[(String, String)]) -> Vec<SourceFile> {
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(sources.len().max(1));
+    if workers <= 1 {
+        return sources
+            .iter()
+            .map(|(rel, src)| SourceFile::parse(rel.clone(), src))
+            .collect();
+    }
+    let chunk = sources.len().div_ceil(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = sources
+            .chunks(chunk)
+            .map(|part| {
+                s.spawn(move || {
+                    part.iter()
+                        .map(|(rel, src)| SourceFile::parse(rel.clone(), src))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parse worker panicked"))
+            .collect()
+    })
+}
+
+/// Runs the full rule set — L001–L008 over sources, the interprocedural
+/// L011–L013 and per-file L014, L009 over sources + manifests, L010 over
+/// sources + docs — and reports per-phase timing plus the call-graph dump.
+/// Findings come back sorted by (file, line, rule), which makes every
+/// output format byte-stable.
+pub fn lint_workspace_report(ws: &WorkspaceFiles) -> LintReport {
+    let mut timing = Vec::new();
+    let mut timed = |name: &'static str, start: Instant| {
+        timing.push(PhaseTiming {
+            name,
+            duration: start.elapsed(),
+        });
+    };
+
+    let t = Instant::now();
+    let parsed = parse_parallel(&ws.sources);
+    timed("parse", t);
+
+    let t = Instant::now();
     let mut findings = rules::run_all(&parsed);
+    timed("rules", t);
+
+    let t = Instant::now();
     let manifests: Vec<manifest::Manifest> = ws
         .manifests
         .iter()
         .map(|(rel, text)| manifest::parse(rel, text))
         .collect();
+    let cg = interproc::check(&parsed, &manifests, &mut findings);
+    let callgraph_dot = cg.to_dot();
+    timed("interproc", t);
+
+    let t = Instant::now();
+    for f in &parsed {
+        determinism::check_file(f, &mut findings);
+    }
+    timed("determinism", t);
+
+    let t = Instant::now();
     features::check(&parsed, &manifests, &mut findings);
     obscatalog::check(&parsed, &ws.docs, &mut findings);
+    timed("workspace", t);
+
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    findings
+    LintReport {
+        findings,
+        timing,
+        callgraph_dot,
+    }
+}
+
+/// [`lint_workspace_report`] when only the findings matter.
+pub fn lint_workspace(ws: &WorkspaceFiles) -> Vec<Finding> {
+    lint_workspace_report(ws).findings
 }
 
 /// Collects the `.rs` files under `root` that the linter analyzes: crate and
@@ -282,6 +430,24 @@ pub fn collect_workspace(root: &Path) -> std::io::Result<WorkspaceFiles> {
 pub fn run(root: &Path) -> std::io::Result<Vec<Finding>> {
     let ws = collect_workspace(root)?;
     Ok(lint_workspace(&ws))
+}
+
+/// Like [`run`], but returns the full report (timing + call-graph DOT) with
+/// the workspace-collection phase included in the timing breakdown.
+///
+/// # Errors
+///
+/// Returns `Err` when workspace sources cannot be read from disk.
+pub fn run_report(root: &Path) -> std::io::Result<LintReport> {
+    let t = Instant::now();
+    let ws = collect_workspace(root)?;
+    let collect = PhaseTiming {
+        name: "collect",
+        duration: t.elapsed(),
+    };
+    let mut report = lint_workspace_report(&ws);
+    report.timing.insert(0, collect);
+    Ok(report)
 }
 
 #[cfg(test)]

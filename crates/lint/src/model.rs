@@ -118,6 +118,48 @@ pub fn match_paren(tokens: &[Token], open: usize) -> usize {
     tokens.len()
 }
 
+/// Counts the comma-separated items in the paren group opened at `open`.
+/// Commas inside nested `()`/`[]`/`{}`/`<…>` do not count; a trailing comma
+/// is ignored. Returns `None` when the group is unterminated (or `open` is
+/// not a `(`), in which case callers should skip arity filtering. Known
+/// blind spot: a multi-parameter closure argument (`sort_by(|a, b| …)`) or a
+/// bare `<` comparison at depth 0 skews the count — both are rare in the
+/// call/signature positions this feeds, and a skewed count only drops a
+/// resolution edge (the documented unsound direction).
+pub fn count_args(tokens: &[Token], open: usize) -> Option<usize> {
+    if !tokens.get(open).is_some_and(|t| is_punct(t, "(")) {
+        return None;
+    }
+    let close = match_paren(tokens, open).checked_sub(1)?;
+    if !tokens.get(close).is_some_and(|t| is_punct(t, ")")) {
+        return None;
+    }
+    if close == open + 1 {
+        return Some(0);
+    }
+    let (mut depth, mut angle) = (0i32, 0i32);
+    let mut commas = 0usize;
+    for t in &tokens[open + 1..close] {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "<" => angle += 1,
+            // `->` is a fused token, so it never decrements angle depth.
+            ">" => angle = (angle - 1).max(0),
+            "," if depth == 0 && angle == 0 => commas += 1,
+            _ => {}
+        }
+    }
+    // `f(a, b,)` — the trailing comma is not another argument.
+    if is_punct(&tokens[close - 1], ",") && commas > 0 {
+        commas -= 1;
+    }
+    Some(commas + 1)
+}
+
 fn is_punct(t: &Token, s: &str) -> bool {
     t.kind == TokKind::Punct && t.text == s
 }
@@ -361,5 +403,21 @@ mod tests {
         let f = SourceFile::parse("a.rs", "trait T { fn alpha(&self) -> u32; }");
         let alpha = f.functions.iter().find(|x| x.name == "alpha").unwrap();
         assert!(alpha.body.is_none());
+    }
+
+    #[test]
+    fn count_args_counts_top_level_commas() {
+        let at = |src: &str| {
+            let f = SourceFile::parse("a.rs", src);
+            let open = f.tokens.iter().position(|t| t.text == "(").unwrap();
+            count_args(&f.tokens, open)
+        };
+        assert_eq!(at("f()"), Some(0));
+        assert_eq!(at("f(a)"), Some(1));
+        assert_eq!(at("f(a, b, c)"), Some(3));
+        assert_eq!(at("f(g(a, b), c)"), Some(2));
+        assert_eq!(at("f(v.collect::<Vec<(u32, u32)>>(), c)"), Some(2));
+        assert_eq!(at("f(a, b,)"), Some(2));
+        assert_eq!(at("f(HashMap<u32, u32>::new())"), Some(1));
     }
 }

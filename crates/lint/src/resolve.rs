@@ -1,0 +1,413 @@
+//! Crate-aware symbol resolution: the layer that turns a call name at a
+//! site into candidate function definitions elsewhere in the workspace.
+//!
+//! Resolution is deliberately heuristic — there is no type information.
+//! The precision levers, in order:
+//!
+//! 1. **Crate attribution.** Every source file belongs to one crate,
+//!    identified by its directory (`crates/core`, `shims/parking_lot`,
+//!    `xtask`, `src` for the root crate). Names resolve within the caller's
+//!    own crate first.
+//! 2. **The manifest crate graph.** Cross-crate candidates are only
+//!    considered in the caller's dependency closure (from `Cargo.toml`
+//!    `[dependencies]`), and only `pub fn`s qualify.
+//! 3. **`use` imports.** When the calling file imports specific workspace
+//!    crates (`use scanraw_obs::…`), those crates are tried before the full
+//!    dependency closure.
+//! 4. **Arity matching.** A call site with a countable argument list only
+//!    resolves to definitions with the same non-`self` parameter count.
+//!    This is what keeps `guard.read()` (zero args) from resolving to a
+//!    three-parameter `Disk::read`, the single worst noise source of
+//!    name-only resolution.
+//! 5. **Ambiguity cutoff.** A name with more than [`MAX_CANDIDATES`]
+//!    definitions (common words like `new`, `get`, `len`) resolves to
+//!    nothing rather than to noise. This is the documented unsoundness:
+//!    widely-shared method names are invisible to the call graph.
+
+use crate::lexer::TokKind;
+use crate::manifest::Manifest;
+use crate::model::{count_args, SourceFile};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Above this many same-name candidates the resolver gives up (see module
+/// docs — precision beats recall for the rules built on top).
+pub const MAX_CANDIDATES: usize = 6;
+
+/// A function definition: indexes into the parsed file set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FnRef {
+    pub file: usize,
+    pub func: usize,
+}
+
+/// The workspace crate graph, keyed by crate *directory* (which exists even
+/// when no manifests are supplied, e.g. from `lint_sources` in tests).
+#[derive(Debug, Default)]
+pub struct CrateMap {
+    /// package name (underscored, as it appears in `use` paths) -> crate dir.
+    name_to_dir: BTreeMap<String, String>,
+    /// crate dir -> directly depended-on crate dirs.
+    deps: BTreeMap<String, Vec<String>>,
+}
+
+impl CrateMap {
+    /// Builds the graph from parsed manifests. Package names are normalized
+    /// `-` → `_` so they match `use` paths. The root package's sources live
+    /// under `src/`, so its dir maps to `"src"`.
+    pub fn build(manifests: &[Manifest]) -> CrateMap {
+        let mut map = CrateMap::default();
+        for m in manifests {
+            if m.package.is_empty() {
+                continue;
+            }
+            let dir = if m.dir().is_empty() {
+                "src".to_string()
+            } else {
+                m.dir().to_string()
+            };
+            map.name_to_dir.insert(m.package.replace('-', "_"), dir);
+        }
+        for m in manifests {
+            if m.package.is_empty() {
+                continue;
+            }
+            let dir = if m.dir().is_empty() {
+                "src".to_string()
+            } else {
+                m.dir().to_string()
+            };
+            let deps = m
+                .deps
+                .iter()
+                .filter_map(|d| map.name_to_dir.get(&d.replace('-', "_")).cloned())
+                .collect();
+            map.deps.insert(dir, deps);
+        }
+        map
+    }
+
+    /// The crate dir owning a workspace-relative source path:
+    /// `crates/core/src/x.rs` → `crates/core`, `src/lib.rs` → `src`,
+    /// `xtask/src/main.rs` → `xtask`.
+    pub fn crate_of(path: &str) -> String {
+        let mut parts = path.split('/');
+        match (parts.next(), parts.next()) {
+            (Some(top @ ("crates" | "shims")), Some(second)) => format!("{top}/{second}"),
+            (Some(top), _) => top.to_string(),
+            _ => String::new(),
+        }
+    }
+
+    /// Dir for a package name as written in `use` paths (underscored).
+    pub fn dir_of_name(&self, name: &str) -> Option<&str> {
+        self.name_to_dir.get(name).map(String::as_str)
+    }
+
+    /// Transitive dependency closure of `dir` (excluding `dir` itself), in
+    /// deterministic order.
+    pub fn dep_closure(&self, dir: &str) -> Vec<String> {
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut stack: Vec<String> = self.deps.get(dir).cloned().unwrap_or_default();
+        let mut out = Vec::new();
+        while let Some(d) = stack.pop() {
+            if d != dir && seen.insert(d.clone()) {
+                if let Some(next) = self.deps.get(&d) {
+                    stack.extend(next.iter().cloned());
+                }
+                out.push(d);
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+/// The symbol index: per-crate function tables plus per-file import sets.
+#[derive(Debug)]
+pub struct Resolver {
+    pub crates: CrateMap,
+    /// file index -> owning crate dir.
+    pub file_crate: Vec<String>,
+    /// crate dir -> fn name -> definitions in that crate.
+    index: BTreeMap<String, BTreeMap<String, Vec<FnRef>>>,
+    /// file index -> workspace crate dirs referenced by its `use` items.
+    imports: Vec<BTreeSet<String>>,
+}
+
+impl Resolver {
+    /// Indexes every function in `files` under its crate, and records which
+    /// workspace crates each file imports.
+    pub fn build(files: &[SourceFile], manifests: &[Manifest]) -> Resolver {
+        let crates = CrateMap::build(manifests);
+        let mut file_crate = Vec::with_capacity(files.len());
+        let mut index: BTreeMap<String, BTreeMap<String, Vec<FnRef>>> = BTreeMap::new();
+        let mut imports = Vec::with_capacity(files.len());
+        for (fi, f) in files.iter().enumerate() {
+            let dir = CrateMap::crate_of(&f.rel);
+            for (ni, func) in f.functions.iter().enumerate() {
+                index
+                    .entry(dir.clone())
+                    .or_default()
+                    .entry(func.name.clone())
+                    .or_default()
+                    .push(FnRef { file: fi, func: ni });
+            }
+            imports.push(collect_imports(f, &crates));
+            file_crate.push(dir);
+        }
+        Resolver {
+            crates,
+            file_crate,
+            index,
+            imports,
+        }
+    }
+
+    /// Candidate definitions for a call to `name` from `from_file`, with
+    /// `argc` arguments at the site (`None` = uncountable, skip the arity
+    /// filter). Same crate first; then crates the file imports; then the
+    /// full dependency closure. Cross-crate candidates must be `pub`;
+    /// candidates whose countable parameter list disagrees with `argc` are
+    /// dropped. More than [`MAX_CANDIDATES`] matches resolves to nothing.
+    pub fn resolve(
+        &self,
+        files: &[SourceFile],
+        name: &str,
+        from_file: usize,
+        argc: Option<usize>,
+    ) -> Vec<FnRef> {
+        let home = &self.file_crate[from_file];
+        let local = self.lookup(home, name, files, false, argc);
+        if !local.is_empty() {
+            return Self::capped(local);
+        }
+        let imported: Vec<FnRef> = self.imports[from_file]
+            .iter()
+            .flat_map(|dir| self.lookup(dir, name, files, true, argc))
+            .collect();
+        if !imported.is_empty() {
+            return Self::capped(imported);
+        }
+        let closure: Vec<FnRef> = self
+            .crates
+            .dep_closure(home)
+            .iter()
+            .flat_map(|dir| self.lookup(dir, name, files, true, argc))
+            .collect();
+        Self::capped(closure)
+    }
+
+    fn lookup(
+        &self,
+        dir: &str,
+        name: &str,
+        files: &[SourceFile],
+        pub_only: bool,
+        argc: Option<usize>,
+    ) -> Vec<FnRef> {
+        self.index
+            .get(dir)
+            .and_then(|m| m.get(name))
+            .map(|refs| {
+                refs.iter()
+                    .filter(|r| !pub_only || files[r.file].functions[r.func].is_pub)
+                    .filter(|r| arity_agrees(files, **r, argc))
+                    .copied()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    fn capped(v: Vec<FnRef>) -> Vec<FnRef> {
+        if v.len() > MAX_CANDIDATES {
+            Vec::new()
+        } else {
+            v
+        }
+    }
+}
+
+/// True when the definition's parameter count is unknown or matches the
+/// call site's argument count (itself optional).
+fn arity_agrees(files: &[SourceFile], r: FnRef, argc: Option<usize>) -> bool {
+    let (Some(argc), Some(params)) = (argc, param_count(&files[r.file], r.func)) else {
+        return true;
+    };
+    argc == params
+}
+
+/// Non-`self` parameter count of a function definition, from its signature
+/// tokens. `None` when the parameter list cannot be located or counted
+/// (callers then skip arity filtering for this candidate).
+pub fn param_count(f: &SourceFile, func: usize) -> Option<usize> {
+    let info = f.functions.get(func)?;
+    let toks = &f.tokens;
+    let (start, end) = info.sig;
+    // `fn name` then optionally `<generics>` — skip to the matching `>`
+    // (`->` is a fused token, so it cannot end the generics early).
+    let mut i = start;
+    while i < end && !(toks[i].kind == TokKind::Ident && toks[i].text == "fn") {
+        i += 1;
+    }
+    i += 2; // past `fn name`
+    if i < end && toks[i].kind == TokKind::Punct && toks[i].text == "<" {
+        let mut angle = 0i32;
+        while i < end {
+            if toks[i].kind == TokKind::Punct {
+                match toks[i].text.as_str() {
+                    "<" => angle += 1,
+                    ">" => {
+                        angle -= 1;
+                        if angle == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    if i >= end || toks[i].kind != TokKind::Punct || toks[i].text != "(" {
+        return None;
+    }
+    let mut n = count_args(toks, i)?;
+    // A leading receiver (`&self`, `&mut self`, `mut self`, `self: …`) is
+    // not a call-site argument.
+    let mut j = i + 1;
+    while j < end
+        && (toks[j].text == "&" || toks[j].text == "mut" || toks[j].kind == TokKind::Lifetime)
+    {
+        j += 1;
+    }
+    if j < end && toks[j].kind == TokKind::Ident && toks[j].text == "self" && n > 0 {
+        n -= 1;
+    }
+    Some(n)
+}
+
+/// Workspace crate dirs named in a file's `use` items: `use scanraw_obs::x;`
+/// contributes `scanraw_obs`'s dir when the crate map knows it.
+fn collect_imports(f: &SourceFile, crates: &CrateMap) -> BTreeSet<String> {
+    use crate::lexer::TokKind;
+    let mut out = BTreeSet::new();
+    let toks = &f.tokens;
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].text == "use" {
+            let root = &toks[i + 1];
+            if root.kind == TokKind::Ident {
+                if let Some(dir) = crates.dir_of_name(&root.text) {
+                    out.insert(dir.to_string());
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest;
+
+    fn ws() -> (Vec<SourceFile>, Vec<Manifest>) {
+        let files = vec![
+            SourceFile::parse(
+                "crates/a/src/lib.rs",
+                "use scanraw_b::helper;\npub fn top() { helper(); local(); }\nfn local() {}\n",
+            ),
+            SourceFile::parse(
+                "crates/b/src/lib.rs",
+                "pub fn helper() {}\nfn hidden() {}\n",
+            ),
+        ];
+        let manifests = vec![
+            manifest::parse(
+                "crates/a/Cargo.toml",
+                "[package]\nname = \"scanraw-a\"\n[dependencies]\nscanraw-b.workspace = true\n",
+            ),
+            manifest::parse("crates/b/Cargo.toml", "[package]\nname = \"scanraw-b\"\n"),
+        ];
+        (files, manifests)
+    }
+
+    #[test]
+    fn crate_of_paths() {
+        assert_eq!(CrateMap::crate_of("crates/core/src/x.rs"), "crates/core");
+        assert_eq!(CrateMap::crate_of("shims/rand/src/lib.rs"), "shims/rand");
+        assert_eq!(CrateMap::crate_of("src/lib.rs"), "src");
+        assert_eq!(CrateMap::crate_of("xtask/src/main.rs"), "xtask");
+    }
+
+    #[test]
+    fn same_crate_wins_then_deps() {
+        let (files, manifests) = ws();
+        let r = Resolver::build(&files, &manifests);
+        let local = r.resolve(&files, "local", 0, None);
+        assert_eq!(local.len(), 1);
+        assert_eq!(local[0].file, 0);
+        let cross = r.resolve(&files, "helper", 0, None);
+        assert_eq!(cross.len(), 1);
+        assert_eq!(cross[0].file, 1);
+    }
+
+    #[test]
+    fn cross_crate_requires_pub() {
+        let (files, manifests) = ws();
+        let r = Resolver::build(&files, &manifests);
+        assert!(r.resolve(&files, "hidden", 0, None).is_empty());
+    }
+
+    #[test]
+    fn no_manifests_means_same_crate_only() {
+        let (files, _) = ws();
+        let r = Resolver::build(&files, &[]);
+        assert!(r.resolve(&files, "helper", 0, None).is_empty());
+        assert_eq!(r.resolve(&files, "local", 0, None).len(), 1);
+    }
+
+    #[test]
+    fn ambiguity_cutoff() {
+        let mut src = String::new();
+        for i in 0..8 {
+            src.push_str(&format!("pub fn get{}() {{}}\n", i));
+        }
+        src.push_str(&"fn get() {}\n".repeat(7));
+        let files = vec![SourceFile::parse("crates/a/src/lib.rs", &src)];
+        let r = Resolver::build(&files, &[]);
+        assert!(r.resolve(&files, "get", 0, None).is_empty());
+        assert_eq!(r.resolve(&files, "get0", 0, None).len(), 1);
+    }
+
+    #[test]
+    fn arity_filters_candidates() {
+        let files = vec![SourceFile::parse(
+            "crates/a/src/lib.rs",
+            "pub fn read(name: &str, offset: u64, len: u64) -> u64 { offset + len }\n",
+        )];
+        let r = Resolver::build(&files, &[]);
+        // `guard.read()` (zero args) must not resolve to the 3-parameter fn.
+        assert!(r.resolve(&files, "read", 0, Some(0)).is_empty());
+        assert_eq!(r.resolve(&files, "read", 0, Some(3)).len(), 1);
+        assert_eq!(r.resolve(&files, "read", 0, None).len(), 1);
+    }
+
+    #[test]
+    fn param_count_skips_receivers_and_generics() {
+        let f = SourceFile::parse(
+            "crates/a/src/lib.rs",
+            "impl X {\n    fn a(&self) -> u32 { 0 }\n    fn b(&mut self, x: u32, m: HashMap<u32, u32>) {}\n}\nfn c<T: Into<String>>(x: T, (lo, hi): (u32, u32)) -> u32 { 0 }\nfn d() {}\n",
+        );
+        let by_name = |name: &str| {
+            let i = f.functions.iter().position(|x| x.name == name).unwrap();
+            param_count(&f, i)
+        };
+        assert_eq!(by_name("a"), Some(0));
+        assert_eq!(by_name("b"), Some(2));
+        assert_eq!(by_name("c"), Some(2));
+        assert_eq!(by_name("d"), Some(0));
+    }
+}

@@ -70,8 +70,9 @@ pub fn run_all(files: &[SourceFile]) -> Vec<Finding> {
 
 /// The identifier the atomic operation is called on: for
 /// `counters.from_raw.fetch_add(1, Ordering::Relaxed)` this is `from_raw`;
-/// indexing like `totals[i].fetch_add(..)` resolves to `totals`.
-fn receiver_of_call(tokens: &[Token], method_idx: usize) -> Option<String> {
+/// indexing like `totals[i].fetch_add(..)` resolves to `totals`. Shared
+/// with the interprocedural layer (channel/lock naming).
+pub(crate) fn receiver_of_call(tokens: &[Token], method_idx: usize) -> Option<String> {
     // tokens[method_idx] is the method name; tokens[method_idx - 1] must be `.`.
     if method_idx < 2 || !is_punct(&tokens[method_idx - 1], ".") {
         return None;
@@ -329,8 +330,8 @@ struct ActiveGuard {
 
 /// True when the token window starting at `i` is an acquisition:
 /// `recv.lock()` / `.read()` / `.write()` with zero arguments. Returns the
-/// method index.
-fn acquisition_at(tokens: &[Token], i: usize) -> Option<usize> {
+/// method index. Shared with the wait-graph walk.
+pub(crate) fn acquisition_at(tokens: &[Token], i: usize) -> Option<usize> {
     if tokens[i].kind == TokKind::Ident
         && GUARD_METHODS.contains(&tokens[i].text.as_str())
         && i >= 2

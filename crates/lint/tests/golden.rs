@@ -17,9 +17,10 @@ use scanraw_lint::{lint_workspace, output, Finding, WorkspaceFiles};
 use scanraw_obs::json;
 use std::path::PathBuf;
 
-/// A fixture with one L007, one L008, one L009 and two L010 findings at
-/// fixed lines. Kept small so golden diffs stay reviewable.
-fn fixture_findings() -> Vec<Finding> {
+/// A fixture with one finding from each semantic rule family — L007–L010
+/// plus the interprocedural L011–L014 — at fixed lines. Kept small so
+/// golden diffs stay reviewable.
+fn fixture_ws() -> WorkspaceFiles {
     let sources = [
         (
             "crates/core/src/proto.rs",
@@ -48,6 +49,49 @@ fn wire(m: &Metrics) {
             "crates/obs/src/journal.rs",
             "pub enum ObsEvent { CacheHit }",
         ),
+        (
+            "crates/core/src/pipeline.rs",
+            r#"fn consumer(state: &Mutex<u32>, jobs_rx: &Receiver<u32>) {
+    let g = state.lock();
+    let v = jobs_rx.recv(); // lint-ok: L004 fixture
+    drop(v);
+    drop(g);
+}
+
+fn producer(state: &Mutex<u32>, jobs_tx: &Sender<u32>) {
+    let g = state.lock();
+    jobs_tx.send(1); // lint-ok: L004 fixture
+    drop(g);
+}
+
+fn drain(state: &Mutex<u32>, done_rx: &Receiver<u32>) {
+    let g = state.lock();
+    wait_done(done_rx);
+    drop(g);
+}
+
+fn wait_done(done_rx: &Receiver<u32>) {
+    let v = done_rx.recv();
+    drop(v);
+}
+
+fn spawn_worker() {
+    thread::spawn(move || {
+        decode(None);
+    });
+}
+
+fn decode(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn export(seen: HashSet<String>, out: &mut String) {
+    for name in seen.iter() {
+        out.push_str(name);
+    }
+}
+"#,
+        ),
     ];
     let manifests = [
         (
@@ -63,7 +107,7 @@ fn wire(m: &Metrics) {
         "DESIGN.md",
         "# fixture\n\n<!-- lint-catalog:metrics -->\n```text\ncache.chunk.hit\n```\n\n<!-- lint-catalog:events -->\n```text\nCacheHit\n```\n",
     )];
-    lint_workspace(&WorkspaceFiles {
+    WorkspaceFiles {
         sources: sources
             .iter()
             .map(|(a, b)| (a.to_string(), b.to_string()))
@@ -76,7 +120,11 @@ fn wire(m: &Metrics) {
             .iter()
             .map(|(a, b)| (a.to_string(), b.to_string()))
             .collect(),
-    })
+    }
+}
+
+fn fixture_findings() -> Vec<Finding> {
+    lint_workspace(&fixture_ws())
 }
 
 fn golden_path(name: &str) -> PathBuf {
@@ -117,6 +165,26 @@ fn fixture_produces_stable_finding_set() {
         vec![
             ("DESIGN.md".to_string(), 5, "L010".to_string()),
             ("crates/core/Cargo.toml".to_string(), 6, "L009".to_string()),
+            (
+                "crates/core/src/pipeline.rs".to_string(),
+                3,
+                "L011".to_string()
+            ),
+            (
+                "crates/core/src/pipeline.rs".to_string(),
+                16,
+                "L012".to_string()
+            ),
+            (
+                "crates/core/src/pipeline.rs".to_string(),
+                32,
+                "L013".to_string()
+            ),
+            (
+                "crates/core/src/pipeline.rs".to_string(),
+                36,
+                "L014".to_string()
+            ),
             (
                 "crates/core/src/proto.rs".to_string(),
                 6,
@@ -197,7 +265,7 @@ fn sarif_output_matches_golden_and_parses() {
         .get("rules")
         .and_then(|v| v.as_array())
         .expect("rule table");
-    assert_eq!(rules.len(), 10, "all rules L001-L010 in the table");
+    assert_eq!(rules.len(), 14, "all rules L001-L014 in the table");
     let results = runs[0]
         .get("results")
         .and_then(|v| v.as_array())
@@ -223,6 +291,30 @@ fn sarif_output_matches_golden_and_parses() {
             .and_then(|v| v.as_u64())
             .is_some());
     }
+}
+
+#[test]
+fn callgraph_dot_matches_golden() {
+    let report = scanraw_lint::lint_workspace_report(&fixture_ws());
+    let dot = &report.callgraph_dot;
+    check_golden("callgraph.dot", dot);
+
+    // Structural invariants independent of the byte-exact golden: the spawn
+    // root is boxed, the blocking receiver is red, and the resolved
+    // `drain -> wait_done` edge is present.
+    assert!(dot.starts_with("digraph callgraph {"));
+    assert!(dot.contains("pipeline.rs:spawn_worker@26\" shape=box"));
+    assert!(dot.contains("color=red"));
+    let node_of = |needle: &str| {
+        dot.lines()
+            .find(|l| l.contains(needle))
+            .and_then(|l| l.split_whitespace().next())
+            .map(str::to_string)
+            .unwrap_or_else(|| panic!("no node labeled {needle} in:\n{dot}"))
+    };
+    let drain = node_of("pipeline.rs:drain");
+    let wait_done = node_of("pipeline.rs:wait_done");
+    assert!(dot.contains(&format!("{drain} -> {wait_done};")));
 }
 
 #[test]

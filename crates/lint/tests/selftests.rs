@@ -1,4 +1,4 @@
-//! Seeded-violation self-tests: every semantic rule (L007–L010) must catch
+//! Seeded-violation self-tests: every semantic rule (L007–L014) must catch
 //! a deliberately planted bug in a miniature fixture workspace, end-to-end
 //! through the public [`scanraw_lint::lint_workspace`] API. If a rule ever
 //! stops firing on its canonical bug, these fail before the real workspace
@@ -267,4 +267,332 @@ fn forward(buf: &Buffer, out: &Sender) -> Result<(), Error> {
     );
     let findings = lint_workspace(&fixture);
     assert!(findings.is_empty(), "{findings:?}");
+}
+
+// ---------------------------------------------------------------------------
+// L011: wait-for cycles through channels and condvars
+// ---------------------------------------------------------------------------
+
+#[test]
+fn l011_catches_lock_channel_cycle() {
+    let fixture = ws(
+        &[(
+            "crates/core/src/pump.rs",
+            r#"fn consumer(state: &Mutex<u32>, work_rx: &Receiver<u32>) {
+    let g = state.lock();
+    let v = work_rx.recv(); // lint-ok: L004 fixture
+    drop(v);
+    drop(g);
+}
+
+fn producer(state: &Mutex<u32>, work_tx: &Sender<u32>) {
+    let g = state.lock();
+    work_tx.send(1); // lint-ok: L004 fixture
+    drop(g);
+}
+"#,
+        )],
+        &[("crates/core/Cargo.toml", CORE_TOML)],
+        &[],
+    );
+    let findings = lint_workspace(&fixture);
+    let l011: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L011).collect();
+    assert_eq!(l011.len(), 1, "{findings:?}");
+    assert!(l011[0].message.contains("cycle"), "{}", l011[0].message);
+}
+
+#[test]
+fn l011_catches_condvar_cycle() {
+    let fixture = ws(
+        &[(
+            "crates/core/src/gate.rs",
+            r#"fn waiter(outer: &Mutex<u32>, inner: &Mutex<u32>, ready: &Condvar) {
+    let g = outer.lock();
+    let slot = inner.lock();
+    let slot = ready.wait(slot);
+    drop(slot);
+    drop(g);
+}
+
+fn notifier(outer: &Mutex<u32>, ready: &Condvar) {
+    let g = outer.lock();
+    ready.notify_one();
+    drop(g);
+}
+"#,
+        )],
+        &[("crates/core/Cargo.toml", CORE_TOML)],
+        &[],
+    );
+    let findings = lint_workspace(&fixture);
+    let l011: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L011).collect();
+    assert_eq!(l011.len(), 1, "{findings:?}");
+    assert!(l011[0].message.contains("ready"), "{}", l011[0].message);
+}
+
+#[test]
+fn l011_clean_when_producer_sends_outside_lock() {
+    let fixture = ws(
+        &[(
+            "crates/core/src/pump.rs",
+            r#"fn consumer(state: &Mutex<u32>, work_rx: &Receiver<u32>) {
+    let g = state.lock();
+    let v = work_rx.recv(); // lint-ok: L004 fixture
+    drop(v);
+    drop(g);
+}
+
+fn producer(state: &Mutex<u32>, work_tx: &Sender<u32>) {
+    let g = state.lock();
+    drop(g);
+    work_tx.send(1);
+}
+"#,
+        )],
+        &[("crates/core/Cargo.toml", CORE_TOML)],
+        &[],
+    );
+    let findings = lint_workspace(&fixture);
+    let l011: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L011).collect();
+    assert!(l011.is_empty(), "{findings:?}");
+}
+
+// ---------------------------------------------------------------------------
+// L012: blocking call reachable while a lock guard is held
+// ---------------------------------------------------------------------------
+
+#[test]
+fn l012_catches_recv_one_call_deep_under_guard() {
+    let fixture = ws(
+        &[(
+            "crates/core/src/drainer.rs",
+            r#"fn drain(state: &Mutex<u32>, done_rx: &Receiver<u32>) {
+    let g = state.lock();
+    wait_done(done_rx);
+    drop(g);
+}
+
+fn wait_done(done_rx: &Receiver<u32>) {
+    let v = done_rx.recv();
+    drop(v);
+}
+"#,
+        )],
+        &[("crates/core/Cargo.toml", CORE_TOML)],
+        &[],
+    );
+    let findings = lint_workspace(&fixture);
+    let l012: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L012).collect();
+    assert_eq!(l012.len(), 1, "{findings:?}");
+    assert!(l012[0].message.contains("recv"), "{}", l012[0].message);
+}
+
+#[test]
+fn l012_catches_sleep_two_calls_deep_under_guard() {
+    let fixture = ws(
+        &[(
+            "crates/core/src/retry.rs",
+            r#"fn flush(state: &Mutex<u32>) {
+    let g = state.lock();
+    step(1);
+    drop(g);
+}
+
+fn step(n: u32) {
+    pause(n);
+}
+
+fn pause(n: u32) {
+    thread::sleep(Duration::from_millis(n as u64));
+}
+"#,
+        )],
+        &[("crates/core/Cargo.toml", CORE_TOML)],
+        &[],
+    );
+    let findings = lint_workspace(&fixture);
+    let l012: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L012).collect();
+    assert_eq!(l012.len(), 1, "{findings:?}");
+    assert!(l012[0].message.contains("sleep"), "{}", l012[0].message);
+}
+
+#[test]
+fn l012_clean_when_guard_dropped_before_blocking_call() {
+    let fixture = ws(
+        &[(
+            "crates/core/src/drainer.rs",
+            r#"fn drain(state: &Mutex<u32>, done_rx: &Receiver<u32>) {
+    let g = state.lock();
+    drop(g);
+    wait_done(done_rx);
+}
+
+fn wait_done(done_rx: &Receiver<u32>) {
+    let v = done_rx.recv();
+    drop(v);
+}
+"#,
+        )],
+        &[("crates/core/Cargo.toml", CORE_TOML)],
+        &[],
+    );
+    let findings = lint_workspace(&fixture);
+    let l012: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L012).collect();
+    assert!(l012.is_empty(), "{findings:?}");
+}
+
+// ---------------------------------------------------------------------------
+// L013: panic sites reachable from spawned-thread roots
+// ---------------------------------------------------------------------------
+
+#[test]
+fn l013_catches_unwrap_reachable_from_spawn() {
+    let fixture = ws(
+        &[(
+            "crates/core/src/worker.rs",
+            r#"fn spawn_worker() {
+    thread::spawn(move || {
+        decode(None);
+    });
+}
+
+fn decode(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+"#,
+        )],
+        &[("crates/core/Cargo.toml", CORE_TOML)],
+        &[],
+    );
+    let findings = lint_workspace(&fixture);
+    let l013: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L013).collect();
+    assert_eq!(l013.len(), 1, "{findings:?}");
+    assert!(l013[0].message.contains("unwrap"), "{}", l013[0].message);
+}
+
+#[test]
+fn l013_catches_panic_macro_two_calls_deep_from_spawn() {
+    let fixture = ws(
+        &[(
+            "crates/core/src/pumploop.rs",
+            r#"fn spawn_pump() {
+    thread::spawn(move || {
+        pump(1);
+    });
+}
+
+fn pump(n: u32) {
+    check(n);
+}
+
+fn check(n: u32) {
+    if n > 0 {
+        panic!("bad frame");
+    }
+}
+"#,
+        )],
+        &[("crates/core/Cargo.toml", CORE_TOML)],
+        &[],
+    );
+    let findings = lint_workspace(&fixture);
+    let l013: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L013).collect();
+    assert_eq!(l013.len(), 1, "{findings:?}");
+    assert!(l013[0].message.contains("panic"), "{}", l013[0].message);
+}
+
+#[test]
+fn l013_clean_when_panicky_fn_is_not_reachable_from_any_spawn() {
+    let fixture = ws(
+        &[(
+            "crates/core/src/worker.rs",
+            r#"fn spawn_worker() {
+    thread::spawn(move || {
+        tick(1);
+    });
+}
+
+fn tick(n: u32) -> u32 {
+    n + 1
+}
+
+fn decode(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+"#,
+        )],
+        &[("crates/core/Cargo.toml", CORE_TOML)],
+        &[],
+    );
+    let findings = lint_workspace(&fixture);
+    let l013: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L013).collect();
+    assert!(l013.is_empty(), "{findings:?}");
+}
+
+// ---------------------------------------------------------------------------
+// L014: unordered-iteration flow into order-sensitive sinks
+// ---------------------------------------------------------------------------
+
+#[test]
+fn l014_catches_hashset_iteration_into_push_str() {
+    let fixture = ws(
+        &[(
+            "crates/core/src/export.rs",
+            r#"fn export(seen: HashSet<String>, out: &mut String) {
+    for name in seen.iter() {
+        out.push_str(name);
+    }
+}
+"#,
+        )],
+        &[("crates/core/Cargo.toml", CORE_TOML)],
+        &[],
+    );
+    let findings = lint_workspace(&fixture);
+    let l014: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L014).collect();
+    assert_eq!(l014.len(), 1, "{findings:?}");
+    assert!(l014[0].message.contains("push_str"), "{}", l014[0].message);
+}
+
+#[test]
+fn l014_catches_hashmap_iteration_into_writeln_macro() {
+    let fixture = ws(
+        &[(
+            "crates/core/src/dump.rs",
+            r#"fn dump(lanes: HashMap<u32, Lane>, out: &mut String) {
+    for (id, lane) in lanes.iter() {
+        writeln!(out, "{id} {}", lane.name).ok();
+    }
+}
+"#,
+        )],
+        &[("crates/core/Cargo.toml", CORE_TOML)],
+        &[],
+    );
+    let findings = lint_workspace(&fixture);
+    let l014: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L014).collect();
+    assert_eq!(l014.len(), 1, "{findings:?}");
+    assert!(l014[0].message.contains("writeln"), "{}", l014[0].message);
+}
+
+#[test]
+fn l014_clean_when_entries_are_sorted_before_the_sink() {
+    let fixture = ws(
+        &[(
+            "crates/core/src/dump.rs",
+            r#"fn dump(lanes: HashMap<u32, Lane>, out: &mut String) {
+    let mut rows: Vec<_> = lanes.into_iter().collect();
+    rows.sort_by_key(|(k, _)| *k);
+    for (_, lane) in rows {
+        out.push_str(&lane.name);
+    }
+}
+"#,
+        )],
+        &[("crates/core/Cargo.toml", CORE_TOML)],
+        &[],
+    );
+    let findings = lint_workspace(&fixture);
+    let l014: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L014).collect();
+    assert!(l014.is_empty(), "{findings:?}");
 }

@@ -292,6 +292,10 @@ impl SimDisk {
         }
 
         let start = self.clock.now();
+        // The device mutex is the simulated device queue: latency is charged
+        // while holding it so concurrent requests serialize, which is exactly
+        // the single-spindle behavior being modeled.
+        // unblock-ok: intentional sleep under the device lock (see above)
         self.clock.sleep(cost);
         let end = self.clock.now();
         #[cfg(feature = "fault-inject")]
@@ -342,6 +346,10 @@ impl SimDisk {
         }
 
         let start = self.clock.now();
+        // The device mutex is the simulated device queue: latency is charged
+        // while holding it so concurrent requests serialize, which is exactly
+        // the single-spindle behavior being modeled.
+        // unblock-ok: intentional sleep under the device lock (see above)
         self.clock.sleep(cost);
         let end = self.clock.now();
         #[cfg(feature = "fault-inject")]

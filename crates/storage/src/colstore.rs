@@ -365,6 +365,7 @@ fn decode_column(bytes: &[u8], dt: DataType, rows: u32) -> Result<ColumnData> {
             Ok(ColumnData::Int64(
                 bytes
                     .chunks_exact(8)
+                    // lint-ok: L013 chunks_exact(8) yields exactly 8 bytes
                     .map(|c| i64::from_le_bytes(c.try_into().expect("8 bytes")))
                     .collect(),
             ))
@@ -376,6 +377,7 @@ fn decode_column(bytes: &[u8], dt: DataType, rows: u32) -> Result<ColumnData> {
             Ok(ColumnData::Float64(
                 bytes
                     .chunks_exact(8)
+                    // lint-ok: L013 chunks_exact(8) yields exactly 8 bytes
                     .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
                     .collect(),
             ))
@@ -387,6 +389,7 @@ fn decode_column(bytes: &[u8], dt: DataType, rows: u32) -> Result<ColumnData> {
                 let len_bytes = bytes
                     .get(pos..pos + 4)
                     .ok_or_else(|| Error::storage("truncated string run"))?;
+                // lint-ok: L013 the `get(pos..pos + 4)` above pinned the length
                 let len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
                 pos += 4;
                 let s = bytes

@@ -1,7 +1,7 @@
 //! Workspace automation: `cargo xtask <task>`.
 //!
 //! Tasks:
-//! - `lint` — run the scanraw-lint analyzer (rules L001–L010) over the
+//! - `lint` — run the scanraw-lint analyzer (rules L001–L014) over the
 //!   workspace and exit non-zero on any unsilenced, unbaselined finding.
 //! - `bench` — build and run the PR5 serial-vs-parallel benchmark, writing
 //!   `BENCH_PR5.json` at the workspace root. Pass `--smoke` for the small
@@ -12,12 +12,17 @@
 //!   (`scanraw.folded`). Pass `--smoke` for the small CI configuration.
 //!
 //! `lint` options:
-//! - `--format text|json|sarif|github` — output format (default `text`)
+//! - `--format text|json|sarif|github|callgraph` — output format (default
+//!   `text`; `callgraph` prints the resolved call graph as DOT)
 //! - `--output <path>` — additionally write the JSON report to `<path>`
 //! - `--baseline <path>` — baseline file (default `lint-baseline.txt` at the
-//!   workspace root when it exists)
+//!   workspace root when it exists). L011/L012 findings can never be
+//!   baselined — fix them or audit the site in source.
 //! - `--no-baseline` — ignore any baseline file
 //! - `--update-baseline` — rewrite the baseline to accept current findings
+//!   (except L011/L012, which are refused)
+//! - `--timing` — print the per-phase wall-clock breakdown to stderr
+//! - `--explain <RULE>` — print the rule's full documentation and exit
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
@@ -41,6 +46,8 @@ struct LintOpts {
     baseline: Option<PathBuf>,
     no_baseline: bool,
     update_baseline: bool,
+    timing: bool,
+    explain: Option<String>,
 }
 
 fn parse_lint_opts(args: &[String]) -> Result<LintOpts, String> {
@@ -50,15 +57,20 @@ fn parse_lint_opts(args: &[String]) -> Result<LintOpts, String> {
         baseline: None,
         no_baseline: false,
         update_baseline: false,
+        timing: false,
+        explain: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--format" => {
                 let v = it.next().ok_or("--format needs a value")?;
-                if !matches!(v.as_str(), "text" | "json" | "sarif" | "github") {
+                if !matches!(
+                    v.as_str(),
+                    "text" | "json" | "sarif" | "github" | "callgraph"
+                ) {
                     return Err(format!(
-                        "unknown format `{v}` (expected text, json, sarif, or github)"
+                        "unknown format `{v}` (expected text, json, sarif, github, or callgraph)"
                     ));
                 }
                 opts.format = v.clone();
@@ -71,11 +83,20 @@ fn parse_lint_opts(args: &[String]) -> Result<LintOpts, String> {
             }
             "--no-baseline" => opts.no_baseline = true,
             "--update-baseline" => opts.update_baseline = true,
+            "--timing" => opts.timing = true,
+            "--explain" => {
+                opts.explain = Some(it.next().ok_or("--explain needs a rule id")?.clone())
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
     Ok(opts)
 }
+
+/// Rules that may never be baselined: a wait-for cycle or a blocking call
+/// under a guard must be fixed or audited at the site, where the next reader
+/// sees the reasoning — not parked in a sidecar file.
+const UNBASELINEABLE: &[&str] = &["L011", "L012"];
 
 fn task_lint(args: &[String]) -> ExitCode {
     let opts = match parse_lint_opts(args) {
@@ -85,20 +106,55 @@ fn task_lint(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(id) = &opts.explain {
+        let Some(rule) = scanraw_lint::Rule::from_id(id) else {
+            eprintln!("xtask lint: unknown rule `{id}` (expected L001-L014)");
+            return ExitCode::FAILURE;
+        };
+        print!("{}", rule.explain());
+        return ExitCode::SUCCESS;
+    }
     let root = workspace_root();
-    let findings = match scanraw_lint::run(&root) {
-        Ok(f) => f,
+    let report = match scanraw_lint::run_report(&root) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("xtask lint: failed to read workspace sources: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if opts.timing {
+        let total: std::time::Duration = report.timing.iter().map(|p| p.duration).sum();
+        for p in &report.timing {
+            eprintln!("xtask lint: phase {:<12} {:>8.2?}", p.name, p.duration);
+        }
+        eprintln!("xtask lint: phase {:<12} {:>8.2?}", "total", total);
+    }
+    if opts.format == "callgraph" {
+        print!("{}", report.callgraph_dot);
+        return ExitCode::SUCCESS;
+    }
+    let findings = report.findings;
 
     if opts.update_baseline {
         let path = opts
             .baseline
             .clone()
             .unwrap_or_else(|| root.join(DEFAULT_BASELINE));
+        let refused: Vec<&scanraw_lint::Finding> = findings
+            .iter()
+            .filter(|f| UNBASELINEABLE.contains(&f.rule.id()))
+            .collect();
+        if !refused.is_empty() {
+            for f in &refused {
+                eprintln!("xtask lint: refusing to baseline {f}");
+            }
+            eprintln!(
+                "xtask lint: {} L011/L012 finding(s) cannot be baselined; fix them or audit \
+                 the site with `// unblock-ok:` / `// lint-ok: L011 <reason>`",
+                refused.len()
+            );
+            return ExitCode::FAILURE;
+        }
         if let Err(e) = std::fs::write(&path, output::write_baseline(&findings)) {
             eprintln!("xtask lint: cannot write baseline {}: {e}", path.display());
             return ExitCode::FAILURE;
@@ -127,6 +183,20 @@ fn task_lint(args: &[String]) -> ExitCode {
         Some(path) => match std::fs::read_to_string(path) {
             Ok(text) => {
                 let entries = output::parse_baseline(&text);
+                let banned: Vec<&output::BaselineEntry> = entries
+                    .iter()
+                    .filter(|b| UNBASELINEABLE.contains(&b.rule.as_str()))
+                    .collect();
+                if !banned.is_empty() {
+                    for b in &banned {
+                        eprintln!(
+                            "xtask lint: illegal baseline entry (L011/L012 cannot be \
+                             baselined): {} {} {}",
+                            b.rule, b.file, b.message
+                        );
+                    }
+                    return ExitCode::FAILURE;
+                }
                 output::apply_baseline(findings, &entries)
             }
             Err(e) => {
@@ -165,8 +235,8 @@ fn task_lint(args: &[String]) -> ExitCode {
     if findings.is_empty() {
         if opts.format == "text" {
             match suppressed {
-                0 => println!("xtask lint: clean (rules L001-L010, 0 findings)"),
-                n => println!("xtask lint: clean (rules L001-L010, {n} baselined finding(s))"),
+                0 => println!("xtask lint: clean (rules L001-L014, 0 findings)"),
+                n => println!("xtask lint: clean (rules L001-L014, {n} baselined finding(s))"),
             }
         }
         // Stale baseline entries are an error: the file must only shrink.
@@ -238,7 +308,7 @@ fn main() -> ExitCode {
         Some("trace") => task_trace(&args[1..]),
         None => {
             eprintln!(
-                "usage: cargo xtask <task>\n\ntasks:\n  lint    run the static analysis catalog (L001-L010)\n          options: --format text|json|sarif|github, --output <path>,\n                   --baseline <path>, --no-baseline, --update-baseline\n  bench   run the PR5 serial-vs-parallel benchmark (writes BENCH_PR5.json)\n          options: --smoke (small CI configuration)\n  trace   run a seeded traced workload and export its span tree\n          (writes scanraw.trace.json for Perfetto and scanraw.folded)\n          options: --smoke (small CI configuration)"
+                "usage: cargo xtask <task>\n\ntasks:\n  lint    run the static analysis catalog (L001-L014)\n          options: --format text|json|sarif|github|callgraph, --output <path>,\n                   --baseline <path>, --no-baseline, --update-baseline,\n                   --timing, --explain <RULE>\n  bench   run the PR5 serial-vs-parallel benchmark (writes BENCH_PR5.json)\n          options: --smoke (small CI configuration)\n  trace   run a seeded traced workload and export its span tree\n          (writes scanraw.trace.json for Perfetto and scanraw.folded)\n          options: --smoke (small CI configuration)"
             );
             ExitCode::FAILURE
         }

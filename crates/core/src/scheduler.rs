@@ -303,7 +303,11 @@ impl SchedulerReport {
                 | ObsEvent::DbReadFallback { .. }
                 | ObsEvent::RecoveryCompleted { .. }
                 | ObsEvent::TraceStarted { .. }
-                | ObsEvent::TraceCompleted { .. } => {}
+                | ObsEvent::TraceCompleted { .. }
+                | ObsEvent::QueryAdmitted { .. }
+                | ObsEvent::QueryRejected { .. }
+                | ObsEvent::BatchFormed { .. }
+                | ObsEvent::QueryServed { .. } => {}
             }
         }
         report

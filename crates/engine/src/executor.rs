@@ -39,6 +39,22 @@ pub struct QueryOutcome {
     pub scan: ScanSummary,
 }
 
+/// Outcomes of a shared-scan batch plus the traces it minted: the carrier
+/// trace (shared scan, exec tasks, merge) and one trace per query whose root
+/// `query` span covers pipeline attach → that query's fold completing. The
+/// trace fields are `None` when tracing is disabled on the operator's
+/// recorder.
+#[derive(Debug, Clone)]
+pub struct SharedOutcome {
+    pub outcomes: Vec<QueryOutcome>,
+    /// Trace carrying the shared scan's spans (root span `query.batch`).
+    pub batch_trace: Option<TraceId>,
+    /// Per-query traces, parallel to `outcomes`; each holds one root span
+    /// named `query`, tagged with the table, `mode=shared`, and a `batch`
+    /// tag naming `batch_trace`.
+    pub query_traces: Vec<Option<TraceId>>,
+}
+
 /// Plan report for a query: what the scan would do and what the optimizer
 /// statistics predict (paper §3.3, cardinality estimation).
 #[derive(Debug, Clone, PartialEq)]
@@ -168,9 +184,10 @@ pub struct Engine {
     registry: OperatorRegistry,
     tables: Mutex<HashMap<String, TableDef>>,
     /// Convert scope applied to scans (paper default: all columns).
-    pub convert_scope: ConvertScope,
+    /// Interior-mutable so one engine can be tuned and shared behind `Arc`.
+    convert_scope: Mutex<ConvertScope>,
     /// Chunk fold strategy; [`ExecMode::Parallel`] by default.
-    pub exec_mode: ExecMode,
+    exec_mode: Mutex<ExecMode>,
     /// Table and trace id of the most recently completed traced query.
     last_trace: Mutex<Option<(String, TraceId)>>,
 }
@@ -181,20 +198,46 @@ impl Engine {
             db,
             registry: OperatorRegistry::new(),
             tables: Mutex::new(HashMap::new()),
-            convert_scope: ConvertScope::AllColumns,
-            exec_mode: ExecMode::default(),
+            convert_scope: Mutex::new(ConvertScope::AllColumns),
+            exec_mode: Mutex::new(ExecMode::default()),
             last_trace: Mutex::new(None),
         }
     }
 
-    /// Mints a per-query trace and opens its root `query` span, or `None`
-    /// when tracing is disabled on the operator's span recorder. The guard
-    /// pins the root span as the calling thread's current context.
+    /// The current chunk-fold strategy. Each query samples it once at entry,
+    /// so a concurrent [`Engine::set_exec_mode`] never splits one query
+    /// across strategies.
+    pub fn exec_mode(&self) -> ExecMode {
+        *self.exec_mode.lock()
+    }
+
+    /// Switches the chunk-fold strategy for queries that start from now on.
+    pub fn set_exec_mode(&self, mode: ExecMode) {
+        *self.exec_mode.lock() = mode;
+    }
+
+    /// The convert scope applied to scans.
+    pub fn convert_scope(&self) -> ConvertScope {
+        *self.convert_scope.lock()
+    }
+
+    /// Changes the convert scope for scans that start from now on.
+    pub fn set_convert_scope(&self, scope: ConvertScope) {
+        *self.convert_scope.lock() = scope;
+    }
+
+    /// Mints a per-query trace and opens its root span, or `None` when
+    /// tracing is disabled on the operator's span recorder. The guard pins
+    /// the root span as the calling thread's current context. `extra` tags
+    /// (tenant id, batch size) are appended after the standard table/mode
+    /// pair.
     fn begin_trace(
         &self,
         op: &Arc<ScanRaw>,
         table: &str,
+        name: &'static str,
         mode: &'static str,
+        extra: Vec<(&'static str, String)>,
     ) -> Option<scanraw_obs::trace::SpanGuard> {
         if !op.obs().trace.enabled() {
             return None;
@@ -204,11 +247,9 @@ impl Engine {
             trace: trace.0,
             table: table.to_string(),
         });
-        Some(op.obs().trace.enter_root(
-            trace,
-            "query",
-            vec![("table", table.to_string()), ("mode", mode.to_string())],
-        ))
+        let mut tags = vec![("table", table.to_string()), ("mode", mode.to_string())];
+        tags.extend(extra);
+        Some(op.obs().trace.enter_root(trace, name, tags))
     }
 
     /// Closes a query's root span, journals the completion, and remembers the
@@ -364,6 +405,37 @@ impl Engine {
     /// applied only when every query shares the same extractable range (the
     /// scan must deliver a superset of what each query needs).
     pub fn execute_shared(&self, queries: &[Query]) -> Result<Vec<QueryOutcome>> {
+        Ok(self.execute_shared_inner(queries, None, None)?.outcomes)
+    }
+
+    /// [`Engine::execute_shared`], additionally returning the traces the
+    /// batch minted: the carrier trace holding the shared scan/exec/merge
+    /// spans, and one trace per query whose root `query` span covers that
+    /// query from pipeline attach to its fold completing. All `None` when
+    /// tracing is disabled on the operator's recorder.
+    pub fn execute_shared_traced(&self, queries: &[Query]) -> Result<SharedOutcome> {
+        self.execute_shared_inner(queries, None, None)
+    }
+
+    /// Shared execution on behalf of the serving layer: per-query root spans
+    /// are tagged with the submitting tenant ids and the serving batch
+    /// label. `tenants` must be parallel to `queries`.
+    pub(crate) fn execute_shared_for_tenants(
+        &self,
+        queries: &[Query],
+        tenants: &[u64],
+        batch: u64,
+    ) -> Result<SharedOutcome> {
+        debug_assert_eq!(queries.len(), tenants.len());
+        self.execute_shared_inner(queries, Some(tenants), Some(batch))
+    }
+
+    fn execute_shared_inner(
+        &self,
+        queries: &[Query],
+        tenants: Option<&[u64]>,
+        batch_label: Option<u64>,
+    ) -> Result<SharedOutcome> {
         let first = queries
             .first()
             .ok_or_else(|| Error::query("shared execution needs at least one query"))?;
@@ -380,6 +452,7 @@ impl Engine {
             q.validate(op.schema().len())?;
         }
         let clock = self.db.disk().clock().clone();
+        let mode = self.exec_mode();
 
         // Union of all projections.
         let mut projection: Vec<usize> =
@@ -399,10 +472,60 @@ impl Engine {
         };
         let range = skip_predicate.clone();
 
-        let trace_guard = self.begin_trace(&op, &first.table, "shared");
+        // The carrier trace: the shared scan, exec tasks, and merge hang off
+        // this root, which represents the batch rather than any one caller.
+        let trace_guard = self.begin_trace(
+            &op,
+            &first.table,
+            "query.batch",
+            "shared",
+            vec![("queries", queries.len().to_string())],
+        );
+        let batch_trace = trace_guard.as_ref().map(|g| g.ctx().trace);
+        // One `query` root span per batched query, each in its own trace, so
+        // per-caller (and per-tenant) traces stay causal under batching: the
+        // `batch` tag links each root to the carrier trace doing the work.
+        let recorder = op.obs().trace.clone();
+        let query_roots: Vec<Option<(TraceId, scanraw_obs::SpanId)>> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                batch_trace?;
+                let trace = recorder.next_trace();
+                op.obs().event(ObsEvent::TraceStarted {
+                    trace: trace.0,
+                    table: first.table.clone(),
+                });
+                let mut tags = vec![
+                    ("table", first.table.clone()),
+                    ("mode", "shared".to_string()),
+                ];
+                if let Some(bt) = batch_trace {
+                    tags.push(("batch", bt.0.to_string()));
+                }
+                if let Some(label) = batch_label {
+                    tags.push(("serve.batch", label.to_string()));
+                }
+                if let Some(ts) = tenants {
+                    tags.push(("tenant", ts[i].to_string()));
+                }
+                Some((trace, recorder.begin(trace, None, "query", tags)))
+            })
+            .collect();
+        // Closes query i's root span and journals its trace completion.
+        let finish_root = |i: usize| {
+            if let Some((trace, span)) = query_roots[i] {
+                recorder.end(span);
+                op.obs().event(ObsEvent::TraceCompleted {
+                    trace: trace.0,
+                    spans: recorder.span_count(trace),
+                });
+            }
+        };
+
         let request = ScanRequest {
             projection,
-            convert: self.convert_scope,
+            convert: self.convert_scope(),
             skip_predicate,
             cols_mapped: None,
             pushdown: None,
@@ -413,7 +536,7 @@ impl Engine {
         // the shared stream here) to each query's own fold completing — not
         // from the engine-side planning that preceded the scan.
         let attached = clock.now();
-        let outcomes: Vec<(Vec<ResultRow>, u64, Duration)> = match self.exec_mode {
+        let outcomes: Vec<(Vec<ResultRow>, u64, Duration)> = match mode {
             ExecMode::Serial => {
                 let mut aggs: Vec<GroupedAggregator<'_>> = queries
                     .iter()
@@ -425,9 +548,11 @@ impl Engine {
                     }
                 }
                 aggs.into_iter()
-                    .map(|agg| {
+                    .enumerate()
+                    .map(|(i, agg)| {
                         let rows_scanned = agg.rows_seen();
                         let rows = agg.finish()?;
+                        finish_root(i);
                         Ok((rows, rows_scanned, clock.now().saturating_sub(attached)))
                     })
                     .collect::<Result<_>>()?
@@ -438,9 +563,11 @@ impl Engine {
                     self.run_parallel(&op, &mut stream, &specs, range.as_ref(), &first.table)?;
                 states
                     .into_iter()
-                    .map(|state| {
+                    .enumerate()
+                    .map(|(i, state)| {
                         let rows_scanned = state.rows_seen;
                         let rows = state.finish()?;
+                        finish_root(i);
                         Ok((rows, rows_scanned, clock.now().saturating_sub(attached)))
                     })
                     .collect::<Result<_>>()?
@@ -450,17 +577,21 @@ impl Engine {
         if let Some(guard) = trace_guard {
             self.end_trace(&op, &first.table, guard);
         }
-        Ok(outcomes
-            .into_iter()
-            .map(|(rows, rows_scanned, elapsed)| QueryOutcome {
-                result: QueryResult {
-                    rows,
-                    rows_scanned,
-                    elapsed,
-                },
-                scan: scan.clone(),
-            })
-            .collect())
+        Ok(SharedOutcome {
+            outcomes: outcomes
+                .into_iter()
+                .map(|(rows, rows_scanned, elapsed)| QueryOutcome {
+                    result: QueryResult {
+                        rows,
+                        rows_scanned,
+                        elapsed,
+                    },
+                    scan: scan.clone(),
+                })
+                .collect(),
+            batch_trace,
+            query_traces: query_roots.iter().map(|r| r.map(|(t, _)| t)).collect(),
+        })
     }
 
     /// `EXPLAIN ANALYZE`: runs the query and reports the plan alongside the
@@ -559,7 +690,11 @@ impl Engine {
                 | ObsEvent::WorkerScaled { .. }
                 | ObsEvent::RecoveryCompleted { .. }
                 | ObsEvent::TraceStarted { .. }
-                | ObsEvent::TraceCompleted { .. } => {}
+                | ObsEvent::TraceCompleted { .. }
+                | ObsEvent::QueryAdmitted { .. }
+                | ObsEvent::QueryRejected { .. }
+                | ObsEvent::BatchFormed { .. }
+                | ObsEvent::QueryServed { .. } => {}
             }
         }
         Ok(AnalyzeReport {
@@ -586,22 +721,51 @@ impl Engine {
     /// results are identical to — and bit-for-bit as deterministic as — the
     /// serial fold.
     pub fn execute(&self, query: &Query) -> Result<QueryOutcome> {
+        Ok(self.execute_inner(query, None)?.0)
+    }
+
+    /// [`Engine::execute`] on behalf of the serving layer: the query's root
+    /// span carries a `tenant` tag so single-query dispatches stay
+    /// attributable alongside batched ones.
+    pub(crate) fn execute_for_tenant(
+        &self,
+        query: &Query,
+        tenant: Option<u64>,
+    ) -> Result<QueryOutcome> {
+        Ok(self.execute_inner(query, tenant)?.0)
+    }
+
+    /// Core single-query path. Returns the outcome together with the trace
+    /// this query minted (`None` when tracing is disabled), so concurrent
+    /// callers can fetch *their own* span tree instead of racing on the
+    /// engine-wide "last trace" slot.
+    pub(crate) fn execute_inner(
+        &self,
+        query: &Query,
+        tenant: Option<u64>,
+    ) -> Result<(QueryOutcome, Option<TraceId>)> {
         let op = self.operator(&query.table)?;
         query.validate(op.schema().len())?;
         let clock = self.db.disk().clock().clone();
+        let mode = self.exec_mode();
         let started = clock.now();
         let trace_guard = self.begin_trace(
             &op,
             &query.table,
-            match self.exec_mode {
+            "query",
+            match mode {
                 ExecMode::Serial => "serial",
                 ExecMode::Parallel => "parallel",
             },
+            tenant
+                .map(|t| ("tenant", t.to_string()))
+                .into_iter()
+                .collect(),
         );
 
         let mut request = ScanRequest {
             projection: query.required_columns(),
-            convert: self.convert_scope,
+            convert: self.convert_scope(),
             skip_predicate: None,
             cols_mapped: None,
             pushdown: None,
@@ -624,7 +788,7 @@ impl Engine {
         let range = request.skip_predicate.clone();
 
         let mut stream = op.scan(request)?;
-        let (rows, rows_scanned) = match self.exec_mode {
+        let (rows, rows_scanned) = match mode {
             ExecMode::Serial => {
                 let mut agg = GroupedAggregator::new(&query.group_by, &query.aggregates);
                 while let Some(chunk) = stream.next_chunk() {
@@ -643,18 +807,22 @@ impl Engine {
             }
         };
         let scan = stream.finish()?;
+        let trace_id = trace_guard.as_ref().map(|g| g.ctx().trace);
         if let Some(guard) = trace_guard {
             self.end_trace(&op, &query.table, guard);
         }
         let elapsed = clock.now().saturating_sub(started);
-        Ok(QueryOutcome {
-            result: QueryResult {
-                rows,
-                rows_scanned,
-                elapsed,
+        Ok((
+            QueryOutcome {
+                result: QueryResult {
+                    rows,
+                    rows_scanned,
+                    elapsed,
+                },
+                scan,
             },
-            scan,
-        })
+            trace_id,
+        ))
     }
 
     /// Fans the delivered chunks of `stream` out to the operator's worker

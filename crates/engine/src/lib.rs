@@ -20,6 +20,10 @@
 //!   state behind parallel execution (crate-internal);
 //! * [`session`] — the [`Session`] facade: the high-level entry point
 //!   wrapping engine construction, registration, execution, and recovery;
+//! * [`serve`] — the multi-tenant serving layer over one `Arc<Session>`:
+//!   bounded admission with [`Error::Overloaded`](scanraw_types::Error)
+//!   rejection, round-robin tenant fairness, and automatic shared-scan
+//!   batching ([`Server`]);
 //! * [`bamscan`] — the Table 1 binary path: the same query logic driven by
 //!   the *sequential* BAM-sim reader, where ScanRaw only performs MAP.
 
@@ -32,11 +36,13 @@ pub mod expr;
 mod parallel;
 pub mod predicate;
 pub mod query;
+pub mod serve;
 pub mod session;
 
 pub use aggregate::{AggExpr, AggFunc};
-pub use executor::{AnalyzeReport, Engine, ExecMode, ExplainReport, QueryOutcome};
+pub use executor::{AnalyzeReport, Engine, ExecMode, ExplainReport, QueryOutcome, SharedOutcome};
 pub use expr::{Col, Expr};
 pub use predicate::Predicate;
 pub use query::{Query, QueryBuilder, QueryResult};
+pub use serve::{ServeConfig, ServeCounters, Server, TenantId, Ticket};
 pub use session::Session;

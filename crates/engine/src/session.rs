@@ -27,20 +27,38 @@
 //! println!("{:?}", outcome.result.scalar());
 //! ```
 
-use crate::executor::{AnalyzeReport, Engine, ExecMode, ExplainReport, QueryOutcome};
+use crate::executor::{
+    AnalyzeReport, Engine, ExecMode, ExplainReport, QueryOutcome, SharedOutcome,
+};
 use crate::query::Query;
+use crate::serve::{ServeConfig, Server};
 use scanraw_obs::QueryTrace;
 use scanraw_rawfile::TextDialect;
 use scanraw_simio::SimDisk;
 use scanraw_storage::{Database, RecoveryReport};
 use scanraw_types::{Error, Result, ScanRawConfig, Schema};
+use std::sync::Arc;
 
 /// High-level query session: the single public entry point wrapping engine
 /// construction, table registration, execution, plan inspection, and crash
 /// recovery.
+///
+/// A session is `Send + Sync`: every piece of engine state (catalog, chunk
+/// cache, loaded bitmaps, operator registry, exec mode) is interior-mutable
+/// behind its own lock, so one session can be shared across threads in an
+/// [`Arc`] and queried concurrently — or put behind a [`Server`] (see
+/// [`Session::serve`]) for admission control, per-tenant fairness, and
+/// automatic shared-scan batching.
 pub struct Session {
     engine: Engine,
 }
+
+// The whole point of the serving layer: one session, many threads. A
+// compile-time check so a non-Sync field can never sneak back in.
+const _: () = {
+    const fn assert_shareable<T: Send + Sync>() {}
+    assert_shareable::<Session>();
+};
 
 impl Session {
     /// Opens a session over a fresh database on the given disk.
@@ -58,14 +76,28 @@ impl Session {
 
     /// Switches the chunk-fold strategy (parallel by default); chainable at
     /// construction time.
-    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
-        self.engine.exec_mode = mode;
+    pub fn with_exec_mode(self, mode: ExecMode) -> Self {
+        self.engine.set_exec_mode(mode);
         self
+    }
+
+    /// Switches the chunk-fold strategy for queries that start from now on.
+    /// Safe on a shared session: each in-flight query keeps the mode it
+    /// sampled at entry.
+    pub fn set_exec_mode(&self, mode: ExecMode) {
+        self.engine.set_exec_mode(mode);
     }
 
     /// The current chunk-fold strategy.
     pub fn exec_mode(&self) -> ExecMode {
-        self.engine.exec_mode
+        self.engine.exec_mode()
+    }
+
+    /// Starts a serving front over this session: bounded admission,
+    /// round-robin tenant fairness, and shared-scan batching. See
+    /// [`crate::serve`].
+    pub fn serve(self: &Arc<Self>, config: ServeConfig) -> Result<Server> {
+        Server::start(Arc::clone(self), config)
     }
 
     /// Registers a raw file as a queryable table.
@@ -96,6 +128,14 @@ impl Session {
         self.engine.execute_shared(queries)
     }
 
+    /// [`Session::execute_shared`] plus the traces the batch minted: the
+    /// carrier trace (shared scan spans) and one root `query` span per
+    /// batched query, so per-caller traces stay causal under batching. See
+    /// [`Engine::execute_shared_traced`].
+    pub fn execute_shared_traced(&self, queries: &[Query]) -> Result<SharedOutcome> {
+        self.engine.execute_shared_traced(queries)
+    }
+
     /// Runs a query and returns its outcome together with the causal span
     /// tree of everything the query did — scan, per-chunk reads and
     /// conversions, consumer-side execution, the merge, write-backs, disk
@@ -107,11 +147,15 @@ impl Session {
     /// Fails when the query fails, or when tracing is disabled on the
     /// table's span recorder (`op.obs().trace.set_enabled(false)`).
     pub fn execute_traced(&self, query: &Query) -> Result<(QueryOutcome, QueryTrace)> {
-        let outcome = self.engine.execute(query)?;
-        let trace = self
-            .last_trace(&query.table)
-            .ok_or_else(|| Error::query("tracing is disabled on this table's recorder"))?;
-        Ok((outcome, trace))
+        // The trace id travels back with the outcome (instead of reading the
+        // engine-wide "last trace" slot) so concurrent callers on a shared
+        // session always get their *own* span tree.
+        let (outcome, trace_id) = self.engine.execute_inner(query, None)?;
+        let trace_id =
+            trace_id.ok_or_else(|| Error::query("tracing is disabled on this table's recorder"))?;
+        let op = self.engine.operator(&query.table)?;
+        op.drain_writes();
+        Ok((outcome, op.obs().trace.trace(trace_id)))
     }
 
     /// The span tree of the most recently completed traced query, or `None`

@@ -66,6 +66,31 @@ pub enum ObsEvent {
     /// The query finished; `spans` counts the spans recorded under the
     /// trace so far (asynchronous writes may still add more).
     TraceCompleted { trace: u64, spans: u64 },
+    /// A query passed admission control into the serving queue; `depth` is
+    /// the queue depth *after* the admit.
+    QueryAdmitted { tenant: u64, depth: u64 },
+    /// Admission control rejected a query: the queue already held `depth`
+    /// entries (its configured bound). The caller saw `Error::Overloaded`.
+    QueryRejected { tenant: u64, depth: u64 },
+    /// A dispatcher formed a shared-scan batch: `queries` queued queries
+    /// against `table`, spanning `tenants` distinct tenant ids, answered by
+    /// one scan.
+    BatchFormed {
+        batch: u64,
+        table: String,
+        queries: u64,
+        tenants: u64,
+    },
+    /// A served query's reply was delivered (success or error). `latency_micros`
+    /// is admission→completion on the device clock; `degraded` mirrors the
+    /// operator's external-table degradation at completion, attributing
+    /// fault-path behaviour to the tenant that experienced it.
+    QueryServed {
+        tenant: u64,
+        batch: u64,
+        latency_micros: u64,
+        degraded: bool,
+    },
 }
 
 /// Why a non-speculative write was queued.
@@ -116,6 +141,10 @@ impl ObsEvent {
             ObsEvent::RecoveryCompleted { .. } => "RecoveryCompleted",
             ObsEvent::TraceStarted { .. } => "TraceStarted",
             ObsEvent::TraceCompleted { .. } => "TraceCompleted",
+            ObsEvent::QueryAdmitted { .. } => "QueryAdmitted",
+            ObsEvent::QueryRejected { .. } => "QueryRejected",
+            ObsEvent::BatchFormed { .. } => "BatchFormed",
+            ObsEvent::QueryServed { .. } => "QueryServed",
         }
     }
 
@@ -162,6 +191,34 @@ impl ObsEvent {
             ObsEvent::TraceCompleted { trace, spans } => {
                 json!({"trace": *trace, "spans": *spans})
             }
+            ObsEvent::QueryAdmitted { tenant, depth } => {
+                json!({"tenant": *tenant, "depth": *depth})
+            }
+            ObsEvent::QueryRejected { tenant, depth } => {
+                json!({"tenant": *tenant, "depth": *depth})
+            }
+            ObsEvent::BatchFormed {
+                batch,
+                table,
+                queries,
+                tenants,
+            } => json!({
+                "batch": *batch,
+                "table": table,
+                "queries": *queries,
+                "tenants": *tenants,
+            }),
+            ObsEvent::QueryServed {
+                tenant,
+                batch,
+                latency_micros,
+                degraded,
+            } => json!({
+                "tenant": *tenant,
+                "batch": *batch,
+                "latency_micros": *latency_micros,
+                "degraded": *degraded,
+            }),
         }
     }
 
@@ -216,6 +273,26 @@ impl ObsEvent {
             "TraceCompleted" => ObsEvent::TraceCompleted {
                 trace: payload["trace"].as_u64()?,
                 spans: payload["spans"].as_u64()?,
+            },
+            "QueryAdmitted" => ObsEvent::QueryAdmitted {
+                tenant: payload["tenant"].as_u64()?,
+                depth: payload["depth"].as_u64()?,
+            },
+            "QueryRejected" => ObsEvent::QueryRejected {
+                tenant: payload["tenant"].as_u64()?,
+                depth: payload["depth"].as_u64()?,
+            },
+            "BatchFormed" => ObsEvent::BatchFormed {
+                batch: payload["batch"].as_u64()?,
+                table: payload["table"].as_str()?.to_string(),
+                queries: payload["queries"].as_u64()?,
+                tenants: payload["tenants"].as_u64()?,
+            },
+            "QueryServed" => ObsEvent::QueryServed {
+                tenant: payload["tenant"].as_u64()?,
+                batch: payload["batch"].as_u64()?,
+                latency_micros: payload["latency_micros"].as_u64()?,
+                degraded: payload["degraded"].as_bool()?,
             },
             _ => return None,
         })
@@ -514,6 +591,26 @@ mod tests {
             ObsEvent::TraceCompleted {
                 trace: 7,
                 spans: 40,
+            },
+            ObsEvent::QueryAdmitted {
+                tenant: 3,
+                depth: 5,
+            },
+            ObsEvent::QueryRejected {
+                tenant: 4,
+                depth: 64,
+            },
+            ObsEvent::BatchFormed {
+                batch: 11,
+                table: "t".into(),
+                queries: 4,
+                tenants: 2,
+            },
+            ObsEvent::QueryServed {
+                tenant: 3,
+                batch: 11,
+                latency_micros: 812,
+                degraded: true,
             },
         ];
         for event in events {

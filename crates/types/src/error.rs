@@ -90,6 +90,10 @@ pub enum Error {
     Pipeline(String),
     /// Configuration rejected during validation.
     Config(String),
+    /// Admission control rejected the query: the serving queue already holds
+    /// `depth` queries (its configured bound). The caller should shed load
+    /// or retry later; nothing was scanned.
+    Overloaded { depth: usize },
 }
 
 impl fmt::Display for Error {
@@ -110,6 +114,9 @@ impl fmt::Display for Error {
             Error::InvalidQuery(m) => write!(f, "invalid query: {m}"),
             Error::Pipeline(m) => write!(f, "pipeline error: {m}"),
             Error::Config(m) => write!(f, "config error: {m}"),
+            Error::Overloaded { depth } => {
+                write!(f, "overloaded: admission queue full at depth {depth}")
+            }
         }
     }
 }
@@ -167,7 +174,8 @@ impl Error {
             | Error::Query(_)
             | Error::InvalidQuery(_)
             | Error::Pipeline(_)
-            | Error::Config(_) => None,
+            | Error::Config(_)
+            | Error::Overloaded { .. } => None,
         }
     }
 
@@ -193,6 +201,11 @@ impl Error {
     /// Shorthand for an [`Error::InvalidQuery`] with a formatted message.
     pub fn invalid_query(msg: impl Into<String>) -> Self {
         Error::InvalidQuery(msg.into())
+    }
+
+    /// An admission-control rejection at the given queue depth.
+    pub fn overloaded(depth: usize) -> Self {
+        Error::Overloaded { depth }
     }
 }
 
@@ -234,6 +247,17 @@ mod tests {
         assert!(Error::io_corrupt("f", "crc").is_retryable());
         assert!(!Error::io_permanent("f", "gone").is_retryable());
         assert_eq!(Error::storage("x").io_kind(), None);
+    }
+
+    #[test]
+    fn overloaded_carries_depth_and_is_not_retryable_io() {
+        let e = Error::overloaded(64);
+        assert_eq!(e, Error::Overloaded { depth: 64 });
+        assert_eq!(e.io_kind(), None);
+        assert!(!e.is_retryable());
+        let s = e.to_string();
+        assert!(s.contains("overloaded"), "{s}");
+        assert!(s.contains("64"), "{s}");
     }
 
     #[test]

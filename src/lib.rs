@@ -56,7 +56,7 @@ pub mod prelude {
     pub use scanraw::{ConvertScope, OperatorRegistry, ScanRaw, ScanRequest, ScanSummary};
     pub use scanraw_engine::{
         AggExpr, AnalyzeReport, Col, Engine, ExecMode, Expr, Predicate, Query, QueryBuilder,
-        QueryOutcome, Session,
+        QueryOutcome, ServeConfig, ServeCounters, Server, Session, SharedOutcome, TenantId, Ticket,
     };
     pub use scanraw_obs::{Obs, ObsEvent, QueryTrace, SpanRecord, TraceId};
     pub use scanraw_rawfile::generate::CsvSpec;

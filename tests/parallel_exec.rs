@@ -15,8 +15,8 @@ use scanraw_repro::prelude::*;
 use scanraw_repro::rawfile::generate::{stage_csv, CsvSpec};
 
 fn engine_for(disk: &SimDisk, cols: usize, config: ScanRawConfig, mode: ExecMode) -> Engine {
-    let mut engine = Engine::new(Database::new(disk.clone()));
-    engine.exec_mode = mode;
+    let engine = Engine::new(Database::new(disk.clone()));
+    engine.set_exec_mode(mode);
     engine
         .register_table(
             "t",
@@ -138,8 +138,8 @@ fn parallel_group_by_with_like_predicate_agrees() {
     for mode in [ExecMode::Serial, ExecMode::Parallel] {
         let disk = SimDisk::instant();
         stage_sam(&disk, "r.sam", &spec);
-        let mut engine = Engine::new(Database::new(disk.clone()));
-        engine.exec_mode = mode;
+        let engine = Engine::new(Database::new(disk.clone()));
+        engine.set_exec_mode(mode);
         engine
             .register_table(
                 "reads",
@@ -214,8 +214,8 @@ fn parallel_chunks_counter_and_skipping() {
         }
     }
     disk.storage().put("t.csv", text.into_bytes());
-    let mut engine = Engine::new(Database::new(disk.clone()));
-    engine.exec_mode = ExecMode::Parallel;
+    let engine = Engine::new(Database::new(disk.clone()));
+    engine.set_exec_mode(ExecMode::Parallel);
     engine
         .register_table(
             "t",

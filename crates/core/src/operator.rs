@@ -1175,6 +1175,7 @@ impl ScanRaw {
         );
         let clock = self.db.disk().clock().clone();
         let t0 = clock.now();
+        // effect-ok: CPU-time stat for the profiler side channel, never in scan output
         let w0 = std::time::Instant::now();
         let map = tokenize_chunk_selective(chunk, self.dialect, self.schema.len(), cols_mapped)?;
         let elapsed = w0.elapsed();
@@ -1209,6 +1210,7 @@ impl ScanRaw {
         );
         let clock = self.db.disk().clock().clone();
         let t0 = clock.now();
+        // effect-ok: CPU-time stat for the profiler side channel, never in scan output
         let w0 = std::time::Instant::now();
         let (mut bin, filtered) = match &params.pushdown {
             Some(pd) => {
@@ -1378,6 +1380,7 @@ impl ScanRaw {
             }
             match pos_rx.try_recv() {
                 Ok(job) => {
+                    // effect-ok: CPU-time stat for the stage histograms, never in scan output
                     let t = std::time::Instant::now();
                     self.do_parse(job, &out, &events, &stop, &in_pipeline, params);
                     hists.parse.observe_duration(t.elapsed());
@@ -1387,6 +1390,7 @@ impl ScanRaw {
             }
             match text_rx.try_recv() {
                 Ok(job) => {
+                    // effect-ok: CPU-time stat for the stage histograms, never in scan output
                     let t = std::time::Instant::now();
                     self.do_tokenize(job, &pos_tx, &out, &stop, &in_pipeline, params);
                     hists.tokenize.observe_duration(t.elapsed());
@@ -1398,6 +1402,7 @@ impl ScanRaw {
                     // connected).
                     match pos_rx.recv_timeout(Duration::from_micros(200)) {
                         Ok(job) => {
+                            // effect-ok: CPU-time stat for the stage histograms, never in scan output
                             let t = std::time::Instant::now();
                             self.do_parse(job, &out, &events, &stop, &in_pipeline, params);
                             hists.parse.observe_duration(t.elapsed());
@@ -1411,6 +1416,7 @@ impl ScanRaw {
                     // pipeline is empty.
                     match pos_rx.recv_timeout(Duration::from_micros(200)) {
                         Ok(job) => {
+                            // effect-ok: CPU-time stat for the stage histograms, never in scan output
                             let t = std::time::Instant::now();
                             self.do_parse(job, &out, &events, &stop, &in_pipeline, params);
                             hists.parse.observe_duration(t.elapsed());
@@ -1453,6 +1459,7 @@ impl ScanRaw {
     fn run_exec(&self, task: ExecTask, hist: &Histogram) {
         let clock = self.db.disk().clock().clone();
         let t0 = clock.now();
+        // effect-ok: CPU-time stat for the profiler side channel, never in scan output
         let w0 = std::time::Instant::now();
         task();
         let elapsed = w0.elapsed();

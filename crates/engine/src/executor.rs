@@ -197,6 +197,7 @@ impl Engine {
         Engine {
             db,
             registry: OperatorRegistry::new(),
+            // effect-ok: the table map is keyed-access only; nothing iterates it into output
             tables: Mutex::new(HashMap::new()),
             convert_scope: Mutex::new(ConvertScope::AllColumns),
             exec_mode: Mutex::new(ExecMode::default()),
@@ -780,7 +781,12 @@ impl Engine {
                 request.pushdown = Some(Arc::new(scanraw::operator::PushdownFilter {
                     columns: cols,
                     predicate: Arc::new(move |values: &[Value]| {
-                        pred.eval_values(&cols2, values).unwrap_or(false)
+                        // An eval error must not drop the row down here: keep
+                        // it, so the exact post-scan filter re-evaluates and
+                        // surfaces the error instead of silently diverging
+                        // from the non-pushdown plan.
+                        // lint-ok: L017 Err keeps the row; the post-scan filter surfaces it
+                        pred.eval_values(&cols2, values).unwrap_or(true)
                     }),
                 }));
             }

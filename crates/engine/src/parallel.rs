@@ -324,6 +324,7 @@ fn diff_rows(all: &[u32], keep: &[u32]) -> Vec<u32> {
 }
 
 /// Sorted-set union of two disjoint sorted row lists.
+// lint-zone: deterministic
 fn merge_rows(a: Vec<u32>, b: Vec<u32>) -> Vec<u32> {
     if a.is_empty() {
         return b;
@@ -436,6 +437,7 @@ impl AggState {
     pub fn new(spec: Arc<AggSpec>) -> Self {
         AggState {
             spec,
+            // effect-ok: keyed fold; `finish` sorts the rows, so hasher randomness never shows
             groups: HashMap::new(),
             rows_seen: 0,
         }
@@ -452,6 +454,7 @@ impl AggState {
     /// Consumes one chunk with a columnar inner loop: filter once over the
     /// whole chunk, evaluate each aggregate expression over the surviving
     /// selection, then update accumulators per value.
+    // lint-zone: deterministic
     pub fn consume_chunk(&mut self, chunk: &BinaryChunk) -> Result<()> {
         let rows = chunk.rows as usize;
         let sel = match &self.spec.filter {
@@ -519,6 +522,7 @@ impl AggState {
     ///
     /// Propagates accumulator-merge mismatches (impossible for partials of
     /// the same spec).
+    // lint-zone: deterministic
     pub fn merge(&mut self, other: AggState) -> Result<()> {
         self.rows_seen += other.rows_seen;
         // Keyed fold: every group key is merged exactly once per partial, so
@@ -543,6 +547,7 @@ impl AggState {
 
     /// Finishes into sorted result rows — same shape and ordering as the
     /// serial `GroupedAggregator::finish`.
+    // lint-zone: deterministic
     pub fn finish(mut self) -> Result<Vec<crate::query::ResultRow>> {
         if self.spec.group_by.is_empty() && self.groups.is_empty() {
             // Global aggregate over zero rows still yields one row

@@ -19,8 +19,9 @@ use crate::rules::receiver_of_call;
 use crate::{Finding, Rule};
 use std::collections::BTreeSet;
 
-/// Iteration methods that expose container order.
-const ITER_METHODS: &[&str] = &[
+/// Iteration methods that expose container order (shared with the effect
+/// seeder).
+pub(crate) const ITER_METHODS: &[&str] = &[
     "iter",
     "iter_mut",
     "into_iter",
@@ -60,8 +61,9 @@ fn in_scope(rel: &str) -> bool {
     rel.starts_with("crates/") && !rel.starts_with("crates/lint/") || rel.starts_with("src/")
 }
 
-/// Names bound to a `HashMap`/`HashSet` anywhere in the file.
-fn unordered_names(toks: &[Token]) -> BTreeSet<String> {
+/// Names bound to a `HashMap`/`HashSet` anywhere in the file (shared with
+/// the effect seeder).
+pub(crate) fn unordered_names(toks: &[Token]) -> BTreeSet<String> {
     let mut names = BTreeSet::new();
     for i in 0..toks.len() {
         if toks[i].kind != TokKind::Ident {

@@ -207,3 +207,87 @@ rule_doc! {
     /// sink is provably order-insensitive.
     L014
 }
+
+rule_doc! {
+    /// L015 — nondeterministic effect reachable inside a declared
+    /// deterministic zone.
+    ///
+    /// Why: the oracle-identical fault-schedule suite, the bit-identical
+    /// parallel merge, and the virtual-clock serving/tracing guarantees all
+    /// assume the zoned code never observes wall clock, OS entropy, or the
+    /// environment. The analyzer infers per-function effect sets from
+    /// lexical seeds (`Instant::now`, `SystemTime::now`, `RandomState` /
+    /// default-hashed `HashMap` construction, `std::env`) and closes them
+    /// over the call graph; a `// lint-zone: deterministic` marker above a
+    /// fn (or at file level) asserts the zone, and any banned effect the
+    /// zone transitively reaches is reported with one concrete call path.
+    ///
+    /// Example: a merge kernel three calls above a helper that stamps
+    /// `Instant::now()` into its output.
+    ///
+    /// Escape: `// effect-ok: <reason>` on the seed site removes that seed
+    /// from inference everywhere (it is audited); `// lint-ok: L015
+    /// <reason>` on the zone fn silences the zone.
+    L015
+}
+
+rule_doc! {
+    /// L016 — device I/O on a READ/WRITE path not covered by the retry
+    /// layer.
+    ///
+    /// Why: the PR 3 fault-tolerance contract says every device interaction
+    /// on the scan and persistence paths heals transient faults inside
+    /// `with_retry`. A bare `disk.read`/`write_at`/`append` outside it is a
+    /// crash on the first injected fault. Coverage is computed to a fixed
+    /// point: a seed is covered when it sits lexically inside a call to
+    /// `with_retry` (or a forwarding wrapper like `io_retry`, detected
+    /// because it takes a closure and calls a known wrapper), or when every
+    /// caller of its function reaches it under such a call.
+    ///
+    /// Example: `self.db.load_chunk(..)` on a fallback path, outside the
+    /// `io_retry` closure its sibling call sites use.
+    ///
+    /// Escape: `// lint-ok: L016 <reason>` on the I/O site, when the path
+    /// deliberately bypasses retry (e.g. startup recovery that treats any
+    /// failure as corruption). L016 cannot be baselined: fix or audit in
+    /// source.
+    L016
+}
+
+rule_doc! {
+    /// L017 — workspace `Result` silently discarded in a pipeline crate.
+    ///
+    /// Why: an error that is dropped (`let _ = flush(..)`), chained into an
+    /// unread `.ok()`, or replaced by `.unwrap_or*` never reaches the
+    /// scan's error channel or the journal — the operator sees a healthy
+    /// pipeline losing data. Only calls whose every workspace definition
+    /// returns a workspace-error `Result` are tracked (ambiguous names are
+    /// skipped); `?`, `match`, and named bindings are consumption.
+    ///
+    /// Example: `let _ = store_chunk(&table, &chunk);` on the WRITE path.
+    ///
+    /// Escape: `// lint-ok: L017 <reason>` on the call site, when the
+    /// fallback is the designed degradation and is observable elsewhere.
+    L017
+}
+
+rule_doc! {
+    /// L018 — effect-contract drift between code and the DESIGN.md effect
+    /// catalog.
+    ///
+    /// Why: each crate declares the ambient effects it is allowed
+    /// (WallClock, OsEntropy, EnvRead, RealIo, UnorderedIter, DeviceIo) in
+    /// a `lint-catalog:effects` fenced block; reviewers reason about
+    /// determinism and fault tolerance from that table. The check runs both
+    /// directions: an effect the code exhibits but the contract omits, and
+    /// a declared effect no code exhibits, both fail. Contracts count
+    /// audited (`effect-ok`) seeds too — declaring the effect is the
+    /// allowance; the audit only escapes zone inference.
+    ///
+    /// Example: someone adds `Instant::now()` to `crates/storage` without
+    /// widening its contract.
+    ///
+    /// Escape: update the catalog block (the usual fix), or `// lint-ok:
+    /// L018 <reason>` on the seed site for a deliberate one-off.
+    L018
+}

@@ -18,6 +18,7 @@
 
 pub mod callgraph;
 pub mod determinism;
+pub mod effects;
 pub mod explain;
 pub mod features;
 pub mod flow;
@@ -31,6 +32,7 @@ pub mod output;
 pub mod parser;
 pub mod protocol;
 pub mod resolve;
+pub mod resultflow;
 pub mod rules;
 pub mod waitgraph;
 
@@ -75,6 +77,18 @@ pub enum Rule {
     /// Unordered `HashMap`/`HashSet` iteration flowing into an
     /// order-sensitive sink (merge, output, journal/trace export).
     L014,
+    /// Wall-clock/entropy/environment effect transitively reachable inside
+    /// a declared deterministic zone (`// lint-zone: deterministic`).
+    L015,
+    /// Device I/O on a READ/WRITE-path crate not dominated by a
+    /// `with_retry` wrapper call.
+    L016,
+    /// Workspace `Result` silently discarded (`let _ =`, bare `.ok()`,
+    /// `.unwrap_or*`) in a pipeline crate.
+    L017,
+    /// Effect-contract drift: a crate's effects disagree with its declared
+    /// set in the DESIGN.md effect catalog.
+    L018,
 }
 
 impl Rule {
@@ -94,6 +108,10 @@ impl Rule {
             Rule::L012 => "L012",
             Rule::L013 => "L013",
             Rule::L014 => "L014",
+            Rule::L015 => "L015",
+            Rule::L016 => "L016",
+            Rule::L017 => "L017",
+            Rule::L018 => "L018",
         }
     }
 
@@ -121,6 +139,10 @@ impl Rule {
             Rule::L012 => explain::L012,
             Rule::L013 => explain::L013,
             Rule::L014 => explain::L014,
+            Rule::L015 => explain::L015,
+            Rule::L016 => explain::L016,
+            Rule::L017 => explain::L017,
+            Rule::L018 => explain::L018,
         }
     }
 
@@ -141,10 +163,14 @@ impl Rule {
             Rule::L012 => "Blocking call reached while a lock guard is live (interprocedural)",
             Rule::L013 => "Panic reachable from a spawned-thread root through the call graph",
             Rule::L014 => "Unordered iteration flowing into an order-sensitive sink",
+            Rule::L015 => "Nondeterministic effect reachable inside a declared deterministic zone",
+            Rule::L016 => "Device I/O on a READ/WRITE path not covered by the retry layer",
+            Rule::L017 => "Workspace Result silently discarded in a pipeline crate",
+            Rule::L018 => "Effect-contract drift between code and the DESIGN.md effect catalog",
         }
     }
 
-    pub const ALL: [Rule; 14] = [
+    pub const ALL: [Rule; 18] = [
         Rule::L001,
         Rule::L002,
         Rule::L003,
@@ -159,6 +185,10 @@ impl Rule {
         Rule::L012,
         Rule::L013,
         Rule::L014,
+        Rule::L015,
+        Rule::L016,
+        Rule::L017,
+        Rule::L018,
     ];
 }
 
@@ -193,18 +223,21 @@ impl fmt::Display for Finding {
 /// Lints in-memory sources; `files` is `(workspace-relative path, contents)`.
 /// This is the pure core — the tests and the xtask binary both go through it.
 /// Runs the source-only rules (L001–L008, plus the interprocedural
-/// L011–L013 with same-crate-only resolution and L014); the workspace-level
-/// rules need manifests and docs too — see [`lint_workspace`].
+/// L011–L013 with same-crate-only resolution, L014, the effect rules
+/// L015/L016, and L017); the workspace-level rules need manifests and docs
+/// too — see [`lint_workspace`].
 pub fn lint_sources(files: &[(String, String)]) -> Vec<Finding> {
     let parsed: Vec<SourceFile> = files
         .iter()
         .map(|(rel, src)| SourceFile::parse(rel.clone(), src))
         .collect();
     let mut findings = rules::run_all(&parsed);
-    interproc::check(&parsed, &[], &mut findings);
+    let cg = interproc::check(&parsed, &[], &mut findings);
     for f in &parsed {
         determinism::check_file(f, &mut findings);
     }
+    effects::check(&parsed, &cg, &[], &mut findings);
+    resultflow::check(&parsed, &mut findings);
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     findings
 }
@@ -229,12 +262,14 @@ pub struct PhaseTiming {
 }
 
 /// A full analyzer run: findings, the per-phase wall-clock breakdown, and
-/// the call-graph DOT dump (for the CI artifact and the golden test).
+/// the call-graph/effect-graph DOT dumps (for the CI artifacts and the
+/// golden tests).
 #[derive(Debug)]
 pub struct LintReport {
     pub findings: Vec<Finding>,
     pub timing: Vec<PhaseTiming>,
     pub callgraph_dot: String,
+    pub effects_dot: String,
 }
 
 /// Parses sources in parallel across std threads — the parse phase
@@ -271,10 +306,11 @@ fn parse_parallel(sources: &[(String, String)]) -> Vec<SourceFile> {
 }
 
 /// Runs the full rule set — L001–L008 over sources, the interprocedural
-/// L011–L013 and per-file L014, L009 over sources + manifests, L010 over
-/// sources + docs — and reports per-phase timing plus the call-graph dump.
-/// Findings come back sorted by (file, line, rule), which makes every
-/// output format byte-stable.
+/// L011–L013 and per-file L014, the effect-inference rules L015/L016/L018
+/// and the Result-flow pass L017, L009 over sources + manifests, L010 over
+/// sources + docs — and reports per-phase timing plus the call-graph and
+/// effect-graph dumps. Findings come back sorted by (file, line, rule),
+/// which makes every output format byte-stable.
 pub fn lint_workspace_report(ws: &WorkspaceFiles) -> LintReport {
     let mut timing = Vec::new();
     let mut timed = |name: &'static str, start: Instant| {
@@ -309,6 +345,12 @@ pub fn lint_workspace_report(ws: &WorkspaceFiles) -> LintReport {
     timed("determinism", t);
 
     let t = Instant::now();
+    let ea = effects::check(&parsed, &cg, &ws.docs, &mut findings);
+    let effects_dot = ea.to_dot(&cg);
+    resultflow::check(&parsed, &mut findings);
+    timed("effects", t);
+
+    let t = Instant::now();
     features::check(&parsed, &manifests, &mut findings);
     obscatalog::check(&parsed, &ws.docs, &mut findings);
     timed("workspace", t);
@@ -318,6 +360,7 @@ pub fn lint_workspace_report(ws: &WorkspaceFiles) -> LintReport {
         findings,
         timing,
         callgraph_dot,
+        effects_dot,
     }
 }
 

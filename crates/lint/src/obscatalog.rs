@@ -61,14 +61,14 @@ const EVENTS_MARKER: &str = "<!-- lint-catalog:events -->";
 
 /// One catalog entry with its DESIGN.md line.
 #[derive(Debug, Clone)]
-struct Entry {
-    text: String,
-    line: u32,
+pub(crate) struct Entry {
+    pub(crate) text: String,
+    pub(crate) line: u32,
 }
 
 /// Entries of the fenced block following `marker`, or None when the marker
-/// is absent.
-fn catalog_block(doc: &str, marker: &str) -> Option<Vec<Entry>> {
+/// is absent. Shared with the L018 effect-contract check.
+pub(crate) fn catalog_block(doc: &str, marker: &str) -> Option<Vec<Entry>> {
     let mut entries = Vec::new();
     let mut lines = doc.lines().enumerate();
     lines.find(|(_, l)| l.trim() == marker)?;

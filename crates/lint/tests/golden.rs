@@ -17,9 +17,9 @@ use scanraw_lint::{lint_workspace, output, Finding, WorkspaceFiles};
 use scanraw_obs::json;
 use std::path::PathBuf;
 
-/// A fixture with one finding from each semantic rule family — L007–L010
-/// plus the interprocedural L011–L014 — at fixed lines. Kept small so
-/// golden diffs stay reviewable.
+/// A fixture with one finding from each semantic rule family — L007–L010,
+/// the interprocedural L011–L014, and the effect rules L015–L018 — at fixed
+/// lines. Kept small so golden diffs stay reviewable.
 fn fixture_ws() -> WorkspaceFiles {
     let sources = [
         (
@@ -48,6 +48,32 @@ fn wire(m: &Metrics) {
         (
             "crates/obs/src/journal.rs",
             "pub enum ObsEvent { CacheHit }",
+        ),
+        (
+            "crates/storage/src/zone.rs",
+            r#"pub fn flush(n: u32) -> Result<()> {
+    Ok(())
+}
+
+// lint-zone: deterministic
+fn merge_rows(a: u32) -> u32 {
+    stamp(a)
+}
+
+fn stamp(a: u32) -> u32 {
+    let t = Instant::now();
+    drop(t);
+    a
+}
+
+fn load_block(disk: &SimDisk) -> Vec<u8> {
+    disk.read("f", 0, 16)
+}
+
+fn seal(n: u32) {
+    let _ = flush(n);
+}
+"#,
         ),
         (
             "crates/core/src/pipeline.rs",
@@ -102,10 +128,16 @@ fn export(seen: HashSet<String>, out: &mut String) {
             "crates/obs/Cargo.toml",
             "[package]\nname = \"scanraw-obs\"\n[features]\nturbo = []\n",
         ),
+        (
+            "crates/storage/Cargo.toml",
+            "[package]\nname = \"scanraw-storage\"\n",
+        ),
     ];
+    // The effects contract covers what `zone.rs` exhibits, plus one stale
+    // declaration (`crates/obs: EnvRead`) planted for L018.
     let docs = [(
         "DESIGN.md",
-        "# fixture\n\n<!-- lint-catalog:metrics -->\n```text\ncache.chunk.hit\n```\n\n<!-- lint-catalog:events -->\n```text\nCacheHit\n```\n",
+        "# fixture\n\n<!-- lint-catalog:metrics -->\n```text\ncache.chunk.hit\n```\n\n<!-- lint-catalog:events -->\n```text\nCacheHit\n```\n\n<!-- lint-catalog:effects -->\n```text\ncrates/core: UnorderedIter\ncrates/storage: WallClock, DeviceIo\ncrates/obs: EnvRead\n```\n",
     )];
     WorkspaceFiles {
         sources: sources
@@ -164,6 +196,7 @@ fn fixture_produces_stable_finding_set() {
         got,
         vec![
             ("DESIGN.md".to_string(), 5, "L010".to_string()),
+            ("DESIGN.md".to_string(), 17, "L018".to_string()),
             ("crates/core/Cargo.toml".to_string(), 6, "L009".to_string()),
             (
                 "crates/core/src/pipeline.rs".to_string(),
@@ -199,6 +232,21 @@ fn fixture_produces_stable_finding_set() {
                 "crates/core/src/proto.rs".to_string(),
                 18,
                 "L010".to_string()
+            ),
+            (
+                "crates/storage/src/zone.rs".to_string(),
+                6,
+                "L015".to_string()
+            ),
+            (
+                "crates/storage/src/zone.rs".to_string(),
+                17,
+                "L016".to_string()
+            ),
+            (
+                "crates/storage/src/zone.rs".to_string(),
+                21,
+                "L017".to_string()
             ),
         ],
         "{findings:?}"
@@ -265,7 +313,7 @@ fn sarif_output_matches_golden_and_parses() {
         .get("rules")
         .and_then(|v| v.as_array())
         .expect("rule table");
-    assert_eq!(rules.len(), 14, "all rules L001-L014 in the table");
+    assert_eq!(rules.len(), 18, "all rules L001-L018 in the table");
     let results = runs[0]
         .get("results")
         .and_then(|v| v.as_array())
@@ -315,6 +363,36 @@ fn callgraph_dot_matches_golden() {
     let drain = node_of("pipeline.rs:drain");
     let wait_done = node_of("pipeline.rs:wait_done");
     assert!(dot.contains(&format!("{drain} -> {wait_done};")));
+}
+
+#[test]
+fn effects_dot_matches_golden() {
+    let report = scanraw_lint::lint_workspace_report(&fixture_ws());
+    let dot = &report.effects_dot;
+    check_golden("effects.dot", dot);
+
+    // Structural invariants independent of the byte-exact golden: the clean
+    // zone root is blue, the unaudited clock seed is red, effect sets appear
+    // in node labels, and the zone -> seed edge is present.
+    assert!(dot.starts_with("digraph effects {"));
+    let node_of = |needle: &str| {
+        dot.lines()
+            .find(|l| l.contains(needle))
+            .and_then(|l| l.split_whitespace().next())
+            .map(str::to_string)
+            .unwrap_or_else(|| panic!("no node labeled {needle} in:\n{dot}"))
+    };
+    let merge = node_of("zone.rs:merge_rows");
+    let stamp = node_of("zone.rs:stamp");
+    let merge_line = dot
+        .lines()
+        .find(|l| l.contains("zone.rs:merge_rows"))
+        .unwrap();
+    let stamp_line = dot.lines().find(|l| l.contains("zone.rs:stamp")).unwrap();
+    assert!(merge_line.contains("color=blue"), "{merge_line}");
+    assert!(merge_line.contains("[WallClock]"), "{merge_line}");
+    assert!(stamp_line.contains("color=red"), "{stamp_line}");
+    assert!(dot.contains(&format!("{merge} -> {stamp};")));
 }
 
 #[test]

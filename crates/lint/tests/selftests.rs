@@ -263,7 +263,10 @@ fn forward(buf: &Buffer, out: &Sender) -> Result<(), Error> {
             ("crates/engine/Cargo.toml", engine_toml),
             ("crates/obs/Cargo.toml", "[package]\nname = \"scanraw-obs\"\n"),
         ],
-        &[("DESIGN.md", &design("cache.chunk.hit", "CacheHit"))],
+        &[(
+            "DESIGN.md",
+            &design_with_effects("cache.chunk.hit", "CacheHit", "crates/core:\ncrates/obs:"),
+        )],
     );
     let findings = lint_workspace(&fixture);
     assert!(findings.is_empty(), "{findings:?}");
@@ -595,4 +598,388 @@ fn l014_clean_when_entries_are_sorted_before_the_sink() {
     let findings = lint_workspace(&fixture);
     let l014: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L014).collect();
     assert!(l014.is_empty(), "{findings:?}");
+}
+
+// ---------------------------------------------------------------------------
+// L015: banned effects reachable inside deterministic zones
+// ---------------------------------------------------------------------------
+
+#[test]
+fn l015_catches_wall_clock_directly_in_zone() {
+    let fixture = ws(
+        &[(
+            "crates/core/src/merge.rs",
+            r#"// lint-zone: deterministic
+fn merge_kernel(a: u32) -> u32 {
+    let t = Instant::now(); // planted
+    drop(t);
+    a
+}
+"#,
+        )],
+        &[("crates/core/Cargo.toml", CORE_TOML)],
+        &[],
+    );
+    let findings = lint_workspace(&fixture);
+    let l015: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L015).collect();
+    assert_eq!(l015.len(), 1, "{findings:?}");
+    assert!(
+        l015[0].message.contains("merge_kernel"),
+        "{}",
+        l015[0].message
+    );
+    assert!(l015[0].message.contains("WallClock"), "{}", l015[0].message);
+}
+
+#[test]
+fn l015_catches_effect_two_calls_deep_with_witness_path() {
+    let fixture = ws(
+        &[(
+            "crates/core/src/merge.rs",
+            r#"// lint-zone: deterministic
+fn merge_kernel(a: u32) -> u32 {
+    stamp(a)
+}
+
+fn stamp(a: u32) -> u32 {
+    note(a)
+}
+
+fn note(a: u32) -> u32 {
+    let t = SystemTime::now(); // planted, two calls below the zone
+    drop(t);
+    a
+}
+"#,
+        )],
+        &[("crates/core/Cargo.toml", CORE_TOML)],
+        &[],
+    );
+    let findings = lint_workspace(&fixture);
+    let l015: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L015).collect();
+    assert_eq!(l015.len(), 1, "{findings:?}");
+    // The finding must carry the concrete call chain to the seed.
+    assert!(l015[0].message.contains("via"), "{}", l015[0].message);
+    assert!(l015[0].message.contains("stamp"), "{}", l015[0].message);
+    assert!(
+        l015[0].message.contains("SystemTime"),
+        "{}",
+        l015[0].message
+    );
+}
+
+#[test]
+fn l015_clean_when_the_seed_is_audited() {
+    let fixture = ws(
+        &[(
+            "crates/core/src/merge.rs",
+            r#"// lint-zone: deterministic
+fn merge_kernel(a: u32) -> u32 {
+    stamp(a)
+}
+
+fn stamp(a: u32) -> u32 {
+    // effect-ok: metrics timestamp on a side channel, never in zone output
+    let t = Instant::now();
+    drop(t);
+    a
+}
+"#,
+        )],
+        &[("crates/core/Cargo.toml", CORE_TOML)],
+        &[],
+    );
+    let findings = lint_workspace(&fixture);
+    let l015: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L015).collect();
+    assert!(l015.is_empty(), "{findings:?}");
+}
+
+// ---------------------------------------------------------------------------
+// L016: device I/O not dominated by the retry layer
+// ---------------------------------------------------------------------------
+
+#[test]
+fn l016_catches_bare_device_read() {
+    let fixture = ws(
+        &[(
+            "crates/storage/src/store.rs",
+            r#"pub fn load_block(disk: &SimDisk) -> Vec<u8> {
+    disk.read("f", 0, 16) // planted: no retry anywhere above
+}
+"#,
+        )],
+        &[(
+            "crates/storage/Cargo.toml",
+            "[package]\nname = \"scanraw-storage\"\n",
+        )],
+        &[],
+    );
+    let findings = lint_workspace(&fixture);
+    let l016: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L016).collect();
+    assert_eq!(l016.len(), 1, "{findings:?}");
+    assert!(
+        l016[0].message.contains("load_block"),
+        "{}",
+        l016[0].message
+    );
+    assert!(
+        l016[0].message.contains("with_retry"),
+        "{}",
+        l016[0].message
+    );
+}
+
+#[test]
+fn l016_catches_one_unretried_caller_among_retried_ones() {
+    let fixture = ws(
+        &[(
+            "crates/core/src/io.rs",
+            r#"fn scan_path(disk: &SimDisk, p: &Policy) {
+    with_retry(p, || load(disk));
+}
+
+fn fallback_path(disk: &SimDisk) {
+    load(disk); // planted: bypasses the retry layer
+}
+
+fn load(disk: &SimDisk) -> Vec<u8> {
+    disk.read("f", 0, 16)
+}
+
+fn with_retry<T>(p: &Policy, mut op: impl FnMut() -> T) -> T {
+    op()
+}
+"#,
+        )],
+        &[("crates/core/Cargo.toml", CORE_TOML)],
+        &[],
+    );
+    let findings = lint_workspace(&fixture);
+    let l016: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L016).collect();
+    assert_eq!(l016.len(), 1, "{findings:?}");
+    assert!(
+        l016[0].message.contains("fallback_path"),
+        "must name the unretried caller: {}",
+        l016[0].message
+    );
+}
+
+#[test]
+fn l016_clean_when_every_path_is_retried() {
+    let fixture = ws(
+        &[(
+            "crates/core/src/io.rs",
+            r#"fn scan_path(disk: &SimDisk, p: &Policy) {
+    with_retry(p, || load(disk));
+}
+
+fn other_path(disk: &SimDisk, p: &Policy) {
+    io_retry(p, || load(disk));
+}
+
+fn load(disk: &SimDisk) -> Vec<u8> {
+    disk.read("f", 0, 16)
+}
+
+fn io_retry<T>(p: &Policy, op: impl FnMut() -> T) -> T {
+    with_retry(p, op)
+}
+
+fn with_retry<T>(p: &Policy, mut op: impl FnMut() -> T) -> T {
+    op()
+}
+"#,
+        )],
+        &[("crates/core/Cargo.toml", CORE_TOML)],
+        &[],
+    );
+    let findings = lint_workspace(&fixture);
+    let l016: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L016).collect();
+    assert!(l016.is_empty(), "{findings:?}");
+}
+
+// ---------------------------------------------------------------------------
+// L017: workspace Results silently discarded
+// ---------------------------------------------------------------------------
+
+#[test]
+fn l017_catches_let_underscore_discard() {
+    let fixture = ws(
+        &[
+            (
+                "crates/storage/src/api.rs",
+                "pub fn flush(n: u32) -> Result<()> { Ok(()) }\n",
+            ),
+            (
+                "crates/core/src/writer.rs",
+                "fn seal(n: u32) {\n    let _ = flush(n); // planted\n}\n",
+            ),
+        ],
+        &[
+            ("crates/core/Cargo.toml", CORE_TOML),
+            (
+                "crates/storage/Cargo.toml",
+                "[package]\nname = \"scanraw-storage\"\n",
+            ),
+        ],
+        &[],
+    );
+    let findings = lint_workspace(&fixture);
+    let l017: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L017).collect();
+    assert_eq!(l017.len(), 1, "{findings:?}");
+    assert!(l017[0].message.contains("flush"), "{}", l017[0].message);
+    assert!(l017[0].message.contains("`_`"), "{}", l017[0].message);
+}
+
+#[test]
+fn l017_catches_unwrap_or_swallowing_the_error() {
+    let fixture = ws(
+        &[
+            (
+                "crates/storage/src/api.rs",
+                "pub fn fetch(n: u32) -> Result<u32, IoError> { Ok(n) }\n",
+            ),
+            (
+                "crates/core/src/reader.rs",
+                "fn peek(n: u32) -> u32 {\n    fetch(n).unwrap_or(0) // planted\n}\n",
+            ),
+        ],
+        &[
+            ("crates/core/Cargo.toml", CORE_TOML),
+            (
+                "crates/storage/Cargo.toml",
+                "[package]\nname = \"scanraw-storage\"\n",
+            ),
+        ],
+        &[],
+    );
+    let findings = lint_workspace(&fixture);
+    let l017: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L017).collect();
+    assert_eq!(l017.len(), 1, "{findings:?}");
+    assert!(l017[0].message.contains("unwrap_or"), "{}", l017[0].message);
+}
+
+#[test]
+fn l017_clean_when_results_are_consumed() {
+    let fixture = ws(
+        &[
+            (
+                "crates/storage/src/api.rs",
+                "pub fn flush(n: u32) -> Result<()> { Ok(()) }\npub fn fetch(n: u32) -> Result<u32, IoError> { Ok(n) }\n",
+            ),
+            (
+                "crates/core/src/writer.rs",
+                "fn seal(n: u32) -> Result<u32> {\n    flush(n)?;\n    let v = fetch(n)?;\n    Ok(v)\n}\n",
+            ),
+        ],
+        &[
+            ("crates/core/Cargo.toml", CORE_TOML),
+            (
+                "crates/storage/Cargo.toml",
+                "[package]\nname = \"scanraw-storage\"\n",
+            ),
+        ],
+        &[],
+    );
+    let findings = lint_workspace(&fixture);
+    let l017: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L017).collect();
+    assert!(l017.is_empty(), "{findings:?}");
+}
+
+// ---------------------------------------------------------------------------
+// L018: per-crate effect-contract drift
+// ---------------------------------------------------------------------------
+
+/// A catalog document with metrics, events, and effects blocks.
+fn design_with_effects(metrics: &str, events: &str, effects: &str) -> String {
+    format!(
+        "{}\n<!-- lint-catalog:effects -->\n```text\n{effects}\n```\n",
+        design(metrics, events)
+    )
+}
+
+#[test]
+fn l018_catches_exhibited_but_undeclared_effect() {
+    let fixture = ws(
+        &[(
+            "crates/core/src/timing.rs",
+            "fn stamp() -> Instant {\n    Instant::now() // planted: contract says effect-free\n}\n",
+        )],
+        &[("crates/core/Cargo.toml", CORE_TOML)],
+        &[("DESIGN.md", &design_with_effects("", "", "crates/core:"))],
+    );
+    let findings = lint_workspace(&fixture);
+    let l018: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L018).collect();
+    assert_eq!(l018.len(), 1, "{findings:?}");
+    assert_eq!(l018[0].file, "crates/core/src/timing.rs");
+    assert!(l018[0].message.contains("WallClock"), "{}", l018[0].message);
+}
+
+#[test]
+fn l018_catches_declared_effect_no_code_exhibits() {
+    let fixture = ws(
+        &[(
+            "crates/core/src/pure.rs",
+            "fn add(a: u32, b: u32) -> u32 {\n    a + b\n}\n",
+        )],
+        &[("crates/core/Cargo.toml", CORE_TOML)],
+        &[(
+            "DESIGN.md",
+            &design_with_effects("", "", "crates/core: EnvRead"),
+        )],
+    );
+    let findings = lint_workspace(&fixture);
+    let l018: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L018).collect();
+    assert_eq!(l018.len(), 1, "{findings:?}");
+    assert_eq!(l018[0].file, "DESIGN.md");
+    assert!(l018[0].message.contains("EnvRead"), "{}", l018[0].message);
+    assert!(
+        l018[0].message.contains("no code exhibits"),
+        "{}",
+        l018[0].message
+    );
+}
+
+#[test]
+fn l018_clean_when_contract_matches_inferred_effects() {
+    let fixture = ws(
+        &[(
+            "crates/core/src/timing.rs",
+            "fn stamp() -> Instant {\n    Instant::now()\n}\n",
+        )],
+        &[("crates/core/Cargo.toml", CORE_TOML)],
+        &[(
+            "DESIGN.md",
+            &design_with_effects("", "", "crates/core: WallClock"),
+        )],
+    );
+    let findings = lint_workspace(&fixture);
+    let l018: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L018).collect();
+    assert!(l018.is_empty(), "{findings:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Rule catalog exhaustiveness
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_rule_has_explain_text_and_round_trips() {
+    for rule in Rule::ALL {
+        let id = rule.id();
+        assert_eq!(Rule::from_id(id), Some(rule), "{id} must round-trip");
+        assert!(!rule.description().is_empty(), "{id} needs a description");
+        let text = rule.explain();
+        assert!(
+            text.lines().next().is_some_and(|l| l.contains(id)),
+            "{id}: explain text must lead with the rule id:\n{text}"
+        );
+        assert!(
+            text.contains("Why:"),
+            "{id}: explain text needs a Why section"
+        );
+        assert!(
+            text.contains("Escape:"),
+            "{id}: explain text needs an Escape section"
+        );
+    }
 }

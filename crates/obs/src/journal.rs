@@ -365,6 +365,7 @@ impl EventJournal {
     }
 
     pub fn with_capacity(capacity: usize) -> Self {
+        // effect-ok: the explicitly wall-clock default; deterministic journals inject with_time_source
         let epoch = Instant::now();
         EventJournal::with_time_source(capacity, Arc::new(move || epoch.elapsed()))
     }

@@ -111,6 +111,7 @@ pub struct SpanRecorder {
 
 impl Default for SpanRecorder {
     fn default() -> Self {
+        // effect-ok: the explicitly wall-clock default; deterministic traces inject with_time_source
         let epoch = Instant::now();
         SpanRecorder::with_time_source(Arc::new(move || epoch.elapsed()))
     }
@@ -128,6 +129,7 @@ impl SpanRecorder {
         SpanRecorder {
             inner: Arc::new(RecorderInner {
                 store: Mutex::new(SpanStore {
+                    // effect-ok: open-span map is keyed-access; exports emit in tree order, never map order
                     open: HashMap::new(),
                     closed: VecDeque::new(),
                     dropped: 0,
@@ -436,14 +438,17 @@ impl QueryTrace {
     /// disk ops inherit their parent's lane. Within each lane events are
     /// emitted in tree order, so `B`/`E` pairs nest correctly even when the
     /// virtual clock produces equal timestamps.
+    // lint-zone: deterministic
     pub fn to_chrome_json(&self) -> Value {
         let by_id: HashMap<u64, &SpanRecord> = self.spans.iter().map(|s| (s.id.0, s)).collect();
+        // effect-ok: keyed memo for lane lookup; events are emitted in span tree order
         let mut tid_memo: HashMap<u64, u64> = HashMap::new();
         for span in &self.spans {
             tid_of(span, &by_id, &mut tid_memo);
         }
 
         // Children in (start, id) order, per parent.
+        // effect-ok: keyed lookup during the tree walk; per-parent Vecs keep insertion order
         let mut children: HashMap<u64, Vec<&SpanRecord>> = HashMap::new();
         for span in &self.spans {
             if let Some(parent) = span.parent {

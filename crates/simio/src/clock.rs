@@ -29,6 +29,7 @@ pub struct RealClock {
 impl RealClock {
     pub fn new() -> Self {
         RealClock {
+            // effect-ok: RealClock is the wall-clock implementation; SimClock is the deterministic one
             epoch: Instant::now(),
         }
     }

@@ -362,6 +362,10 @@ impl SimDisk {
                 // A prefix reaches storage; the caller sees an error. Retried
                 // appends recompute their offset, so torn bytes become dead
                 // space guarded by the commit protocol's checksums.
+                // The partial prefix is best-effort torn-write modeling; a
+                // second failure here just means a shorter (still torn)
+                // prefix, and the caller receives `error` for the whole op.
+                // lint-ok: L017 torn-write prefix is best-effort, caller sees the error
                 let _ = self.storage.write_at(name, offset, &buf[..keep]);
                 self.stats.queue_exit();
                 return Err(error);

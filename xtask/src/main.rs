@@ -1,7 +1,7 @@
 //! Workspace automation: `cargo xtask <task>`.
 //!
 //! Tasks:
-//! - `lint` — run the scanraw-lint analyzer (rules L001–L014) over the
+//! - `lint` — run the scanraw-lint analyzer (rules L001–L018) over the
 //!   workspace and exit non-zero on any unsilenced, unbaselined finding.
 //! - `bench` — build and run the PR5 serial-vs-parallel benchmark, writing
 //!   `BENCH_PR5.json` at the workspace root. Pass `--smoke` for the small
@@ -12,16 +12,19 @@
 //!   (`scanraw.folded`). Pass `--smoke` for the small CI configuration.
 //!
 //! `lint` options:
-//! - `--format text|json|sarif|github|callgraph` — output format (default
-//!   `text`; `callgraph` prints the resolved call graph as DOT)
+//! - `--format text|json|sarif|github|callgraph|effects` — output format
+//!   (default `text`; `callgraph` prints the resolved call graph as DOT,
+//!   `effects` the effect-annotated call graph as DOT)
 //! - `--output <path>` — additionally write the JSON report to `<path>`
 //! - `--baseline <path>` — baseline file (default `lint-baseline.txt` at the
-//!   workspace root when it exists). L011/L012 findings can never be
+//!   workspace root when it exists). L011/L012/L016 findings can never be
 //!   baselined — fix them or audit the site in source.
 //! - `--no-baseline` — ignore any baseline file
 //! - `--update-baseline` — rewrite the baseline to accept current findings
-//!   (except L011/L012, which are refused)
+//!   (except L011/L012/L016, which are refused)
 //! - `--timing` — print the per-phase wall-clock breakdown to stderr
+//! - `--budget-ms <n>` — fail when the full analysis (all phases) exceeds
+//!   `n` milliseconds; implies `--timing`. CI enforces 2000.
 //! - `--explain <RULE>` — print the rule's full documentation and exit
 
 #![forbid(unsafe_code)]
@@ -47,6 +50,7 @@ struct LintOpts {
     no_baseline: bool,
     update_baseline: bool,
     timing: bool,
+    budget_ms: Option<u64>,
     explain: Option<String>,
 }
 
@@ -58,6 +62,7 @@ fn parse_lint_opts(args: &[String]) -> Result<LintOpts, String> {
         no_baseline: false,
         update_baseline: false,
         timing: false,
+        budget_ms: None,
         explain: None,
     };
     let mut it = args.iter();
@@ -67,10 +72,11 @@ fn parse_lint_opts(args: &[String]) -> Result<LintOpts, String> {
                 let v = it.next().ok_or("--format needs a value")?;
                 if !matches!(
                     v.as_str(),
-                    "text" | "json" | "sarif" | "github" | "callgraph"
+                    "text" | "json" | "sarif" | "github" | "callgraph" | "effects"
                 ) {
                     return Err(format!(
-                        "unknown format `{v}` (expected text, json, sarif, github, or callgraph)"
+                        "unknown format `{v}` (expected text, json, sarif, github, callgraph, \
+                         or effects)"
                     ));
                 }
                 opts.format = v.clone();
@@ -84,6 +90,14 @@ fn parse_lint_opts(args: &[String]) -> Result<LintOpts, String> {
             "--no-baseline" => opts.no_baseline = true,
             "--update-baseline" => opts.update_baseline = true,
             "--timing" => opts.timing = true,
+            "--budget-ms" => {
+                let v = it.next().ok_or("--budget-ms needs a value")?;
+                let ms = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--budget-ms: `{v}` is not a number"))?;
+                opts.budget_ms = Some(ms);
+                opts.timing = true;
+            }
             "--explain" => {
                 opts.explain = Some(it.next().ok_or("--explain needs a rule id")?.clone())
             }
@@ -93,10 +107,11 @@ fn parse_lint_opts(args: &[String]) -> Result<LintOpts, String> {
     Ok(opts)
 }
 
-/// Rules that may never be baselined: a wait-for cycle or a blocking call
-/// under a guard must be fixed or audited at the site, where the next reader
-/// sees the reasoning — not parked in a sidecar file.
-const UNBASELINEABLE: &[&str] = &["L011", "L012"];
+/// Rules that may never be baselined: a wait-for cycle, a blocking call
+/// under a guard, or un-retried device I/O must be fixed or audited at the
+/// site, where the next reader sees the reasoning — not parked in a sidecar
+/// file.
+const UNBASELINEABLE: &[&str] = &["L011", "L012", "L016"];
 
 fn task_lint(args: &[String]) -> ExitCode {
     let opts = match parse_lint_opts(args) {
@@ -108,7 +123,7 @@ fn task_lint(args: &[String]) -> ExitCode {
     };
     if let Some(id) = &opts.explain {
         let Some(rule) = scanraw_lint::Rule::from_id(id) else {
-            eprintln!("xtask lint: unknown rule `{id}` (expected L001-L014)");
+            eprintln!("xtask lint: unknown rule `{id}` (expected L001-L018)");
             return ExitCode::FAILURE;
         };
         print!("{}", rule.explain());
@@ -128,9 +143,24 @@ fn task_lint(args: &[String]) -> ExitCode {
             eprintln!("xtask lint: phase {:<12} {:>8.2?}", p.name, p.duration);
         }
         eprintln!("xtask lint: phase {:<12} {:>8.2?}", "total", total);
+        if let Some(ms) = opts.budget_ms {
+            let budget = std::time::Duration::from_millis(ms);
+            if total > budget {
+                eprintln!(
+                    "xtask lint: analysis took {total:.2?}, over the {budget:.2?} budget — \
+                     the analyzer's own cost must stay bounded"
+                );
+                return ExitCode::FAILURE;
+            }
+            eprintln!("xtask lint: within the {budget:.2?} budget");
+        }
     }
     if opts.format == "callgraph" {
         print!("{}", report.callgraph_dot);
+        return ExitCode::SUCCESS;
+    }
+    if opts.format == "effects" {
+        print!("{}", report.effects_dot);
         return ExitCode::SUCCESS;
     }
     let findings = report.findings;
@@ -149,8 +179,8 @@ fn task_lint(args: &[String]) -> ExitCode {
                 eprintln!("xtask lint: refusing to baseline {f}");
             }
             eprintln!(
-                "xtask lint: {} L011/L012 finding(s) cannot be baselined; fix them or audit \
-                 the site with `// unblock-ok:` / `// lint-ok: L011 <reason>`",
+                "xtask lint: {} L011/L012/L016 finding(s) cannot be baselined; fix them or \
+                 audit the site with `// unblock-ok:` / `// lint-ok: <RULE> <reason>`",
                 refused.len()
             );
             return ExitCode::FAILURE;
@@ -190,7 +220,7 @@ fn task_lint(args: &[String]) -> ExitCode {
                 if !banned.is_empty() {
                     for b in &banned {
                         eprintln!(
-                            "xtask lint: illegal baseline entry (L011/L012 cannot be \
+                            "xtask lint: illegal baseline entry (L011/L012/L016 cannot be \
                              baselined): {} {} {}",
                             b.rule, b.file, b.message
                         );
@@ -235,8 +265,8 @@ fn task_lint(args: &[String]) -> ExitCode {
     if findings.is_empty() {
         if opts.format == "text" {
             match suppressed {
-                0 => println!("xtask lint: clean (rules L001-L014, 0 findings)"),
-                n => println!("xtask lint: clean (rules L001-L014, {n} baselined finding(s))"),
+                0 => println!("xtask lint: clean (rules L001-L018, 0 findings)"),
+                n => println!("xtask lint: clean (rules L001-L018, {n} baselined finding(s))"),
             }
         }
         // Stale baseline entries are an error: the file must only shrink.
@@ -308,7 +338,7 @@ fn main() -> ExitCode {
         Some("trace") => task_trace(&args[1..]),
         None => {
             eprintln!(
-                "usage: cargo xtask <task>\n\ntasks:\n  lint    run the static analysis catalog (L001-L014)\n          options: --format text|json|sarif|github|callgraph, --output <path>,\n                   --baseline <path>, --no-baseline, --update-baseline,\n                   --timing, --explain <RULE>\n  bench   run the PR5 serial-vs-parallel benchmark (writes BENCH_PR5.json)\n          options: --smoke (small CI configuration)\n  trace   run a seeded traced workload and export its span tree\n          (writes scanraw.trace.json for Perfetto and scanraw.folded)\n          options: --smoke (small CI configuration)"
+                "usage: cargo xtask <task>\n\ntasks:\n  lint    run the static analysis catalog (L001-L018)\n          options: --format text|json|sarif|github|callgraph|effects, --output <path>,\n                   --baseline <path>, --no-baseline, --update-baseline,\n                   --timing, --budget-ms <n>, --explain <RULE>\n  bench   run the PR5 serial-vs-parallel benchmark (writes BENCH_PR5.json)\n          options: --smoke (small CI configuration)\n  trace   run a seeded traced workload and export its span tree\n          (writes scanraw.trace.json for Perfetto and scanraw.folded)\n          options: --smoke (small CI configuration)"
             );
             ExitCode::FAILURE
         }

@@ -108,10 +108,10 @@ fn bench_cache(c: &mut Criterion) {
             || ChunkCache::new(64),
             |cache| {
                 for i in 0..1024u32 {
-                    cache.insert(
-                        Arc::new(BinaryChunk::empty(ChunkId(i), 0, 1, 1)),
-                        i % 3 == 0,
-                    );
+                    let mut chunk = BinaryChunk::empty(ChunkId(i), 0, 1, 1);
+                    chunk.columns[0] = Some(scanraw_types::ColumnData::Int64(vec![i as i64]));
+                    let loaded: &[usize] = if i % 3 == 0 { &[0] } else { &[] };
+                    cache.insert(Arc::new(chunk), loaded);
                 }
                 cache
             },

@@ -1,0 +1,242 @@
+//! PR10 — column-granular speculative loading on a wide table.
+//!
+//! The scenario the chunk×column catalog exists for: an 11-column table
+//! whose workload only ever touches 2 columns. One cold scan under the
+//! speculative policy, then warm re-runs:
+//!
+//! * **column-granular** (the shipping behavior): the scan's effective
+//!   projection feeds the `ColumnHeat` tracker, so speculative loading
+//!   persists only the two hot columns' cells, and the warm
+//!   database-served scan reads back only those cells.
+//! * **chunk-granular baseline**: the same workload with
+//!   `Query::select(0..11)` — every column is hot, so every cell of every
+//!   chunk is persisted and read back, which is exactly what the
+//!   chunk-at-a-time loader of the paper (and of this repo before the
+//!   cell bitmap) did.
+//!
+//! The headline numbers are the persisted-bytes and read-back ratios
+//! (expected ≈ 2/11 ≈ 18%, asserted ≤ 30%) and the warm rows/sec, which
+//! must stay in the same league as the PR5 warm regime. Results land in
+//! `BENCH_PR10.json` at the working directory and `results/BENCH_PR10.json`.
+//!
+//! ```sh
+//! cargo xtask bench            # full run (pr5 then pr10)
+//! cargo xtask bench --smoke    # small sizes for CI
+//! ```
+
+use scanraw_bench::{env_u64, print_table, write_json};
+use scanraw_engine::{ExecMode, ExecRequest, Query, Session};
+use scanraw_obs::Value as JsonValue;
+use scanraw_rawfile::generate::{expected_column_sums, stage_csv, CsvSpec};
+use scanraw_rawfile::TextDialect;
+use scanraw_simio::{AccessKind, SimDisk};
+use scanraw_types::{ScanRawConfig, Schema, WritePolicy};
+use std::time::Instant;
+
+const COLS: usize = 11;
+const WORKLOAD_COLS: [usize; 2] = [2, 7];
+
+struct Workload {
+    rows: u64,
+    chunk_rows: u32,
+    workers: usize,
+    runs: usize,
+    seed: u64,
+}
+
+struct ScenarioStats {
+    cold_secs: f64,
+    /// Bytes written to the device by loading (stores + commit records).
+    load_write_bytes: u64,
+    /// Column-store footprint after the cold scan's writes drain.
+    stored_bytes: u64,
+    /// Bytes read back by one database-served scan (cache cleared first).
+    db_read_bytes: u64,
+    /// Best warm (cache-resident) run of the 2-column query.
+    warm_best_secs: f64,
+}
+
+fn session_for(disk: &SimDisk, w: &Workload, mode: ExecMode) -> Session {
+    let chunks = w.rows.div_ceil(w.chunk_rows as u64) as usize;
+    let session = Session::open(disk.clone()).with_exec_mode(mode);
+    session
+        .register_table(
+            "wide",
+            "wide.csv",
+            Schema::uniform_ints(COLS),
+            TextDialect::CSV,
+            ScanRawConfig::default()
+                .with_chunk_rows(w.chunk_rows)
+                .with_workers(w.workers)
+                .with_cache_chunks(chunks + 1)
+                .with_policy(WritePolicy::speculative()),
+        )
+        .expect("register");
+    session
+}
+
+/// Runs the 2-of-11-column workload cold-to-warm. `select_all` widens the
+/// projection to every column — the chunk-granular baseline.
+fn run_scenario(w: &Workload, mode: ExecMode, select_all: bool) -> ScenarioStats {
+    let disk = SimDisk::instant();
+    let spec = CsvSpec::new(w.rows, COLS, w.seed);
+    stage_csv(&disk, "wide.csv", &spec);
+    let session = session_for(&disk, w, mode);
+
+    let mut query = Query::sum_of_columns("wide", WORKLOAD_COLS);
+    if select_all {
+        query = query.select(0..COLS);
+    }
+    let expected: i64 = {
+        let sums = expected_column_sums(&spec);
+        WORKLOAD_COLS.iter().map(|&c| sums[c]).sum()
+    };
+    let check = |out: &scanraw_engine::QueryOutcome| {
+        assert_eq!(out.result.rows_scanned, w.rows);
+        assert_eq!(
+            out.result.scalar().and_then(|v| v.as_i64()),
+            Some(expected),
+            "workload sum must match the generator"
+        );
+    };
+
+    // Cold scan: conversion + speculative loading of the hot cells.
+    let writes_before = disk.stats().bytes(AccessKind::Write);
+    let t0 = Instant::now();
+    let out = session
+        .run(ExecRequest::query(query.clone()))
+        .expect("cold query")
+        .into_single();
+    let cold_secs = t0.elapsed().as_secs_f64();
+    check(&out);
+    let op = session.engine().operator("wide").expect("operator");
+    op.drain_writes();
+    let load_write_bytes = disk.stats().bytes(AccessKind::Write) - writes_before;
+    let stored_bytes = session.engine().database().store().stored_bytes("wide");
+
+    // One database-served scan: how many bytes come back off the device.
+    op.cache().clear();
+    let reads_before = disk.stats().bytes(AccessKind::Read);
+    let out = session
+        .run(ExecRequest::query(query.clone()))
+        .expect("db-served query")
+        .into_single();
+    check(&out);
+    assert_eq!(out.scan.from_raw, 0, "db-served scan must not re-parse");
+    let db_read_bytes = disk.stats().bytes(AccessKind::Read) - reads_before;
+
+    // Warm regime (cache repopulated by the db-served scan): best of `runs`
+    // repetitions of the plain 2-column query, PR5-style.
+    let warm_query = Query::sum_of_columns("wide", WORKLOAD_COLS);
+    let mut warm_best_secs = f64::INFINITY;
+    for _ in 0..w.runs {
+        let t0 = Instant::now();
+        let out = session
+            .run(ExecRequest::query(warm_query.clone()))
+            .expect("warm query")
+            .into_single();
+        warm_best_secs = warm_best_secs.min(t0.elapsed().as_secs_f64());
+        check(&out);
+    }
+
+    ScenarioStats {
+        cold_secs,
+        load_write_bytes,
+        stored_bytes,
+        db_read_bytes,
+        warm_best_secs,
+    }
+}
+
+fn stats_json(w: &Workload, s: &ScenarioStats) -> JsonValue {
+    scanraw_obs::json!({
+        "cold_secs": s.cold_secs,
+        "load_write_bytes": s.load_write_bytes,
+        "stored_bytes": s.stored_bytes,
+        "db_read_bytes": s.db_read_bytes,
+        "warm_best_secs": s.warm_best_secs,
+        "warm_rows_per_sec": w.rows as f64 / s.warm_best_secs,
+    })
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke") || std::env::var("PR10_SMOKE").is_ok();
+    let (def_rows, def_runs) = if smoke { (24_576, 2) } else { (196_608, 3) };
+    let w = Workload {
+        rows: env_u64("PR10_ROWS", def_rows),
+        chunk_rows: env_u64("PR10_CHUNK_ROWS", 4_096) as u32,
+        workers: env_u64("PR10_WORKERS", 4) as usize,
+        runs: env_u64("PR10_RUNS", def_runs) as usize,
+        seed: env_u64("PR10_SEED", 1010),
+    };
+    println!(
+        "PR10 bench: {} rows x {COLS} cols, workload on {WORKLOAD_COLS:?}, \
+         {}-row chunks, {} workers, best of {}{}",
+        w.rows,
+        w.chunk_rows,
+        w.workers,
+        w.runs,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let col = run_scenario(&w, ExecMode::Parallel, false);
+    let chunk = run_scenario(&w, ExecMode::Parallel, true);
+    let col_serial = run_scenario(&w, ExecMode::Serial, false);
+
+    let stored_ratio = col.stored_bytes as f64 / chunk.stored_bytes as f64;
+    let write_ratio = col.load_write_bytes as f64 / chunk.load_write_bytes as f64;
+    let read_ratio = col.db_read_bytes as f64 / chunk.db_read_bytes as f64;
+    assert!(
+        stored_ratio <= 0.30 && write_ratio <= 0.30 && read_ratio <= 0.30,
+        "2-of-{COLS}-column workload must persist/load ≤ ~25% of the \
+         chunk-granular baseline (stored {stored_ratio:.2}, written \
+         {write_ratio:.2}, read {read_ratio:.2})"
+    );
+
+    let row = |name: &str, s: &ScenarioStats| {
+        vec![
+            name.to_string(),
+            format!("{:.1}", s.stored_bytes as f64 / 1e6),
+            format!("{:.1}", s.load_write_bytes as f64 / 1e6),
+            format!("{:.1}", s.db_read_bytes as f64 / 1e6),
+            format!("{:.0}", w.rows as f64 / s.warm_best_secs),
+        ]
+    };
+    print_table(
+        "PR10 — wide-table cold scan, 2-of-11-column workload",
+        &[
+            "granularity",
+            "stored (MB)",
+            "written (MB)",
+            "read back (MB)",
+            "warm rows/sec",
+        ],
+        &[row("column (heat)", &col), row("chunk (baseline)", &chunk)],
+    );
+    println!(
+        "column-granular persists {:.0}% of the baseline's bytes and reads \
+         back {:.0}% (expected ≈ {:.0}%)",
+        100.0 * stored_ratio,
+        100.0 * read_ratio,
+        100.0 * WORKLOAD_COLS.len() as f64 / COLS as f64
+    );
+
+    let json = scanraw_obs::json!({
+        "smoke": smoke,
+        "rows": w.rows,
+        "cols": COLS,
+        "workload_cols": [2, 7],
+        "chunk_rows": w.chunk_rows,
+        "workers": w.workers,
+        "runs": w.runs,
+        "column_granular": stats_json(&w, &col),
+        "column_granular_serial": stats_json(&w, &col_serial),
+        "chunk_granular_baseline": stats_json(&w, &chunk),
+        "stored_bytes_ratio": stored_ratio,
+        "load_write_bytes_ratio": write_ratio,
+        "db_read_bytes_ratio": read_ratio,
+    });
+    std::fs::write("BENCH_PR10.json", json.to_json_pretty()).expect("write BENCH_PR10.json");
+    println!("wrote BENCH_PR10.json");
+    write_json("BENCH_PR10", &json);
+}

@@ -23,7 +23,7 @@
 //! ```
 
 use scanraw_bench::{env_u64, print_table, write_json};
-use scanraw_engine::{AggExpr, ExecMode, Expr, Predicate, Query, Session};
+use scanraw_engine::{AggExpr, ExecMode, ExecRequest, Expr, Predicate, Query, Session};
 use scanraw_obs::Value as JsonValue;
 use scanraw_rawfile::generate::{stage_csv, CsvSpec};
 use scanraw_rawfile::TextDialect;
@@ -61,6 +61,7 @@ fn cpu_bound_query(table: &str, cols: usize) -> Query {
         group_by: vec![],
         aggregates,
         pushdown: false,
+        projection: None,
     }
 }
 
@@ -91,14 +92,20 @@ fn run_warm(w: &Workload, mode: ExecMode) -> ModeStats {
     stage_csv(&disk, "wide.csv", &spec);
     let session = session_for(&disk, w, mode);
     let query = cpu_bound_query("wide", w.cols);
-    let warm = session.execute(&query).expect("warm-up scan");
+    let warm = session
+        .run(ExecRequest::query(query.clone()))
+        .expect("warm-up scan")
+        .into_single();
     assert_eq!(warm.result.rows_scanned, w.rows, "warm-up scans every row");
 
     let mut best = f64::INFINITY;
     let mut expected = None;
     for _ in 0..w.runs {
         let t0 = Instant::now();
-        let out = session.execute(&query).expect("warm query");
+        let out = session
+            .run(ExecRequest::query(query.clone()))
+            .expect("warm query")
+            .into_single();
         best = best.min(t0.elapsed().as_secs_f64());
         let scalars = out.result.rows[0].aggregates.clone();
         if let Some(prev) = &expected {
@@ -138,7 +145,10 @@ fn run_cold(w: &Workload, mode: ExecMode) -> ModeStats {
         let session = session_for(&disk, w, mode);
         let query = cpu_bound_query("wide", w.cols);
         let t0 = Instant::now();
-        let out = session.execute(&query).expect("cold query");
+        let out = session
+            .run(ExecRequest::query(query.clone()))
+            .expect("cold query")
+            .into_single();
         best = best.min(t0.elapsed().as_secs_f64());
         assert_eq!(out.result.rows_scanned, w.rows);
     }

@@ -16,7 +16,7 @@
 //! ```
 
 use scanraw_bench::{env_u64, print_table, write_json};
-use scanraw_engine::{AggExpr, Expr, Predicate, Query, Session};
+use scanraw_engine::{AggExpr, ExecRequest, Expr, Predicate, Query, Session};
 use scanraw_obs::Value as JsonValue;
 use scanraw_rawfile::generate::{stage_csv, CsvSpec};
 use scanraw_rawfile::TextDialect;
@@ -53,6 +53,7 @@ fn cpu_bound_query(table: &str, cols: usize) -> Query {
         group_by: vec![],
         aggregates,
         pushdown: false,
+        projection: None,
     }
 }
 
@@ -86,7 +87,10 @@ fn warm_session(w: &Workload, traced: bool) -> (Session, Query) {
     op.obs().trace.set_enabled(traced);
 
     let query = cpu_bound_query("wide", w.cols);
-    let warm = session.execute(&query).expect("warm-up scan");
+    let warm = session
+        .run(ExecRequest::query(query.clone()))
+        .expect("warm-up scan")
+        .into_single();
     assert_eq!(warm.result.rows_scanned, w.rows, "warm-up scans every row");
     (session, query)
 }
@@ -111,7 +115,10 @@ fn run_interleaved(w: &Workload) -> (SideStats, SideStats) {
         }
         for (session, times) in pair {
             let t0 = Instant::now();
-            let out = session.execute(&query).expect("warm query");
+            let out = session
+                .run(ExecRequest::query(query.clone()))
+                .expect("warm query")
+                .into_single();
             times.push(t0.elapsed().as_secs_f64());
             let scalars = out.result.rows[0].aggregates.clone();
             if let Some(prev) = &expected {

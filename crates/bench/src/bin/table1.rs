@@ -203,6 +203,7 @@ fn table1_query() -> Query {
         group_by: vec![Col(field::CIGAR)],
         aggregates: vec![AggExpr::count()],
         pushdown: false,
+        projection: None,
     }
 }
 

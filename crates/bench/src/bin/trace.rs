@@ -20,7 +20,7 @@
 //! ```
 
 use scanraw_bench::env_u64;
-use scanraw_engine::{Query, Session};
+use scanraw_engine::{ExecRequest, Query, Session};
 use scanraw_rawfile::generate::{stage_csv, CsvSpec};
 use scanraw_rawfile::TextDialect;
 use scanraw_simio::{DiskConfig, SimDisk, VirtualClock};
@@ -62,10 +62,16 @@ fn main() {
 
     let query = Query::sum_of_columns("t", 0..cols);
     // Cold scan: conversion pipeline + speculative write-backs.
-    let (cold, cold_trace) = session.execute_traced(&query).expect("cold traced query");
+    let (cold, cold_trace) = session
+        .run(ExecRequest::query(query.clone()).traced())
+        .expect("cold traced query")
+        .into_traced_single();
     cold_trace.validate().expect("cold trace is well-formed");
     // Warm scan: cache/db delivery + exec.chunk fan-out + merge.
-    let (warm, warm_trace) = session.execute_traced(&query).expect("warm traced query");
+    let (warm, warm_trace) = session
+        .run(ExecRequest::query(query.clone()).traced())
+        .expect("warm traced query")
+        .into_traced_single();
     warm_trace.validate().expect("warm trace is well-formed");
     assert_eq!(
         cold.result.rows, warm.result.rows,

@@ -6,6 +6,11 @@
 //! to a query. Eviction is LRU *biased toward chunks already loaded inside
 //! the database*: a chunk that also exists in binary form on disk is cheaper
 //! to lose than one that would need re-tokenizing and re-parsing.
+//!
+//! Loadedness is tracked per (chunk, column) cell: a cached chunk remembers
+//! which of its present columns are durably stored, so the speculative
+//! scheduler can pick individual cells and the eviction bias only applies
+//! once *every* present cell is stored.
 
 use parking_lot::Mutex;
 use scanraw_obs::{Counter, Obs, ObsEvent};
@@ -32,13 +37,46 @@ struct CacheObs {
 /// One cached entry.
 struct Entry {
     chunk: Arc<BinaryChunk>,
-    /// The chunk (all its cached columns) is stored in the database.
-    loaded: bool,
+    /// `loaded_cols[col]` — the (chunk, col) cell is stored in the database.
+    /// Parallel to `chunk.columns`; absent columns carry a dead `false`.
+    loaded_cols: Vec<bool>,
     /// Monotonic recency stamp (larger = more recently used).
     stamp: u64,
     /// Monotonic insertion sequence (smaller = older; drives the speculative
-    /// "oldest unloaded chunk" pick, §4).
+    /// "oldest unloaded cell" pick, §4).
     seq: u64,
+}
+
+impl Entry {
+    /// Present columns whose cells are not yet stored in the database.
+    fn missing_cols(&self) -> Vec<usize> {
+        self.chunk
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| c.is_some() && !self.loaded_cols.get(*i).copied().unwrap_or(false))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Every present column's cell is stored — the chunk is cheap to lose.
+    fn is_loaded(&self) -> bool {
+        self.chunk
+            .columns
+            .iter()
+            .enumerate()
+            .all(|(i, c)| c.is_none() || self.loaded_cols.get(i).copied().unwrap_or(false))
+    }
+}
+
+fn loaded_bits(chunk: &BinaryChunk, loaded_cols: &[usize]) -> Vec<bool> {
+    let mut bits = vec![false; chunk.columns.len()];
+    for &c in loaded_cols {
+        if let Some(b) = bits.get_mut(c) {
+            *b = true;
+        }
+    }
+    bits
 }
 
 struct Inner {
@@ -63,8 +101,12 @@ pub struct ChunkCache {
 pub struct Evicted {
     pub id: ChunkId,
     pub chunk: Arc<BinaryChunk>,
-    /// Whether the victim was already loaded in the database.
+    /// Whether every present column cell of the victim was already stored in
+    /// the database.
     pub loaded: bool,
+    /// Present columns of the victim whose cells were *not* yet stored — the
+    /// cells a buffered write-on-eviction must persist.
+    pub missing_cols: Vec<usize>,
 }
 
 impl ChunkCache {
@@ -112,23 +154,35 @@ impl ChunkCache {
         self.len() == 0
     }
 
-    /// Inserts (or replaces) a chunk; returns the victim evicted to make
-    /// room, if the cache was full.
+    /// Inserts (or replaces) a chunk; `loaded_cols` names the columns whose
+    /// (chunk, col) cells are already stored in the database. Returns the
+    /// victim evicted to make room, if the cache was full. Re-inserting an
+    /// existing id unions the loaded bits — a cell the WRITE thread already
+    /// committed can never be un-marked by a racing delivery.
     ///
-    /// Victim selection: least-recently-used among `loaded` entries first;
-    /// only if every entry is unloaded, the globally least-recently-used.
+    /// Victim selection: least-recently-used among fully-loaded entries
+    /// first; only if every entry has missing cells, the globally
+    /// least-recently-used.
     ///
     /// # Panics
     ///
     /// Panics if the internal victim bookkeeping desynchronizes from the
     /// map — an invariant violation, not an input condition.
-    pub fn insert(&self, chunk: Arc<BinaryChunk>, loaded: bool) -> Option<Evicted> {
+    pub fn insert(&self, chunk: Arc<BinaryChunk>, loaded_cols: &[usize]) -> Option<Evicted> {
         let mut g = self.inner.lock();
         let stamp = g.bump_stamp();
         let seq = g.bump_seq();
         if let Some(e) = g.map.get_mut(&chunk.id) {
+            let mut bits = loaded_bits(&chunk, loaded_cols);
+            for (i, old) in e.loaded_cols.iter().enumerate() {
+                if *old {
+                    if let Some(b) = bits.get_mut(i) {
+                        *b = true;
+                    }
+                }
+            }
             e.chunk = chunk;
-            e.loaded = loaded;
+            e.loaded_cols = bits;
             e.stamp = stamp;
             return None;
         }
@@ -138,25 +192,28 @@ impl ChunkCache {
                 // lint-ok: L013 pick_victim returned a key of this same map
                 let e = g.map.remove(&victim).expect("victim exists");
                 g.counters.evictions += 1;
+                let loaded = e.is_loaded();
                 if let Some(o) = &g.obs {
                     o.evict.inc();
                     o.obs.event(ObsEvent::CacheEvict {
                         chunk: victim.0 as u64,
-                        loaded: e.loaded,
+                        loaded,
                     });
                 }
                 evicted = Some(Evicted {
                     id: victim,
+                    missing_cols: e.missing_cols(),
                     chunk: e.chunk,
-                    loaded: e.loaded,
+                    loaded,
                 });
             }
         }
+        let loaded_cols = loaded_bits(&chunk, loaded_cols);
         g.map.insert(
             chunk.id,
             Entry {
                 chunk,
-                loaded,
+                loaded_cols,
                 stamp,
                 seq,
             },
@@ -203,38 +260,34 @@ impl ChunkCache {
             .is_some_and(|e| e.chunk.covers(cols))
     }
 
-    /// Marks a cached chunk as loaded in the database (no-op if absent).
-    pub fn mark_loaded(&self, id: ChunkId) {
+    /// Marks (chunk, col) cells of a cached chunk as stored in the database
+    /// (no-op if absent). Cell-granular: only the named columns flip.
+    pub fn mark_loaded(&self, id: ChunkId, cols: &[usize]) {
         if let Some(e) = self.inner.lock().map.get_mut(&id) {
-            e.loaded = true;
+            for &c in cols {
+                if let Some(b) = e.loaded_cols.get_mut(c) {
+                    *b = true;
+                }
+            }
         }
     }
 
-    /// The oldest (by insertion) cached chunk not yet loaded — the chunk
-    /// speculative loading writes next (§4: "only the 'oldest' chunk in the
-    /// binary cache that was not previously loaded into the database is
-    /// written at a time").
-    pub fn oldest_unloaded(&self) -> Option<Arc<BinaryChunk>> {
+    /// All cached chunks with at least one unloaded present-column cell,
+    /// oldest first, each paired with its missing columns — the candidate
+    /// set both the speculative pick and the safeguard flush draw from (§4,
+    /// at chunk×column granularity).
+    pub fn unloaded_cells(&self) -> Vec<(Arc<BinaryChunk>, Vec<usize>)> {
         let g = self.inner.lock();
-        g.map
-            .values()
-            .filter(|e| !e.loaded)
-            .min_by_key(|e| e.seq)
-            .map(|e| e.chunk.clone())
-    }
-
-    /// All currently cached, not-yet-loaded chunks, oldest first — the
-    /// safeguard flush set (§4).
-    pub fn unloaded_chunks(&self) -> Vec<Arc<BinaryChunk>> {
-        let g = self.inner.lock();
-        let mut v: Vec<(&u64, Arc<BinaryChunk>)> = g
+        let mut v: Vec<(u64, Arc<BinaryChunk>, Vec<usize>)> = g
             .map
             .values()
-            .filter(|e| !e.loaded)
-            .map(|e| (&e.seq, e.chunk.clone()))
+            .filter_map(|e| {
+                let missing = e.missing_cols();
+                (!missing.is_empty()).then(|| (e.seq, e.chunk.clone(), missing))
+            })
             .collect();
-        v.sort_by_key(|(seq, _)| **seq);
-        v.into_iter().map(|(_, c)| c).collect()
+        v.sort_by_key(|(seq, _, _)| *seq);
+        v.into_iter().map(|(_, c, m)| (c, m)).collect()
     }
 
     /// Ids of everything currently cached (unordered).
@@ -265,11 +318,11 @@ impl Inner {
     }
 
     fn pick_victim(&self) -> Option<ChunkId> {
-        // LRU among loaded chunks first …
+        // LRU among fully-loaded chunks first …
         if let Some((id, _)) = self
             .map
             .iter()
-            .filter(|(_, e)| e.loaded)
+            .filter(|(_, e)| e.is_loaded())
             .min_by_key(|(_, e)| e.stamp)
         {
             return Some(*id);
@@ -287,13 +340,23 @@ mod tests {
     use super::*;
 
     fn chunk(id: u32) -> Arc<BinaryChunk> {
-        Arc::new(BinaryChunk::empty(ChunkId(id), id as u64 * 10, 10, 1))
+        chunk_cols(id, 1)
+    }
+
+    /// A chunk with `n_cols` present Int64 columns.
+    fn chunk_cols(id: u32, n_cols: usize) -> Arc<BinaryChunk> {
+        use scanraw_types::ColumnData;
+        let mut b = BinaryChunk::empty(ChunkId(id), id as u64 * 2, 2, n_cols);
+        for col in b.columns.iter_mut() {
+            *col = Some(ColumnData::Int64(vec![id as i64, 2]));
+        }
+        Arc::new(b)
     }
 
     #[test]
     fn insert_get_roundtrip() {
         let c = ChunkCache::new(4);
-        c.insert(chunk(1), false);
+        c.insert(chunk(1), &[]);
         assert!(c.get(ChunkId(1)).is_some());
         assert!(c.get(ChunkId(2)).is_none());
         let counters = c.counters();
@@ -303,58 +366,79 @@ mod tests {
     #[test]
     fn plain_lru_when_nothing_loaded() {
         let c = ChunkCache::new(2);
-        c.insert(chunk(1), false);
-        c.insert(chunk(2), false);
+        c.insert(chunk(1), &[]);
+        c.insert(chunk(2), &[]);
         c.get(ChunkId(1)); // refresh 1 → victim must be 2
-        let ev = c.insert(chunk(3), false).expect("eviction");
+        let ev = c.insert(chunk(3), &[]).expect("eviction");
         assert_eq!(ev.id, ChunkId(2));
         assert!(!ev.loaded);
+        assert_eq!(ev.missing_cols, vec![0]);
     }
 
     #[test]
     fn bias_evicts_loaded_first() {
         let c = ChunkCache::new(2);
-        c.insert(chunk(1), true); // loaded
-        c.insert(chunk(2), false); // unloaded
+        c.insert(chunk(1), &[0]); // loaded
+        c.insert(chunk(2), &[]); // unloaded
         c.get(ChunkId(1)); // 1 is *more* recent, but loaded
-        let ev = c.insert(chunk(3), false).expect("eviction");
+        let ev = c.insert(chunk(3), &[]).expect("eviction");
         assert_eq!(ev.id, ChunkId(1), "loaded chunk evicted despite recency");
         assert!(ev.loaded);
+        assert!(ev.missing_cols.is_empty());
         assert!(c.peek(ChunkId(2)).is_some());
+    }
+
+    #[test]
+    fn partially_loaded_chunk_is_not_eviction_biased() {
+        // A chunk with one of two cells stored still needs re-conversion if
+        // lost, so the bias must treat it like an unloaded chunk.
+        let c = ChunkCache::new(2);
+        c.insert(chunk_cols(1, 2), &[0]); // half loaded
+        c.insert(chunk_cols(2, 2), &[]); // unloaded
+        c.get(ChunkId(2)); // 1 is now the LRU entry
+        let ev = c.insert(chunk_cols(3, 2), &[]).expect("eviction");
+        assert_eq!(ev.id, ChunkId(1), "plain LRU applies — no loaded bias");
+        assert!(!ev.loaded);
+        assert_eq!(ev.missing_cols, vec![1], "only the unstored cell is owed");
     }
 
     #[test]
     fn reinsert_updates_without_eviction() {
         let c = ChunkCache::new(1);
-        c.insert(chunk(1), false);
-        assert!(c.insert(chunk(1), true).is_none());
+        c.insert(chunk(1), &[]);
+        assert!(c.insert(chunk(1), &[0]).is_none());
         // mark via reinsert took effect:
-        assert!(c.oldest_unloaded().is_none());
+        assert!(c.unloaded_cells().is_empty());
     }
 
     #[test]
-    fn oldest_unloaded_by_insertion_order() {
+    fn reinsert_unions_loaded_cells() {
+        let c = ChunkCache::new(2);
+        c.insert(chunk_cols(1, 2), &[1]);
+        // A racing re-delivery that only knows about column 0 being stored
+        // must not un-mark column 1.
+        c.insert(chunk_cols(1, 2), &[0]);
+        assert!(c.unloaded_cells().is_empty(), "bits union, never clear");
+    }
+
+    #[test]
+    fn unloaded_cells_oldest_first_with_missing_columns() {
         let c = ChunkCache::new(4);
-        c.insert(chunk(5), false);
-        c.insert(chunk(3), false);
-        c.insert(chunk(7), true);
+        c.insert(chunk_cols(5, 2), &[]);
+        c.insert(chunk_cols(3, 2), &[]);
+        c.insert(chunk_cols(7, 2), &[0, 1]);
         // Recency must not matter — touch 5.
         c.get(ChunkId(5));
-        assert_eq!(c.oldest_unloaded().unwrap().id, ChunkId(5));
-        c.mark_loaded(ChunkId(5));
-        assert_eq!(c.oldest_unloaded().unwrap().id, ChunkId(3));
-        c.mark_loaded(ChunkId(3));
-        assert!(c.oldest_unloaded().is_none());
-    }
-
-    #[test]
-    fn unloaded_chunks_ordered_oldest_first() {
-        let c = ChunkCache::new(4);
-        c.insert(chunk(2), false);
-        c.insert(chunk(9), false);
-        c.insert(chunk(4), true);
-        let ids: Vec<u32> = c.unloaded_chunks().iter().map(|x| x.id.0).collect();
-        assert_eq!(ids, vec![2, 9]);
+        let cells = c.unloaded_cells();
+        let ids: Vec<u32> = cells.iter().map(|(ch, _)| ch.id.0).collect();
+        assert_eq!(ids, vec![5, 3], "insertion order, fully loaded excluded");
+        assert_eq!(cells[0].1, vec![0, 1]);
+        c.mark_loaded(ChunkId(5), &[0]);
+        let cells = c.unloaded_cells();
+        assert_eq!(cells[0].1, vec![1], "cell-granular marking");
+        c.mark_loaded(ChunkId(5), &[1]);
+        c.mark_loaded(ChunkId(3), &[0, 1]);
+        assert!(c.unloaded_cells().is_empty());
     }
 
     #[test]
@@ -363,7 +447,7 @@ mod tests {
         let c = ChunkCache::new(2);
         let mut b = BinaryChunk::empty(ChunkId(1), 0, 2, 2);
         b.columns[0] = Some(ColumnData::Int64(vec![1, 2]));
-        c.insert(Arc::new(b), false);
+        c.insert(Arc::new(b), &[]);
         assert!(c.covers(ChunkId(1), &[0]));
         assert!(!c.covers(ChunkId(1), &[0, 1]));
         assert!(!c.covers(ChunkId(9), &[0]));
@@ -372,9 +456,9 @@ mod tests {
     #[test]
     fn eviction_counter() {
         let c = ChunkCache::new(1);
-        c.insert(chunk(1), false);
-        c.insert(chunk(2), false);
-        c.insert(chunk(3), false);
+        c.insert(chunk(1), &[]);
+        c.insert(chunk(2), &[]);
+        c.insert(chunk(3), &[]);
         assert_eq!(c.counters().evictions, 2);
         assert_eq!(c.len(), 1);
     }
@@ -384,10 +468,10 @@ mod tests {
         let obs = Obs::with_journal_capacity(64);
         let c = ChunkCache::new(1);
         c.attach_obs(&obs);
-        c.insert(chunk(1), false);
+        c.insert(chunk(1), &[]);
         c.get(ChunkId(1)); // hit
         c.get(ChunkId(9)); // miss
-        c.insert(chunk(2), false); // evicts 1
+        c.insert(chunk(2), &[]); // evicts 1
         assert_eq!(obs.metrics.counter_value("cache.chunk.hit"), Some(1));
         assert_eq!(obs.metrics.counter_value("cache.chunk.miss"), Some(1));
         assert_eq!(obs.metrics.counter_value("cache.chunk.evict"), Some(1));

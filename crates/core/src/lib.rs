@@ -60,5 +60,5 @@ pub use operator::{
 pub use profile::{Profiler, Stage};
 pub use registry::OperatorRegistry;
 pub use scanraw_types::{ScanRawConfig, WritePolicy};
-pub use scheduler::SchedulerReport;
+pub use scheduler::{ColumnHeat, SchedulerReport};
 pub use stream::{ChunkStream, ExecHandle, ExecTask};

@@ -13,7 +13,7 @@
 use crate::cache::ChunkCache;
 use crate::profile::{Profiler, Stage};
 use crate::retry::{with_retry, RetryPolicy, DB_FALLBACK_COUNTER};
-use crate::scheduler::{run_scheduler, Event, Writer};
+use crate::scheduler::{run_scheduler, ColumnHeat, Event, Writer};
 use crate::stream::{ChunkStream, ExecTask, ScanCounters, ScanState};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
@@ -214,6 +214,9 @@ pub struct ScanRaw {
     profiler: Profiler,
     obs: Obs,
     writer: Arc<Writer>,
+    /// Per-column query-history heat: every scan registers its effective
+    /// projection here, and the speculative scheduler prioritizes hot cells.
+    heat: Arc<ColumnHeat>,
     /// Current worker-pool size; starts at `config.workers`, adjustable via
     /// [`ScanRaw::set_workers`] (resource-manager feedback, §3.3).
     workers: AtomicUsize,
@@ -315,6 +318,7 @@ impl ScanRaw {
             profiler,
             obs,
             writer,
+            heat: Arc::new(ColumnHeat::new()),
             workers,
             map_cache: map_cache_init,
             layout_known: AtomicBool::new(layout_known),
@@ -446,11 +450,30 @@ impl ScanRaw {
         self.layout_known.load(Ordering::Acquire)
     }
 
-    /// True when every chunk and column is inside the database — the point
-    /// where ScanRaw has morphed into a heap scan and "a ScanRaw instance is
-    /// completely deleted … whenever it loaded the entire raw file" (§3.3).
+    /// The operator's per-column heat tracker: query-history projection
+    /// counts that steer column-granular speculative loading.
+    pub fn heat(&self) -> &ColumnHeat {
+        &self.heat
+    }
+
+    /// True when every cell of every *registered* column is inside the
+    /// database — the point where ScanRaw has morphed into a heap scan and
+    /// "a ScanRaw instance is completely deleted … whenever it loaded the
+    /// entire raw file" (§3.3).
+    ///
+    /// Registered columns are the ones the observed query history touched
+    /// (the operator's [`ColumnHeat`]). Under column granularity, loading
+    /// is complete once those cells are durable: cold columns nobody has
+    /// asked for don't keep the operator alive. An operator that has never
+    /// served a scan has no registered columns and reports `false`.
     pub fn fully_loaded(&self) -> bool {
-        self.db.fully_loaded(&self.table).unwrap_or(false)
+        let observed = self.heat.observed_columns();
+        if observed.is_empty() {
+            return false;
+        }
+        self.db
+            .fully_loaded_for(&self.table, &observed)
+            .unwrap_or(false)
     }
 
     /// Blocks until all queued database writes have completed.
@@ -502,6 +525,9 @@ impl ScanRaw {
                 ));
             }
         }
+        // Register the effective projection in the query-history heat: the
+        // speculative scheduler prioritizes the cells hot queries touch.
+        self.heat.observe(&needed);
         let workers = self.workers();
         // The scan span brackets the whole pipeline (ends when the stream
         // finishes); every stage span below hangs off it.
@@ -637,11 +663,13 @@ impl ScanRaw {
             let table = self.table.clone();
             let events_tx2 = events_tx.clone();
             let obs = self.obs.clone();
+            let heat = self.heat.clone();
             std::thread::Builder::new()
                 .name(format!("scanraw-sched-{}", self.table))
                 .spawn(move || {
                     run_scheduler(
-                        policy, events_rx, events_tx2, cache, &writer, &db, &table, &obs, scan_span,
+                        policy, events_rx, events_tx2, cache, &writer, &db, &table, &heat, &obs,
+                        scan_span,
                     )
                 })
                 .map_err(|e| Error::Pipeline(format!("spawn scheduler: {e}")))?
@@ -865,9 +893,10 @@ impl ScanRaw {
                 stop.store(true, Ordering::Relaxed);
                 return Ok(());
             }
-            // Database chunks enter the cache as already-loaded (biased
-            // toward early eviction).
-            if let Some(ev) = self.cache.insert(arc, true) {
+            // Database chunks enter the cache with every present column
+            // marked loaded (biased toward early eviction).
+            let present = arc.present_columns();
+            if let Some(ev) = self.cache.insert(arc, &present) {
                 let _ = events.send(Event::Evicted(ev));
             }
         }
@@ -898,6 +927,7 @@ impl ScanRaw {
             let t1 = clock.now();
             self.profiler.record(Stage::Read, t1 - t0, t0, t1);
             counters.hybrid.fetch_add(1, Ordering::Release);
+            self.obs.metrics.counter("scanraw.cols.hybrid_chunks").inc();
             let job = match base {
                 Ok(base) => {
                     let missing: Vec<usize> = needed
@@ -1310,9 +1340,8 @@ impl ScanRaw {
         let loaded = self
             .db
             .loaded_columns(&self.table, bin.id, &present)
-            .map(|l| l.len() == present.len())
-            .unwrap_or(false);
-        let evicted = self.cache.insert(bin.clone(), loaded);
+            .unwrap_or_default();
+        let evicted = self.cache.insert(bin.clone(), &loaded);
         let _ = events.send(Event::Converted(bin));
         if let Some(ev) = evicted {
             let _ = events.send(Event::Evicted(ev));

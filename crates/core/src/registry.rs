@@ -48,8 +48,11 @@ impl OperatorRegistry {
         self.inner.lock().get(raw_file).cloned()
     }
 
-    /// Drops operators whose raw file is entirely inside the database — they
-    /// have morphed into plain heap scans. Returns how many were deleted.
+    /// Drops operators that are fully loaded at column granularity: every
+    /// cell of every column their query history registered is durable in the
+    /// database (see [`ScanRaw::fully_loaded`]) — they have morphed into
+    /// plain heap scans for their observed workload. Returns how many were
+    /// deleted.
     pub fn reap_fully_loaded(&self) -> usize {
         let mut map = self.inner.lock();
         let before = map.len();

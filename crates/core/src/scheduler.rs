@@ -52,9 +52,12 @@ pub enum Event {
 
 /// Commands for the WRITE thread.
 pub(crate) enum WriteCmd {
-    /// Store all present columns of the chunk; notify `events` when done.
+    /// Store the named (chunk, column) cells; notify `events` when done.
+    /// Columns absent from the chunk or already stored are skipped.
     Store {
         chunk: Arc<BinaryChunk>,
+        /// Column cells to persist — the unit of column-granular loading.
+        cols: Vec<usize>,
         notify: Option<Sender<Event>>,
         /// Span context of the scan that queued the store; the WRITE thread
         /// records the store as a `write.chunk` child span under it.
@@ -63,6 +66,80 @@ pub(crate) enum WriteCmd {
     /// Reply on the channel once all previously queued stores completed.
     Barrier(Sender<()>),
     Shutdown,
+}
+
+/// Per-operator tracker of which columns the observed query history touches.
+///
+/// Every scan records its effective projection here; the speculative
+/// scheduler then prioritizes (chunk, column) cells of *hot* columns —
+/// columns some query actually read — and never spends idle device time on
+/// cells no workload has asked for (workload-driven vertical partitioning).
+/// Deterministic: ordering is by observation count descending, column index
+/// ascending.
+#[derive(Debug, Default)]
+pub struct ColumnHeat {
+    counts: parking_lot::Mutex<Vec<u64>>,
+}
+
+impl ColumnHeat {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one query touching `cols` (the scan's effective projection).
+    pub fn observe(&self, cols: &[usize]) {
+        let mut counts = self.counts.lock();
+        for &c in cols {
+            if counts.len() <= c {
+                counts.resize(c + 1, 0);
+            }
+            counts[c] += 1;
+        }
+    }
+
+    /// Observation count of one column (0 when never observed).
+    pub fn heat(&self, col: usize) -> u64 {
+        self.counts.lock().get(col).copied().unwrap_or(0)
+    }
+
+    /// Columns observed at least once, hottest first (count descending,
+    /// index ascending on ties).
+    pub fn hot_columns(&self) -> Vec<usize> {
+        let counts = self.counts.lock();
+        let mut hot: Vec<(usize, u64)> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(c, &n)| (c, n))
+            .collect();
+        hot.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hot.into_iter().map(|(c, _)| c).collect()
+    }
+
+    /// Columns observed at least once, index ascending — the *registered*
+    /// column set that defines column-granular full-loadedness.
+    pub fn observed_columns(&self) -> Vec<usize> {
+        let counts = self.counts.lock();
+        counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(c, _)| c)
+            .collect()
+    }
+}
+
+/// The cells of `missing` worth storing: with query history, the missing
+/// columns that are hot (hottest first); without any history, everything
+/// missing (the paper's chunk-granular behaviour).
+fn wanted_cols(missing: &[usize], hot: &[usize]) -> Vec<usize> {
+    if hot.is_empty() {
+        return missing.to_vec();
+    }
+    hot.iter()
+        .copied()
+        .filter(|c| missing.contains(c))
+        .collect()
 }
 
 /// Handle to the persistent WRITE thread.
@@ -114,6 +191,7 @@ impl Writer {
                         match cmd {
                             WriteCmd::Store {
                                 chunk,
+                                cols,
                                 notify,
                                 trace,
                             } => {
@@ -128,18 +206,38 @@ impl Writer {
                                 });
                                 let t0 = clock.now();
                                 // A failed store is fatal for loading but must
-                                // not kill the pipeline: the chunk simply stays
+                                // not kill the pipeline: the cells simply stay
                                 // unloaded and will be converted again next scan.
-                                // Retries are safe — already-committed columns
+                                // Retries are safe — already-committed cells
                                 // are skipped by the store's idempotence guard.
                                 let res = with_retry(&retry, &clock, &obs, &db_target, || {
-                                    db.store_chunk(&table, &chunk).map(|_| ())
+                                    db.store_chunk_cols(&table, &chunk, &cols).map(|_| ())
                                 });
                                 let t1 = clock.now();
                                 profiler.record(Stage::Write, t1 - t0, t0, t1);
                                 match res {
                                     Ok(()) => {
-                                        cache.mark_loaded(chunk.id);
+                                        // Every requested present cell is now
+                                        // durable (stored just now or by an
+                                        // earlier store): flip the cache bits
+                                        // and journal the confirmed cells.
+                                        let stored: Vec<usize> = cols
+                                            .iter()
+                                            .copied()
+                                            .filter(|&c| {
+                                                chunk.columns.get(c).is_some_and(Option::is_some)
+                                            })
+                                            .collect();
+                                        cache.mark_loaded(chunk.id, &stored);
+                                        for &c in &stored {
+                                            obs.event(ObsEvent::ColumnCellLoaded {
+                                                chunk: chunk.id.0 as u64,
+                                                column: c as u64,
+                                            });
+                                        }
+                                        obs.metrics
+                                            .counter("scanraw.cols.loaded_cells")
+                                            .add(stored.len() as u64);
                                         // relaxed-ok: monotonic lifetime statistic; readers don't order on it
                                         written.fetch_add(1, Ordering::Relaxed);
                                     }
@@ -183,11 +281,13 @@ impl Writer {
         })
     }
 
-    /// Queues a store. Returns false when the WRITE thread is gone (operator
-    /// teardown raced the scheduler); the chunk then simply stays unloaded.
+    /// Queues a store of the named (chunk, column) cells. Returns false when
+    /// the WRITE thread is gone (operator teardown raced the scheduler); the
+    /// cells then simply stay unloaded.
     pub(crate) fn store(
         &self,
         chunk: Arc<BinaryChunk>,
+        cols: Vec<usize>,
         notify: Option<Sender<Event>>,
         trace: Option<SpanCtx>,
     ) -> bool {
@@ -196,6 +296,7 @@ impl Writer {
             .tx
             .send(WriteCmd::Store {
                 chunk,
+                cols,
                 notify,
                 trace,
             })
@@ -290,9 +391,13 @@ impl SchedulerReport {
                 // The report is a write-decision summary; every other event
                 // is listed so a new journal event forces a decision on
                 // whether it belongs in the report (L007).
+                // ColumnCellLoaded records store *completions*, not
+                // decisions — the WriteQueued/Speculative/Safeguard events
+                // already counted the corresponding command.
                 ObsEvent::QueryStart { .. }
                 | ObsEvent::QueryEnd { .. }
                 | ObsEvent::ReadBlocked { .. }
+                | ObsEvent::ColumnCellLoaded { .. }
                 | ObsEvent::CacheHit { .. }
                 | ObsEvent::CacheMiss { .. }
                 | ObsEvent::CacheEvict { .. }
@@ -327,13 +432,14 @@ pub(crate) fn run_scheduler(
     writer: &Writer,
     db: &Database,
     table: &str,
+    heat: &ColumnHeat,
     obs: &Obs,
     scan_span: Option<SpanCtx>,
 ) -> SchedulerReport {
     let mut report = SchedulerReport::default();
-    // Chunks already handed to WRITE this scan (idempotence guard).
-    let mut queued: std::collections::HashSet<ChunkId> = std::collections::HashSet::new();
-    // Speculative loading writes one chunk at a time (§4).
+    // Cells already handed to WRITE this scan (idempotence guard).
+    let mut queued: std::collections::HashSet<(ChunkId, usize)> = std::collections::HashSet::new();
+    // Speculative loading writes one store command at a time (§4).
     let mut write_in_flight = false;
     let mut invisible_quota = match policy {
         WritePolicy::Invisible { chunks_per_query } => chunks_per_query as u64,
@@ -355,7 +461,12 @@ pub(crate) fn run_scheduler(
             Event::Converted(chunk) if !writer.degraded() => match policy {
                 WritePolicy::Eager
                     if !already_loaded(chunk.id, &chunk)
-                        && writer.store(chunk.clone(), Some(events_tx.clone()), scan_span) =>
+                        && writer.store(
+                            chunk.clone(),
+                            chunk.present_columns(),
+                            Some(events_tx.clone()),
+                            scan_span,
+                        ) =>
                 {
                     obs.event(ObsEvent::WriteQueued {
                         chunk: chunk.id.0 as u64,
@@ -366,7 +477,12 @@ pub(crate) fn run_scheduler(
                 WritePolicy::Invisible { .. }
                     if invisible_quota > 0
                         && !already_loaded(chunk.id, &chunk)
-                        && writer.store(chunk.clone(), Some(events_tx.clone()), scan_span) =>
+                        && writer.store(
+                            chunk.clone(),
+                            chunk.present_columns(),
+                            Some(events_tx.clone()),
+                            scan_span,
+                        ) =>
                 {
                     invisible_quota -= 1;
                     obs.event(ObsEvent::WriteQueued {
@@ -382,7 +498,12 @@ pub(crate) fn run_scheduler(
                 if policy == WritePolicy::Buffered
                     && !ev.loaded
                     && !writer.degraded()
-                    && writer.store(ev.chunk.clone(), Some(events_tx.clone()), scan_span)
+                    && writer.store(
+                        ev.chunk.clone(),
+                        ev.missing_cols.clone(),
+                        Some(events_tx.clone()),
+                        scan_span,
+                    )
                 {
                     obs.event(ObsEvent::WriteQueued {
                         chunk: ev.id.0 as u64,
@@ -397,16 +518,25 @@ pub(crate) fn run_scheduler(
                     && !write_in_flight
                     && !writer.degraded()
                 {
-                    // Oldest cached chunk not yet loaded and not already
-                    // handed to WRITE during this scan.
+                    // Oldest cached chunk with missing *wanted* cells not yet
+                    // handed to WRITE during this scan. Wanted = hot columns
+                    // of the observed query history; without history, every
+                    // missing cell (the paper's chunk-granular behaviour).
+                    let hot = heat.hot_columns();
                     let next = cache
-                        .unloaded_chunks()
+                        .unloaded_cells()
                         .into_iter()
-                        .find(|c| !queued.contains(&c.id));
-                    if let Some(chunk) = next {
+                        .find_map(|(chunk, missing)| {
+                            let want: Vec<usize> = wanted_cols(&missing, &hot)
+                                .into_iter()
+                                .filter(|&c| !queued.contains(&(chunk.id, c)))
+                                .collect();
+                            (!want.is_empty()).then_some((chunk, want))
+                        });
+                    if let Some((chunk, want)) = next {
                         let id = chunk.id;
-                        if writer.store(chunk, Some(events_tx.clone()), scan_span) {
-                            queued.insert(id);
+                        if writer.store(chunk, want.clone(), Some(events_tx.clone()), scan_span) {
+                            queued.extend(want.into_iter().map(|c| (id, c)));
                             write_in_flight = true;
                             obs.event(ObsEvent::SpeculativeWriteTriggered { chunk: id.0 as u64 });
                             report.writes_queued += 1;
@@ -423,18 +553,11 @@ pub(crate) fn run_scheduler(
                 if matches!(policy, WritePolicy::Speculative { safeguard: true })
                     && !writer.degraded()
                 {
-                    // Flush the cache's unloaded chunks, oldest first; this
-                    // overlaps the remainder of query processing (§4).
-                    let mut flushed = 0;
-                    for chunk in cache.unloaded_chunks() {
-                        let id = chunk.id;
-                        if !queued.contains(&id) && writer.store(chunk, None, scan_span) {
-                            queued.insert(id);
-                            report.writes_queued += 1;
-                            report.safeguard_writes += 1;
-                            flushed += 1;
-                        }
-                    }
+                    // Flush the cache's unloaded wanted cells, oldest chunk
+                    // first; this overlaps the remainder of query processing
+                    // (§4).
+                    let flushed =
+                        flush_unloaded(&cache, writer, heat, &mut queued, &mut report, scan_span);
                     if flushed > 0 {
                         obs.event(ObsEvent::SafeguardFlush { chunks: flushed });
                     }
@@ -448,16 +571,14 @@ pub(crate) fn run_scheduler(
                 // its first device read).
                 if let WritePolicy::Speculative { safeguard: true } = policy {
                     if raw_scan_done && !writer.degraded() {
-                        let mut flushed = 0;
-                        for chunk in cache.unloaded_chunks() {
-                            let id = chunk.id;
-                            if !queued.contains(&id) && writer.store(chunk, None, scan_span) {
-                                queued.insert(id);
-                                report.writes_queued += 1;
-                                report.safeguard_writes += 1;
-                                flushed += 1;
-                            }
-                        }
+                        let flushed = flush_unloaded(
+                            &cache,
+                            writer,
+                            heat,
+                            &mut queued,
+                            &mut report,
+                            scan_span,
+                        );
                         if flushed > 0 {
                             obs.event(ObsEvent::SafeguardFlush { chunks: flushed });
                         }
@@ -468,6 +589,35 @@ pub(crate) fn run_scheduler(
         }
     }
     report
+}
+
+/// Queues a store for every cached chunk with missing wanted cells not yet
+/// handed to WRITE, oldest first. Returns the number of store commands
+/// queued (chunks, matching [`ObsEvent::SafeguardFlush`]'s unit).
+fn flush_unloaded(
+    cache: &ChunkCache,
+    writer: &Writer,
+    heat: &ColumnHeat,
+    queued: &mut std::collections::HashSet<(ChunkId, usize)>,
+    report: &mut SchedulerReport,
+    scan_span: Option<SpanCtx>,
+) -> u64 {
+    let hot = heat.hot_columns();
+    let mut flushed = 0;
+    for (chunk, missing) in cache.unloaded_cells() {
+        let id = chunk.id;
+        let want: Vec<usize> = wanted_cols(&missing, &hot)
+            .into_iter()
+            .filter(|&c| !queued.contains(&(id, c)))
+            .collect();
+        if !want.is_empty() && writer.store(chunk, want.clone(), None, scan_span) {
+            queued.extend(want.into_iter().map(|c| (id, c)));
+            report.writes_queued += 1;
+            report.safeguard_writes += 1;
+            flushed += 1;
+        }
+    }
+    flushed
 }
 
 #[cfg(test)]
@@ -481,8 +631,12 @@ mod tests {
     }
 
     fn setup_full(obs: Obs, budget: u32) -> (Database, ChunkCache, Writer) {
+        setup_cols(obs, budget, 1)
+    }
+
+    fn setup_cols(obs: Obs, budget: u32, n_cols: usize) -> (Database, ChunkCache, Writer) {
         let db = Database::new(SimDisk::instant());
-        db.create_table("t", Schema::uniform_ints(1), "t.csv")
+        db.create_table("t", Schema::uniform_ints(n_cols), "t.csv")
             .unwrap();
         let cache = ChunkCache::new(8);
         let writer = Writer::spawn(
@@ -512,41 +666,101 @@ mod tests {
     #[test]
     fn writer_stores_and_marks_cache() {
         let (db, cache, writer) = setup();
-        cache.insert(chunk(0), false);
-        assert!(writer.store(chunk(0), None, None));
+        cache.insert(chunk(0), &[]);
+        assert!(writer.store(chunk(0), vec![0], None, None));
         writer.barrier();
         assert_eq!(writer.written(), 1);
         assert_eq!(writer.pending(), 0);
         assert!(db.load_chunk("t", ChunkId(0), &[0]).is_ok());
-        assert!(cache.oldest_unloaded().is_none(), "cache marked loaded");
+        assert!(cache.unloaded_cells().is_empty(), "cache marked loaded");
+    }
+
+    #[test]
+    fn writer_journals_loaded_cells() {
+        let obs = Obs::new();
+        let (db, cache, writer) = setup_full(obs.clone(), 2);
+        cache.insert(chunk(0), &[]);
+        assert!(writer.store(chunk(0), vec![0], None, None));
+        writer.barrier();
+        assert_eq!(
+            obs.journal.count_where(|e| matches!(
+                e,
+                ObsEvent::ColumnCellLoaded {
+                    chunk: 0,
+                    column: 0
+                }
+            )),
+            1
+        );
+        assert_eq!(
+            obs.metrics.counter_value("scanraw.cols.loaded_cells"),
+            Some(1)
+        );
+        let _ = db;
     }
 
     #[test]
     fn barrier_orders_after_stores() {
         let (_db, _cache, writer) = setup();
         for i in 0..16 {
-            assert!(writer.store(chunk(i), None, None));
+            assert!(writer.store(chunk(i), vec![0], None, None));
         }
         writer.barrier();
         assert_eq!(writer.pending(), 0);
         assert_eq!(writer.written(), 16);
     }
 
-    fn run_policy_obs(policy: WritePolicy, events: Vec<Event>) -> (Database, SchedulerReport, Obs) {
+    #[test]
+    fn column_heat_orders_hottest_first() {
+        let heat = ColumnHeat::new();
+        assert!(heat.hot_columns().is_empty());
+        heat.observe(&[0, 3]);
+        heat.observe(&[3]);
+        heat.observe(&[5]);
+        assert_eq!(heat.heat(3), 2);
+        assert_eq!(heat.heat(1), 0);
+        assert_eq!(heat.hot_columns(), vec![3, 0, 5], "count desc, index asc");
+        assert_eq!(heat.observed_columns(), vec![0, 3, 5]);
+        // Without history everything missing is wanted; with history only
+        // the hot subset, hottest first.
+        assert_eq!(wanted_cols(&[1, 3, 5], &[]), vec![1, 3, 5]);
+        assert_eq!(wanted_cols(&[1, 3, 5], &heat.hot_columns()), vec![3, 5]);
+    }
+
+    fn run_policy_heat(
+        policy: WritePolicy,
+        events: Vec<Event>,
+        heat: &ColumnHeat,
+    ) -> (Database, SchedulerReport, Obs) {
         let (db, cache, writer) = setup();
         let (tx, rx) = unbounded();
         for ev in events {
             // Pre-stage converted chunks into the cache like the pipeline does.
             if let Event::Converted(c) = &ev {
-                cache.insert(c.clone(), false);
+                cache.insert(c.clone(), &[]);
             }
             tx.send(ev).unwrap();
         }
         tx.send(Event::QueryDone).unwrap();
         let obs = Obs::new();
-        let report = run_scheduler(policy, rx, tx.clone(), cache, &writer, &db, "t", &obs, None);
+        let report = run_scheduler(
+            policy,
+            rx,
+            tx.clone(),
+            cache,
+            &writer,
+            &db,
+            "t",
+            heat,
+            &obs,
+            None,
+        );
         writer.barrier();
         (db, report, obs)
+    }
+
+    fn run_policy_obs(policy: WritePolicy, events: Vec<Event>) -> (Database, SchedulerReport, Obs) {
+        run_policy_heat(policy, events, &ColumnHeat::new())
     }
 
     fn run_policy(policy: WritePolicy, events: Vec<Event>) -> (Database, SchedulerReport) {
@@ -609,6 +823,7 @@ mod tests {
             id: ChunkId(3),
             chunk: chunk(3),
             loaded: false,
+            missing_cols: vec![0],
         };
         let (db, report) = run_policy(
             WritePolicy::Buffered,
@@ -626,6 +841,7 @@ mod tests {
             id: ChunkId(3),
             chunk: chunk(3),
             loaded: true,
+            missing_cols: Vec::new(),
         };
         let (_db, report) = run_policy(WritePolicy::Buffered, vec![Event::Evicted(ev)]);
         assert_eq!(report.writes_queued, 0);
@@ -667,6 +883,57 @@ mod tests {
             report.speculative_writes
         );
         let _ = db;
+    }
+
+    #[test]
+    fn speculative_stores_only_hot_columns() {
+        // A two-column table whose query history only ever touched column 1:
+        // both the speculative pick and the safeguard must persist column 1's
+        // cells and leave column 0 cold.
+        let (db, cache, writer) = setup_cols(Obs::new(), 2, 2);
+        let wide = |id: u32| {
+            Arc::new(BinaryChunk {
+                id: ChunkId(id),
+                first_row: 0,
+                rows: 2,
+                columns: vec![
+                    Some(ColumnData::Int64(vec![id as i64, 2])),
+                    Some(ColumnData::Int64(vec![10, 11])),
+                ],
+            })
+        };
+        let heat = ColumnHeat::new();
+        heat.observe(&[1]);
+        let (tx, rx) = unbounded();
+        for id in 0..2 {
+            cache.insert(wide(id), &[]);
+            tx.send(Event::Converted(wide(id))).unwrap();
+        }
+        tx.send(Event::ReadBlocked).unwrap();
+        tx.send(Event::RawScanComplete).unwrap();
+        tx.send(Event::QueryDone).unwrap();
+        let obs = Obs::new();
+        let report = run_scheduler(
+            WritePolicy::speculative(),
+            rx,
+            tx.clone(),
+            cache,
+            &writer,
+            &db,
+            "t",
+            &heat,
+            &obs,
+            None,
+        );
+        writer.barrier();
+        assert!(report.writes_queued >= 2);
+        for id in 0..2u32 {
+            assert_eq!(
+                db.loaded_columns("t", ChunkId(id), &[0, 1]).unwrap(),
+                vec![1],
+                "only the hot column cell of chunk {id} may be stored"
+            );
+        }
     }
 
     #[test]
@@ -730,8 +997,8 @@ mod tests {
                 max_consecutive: 1,
                 ..FaultConfig::seeded(3)
             }));
-            cache.insert(chunk(0), false);
-            assert!(writer.store(chunk(0), None, None));
+            cache.insert(chunk(0), &[]);
+            assert!(writer.store(chunk(0), vec![0], None, None));
             writer.barrier();
             assert!(!writer.degraded());
             assert_eq!(writer.written(), 1);
@@ -748,14 +1015,14 @@ mod tests {
                 permanent_after: Some(0),
                 ..FaultConfig::seeded(7)
             }));
-            cache.insert(chunk(0), false);
-            assert!(writer.store(chunk(0), None, None));
+            cache.insert(chunk(0), &[]);
+            assert!(writer.store(chunk(0), vec![0], None, None));
             writer.barrier();
             assert!(writer.degraded(), "permanent fault must degrade loading");
             assert_eq!(writer.written(), 0);
             assert!(
-                cache.oldest_unloaded().is_some(),
-                "failed chunk must not be marked loaded"
+                !cache.unloaded_cells().is_empty(),
+                "failed cell must not be marked loaded"
             );
             assert!(obs
                 .journal
@@ -766,7 +1033,7 @@ mod tests {
 
             // External-table mode: every policy path stops queueing stores.
             let (tx, rx) = unbounded();
-            cache.insert(chunk(1), false);
+            cache.insert(chunk(1), &[]);
             tx.send(Event::Converted(chunk(1))).unwrap();
             tx.send(Event::ReadBlocked).unwrap();
             tx.send(Event::RawScanComplete).unwrap();
@@ -779,6 +1046,7 @@ mod tests {
                 &writer,
                 &db,
                 "t",
+                &ColumnHeat::new(),
                 &obs,
                 None,
             );

@@ -373,3 +373,42 @@ fn registry_reuses_and_reaps_operators() {
     assert_eq!(reg.reap_fully_loaded(), 1);
     assert!(reg.is_empty());
 }
+
+/// Pins the column-granular reap contract: an operator is fully loaded —
+/// and reaped — once every cell of every *registered* (query-observed)
+/// column is durable, even when columns nobody asked for were never stored.
+/// A never-scanned operator registers no columns and is never reaped.
+#[test]
+fn reap_tracks_registered_columns_at_cell_granularity() {
+    use scanraw::OperatorRegistry;
+    let (op, _) = setup(base_config(WritePolicy::Eager, 2));
+    let reg = OperatorRegistry::new();
+    reg.get_or_create("data.csv", || Ok(op.clone())).unwrap();
+
+    // No scan has run: no registered columns, nothing to reap.
+    assert!(!op.fully_loaded());
+    assert_eq!(reg.reap_fully_loaded(), 0);
+
+    // One projected query over columns {1, 3}: Eager stores exactly the
+    // converted cells, so only those columns become durable.
+    let (_, rows, _) = scan_and_sum(&op, ScanRequest::projected(vec![1, 3]));
+    assert_eq!(rows, ROWS);
+    op.drain_writes();
+    for id in 0..8u32 {
+        assert_eq!(
+            op.database()
+                .loaded_columns("t", scanraw_types::ChunkId(id), &[0, 1, 2, 3])
+                .unwrap(),
+            vec![1, 3],
+            "chunk {id}: exactly the projected cells are loaded"
+        );
+    }
+
+    // All registered columns ({1, 3}) are fully durable: the operator has
+    // morphed into a heap scan for its observed workload and is reaped,
+    // although columns 0 and 2 were never stored.
+    assert!(op.fully_loaded());
+    assert!(!op.database().fully_loaded("t").unwrap());
+    assert_eq!(reg.reap_fully_loaded(), 1);
+    assert!(reg.is_empty());
+}

@@ -223,8 +223,12 @@ fn channel_schedule_permutations_match_model() {
 // ---------------------------------------------------------------------------
 
 /// Reference semantics of [`ChunkCache`]: LRU with loaded-victims-first
-/// eviction, recency bumped by `get` but not `peek`, speculative-loading
-/// order (`oldest_unloaded`) keyed by first-insertion sequence.
+/// eviction at (chunk, column)-cell granularity, recency bumped by `get` but
+/// not `peek`, reinserts unioning loaded bits, speculative-loading order
+/// (`unloaded_cells`) keyed by first-insertion sequence. Model chunks carry
+/// two present columns so partial loads are exercised.
+const MODEL_COLS: usize = 2;
+
 struct CacheModel {
     entries: Vec<ModelEntry>,
     capacity: usize,
@@ -237,9 +241,19 @@ struct CacheModel {
 
 struct ModelEntry {
     id: u32,
-    loaded: bool,
+    loaded: [bool; MODEL_COLS],
     stamp: u64,
     seq: u64,
+}
+
+impl ModelEntry {
+    fn is_loaded(&self) -> bool {
+        self.loaded.iter().all(|&b| b)
+    }
+
+    fn missing(&self) -> Vec<usize> {
+        (0..MODEL_COLS).filter(|&c| !self.loaded[c]).collect()
+    }
 }
 
 impl CacheModel {
@@ -255,13 +269,17 @@ impl CacheModel {
         }
     }
 
-    /// Returns the evicted victim id, if any.
-    fn insert(&mut self, id: u32, loaded: bool) -> Option<(u32, bool)> {
+    /// Returns the evicted victim (id, fully-loaded, missing cells), if any.
+    fn insert(&mut self, id: u32, cols: &[usize]) -> Option<(u32, bool, Vec<usize>)> {
         self.next_stamp += 1;
         self.next_seq += 1;
         let stamp = self.next_stamp;
         if let Some(e) = self.entries.iter_mut().find(|e| e.id == id) {
-            e.loaded = loaded;
+            // Reinsert unions loaded cells: a WRITE-committed cell must never
+            // be un-marked by a racing delivery.
+            for &c in cols {
+                e.loaded[c] = true;
+            }
             e.stamp = stamp;
             return None; // replacement keeps the original seq
         }
@@ -270,7 +288,7 @@ impl CacheModel {
             let victim = self
                 .entries
                 .iter()
-                .filter(|e| e.loaded)
+                .filter(|e| e.is_loaded())
                 .min_by_key(|e| e.stamp)
                 .or_else(|| self.entries.iter().min_by_key(|e| e.stamp))
                 .map(|e| e.id);
@@ -282,8 +300,12 @@ impl CacheModel {
                     .expect("victim");
                 let v = self.entries.remove(pos);
                 self.evictions += 1;
-                evicted = Some((v.id, v.loaded));
+                evicted = Some((v.id, v.is_loaded(), v.missing()));
             }
+        }
+        let mut loaded = [false; MODEL_COLS];
+        for &c in cols {
+            loaded[c] = true;
         }
         self.entries.push(ModelEntry {
             id,
@@ -310,34 +332,38 @@ impl CacheModel {
         }
     }
 
-    fn mark_loaded(&mut self, id: u32) {
+    fn mark_loaded(&mut self, id: u32, cols: &[usize]) {
         if let Some(e) = self.entries.iter_mut().find(|e| e.id == id) {
-            e.loaded = true;
+            for &c in cols {
+                e.loaded[c] = true;
+            }
         }
     }
 
-    fn oldest_unloaded(&self) -> Option<u32> {
-        self.entries
-            .iter()
-            .filter(|e| !e.loaded)
-            .min_by_key(|e| e.seq)
-            .map(|e| e.id)
-    }
-
-    fn unloaded_ids(&self) -> Vec<u32> {
-        let mut v: Vec<(u64, u32)> = self
+    fn unloaded_cells(&self) -> Vec<(u32, Vec<usize>)> {
+        let mut v: Vec<(u64, u32, Vec<usize>)> = self
             .entries
             .iter()
-            .filter(|e| !e.loaded)
-            .map(|e| (e.seq, e.id))
+            .filter(|e| !e.is_loaded())
+            .map(|e| (e.seq, e.id, e.missing()))
             .collect();
         v.sort_unstable();
-        v.into_iter().map(|(_, id)| id).collect()
+        v.into_iter().map(|(_, id, m)| (id, m)).collect()
     }
 }
 
 fn chunk(id: u32) -> Arc<BinaryChunk> {
-    Arc::new(BinaryChunk::empty(ChunkId(id), id as u64 * 10, 10, 1))
+    let mut c = BinaryChunk::empty(ChunkId(id), id as u64 * 10, 10, MODEL_COLS);
+    for col in c.columns.iter_mut() {
+        *col = Some(scanraw_types::ColumnData::Int64(vec![id as i64; 10]));
+    }
+    Arc::new(c)
+}
+
+/// Random subset of the model's column indices.
+fn col_subset(rng: &mut Rng) -> Vec<usize> {
+    let mask = rng.below(1 << MODEL_COLS);
+    (0..MODEL_COLS).filter(|&c| mask & (1 << c) != 0).collect()
 }
 
 fn cache_permutation(seed: u64) {
@@ -351,9 +377,11 @@ fn cache_permutation(seed: u64) {
         let id = rng.below(id_space as u64) as u32;
         match rng.below(8) {
             0..=2 => {
-                let loaded = rng.below(2) == 0;
-                let real = cache.insert(chunk(id), loaded).map(|e| (e.id.0, e.loaded));
-                let want = model.insert(id, loaded);
+                let cols = col_subset(&mut rng);
+                let real = cache
+                    .insert(chunk(id), &cols)
+                    .map(|e| (e.id.0, e.loaded, e.missing_cols));
+                let want = model.insert(id, &cols);
                 assert_eq!(real, want, "seed {seed} step {step}: eviction diverged");
             }
             3..=4 => {
@@ -362,22 +390,31 @@ fn cache_permutation(seed: u64) {
                 assert_eq!(real, want, "seed {seed} step {step}: get diverged");
             }
             5 => {
-                cache.mark_loaded(ChunkId(id));
-                model.mark_loaded(id);
+                let cols = col_subset(&mut rng);
+                cache.mark_loaded(ChunkId(id), &cols);
+                model.mark_loaded(id, &cols);
             }
             6 => {
-                let real = cache.oldest_unloaded().map(|c| c.id.0);
+                let real = cache
+                    .unloaded_cells()
+                    .into_iter()
+                    .next()
+                    .map(|(c, missing)| (c.id.0, missing));
                 assert_eq!(
                     real,
-                    model.oldest_unloaded(),
+                    model.unloaded_cells().into_iter().next(),
                     "seed {seed} step {step}: speculative-load order diverged"
                 );
             }
             7 => {
-                let real: Vec<u32> = cache.unloaded_chunks().iter().map(|c| c.id.0).collect();
+                let real: Vec<(u32, Vec<usize>)> = cache
+                    .unloaded_cells()
+                    .into_iter()
+                    .map(|(c, missing)| (c.id.0, missing))
+                    .collect();
                 assert_eq!(
                     real,
-                    model.unloaded_ids(),
+                    model.unloaded_cells(),
                     "seed {seed} step {step}: safeguard flush set diverged"
                 );
             }

@@ -170,6 +170,7 @@ mod tests {
             group_by: vec![],
             aggregates: vec![AggExpr::count()],
             pushdown: false,
+            projection: None,
         };
         let r = execute_over_bam(&disk, "x.bam", &q).unwrap();
         assert_eq!(r.scalar(), Some(&Value::Int(1000)));
@@ -191,6 +192,7 @@ mod tests {
             group_by: vec![],
             aggregates: vec![AggExpr::sum(Expr::col(field::POS))],
             pushdown: false,
+            projection: None,
         };
         let r = execute_over_bam(&disk, "x.bam", &q).unwrap();
         assert_eq!(r.scalar(), Some(&Value::Int(expected)));
@@ -206,6 +208,7 @@ mod tests {
             group_by: vec![],
             aggregates: vec![AggExpr::sum(Expr::col(99))],
             pushdown: false,
+            projection: None,
         };
         assert!(execute_over_bam(&disk, "x.bam", &q).is_err());
     }

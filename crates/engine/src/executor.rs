@@ -71,8 +71,12 @@ pub struct ExplainReport {
     /// layout/row counts).
     pub estimated_rows: Option<u64>,
     /// Chunks expected from each source given current cache/catalog state.
+    /// `expect_from_hybrid` counts chunks with *some* (not all) projected
+    /// columns loaded, delivered as a database-read + raw-reparse merge when
+    /// hybrid reads are enabled.
     pub expect_from_cache: usize,
     pub expect_from_db: usize,
+    pub expect_from_hybrid: usize,
     pub expect_from_raw: usize,
 }
 
@@ -127,6 +131,7 @@ impl AnalyzeReport {
             "expected_sources": {
                 "cache": self.explain.expect_from_cache as u64,
                 "db": self.explain.expect_from_db as u64,
+                "hybrid": self.explain.expect_from_hybrid as u64,
                 "raw": self.explain.expect_from_raw as u64,
             },
             "actual_sources": {
@@ -359,7 +364,7 @@ impl Engine {
     /// statistics-based cardinality estimates.
     pub fn explain(&self, query: &Query) -> Result<ExplainReport> {
         let op = self.operator(&query.table)?;
-        let projection = query.required_columns();
+        let projection = query.effective_projection();
         let range = query.filter.as_ref().and_then(|f| f.extract_range());
         let entry = op.database().catalog().table(&query.table)?;
         let entry = entry.read();
@@ -372,6 +377,7 @@ impl Engine {
         };
         let mut from_cache = 0;
         let mut from_db = 0;
+        let mut from_hybrid = 0;
         let mut from_raw = 0;
         if let Some(layout) = entry.layout() {
             for meta in layout.iter() {
@@ -379,6 +385,10 @@ impl Engine {
                     from_cache += 1;
                 } else if entry.is_loaded(meta.id, &projection) {
                     from_db += 1;
+                } else if op.config().hybrid_reads
+                    && !entry.loaded_columns(meta.id, &projection).is_empty()
+                {
+                    from_hybrid += 1;
                 } else {
                     from_raw += 1;
                 }
@@ -392,6 +402,7 @@ impl Engine {
             estimated_rows: total_rows.map(|r| (r as f64 * selectivity).round() as u64),
             expect_from_cache: from_cache,
             expect_from_db: from_db,
+            expect_from_hybrid: from_hybrid,
             expect_from_raw: from_raw,
         })
     }
@@ -406,7 +417,9 @@ impl Engine {
     /// applied only when every query shares the same extractable range (the
     /// scan must deliver a superset of what each query needs).
     pub fn execute_shared(&self, queries: &[Query]) -> Result<Vec<QueryOutcome>> {
-        Ok(self.execute_shared_inner(queries, None, None)?.outcomes)
+        Ok(self
+            .execute_shared_inner(queries, None, None, None)?
+            .outcomes)
     }
 
     /// [`Engine::execute_shared`], additionally returning the traces the
@@ -415,7 +428,7 @@ impl Engine {
     /// query from pipeline attach to its fold completing. All `None` when
     /// tracing is disabled on the operator's recorder.
     pub fn execute_shared_traced(&self, queries: &[Query]) -> Result<SharedOutcome> {
-        self.execute_shared_inner(queries, None, None)
+        self.execute_shared_inner(queries, None, None, None)
     }
 
     /// Shared execution on behalf of the serving layer: per-query root spans
@@ -428,14 +441,15 @@ impl Engine {
         batch: u64,
     ) -> Result<SharedOutcome> {
         debug_assert_eq!(queries.len(), tenants.len());
-        self.execute_shared_inner(queries, Some(tenants), Some(batch))
+        self.execute_shared_inner(queries, Some(tenants), Some(batch), None)
     }
 
-    fn execute_shared_inner(
+    pub(crate) fn execute_shared_inner(
         &self,
         queries: &[Query],
         tenants: Option<&[u64]>,
         batch_label: Option<u64>,
+        mode_override: Option<ExecMode>,
     ) -> Result<SharedOutcome> {
         let first = queries
             .first()
@@ -453,11 +467,13 @@ impl Engine {
             q.validate(op.schema().len())?;
         }
         let clock = self.db.disk().clock().clone();
-        let mode = self.exec_mode();
+        let mode = mode_override.unwrap_or_else(|| self.exec_mode());
 
         // Union of all projections.
-        let mut projection: Vec<usize> =
-            queries.iter().flat_map(|q| q.required_columns()).collect();
+        let mut projection: Vec<usize> = queries
+            .iter()
+            .flat_map(|q| q.effective_projection())
+            .collect();
         projection.sort_unstable();
         projection.dedup();
 
@@ -690,6 +706,7 @@ impl Engine {
                 | ObsEvent::ChunkSkipped { .. }
                 | ObsEvent::WorkerScaled { .. }
                 | ObsEvent::RecoveryCompleted { .. }
+                | ObsEvent::ColumnCellLoaded { .. }
                 | ObsEvent::TraceStarted { .. }
                 | ObsEvent::TraceCompleted { .. }
                 | ObsEvent::QueryAdmitted { .. }
@@ -722,7 +739,7 @@ impl Engine {
     /// results are identical to — and bit-for-bit as deterministic as — the
     /// serial fold.
     pub fn execute(&self, query: &Query) -> Result<QueryOutcome> {
-        Ok(self.execute_inner(query, None)?.0)
+        Ok(self.execute_inner(query, None, None)?.0)
     }
 
     /// [`Engine::execute`] on behalf of the serving layer: the query's root
@@ -733,7 +750,7 @@ impl Engine {
         query: &Query,
         tenant: Option<u64>,
     ) -> Result<QueryOutcome> {
-        Ok(self.execute_inner(query, tenant)?.0)
+        Ok(self.execute_inner(query, tenant, None)?.0)
     }
 
     /// Core single-query path. Returns the outcome together with the trace
@@ -744,11 +761,12 @@ impl Engine {
         &self,
         query: &Query,
         tenant: Option<u64>,
+        mode_override: Option<ExecMode>,
     ) -> Result<(QueryOutcome, Option<TraceId>)> {
         let op = self.operator(&query.table)?;
         query.validate(op.schema().len())?;
         let clock = self.db.disk().clock().clone();
-        let mode = self.exec_mode();
+        let mode = mode_override.unwrap_or_else(|| self.exec_mode());
         let started = clock.now();
         let trace_guard = self.begin_trace(
             &op,
@@ -765,7 +783,7 @@ impl Engine {
         );
 
         let mut request = ScanRequest {
-            projection: query.required_columns(),
+            projection: query.effective_projection(),
             convert: self.convert_scope(),
             skip_predicate: None,
             cols_mapped: None,

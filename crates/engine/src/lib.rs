@@ -45,4 +45,4 @@ pub use expr::{Col, Expr};
 pub use predicate::Predicate;
 pub use query::{Query, QueryBuilder, QueryResult};
 pub use serve::{ServeConfig, ServeCounters, Server, TenantId, Ticket};
-pub use session::Session;
+pub use session::{ExecOutcome, ExecRequest, Session};

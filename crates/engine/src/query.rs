@@ -26,6 +26,13 @@ pub struct Query {
     /// Chunks scanned under push-down are neither cached nor loaded, so this
     /// is only worthwhile for highly selective one-off queries.
     pub pushdown: bool,
+    /// Explicit projection ([`Query::select`]): columns the scan must
+    /// materialize in addition to the referenced ones. `None` (default)
+    /// projects exactly the referenced columns. Widening the projection is
+    /// how a query pre-heats columns it does not aggregate — the scan feeds
+    /// the column-heat tracker with the effective projection, steering which
+    /// cells speculative loading persists.
+    pub projection: Option<Vec<Col>>,
 }
 
 impl Query {
@@ -40,6 +47,7 @@ impl Query {
             group_by: Vec::new(),
             aggregates: vec![AggExpr::sum(Expr::sum_of_columns(cols))],
             pushdown: false,
+            projection: None,
         }
     }
 
@@ -51,6 +59,7 @@ impl Query {
             group_by: Vec::new(),
             aggregates: Vec::new(),
             pushdown: false,
+            projection: None,
         }
     }
 
@@ -72,7 +81,14 @@ impl Query {
         self
     }
 
-    /// Every column the query touches (projection the scan must provide).
+    /// Builder: set an explicit projection. The scan materializes these
+    /// columns in addition to every referenced one.
+    pub fn select(mut self, cols: impl IntoIterator<Item = impl Into<Col>>) -> Self {
+        self.projection = Some(cols.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Every column the query *references* (filter, group-by, aggregates).
     pub fn required_columns(&self) -> Vec<usize> {
         let mut cols = Vec::new();
         if let Some(f) = &self.filter {
@@ -84,6 +100,21 @@ impl Query {
         }
         cols.sort_unstable();
         cols.dedup();
+        cols
+    }
+
+    /// The columns the scan must provide: the explicit projection (if any)
+    /// unioned with the referenced columns, sorted and deduplicated. With no
+    /// explicit [`Query::select`], this is exactly [`required_columns`].
+    ///
+    /// [`required_columns`]: Query::required_columns
+    pub fn effective_projection(&self) -> Vec<usize> {
+        let mut cols = self.required_columns();
+        if let Some(proj) = &self.projection {
+            cols.extend(proj.iter().map(|c| c.index()));
+            cols.sort_unstable();
+            cols.dedup();
+        }
         cols
     }
 
@@ -104,7 +135,7 @@ impl Query {
                 self.table
             )));
         }
-        if let Some(&max) = self.required_columns().last() {
+        if let Some(&max) = self.effective_projection().last() {
             if max >= schema_len {
                 return Err(Error::invalid_query(format!(
                     "column {max} out of range for schema of {schema_len} columns"
@@ -126,6 +157,7 @@ pub struct QueryBuilder {
     group_by: Vec<Col>,
     aggregates: Vec<AggExpr>,
     pushdown: bool,
+    projection: Option<Vec<Col>>,
 }
 
 impl QueryBuilder {
@@ -153,6 +185,12 @@ impl QueryBuilder {
         self
     }
 
+    /// Sets an explicit projection (see [`Query::select`]).
+    pub fn select(mut self, cols: impl IntoIterator<Item = impl Into<Col>>) -> Self {
+        self.projection = Some(cols.into_iter().map(Into::into).collect());
+        self
+    }
+
     /// Finishes construction.
     ///
     /// # Errors
@@ -165,6 +203,7 @@ impl QueryBuilder {
             group_by: self.group_by,
             aggregates: self.aggregates,
             pushdown: self.pushdown,
+            projection: self.projection,
         };
         if q.aggregates.is_empty() {
             return Err(Error::invalid_query(format!(
@@ -224,6 +263,24 @@ mod tests {
             .with_filter(Predicate::between(1, 0i64, 9i64))
             .with_group_by(vec![2]);
         assert_eq!(q.required_columns(), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn projection_defaults_to_referenced_and_unions_with_select() {
+        let q = Query::sum_of_columns("t", [2]);
+        assert_eq!(q.effective_projection(), vec![2]);
+        let q = q.select([0usize, 5]);
+        assert_eq!(q.required_columns(), vec![2]);
+        assert_eq!(q.effective_projection(), vec![0, 2, 5]);
+        // A projection narrower than the referenced set never hides columns
+        // the query needs.
+        let q = Query::sum_of_columns("t", [2, 3]).select([3usize]);
+        assert_eq!(q.effective_projection(), vec![2, 3]);
+        // Out-of-range selected columns fail validation like referenced ones.
+        assert!(Query::sum_of_columns("t", [0])
+            .select([9usize])
+            .validate(4)
+            .is_err());
     }
 
     #[test]

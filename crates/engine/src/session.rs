@@ -8,7 +8,7 @@
 //! (custom convert scopes, direct registry access).
 //!
 //! ```no_run
-//! use scanraw_engine::{Query, Session};
+//! use scanraw_engine::{ExecRequest, Query, Session};
 //! use scanraw_rawfile::TextDialect;
 //! use scanraw_simio::SimDisk;
 //! use scanraw_types::{ScanRawConfig, Schema};
@@ -23,13 +23,17 @@
 //!         ScanRawConfig::default(),
 //!     )
 //!     .unwrap();
-//! let outcome = session.execute(&Query::sum_of_columns("t", 0..4)).unwrap();
+//! let outcome = session
+//!     .run(ExecRequest::query(Query::sum_of_columns("t", 0..4)))
+//!     .unwrap()
+//!     .into_single();
 //! println!("{:?}", outcome.result.scalar());
 //! ```
 
 use crate::executor::{
     AnalyzeReport, Engine, ExecMode, ExplainReport, QueryOutcome, SharedOutcome,
 };
+use crate::expr::Col;
 use crate::query::Query;
 use crate::serve::{ServeConfig, Server};
 use scanraw_obs::QueryTrace;
@@ -38,6 +42,118 @@ use scanraw_simio::SimDisk;
 use scanraw_storage::{Database, RecoveryReport};
 use scanraw_types::{Error, Result, ScanRawConfig, Schema};
 use std::sync::Arc;
+
+/// One execution request: a single query or a shared-scan batch, plus how to
+/// run it — per-request exec-mode override, tracing, widened projection.
+///
+/// This is the single entry point that replaces the old
+/// `execute`/`execute_traced`/`execute_shared`/`execute_shared_traced` ×
+/// [`ExecMode`] matrix: build a request, hand it to [`Session::run`].
+///
+/// ```ignore
+/// let out = session.run(
+///     ExecRequest::query(q).traced().mode(ExecMode::Serial),
+/// )?;
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExecRequest {
+    queries: Vec<Query>,
+    shared: bool,
+    traced: bool,
+    mode: Option<ExecMode>,
+}
+
+impl ExecRequest {
+    /// A request running one query on its own scan.
+    pub fn query(q: Query) -> Self {
+        ExecRequest {
+            queries: vec![q],
+            shared: false,
+            traced: false,
+            mode: None,
+        }
+    }
+
+    /// A request answering a batch of same-table queries with one shared
+    /// scan (see [`Engine::execute_shared`] for the restrictions).
+    pub fn batch(queries: impl IntoIterator<Item = Query>) -> Self {
+        ExecRequest {
+            queries: queries.into_iter().collect(),
+            shared: true,
+            traced: false,
+            mode: None,
+        }
+    }
+
+    /// Collect the causal span tree(s) the request mints. [`Session::run`]
+    /// then fails when tracing is disabled on the table's recorder.
+    pub fn traced(mut self) -> Self {
+        self.traced = true;
+        self
+    }
+
+    /// Override the chunk-fold strategy for this request only; the session
+    /// default applies otherwise.
+    pub fn mode(mut self, mode: ExecMode) -> Self {
+        self.mode = Some(mode);
+        self
+    }
+
+    /// Set an explicit projection on every query in the request (see
+    /// [`Query::select`]): the scan materializes these columns in addition
+    /// to the referenced ones, pre-heating them for speculative loading.
+    pub fn select(mut self, cols: impl IntoIterator<Item = impl Into<Col>>) -> Self {
+        let cols: Vec<Col> = cols.into_iter().map(Into::into).collect();
+        for q in &mut self.queries {
+            q.projection = Some(cols.clone());
+        }
+        self
+    }
+}
+
+/// What [`Session::run`] produced: one [`QueryOutcome`] per query in the
+/// request, with span trees alongside when the request was
+/// [`ExecRequest::traced`].
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// One outcome per query, in request order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// Per-query span trees, parallel to `outcomes`; `None` entries unless
+    /// the request was traced.
+    pub query_traces: Vec<Option<QueryTrace>>,
+    /// The carrier trace of a traced shared batch (scan/exec/merge spans);
+    /// `None` for single queries and untraced batches.
+    pub batch_trace: Option<QueryTrace>,
+}
+
+impl ExecOutcome {
+    /// The only outcome of a single-query request.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on the outcome of a multi-query batch.
+    pub fn into_single(mut self) -> QueryOutcome {
+        assert_eq!(
+            self.outcomes.len(),
+            1,
+            "into_single on a {}-query outcome",
+            self.outcomes.len()
+        );
+        self.outcomes.pop().expect("one outcome")
+    }
+
+    /// The span tree of a traced single-query request.
+    pub fn into_traced_single(mut self) -> (QueryOutcome, QueryTrace) {
+        assert_eq!(self.outcomes.len(), 1, "into_traced_single on a batch");
+        let outcome = self.outcomes.pop().expect("one outcome");
+        let trace = self
+            .query_traces
+            .pop()
+            .flatten()
+            .expect("request was not traced");
+        (outcome, trace)
+    }
+}
 
 /// High-level query session: the single public entry point wrapping engine
 /// construction, table registration, execution, plan inspection, and crash
@@ -117,21 +233,96 @@ impl Session {
             .register_table(name, raw_file, schema, dialect, config)
     }
 
+    /// Runs an [`ExecRequest`]: one query or a shared-scan batch, with
+    /// per-request exec-mode, tracing, and projection options. This is the
+    /// session's single execution entry point; the deprecated
+    /// `execute*` methods are thin wrappers over it.
+    ///
+    /// # Errors
+    ///
+    /// Fails when any query fails validation or execution, when the request
+    /// holds no query, or when it is [`ExecRequest::traced`] but tracing is
+    /// disabled on the table's span recorder
+    /// (`op.obs().trace.set_enabled(false)`).
+    pub fn run(&self, req: ExecRequest) -> Result<ExecOutcome> {
+        let ExecRequest {
+            queries,
+            shared,
+            traced,
+            mode,
+        } = req;
+        if shared {
+            let out = self
+                .engine
+                .execute_shared_inner(&queries, None, None, mode)?;
+            if !traced {
+                let n = out.outcomes.len();
+                return Ok(ExecOutcome {
+                    outcomes: out.outcomes,
+                    query_traces: vec![None; n],
+                    batch_trace: None,
+                });
+            }
+            let table = &queries.first().expect("batch validated non-empty").table;
+            let op = self.engine.operator(table)?;
+            if out.batch_trace.is_none() {
+                return Err(Error::query("tracing is disabled on this table's recorder"));
+            }
+            // Pending write-backs would leave open spans in the trees.
+            op.drain_writes();
+            Ok(ExecOutcome {
+                query_traces: out
+                    .query_traces
+                    .iter()
+                    .map(|t| t.map(|t| op.obs().trace.trace(t)))
+                    .collect(),
+                batch_trace: out.batch_trace.map(|t| op.obs().trace.trace(t)),
+                outcomes: out.outcomes,
+            })
+        } else {
+            let query = queries
+                .into_iter()
+                .next()
+                .ok_or_else(|| Error::query("ExecRequest holds no query"))?;
+            // The trace id travels back with the outcome (instead of reading
+            // the engine-wide "last trace" slot) so concurrent callers on a
+            // shared session always get their *own* span tree.
+            let (outcome, trace_id) = self.engine.execute_inner(&query, None, mode)?;
+            let query_traces = if traced {
+                let trace_id = trace_id
+                    .ok_or_else(|| Error::query("tracing is disabled on this table's recorder"))?;
+                let op = self.engine.operator(&query.table)?;
+                op.drain_writes();
+                vec![Some(op.obs().trace.trace(trace_id))]
+            } else {
+                vec![None]
+            };
+            Ok(ExecOutcome {
+                outcomes: vec![outcome],
+                query_traces,
+                batch_trace: None,
+            })
+        }
+    }
+
     /// Runs an aggregate query. See [`Engine::execute`].
+    #[deprecated(note = "build an `ExecRequest::query` and call `Session::run`")]
     pub fn execute(&self, query: &Query) -> Result<QueryOutcome> {
-        self.engine.execute(query)
+        self.run(ExecRequest::query(query.clone()))
+            .map(ExecOutcome::into_single)
     }
 
     /// Answers a batch of queries over the same table with one shared scan.
     /// See [`Engine::execute_shared`].
+    #[deprecated(note = "build an `ExecRequest::batch` and call `Session::run`")]
     pub fn execute_shared(&self, queries: &[Query]) -> Result<Vec<QueryOutcome>> {
-        self.engine.execute_shared(queries)
+        self.run(ExecRequest::batch(queries.to_vec()))
+            .map(|out| out.outcomes)
     }
 
-    /// [`Session::execute_shared`] plus the traces the batch minted: the
-    /// carrier trace (shared scan spans) and one root `query` span per
-    /// batched query, so per-caller traces stay causal under batching. See
-    /// [`Engine::execute_shared_traced`].
+    /// [`Session::run`] with a traced batch, returning raw trace ids rather
+    /// than extracted trees. See [`Engine::execute_shared_traced`].
+    #[deprecated(note = "build a traced `ExecRequest::batch` and call `Session::run`")]
     pub fn execute_shared_traced(&self, queries: &[Query]) -> Result<SharedOutcome> {
         self.engine.execute_shared_traced(queries)
     }
@@ -146,16 +337,10 @@ impl Session {
     ///
     /// Fails when the query fails, or when tracing is disabled on the
     /// table's span recorder (`op.obs().trace.set_enabled(false)`).
+    #[deprecated(note = "build a traced `ExecRequest::query` and call `Session::run`")]
     pub fn execute_traced(&self, query: &Query) -> Result<(QueryOutcome, QueryTrace)> {
-        // The trace id travels back with the outcome (instead of reading the
-        // engine-wide "last trace" slot) so concurrent callers on a shared
-        // session always get their *own* span tree.
-        let (outcome, trace_id) = self.engine.execute_inner(query, None)?;
-        let trace_id =
-            trace_id.ok_or_else(|| Error::query("tracing is disabled on this table's recorder"))?;
-        let op = self.engine.operator(&query.table)?;
-        op.drain_writes();
-        Ok((outcome, op.obs().trace.trace(trace_id)))
+        self.run(ExecRequest::query(query.clone()).traced())
+            .map(ExecOutcome::into_traced_single)
     }
 
     /// The span tree of the most recently completed traced query, or `None`
@@ -220,9 +405,44 @@ mod tests {
         let q = Query::sum_of_columns("t", 0..3);
         let explain = session.explain(&q).unwrap();
         assert_eq!(explain.projection, vec![0, 1, 2]);
-        let outcome = session.execute(&q).unwrap();
+        let outcome = session.run(ExecRequest::query(q)).unwrap().into_single();
         assert_eq!(outcome.result.rows_scanned, 1_000);
         assert!(matches!(outcome.result.scalar(), Some(Value::Int(_))));
+    }
+
+    #[test]
+    fn deprecated_shims_agree_with_run() {
+        let disk = SimDisk::instant();
+        stage_csv(&disk, "t.csv", &CsvSpec::new(500, 2, 3));
+        let session = Session::open(disk);
+        session
+            .register_table(
+                "t",
+                "t.csv",
+                Schema::uniform_ints(2),
+                TextDialect::CSV,
+                ScanRawConfig::default().with_chunk_rows(100),
+            )
+            .unwrap();
+        let q = Query::sum_of_columns("t", 0..2);
+        let via_run = session
+            .run(ExecRequest::query(q.clone()))
+            .unwrap()
+            .into_single();
+        #[allow(deprecated)]
+        let via_shim = session.execute(&q).unwrap();
+        assert_eq!(via_run.result.rows, via_shim.result.rows);
+        let batch = session
+            .run(ExecRequest::batch(vec![q.clone(), q.clone()]))
+            .unwrap();
+        assert_eq!(batch.outcomes.len(), 2);
+        assert_eq!(batch.outcomes[0].result.rows, via_run.result.rows);
+        // Per-request mode override answers identically.
+        let serial = session
+            .run(ExecRequest::query(q).mode(ExecMode::Serial))
+            .unwrap()
+            .into_single();
+        assert_eq!(serial.result.rows, via_run.result.rows);
     }
 
     #[test]

@@ -40,6 +40,7 @@ fn selective_query() -> Query {
         group_by: vec![],
         aggregates: vec![AggExpr::sum(Expr::col(2)), AggExpr::count()],
         pushdown: false,
+        projection: None,
     }
 }
 
@@ -128,6 +129,7 @@ fn pushdown_with_like_predicate_on_strings() {
         group_by: vec![],
         aggregates: vec![AggExpr::count()],
         pushdown: true,
+        projection: None,
     };
     let out = eng.execute(&q).unwrap();
     let expected = reads.iter().filter(|r| r.cigar.contains('I')).count();

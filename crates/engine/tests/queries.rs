@@ -91,6 +91,7 @@ fn filtered_aggregate() {
         group_by: vec![],
         aggregates: vec![AggExpr::sum(Expr::col(1)), AggExpr::count()],
         pushdown: false,
+        projection: None,
     };
     let out = engine.execute(&q).unwrap();
     assert_eq!(out.result.rows[0].aggregates[0], Value::Int(expected));
@@ -128,6 +129,7 @@ fn group_by_aggregate() {
         group_by: vec![Col(0)],
         aggregates: vec![AggExpr::sum(Expr::col(1)), AggExpr::count()],
         pushdown: false,
+        projection: None,
     };
     let out = engine.execute(&q).unwrap();
     assert_eq!(out.result.rows.len(), 3);
@@ -188,6 +190,7 @@ fn cigar_distribution_query_on_sam() {
         group_by: vec![Col(field::CIGAR)],
         aggregates: vec![AggExpr::count()],
         pushdown: false,
+        projection: None,
     };
     let out = engine.execute(&q).unwrap();
 
@@ -241,6 +244,7 @@ fn sam_and_bam_paths_agree() {
         group_by: vec![Col(field::CIGAR)],
         aggregates: vec![AggExpr::count()],
         pushdown: false,
+        projection: None,
     };
     let via_sam = engine.execute(&q).unwrap().result;
     let via_bam = execute_over_bam(&disk, "x.bam", &q).unwrap();
@@ -258,6 +262,7 @@ fn unknown_table_and_empty_aggregates_rejected() {
         group_by: vec![],
         aggregates: vec![],
         pushdown: false,
+        projection: None,
     };
     assert!(engine.execute(&q).is_err());
     // Duplicate registration is also rejected.

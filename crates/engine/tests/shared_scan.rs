@@ -44,6 +44,7 @@ fn shared_scan_matches_individual_execution() {
             group_by: vec![],
             aggregates: vec![AggExpr::count()],
             pushdown: false,
+            projection: None,
         },
     ];
     let shared = eng.execute_shared(&queries).unwrap();
@@ -116,6 +117,7 @@ fn shared_scan_common_range_still_skips_chunks() {
             group_by: vec![],
             aggregates: vec![AggExpr::count()],
             pushdown: false,
+            projection: None,
         },
     ];
     let outcomes = eng.execute_shared(&queries).unwrap();

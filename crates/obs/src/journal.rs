@@ -57,6 +57,9 @@ pub enum ObsEvent {
     /// A database read of a loaded chunk failed past the retry budget; the
     /// chunk was served by raw conversion instead.
     DbReadFallback { chunk: u64 },
+    /// One (chunk, column) cell was durably committed to the database by a
+    /// column-granular store; the catalog bit for the cell is now set.
+    ColumnCellLoaded { chunk: u64, column: u64 },
     /// A post-crash recovery pass finished: `committed` cells restored,
     /// `dropped` commit records discarded (corrupt or malformed).
     RecoveryCompleted { committed: u64, dropped: u64 },
@@ -138,6 +141,7 @@ impl ObsEvent {
             ObsEvent::IoRetry { .. } => "IoRetry",
             ObsEvent::LoadDegraded { .. } => "LoadDegraded",
             ObsEvent::DbReadFallback { .. } => "DbReadFallback",
+            ObsEvent::ColumnCellLoaded { .. } => "ColumnCellLoaded",
             ObsEvent::RecoveryCompleted { .. } => "RecoveryCompleted",
             ObsEvent::TraceStarted { .. } => "TraceStarted",
             ObsEvent::TraceCompleted { .. } => "TraceCompleted",
@@ -182,6 +186,9 @@ impl ObsEvent {
             }
             ObsEvent::LoadDegraded { chunk } => json!({"chunk": *chunk}),
             ObsEvent::DbReadFallback { chunk } => json!({"chunk": *chunk}),
+            ObsEvent::ColumnCellLoaded { chunk, column } => {
+                json!({"chunk": *chunk, "column": *column})
+            }
             ObsEvent::RecoveryCompleted { committed, dropped } => {
                 json!({"committed": *committed, "dropped": *dropped})
             }
@@ -262,6 +269,10 @@ impl ObsEvent {
             },
             "LoadDegraded" => ObsEvent::LoadDegraded { chunk: chunk()? },
             "DbReadFallback" => ObsEvent::DbReadFallback { chunk: chunk()? },
+            "ColumnCellLoaded" => ObsEvent::ColumnCellLoaded {
+                chunk: chunk()?,
+                column: payload["column"].as_u64()?,
+            },
             "RecoveryCompleted" => ObsEvent::RecoveryCompleted {
                 committed: payload["committed"].as_u64()?,
                 dropped: payload["dropped"].as_u64()?,
@@ -581,6 +592,10 @@ mod tests {
             },
             ObsEvent::LoadDegraded { chunk: 9 },
             ObsEvent::DbReadFallback { chunk: 10 },
+            ObsEvent::ColumnCellLoaded {
+                chunk: 10,
+                column: 4,
+            },
             ObsEvent::RecoveryCompleted {
                 committed: 12,
                 dropped: 3,

@@ -184,11 +184,23 @@ impl TableEntry {
     /// True when all chunks of a known layout have all columns loaded —
     /// ScanRaw then morphs into a heap scan and can be deleted (§3.3).
     pub fn fully_loaded(&self) -> bool {
+        let all: Vec<usize> = (0..self.schema.len()).collect();
+        self.fully_loaded_for(&all)
+    }
+
+    /// Column-granular completeness: true when every chunk of a known layout
+    /// has every cell of `cols` loaded. This is the reap criterion at column
+    /// granularity — an operator whose queries only ever registered `cols`
+    /// is a pure heap scan once those cells are in, even if unread columns
+    /// never load.
+    pub fn fully_loaded_for(&self, cols: &[usize]) -> bool {
         match &self.layout {
             Some(layout) => {
                 !layout.is_empty()
                     && self.loaded.len() >= layout.len()
-                    && self.loaded.iter().all(|l| l.iter().all(|&b| b))
+                    && (0..layout.len() as u32)
+                        .map(ChunkId)
+                        .all(|id| self.is_loaded(id, cols))
             }
             None => false,
         }
@@ -527,6 +539,30 @@ mod tests {
         let t = t.read();
         assert_eq!(t.fully_loaded_chunks(&[0]), vec![ChunkId(0), ChunkId(1)]);
         assert_eq!(t.fully_loaded_chunks(&[0, 1]), vec![ChunkId(1)]);
+    }
+
+    #[test]
+    fn fully_loaded_for_tracks_registered_columns_only() {
+        let c = catalog_with_table();
+        let mut layout = ChunkLayout::default();
+        for i in 0..2u32 {
+            layout.push(ChunkMeta {
+                id: ChunkId(i),
+                file_offset: i as u64 * 10,
+                byte_len: 10,
+                first_row: i as u64 * 2,
+                rows: 2,
+            });
+        }
+        c.set_layout("t", layout).unwrap();
+        c.mark_loaded("t", ChunkId(0), &[0, 2]).unwrap();
+        c.mark_loaded("t", ChunkId(1), &[0, 2]).unwrap();
+        let t = c.table("t").unwrap();
+        let t = t.read();
+        assert!(t.fully_loaded_for(&[0, 2]), "all registered cells loaded");
+        assert!(t.fully_loaded_for(&[]), "vacuously true for no columns");
+        assert!(!t.fully_loaded_for(&[0, 1]), "column 1 never loaded");
+        assert!(!t.fully_loaded(), "whole-table completeness still false");
     }
 
     #[test]

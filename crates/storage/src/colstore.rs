@@ -104,6 +104,28 @@ impl ColumnStore {
         }
     }
 
+    /// Writes only the named columns of `chunk`. Returns the column indices
+    /// actually written (absent or already-stored columns are skipped).
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first device error; columns written before it stay
+    /// committed (use [`store_chunk_cols_partial`] to learn which).
+    ///
+    /// [`store_chunk_cols_partial`]: ColumnStore::store_chunk_cols_partial
+    pub fn store_chunk_cols(
+        &self,
+        table: &str,
+        chunk: &BinaryChunk,
+        cols: &[usize],
+    ) -> Result<Vec<usize>> {
+        let (written, err) = self.store_chunk_cols_partial(table, chunk, cols);
+        match err {
+            Some(e) => Err(e),
+            None => Ok(written),
+        }
+    }
+
     /// Like [`store_chunk`], but reports partial progress: the columns that
     /// were durably committed before a device error, plus the error itself.
     /// The WRITE stage needs both — committed columns must be marked loaded
@@ -119,9 +141,29 @@ impl ColumnStore {
         table: &str,
         chunk: &BinaryChunk,
     ) -> (Vec<usize>, Option<Error>) {
+        let all: Vec<usize> = (0..chunk.columns.len()).collect();
+        self.store_chunk_cols_partial(table, chunk, &all)
+    }
+
+    /// Column-granular store: writes only the named columns of `chunk` (the
+    /// cell-level unit of speculative loading), skipping columns that are
+    /// absent from the chunk or already stored. Same write-then-commit
+    /// protocol and partial-progress reporting as [`store_chunk_partial`]:
+    /// a torn write can lose a column cell but never commit a half-written
+    /// one.
+    ///
+    /// [`store_chunk_partial`]: ColumnStore::store_chunk_partial
+    pub fn store_chunk_cols_partial(
+        &self,
+        table: &str,
+        chunk: &BinaryChunk,
+        cols: &[usize],
+    ) -> (Vec<usize>, Option<Error>) {
         let mut written = Vec::new();
-        for (col, data) in chunk.columns.iter().enumerate() {
-            let Some(data) = data else { continue };
+        for &col in cols {
+            let Some(data) = chunk.columns.get(col).and_then(Option::as_ref) else {
+                continue;
+            };
             let key = (table.to_string(), col, chunk.id);
             if self.runs.read().contains_key(&key) {
                 continue; // already stored; chunks are immutable
@@ -130,6 +172,7 @@ impl ColumnStore {
             let crc = crc32(&bytes);
             let file = Self::file_name(table, col);
             self.disk.create(&file);
+            // lint-ok: L016 the WRITE thread retries whole stores (idempotent per committed cell); direct callers get partial progress + the error
             let offset = match self.disk.append(&file, &bytes) {
                 Ok(o) => o,
                 Err(e) => return (written, Some(e)),
@@ -148,6 +191,7 @@ impl ColumnStore {
             );
             let log = Self::log_name(table);
             self.disk.create(&log);
+            // lint-ok: L016 same contract as the payload append above: retried a level up, never masked here
             if let Err(e) = self.disk.append(&log, record.as_bytes()) {
                 return (written, Some(e));
             }
@@ -473,6 +517,25 @@ mod tests {
         assert_eq!(first.len(), 2);
         let second = store.store_chunk("t", &chunk(0)).unwrap();
         assert!(second.is_empty(), "already-stored columns are skipped");
+    }
+
+    #[test]
+    fn column_subset_store_writes_only_named_cells() {
+        let store = ColumnStore::new(SimDisk::instant());
+        let written = store.store_chunk_cols("t", &chunk(0), &[1]).unwrap();
+        assert_eq!(written, vec![1]);
+        assert!(!store.has("t", 0, ChunkId(0)));
+        assert!(store.has("t", 1, ChunkId(0)));
+        // Absent columns (index 2 is None) and out-of-range indices are
+        // skipped, not errors.
+        let rest = store
+            .store_chunk_cols("t", &chunk(0), &[0, 1, 2, 9])
+            .unwrap();
+        assert_eq!(rest, vec![0], "column 1 already stored, 2 absent");
+        let back = store
+            .load_chunk("t", &schema(), ChunkId(0), 0, &[0, 1])
+            .unwrap();
+        assert_eq!(back.column(0), chunk(0).column(0));
     }
 
     #[test]

@@ -81,6 +81,34 @@ impl Database {
         }
     }
 
+    /// Column-granular store: persists only the named (chunk, column) cells
+    /// and marks exactly the durably committed ones in the catalog. The
+    /// partial-progress contract of [`store_chunk`] holds per cell — a torn
+    /// write may lose a column cell but never produces a half-loaded cell
+    /// marked loaded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first device error the store hit; partial progress is
+    /// already reflected in the catalog when it surfaces.
+    ///
+    /// [`store_chunk`]: Database::store_chunk
+    pub fn store_chunk_cols(
+        &self,
+        table: &str,
+        chunk: &BinaryChunk,
+        cols: &[usize],
+    ) -> Result<Vec<usize>> {
+        let (written, err) = self.store.store_chunk_cols_partial(table, chunk, cols);
+        if !written.is_empty() {
+            self.catalog.mark_loaded(table, chunk.id, &written)?;
+        }
+        match err {
+            Some(e) => Err(e),
+            None => Ok(written),
+        }
+    }
+
     /// Rebuilds a table's store index and catalog loaded-bitmap from its
     /// commit log after a simulated crash. Creates the table entry if this
     /// `Database` is fresh (the usual restart case). Only runs whose payload
@@ -143,6 +171,14 @@ impl Database {
     pub fn fully_loaded(&self, table: &str) -> Result<bool> {
         let entry = self.catalog.table(table)?;
         let loaded = entry.read().fully_loaded();
+        Ok(loaded)
+    }
+
+    /// True when every chunk of a known layout has every cell of `cols`
+    /// stored — column-granular completeness over the registered column set.
+    pub fn fully_loaded_for(&self, table: &str, cols: &[usize]) -> Result<bool> {
+        let entry = self.catalog.table(table)?;
+        let loaded = entry.read().fully_loaded_for(cols);
         Ok(loaded)
     }
 }

@@ -43,6 +43,7 @@ fn main() {
         group_by: vec![Col(field::CIGAR)],
         aggregates: vec![AggExpr::count()],
         pushdown: false,
+        projection: None,
     };
 
     // Path 1: SQL over the SAM text file through ScanRaw.
@@ -59,7 +60,10 @@ fn main() {
                 .with_policy(WritePolicy::speculative()),
         )
         .expect("register");
-    let via_sam = session.execute(&query).expect("sam query");
+    let via_sam = session
+        .run(ExecRequest::query(query.clone()))
+        .expect("sam query")
+        .into_single();
 
     // Path 2: the sequential access library over the binary container
     // (the "BAMTools" route — only MAP runs inside ScanRaw).

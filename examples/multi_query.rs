@@ -37,6 +37,7 @@ fn main() {
             group_by: vec![],
             aggregates: vec![AggExpr::count(), AggExpr::avg(Expr::col(1))],
             pushdown: false,
+            projection: None,
         },
         Query {
             table: "metrics".into(),
@@ -44,11 +45,15 @@ fn main() {
             group_by: vec![],
             aggregates: vec![AggExpr::min(Expr::col(2)), AggExpr::max(Expr::col(2))],
             pushdown: false,
+            projection: None,
         },
     ];
 
     let before = disk.stats().bytes(AccessKind::Read);
-    let outcomes = session.execute_shared(&queries).expect("shared batch");
+    let outcomes = session
+        .run(ExecRequest::batch(queries))
+        .expect("shared batch")
+        .outcomes;
     let read = disk.stats().bytes(AccessKind::Read) - before;
 
     println!(

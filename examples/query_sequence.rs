@@ -32,7 +32,10 @@ fn run_sequence(policy: WritePolicy, queries: usize) {
     println!("query   cache  db  raw  skipped  loaded-after");
     let q = Query::sum_of_columns("t", 0..8);
     for i in 1..=queries {
-        let out = session.execute(&q).expect("query");
+        let out = session
+            .run(ExecRequest::query(q.clone()))
+            .expect("query")
+            .into_single();
         let op = session.engine().operator("t").expect("operator");
         op.drain_writes();
         println!(

@@ -41,7 +41,10 @@ fn main() {
     // SELECT SUM(c0 + … + c7) FROM events.
     let query = Query::sum_of_columns("events", 0..8);
     for i in 1..=4 {
-        let out = session.execute(&query).expect("query");
+        let out = session
+            .run(ExecRequest::query(query.clone()))
+            .expect("query")
+            .into_single();
         let op = session.engine().operator("events").expect("operator");
         op.drain_writes(); // let the speculative tail finish for reporting
         println!(

@@ -40,7 +40,10 @@ fn main() {
     // Query 1: full scan — converts everything, gathers per-chunk min/max
     // statistics as a side effect of conversion (§3.3).
     let full = Query::sum_of_columns("ordered", [0, 1, 2, 3]);
-    let out = session.execute(&full).expect("full scan");
+    let out = session
+        .run(ExecRequest::query(full))
+        .expect("full scan")
+        .into_single();
     println!(
         "full scan: {} rows, {} chunks from raw (statistics collected)",
         out.result.rows_scanned, out.scan.from_raw
@@ -50,7 +53,10 @@ fn main() {
     // the catalog statistics and skips chunks that cannot match.
     let narrow = Query::sum_of_columns("ordered", [0, 3])
         .with_filter(Predicate::between(0, 30_000i64, 30_999i64));
-    let out = session.execute(&narrow).expect("narrow scan");
+    let out = session
+        .run(ExecRequest::query(narrow))
+        .expect("narrow scan")
+        .into_single();
     println!(
         "narrow scan: {} rows matched, {} chunks skipped via min/max metadata, {} delivered",
         out.result.rows_scanned, out.scan.skipped, out.scan.chunks_delivered

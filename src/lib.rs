@@ -36,7 +36,10 @@
 //! // SELECT SUM(c0+c1+c2+c3) FROM t — instantly, no loading required;
 //! // speculative loading stores chunks whenever the device would idle, and
 //! // delivered chunks are evaluated in parallel on the conversion workers.
-//! let out = session.execute(&Query::sum_of_columns("t", 0..4)).unwrap();
+//! let out = session
+//!     .run(ExecRequest::query(Query::sum_of_columns("t", 0..4)))
+//!     .unwrap()
+//!     .into_single();
 //! assert_eq!(out.result.rows_scanned, 1000);
 //! ```
 
@@ -53,10 +56,13 @@ pub use scanraw_types as types;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use scanraw::{ConvertScope, OperatorRegistry, ScanRaw, ScanRequest, ScanSummary};
+    pub use scanraw::{
+        ColumnHeat, ConvertScope, OperatorRegistry, ScanRaw, ScanRequest, ScanSummary,
+    };
     pub use scanraw_engine::{
-        AggExpr, AnalyzeReport, Col, Engine, ExecMode, Expr, Predicate, Query, QueryBuilder,
-        QueryOutcome, ServeConfig, ServeCounters, Server, Session, SharedOutcome, TenantId, Ticket,
+        AggExpr, AnalyzeReport, Col, Engine, ExecMode, ExecOutcome, ExecRequest, Expr, Predicate,
+        Query, QueryBuilder, QueryOutcome, ServeConfig, ServeCounters, Server, Session,
+        SharedOutcome, TenantId, Ticket,
     };
     pub use scanraw_obs::{Obs, ObsEvent, QueryTrace, SpanRecord, TraceId};
     pub use scanraw_rawfile::generate::CsvSpec;

@@ -68,6 +68,7 @@ fn seeded_queries(cols: usize, seed: u64) -> Vec<Query> {
                 AggExpr::avg(Expr::col(1)),
             ],
             pushdown: false,
+            projection: None,
         },
         Query {
             table: "t".into(),
@@ -75,6 +76,7 @@ fn seeded_queries(cols: usize, seed: u64) -> Vec<Query> {
             group_by: vec![Col(cols - 1)],
             aggregates: vec![AggExpr::count(), AggExpr::sum(Expr::col(0))],
             pushdown: false,
+            projection: None,
         },
     ]
 }
@@ -95,7 +97,10 @@ fn serial_oracle(
             queries
                 .iter()
                 .map(|q| {
-                    let out = session.execute(q).expect("oracle run is fault-free");
+                    let out = session
+                        .run(ExecRequest::query(q.clone()))
+                        .expect("oracle run is fault-free")
+                        .into_single();
                     (out.result.rows, out.result.rows_scanned)
                 })
                 .collect()
@@ -389,7 +394,10 @@ fn queued_same_table_queries_share_one_scan() {
     let oracle_session = make_session(&spec, cols, config);
     for (ticket, q) in tickets.into_iter().zip(&queries) {
         let served = ticket.wait().unwrap();
-        let direct = oracle_session.execute(q).unwrap();
+        let direct = oracle_session
+            .run(ExecRequest::query(q.clone()))
+            .unwrap()
+            .into_single();
         assert_eq!(served.result.rows, direct.result.rows);
         assert_eq!(served.result.rows_scanned, direct.result.rows_scanned);
     }
@@ -467,7 +475,7 @@ fn batched_queries_mint_their_own_query_roots() {
     let session = make_session(&spec, cols, config);
     let queries = seeded_queries(cols, 5);
 
-    let shared = session.execute_shared_traced(&queries).unwrap();
+    let shared = session.engine().execute_shared_traced(&queries).unwrap();
     assert_eq!(shared.outcomes.len(), queries.len());
     let op = session.engine().operator("t").unwrap();
     op.drain_writes();

@@ -76,6 +76,7 @@ fn seeded_queries(cols: usize, seed: u64) -> Vec<Query> {
                 AggExpr::avg(Expr::col(1)),
             ],
             pushdown: false,
+            projection: None,
         },
         // Group by a column while aggregating another.
         Query {
@@ -84,6 +85,7 @@ fn seeded_queries(cols: usize, seed: u64) -> Vec<Query> {
             group_by: vec![Col(cols - 1)],
             aggregates: vec![AggExpr::count(), AggExpr::sum(Expr::col(0))],
             pushdown: false,
+            projection: None,
         },
     ]
 }
@@ -133,6 +135,7 @@ fn parallel_group_by_with_like_predicate_agrees() {
         group_by: vec![Col(field::CIGAR)],
         aggregates: vec![AggExpr::count()],
         pushdown: false,
+        projection: None,
     };
     let mut answers = Vec::new();
     for mode in [ExecMode::Serial, ExecMode::Parallel] {
@@ -175,6 +178,7 @@ fn parallel_merge_is_deterministic_across_runs() {
         group_by: vec![Col(3)],
         aggregates: vec![AggExpr::avg(Expr::col(1)), AggExpr::sum(Expr::col(2))],
         pushdown: false,
+        projection: None,
     };
     let mut reference: Option<(Vec<ResultRow>, u64)> = None;
     for _ in 0..20 {
@@ -300,6 +304,7 @@ fn shared_scan_agrees_across_modes() {
             group_by: vec![],
             aggregates: vec![AggExpr::count(), AggExpr::avg(Expr::col(1))],
             pushdown: false,
+            projection: None,
         },
         Query {
             table: "t".into(),
@@ -307,6 +312,7 @@ fn shared_scan_agrees_across_modes() {
             group_by: vec![Col(4)],
             aggregates: vec![AggExpr::min(Expr::col(2)), AggExpr::max(Expr::col(2))],
             pushdown: false,
+            projection: None,
         },
     ];
     let mut answers = Vec::new();

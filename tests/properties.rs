@@ -145,10 +145,19 @@ fn lzss_roundtrip() {
     }
 }
 
-/// Cache invariants: size bound, eviction only when full, the oldest
-/// unloaded chunk is genuinely the first unloaded inserted.
+/// Cache invariants: size bound, eviction only when full, unloaded cells
+/// surface in insertion order and marking every cell loaded empties the
+/// unloaded view.
 #[test]
 fn cache_invariants() {
+    const CACHE_COLS: usize = 2;
+    let present_chunk = |id: u32| {
+        let mut chunk = BinaryChunk::empty(ChunkId(id), 0, 1, CACHE_COLS);
+        for col in chunk.columns.iter_mut() {
+            *col = Some(ColumnData::Int64(vec![id as i64]));
+        }
+        Arc::new(chunk)
+    };
     let mut rng = StdRng::seed_from_u64(0xCAC4E);
     for _ in 0..CASES {
         let cap = rng.gen_range(1usize..8);
@@ -157,23 +166,48 @@ fn cache_invariants() {
             .map(|_| (rng.gen_range(0u32..30), rng.gen_bool(0.5)))
             .collect();
         let cache = ChunkCache::new(cap);
+        // Model: per-id (first-insertion seq, loaded). Reinserts keep the
+        // original seq and union loaded bits; evictions (observed via the
+        // insert return) drop the entry, so a comeback gets a fresh seq.
+        let mut model: std::collections::HashMap<u32, (usize, bool)> =
+            std::collections::HashMap::new();
+        let mut next_seq = 0usize;
         for (id, loaded) in &ops {
-            cache.insert(Arc::new(BinaryChunk::empty(ChunkId(*id), 0, 1, 1)), *loaded);
+            let cols: &[usize] = if *loaded { &[0, 1] } else { &[] };
+            if let Some(victim) = cache.insert(present_chunk(*id), cols) {
+                model.remove(&victim.id.0);
+            }
             assert!(cache.len() <= cap);
+            model
+                .entry(*id)
+                .and_modify(|(_, l)| *l |= *loaded)
+                .or_insert_with(|| {
+                    next_seq += 1;
+                    (next_seq, *loaded)
+                });
         }
-        // Whatever remains unloaded in the cache: oldest_unloaded agrees
-        // with the order of unloaded_chunks.
-        let unloaded = cache.unloaded_chunks();
-        if let Some(first) = cache.oldest_unloaded() {
-            assert_eq!(first.id, unloaded[0].id);
-        } else {
-            assert!(unloaded.is_empty());
+        // Unloaded cells are exactly the model's not-fully-loaded entries,
+        // oldest (first inserted) first, each listing its missing columns.
+        let mut expected: Vec<(usize, u32)> = model
+            .iter()
+            .filter(|(_, (_, loaded))| !loaded)
+            .map(|(id, (seq, _))| (*seq, *id))
+            .collect();
+        expected.sort_unstable();
+        let unloaded = cache.unloaded_cells();
+        assert_eq!(
+            unloaded.iter().map(|(c, _)| c.id.0).collect::<Vec<_>>(),
+            expected.iter().map(|(_, id)| *id).collect::<Vec<_>>(),
+            "unloaded cells ordered by first insertion"
+        );
+        for (_, cols) in &unloaded {
+            assert_eq!(cols, &[0, 1], "both cells of an unloaded chunk are missing");
         }
-        // Marking everything loaded empties the unloaded view.
+        // Marking every cell loaded empties the unloaded view.
         for id in cache.cached_ids() {
-            cache.mark_loaded(id);
+            cache.mark_loaded(id, &[0, 1]);
         }
-        assert!(cache.oldest_unloaded().is_none());
+        assert!(cache.unloaded_cells().is_empty());
     }
 }
 

@@ -102,9 +102,15 @@ fn serial_and_parallel_traces_are_well_formed() {
             let session = session_on(staged_disk(7), mode, workers);
             let q = Query::sum_of_columns("t", 0..COLS);
             // Cold then warm: conversion-heavy and cache-served trees.
-            let (cold, cold_trace) = session.execute_traced(&q).unwrap();
+            let (cold, cold_trace) = session
+                .run(ExecRequest::query(q.clone()).traced())
+                .unwrap()
+                .into_traced_single();
             assert_tree_shape(&cold_trace);
-            let (warm, warm_trace) = session.execute_traced(&q).unwrap();
+            let (warm, warm_trace) = session
+                .run(ExecRequest::query(q.clone()).traced())
+                .unwrap()
+                .into_traced_single();
             assert_tree_shape(&warm_trace);
             assert_eq!(cold.result.rows, warm.result.rows);
 
@@ -161,8 +167,9 @@ fn traces_are_deterministic_on_the_virtual_clock() {
     let run = || {
         let session = session_on(staged_disk(7), ExecMode::Serial, 0);
         let (_, trace) = session
-            .execute_traced(&Query::sum_of_columns("t", 0..COLS))
-            .unwrap();
+            .run(ExecRequest::query(Query::sum_of_columns("t", 0..COLS)).traced())
+            .unwrap()
+            .into_traced_single();
         trace
     };
     let (a, b) = (run(), run());
@@ -179,17 +186,23 @@ fn disabled_recorder_records_nothing_and_execute_traced_errors() {
     let op = session.engine().operator("t").unwrap();
     op.obs().trace.set_enabled(false);
     let q = Query::sum_of_columns("t", 0..COLS);
-    let out = session.execute(&q).unwrap();
+    let out = session
+        .run(ExecRequest::query(q.clone()))
+        .unwrap()
+        .into_single();
     assert_eq!(out.result.rows_scanned, ROWS);
     assert!(
-        session.execute_traced(&q).is_err(),
+        session.run(ExecRequest::query(q.clone()).traced()).is_err(),
         "no trace when disabled"
     );
     assert!(session.last_trace("t").is_none());
 
     // Re-enabling picks tracing back up on the same operator.
     op.obs().trace.set_enabled(true);
-    let (_, trace) = session.execute_traced(&q).unwrap();
+    let (_, trace) = session
+        .run(ExecRequest::query(q).traced())
+        .unwrap()
+        .into_traced_single();
     assert_tree_shape(&trace);
 }
 
@@ -211,7 +224,10 @@ mod faults {
             let q = Query::sum_of_columns("t", 0..COLS);
             // Load the table clean, then fault the db region for the warm
             // run so loaded-chunk reads retry and fall back.
-            let (cold, _) = session.execute_traced(&q).unwrap();
+            let (cold, _) = session
+                .run(ExecRequest::query(q.clone()).traced())
+                .unwrap()
+                .into_traced_single();
             session.engine().operator("t").unwrap().drain_writes();
             session.engine().operator("t").unwrap().cache().clear();
             disk.set_fault_plan(FaultPlan::new(FaultConfig {
@@ -221,7 +237,10 @@ mod faults {
                 latency_spike: Duration::from_micros(50),
                 ..FaultConfig::seeded(seed)
             }));
-            let (warm, trace) = session.execute_traced(&q).unwrap();
+            let (warm, trace) = session
+                .run(ExecRequest::query(q.clone()).traced())
+                .unwrap()
+                .into_traced_single();
             disk.clear_fault_plan();
             assert_eq!(cold.result.rows, warm.result.rows, "seed {seed}");
             trace

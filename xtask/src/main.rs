@@ -3,9 +3,10 @@
 //! Tasks:
 //! - `lint` — run the scanraw-lint analyzer (rules L001–L018) over the
 //!   workspace and exit non-zero on any unsilenced, unbaselined finding.
-//! - `bench` — build and run the PR5 serial-vs-parallel benchmark, writing
-//!   `BENCH_PR5.json` at the workspace root. Pass `--smoke` for the small
-//!   CI-sized configuration; other arguments are forwarded to the binary.
+//! - `bench` — build and run the PR5 serial-vs-parallel benchmark and the
+//!   PR10 column-granularity benchmark, writing `BENCH_PR5.json` and
+//!   `BENCH_PR10.json` at the workspace root. Pass `--smoke` for the small
+//!   CI-sized configuration; other arguments are forwarded to the binaries.
 //! - `trace` — run a seeded traced workload and export its validated span
 //!   tree as Chrome trace-event JSON (`scanraw.trace.json`, loadable in
 //!   Perfetto / `about://tracing`) plus a folded-stack flamegraph file
@@ -323,7 +324,11 @@ fn run_bench_bin(task: &str, bin: &str, args: &[String]) -> ExitCode {
 }
 
 fn task_bench(args: &[String]) -> ExitCode {
-    run_bench_bin("bench", "pr5", args)
+    let pr5 = run_bench_bin("bench", "pr5", args);
+    if pr5 != ExitCode::SUCCESS {
+        return pr5;
+    }
+    run_bench_bin("bench", "pr10", args)
 }
 
 fn task_trace(args: &[String]) -> ExitCode {
@@ -338,7 +343,7 @@ fn main() -> ExitCode {
         Some("trace") => task_trace(&args[1..]),
         None => {
             eprintln!(
-                "usage: cargo xtask <task>\n\ntasks:\n  lint    run the static analysis catalog (L001-L018)\n          options: --format text|json|sarif|github|callgraph|effects, --output <path>,\n                   --baseline <path>, --no-baseline, --update-baseline,\n                   --timing, --budget-ms <n>, --explain <RULE>\n  bench   run the PR5 serial-vs-parallel benchmark (writes BENCH_PR5.json)\n          options: --smoke (small CI configuration)\n  trace   run a seeded traced workload and export its span tree\n          (writes scanraw.trace.json for Perfetto and scanraw.folded)\n          options: --smoke (small CI configuration)"
+                "usage: cargo xtask <task>\n\ntasks:\n  lint    run the static analysis catalog (L001-L018)\n          options: --format text|json|sarif|github|callgraph|effects, --output <path>,\n                   --baseline <path>, --no-baseline, --update-baseline,\n                   --timing, --budget-ms <n>, --explain <RULE>\n  bench   run the PR5 serial-vs-parallel and PR10 column-granularity\n          benchmarks (writes BENCH_PR5.json and BENCH_PR10.json)\n          options: --smoke (small CI configuration)\n  trace   run a seeded traced workload and export its span tree\n          (writes scanraw.trace.json for Perfetto and scanraw.folded)\n          options: --smoke (small CI configuration)"
             );
             ExitCode::FAILURE
         }
